@@ -1,0 +1,31 @@
+"""Shared machinery for the reproduction benchmark harness.
+
+Every bench regenerates one of the paper's tables or figures (or an
+ablation/experiment from DESIGN.md §4).  The rendered text artifact is
+written to ``benchmarks/results/<name>.txt`` and echoed to stdout so that
+``pytest benchmarks/ --benchmark-only -s`` shows the reproduced artifact
+inline; EXPERIMENTS.md records the paper-vs-measured comparison.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def artifact(request):
+    """Write (and echo) the reproduced table/figure text."""
+
+    def _write(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        header = f"\n===== {name} ====="
+        print(header)
+        print(text)
+
+    return _write

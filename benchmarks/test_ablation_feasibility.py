@@ -1,0 +1,73 @@
+"""E6 — Ablation: exact vs density schedulability test in condensation.
+
+DESIGN.md calls out the feasibility-test choice: the exact
+processor-demand criterion against the O(n) density bound.  The density
+test is sound (never accepts an infeasible set) but conservative, so it
+can force more clusters / reject good merges.  We measure both the
+decision quality and the speed on random job sets.
+"""
+
+import random
+
+from repro.metrics import format_table
+from repro.scheduling import Job, demand_feasible, density_feasible
+
+SAMPLES = 400
+
+
+def generate_job_sets():
+    rng = random.Random(17)
+    sets = []
+    for _ in range(SAMPLES):
+        jobs = []
+        for i in range(rng.randint(2, 6)):
+            release = rng.uniform(0, 10)
+            window = rng.uniform(1, 8)
+            work = rng.uniform(0.1, window * 0.8)
+            jobs.append(Job(f"j{i}", release, release + window, work))
+        sets.append(jobs)
+    return sets
+
+
+def classify(sets):
+    agree = 0
+    density_conservative = 0
+    unsound = 0
+    feasible = 0
+    for jobs in sets:
+        exact = demand_feasible(jobs)
+        fast = density_feasible(jobs)
+        feasible += exact
+        if exact == fast:
+            agree += 1
+        elif exact and not fast:
+            density_conservative += 1
+        else:
+            unsound += 1
+    return {
+        "agree": agree,
+        "conservative": density_conservative,
+        "unsound": unsound,
+        "feasible": feasible,
+    }
+
+
+def test_ablation_feasibility(benchmark, artifact):
+    sets = generate_job_sets()
+    counts = benchmark(classify, sets)
+
+    text = format_table(
+        ["outcome", "count"],
+        [
+            ("both agree", counts["agree"]),
+            ("density conservative (exact says feasible)", counts["conservative"]),
+            ("density unsound (must be 0)", counts["unsound"]),
+            ("feasible by exact test", counts["feasible"]),
+        ],
+        title=f"E6: exact vs density feasibility on {SAMPLES} random job sets",
+    )
+    artifact("ablation_feasibility", text)
+
+    assert counts["unsound"] == 0  # density never over-accepts
+    assert counts["conservative"] > 0  # and it is strictly weaker
+    assert counts["agree"] + counts["conservative"] == SAMPLES

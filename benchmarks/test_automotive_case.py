@@ -1,0 +1,87 @@
+"""E11 — Automotive case study (extension).
+
+The paper's §7 plans "to apply the proposed techniques to development of
+a new SW integration target system".  This bench plays that role with a
+second full domain: brake-by-wire on a 4-ECU ring, with influences
+derived from concrete channels (medium/volume/rate over a one-hour
+mission), duplex replication, periodic RM constraints and location-bound
+buses — then validates containment by fault-injection campaign.
+"""
+
+from repro.allocation import (
+    condense_h1,
+    evaluate_mapping,
+    expand_replication,
+    map_approach_a,
+    round_robin_clustering,
+)
+from repro.allocation.clustering import ClusterState
+from repro.faultsim import compare_partitions
+from repro.metrics import render_clusters, render_mapping
+from repro.model import Level
+from repro.workloads.automotive import (
+    automotive_hw,
+    automotive_policy,
+    automotive_resources,
+    automotive_system,
+)
+
+ECUS = 4
+
+
+def integrate_automotive():
+    system = automotive_system()
+    graph = expand_replication(system.influence_at(Level.PROCESS))
+    state = ClusterState(graph, automotive_policy())
+    result = condense_h1(state, ECUS)
+    mapping = map_approach_a(
+        result.state, automotive_hw(ECUS), automotive_resources()
+    )
+    return graph, result, mapping
+
+
+def test_automotive_case(benchmark, artifact):
+    graph, result, mapping = benchmark(integrate_automotive)
+
+    baseline_state = ClusterState(graph.copy(), automotive_policy())
+    baseline = round_robin_clustering(baseline_state, ECUS)
+    campaigns = compare_partitions(
+        graph,
+        {"H1": result.partition(), "round-robin": baseline.partition()},
+        trials=2000,
+        seed=0,
+    )
+
+    text = (
+        render_clusters(result.state, title="E11: brake-by-wire on 4 ECUs (H1)")
+        + "\n\n"
+        + render_mapping(mapping)
+        + "\n\n"
+        + "campaign escape rates: "
+        + ", ".join(
+            f"{name}={c.cross_cluster_rate:.3f}" for name, c in campaigns.items()
+        )
+    )
+    artifact("automotive_case", text)
+
+    score = evaluate_mapping(mapping, automotive_resources())
+    assert score.feasible
+    # Duplex pairs on distinct ECUs.
+    for group in graph.replica_groups():
+        nodes = {
+            mapping.node_of(result.state.cluster_of(member)) for member in group
+        }
+        assert len(nodes) == len(group)
+    # Buses respected.
+    hw = mapping.hw
+    assert hw.has_resource(
+        mapping.node_of(result.state.cluster_of("pedal")), "pedal_bus"
+    )
+    assert hw.has_resource(
+        mapping.node_of(result.state.cluster_of("wheel_speed")), "wheel_bus"
+    )
+    # Dependability-driven beats round-robin on fault escapes here too.
+    assert (
+        campaigns["H1"].cross_cluster_rate
+        <= campaigns["round-robin"].cross_cluster_rate
+    )

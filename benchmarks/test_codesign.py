@@ -1,0 +1,82 @@
+"""E10 — HW/SW codesign: platform selection under dependability targets.
+
+§7 future work: trade off HW and SW requirements "when design
+restrictions are provided on the choice of an available HW platform, yet
+some flexibility remains."  Given a menu of platforms with costs, the
+codesign module picks the cheapest one on which the system integrates
+within the targets; this bench regenerates the selection table for the
+paper example at two different target strengths.
+"""
+
+from repro.analysis import DependabilityTargets, PlatformOption, choose_platform
+from repro.allocation import expand_replication, fully_connected
+from repro.metrics import format_table
+from repro.workloads import paper_influence_graph
+
+
+def menu():
+    return [
+        PlatformOption("duplex-2", fully_connected(2, prefix="d"), cost=2.0),
+        PlatformOption("quad-4", fully_connected(4, prefix="q"), cost=4.5),
+        PlatformOption("hex-6", fully_connected(6, prefix="h"), cost=7.0),
+        PlatformOption("full-12", fully_connected(12, prefix="f"), cost=15.0),
+    ]
+
+
+def run_codesign():
+    graph = expand_replication(paper_influence_graph())
+    loose = choose_platform(
+        graph, menu(), DependabilityTargets(), seed=0
+    )
+    strict = choose_platform(
+        graph,
+        menu(),
+        DependabilityTargets(max_cross_influence=5.0, max_fault_escape_rate=0.6),
+        seed=0,
+    )
+    return loose, strict
+
+
+def test_codesign(benchmark, artifact):
+    loose, strict = benchmark.pedantic(run_codesign, rounds=1, iterations=1)
+
+    def table(result, title):
+        rows = []
+        for e in result.evaluations:
+            rows.append(
+                (
+                    e.option.name,
+                    e.option.cost,
+                    "yes" if e.feasible else "no",
+                    "yes" if e.meets_targets else "no",
+                    e.cross_influence if e.feasible else "-",
+                    e.reason or "-",
+                )
+            )
+        return format_table(
+            ["platform", "cost", "feasible", "meets targets", "cross-infl", "reason"],
+            rows,
+            title=title,
+        )
+
+    text = (
+        table(loose, "E10a: codesign, loose targets")
+        + "\n\n"
+        + table(strict, "E10b: codesign, cross-influence <= 5.0")
+    )
+    text += (
+        f"\n\nchosen (loose):  {loose.require_chosen().option.name}"
+        f"\nchosen (strict): {strict.require_chosen().option.name}"
+    )
+    artifact("codesign", text)
+
+    # The 2-node platform can never host TMR.
+    duplex = next(e for e in loose.evaluations if e.option.name == "duplex-2")
+    assert not duplex.feasible
+    # Loose targets: cheapest adequate platform (quad-4) wins.
+    assert loose.require_chosen().option.name == "quad-4"
+    # Strict influence budget: dense platforms qualify, sparse ones leak
+    # too much influence — full-12 must be disqualified.
+    full = next(e for e in strict.evaluations if e.option.name == "full-12")
+    assert not full.meets_targets
+    assert strict.require_chosen().option.cost <= 7.0

@@ -1,0 +1,42 @@
+"""F1 — Fig. 1: the three-level FCM hierarchy.
+
+Paper: processes at the top, tasks in the middle, procedures at the
+bottom, with vertical associations (parent links) and horizontal
+associations (influence among siblings).  We regenerate the hierarchy
+rendering for the avionics system — a full three-level instance — and
+verify the level structure.
+"""
+
+from repro.model import Level
+from repro.workloads import avionics_system
+
+
+def build_and_render() -> str:
+    system = avionics_system()
+    lines = [
+        "Fig. 1: FCM hierarchy (avionics instance)",
+        "",
+        "Top level    : processes  " + str(len(system.processes())),
+        "Middle level : tasks      " + str(len(system.tasks())),
+        "Lowest level : procedures " + str(len(system.procedures())),
+        "",
+        system.hierarchy.render(),
+    ]
+    return "\n".join(lines)
+
+
+def test_fig1_hierarchy(benchmark, artifact):
+    text = benchmark(build_and_render)
+    artifact("fig1_hierarchy", text)
+
+    system = avionics_system()
+    # Three populated levels, tree-shaped links, adjacent-level parents.
+    assert system.processes() and system.tasks() and system.procedures()
+    assert system.validate() == []
+    for task in system.tasks():
+        parent = system.hierarchy.parent_of(task.name)
+        assert parent is not None and parent.level is Level.PROCESS
+    for proc in system.procedures():
+        parent = system.hierarchy.parent_of(proc.name)
+        assert parent is not None and parent.level is Level.TASK
+    assert "[PROCESS]" in text and "[TASK]" in text and "[PROCEDURE]" in text

@@ -1,0 +1,74 @@
+"""F2 — Fig. 2: combining SW nodes.
+
+Paper: nodes 1-5 of a 7-node graph are combined; "their internal
+influences are no longer visible; however, the influence of the combined
+node on nodes 6 and 7 are still significant.  If several cluster nodes
+had individual influences on a common neighbour, those influence values
+need to be combined" via Eq. (4).
+
+We rebuild that scenario, regenerate the before/after edge tables, and
+verify the Eq. (4) arithmetic (including the paper's quoted 0.76).
+"""
+
+import pytest
+
+from repro.influence import InfluenceGraph, cluster_influence_on, condense_influence
+from repro.metrics import format_table
+from repro.model import AttributeSet, FCM, Level
+
+CLUSTER = ["n1", "n2", "n3", "n4", "n5"]
+
+
+def build_graph() -> InfluenceGraph:
+    g = InfluenceGraph()
+    for i in range(1, 8):
+        g.add_fcm(FCM(f"n{i}", Level.PROCESS, AttributeSet()))
+    # Internal influences among the cluster-to-be.
+    g.set_influence("n1", "n2", 0.4)
+    g.set_influence("n2", "n3", 0.3)
+    g.set_influence("n4", "n5", 0.2)
+    g.set_influence("n3", "n1", 0.1)
+    # External influences: two parallel edges onto n6 (0.2 and 0.7 — the
+    # paper's Fig. 5 combination values), one onto n7, one inbound.
+    g.set_influence("n3", "n6", 0.2)
+    g.set_influence("n5", "n6", 0.7)
+    g.set_influence("n2", "n7", 0.3)
+    g.set_influence("n6", "n1", 0.1)
+    return g
+
+
+def combine() -> dict:
+    g = build_graph()
+    return {
+        "onto_n6": cluster_influence_on(g, CLUSTER, "n6"),
+        "onto_n7": cluster_influence_on(g, CLUSTER, "n7"),
+        "quotient": condense_influence(g, [CLUSTER, ["n6"], ["n7"]]),
+    }
+
+
+def test_fig2_cluster(benchmark, artifact):
+    values = benchmark(combine)
+
+    g = build_graph()
+    before = format_table(
+        ["edge", "influence"],
+        [(f"{s} -> {t}", w) for s, t, w in sorted(g.influence_edges())],
+        title="Fig. 2 (before): 7 SW nodes",
+    )
+    after_rows = [
+        ("C(n1..n5) -> n6", values["onto_n6"]),
+        ("C(n1..n5) -> n7", values["onto_n7"]),
+        ("n6 -> C(n1..n5)", values["quotient"][(1, 0)]),
+    ]
+    after = format_table(
+        ["edge", "influence"],
+        after_rows,
+        title="Fig. 2 (after): nodes 1-5 combined, Eq. (4) applied",
+    )
+    artifact("fig2_cluster", before + "\n\n" + after)
+
+    # Eq. (4): 1 - (1-0.2)(1-0.7) = 0.76 — the paper's quoted value.
+    assert values["onto_n6"] == pytest.approx(0.76)
+    assert values["onto_n7"] == pytest.approx(0.3)
+    # Internal influences disappeared: only cluster<->outside entries.
+    assert set(values["quotient"]) <= {(0, 1), (0, 2), (1, 0), (2, 0), (1, 2), (2, 1)}

@@ -1,0 +1,42 @@
+"""F4 — Fig. 4: replication expansion with 0-weight replica links.
+
+Paper: "Node p1 is replicated 3 times to satisfy its fault tolerance
+requirements, and edges with neighbours are also replicated.  The three
+replicates are linked with edges with an influence value of 0."  The
+expanded graph has 12 nodes (3 + 2 + 2 + 5).
+"""
+
+import pytest
+
+from repro.allocation import expand_replication, required_hw_nodes
+from repro.metrics import render_influence_graph
+from repro.workloads import paper_influence_graph
+
+
+def expand():
+    return expand_replication(paper_influence_graph())
+
+
+def test_fig4_replication(benchmark, artifact):
+    expanded = benchmark(expand)
+    artifact(
+        "fig4_replication",
+        render_influence_graph(
+            expanded, title="Fig. 4: replicated SW graph (12 nodes)"
+        ),
+    )
+
+    assert len(expanded) == 12
+    # Replica groups: p1 x3, p2 x2, p3 x2.
+    groups = sorted(sorted(g) for g in expanded.replica_groups())
+    assert groups == [["p1a", "p1b", "p1c"], ["p2a", "p2b"], ["p3a", "p3b"]]
+    # Replica links carry influence 0 and forbid combination.
+    assert expanded.influence("p1a", "p1b") == 0.0
+    assert expanded.is_replica_link("p1b", "p1c")
+    # Edges replicated: every (p1 replica, p2 replica) pair carries the
+    # original 0.7.
+    for a in ("p1a", "p1b", "p1c"):
+        for b in ("p2a", "p2b"):
+            assert expanded.influence(a, b) == pytest.approx(0.7)
+    # Replica separation imposes the HW lower bound of 3.
+    assert required_hw_nodes(expanded) == 3

@@ -1,0 +1,68 @@
+"""F8 — Fig. 8: refining the mapping to four HW nodes on timing alone.
+
+Paper: "the graph in Fig. 7 can be straightforwardly reduced to Fig. 8 if
+only the timing attributes are considered", with an Eq. (4) combination
+producing 0.832 (= 0.2, 0.7, 0.3 combined).  We take the Fig. 7 clusters
+and let the timing-slack heuristic merge them down to four, verifying
+schedulability and replica separation throughout.
+"""
+
+import pytest
+
+from repro.allocation import (
+    condense_criticality,
+    condense_timing,
+    expand_replication,
+    fully_connected,
+    initial_state,
+    map_approach_a,
+)
+from repro.influence import combine_probabilities
+from repro.metrics import render_clusters, render_mapping
+from repro.scheduling import Job, demand_feasible
+from repro.workloads import (
+    FIG_8_NODE_COUNT,
+    HW_NODE_COUNT,
+    paper_influence_graph,
+)
+
+
+def refine_to_four():
+    graph = expand_replication(paper_influence_graph())
+    fig7 = condense_criticality(initial_state(graph), HW_NODE_COUNT)
+    return condense_timing(fig7.state, FIG_8_NODE_COUNT)
+
+
+def test_fig8_timing(benchmark, artifact):
+    refined = benchmark(refine_to_four)
+
+    mapping = map_approach_a(refined.state, fully_connected(FIG_8_NODE_COUNT))
+    text = (
+        render_clusters(
+            refined.state, title="Fig. 8: timing-refined mapping to 4 HW nodes"
+        )
+        + "\n\n"
+        + render_mapping(mapping)
+    )
+    artifact("fig8_timing", text)
+
+    assert len(refined.clusters) == FIG_8_NODE_COUNT
+    graph = refined.state.graph
+
+    # Every 4-node cluster remains exactly schedulable (the binding check
+    # the paper's timing attributes exist for).
+    for cluster in refined.clusters:
+        jobs = [
+            Job(m, *graph.fcm(m).attributes.timing.as_tuple())
+            for m in cluster.members
+            if graph.fcm(m).attributes.timing is not None
+        ]
+        assert demand_feasible(jobs), cluster.members
+
+    # Replicas still separated after refinement.
+    for group in graph.replica_groups():
+        holders = {refined.state.cluster_of(m) for m in group}
+        assert len(holders) == len(group)
+
+    # The paper's quoted three-way Eq. (4) value.
+    assert combine_probabilities([0.2, 0.7, 0.3]) == pytest.approx(0.832)

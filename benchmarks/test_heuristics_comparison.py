@@ -1,0 +1,106 @@
+"""E3 — Heuristic comparison: H1/H2/H3/Approach B/timing vs baselines.
+
+The paper's "good mapping" criteria (§5.3) scored for every condensation
+strategy over a family of synthetic workloads, plus a fault-injection
+campaign as the independent judge.  Expected shape: the
+dependability-driven heuristics keep cross-node influence and fault
+escapes well below the dependability-blind baselines.
+"""
+
+from repro.allocation import (
+    condense_criticality,
+    condense_h1,
+    condense_h2,
+    condense_h3,
+    evaluate_partition,
+    expand_replication,
+    initial_state,
+    load_balance_clustering,
+    random_clustering,
+    round_robin_clustering,
+)
+from repro.faultsim import run_campaign
+from repro.metrics import containment_ratio, format_table
+from repro.workloads import WorkloadSpec, random_process_graph
+
+SEEDS = range(4)
+SPEC = WorkloadSpec(processes=12, edge_probability=0.25, utilization=0.15)
+
+STRATEGIES = {
+    "H1": condense_h1,
+    "H2": condense_h2,
+    "H3": condense_h3,
+    "ApproachB": condense_criticality,
+    "random": lambda state, target: random_clustering(state, target, seed=0),
+    "round-robin": round_robin_clustering,
+    "load-balance": load_balance_clustering,
+}
+
+
+def run_comparison():
+    totals = {
+        name: {"cross": 0.0, "contain": 0.0, "escape": 0.0, "crit": 0.0}
+        for name in STRATEGIES
+    }
+    for seed in SEEDS:
+        graph = expand_replication(random_process_graph(SPEC, seed=seed))
+        target = max(4, len(graph) // 3)
+        for name, strategy in STRATEGIES.items():
+            state = initial_state(graph.copy())
+            result = strategy(state, target)
+            score = evaluate_partition(result.state)
+            partition = result.partition()
+            campaign = run_campaign(graph, partition, trials=400, seed=seed)
+            totals[name]["cross"] += score.cross_influence
+            totals[name]["contain"] += containment_ratio(graph, partition)
+            totals[name]["escape"] += campaign.cross_cluster_rate
+            totals[name]["crit"] += score.max_node_criticality
+    n = len(list(SEEDS))
+    return {
+        name: {k: v / n for k, v in agg.items()} for name, agg in totals.items()
+    }
+
+
+def test_heuristics_comparison(benchmark, artifact):
+    means = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+
+    rows = [
+        (
+            name,
+            m["cross"],
+            m["contain"],
+            m["escape"],
+            m["crit"],
+        )
+        for name, m in sorted(means.items(), key=lambda kv: kv[1]["cross"])
+    ]
+    text = format_table(
+        [
+            "strategy",
+            "cross-influence",
+            "containment",
+            "fault escape rate",
+            "max node criticality",
+        ],
+        rows,
+        title=f"E3: condensation strategies, mean over {len(list(SEEDS))} workloads",
+    )
+    artifact("heuristics_comparison", text)
+
+    # Shape assertions: H1 (which optimises influence) dominates every
+    # baseline on cross-influence, containment, and fault escapes.
+    for baseline in ("random", "round-robin", "load-balance"):
+        assert means["H1"]["cross"] < means[baseline]["cross"], baseline
+        assert means["H1"]["contain"] > means[baseline]["contain"], baseline
+        assert means["H1"]["escape"] < means[baseline]["escape"], baseline
+    # H2 (min-cut) also targets influence and beats the baselines' mean.
+    baseline_mean = sum(
+        means[b]["cross"] for b in ("random", "round-robin", "load-balance")
+    ) / 3
+    assert means["H2"]["cross"] < baseline_mean
+    # Approach B optimises criticality dispersion: its max node
+    # criticality never exceeds the worst baseline's.
+    worst_crit = max(
+        means[b]["crit"] for b in ("random", "round-robin", "load-balance")
+    )
+    assert means["ApproachB"]["crit"] <= worst_crit + 1e-9

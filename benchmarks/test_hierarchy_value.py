@@ -1,0 +1,81 @@
+"""E12 — The value of the FCM hierarchy itself.
+
+§4.1: faults "are allowed to propagate only in certain predefined ways at
+each level; otherwise, the sorts of faults affecting one level could
+possibly be propagated out of its parent and affect higher levels."  This
+bench measures the payoff: identical software run with and without the
+per-level containment discipline, across a range of boundary containment
+strengths.
+"""
+
+from repro.faultsim import run_multilevel_campaign
+from repro.metrics import format_table
+from repro.model import Level
+from repro.workloads import random_system
+
+CONTAINMENT_LEVELS = [0.0, 0.25, 0.5, 0.8, 0.95, 1.0]
+TRIALS = 1200
+
+
+def sweep():
+    system = random_system(
+        processes=4, tasks_per_process=3, procedures_per_task=3, seed=7
+    )
+    results = {}
+    for c in CONTAINMENT_LEVELS:
+        results[c] = run_multilevel_campaign(
+            system,
+            trials=TRIALS,
+            containment={Level.TASK: c, Level.PROCESS: c},
+            seed=11,
+        )
+    return results
+
+
+def test_hierarchy_value(benchmark, artifact):
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = [
+        (
+            f"{c:.2f}",
+            f"{r.mean_procedures_affected:.2f}",
+            f"{r.mean_tasks_affected:.2f}",
+            f"{r.mean_processes_affected:.3f}",
+            f"{r.process_escape_rate:.3f}",
+        )
+        for c, r in results.items()
+    ]
+    text = format_table(
+        [
+            "boundary containment",
+            "procedures hit",
+            "tasks hit",
+            "processes hit",
+            "process escape rate",
+        ],
+        rows,
+        title=(
+            f"E12: fault scope vs FCM boundary containment "
+            f"({TRIALS} procedure faults)"
+        ),
+    )
+    flat = results[0.0]
+    strong = results[0.8]
+    if strong.mean_processes_affected > 0:
+        text += (
+            f"\nhierarchy payoff at containment 0.8: "
+            f"{flat.mean_processes_affected / strong.mean_processes_affected:.1f}x "
+            f"fewer processes affected per fault"
+        )
+    artifact("hierarchy_value", text)
+
+    # Monotone: stronger boundaries, smaller process-level blast.
+    processes_hit = [
+        results[c].mean_processes_affected for c in CONTAINMENT_LEVELS
+    ]
+    assert all(b <= a + 1e-9 for a, b in zip(processes_hit, processes_hit[1:]))
+    # Perfect boundaries fully contain; absent boundaries always escape.
+    assert results[1.0].mean_processes_affected == 0.0
+    assert results[0.0].process_escape_rate == 1.0
+    # Procedure-level spread is containment-independent (same seeds).
+    assert len({round(results[c].mean_procedures_affected, 6) for c in CONTAINMENT_LEVELS}) <= len(CONTAINMENT_LEVELS)

@@ -1,0 +1,87 @@
+"""E5 — Scaling: heuristic and separation runtime vs system size.
+
+The paper's condensation problem is NP-hard in general ("deterministic
+solutions do not exist, or are analytically intractable"); the heuristics
+must stay polynomial.  These benches time H1, H2 and the separation
+series on growing synthetic systems; pytest-benchmark records the curves.
+"""
+
+import pytest
+
+from repro.allocation import (
+    condense_h1,
+    condense_h2,
+    expand_replication,
+    initial_state,
+    required_hw_nodes,
+)
+from repro.influence import compute_separation
+from repro.workloads import WorkloadSpec, random_process_graph
+
+SIZES = [8, 16, 32]
+
+
+def make_graph(size: int):
+    spec = WorkloadSpec(
+        processes=size,
+        edge_probability=0.2,
+        replicated_fraction=0.2,
+        utilization=0.1,
+    )
+    return expand_replication(random_process_graph(spec, seed=size))
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_scaling_h1(benchmark, size):
+    graph = make_graph(size)
+    target = max(required_hw_nodes(graph), len(graph) // 3)
+
+    def run():
+        return condense_h1(initial_state(graph.copy()), target)
+
+    result = benchmark(run)
+    assert len(result.clusters) == target
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_scaling_h2(benchmark, size):
+    graph = make_graph(size)
+    target = max(required_hw_nodes(graph), len(graph) // 3)
+
+    def run():
+        return condense_h2(initial_state(graph.copy()), target)
+
+    result = benchmark(run)
+    assert len(result.clusters) == target
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_scaling_separation(benchmark, size):
+    graph = make_graph(size)
+
+    def run():
+        return compute_separation(graph, order=3)
+
+    result = benchmark(run)
+    assert len(result.names) == len(graph)
+
+
+def test_scaling_full_pipeline(benchmark, artifact):
+    """End-to-end pipeline on the largest size, as the headline number."""
+    from repro.allocation import fully_connected, map_approach_a
+
+    graph = make_graph(32)
+    target = max(required_hw_nodes(graph), len(graph) // 3)
+
+    def run():
+        state = initial_state(graph.copy())
+        result = condense_h1(state, target)
+        return map_approach_a(result.state, fully_connected(target))
+
+    mapping = benchmark(run)
+    assert mapping.is_complete()
+    artifact(
+        "scaling_pipeline",
+        f"E5: full pipeline on {len(graph)}-node expanded graph -> "
+        f"{target} HW nodes; see pytest-benchmark table for timings",
+    )

@@ -1,0 +1,62 @@
+"""E8 — Integration-level trade-off ("is there a limit to the level of
+integration one should design for?", §6 — analysis the paper defers).
+
+Sweeps the HW node budget from the replica lower bound (3) to full
+dispersion (12) on the paper example and regenerates the trade-off
+table: denser integration internalises influence (better containment)
+but concentrates criticality and consumes timing slack.
+"""
+
+from repro.analysis import sweep_integration_levels
+from repro.allocation import expand_replication
+from repro.metrics import format_table
+from repro.workloads import paper_influence_graph
+
+
+def sweep():
+    graph = expand_replication(paper_influence_graph())
+    return sweep_integration_levels(graph, campaign_trials=400, seed=0)
+
+
+def test_tradeoff_curve(benchmark, artifact):
+    curve = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = [
+        (
+            p.hw_nodes,
+            "yes" if p.feasible else "no",
+            p.cross_influence,
+            p.max_node_criticality,
+            f"{p.min_slack:.2f}",
+            f"{p.fault_escape_rate:.3f}",
+        )
+        for p in curve.points
+    ]
+    text = format_table(
+        [
+            "HW nodes",
+            "feasible",
+            "cross-influence",
+            "max node criticality",
+            "min slack",
+            "escape rate",
+        ],
+        rows,
+        title="E8: integration-level trade-off (paper example, H1)",
+    )
+    knee = curve.knee(influence_budget=5.0)
+    text += f"\nknee at influence budget 5.0: {knee.hw_nodes} HW nodes"
+    artifact("tradeoff_curve", text)
+
+    feasible = curve.feasible_points()
+    assert curve.minimum_hw() == 3  # TMR lower bound
+    assert feasible[-1].hw_nodes == 12
+
+    # Shape: containment degrades monotonically with dispersion ...
+    cross = [p.cross_influence for p in feasible]
+    assert all(b >= a - 1e-9 for a, b in zip(cross, cross[1:]))
+    # ... while criticality concentration relaxes.
+    crit = [p.max_node_criticality for p in feasible]
+    assert crit[-1] < crit[0]
+    # The campaign agrees with the analytic trend at the extremes.
+    assert feasible[0].fault_escape_rate <= feasible[-1].fault_escape_rate

@@ -1,0 +1,108 @@
+"""HW/SW codesign and the integration-level trade-off.
+
+Realises the paper's deferred analyses (§6 "Is there a limit to the level
+of integration one should design for?" and §7 HW/SW trade-off under a
+constrained platform menu):
+
+1. sweep every feasible integration level of the example system and
+   print the trade-off curve (containment vs criticality concentration
+   vs timing slack);
+2. pick the densest level that still meets an influence budget (the
+   "knee");
+3. run the codesign selector over a platform menu with prices and two
+   different dependability-target strengths;
+4. compare the H1 design against the provable optimum and an annealed
+   refinement.
+
+Run:  python examples/codesign_study.py
+"""
+
+from repro.analysis import (
+    AnnealingOptions,
+    DependabilityTargets,
+    PlatformOption,
+    anneal,
+    choose_platform,
+    optimal_condensation,
+    sweep_integration_levels,
+)
+from repro.allocation import (
+    condense_h1,
+    expand_replication,
+    fully_connected,
+    initial_state,
+)
+from repro.metrics import format_table
+from repro.workloads import HW_NODE_COUNT, paper_influence_graph
+
+
+def tradeoff_phase(graph) -> None:
+    curve = sweep_integration_levels(graph, campaign_trials=300, seed=0)
+    rows = [
+        (
+            p.hw_nodes,
+            f"{p.cross_influence:.2f}",
+            f"{p.max_node_criticality:.0f}",
+            f"{p.min_slack:.2f}",
+            f"{p.fault_escape_rate:.2f}",
+        )
+        for p in curve.feasible_points()
+    ]
+    print(
+        format_table(
+            ["HW nodes", "cross-infl", "max crit", "min slack", "escape"],
+            rows,
+            title="Phase 1: integration-level trade-off",
+        )
+    )
+    knee = curve.knee(influence_budget=5.0)
+    print(f"-> densest level within influence budget 5.0: "
+          f"{knee.hw_nodes} HW nodes (cross {knee.cross_influence:.2f})")
+    print()
+
+
+def codesign_phase(graph) -> None:
+    menu = [
+        PlatformOption("duplex-2", fully_connected(2, prefix="d"), cost=2.0),
+        PlatformOption("quad-4", fully_connected(4, prefix="q"), cost=4.5),
+        PlatformOption("hex-6", fully_connected(6, prefix="h"), cost=7.0),
+        PlatformOption("full-12", fully_connected(12, prefix="f"), cost=15.0),
+    ]
+    for label, targets in (
+        ("loose targets", DependabilityTargets()),
+        (
+            "cross-influence <= 5.0",
+            DependabilityTargets(max_cross_influence=5.0),
+        ),
+    ):
+        result = choose_platform(graph, menu, targets, seed=0)
+        chosen = result.require_chosen()
+        print(f"Phase 2 ({label}): chose {chosen.option.name} "
+              f"at cost {chosen.option.cost} "
+              f"(cross-influence {chosen.cross_influence:.2f})")
+    print()
+
+
+def optimality_phase(graph) -> None:
+    optimal = optimal_condensation(graph, HW_NODE_COUNT)
+    h1 = condense_h1(initial_state(graph.copy()), HW_NODE_COUNT)
+    h1_cost = h1.state.total_cross_influence()
+    annealed = condense_h1(initial_state(graph.copy()), HW_NODE_COUNT).state
+    report = anneal(annealed, AnnealingOptions(iterations=4000, seed=3))
+    print("Phase 3: how good is the greedy heuristic?")
+    print(f"  exhaustive optimum ({optimal.partitions_examined} states): "
+          f"{optimal.cross_influence:.3f}")
+    print(f"  H1 greedy:            {h1_cost:.3f} "
+          f"({h1_cost / optimal.cross_influence:.1%} of optimal)")
+    print(f"  H1 + annealing:       {report.final_cost:.3f}")
+
+
+def main() -> None:
+    graph = expand_replication(paper_influence_graph())
+    tradeoff_phase(graph)
+    codesign_phase(graph)
+    optimality_phase(graph)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+"""SW evolution under the composition rules — the R1-R5 workflow.
+
+The framework must "support SW evolution and recertification" (§1.1).
+This example evolves a three-level system through the paper's operations:
+
+1. group procedures into tasks and tasks into processes (R1, R2);
+2. hit the reuse wall: a utility procedure wanted by two tasks must be
+   duplicated per caller (the R2 escape);
+3. let two tasks in different processes need to communicate — their
+   parents must be integrated (R4);
+4. merge two sibling tasks with common functionality (R3), with Eq. (4)
+   recombining their influence edges;
+5. modify one procedure and show the R5 retest set: the module, its
+   parent, and the sibling interfaces — nothing else.
+
+Run:  python examples/evolution_recertification.py
+"""
+
+from repro.composition import (
+    IntegrationLog,
+    RetestTracker,
+    duplicate_child_for,
+    group,
+    integrate_parents,
+    merge,
+)
+from repro.influence import InfluenceGraph
+from repro.model import AttributeSet, FCMHierarchy, Level
+from repro.model.fcm import procedure, task
+
+
+def main() -> None:
+    hierarchy = FCMHierarchy()
+    log = IntegrationLog()
+
+    # --- Stage 1: bottom-up grouping (R1) ------------------------------
+    for name, crit in (("read_adc", 3), ("scale", 2), ("checksum", 1),
+                       ("route_calc", 5), ("waypoint", 4)):
+        hierarchy.add(procedure(name, AttributeSet(criticality=crit)))
+    group(hierarchy, ["read_adc", "scale"], "t_sensor", log=log)
+    group(hierarchy, ["route_calc", "waypoint"], "t_nav", log=log)
+    group(hierarchy, ["checksum"], "t_io", log=log)
+    group(hierarchy, ["t_sensor", "t_io"], "p_acquisition", log=log)
+    group(hierarchy, ["t_nav"], "p_navigation", log=log)
+    print("After grouping (R1):")
+    print(hierarchy.render())
+    print()
+
+    # --- Stage 2: reuse requires duplication (R2) ----------------------
+    # t_nav also wants `scale`, but `scale` belongs to t_sensor.  Sharing
+    # would violate R2, so the function is separately compiled per caller.
+    clone = duplicate_child_for(hierarchy, "scale", "t_nav", log=log)
+    print(f"R2 escape: duplicated 'scale' as '{clone.name}' under t_nav")
+    print()
+
+    # --- Stage 3: cross-process communication forces R4 ----------------
+    # t_sensor (in p_acquisition) must now stream to t_nav (in
+    # p_navigation): "all tasks of the two parent processes can be
+    # combined into one parent FCM."
+    merged_parent = integrate_parents(
+        hierarchy, "t_sensor", "t_nav", "p_flight", log=log
+    )
+    print(f"R4: integrated parents into '{merged_parent.name}':")
+    print(hierarchy.render())
+    print()
+
+    # --- Stage 4: horizontal merge of siblings (R3) ---------------------
+    task_graph = InfluenceGraph()
+    for fcm in hierarchy.at_level(Level.TASK):
+        task_graph.add_fcm(fcm)
+    task_graph.set_influence("t_sensor", "t_nav", 0.4)
+    task_graph.set_influence("t_sensor", "t_io", 0.2)
+    task_graph.set_influence("t_nav", "t_io", 0.3)
+    merged = merge(
+        hierarchy, ["t_sensor", "t_nav"], "t_guidance",
+        influence_graph=task_graph, log=log,
+    )
+    print(f"R3: merged siblings into '{merged.name}' "
+          f"(criticality {merged.attributes.criticality})")
+    print(f"    Eq. (4) combined influence onto t_io: "
+          f"{task_graph.influence('t_guidance', 't_io'):.2f} "
+          f"(= 1 - (1-0.2)(1-0.3))")
+    print()
+
+    # --- Stage 5: modification and the R5 retest set --------------------
+    tracker = RetestTracker(hierarchy=hierarchy)
+    obligations = tracker.modified("read_adc")
+    print("R5: after modifying 'read_adc', retest obligations are:")
+    for obligation in obligations:
+        print(f"  - {obligation.describe()}")
+    print("  (the grandparent process requires NO retest — that is the "
+          "point of the level hierarchy)")
+    print()
+
+    print(f"integration log: {len(log)} operations")
+    for record in log.records:
+        print(f"  #{record.sequence} {record.kind.value:<18} "
+              f"{','.join(record.inputs)} -> {','.join(record.outputs)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""Quickstart: integrate the paper's 8-process example onto 6 processors.
+
+Walks the whole DDSI method on the ICDCS'98 worked example:
+
+1. build the Table 1 processes and the Fig. 3 influence graph;
+2. expand replication (Fig. 4);
+3. condense the SW graph with H1 (Approach A, Figs. 5-6);
+4. map onto a strongly connected 6-node HW graph;
+5. score the mapping and compare with Approach B (Fig. 7).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    FrameworkOptions,
+    Heuristic,
+    IntegrationFramework,
+    MappingApproach,
+    fully_connected,
+    paper_system,
+)
+from repro.metrics import (
+    render_clusters,
+    render_influence_graph,
+    render_mapping,
+)
+from repro.model import Level
+
+
+def main() -> None:
+    system = paper_system()
+    hw = fully_connected(6)
+
+    print("=" * 64)
+    print("Input: Table 1 processes and the Fig. 3 influence graph")
+    print("=" * 64)
+    print(render_influence_graph(system.influence_at(Level.PROCESS)))
+    print()
+
+    print("=" * 64)
+    print("Approach A: H1 condensation + importance mapping")
+    print("=" * 64)
+    outcome_a = IntegrationFramework(system).integrate(hw)
+    print(render_clusters(outcome_a.condensation.state))
+    print()
+    print(render_mapping(outcome_a.mapping))
+    print()
+    print(outcome_a.summary())
+    print()
+
+    print("=" * 64)
+    print("Approach B: criticality pairing + attribute mapping (Fig. 7)")
+    print("=" * 64)
+    options = FrameworkOptions(
+        heuristic=Heuristic.CRITICALITY,
+        mapping=MappingApproach.ATTRIBUTES,
+    )
+    outcome_b = IntegrationFramework(paper_system(), options).integrate(
+        fully_connected(6)
+    )
+    print(render_clusters(outcome_b.condensation.state))
+    print()
+    print(outcome_b.summary())
+    print()
+
+    a_score = outcome_a.score.partition
+    b_score = outcome_b.score.partition
+    print("Comparison (lower is better for both):")
+    print(
+        f"  cross-node influence : A={a_score.cross_influence:.3f}  "
+        f"B={b_score.cross_influence:.3f}"
+    )
+    print(
+        f"  max node criticality : A={a_score.max_node_criticality:.1f}  "
+        f"B={b_score.max_node_criticality:.1f}"
+    )
+    print(
+        "A contains faults tighter; B spreads criticality thinner — the "
+        "paper's trade-off, reproduced."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,288 @@
+"""Hard constraints on combining SW nodes and on SW->HW mappings.
+
+"Satisfaction of constraints: absolute constraints on behavior, whether
+semantic, temporal, or other ... this is always the primary concern"
+(§5.3).  Constraints implemented:
+
+* replica separation — replicas of one module may never share a node
+  (enforced structurally through the weight-0 replica links);
+* co-schedulability — every cluster must be schedulable on one processor
+  (§5.4: "the processes in the cluster must all be schedulable so that
+  their timing requirements are met.  If this is not possible ... the
+  current partition must be rejected");
+* criticality exclusion — optionally, two processes above a criticality
+  threshold may not share a node (§5.3 "Criticality" criterion);
+* resource requirements — a cluster needing a named resource can only map
+  to HW nodes exposing it (checked at mapping time).
+
+Each constraint is a small object with a ``check`` method returning
+``None`` (pass) or a human-readable reason string (fail);
+:class:`CombinationPolicy` aggregates them.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from repro.errors import AllocationError
+from repro.influence.cluster import clusters_combinable
+from repro.influence.influence_graph import InfluenceGraph
+from repro.scheduling.feasibility import (
+    FeasibilityMethod,
+    TimedModule,
+    coschedulable,
+)
+
+
+class CombinationConstraint(Protocol):
+    """Interface of one hard constraint on merging two clusters."""
+
+    def check(
+        self,
+        graph: InfluenceGraph,
+        first: tuple[str, ...],
+        second: tuple[str, ...],
+    ) -> str | None:
+        """None when the merged cluster would be legal, else a reason."""
+        ...
+
+
+@dataclass(frozen=True)
+class ReplicaSeparation:
+    """Replicas of one module must stay on distinct nodes."""
+
+    def check(
+        self,
+        graph: InfluenceGraph,
+        first: tuple[str, ...],
+        second: tuple[str, ...],
+    ) -> str | None:
+        if not clusters_combinable(graph, first, second):
+            return "clusters contain replicas of the same module"
+        return None
+
+
+@dataclass(frozen=True)
+class Schedulability:
+    """The merged cluster must be schedulable on one processor."""
+
+    method: FeasibilityMethod = FeasibilityMethod.EXACT
+
+    def check(
+        self,
+        graph: InfluenceGraph,
+        first: tuple[str, ...],
+        second: tuple[str, ...],
+    ) -> str | None:
+        modules = [
+            TimedModule(name, graph.fcm(name).attributes)
+            for name in (*first, *second)
+        ]
+        if not coschedulable(modules, method=self.method):
+            return "merged cluster is not schedulable on one processor"
+        return None
+
+
+@dataclass(frozen=True)
+class CriticalityExclusion:
+    """No two processes at/above the threshold may share a node.
+
+    §5.3: "the selected critical processes should be assigned to distinct
+    HW nodes, and only be combined with other non-critical processes,
+    irrespective of influence."
+    """
+
+    threshold: float
+
+    def check(
+        self,
+        graph: InfluenceGraph,
+        first: tuple[str, ...],
+        second: tuple[str, ...],
+    ) -> str | None:
+        def critical(names: tuple[str, ...]) -> list[str]:
+            return [
+                n for n in names
+                if graph.fcm(n).attributes.criticality >= self.threshold
+            ]
+
+        if critical(first) and critical(second):
+            return (
+                f"both clusters contain processes with criticality >= "
+                f"{self.threshold}"
+            )
+        return None
+
+
+@dataclass(frozen=True)
+class SecuritySeparation:
+    """Information-security compatibility (§1.1(3)(e)).
+
+    Co-locating modules of very different security classifications forces
+    the whole node to be certified at the highest level; this constraint
+    caps the classification *span* within one cluster (``max_span=0``
+    means all members must share one level).
+    """
+
+    max_span: int = 0
+
+    def check(
+        self,
+        graph: InfluenceGraph,
+        first: tuple[str, ...],
+        second: tuple[str, ...],
+    ) -> str | None:
+        levels = [
+            int(graph.fcm(name).attributes.security)
+            for name in (*first, *second)
+        ]
+        span = max(levels) - min(levels)
+        if span > self.max_span:
+            return (
+                f"security classification span {span} exceeds the allowed "
+                f"{self.max_span}"
+            )
+        return None
+
+
+@dataclass(frozen=True)
+class PeriodicSchedulability:
+    """Periodic-task feasibility for FCMs carrying periodic loops.
+
+    The canonical timing attribute is an aperiodic window; systems whose
+    FCMs also run periodic loops (the avionics control loops) register
+    them here and the merged cluster must remain rate-monotonic
+    schedulable (§4 "several well-known scheduling algorithms can be
+    used" — we use the exact response-time analysis).
+
+    ``tasks`` maps FCM name -> its periodic tasks.
+    """
+
+    tasks: dict[str, tuple] = None  # dict[str, tuple[PeriodicTask, ...]]
+
+    def check(
+        self,
+        graph: InfluenceGraph,
+        first: tuple[str, ...],
+        second: tuple[str, ...],
+    ) -> str | None:
+        from repro.scheduling.rm import rm_schedulable
+
+        table = self.tasks or {}
+        cluster_tasks = [
+            task
+            for name in (*first, *second)
+            for task in table.get(name, ())
+        ]
+        if not cluster_tasks:
+            return None
+        if not rm_schedulable(list(cluster_tasks)):
+            return "merged cluster's periodic tasks are not RM-schedulable"
+        return None
+
+
+@dataclass
+class CombinationPolicy:
+    """Aggregate of hard constraints; the allocation engine's gatekeeper.
+
+    The default policy enforces replica separation and exact
+    co-schedulability — the two constraints the paper's example exercises.
+    """
+
+    constraints: list[CombinationConstraint] = field(
+        default_factory=lambda: [ReplicaSeparation(), Schedulability()]
+    )
+
+    def violations(
+        self,
+        graph: InfluenceGraph,
+        first: Iterable[str],
+        second: Iterable[str],
+    ) -> list[str]:
+        first_t = tuple(first)
+        second_t = tuple(second)
+        reasons = []
+        for constraint in self.constraints:
+            reason = constraint.check(graph, first_t, second_t)
+            if reason is not None:
+                reasons.append(reason)
+        return reasons
+
+    def can_combine(
+        self,
+        graph: InfluenceGraph,
+        first: Iterable[str],
+        second: Iterable[str],
+    ) -> bool:
+        return not self.violations(graph, first, second)
+
+    def require_combinable(
+        self,
+        graph: InfluenceGraph,
+        first: Iterable[str],
+        second: Iterable[str],
+    ) -> None:
+        reasons = self.violations(graph, first, second)
+        if reasons:
+            raise AllocationError(
+                "combination rejected: " + "; ".join(reasons)
+            )
+
+    def block_violations(
+        self,
+        graph: InfluenceGraph,
+        members: Iterable[str],
+    ) -> list[str]:
+        """Validity of one whole block (used by partition repair, H2).
+
+        Every internal pair must be combinable (catches replica pairs) and
+        the whole block must pass aggregate checks (schedulability of the
+        union).  Returns deduplicated reasons.
+        """
+        block = tuple(members)
+        reasons: list[str] = []
+        for i, a in enumerate(block):
+            for b in block[i + 1:]:
+                for constraint in self.constraints:
+                    reason = constraint.check(graph, (a,), (b,))
+                    if reason is not None:
+                        reasons.append(f"{a}/{b}: {reason}")
+        if len(block) > 1:
+            for constraint in self.constraints:
+                reason = constraint.check(graph, block[:1], block[1:])
+                if reason is not None:
+                    reasons.append(reason)
+        return list(dict.fromkeys(reasons))
+
+    def block_valid(
+        self,
+        graph: InfluenceGraph,
+        members: Iterable[str],
+    ) -> bool:
+        return not self.block_violations(graph, members)
+
+
+@dataclass(frozen=True)
+class ResourceRequirements:
+    """Named-resource needs of SW modules, checked at mapping time.
+
+    ``needs`` maps FCM name -> set of resource names it must find on its
+    HW node (e.g. the sensor process needs ``sensor_bus``).
+    """
+
+    needs: dict[str, frozenset[str]] = field(default_factory=dict)
+
+    def required_by(self, members: Iterable[str]) -> frozenset[str]:
+        out: set[str] = set()
+        for name in members:
+            out |= self.needs.get(name, frozenset())
+        return frozenset(out)
+
+    def satisfied_on(
+        self,
+        members: Iterable[str],
+        node_resources: frozenset[str],
+    ) -> bool:
+        return self.required_by(members) <= node_resources

@@ -1,0 +1,54 @@
+"""Condensation heuristics H1-H3, Approach B, and timing packing."""
+
+from repro.allocation.heuristics.base import (
+    CombinationStep,
+    CondensationHeuristic,
+    CondensationResult,
+    best_combinable_pair,
+)
+from repro.allocation.heuristics.criticality import (
+    ApproachBOptions,
+    SummaryCriticality,
+    condense_criticality,
+    plan_pairing,
+)
+from repro.allocation.heuristics.h1_influence import (
+    H1Influence,
+    H1Pairing,
+    condense_h1,
+)
+from repro.allocation.heuristics.h2_mincut import (
+    H2Options,
+    SplitChoice,
+    condense_h2,
+)
+from repro.allocation.heuristics.h3_importance import H3Options, condense_h3
+from repro.allocation.heuristics.timing import (
+    TimingRefinement,
+    condense_timing,
+    pack_by_timing,
+    timing_order,
+)
+
+__all__ = [
+    "ApproachBOptions",
+    "CombinationStep",
+    "CondensationHeuristic",
+    "CondensationResult",
+    "H1Influence",
+    "H1Pairing",
+    "H2Options",
+    "H3Options",
+    "SplitChoice",
+    "SummaryCriticality",
+    "TimingRefinement",
+    "best_combinable_pair",
+    "condense_criticality",
+    "condense_h1",
+    "condense_h2",
+    "condense_h3",
+    "condense_timing",
+    "pack_by_timing",
+    "plan_pairing",
+    "timing_order",
+]

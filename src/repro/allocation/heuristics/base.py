@@ -1,0 +1,111 @@
+"""Common machinery for SW-graph condensation heuristics.
+
+Each heuristic reduces a :class:`~repro.allocation.clustering.ClusterState`
+to at most ``target`` clusters, honouring the hard-constraint policy, and
+returns a :class:`CondensationResult` that records every combination step
+(the Fig. 5/6 "successive stages of this process").
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from repro.errors import AllocationError, InfeasibleAllocationError
+from repro.allocation.clustering import Cluster, ClusterState
+
+
+@dataclass(frozen=True)
+class CombinationStep:
+    """One merge performed by a heuristic."""
+
+    first: tuple[str, ...]
+    second: tuple[str, ...]
+    mutual_influence: float
+    note: str = ""
+
+    @property
+    def merged(self) -> tuple[str, ...]:
+        return self.first + self.second
+
+
+@dataclass
+class CondensationResult:
+    """Final state plus the step-by-step trace."""
+
+    state: ClusterState
+    steps: list[CombinationStep] = field(default_factory=list)
+    heuristic: str = ""
+
+    @property
+    def clusters(self) -> list[Cluster]:
+        return self.state.clusters
+
+    def labels(self) -> list[str]:
+        return self.state.labels()
+
+    def partition(self) -> list[list[str]]:
+        return self.state.as_partition()
+
+
+class CondensationHeuristic(ABC):
+    """Base class: validates the target and drives the reduction loop."""
+
+    name: str = "base"
+
+    def condense(self, state: ClusterState, target: int) -> CondensationResult:
+        """Reduce ``state`` (mutated in place) to at most ``target`` clusters."""
+        if target < 1:
+            raise AllocationError("target cluster count must be >= 1")
+        lower_bound = _replica_lower_bound(state)
+        if target < lower_bound:
+            raise InfeasibleAllocationError(
+                f"target {target} is below the replica-separation lower "
+                f"bound {lower_bound}"
+            )
+        result = CondensationResult(state=state, heuristic=self.name)
+        while len(state) > target:
+            step = self.step(state)
+            if step is None:
+                raise InfeasibleAllocationError(
+                    f"{self.name}: no feasible combination found at "
+                    f"{len(state)} clusters (target {target})"
+                )
+            result.steps.append(step)
+        return result
+
+    @abstractmethod
+    def step(self, state: ClusterState) -> CombinationStep | None:
+        """Perform one combination; None when no feasible pair exists."""
+
+
+def _replica_lower_bound(state: ClusterState) -> int:
+    groups = state.graph.replica_groups()
+    if not groups:
+        return 1
+    return max(len(group) for group in groups)
+
+
+def best_combinable_pair(
+    state: ClusterState,
+    score: "callable",
+    require_positive: bool = False,
+) -> tuple[int, int, float] | None:
+    """The combinable cluster pair maximising ``score(state, i, j)``.
+
+    Deterministic tie-break on (i, j).  ``require_positive`` restricts to
+    strictly positive scores (used where zero-affinity merges are
+    meaningless).
+    """
+    best: tuple[int, int, float] | None = None
+    n = len(state.clusters)
+    for i in range(n):
+        for j in range(i + 1, n):
+            if not state.can_combine(i, j):
+                continue
+            value = score(state, i, j)
+            if require_positive and value <= 0.0:
+                continue
+            if best is None or value > best[2] + 1e-15:
+                best = (i, j, value)
+    return best

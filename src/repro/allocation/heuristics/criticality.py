@@ -1,0 +1,179 @@
+"""Approach B: criticality-driven pairing (§6.2, Fig. 7).
+
+"The objective is to separate critical processes, so that the same faults
+(in HW or SW) affect a minimal number of such processes":
+
+1. List processes in descending order of criticality.
+2. Combine the most critical process with the least critical process, the
+   second most critical with the second to last, and so on.
+3. If a high-criticality process cannot be combined with a low-criticality
+   one due to conflicts (timing constraints, or attempts to combine
+   replicates), combine it with the process *preceding* that one on the
+   criticality list.
+4. Repeat on the combined sets, ordered by a summary criticality (highest
+   member, or the sum), until the desired number of nodes is obtained.
+
+The paper's worked example ends a round with two replicas (p3a, p3b) as
+the final unpaired items; the conflict is repaired by re-pairing with the
+previously formed pair — (p2b, p4) becomes (p2b, p3b) and (p3a, p4).  The
+implementation generalises that repair: when the most critical unpaired
+cluster has no feasible partner, already-formed pairs are revisited in
+reverse order and partners swapped whenever both new pairs are feasible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.errors import InfeasibleAllocationError
+from repro.allocation.clustering import ClusterState
+from repro.allocation.heuristics.base import (
+    CombinationStep,
+    CondensationResult,
+    _replica_lower_bound,
+)
+
+Members = tuple[str, ...]
+
+
+class SummaryCriticality(Enum):
+    """How a combined set is ranked in later rounds."""
+
+    MAX = "max"  # "highest criticality"
+    SUM = "sum"  # "or the sum"
+
+
+@dataclass(frozen=True)
+class ApproachBOptions:
+    summary: SummaryCriticality = SummaryCriticality.MAX
+
+
+def condense_criticality(
+    state: ClusterState,
+    target: int,
+    options: ApproachBOptions | None = None,
+) -> CondensationResult:
+    """Run Approach B rounds until at most ``target`` clusters remain."""
+    opts = options or ApproachBOptions()
+    if target < _replica_lower_bound(state):
+        raise InfeasibleAllocationError(
+            "target is below the replica-separation lower bound"
+        )
+    result = CondensationResult(state=state, heuristic="ApproachB")
+    while len(state) > target:
+        progressed = _pairing_round(state, target, opts, result)
+        if not progressed:
+            raise InfeasibleAllocationError(
+                f"Approach B: no feasible pairing at {len(state)} clusters "
+                f"(target {target})"
+            )
+    return result
+
+
+def plan_pairing(
+    state: ClusterState,
+    options: ApproachBOptions | None = None,
+) -> list[tuple[Members, Members]]:
+    """The pairs one Approach B round would form, without merging.
+
+    Exposed for reports and for the Fig. 7 bench, which checks the pairing
+    (including the replica-conflict repair) against the paper's clusters.
+    """
+    opts = options or ApproachBOptions()
+    queue = _criticality_order(state, opts)
+    pairs: list[tuple[Members, Members]] = []
+
+    def feasible(a: Members, b: Members) -> bool:
+        return state.policy.can_combine(state.graph, a, b)
+
+    while len(queue) > 1:
+        high = queue.pop(0)
+        partner_index = None
+        # Least-critical feasible partner: scan from the tail; a failure on
+        # the very last is exactly "combine ph with the process preceding
+        # pl on the criticality list".
+        for k in range(len(queue) - 1, -1, -1):
+            if feasible(high, queue[k]):
+                partner_index = k
+                break
+        if partner_index is not None:
+            pairs.append((high, queue.pop(partner_index)))
+            continue
+        # ``high`` conflicts with everything remaining (typically its own
+        # replicas).  Pull the next item and repair against formed pairs.
+        if not queue:
+            break
+        other = queue.pop(0)
+        if not _repair(pairs, high, other, feasible):
+            # Leave both unpaired this round.
+            continue
+    return pairs
+
+
+def _repair(
+    pairs: list[tuple[Members, Members]],
+    high: Members,
+    other: Members,
+    feasible,
+) -> bool:
+    """Swap partners with an earlier pair so all four end up paired."""
+    for p_idx in range(len(pairs) - 1, -1, -1):
+        x, y = pairs[p_idx]
+        for first, second in (
+            ((x, other), (high, y)),
+            ((x, high), (other, y)),
+            ((y, other), (high, x)),
+            ((y, high), (other, x)),
+        ):
+            if feasible(*first) and feasible(*second):
+                del pairs[p_idx]
+                pairs.append(first)
+                pairs.append(second)
+                return True
+    return False
+
+
+def _pairing_round(
+    state: ClusterState,
+    target: int,
+    opts: ApproachBOptions,
+    result: CondensationResult,
+) -> bool:
+    """Plan one round and execute merges, stopping at ``target``."""
+    pairs = plan_pairing(state, opts)
+    progressed = False
+    for high, low in pairs:
+        if len(state) <= target:
+            break
+        i = state.cluster_of(high[0])
+        j = state.cluster_of(low[0])
+        if i == j or not state.can_combine(i, j):
+            continue
+        value = state.mutual_influence(i, j)
+        state.combine(i, j)
+        result.steps.append(
+            CombinationStep(
+                first=high,
+                second=low,
+                mutual_influence=value,
+                note="criticality pairing",
+            )
+        )
+        progressed = True
+    return progressed
+
+
+def _criticality_order(
+    state: ClusterState,
+    opts: ApproachBOptions,
+) -> list[Members]:
+    def summary(members: Members) -> float:
+        values = [state.graph.fcm(m).attributes.criticality for m in members]
+        return max(values) if opts.summary is SummaryCriticality.MAX else sum(values)
+
+    ordered = sorted(
+        state.clusters,
+        key=lambda c: (-summary(c.members), c.members),
+    )
+    return [c.members for c in ordered]

@@ -1,0 +1,60 @@
+"""Node and cluster importance (§5.1).
+
+"Each node in the graph has an importance value, based on its attributes.
+The importance I_i of node N_i is a weighted sum of its attribute values,
+using predefined static relative weights."
+
+The weighted sum itself lives in
+:class:`repro.model.attributes.ImportanceWeights`; this module lifts it to
+clusters (via the §4.3 attribute combination) and provides ranking
+helpers used by H3 and by mapping Approach A.
+"""
+
+from __future__ import annotations
+
+from repro.allocation.clustering import ClusterState
+from repro.model.attributes import (
+    DEFAULT_IMPORTANCE_WEIGHTS,
+    AttributeSet,
+    ImportanceWeights,
+)
+
+
+def node_importance(
+    attributes: AttributeSet,
+    weights: ImportanceWeights = DEFAULT_IMPORTANCE_WEIGHTS,
+) -> float:
+    """Importance of one SW node."""
+    return weights.importance(attributes)
+
+
+def cluster_importance(
+    state: ClusterState,
+    index: int,
+    weights: ImportanceWeights = DEFAULT_IMPORTANCE_WEIGHTS,
+) -> float:
+    """Importance of a cluster: weighted sum over its combined attributes."""
+    return weights.importance(state.attributes(index))
+
+
+def rank_clusters(
+    state: ClusterState,
+    weights: ImportanceWeights = DEFAULT_IMPORTANCE_WEIGHTS,
+) -> list[int]:
+    """Cluster indices in decreasing importance (stable by members)."""
+    return sorted(
+        range(len(state.clusters)),
+        key=lambda i: (-cluster_importance(state, i, weights), state.clusters[i].members),
+    )
+
+
+def rank_nodes(
+    state: ClusterState,
+    weights: ImportanceWeights = DEFAULT_IMPORTANCE_WEIGHTS,
+) -> list[str]:
+    """All SW node names in decreasing importance."""
+    names = [m for cluster in state.clusters for m in cluster.members]
+    return sorted(
+        names,
+        key=lambda n: (-node_importance(state.graph.fcm(n).attributes, weights), n),
+    )

@@ -1,0 +1,58 @@
+"""Analysis extensions: trade-offs, codesign, exact optima, refinement.
+
+These realise the paper's deferred and future-work items (§6 trade-off
+analysis, §7 HW/SW codesign and parameter measurement) on top of the
+core framework.
+"""
+
+from repro.analysis.annealing import AnnealingOptions, AnnealingReport, anneal
+from repro.analysis.codesign import (
+    CodesignResult,
+    DependabilityTargets,
+    PlatformEvaluation,
+    PlatformOption,
+    choose_platform,
+    evaluate_platform,
+)
+from repro.analysis.optimal import (
+    MAX_EXACT_NODES,
+    OptimalResult,
+    optimal_condensation,
+    optimality_gap,
+    state_from_optimal,
+)
+from repro.analysis.sensitivity import (
+    SensitivityPoint,
+    partition_distance,
+    perturb_influences,
+    sensitivity_sweep,
+)
+from repro.analysis.tradeoff import (
+    TradeoffCurve,
+    TradeoffPoint,
+    sweep_integration_levels,
+)
+
+__all__ = [
+    "AnnealingOptions",
+    "AnnealingReport",
+    "CodesignResult",
+    "DependabilityTargets",
+    "MAX_EXACT_NODES",
+    "OptimalResult",
+    "PlatformEvaluation",
+    "PlatformOption",
+    "SensitivityPoint",
+    "TradeoffCurve",
+    "TradeoffPoint",
+    "anneal",
+    "choose_platform",
+    "evaluate_platform",
+    "optimal_condensation",
+    "optimality_gap",
+    "partition_distance",
+    "perturb_influences",
+    "sensitivity_sweep",
+    "state_from_optimal",
+    "sweep_integration_levels",
+]

@@ -1,0 +1,163 @@
+"""HW/SW codesign: choosing a platform under dependability targets.
+
+Paper §7 (future work): "develop a tradeoff analysis between HW and SW
+requirements as they affect one another, especially when design
+restrictions are provided on the choice of an available HW platform, yet
+some flexibility remains."
+
+Given a *menu* of candidate platforms (each with a node count, resource
+placement, per-node cost) and dependability targets (maximum cross-node
+influence, maximum fault-escape rate, required resources), pick the
+cheapest platform on which the system integrates feasibly within the
+targets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DDSIError, InfeasibleAllocationError
+from repro.allocation.clustering import initial_state
+from repro.allocation.constraints import ResourceRequirements
+from repro.allocation.goodness import evaluate_mapping
+from repro.allocation.heuristics.h1_influence import condense_h1
+from repro.allocation.hw_model import HWGraph
+from repro.allocation.mapping import map_approach_a
+from repro.allocation.sw_graph import required_hw_nodes
+from repro.faultsim.campaign import run_campaign
+from repro.influence.influence_graph import InfluenceGraph
+
+
+@dataclass(frozen=True)
+class PlatformOption:
+    """One entry on the hardware menu."""
+
+    name: str
+    hw: HWGraph
+    cost: float
+
+    def __post_init__(self) -> None:
+        if self.cost < 0:
+            raise DDSIError("platform cost must be >= 0")
+
+
+@dataclass(frozen=True)
+class DependabilityTargets:
+    """What the integrated system must achieve."""
+
+    max_cross_influence: float = float("inf")
+    max_fault_escape_rate: float = 1.0
+    campaign_trials: int = 500
+
+
+@dataclass(frozen=True)
+class PlatformEvaluation:
+    """Outcome of integrating the system on one platform."""
+
+    option: PlatformOption
+    feasible: bool
+    meets_targets: bool
+    cross_influence: float
+    fault_escape_rate: float
+    reason: str = ""
+
+
+@dataclass(frozen=True)
+class CodesignResult:
+    chosen: PlatformEvaluation | None
+    evaluations: tuple[PlatformEvaluation, ...]
+
+    def require_chosen(self) -> PlatformEvaluation:
+        if self.chosen is None:
+            raise InfeasibleAllocationError(
+                "no platform on the menu meets the dependability targets; "
+                + "; ".join(
+                    f"{e.option.name}: {e.reason}" for e in self.evaluations
+                )
+            )
+        return self.chosen
+
+
+def evaluate_platform(
+    graph: InfluenceGraph,
+    option: PlatformOption,
+    targets: DependabilityTargets,
+    resources: ResourceRequirements | None = None,
+    seed: int = 0,
+) -> PlatformEvaluation:
+    """Integrate the (already expanded) SW graph on one platform."""
+    lower = required_hw_nodes(graph)
+    if len(option.hw) < lower:
+        return PlatformEvaluation(
+            option=option,
+            feasible=False,
+            meets_targets=False,
+            cross_influence=float("inf"),
+            fault_escape_rate=1.0,
+            reason=f"only {len(option.hw)} nodes; replication needs {lower}",
+        )
+    try:
+        state = initial_state(graph.copy())
+        result = condense_h1(state, len(option.hw))
+        mapping = map_approach_a(result.state, option.hw, resources)
+    except DDSIError as exc:
+        return PlatformEvaluation(
+            option=option,
+            feasible=False,
+            meets_targets=False,
+            cross_influence=float("inf"),
+            fault_escape_rate=1.0,
+            reason=str(exc),
+        )
+    score = evaluate_mapping(mapping, resources)
+    campaign = run_campaign(
+        graph, result.partition(), trials=targets.campaign_trials, seed=seed
+    )
+    meets = (
+        score.feasible
+        and score.partition.cross_influence <= targets.max_cross_influence + 1e-12
+        and campaign.cross_cluster_rate <= targets.max_fault_escape_rate + 1e-12
+    )
+    reason = ""
+    if not score.feasible:
+        reason = "mapping constraints violated"
+    elif score.partition.cross_influence > targets.max_cross_influence:
+        reason = (
+            f"cross-influence {score.partition.cross_influence:.3f} exceeds "
+            f"target {targets.max_cross_influence:.3f}"
+        )
+    elif campaign.cross_cluster_rate > targets.max_fault_escape_rate:
+        reason = (
+            f"escape rate {campaign.cross_cluster_rate:.3f} exceeds target "
+            f"{targets.max_fault_escape_rate:.3f}"
+        )
+    return PlatformEvaluation(
+        option=option,
+        feasible=score.feasible,
+        meets_targets=meets,
+        cross_influence=score.partition.cross_influence,
+        fault_escape_rate=campaign.cross_cluster_rate,
+        reason=reason,
+    )
+
+
+def choose_platform(
+    graph: InfluenceGraph,
+    menu: list[PlatformOption],
+    targets: DependabilityTargets,
+    resources: ResourceRequirements | None = None,
+    seed: int = 0,
+) -> CodesignResult:
+    """Cheapest platform meeting the targets; evaluations for the whole
+    menu are returned so the trade-off is auditable."""
+    if not menu:
+        raise DDSIError("platform menu is empty")
+    evaluations = [
+        evaluate_platform(graph, option, targets, resources, seed=seed)
+        for option in menu
+    ]
+    qualifying = [e for e in evaluations if e.meets_targets]
+    chosen = min(
+        qualifying, key=lambda e: (e.option.cost, e.option.name), default=None
+    )
+    return CodesignResult(chosen=chosen, evaluations=tuple(evaluations))

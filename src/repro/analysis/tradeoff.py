@@ -1,0 +1,137 @@
+"""Integration-level trade-off analysis.
+
+The paper raises, and defers, the question "Is there a limit to the level
+of integration one should design for?" (§6) — integrating harder (fewer
+HW nodes) saves hardware but concentrates criticality, consumes timing
+slack, and eventually becomes infeasible.  This module answers it for a
+concrete system: sweep the HW node count from the replica-separation
+lower bound up to one-node-per-SW-node, integrate at each level, and
+record the §5.3 goodness criteria so the knee is visible.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.errors import DDSIError
+from repro.allocation.clustering import ClusterState, initial_state
+from repro.allocation.goodness import evaluate_partition
+from repro.allocation.heuristics.base import CondensationResult
+from repro.allocation.heuristics.h1_influence import condense_h1
+from repro.allocation.sw_graph import required_hw_nodes
+from repro.faultsim.campaign import run_campaign
+from repro.influence.influence_graph import InfluenceGraph
+
+Condenser = Callable[[ClusterState, int], CondensationResult]
+
+
+@dataclass(frozen=True)
+class TradeoffPoint:
+    """Goodness of integrating down to ``hw_nodes`` processors."""
+
+    hw_nodes: int
+    feasible: bool
+    cross_influence: float
+    max_node_criticality: float
+    min_slack: float  # tightest per-cluster timing slack fraction
+    fault_escape_rate: float
+
+    @property
+    def hardware_saved(self) -> int:
+        """Relative measure only — interpreted against the sweep maximum."""
+        return -self.hw_nodes
+
+
+@dataclass(frozen=True)
+class TradeoffCurve:
+    """The full sweep, densest integration first."""
+
+    points: tuple[TradeoffPoint, ...]
+
+    def feasible_points(self) -> list[TradeoffPoint]:
+        return [p for p in self.points if p.feasible]
+
+    def minimum_hw(self) -> int:
+        """Fewest processors any feasible integration achieved."""
+        feasible = self.feasible_points()
+        if not feasible:
+            raise DDSIError("no feasible integration level in the sweep")
+        return min(p.hw_nodes for p in feasible)
+
+    def knee(self, influence_budget: float) -> TradeoffPoint:
+        """Densest feasible integration whose cross-influence stays within
+        ``influence_budget`` — the paper's "limit to the level of
+        integration" made operational."""
+        candidates = [
+            p for p in self.feasible_points()
+            if p.cross_influence <= influence_budget + 1e-12
+        ]
+        if not candidates:
+            raise DDSIError(
+                f"no integration level meets influence budget {influence_budget}"
+            )
+        return min(candidates, key=lambda p: p.hw_nodes)
+
+
+def _min_slack(state: ClusterState) -> float:
+    """Smallest (1 - work/window) over clusters with timing constraints."""
+    slack = 1.0
+    for i in range(len(state.clusters)):
+        attrs = state.attributes(i)
+        if attrs.timing is None or attrs.timing.window <= 0:
+            continue
+        slack = min(
+            slack, 1.0 - attrs.timing.computation_time / attrs.timing.window
+        )
+    return slack
+
+
+def sweep_integration_levels(
+    graph: InfluenceGraph,
+    condenser: Condenser = condense_h1,
+    campaign_trials: int = 500,
+    seed: int = 0,
+) -> TradeoffCurve:
+    """Integrate ``graph`` at every HW node count from the replica lower
+    bound to the SW node count, scoring each level.
+
+    Infeasible levels (the condenser cannot reach the target under the
+    hard constraints) are recorded with ``feasible=False`` and NaN-free
+    placeholder scores, so the curve shows exactly where integration
+    stops being possible.
+    """
+    lower = max(1, required_hw_nodes(graph))
+    upper = len(graph)
+    points: list[TradeoffPoint] = []
+    for target in range(lower, upper + 1):
+        state = initial_state(graph.copy())
+        try:
+            result = condenser(state, target)
+        except DDSIError:
+            points.append(
+                TradeoffPoint(
+                    hw_nodes=target,
+                    feasible=False,
+                    cross_influence=float("inf"),
+                    max_node_criticality=float("inf"),
+                    min_slack=-1.0,
+                    fault_escape_rate=1.0,
+                )
+            )
+            continue
+        score = evaluate_partition(result.state)
+        campaign = run_campaign(
+            graph, result.partition(), trials=campaign_trials, seed=seed
+        )
+        points.append(
+            TradeoffPoint(
+                hw_nodes=target,
+                feasible=score.feasible,
+                cross_influence=score.cross_influence,
+                max_node_criticality=score.max_node_criticality,
+                min_slack=_min_slack(result.state),
+                fault_escape_rate=campaign.cross_cluster_rate,
+            )
+        )
+    return TradeoffCurve(points=tuple(points))

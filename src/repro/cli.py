@@ -1,0 +1,184 @@
+"""Command-line interface: ``python -m repro``.
+
+Subcommands:
+
+* ``integrate SYSTEM.json --hw HW.json [--heuristic h1] [--mapping a]``
+  — run the full pipeline and print the clusters, mapping and score.
+* ``audit SYSTEM.json`` — structural + non-interference audit.
+* ``tradeoff SYSTEM.json`` — sweep integration levels (E-style table).
+* ``example NAME`` — dump a built-in workload (``paper`` or ``avionics``)
+  as JSON, as a starting template.
+
+The CLI is a thin veneer over the library; every code path it exercises
+is also covered by the API tests, and ``tests/io/test_cli.py`` drives the
+veneer itself.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.analysis.tradeoff import sweep_integration_levels
+from repro.allocation.hw_model import fully_connected
+from repro.allocation.sw_graph import expand_replication
+from repro.core.framework import (
+    FrameworkOptions,
+    Heuristic,
+    IntegrationFramework,
+    MappingApproach,
+)
+from repro.io.serialization import (
+    hw_to_dict,
+    load_hw,
+    load_system,
+    system_to_dict,
+)
+from repro.metrics.report import format_table, render_clusters, render_mapping
+from repro.model.fcm import Level
+from repro.verification.checks import audit_system
+from repro.workloads import avionics_hw, avionics_system, paper_system
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Dependability-driven software integration (ICDCS'98)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    integrate = sub.add_parser("integrate", help="run the full pipeline")
+    integrate.add_argument("system", help="system JSON file")
+    integrate.add_argument("--hw", help="HW graph JSON file")
+    integrate.add_argument(
+        "--hw-nodes", type=int, default=None,
+        help="use a fully connected HW graph of this size instead of --hw",
+    )
+    integrate.add_argument(
+        "--heuristic",
+        choices=[h.value for h in Heuristic],
+        default=Heuristic.H1.value,
+    )
+    integrate.add_argument(
+        "--mapping",
+        choices=[m.value for m in MappingApproach],
+        default=MappingApproach.IMPORTANCE.value,
+    )
+    integrate.add_argument(
+        "--out", default=None, help="write the outcome as JSON here"
+    )
+
+    audit = sub.add_parser("audit", help="audit a system design")
+    audit.add_argument("system", help="system JSON file")
+    audit.add_argument("--influence-budget", type=float, default=1.0)
+    audit.add_argument("--separation-floor", type=float, default=0.0)
+
+    tradeoff = sub.add_parser("tradeoff", help="sweep integration levels")
+    tradeoff.add_argument("system", help="system JSON file")
+    tradeoff.add_argument("--trials", type=int, default=300)
+
+    example = sub.add_parser("example", help="dump a built-in workload")
+    example.add_argument("name", choices=["paper", "avionics"])
+    example.add_argument("--out", default=None, help="write JSON here (default stdout)")
+    return parser
+
+
+def _cmd_integrate(args: argparse.Namespace) -> int:
+    system = load_system(args.system)
+    if args.hw:
+        hw = load_hw(args.hw)
+    elif args.hw_nodes:
+        hw = fully_connected(args.hw_nodes)
+    else:
+        print("error: provide --hw FILE or --hw-nodes N", file=sys.stderr)
+        return 2
+    options = FrameworkOptions(
+        heuristic=Heuristic(args.heuristic),
+        mapping=MappingApproach(args.mapping),
+    )
+    outcome = IntegrationFramework(system, options).integrate(hw)
+    print(render_clusters(outcome.condensation.state))
+    print()
+    print(render_mapping(outcome.mapping))
+    print()
+    print(outcome.summary())
+    if args.out:
+        from repro.io.serialization import dump_outcome
+
+        dump_outcome(outcome, args.out)
+        print(f"wrote {args.out}")
+    return 0 if outcome.feasible else 1
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    system = load_system(args.system)
+    report = audit_system(
+        system,
+        influence_budget=args.influence_budget,
+        separation_floor=args.separation_floor,
+    )
+    if report.passed:
+        print("audit passed")
+        return 0
+    for line in report.describe():
+        print(f"finding: {line}")
+    return 1
+
+
+def _cmd_tradeoff(args: argparse.Namespace) -> int:
+    system = load_system(args.system)
+    graph = expand_replication(system.influence_at(Level.PROCESS))
+    curve = sweep_integration_levels(graph, campaign_trials=args.trials)
+    rows = [
+        (
+            p.hw_nodes,
+            "yes" if p.feasible else "no",
+            p.cross_influence if p.feasible else "-",
+            p.max_node_criticality if p.feasible else "-",
+            f"{p.fault_escape_rate:.3f}" if p.feasible else "-",
+        )
+        for p in curve.points
+    ]
+    print(
+        format_table(
+            ["HW nodes", "feasible", "cross-influence", "max criticality", "escape rate"],
+            rows,
+            title="Integration-level trade-off",
+        )
+    )
+    from repro.metrics.figures import tradeoff_chart
+
+    print()
+    print(tradeoff_chart(curve))
+    return 0
+
+
+def _cmd_example(args: argparse.Namespace) -> int:
+    system = paper_system() if args.name == "paper" else avionics_system()
+    payload = system_to_dict(system)
+    if args.name == "avionics":
+        payload["_hw_hint"] = hw_to_dict(avionics_hw(6))
+    text = json.dumps(payload, indent=2)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "integrate": _cmd_integrate,
+        "audit": _cmd_audit,
+        "tradeoff": _cmd_tradeoff,
+        "example": _cmd_example,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

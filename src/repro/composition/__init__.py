@@ -1,0 +1,39 @@
+"""Composition engine: rules R1-R5, vertical/horizontal integration."""
+
+from repro.composition.history import (
+    IntegrationLog,
+    IntegrationRecord,
+    OperationKind,
+)
+from repro.composition.horizontal import merge
+from repro.composition.retest import Obligation, ObligationKind, RetestTracker
+from repro.composition.rules import (
+    RULEBOOK,
+    RuleText,
+    check_r1_grouping,
+    check_r2_unparented,
+    check_r3_siblings,
+    check_r4_cross_parent,
+    retest_set,
+)
+from repro.composition.vertical import duplicate_child_for, group, integrate_parents
+
+__all__ = [
+    "IntegrationLog",
+    "IntegrationRecord",
+    "Obligation",
+    "ObligationKind",
+    "OperationKind",
+    "RULEBOOK",
+    "RetestTracker",
+    "RuleText",
+    "check_r1_grouping",
+    "check_r2_unparented",
+    "check_r3_siblings",
+    "check_r4_cross_parent",
+    "duplicate_child_for",
+    "group",
+    "integrate_parents",
+    "merge",
+    "retest_set",
+]

@@ -1,0 +1,72 @@
+"""Provenance log of integration operations.
+
+Every composition operation records what it did, which rules it checked,
+and which FCMs it produced.  The verification engine replays this log to
+derive retest obligations (R5), and reports include it so an evolving
+design stays auditable — the paper's motivation of "supporting SW
+evolution and recertification".
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class OperationKind(Enum):
+    GROUP = "group"  # vertical: children -> new parent
+    MERGE = "merge"  # horizontal: siblings -> one FCM
+    DUPLICATE = "duplicate"  # R2/R3 escape: clone a subtree
+    INTEGRATE_PARENTS = "integrate_parents"  # R4 remedy
+    MODIFY = "modify"  # attribute or body change
+    REPLICATE = "replicate"  # FT expansion
+
+
+@dataclass(frozen=True)
+class IntegrationRecord:
+    """One entry in the integration log."""
+
+    sequence: int
+    kind: OperationKind
+    inputs: tuple[str, ...]
+    outputs: tuple[str, ...]
+    rules_checked: tuple[str, ...]
+    note: str = ""
+
+
+@dataclass
+class IntegrationLog:
+    """Append-only record of composition operations."""
+
+    records: list[IntegrationRecord] = field(default_factory=list)
+    _counter: itertools.count = field(default_factory=itertools.count, repr=False)
+
+    def record(
+        self,
+        kind: OperationKind,
+        inputs: tuple[str, ...],
+        outputs: tuple[str, ...],
+        rules_checked: tuple[str, ...] = (),
+        note: str = "",
+    ) -> IntegrationRecord:
+        entry = IntegrationRecord(
+            sequence=next(self._counter),
+            kind=kind,
+            inputs=inputs,
+            outputs=outputs,
+            rules_checked=rules_checked,
+            note=note,
+        )
+        self.records.append(entry)
+        return entry
+
+    def operations_of_kind(self, kind: OperationKind) -> list[IntegrationRecord]:
+        return [r for r in self.records if r.kind is kind]
+
+    def touching(self, name: str) -> list[IntegrationRecord]:
+        """All records that mention ``name`` as input or output."""
+        return [r for r in self.records if name in r.inputs or name in r.outputs]
+
+    def __len__(self) -> int:
+        return len(self.records)

@@ -1,0 +1,140 @@
+"""Horizontal integration: merging sibling FCMs.
+
+"In merging, boundaries between constituent FCMs disappear; for example,
+extracting the code of two or more procedures and merging to create one
+procedure with all of the original functionality. ... Merging is used
+only when two FCMs have common functionality, and the overhead of
+maintaining separate FCMs is unnecessary."
+
+Merging obeys R3 (siblings only).  The merged FCM:
+
+* carries the §4.3 attribute combination of the constituents;
+* adopts all their children (the constituents' *boundaries* vanish, but
+  their children remain FCMs with their own boundaries);
+* replaces the constituents in the level's influence graph, with Eq. (4)
+  applied to combine edges toward every external neighbour.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.errors import CompositionError
+from repro.composition.history import IntegrationLog, OperationKind
+from repro.composition.rules import check_r3_siblings
+from repro.influence.cluster import cluster_influence_on, influence_on_cluster
+from repro.influence.influence_graph import InfluenceGraph
+from repro.model.attributes import combine_all
+from repro.model.fcm import FCM
+from repro.model.hierarchy import FCMHierarchy
+
+
+def merge(
+    hierarchy: FCMHierarchy,
+    siblings: Iterable[str],
+    merged_name: str,
+    influence_graph: InfluenceGraph | None = None,
+    log: IntegrationLog | None = None,
+) -> FCM:
+    """Merge sibling FCMs into one FCM at the same level (R3).
+
+    When ``influence_graph`` (the graph at the siblings' level) is given,
+    the merged node replaces the constituents and Eq. (4) combines their
+    edges; a replica link between any constituent and an outside FCM
+    transfers to the merged node, and merging two replicas of the same
+    module is rejected outright.
+    """
+    names = list(dict.fromkeys(siblings))
+    violation = check_r3_siblings(hierarchy, names)
+    if violation is not None:
+        raise violation
+
+    if influence_graph is not None:
+        for a in names:
+            for b in names:
+                if a < b and influence_graph.is_replica_link(a, b):
+                    raise CompositionError(
+                        f"{a!r} and {b!r} are replicas of one module and "
+                        "must remain separate FCMs"
+                    )
+
+    fcms = [hierarchy.get(name) for name in names]
+    level = fcms[0].level
+    merged_attrs = combine_all([fcm.attributes for fcm in fcms])
+    # Replica lineage: merging a replica with ordinary siblings keeps the
+    # replica lineage (the merged node still must avoid its peers).  An FCM
+    # that is itself the *origin* of a replica group (replica_of=None but
+    # replica-linked in the influence graph) contributes its own name.
+    origins = {fcm.replica_of for fcm in fcms if fcm.replica_of is not None}
+    if influence_graph is not None:
+        for fcm in fcms:
+            if fcm.replica_of is None and influence_graph.has_fcm(fcm.name):
+                if any(
+                    influence_graph.is_replica_link(fcm.name, other)
+                    for other in influence_graph.fcm_names()
+                    if other != fcm.name
+                ):
+                    origins.add(fcm.name)
+    if len(origins) > 1:
+        raise CompositionError(
+            f"cannot merge replicas of different modules: {sorted(origins)!r}"
+        )
+    replica_of = origins.pop() if origins else None
+
+    parent = hierarchy.parent_of(names[0])
+    adopted: list[str] = []
+    for name in names:
+        for child in hierarchy.children_of(name):
+            adopted.append(child.name)
+            hierarchy.detach(child.name)
+    for name in names:
+        if parent is not None:
+            hierarchy.detach(name)
+        hierarchy.remove(name)
+    merged = hierarchy.add(
+        FCM(merged_name, level, merged_attrs, replica_of=replica_of),
+        parent=parent.name if parent is not None else None,
+    )
+    for child in adopted:
+        hierarchy.attach(child, merged_name)
+
+    if influence_graph is not None:
+        _merge_in_influence_graph(influence_graph, names, merged)
+
+    if log is not None:
+        log.record(
+            OperationKind.MERGE,
+            inputs=tuple(names),
+            outputs=(merged_name,),
+            rules_checked=("R3",),
+        )
+    return merged
+
+
+def _merge_in_influence_graph(
+    graph: InfluenceGraph,
+    names: list[str],
+    merged: FCM,
+) -> None:
+    """Replace ``names`` with ``merged`` in the influence graph (Eq. 4)."""
+    present = [n for n in names if graph.has_fcm(n)]
+    if not present:
+        return
+    outside = [n for n in graph.fcm_names() if n not in present]
+    outgoing = {t: cluster_influence_on(graph, present, t) for t in outside}
+    incoming = {s: influence_on_cluster(graph, s, present) for s in outside}
+    replica_partners = [
+        t for t in outside
+        if any(graph.is_replica_link(m, t) for m in present)
+    ]
+    for name in present:
+        graph.remove_fcm(name)
+    graph.add_fcm(merged)
+    for target, value in outgoing.items():
+        if value > 0.0:
+            graph.set_influence(merged.name, target, value)
+    for source, value in incoming.items():
+        if value > 0.0:
+            graph.set_influence(source, merged.name, value)
+    for partner in replica_partners:
+        graph.link_replicas(merged.name, partner)

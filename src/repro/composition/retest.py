@@ -1,0 +1,100 @@
+"""R5 retest-obligation tracking.
+
+"Whenever a FCM is modified, its parent FCM, and only its parent, also
+needs to be tested, including the interfaces with its siblings."  The
+hierarchy's level-of-abstraction property makes this sound: faults are
+allowed to propagate only in predefined ways at each level, so a change
+inside an FCM can affect at most its parent's composition and its sibling
+interfaces — never grandparents or unrelated modules.
+
+:class:`RetestTracker` accumulates obligations as modifications are
+reported and discharges them as tests are recorded, supporting the
+paper's "SW evolution and recertification" goal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.errors import VerificationError
+from repro.composition.rules import retest_set
+from repro.model.hierarchy import FCMHierarchy
+
+
+class ObligationKind(Enum):
+    MODULE = "module"  # retest the FCM itself
+    PARENT = "parent"  # retest the parent's composition
+    INTERFACE = "interface"  # retest interface with one sibling
+
+
+@dataclass(frozen=True)
+class Obligation:
+    """One outstanding retest obligation."""
+
+    kind: ObligationKind
+    subject: str  # FCM to test
+    counterpart: str | None = None  # sibling, for INTERFACE obligations
+
+    def describe(self) -> str:
+        if self.kind is ObligationKind.INTERFACE:
+            return f"retest interface {self.subject} <-> {self.counterpart}"
+        if self.kind is ObligationKind.PARENT:
+            return f"retest parent composition {self.subject}"
+        return f"retest module {self.subject}"
+
+
+@dataclass
+class RetestTracker:
+    """Accumulates and discharges R5 retest obligations."""
+
+    hierarchy: FCMHierarchy
+    pending: set[Obligation] = field(default_factory=set)
+    discharged: list[Obligation] = field(default_factory=list)
+
+    def modified(self, name: str) -> tuple[Obligation, ...]:
+        """Report that ``name`` was modified; returns the new obligations.
+
+        Derives the R5 set: the module, its parent, and every sibling
+        interface.  Obligations already pending are not duplicated.
+        """
+        members = retest_set(self.hierarchy, name)
+        new: list[Obligation] = [Obligation(ObligationKind.MODULE, name)]
+        parent = self.hierarchy.parent_of(name)
+        if parent is not None:
+            new.append(Obligation(ObligationKind.PARENT, parent.name))
+            for sibling in self.hierarchy.siblings_of(name):
+                new.append(
+                    Obligation(ObligationKind.INTERFACE, name, sibling.name)
+                )
+        assert set(o.subject for o in new) <= set(members) | {name}
+        added = tuple(o for o in new if o not in self.pending)
+        self.pending.update(added)
+        return added
+
+    def record_test(self, obligation: Obligation) -> None:
+        """Discharge one obligation; raises if it was not pending."""
+        if obligation not in self.pending:
+            raise VerificationError(f"not pending: {obligation.describe()}")
+        self.pending.discard(obligation)
+        self.discharged.append(obligation)
+
+    def discharge_module(self, name: str) -> int:
+        """Discharge every pending obligation whose subject is ``name``.
+
+        Returns the number discharged.  (Convenience for "we reran the
+        full test suite of this FCM".)
+        """
+        matching = [o for o in self.pending if o.subject == name]
+        for obligation in matching:
+            self.record_test(obligation)
+        return len(matching)
+
+    def is_clean(self) -> bool:
+        return not self.pending
+
+    def pending_for(self, name: str) -> list[Obligation]:
+        return sorted(
+            (o for o in self.pending if o.subject == name or o.counterpart == name),
+            key=lambda o: (o.kind.value, o.subject, o.counterpart or ""),
+        )

@@ -1,0 +1,149 @@
+"""The rules of composition, R1-R5 (§4.1).
+
+R1  Any number of FCMs at one level can be integrated to form an FCM at
+    the next higher level (layered integration DAG).
+R2  The integration DAG is a tree — no FCM has two parents, no sharing of
+    a lower-level FCM; reuse requires separate compilation (duplication)
+    per caller.
+R3  Future integration by merging: an FCM can be merged only with its
+    siblings.
+R4  If children of different parents are integrated, their parents must be
+    integrated.
+R5  Whenever an FCM is modified, its parent FCM — and only its parent —
+    also needs to be tested, including the interfaces with its siblings.
+
+This module provides *checkers*: pure predicates over a hierarchy and a
+proposed operation, each returning None on success or a
+:class:`~repro.errors.RuleViolation` describing the violation.  The
+operations in :mod:`repro.composition.vertical` and
+:mod:`repro.composition.horizontal` consult them before mutating.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.errors import RuleViolation
+from repro.model.fcm import Level
+from repro.model.hierarchy import FCMHierarchy
+
+
+@dataclass(frozen=True)
+class RuleText:
+    """Identifier and statement of one composition rule."""
+
+    rule: str
+    statement: str
+
+
+RULEBOOK: dict[str, RuleText] = {
+    "R1": RuleText("R1", "Any number of FCMs at one level can be integrated to form an FCM at the next higher level."),
+    "R2": RuleText("R2", "The integration DAG is a tree: every FCM has at most one parent and is never shared."),
+    "R3": RuleText("R3", "An FCM can be merged only with its siblings."),
+    "R4": RuleText("R4", "If children of different parents are integrated, their parents must be integrated."),
+    "R5": RuleText("R5", "Whenever an FCM is modified, its parent FCM, and only its parent, also needs to be tested, including the interfaces with its siblings."),
+}
+
+
+def check_r1_grouping(
+    hierarchy: FCMHierarchy,
+    children: Iterable[str],
+    parent_level: Level,
+) -> RuleViolation | None:
+    """R1: every child must sit exactly one level below ``parent_level``."""
+    expected = parent_level.child_level
+    if expected is None:
+        return RuleViolation("R1", f"{parent_level.name} has no child level")
+    for name in children:
+        fcm = hierarchy.get(name)
+        if fcm.level is not expected:
+            return RuleViolation(
+                "R1",
+                f"{name!r} is a {fcm.level.name} FCM; a {parent_level.name} "
+                f"parent integrates {expected.name} FCMs only",
+            )
+    return None
+
+
+def check_r2_unparented(
+    hierarchy: FCMHierarchy,
+    children: Iterable[str],
+) -> RuleViolation | None:
+    """R2: none of the FCMs to be grouped may already have a parent."""
+    for name in children:
+        parent = hierarchy.parent_of(name)
+        if parent is not None:
+            return RuleViolation(
+                "R2",
+                f"{name!r} already belongs to {parent.name!r}; an FCM cannot "
+                "be shared — duplicate it, or integrate the parents (R4)",
+            )
+    return None
+
+
+def check_r3_siblings(
+    hierarchy: FCMHierarchy,
+    names: Iterable[str],
+) -> RuleViolation | None:
+    """R3: all FCMs to be merged must share one parent (or all be roots
+    at the same level — top-level siblings of the forest)."""
+    name_list = list(names)
+    if len(name_list) < 2:
+        return RuleViolation("R3", "merging requires at least two FCMs")
+    levels = {hierarchy.get(name).level for name in name_list}
+    if len(levels) != 1:
+        return RuleViolation(
+            "R3",
+            f"cannot merge across levels {sorted(l.name for l in levels)}",
+        )
+    parents = {
+        parent.name if (parent := hierarchy.parent_of(name)) is not None else None
+        for name in name_list
+    }
+    if len(parents) != 1:
+        return RuleViolation(
+            "R3",
+            f"FCMs {name_list!r} are not siblings (parents: "
+            f"{sorted(map(repr, parents))}); to integrate children of "
+            "different parents, first integrate the parents (R4)",
+        )
+    return None
+
+
+def check_r4_cross_parent(
+    hierarchy: FCMHierarchy,
+    first: str,
+    second: str,
+) -> RuleViolation | None:
+    """R4 precondition check: confirms the two FCMs *do* have different
+    parents (so parent integration is the applicable remedy)."""
+    p1 = hierarchy.parent_of(first)
+    p2 = hierarchy.parent_of(second)
+    if p1 is None or p2 is None:
+        return RuleViolation(
+            "R4", f"{first!r} and {second!r} must both have parents to integrate"
+        )
+    if p1.name == p2.name:
+        return RuleViolation(
+            "R4",
+            f"{first!r} and {second!r} already share parent {p1.name!r}; "
+            "merge them directly (R3)",
+        )
+    return None
+
+
+def retest_set(hierarchy: FCMHierarchy, modified: str) -> tuple[str, ...]:
+    """R5: the FCMs that must be retested after ``modified`` changes.
+
+    The modified FCM itself, its parent (and only its parent — not
+    grandparents), and the sibling *interfaces* — represented by the
+    sibling names whose interfaces with the modified FCM need retest.
+    """
+    hierarchy.get(modified)
+    out = [modified]
+    parent = hierarchy.parent_of(modified)
+    if parent is not None:
+        out.append(parent.name)
+        out.extend(s.name for s in hierarchy.siblings_of(modified))
+    return tuple(out)

@@ -1,0 +1,173 @@
+"""Vertical integration: grouping FCMs into higher-level FCMs.
+
+"Grouping allows FCMs to retain their mutual interface by simply
+including each procedure in a single task" — the children keep their
+identity and boundaries; a new parent FCM is created one level up whose
+attributes dominate its children's (§4.3).
+
+Also implements the two escapes from R2/R3 the paper describes (§4.1):
+
+* duplication — clone a child subtree so each parent owns a private copy;
+* parent integration (R4) — merge the parents so the children become
+  siblings and may then communicate or merge.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.errors import CompositionError, RuleViolation
+from repro.composition.history import IntegrationLog, OperationKind
+from repro.composition.rules import (
+    check_r1_grouping,
+    check_r2_unparented,
+    check_r4_cross_parent,
+)
+from repro.model.attributes import AttributeSet, combine_all
+from repro.model.fcm import FCM, Level
+from repro.model.hierarchy import FCMHierarchy
+
+
+def group(
+    hierarchy: FCMHierarchy,
+    children: Iterable[str],
+    parent_name: str,
+    extra_attributes: AttributeSet | None = None,
+    log: IntegrationLog | None = None,
+) -> FCM:
+    """Create a parent FCM one level up containing ``children`` (R1, R2).
+
+    The parent's attributes are the §4.3 combination of the children's
+    (plus optional ``extra_attributes`` of the parent itself, e.g. a
+    process-level memory budget expressed as criticality floor).
+    Returns the new parent FCM.
+    """
+    child_list = list(dict.fromkeys(children))
+    if not child_list:
+        raise CompositionError("grouping requires at least one child")
+    child_levels = {hierarchy.get(name).level for name in child_list}
+    if len(child_levels) != 1:
+        raise CompositionError(
+            f"children span levels {sorted(l.name for l in child_levels)}"
+        )
+    child_level = child_levels.pop()
+    parent_level = child_level.parent_level
+    if parent_level is None:
+        raise RuleViolation("R1", f"{child_level.name} FCMs have no higher level")
+
+    for checker in (
+        lambda: check_r1_grouping(hierarchy, child_list, parent_level),
+        lambda: check_r2_unparented(hierarchy, child_list),
+    ):
+        violation = checker()
+        if violation is not None:
+            raise violation
+
+    attrs = combine_all([hierarchy.get(name).attributes for name in child_list])
+    if extra_attributes is not None:
+        attrs = attrs.combine(extra_attributes)
+    parent = hierarchy.add(FCM(parent_name, parent_level, attrs))
+    for name in child_list:
+        hierarchy.attach(name, parent_name)
+    if log is not None:
+        log.record(
+            OperationKind.GROUP,
+            inputs=tuple(child_list),
+            outputs=(parent_name,),
+            rules_checked=("R1", "R2"),
+        )
+    return parent
+
+
+def duplicate_child_for(
+    hierarchy: FCMHierarchy,
+    child: str,
+    new_parent: str,
+    suffix: str | None = None,
+    log: IntegrationLog | None = None,
+) -> FCM:
+    """R2 escape: give ``new_parent`` its own copy of ``child``'s subtree.
+
+    "If two tasks require the same procedure, then a copy of the procedure
+    can be inserted separately into each.  This method has high overhead,
+    and is generally not preferred" — but is the approach of choice for
+    widely-called utility functions.  The clone is named with ``suffix``
+    (default ``"_for_<parent>"``).
+    """
+    child_fcm = hierarchy.get(child)
+    parent_fcm = hierarchy.get(new_parent)
+    if child_fcm.level.parent_level is not parent_fcm.level:
+        raise RuleViolation(
+            "R1",
+            f"duplicate of {child!r} ({child_fcm.level.name}) cannot attach "
+            f"to {new_parent!r} ({parent_fcm.level.name})",
+        )
+    if not child_fcm.stateless and child_fcm.level is Level.PROCEDURE:
+        raise CompositionError(
+            f"procedure {child!r} is stateful; only stateless procedures "
+            "may be freely replicated (system model §2)"
+        )
+    clone = hierarchy.duplicate_subtree(
+        child, suffix or f"_for_{new_parent}", parent=new_parent
+    )
+    if log is not None:
+        log.record(
+            OperationKind.DUPLICATE,
+            inputs=(child,),
+            outputs=(clone.name,),
+            rules_checked=("R1", "R2"),
+            note=f"duplicated for parent {new_parent}",
+        )
+    return clone
+
+
+def integrate_parents(
+    hierarchy: FCMHierarchy,
+    first_child: str,
+    second_child: str,
+    merged_parent_name: str,
+    log: IntegrationLog | None = None,
+) -> FCM:
+    """R4: integrate the parents of two children that must interact.
+
+    "If two tasks in different processes need to communicate, all tasks of
+    the two parent processes can be combined into one parent FCM."  The
+    two parents are removed; a single parent FCM with the combined
+    attributes adopts every child of both.  The two children become
+    siblings, so direct communication (and future merging, R3) is allowed.
+    """
+    violation = check_r4_cross_parent(hierarchy, first_child, second_child)
+    if violation is not None:
+        raise violation
+    parent_a = hierarchy.parent_of(first_child)
+    parent_b = hierarchy.parent_of(second_child)
+    assert parent_a is not None and parent_b is not None  # checked above
+    if hierarchy.parent_of(parent_a.name) is not None or hierarchy.parent_of(parent_b.name) is not None:
+        # Integrating parents that themselves have parents would require
+        # integrating the grandparents too (R4 applied recursively); keep
+        # the operation explicit one level at a time.
+        raise CompositionError(
+            "parents with parents of their own must be integrated from the "
+            "top down (apply R4 at the higher level first)"
+        )
+
+    children_a = [c.name for c in hierarchy.children_of(parent_a.name)]
+    children_b = [c.name for c in hierarchy.children_of(parent_b.name)]
+    merged_attrs = parent_a.attributes.combine(parent_b.attributes)
+
+    for child in children_a + children_b:
+        hierarchy.detach(child)
+    hierarchy.remove(parent_a.name)
+    hierarchy.remove(parent_b.name)
+    merged = hierarchy.add(FCM(merged_parent_name, parent_a.level, merged_attrs))
+    for child in children_a + children_b:
+        hierarchy.attach(child, merged_parent_name)
+    if log is not None:
+        log.record(
+            OperationKind.INTEGRATE_PARENTS,
+            inputs=(parent_a.name, parent_b.name),
+            outputs=(merged_parent_name,),
+            rules_checked=("R4",),
+            note=f"children {first_child} and {second_child} needed integration",
+        )
+    return merged

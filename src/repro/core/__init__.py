@@ -1,0 +1,19 @@
+"""Core facade: the end-to-end integration pipeline."""
+
+from repro.core.framework import (
+    FrameworkOptions,
+    Heuristic,
+    IntegrationFramework,
+    MappingApproach,
+    integrate,
+)
+from repro.core.results import IntegrationOutcome
+
+__all__ = [
+    "FrameworkOptions",
+    "Heuristic",
+    "IntegrationFramework",
+    "IntegrationOutcome",
+    "MappingApproach",
+    "integrate",
+]

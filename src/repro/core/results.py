@@ -1,0 +1,50 @@
+"""Typed results of the end-to-end integration pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.allocation.goodness import MappingScore
+from repro.allocation.heuristics.base import CondensationResult
+from repro.allocation.mapping import Mapping
+from repro.verification.checks import AuditReport
+
+
+@dataclass
+class IntegrationOutcome:
+    """Everything the pipeline produced, stage by stage.
+
+    Attributes:
+        system_name: Name of the integrated system.
+        audit: Pre-allocation design audit (structure, non-interference).
+        condensation: The SW-graph reduction trace.
+        mapping: The SW->HW assignment.
+        score: Goodness evaluation of the mapping.
+        notes: Free-form stage notes (heuristic used, targets, fallbacks).
+    """
+
+    system_name: str
+    audit: AuditReport
+    condensation: CondensationResult
+    mapping: Mapping
+    score: MappingScore
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def feasible(self) -> bool:
+        return self.score.feasible
+
+    def summary(self) -> str:
+        lines = [
+            f"system: {self.system_name}",
+            f"heuristic: {self.condensation.heuristic}",
+            f"clusters: {', '.join(self.condensation.labels())}",
+            f"cross-cluster influence: "
+            f"{self.score.partition.cross_influence:.3f}",
+            f"communication cost: {self.score.communication_cost:.3f}",
+            f"feasible: {self.feasible}",
+        ]
+        if not self.audit.passed:
+            lines.append("audit findings: " + "; ".join(self.audit.describe()))
+        lines.extend(self.notes)
+        return "\n".join(lines)

@@ -1,0 +1,87 @@
+"""Exception hierarchy for the DDSI framework.
+
+Every error raised by the library derives from :class:`DDSIError`, so callers
+can catch one base class at API boundaries.  Sub-hierarchies mirror the major
+subsystems: model construction, composition rules, influence computation,
+scheduling, and allocation.
+"""
+
+from __future__ import annotations
+
+
+class DDSIError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ModelError(DDSIError):
+    """Invalid FCM model construction or mutation."""
+
+
+class HierarchyError(ModelError):
+    """Violation of the FCM hierarchy structure (levels, tree shape)."""
+
+
+class AttributeError_(ModelError):
+    """Invalid FCM attribute value or combination.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`AttributeError`.
+    """
+
+
+class CompositionError(DDSIError):
+    """A composition operation violates rules R1-R5."""
+
+
+class RuleViolation(CompositionError):
+    """A specific integration rule was violated.
+
+    Attributes:
+        rule: Rule identifier, e.g. ``"R2"``.
+    """
+
+    def __init__(self, rule: str, message: str) -> None:
+        super().__init__(f"{rule}: {message}")
+        self.rule = rule
+
+
+class InfluenceError(DDSIError):
+    """Invalid influence/separation computation input."""
+
+
+class ProbabilityError(InfluenceError):
+    """A probability value fell outside [0, 1]."""
+
+
+class GraphError(DDSIError):
+    """Invalid graph operation (missing node, duplicate edge, ...)."""
+
+
+class SchedulingError(DDSIError):
+    """Invalid scheduling input (e.g. negative computation time)."""
+
+
+class AllocationError(DDSIError):
+    """SW-to-HW allocation failed or received inconsistent input."""
+
+
+class InfeasibleAllocationError(AllocationError):
+    """No feasible assignment of SW FCMs to HW nodes exists.
+
+    Raised, for example, when replication requirements exceed the number of
+    hardware nodes (the paper's ``three concurrent copies on a 2-node HW
+    configuration`` problem).
+    """
+
+
+class ConstraintViolation(AllocationError):
+    """A hard constraint (replica separation, schedulability, resources)
+    would be violated by a proposed combination or mapping."""
+
+
+class VerificationError(DDSIError):
+    """A verification check failed."""
+
+
+class SimulationError(DDSIError):
+    """Fault-injection simulation received invalid configuration."""

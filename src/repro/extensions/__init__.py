@@ -1,0 +1,24 @@
+"""Extensions beyond the canonical three-level model.
+
+Currently: the OO class level the paper's footnote 4 describes.
+"""
+
+from repro.extensions.oo import (
+    ClassFaultKind,
+    ClassGroup,
+    EncapsulationReport,
+    check_encapsulation,
+    class_influence_graph,
+    require_encapsulated,
+    validate_classes,
+)
+
+__all__ = [
+    "ClassFaultKind",
+    "ClassGroup",
+    "EncapsulationReport",
+    "check_encapsulation",
+    "class_influence_graph",
+    "require_encapsulated",
+    "validate_classes",
+]

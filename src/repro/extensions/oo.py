@@ -1,0 +1,168 @@
+"""Objects/classes as an additional grouping level.
+
+Footnote 4 of the paper: "Object-oriented implementation, on the other
+hand, introduces objects/classes as another natural level in the
+hierarchy, with its own kinds of faults", and §3 promises the framework
+can "add/delete levels (or elements of the hierarchy) as desired".
+
+This extension realises the OO level *without* disturbing the canonical
+three-level model: a :class:`ClassGroup` is a named set of procedure
+FCMs sharing hidden state.  The machinery provides:
+
+* encapsulation verification — no ``GLOBAL_VARIABLE`` factor may cross a
+  class boundary (information hiding, the §3.3 technique, made checkable);
+* class-level influence — the Eq. (4) condensation of the procedure
+  influence graph by the class partition, exactly the operation used for
+  allocation clusters, reused one level down;
+* class fault kinds — the OO-specific fault classes the footnote alludes
+  to (encapsulation breach, broken invariant between methods).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.errors import ModelError, VerificationError
+from repro.influence.cluster import condense_influence
+from repro.influence.factors import FactorKind
+from repro.influence.influence_graph import InfluenceGraph
+from repro.model.fcm import FCM, Level
+
+
+class ClassFaultKind(Enum):
+    """Fault classes specific to the OO level."""
+
+    ENCAPSULATION_BREACH = "encapsulation_breach"  # hidden state reached from outside
+    INVARIANT_VIOLATION = "invariant_violation"  # method left shared state bad
+
+
+@dataclass(frozen=True)
+class ClassGroup:
+    """One class: a set of method procedures sharing hidden state."""
+
+    name: str
+    methods: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ModelError("class needs a name")
+        if not self.methods:
+            raise ModelError(f"class {self.name!r} needs at least one method")
+        if len(set(self.methods)) != len(self.methods):
+            raise ModelError(f"class {self.name!r} lists a method twice")
+
+
+@dataclass(frozen=True)
+class EncapsulationReport:
+    """Result of the information-hiding check over a class partition."""
+
+    breaches: tuple[tuple[str, str], ...]  # (source proc, target proc) pairs
+
+    @property
+    def passed(self) -> bool:
+        return not self.breaches
+
+
+def validate_classes(
+    graph: InfluenceGraph,
+    classes: list[ClassGroup],
+) -> None:
+    """Classes must partition a subset of the procedure FCMs."""
+    seen: set[str] = set()
+    for cls in classes:
+        for method in cls.methods:
+            if method in seen:
+                raise ModelError(
+                    f"procedure {method!r} belongs to two classes"
+                )
+            seen.add(method)
+            if not graph.has_fcm(method):
+                raise ModelError(f"method {method!r} not in influence graph")
+            fcm = graph.fcm(method)
+            if fcm.level is not Level.PROCEDURE:
+                raise ModelError(
+                    f"method {method!r} is a {fcm.level.name}, not a procedure"
+                )
+
+
+def check_encapsulation(
+    graph: InfluenceGraph,
+    classes: list[ClassGroup],
+) -> EncapsulationReport:
+    """Information hiding: no global-variable factor crosses classes.
+
+    Intra-class globals are the class's hidden state — allowed.  A
+    ``GLOBAL_VARIABLE`` factor on an edge between procedures of
+    *different* classes (or between a class method and an unclassed
+    procedure) is an encapsulation breach.
+    """
+    validate_classes(graph, classes)
+    class_of: dict[str, str] = {
+        method: cls.name for cls in classes for method in cls.methods
+    }
+    breaches: list[tuple[str, str]] = []
+    for src, dst, _w in graph.influence_edges():
+        src_class = class_of.get(src)
+        dst_class = class_of.get(dst)
+        if src_class is None and dst_class is None:
+            continue  # globals among free procedures: the ordinary
+            # §4.2.2 concern, not a class-boundary breach
+        if src_class == dst_class:
+            continue  # same class: hidden state, fine
+        factors = graph.factors(src, dst)
+        if any(f.kind is FactorKind.GLOBAL_VARIABLE for f in factors):
+            breaches.append((src, dst))
+    return EncapsulationReport(breaches=tuple(sorted(breaches)))
+
+
+def class_influence_graph(
+    graph: InfluenceGraph,
+    classes: list[ClassGroup],
+) -> InfluenceGraph:
+    """The class-level influence graph: Eq. (4) condensation by class.
+
+    Procedures not claimed by any class become singleton "free
+    procedures" carrying their own name.  Class nodes are procedure-level
+    FCMs named after the class (the OO level slots between procedures and
+    tasks; representing it at procedure granularity keeps the canonical
+    Level enum untouched).
+    """
+    validate_classes(graph, classes)
+    claimed = {m for cls in classes for m in cls.methods}
+    partition: list[list[str]] = [list(cls.methods) for cls in classes]
+    labels: list[str] = [cls.name for cls in classes]
+    for name in graph.fcm_names():
+        if name not in claimed:
+            partition.append([name])
+            labels.append(name)
+    if len(set(labels)) != len(labels):
+        raise ModelError("class names collide with free procedure names")
+
+    values = condense_influence(graph, partition)
+    out = InfluenceGraph()
+    for label, block in zip(labels, partition):
+        # Combined attributes: grouped combination over members.
+        from repro.model.attributes import combine_all_grouped
+
+        attrs = combine_all_grouped(
+            [graph.fcm(m).attributes for m in block]
+        )
+        out.add_fcm(FCM(label, Level.PROCEDURE, attrs))
+    for (i, j), value in values.items():
+        if value > 0.0:
+            out.set_influence(labels[i], labels[j], value)
+    return out
+
+
+def require_encapsulated(
+    graph: InfluenceGraph,
+    classes: list[ClassGroup],
+) -> None:
+    """Raise :class:`VerificationError` on any encapsulation breach."""
+    report = check_encapsulation(graph, classes)
+    if not report.passed:
+        pairs = ", ".join(f"{s}->{t}" for s, t in report.breaches)
+        raise VerificationError(
+            f"information hiding violated across class boundaries: {pairs}"
+        )

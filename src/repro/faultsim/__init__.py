@@ -1,0 +1,46 @@
+"""Fault-injection simulator: propagation, estimation, campaigns."""
+
+from repro.faultsim.campaign import (
+    CampaignResult,
+    compare_partitions,
+    run_campaign,
+)
+from repro.faultsim.events import PairEstimate, TrialRecord
+from repro.faultsim.multilevel import (
+    DEFAULT_CONTAINMENT,
+    MultiLevelResult,
+    hierarchy_value,
+    run_multilevel_campaign,
+)
+from repro.faultsim.monte_carlo import (
+    estimate_all_influences,
+    estimate_influence,
+    estimate_separation,
+    estimate_transitive_influence,
+    max_estimation_error,
+)
+from repro.faultsim.propagation import (
+    affected_counts,
+    expected_affected,
+    propagate_once,
+)
+
+__all__ = [
+    "CampaignResult",
+    "DEFAULT_CONTAINMENT",
+    "MultiLevelResult",
+    "PairEstimate",
+    "TrialRecord",
+    "affected_counts",
+    "compare_partitions",
+    "estimate_all_influences",
+    "estimate_influence",
+    "estimate_separation",
+    "estimate_transitive_influence",
+    "expected_affected",
+    "hierarchy_value",
+    "max_estimation_error",
+    "propagate_once",
+    "run_multilevel_campaign",
+    "run_campaign",
+]

@@ -1,0 +1,108 @@
+"""Fault-injection campaigns over partitions and mappings.
+
+Where :mod:`repro.faultsim.monte_carlo` estimates pairwise parameters,
+campaigns answer system-level questions: *given this clustering, how far
+does a fault travel?*  A campaign seeds faults uniformly over FCMs and
+reports, per trial, how many FCMs and how many *clusters* (HW nodes) were
+affected — the quantitative version of "mapping of FCMs which influence
+each other strongly onto the same node ... so faults are not propagated
+across HW nodes" (§5.3).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.faultsim.propagation import propagate_once
+from repro.influence.influence_graph import InfluenceGraph
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """Aggregates of one fault-injection campaign.
+
+    Attributes:
+        trials: Number of injected faults.
+        mean_affected_fcms: Average FCMs affected per trial (excluding the
+            seeded FCM).
+        mean_affected_clusters: Average clusters containing at least one
+            affected FCM, beyond the seed's own cluster.
+        max_affected_fcms: Worst single trial.
+        cross_cluster_rate: Fraction of trials in which the fault escaped
+            the seed's cluster.
+    """
+
+    trials: int
+    mean_affected_fcms: float
+    mean_affected_clusters: float
+    max_affected_fcms: int
+    cross_cluster_rate: float
+
+
+def run_campaign(
+    graph: InfluenceGraph,
+    partition: list[list[str]],
+    trials: int = 1000,
+    seed: int = 0,
+) -> CampaignResult:
+    """Seed ``trials`` faults uniformly over FCMs and measure spread.
+
+    ``partition`` maps FCMs to clusters (HW nodes); propagation runs on
+    the *FCM-level* graph — the partition only determines how spread is
+    counted.  Intra-cluster edges are assumed contained by the shared
+    node's FCR in the cross-cluster accounting, per the paper's fault
+    containment argument.
+    """
+    if trials < 1:
+        raise SimulationError("trials must be >= 1")
+    names = graph.fcm_names()
+    if not names:
+        raise SimulationError("graph has no FCMs")
+    cluster_of: dict[str, int] = {}
+    for index, block in enumerate(partition):
+        for member in block:
+            if member in cluster_of:
+                raise SimulationError(f"{member!r} appears in two blocks")
+            cluster_of[member] = index
+    missing = [n for n in names if n not in cluster_of]
+    if missing:
+        raise SimulationError(f"partition misses FCMs: {missing!r}")
+
+    rng = random.Random(seed)
+    total_fcms = 0
+    total_clusters = 0
+    worst = 0
+    escapes = 0
+    for trial in range(trials):
+        source = names[rng.randrange(len(names))]
+        record = propagate_once(graph, source, rng, trial)
+        others = record.affected - {source}
+        total_fcms += len(others)
+        worst = max(worst, len(others))
+        seed_cluster = cluster_of[source]
+        hit_clusters = {cluster_of[n] for n in others} - {seed_cluster}
+        total_clusters += len(hit_clusters)
+        if hit_clusters:
+            escapes += 1
+    return CampaignResult(
+        trials=trials,
+        mean_affected_fcms=total_fcms / trials,
+        mean_affected_clusters=total_clusters / trials,
+        max_affected_fcms=worst,
+        cross_cluster_rate=escapes / trials,
+    )
+
+
+def compare_partitions(
+    graph: InfluenceGraph,
+    partitions: dict[str, list[list[str]]],
+    trials: int = 1000,
+    seed: int = 0,
+) -> dict[str, CampaignResult]:
+    """Run the same campaign (same seed) against several partitions."""
+    return {
+        label: run_campaign(graph, partition, trials=trials, seed=seed)
+        for label, partition in partitions.items()
+    }

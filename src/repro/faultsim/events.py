@@ -1,0 +1,48 @@
+"""Event records produced by the fault-injection simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.model.faults import FaultEvent
+
+
+@dataclass
+class TrialRecord:
+    """What happened in one Monte-Carlo trial.
+
+    Attributes:
+        trial: Trial index.
+        events: Every fault event, in occurrence order (spontaneous faults
+            first, then transmissions in propagation-wave order).
+        affected: Names of every FCM that ended the trial faulty.
+    """
+
+    trial: int
+    events: list[FaultEvent] = field(default_factory=list)
+    affected: set[str] = field(default_factory=set)
+
+    @property
+    def spontaneous(self) -> list[FaultEvent]:
+        return [e for e in self.events if e.spontaneous]
+
+    @property
+    def transmissions(self) -> list[FaultEvent]:
+        return [e for e in self.events if not e.spontaneous]
+
+
+@dataclass(frozen=True)
+class PairEstimate:
+    """Empirical influence estimate for one ordered FCM pair."""
+
+    source: str
+    target: str
+    trials: int
+    hits: int
+    estimate: float
+    low: float  # Wilson 95% lower bound
+    high: float  # Wilson 95% upper bound
+
+    def covers(self, value: float) -> bool:
+        """Whether ``value`` lies inside the confidence interval."""
+        return self.low <= value <= self.high

@@ -1,0 +1,59 @@
+"""Graph substrate: digraph structure and classical algorithms.
+
+Everything in this package is dependency-free (numpy only, for the matrix
+helpers) and purpose-built for the DDSI framework's influence and
+allocation graphs.
+"""
+
+from repro.graphs.algorithms import (
+    bfs_reachable,
+    dijkstra,
+    has_path,
+    is_acyclic,
+    is_tree,
+    strongly_connected_components,
+    topological_sort,
+    weakly_connected_components,
+)
+from repro.graphs.condensation import (
+    condense,
+    max_combiner,
+    merge_two,
+    noisy_or_combiner,
+    sum_combiner,
+    validate_partition,
+)
+from repro.graphs.digraph import Digraph
+from repro.graphs.matrix import (
+    adjacency_matrix,
+    power_series_limit,
+    power_series_sum,
+    series_tail_bound,
+    spectral_radius,
+)
+from repro.graphs.mincut import st_min_cut, stoer_wagner
+
+__all__ = [
+    "Digraph",
+    "adjacency_matrix",
+    "bfs_reachable",
+    "condense",
+    "dijkstra",
+    "has_path",
+    "is_acyclic",
+    "is_tree",
+    "max_combiner",
+    "merge_two",
+    "noisy_or_combiner",
+    "power_series_limit",
+    "power_series_sum",
+    "series_tail_bound",
+    "spectral_radius",
+    "st_min_cut",
+    "stoer_wagner",
+    "strongly_connected_components",
+    "sum_combiner",
+    "topological_sort",
+    "validate_partition",
+    "weakly_connected_components",
+]

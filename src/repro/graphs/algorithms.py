@@ -1,0 +1,184 @@
+"""Classical graph algorithms over :class:`repro.graphs.digraph.Digraph`.
+
+Implemented from scratch: BFS/DFS reachability, cycle detection,
+topological sort, Tarjan strongly-connected components, shortest weighted
+paths (Dijkstra), and connected components of the undirected view.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from collections.abc import Iterable
+
+from repro.errors import GraphError
+from repro.graphs.digraph import Digraph, Node
+
+
+def bfs_reachable(graph: Digraph, start: Node) -> set[Node]:
+    """Nodes reachable from ``start`` by directed edges (``start`` included)."""
+    if not graph.has_node(start):
+        raise GraphError(f"node {start!r} not in graph")
+    seen = {start}
+    frontier = deque([start])
+    while frontier:
+        node = frontier.popleft()
+        for succ in graph.successors(node):
+            if succ not in seen:
+                seen.add(succ)
+                frontier.append(succ)
+    return seen
+
+
+def has_path(graph: Digraph, source: Node, target: Node) -> bool:
+    """True if a directed path ``source -> ... -> target`` exists."""
+    return target in bfs_reachable(graph, source)
+
+
+def is_acyclic(graph: Digraph) -> bool:
+    """True if the directed graph contains no cycle."""
+    try:
+        topological_sort(graph)
+    except GraphError:
+        return False
+    return True
+
+
+def topological_sort(graph: Digraph) -> list[Node]:
+    """Kahn's algorithm.  Raises :class:`GraphError` on a cycle."""
+    in_deg = {node: graph.in_degree(node) for node in graph.nodes()}
+    ready = deque(node for node, deg in in_deg.items() if deg == 0)
+    order: list[Node] = []
+    while ready:
+        node = ready.popleft()
+        order.append(node)
+        for succ in graph.successors(node):
+            in_deg[succ] -= 1
+            if in_deg[succ] == 0:
+                ready.append(succ)
+    if len(order) != len(graph):
+        raise GraphError("graph contains a cycle; topological sort impossible")
+    return order
+
+
+def strongly_connected_components(graph: Digraph) -> list[list[Node]]:
+    """Tarjan's algorithm, iterative to avoid recursion limits.
+
+    Components are returned in reverse topological order of the
+    condensation (standard Tarjan emission order).
+    """
+    index_of: dict[Node, int] = {}
+    lowlink: dict[Node, int] = {}
+    on_stack: set[Node] = set()
+    stack: list[Node] = []
+    components: list[list[Node]] = []
+    counter = 0
+
+    for root in graph.nodes():
+        if root in index_of:
+            continue
+        # Each work item: (node, iterator over successors)
+        work = [(root, iter(graph.successors(root)))]
+        index_of[root] = lowlink[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, succ_iter = work[-1]
+            advanced = False
+            for succ in succ_iter:
+                if succ not in index_of:
+                    index_of[succ] = lowlink[succ] = counter
+                    counter += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(graph.successors(succ))))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index_of[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index_of[node]:
+                component: list[Node] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(component)
+    return components
+
+
+def weakly_connected_components(graph: Digraph) -> list[set[Node]]:
+    """Connected components ignoring edge direction."""
+    seen: set[Node] = set()
+    components: list[set[Node]] = []
+    for start in graph.nodes():
+        if start in seen:
+            continue
+        component = {start}
+        frontier = deque([start])
+        while frontier:
+            node = frontier.popleft()
+            for other in graph.neighbors(node):
+                if other not in component:
+                    component.add(other)
+                    frontier.append(other)
+        seen |= component
+        components.append(component)
+    return components
+
+
+def dijkstra(graph: Digraph, source: Node) -> dict[Node, float]:
+    """Shortest directed path weights from ``source``.
+
+    Edge weights must be non-negative.  Unreachable nodes are absent from
+    the result.
+    """
+    if not graph.has_node(source):
+        raise GraphError(f"node {source!r} not in graph")
+    dist: dict[Node, float] = {source: 0.0}
+    done: set[Node] = set()
+    # Tie-break heap entries with an insertion counter: nodes may not be
+    # mutually comparable.
+    counter = 0
+    heap: list[tuple[float, int, Node]] = [(0.0, counter, source)]
+    while heap:
+        d, _, node = heapq.heappop(heap)
+        if node in done:
+            continue
+        done.add(node)
+        for succ, w in graph.out_edges(node):
+            if w < 0:
+                raise GraphError("dijkstra requires non-negative weights")
+            nd = d + w
+            if nd < dist.get(succ, float("inf")):
+                dist[succ] = nd
+                counter += 1
+                heapq.heappush(heap, (nd, counter, succ))
+    return dist
+
+
+def is_tree(graph: Digraph, roots: Iterable[Node] | None = None) -> bool:
+    """True if the graph is a forest of rooted trees (each node has at most
+    one predecessor, and there are no cycles).
+
+    This is the shape rule R2 imposes on the layered integration DAG.
+    ``roots``, when given, must be exactly the set of in-degree-0 nodes.
+    """
+    for node in graph.nodes():
+        if graph.in_degree(node) > 1:
+            return False
+    if not is_acyclic(graph):
+        return False
+    if roots is not None:
+        actual = {node for node in graph.nodes() if graph.in_degree(node) == 0}
+        if set(roots) != actual:
+            return False
+    return True

@@ -1,0 +1,134 @@
+"""Cluster condensation (quotient graphs).
+
+When SW nodes are combined during allocation (Section 5.2 of the paper),
+internal influences disappear and parallel influences onto a common
+neighbour combine.  This module performs the purely graph-theoretic part:
+given a partition of the nodes, build the quotient graph whose edge
+weights are combined with a caller-supplied rule (the influence engine
+supplies Eq. (4); tests can supply plain sums).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+
+from repro.errors import GraphError
+from repro.graphs.digraph import Digraph, Node
+
+# A combiner folds the list of parallel edge weights between two clusters
+# into one weight.
+WeightCombiner = Callable[[list[float]], float]
+
+
+def sum_combiner(weights: list[float]) -> float:
+    """Plain additive combination (used by communication-cost baselines)."""
+    return float(sum(weights))
+
+
+def max_combiner(weights: list[float]) -> float:
+    return float(max(weights))
+
+
+def noisy_or_combiner(weights: list[float]) -> float:
+    """Probabilistic OR: ``1 - Π(1 - w)`` — the shape of Eq. (4).
+
+    Weights must be probabilities in [0, 1].
+    """
+    prod = 1.0
+    for w in weights:
+        if not 0.0 <= w <= 1.0:
+            raise GraphError(f"noisy-or combiner requires weights in [0,1], got {w}")
+        prod *= 1.0 - w
+    return 1.0 - prod
+
+
+def validate_partition(graph: Digraph, partition: Iterable[Iterable[Node]]) -> list[list[Node]]:
+    """Check that ``partition`` covers every node exactly once.
+
+    Returns the partition as a list of lists (blocks in given order).
+    """
+    blocks = [list(block) for block in partition]
+    flat: list[Node] = [node for block in blocks for node in block]
+    if len(flat) != len(set(flat)):
+        raise GraphError("partition blocks overlap")
+    if set(flat) != set(graph.nodes()):
+        raise GraphError("partition does not cover every node exactly once")
+    if any(not block for block in blocks):
+        raise GraphError("partition contains an empty block")
+    return blocks
+
+
+def condense(
+    graph: Digraph,
+    partition: Iterable[Iterable[Node]],
+    combiner: WeightCombiner = sum_combiner,
+    block_labels: list[Node] | None = None,
+) -> tuple[Digraph, dict[Node, Node]]:
+    """Quotient graph induced by ``partition``.
+
+    Returns ``(quotient, member_of)`` where ``member_of`` maps each original
+    node to its block label.  Block labels default to ``frozenset(block)``.
+    Intra-block edges vanish; parallel inter-block edges combine via
+    ``combiner``.  Each quotient node carries ``members`` in its node data.
+    """
+    blocks = validate_partition(graph, partition)
+    if block_labels is not None and len(block_labels) != len(blocks):
+        raise GraphError("block_labels length must match partition length")
+    labels: list[Node] = (
+        list(block_labels) if block_labels is not None else [frozenset(b) for b in blocks]
+    )
+    if len(set(labels)) != len(labels):
+        raise GraphError("block labels must be unique")
+
+    member_of: dict[Node, Node] = {}
+    for label, block in zip(labels, blocks):
+        for node in block:
+            member_of[node] = label
+
+    quotient = Digraph()
+    for label, block in zip(labels, blocks):
+        quotient.add_node(label, members=tuple(block))
+
+    # Gather parallel weights between ordered block pairs.
+    bundles: dict[tuple[Node, Node], list[float]] = {}
+    for src, dst, w in graph.edges():
+        a, b = member_of[src], member_of[dst]
+        if a == b:
+            continue
+        bundles.setdefault((a, b), []).append(w)
+
+    for (a, b), weights in bundles.items():
+        quotient.add_edge(a, b, combiner(weights))
+    return quotient, member_of
+
+
+def merge_two(
+    graph: Digraph,
+    first: Node,
+    second: Node,
+    merged_label: Node,
+    combiner: WeightCombiner = sum_combiner,
+) -> Digraph:
+    """Convenience: condense with only ``first`` and ``second`` merged.
+
+    All other nodes keep their identity, so iterative pairwise merging
+    (heuristic H1) composes naturally.
+    """
+    if first == second:
+        raise GraphError("cannot merge a node with itself")
+    for node in (first, second):
+        if not graph.has_node(node):
+            raise GraphError(f"node {node!r} not in graph")
+    partition: list[list[Node]] = []
+    labels: list[Node] = []
+    for node in graph.nodes():
+        if node == first:
+            partition.append([first, second])
+            labels.append(merged_label)
+        elif node == second:
+            continue
+        else:
+            partition.append([node])
+            labels.append(node)
+    quotient, _ = condense(graph, partition, combiner, block_labels=labels)
+    return quotient

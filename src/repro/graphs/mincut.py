@@ -1,0 +1,147 @@
+"""Minimum-cut algorithms for heuristic H2.
+
+The paper's heuristic H2 recursively splits the SW graph along minimum
+cuts.  Influence is directional, but a cut separates communication in both
+directions, so cuts are computed on the *undirected* view where antiparallel
+edge weights are summed (this matches H1's "mutual influence" notion).
+
+Two algorithms are provided:
+
+* :func:`stoer_wagner` — global minimum cut of an undirected weighted
+  graph, O(V^3) with the simple priority queue variant; exact.
+* :func:`st_min_cut` — s-t minimum cut via Edmonds-Karp max-flow, used by
+  the "cut the graph using source and target nodes" H2 variation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.errors import GraphError
+from repro.graphs.digraph import Digraph, Node
+
+
+def stoer_wagner(graph: Digraph) -> tuple[float, set[Node]]:
+    """Global minimum cut of the undirected view of ``graph``.
+
+    Returns ``(cut_weight, partition)`` where ``partition`` is one side of
+    the cut (a nonempty proper subset of nodes).  Requires at least two
+    nodes and a connected undirected view; nodes disconnected from the rest
+    yield a zero-weight cut, which is returned rather than rejected.
+    """
+    nodes = graph.nodes()
+    if len(nodes) < 2:
+        raise GraphError("min-cut requires at least two nodes")
+
+    # Build symmetric adjacency over supernodes; each supernode remembers
+    # the original nodes merged into it.
+    weights: dict[Node, dict[Node, float]] = {n: {} for n in nodes}
+    for key, w in graph.to_undirected_weights().items():
+        a, b = tuple(key)
+        weights[a][b] = weights[a].get(b, 0.0) + w
+        weights[b][a] = weights[b].get(a, 0.0) + w
+    members: dict[Node, set[Node]] = {n: {n} for n in nodes}
+
+    best_weight = float("inf")
+    best_partition: set[Node] = set()
+    active = list(nodes)
+
+    while len(active) > 1:
+        # Maximum adjacency ordering ("minimum cut phase").
+        start = active[0]
+        in_a = {start}
+        order = [start]
+        conn = {node: weights[start].get(node, 0.0) for node in active if node != start}
+        while len(order) < len(active):
+            nxt = max(conn, key=lambda node: (conn[node], _stable_key(node)))
+            order.append(nxt)
+            in_a.add(nxt)
+            del conn[nxt]
+            for other, w in weights[nxt].items():
+                if other in conn:
+                    conn[other] += w
+        s, t = order[-2], order[-1]
+        cut_of_phase = sum(weights[t].values())
+        if cut_of_phase < best_weight:
+            best_weight = cut_of_phase
+            best_partition = set(members[t])
+        # Merge t into s.
+        members[s] |= members[t]
+        for other, w in list(weights[t].items()):
+            if other == s:
+                continue
+            weights[s][other] = weights[s].get(other, 0.0) + w
+            weights[other][s] = weights[s][other]
+            del weights[other][t]
+        weights[s].pop(t, None)
+        del weights[t]
+        active.remove(t)
+
+    return best_weight, best_partition
+
+
+def st_min_cut(graph: Digraph, source: Node, sink: Node) -> tuple[float, set[Node]]:
+    """s-t minimum cut of the undirected view, via Edmonds-Karp.
+
+    Returns ``(cut_weight, source_side)``.
+    """
+    if source == sink:
+        raise GraphError("source and sink must differ")
+    for node in (source, sink):
+        if not graph.has_node(node):
+            raise GraphError(f"node {node!r} not in graph")
+
+    # Residual capacities on the undirected view: capacity in both
+    # directions equals the summed undirected weight.
+    residual: dict[Node, dict[Node, float]] = {n: {} for n in graph.nodes()}
+    for key, w in graph.to_undirected_weights().items():
+        a, b = tuple(key)
+        residual[a][b] = residual[a].get(b, 0.0) + w
+        residual[b][a] = residual[b].get(a, 0.0) + w
+
+    total_flow = 0.0
+    while True:
+        # BFS for an augmenting path with positive residual capacity.
+        parent: dict[Node, Node] = {}
+        frontier = deque([source])
+        seen = {source}
+        while frontier and sink not in parent:
+            node = frontier.popleft()
+            for succ, cap in residual[node].items():
+                if cap > 1e-12 and succ not in seen:
+                    seen.add(succ)
+                    parent[succ] = node
+                    frontier.append(succ)
+        if sink not in seen:
+            break
+        # Bottleneck along the path.
+        bottleneck = float("inf")
+        node = sink
+        while node != source:
+            prev = parent[node]
+            bottleneck = min(bottleneck, residual[prev][node])
+            node = prev
+        # Augment.
+        node = sink
+        while node != source:
+            prev = parent[node]
+            residual[prev][node] -= bottleneck
+            residual[node][prev] = residual[node].get(prev, 0.0) + bottleneck
+            node = prev
+        total_flow += bottleneck
+
+    # Source side = nodes reachable in the final residual graph.
+    side = {source}
+    frontier = deque([source])
+    while frontier:
+        node = frontier.popleft()
+        for succ, cap in residual[node].items():
+            if cap > 1e-12 and succ not in side:
+                side.add(succ)
+                frontier.append(succ)
+    return total_flow, side
+
+
+def _stable_key(node: Node) -> str:
+    """Deterministic tie-break for max-adjacency selection."""
+    return repr(node)

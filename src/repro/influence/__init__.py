@@ -1,0 +1,77 @@
+"""Influence engine: Eqs. (1)-(4), separation, estimation, reduction."""
+
+from repro.influence.cluster import (
+    cluster_contains_replica_of,
+    cluster_influence_on,
+    clusters_combinable,
+    condense_influence,
+    influence_on_cluster,
+)
+from repro.influence.estimation import (
+    DEFAULT_MEDIUM_HAZARD,
+    InjectionOutcome,
+    Medium,
+    MediumModel,
+    UsageHistory,
+    estimate_effect,
+    estimate_occurrence,
+    estimate_transmission,
+    wilson_interval,
+)
+from repro.influence.factors import FACTOR_FAULT_KIND, FactorKind, InfluenceFactor
+from repro.influence.influence_graph import InfluenceGraph
+from repro.influence.probability import (
+    combine_probabilities,
+    factor_contribution,
+    influence_from_factors,
+)
+from repro.influence.reduction import (
+    DEFAULT_RESIDUAL,
+    TECHNIQUE_TARGETS,
+    ReductionReport,
+    apply_technique,
+    rank_techniques,
+    total_influence,
+)
+from repro.influence.separation import (
+    DEFAULT_ORDER,
+    SeparationResult,
+    compute_separation,
+    convergence_order,
+    separation,
+)
+
+__all__ = [
+    "DEFAULT_MEDIUM_HAZARD",
+    "DEFAULT_ORDER",
+    "DEFAULT_RESIDUAL",
+    "FACTOR_FAULT_KIND",
+    "FactorKind",
+    "InfluenceFactor",
+    "InfluenceGraph",
+    "InjectionOutcome",
+    "Medium",
+    "MediumModel",
+    "ReductionReport",
+    "SeparationResult",
+    "TECHNIQUE_TARGETS",
+    "UsageHistory",
+    "apply_technique",
+    "cluster_contains_replica_of",
+    "cluster_influence_on",
+    "clusters_combinable",
+    "combine_probabilities",
+    "compute_separation",
+    "condense_influence",
+    "convergence_order",
+    "estimate_effect",
+    "estimate_occurrence",
+    "estimate_transmission",
+    "factor_contribution",
+    "influence_from_factors",
+    "influence_on_cluster",
+    "rank_techniques",
+    "separation",
+    "total_influence",
+    "wilson_interval",
+]

@@ -1,0 +1,145 @@
+"""Eq. (4): influence between a cluster of FCMs and a neighbour.
+
+When SW nodes are combined (Fig. 2), internal influences disappear and the
+influences of the members on a common external neighbour combine:
+
+    FCM_C -> FCM_t = 1 - Π_i (1 - (FCM_i -> FCM_t))
+
+with the replica override: "if any of the component nodes had an influence
+of 0 on the neighbour [i.e. a replica link], then the final value is also
+0" — the replica relation dominates, and the cluster inherits the
+cannot-be-combined constraint.
+
+The inbound direction (neighbour onto cluster) uses the same combination
+over the member-wise inbound influences.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.errors import InfluenceError
+from repro.influence.influence_graph import InfluenceGraph
+from repro.influence.probability import combine_probabilities
+
+
+def cluster_influence_on(
+    graph: InfluenceGraph,
+    members: Iterable[str],
+    target: str,
+) -> float:
+    """Eq. (4): influence of the cluster ``members`` on external ``target``.
+
+    Returns 0.0 and marks nothing special when no member influences the
+    target; raises if the target is inside the cluster.
+    """
+    member_list = _check_members(graph, members, target)
+    if any(graph.is_replica_link(m, target) for m in member_list):
+        # Replica override: the combined node is a replica of the target's
+        # module; influence is pinned to 0 (and combination forbidden).
+        return 0.0
+    return combine_probabilities(graph.influence(m, target) for m in member_list)
+
+
+def influence_on_cluster(
+    graph: InfluenceGraph,
+    source: str,
+    members: Iterable[str],
+) -> float:
+    """Influence of external ``source`` on the cluster ``members``.
+
+    Symmetric application of Eq. (4) over inbound edges.
+    """
+    member_list = _check_members(graph, members, source)
+    if any(graph.is_replica_link(source, m) for m in member_list):
+        return 0.0
+    return combine_probabilities(graph.influence(source, m) for m in member_list)
+
+
+def cluster_contains_replica_of(
+    graph: InfluenceGraph,
+    members: Iterable[str],
+    other: str,
+) -> bool:
+    """True when ``other`` is replica-linked to any cluster member.
+
+    Such a cluster may never be combined with ``other`` (the replicas must
+    land on different HW nodes).
+    """
+    return any(graph.is_replica_link(m, other) for m in set(members))
+
+
+def clusters_combinable(
+    graph: InfluenceGraph,
+    first: Iterable[str],
+    second: Iterable[str],
+) -> bool:
+    """Whether two clusters may be merged w.r.t. the replica constraint.
+
+    (Other constraints — schedulability, resources — are checked by the
+    allocation engine; this is the pure replica-separation predicate.)
+    """
+    first_set, second_set = set(first), set(second)
+    if first_set & second_set:
+        raise InfluenceError("clusters overlap")
+    return not any(
+        graph.is_replica_link(a, b) for a in first_set for b in second_set
+    )
+
+
+def condense_influence(
+    graph: InfluenceGraph,
+    partition: list[list[str]],
+) -> dict[tuple[int, int], float]:
+    """Cluster-to-cluster influences for a full partition.
+
+    Returns a mapping from ordered block-index pairs to the Eq. (4)
+    combination over all member-to-member edges between the blocks.  A
+    replica link between two blocks pins their entry to 0.0 (and the
+    blocks are not combinable).  Pairs with zero influence and no replica
+    link are omitted.
+    """
+    flat = [name for block in partition for name in block]
+    if len(flat) != len(set(flat)):
+        raise InfluenceError("partition blocks overlap")
+    for name in flat:
+        if not graph.has_fcm(name):
+            raise InfluenceError(f"FCM {name!r} not in influence graph")
+
+    out: dict[tuple[int, int], float] = {}
+    for i, src_block in enumerate(partition):
+        for j, dst_block in enumerate(partition):
+            if i == j:
+                continue
+            replica = any(
+                graph.is_replica_link(a, b) for a in src_block for b in dst_block
+            )
+            if replica:
+                out[(i, j)] = 0.0
+                continue
+            value = combine_probabilities(
+                graph.influence(a, b)
+                for a in src_block
+                for b in dst_block
+            )
+            if value > 0.0:
+                out[(i, j)] = value
+    return out
+
+
+def _check_members(
+    graph: InfluenceGraph,
+    members: Iterable[str],
+    outside: str,
+) -> list[str]:
+    member_list = list(dict.fromkeys(members))
+    if not member_list:
+        raise InfluenceError("cluster must have at least one member")
+    for name in member_list:
+        if not graph.has_fcm(name):
+            raise InfluenceError(f"FCM {name!r} not in influence graph")
+    if not graph.has_fcm(outside):
+        raise InfluenceError(f"FCM {outside!r} not in influence graph")
+    if outside in member_list:
+        raise InfluenceError(f"{outside!r} is inside the cluster")
+    return member_list

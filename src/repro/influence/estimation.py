@@ -1,0 +1,150 @@
+"""Estimating the components of Eq. (1) from data.
+
+Section 4.2.1 of the paper sketches how each probability is obtained:
+
+* p_{i,1} (fault occurrence) "can be measured from previous usage of that
+  FCM.  If the FCM has not been used previously, an equivalent probability
+  can be derived by extensive testing" — :func:`estimate_occurrence`.
+* p_{i,2} (transmission) "depends on both communication medium and data
+  volume" — :class:`MediumModel` / :func:`estimate_transmission`.
+* p_{i,3} (resulting fault) "can be determined by injecting faults into
+  the target FCM" — :func:`estimate_effect` consumes injection campaign
+  counts (the campaigns themselves live in :mod:`repro.faultsim`).
+
+Point estimates use the Laplace (add-one) rule so zero-observation inputs
+stay away from the degenerate 0/1 endpoints; Wilson intervals quantify
+uncertainty.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.errors import InfluenceError, ProbabilityError
+
+
+@dataclass(frozen=True)
+class UsageHistory:
+    """Operational record of one FCM: executions and observed faults."""
+
+    executions: int
+    faults: int
+
+    def __post_init__(self) -> None:
+        if self.executions < 0 or self.faults < 0:
+            raise InfluenceError("counts must be non-negative")
+        if self.faults > self.executions:
+            raise InfluenceError("faults cannot exceed executions")
+
+
+def estimate_occurrence(history: UsageHistory, smoothing: float = 1.0) -> float:
+    """p_{i,1} from usage history, with additive smoothing.
+
+    ``(faults + s) / (executions + 2 s)`` — the Laplace estimate for
+    ``s = 1``.  ``smoothing=0`` gives the raw maximum-likelihood ratio
+    (requires at least one execution).
+    """
+    if smoothing < 0:
+        raise InfluenceError("smoothing must be >= 0")
+    if smoothing == 0 and history.executions == 0:
+        raise InfluenceError("raw estimate requires at least one execution")
+    return (history.faults + smoothing) / (history.executions + 2 * smoothing)
+
+
+class Medium(Enum):
+    """Communication media, ordered roughly by corruption exposure."""
+
+    PARAMETER = "parameter"  # call-by-value parameter passing
+    MESSAGE = "message"  # checksummed message passing
+    GLOBAL_VARIABLE = "global_variable"  # unprotected global
+    SHARED_MEMORY = "shared_memory"  # shared memory region
+
+
+# Per-unit-volume transmission hazard of each medium.  The paper: "if data
+# is being transmitted using shared memory, then the probability of the
+# memory being corrupt can be determined a priori"; these defaults encode
+# the qualitative ordering of §4.2.2 (globals worse than parameters) and
+# can be overridden per system.
+DEFAULT_MEDIUM_HAZARD: dict[Medium, float] = {
+    Medium.PARAMETER: 0.002,
+    Medium.MESSAGE: 0.005,
+    Medium.GLOBAL_VARIABLE: 0.02,
+    Medium.SHARED_MEMORY: 0.01,
+}
+
+
+@dataclass(frozen=True)
+class MediumModel:
+    """Transmission model: ``p = 1 - (1 - hazard)^volume``.
+
+    ``hazard`` is the per-data-unit corruption probability of the medium;
+    ``volume`` scales exposure, so bulk transfers over a risky medium
+    dominate — exactly the data-volume dependence the paper requires.
+    """
+
+    hazard: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.hazard <= 1.0:
+            raise ProbabilityError(f"hazard must be in [0, 1], got {self.hazard}")
+
+    def transmission_probability(self, volume: float) -> float:
+        if volume < 0:
+            raise InfluenceError("volume must be >= 0")
+        return 1.0 - (1.0 - self.hazard) ** volume
+
+
+def estimate_transmission(
+    medium: Medium,
+    volume: float,
+    hazards: dict[Medium, float] | None = None,
+) -> float:
+    """p_{i,2} from the medium kind and data volume."""
+    table = hazards if hazards is not None else DEFAULT_MEDIUM_HAZARD
+    try:
+        hazard = table[medium]
+    except KeyError:
+        raise InfluenceError(f"no hazard configured for medium {medium}") from None
+    return MediumModel(hazard).transmission_probability(volume)
+
+
+@dataclass(frozen=True)
+class InjectionOutcome:
+    """Result of a fault-injection campaign against a target FCM."""
+
+    injections: int
+    target_faults: int
+
+    def __post_init__(self) -> None:
+        if self.injections <= 0:
+            raise InfluenceError("campaign must contain at least one injection")
+        if not 0 <= self.target_faults <= self.injections:
+            raise InfluenceError("target_faults must be within [0, injections]")
+
+
+def estimate_effect(outcome: InjectionOutcome, smoothing: float = 1.0) -> float:
+    """p_{i,3}: probability a faulty input causes a target fault."""
+    if smoothing < 0:
+        raise InfluenceError("smoothing must be >= 0")
+    return (outcome.target_faults + smoothing) / (outcome.injections + 2 * smoothing)
+
+
+def wilson_interval(successes: int, trials: int, z: float = 1.96) -> tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Used to report confidence bounds on every estimated probability
+    component.  ``z=1.96`` gives ~95% coverage.
+    """
+    if trials <= 0:
+        raise InfluenceError("trials must be positive")
+    if not 0 <= successes <= trials:
+        raise InfluenceError("successes must be within [0, trials]")
+    p_hat = successes / trials
+    denom = 1.0 + z * z / trials
+    centre = (p_hat + z * z / (2 * trials)) / denom
+    half = (z / denom) * math.sqrt(
+        p_hat * (1 - p_hat) / trials + z * z / (4 * trials * trials)
+    )
+    return (max(0.0, centre - half), min(1.0, centre + half))

@@ -1,0 +1,106 @@
+"""Influence factors: the f_1 ... f_n of Eq. (1).
+
+A factor is one mechanism by which a source FCM can affect a target FCM —
+parameter passing, a shared global variable, shared memory, message
+passing, a timing dependence.  Each factor decomposes into the paper's
+three probabilities:
+
+* ``p_occurrence`` (p_{i,1}) — probability of a fault occurring in the
+  source FCM, in the context of this factor;
+* ``p_transmission`` (p_{i,2}) — probability the fault is transmitted to
+  the target over this mechanism (depends on medium and data volume);
+* ``p_effect`` (p_{i,3}) — probability the transmitted fault results in a
+  fault in the target (estimated by injecting faults into the target).
+
+The factor's overall probability is the product, Eq. (1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.errors import ProbabilityError
+from repro.model.faults import FaultKind
+
+
+class FactorKind(Enum):
+    """Fault-transmission mechanisms the paper discusses, by level."""
+
+    PARAMETER_PASSING = "parameter_passing"  # procedure level, f1
+    GLOBAL_VARIABLE = "global_variable"  # procedure level, f2
+    SHARED_MEMORY = "shared_memory"  # task/process level, f1
+    MESSAGE_PASSING = "message_passing"  # task/process level, f2
+    TIMING = "timing"  # task/process level, f3
+    RESOURCE_SHARING = "resource_sharing"  # process level
+
+
+# Default association between transmission mechanisms and the fault kind
+# they introduce in the target; used by the fault simulator.
+FACTOR_FAULT_KIND: dict[FactorKind, FaultKind] = {
+    FactorKind.PARAMETER_PASSING: FaultKind.PARAMETER_PASSING,
+    FactorKind.GLOBAL_VARIABLE: FaultKind.GLOBAL_VARIABLE,
+    FactorKind.SHARED_MEMORY: FaultKind.SHARED_MEMORY,
+    FactorKind.MESSAGE_PASSING: FaultKind.MESSAGE_ERROR,
+    FactorKind.TIMING: FaultKind.TIMING,
+    FactorKind.RESOURCE_SHARING: FaultKind.MEMORY_FOOTPRINT,
+}
+
+
+def _check_probability(value: float, label: str) -> float:
+    if not 0.0 <= value <= 1.0:
+        raise ProbabilityError(f"{label} must be in [0, 1], got {value}")
+    return float(value)
+
+
+@dataclass(frozen=True)
+class InfluenceFactor:
+    """One fault factor f_i between a source and a target FCM.
+
+    ``probability`` (Eq. 1) is the product of the three components.  A
+    factor may alternatively be built from a directly known probability
+    via :meth:`from_probability` (the paper notes relative values often
+    suffice).
+    """
+
+    kind: FactorKind
+    p_occurrence: float
+    p_transmission: float
+    p_effect: float
+
+    def __post_init__(self) -> None:
+        _check_probability(self.p_occurrence, "p_occurrence")
+        _check_probability(self.p_transmission, "p_transmission")
+        _check_probability(self.p_effect, "p_effect")
+
+    @property
+    def probability(self) -> float:
+        """Eq. (1): p_i = p_{i,1} * p_{i,2} * p_{i,3}."""
+        return self.p_occurrence * self.p_transmission * self.p_effect
+
+    @classmethod
+    def from_probability(cls, kind: FactorKind, probability: float) -> "InfluenceFactor":
+        """A factor whose overall probability is given directly.
+
+        The decomposition is degenerate: occurrence carries the whole
+        probability, transmission and effect are certain.  This matches the
+        paper's worked example, where influences are given as single
+        numbers.
+        """
+        _check_probability(probability, "probability")
+        return cls(kind=kind, p_occurrence=probability, p_transmission=1.0, p_effect=1.0)
+
+    def mitigated(self, transmission_scale: float) -> "InfluenceFactor":
+        """A copy with p_transmission scaled down by ``transmission_scale``.
+
+        Isolation techniques act chiefly on the transmission component
+        (e.g. preemptive scheduling bounds timing-fault transmission,
+        §4.2.3); scale must be in [0, 1].
+        """
+        _check_probability(transmission_scale, "transmission_scale")
+        return InfluenceFactor(
+            kind=self.kind,
+            p_occurrence=self.p_occurrence,
+            p_transmission=self.p_transmission * transmission_scale,
+            p_effect=self.p_effect,
+        )

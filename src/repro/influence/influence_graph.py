@@ -1,0 +1,224 @@
+"""The influence graph: FCM nodes, directed influence edges.
+
+Nodes represent FCMs at one hierarchy level; a labeled unidirectional edge
+represents the influence of one FCM on another (§4.2).  Edge labels carry
+"a tuple representing the factors in the source FCM that influence the
+target, and an associated weight".
+
+Replica semantics (§5.1): "Replicas are connected by edges of weight 0;
+there is no edge in any other case of non-influence."  We additionally
+carry an explicit ``replica`` flag on those edges so the weight-0
+convention and the constraint flag can be cross-checked; replica links are
+stored in *both* directions (the relation is symmetric).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.errors import GraphError, InfluenceError, ProbabilityError
+from repro.graphs.digraph import Digraph
+from repro.influence.factors import InfluenceFactor
+from repro.influence.probability import influence_from_factors
+from repro.model.fcm import FCM
+
+
+class InfluenceGraph:
+    """Directed influence graph among FCMs at one level.
+
+    Edges come in two kinds:
+
+    * *influence edges* — weight in (0, 1], optional factor tuple;
+    * *replica links* — weight exactly 0, ``replica=True``, symmetric.
+
+    Plain zero influence is represented by the *absence* of an edge.
+    """
+
+    def __init__(self) -> None:
+        self._graph = Digraph()
+        self._fcms: dict[str, FCM] = {}
+
+    # ------------------------------------------------------------------
+    # Nodes
+    # ------------------------------------------------------------------
+    def add_fcm(self, fcm: FCM) -> None:
+        if fcm.name in self._fcms:
+            raise InfluenceError(f"FCM {fcm.name!r} already in influence graph")
+        self._fcms[fcm.name] = fcm
+        self._graph.add_node(fcm.name)
+
+    def remove_fcm(self, name: str) -> None:
+        self._require(name)
+        self._graph.remove_node(name)
+        del self._fcms[name]
+
+    def has_fcm(self, name: str) -> bool:
+        return name in self._fcms
+
+    def fcm(self, name: str) -> FCM:
+        self._require(name)
+        return self._fcms[name]
+
+    def fcm_names(self) -> list[str]:
+        return list(self._fcms)
+
+    def fcms(self) -> list[FCM]:
+        return list(self._fcms.values())
+
+    def __len__(self) -> int:
+        return len(self._fcms)
+
+    # ------------------------------------------------------------------
+    # Influence edges
+    # ------------------------------------------------------------------
+    def set_influence(
+        self,
+        source: str,
+        target: str,
+        value: float | None = None,
+        factors: Iterable[InfluenceFactor] | None = None,
+    ) -> float:
+        """Set the influence of ``source`` on ``target``.
+
+        Either a direct ``value`` (the paper's "relative values suffice"
+        path) or a tuple of ``factors`` (Eqs. 1-2) must be given.  Returns
+        the stored weight.  Setting an influence of exactly 0 removes the
+        edge (absence means no influence); replica links are not touchable
+        through this method.
+        """
+        self._require(source)
+        self._require(target)
+        if (value is None) == (factors is None):
+            raise InfluenceError("provide exactly one of value= or factors=")
+        factor_tuple: tuple[InfluenceFactor, ...] = tuple(factors or ())
+        if factors is not None:
+            value = influence_from_factors(factor_tuple)
+        assert value is not None
+        if not 0.0 <= value <= 1.0:
+            raise ProbabilityError(f"influence must be in [0, 1], got {value}")
+        if self.is_replica_link(source, target):
+            raise InfluenceError(
+                f"{source!r} and {target!r} are replicas; their link weight "
+                "is fixed at 0"
+            )
+        if value == 0.0:
+            if self._graph.has_edge(source, target):
+                self._graph.remove_edge(source, target)
+            return 0.0
+        if self._graph.has_edge(source, target):
+            self._graph.set_weight(source, target, value)
+            self._graph.edge_data(source, target)["factors"] = factor_tuple
+        else:
+            self._graph.add_edge(source, target, value, factors=factor_tuple, replica=False)
+        return value
+
+    def influence(self, source: str, target: str) -> float:
+        """Influence of ``source`` on ``target``; 0.0 when no edge exists.
+
+        Replica links report 0.0, per the paper's convention.
+        """
+        self._require(source)
+        self._require(target)
+        if source == target:
+            raise InfluenceError("influence of an FCM on itself is undefined")
+        if self._graph.has_edge(source, target):
+            return self._graph.weight(source, target)
+        return 0.0
+
+    def factors(self, source: str, target: str) -> tuple[InfluenceFactor, ...]:
+        """The factor tuple recorded on an edge (may be empty)."""
+        if not self._graph.has_edge(source, target):
+            raise GraphError(f"no influence edge {source!r} -> {target!r}")
+        return self._graph.edge_data(source, target).get("factors", ())
+
+    def influence_edges(self) -> list[tuple[str, str, float]]:
+        """All non-replica edges as (source, target, weight)."""
+        return [
+            (src, dst, w)
+            for src, dst, w in self._graph.edges()
+            if not self._graph.edge_data(src, dst).get("replica", False)
+        ]
+
+    def mutual_influence(self, a: str, b: str) -> float:
+        """Sum of influences in each direction (H1's merge criterion)."""
+        return self.influence(a, b) + self.influence(b, a)
+
+    # ------------------------------------------------------------------
+    # Replica links
+    # ------------------------------------------------------------------
+    def link_replicas(self, a: str, b: str) -> None:
+        """Record that ``a`` and ``b`` are replicas of one module.
+
+        Installs symmetric weight-0 edges flagged ``replica=True``.  The
+        two FCMs must genuinely be replicas (same ``replica_of`` origin, or
+        one the origin of the other) when that metadata is available.
+        """
+        self._require(a)
+        self._require(b)
+        if a == b:
+            raise InfluenceError("an FCM is not its own replica")
+        fa, fb = self._fcms[a], self._fcms[b]
+        origins = {fa.replica_of or fa.name, fb.replica_of or fb.name}
+        if len(origins) != 1:
+            raise InfluenceError(
+                f"{a!r} and {b!r} are not replicas of the same original "
+                f"(origins {sorted(origins)!r})"
+            )
+        for src, dst in ((a, b), (b, a)):
+            if self._graph.has_edge(src, dst):
+                if not self._graph.edge_data(src, dst).get("replica", False):
+                    raise InfluenceError(
+                        f"influence edge {src!r} -> {dst!r} already exists; "
+                        "replicas cannot also influence each other"
+                    )
+            else:
+                self._graph.add_edge(src, dst, 0.0, factors=(), replica=True)
+
+    def is_replica_link(self, a: str, b: str) -> bool:
+        return self._graph.has_edge(a, b) and bool(
+            self._graph.edge_data(a, b).get("replica", False)
+        )
+
+    def replica_groups(self) -> list[set[str]]:
+        """Partition of replica-linked FCMs into groups (by origin)."""
+        groups: dict[str, set[str]] = {}
+        for name, fcm in self._fcms.items():
+            origin = fcm.replica_of or name
+            if fcm.replica_of is not None or self._has_replica_edge(name):
+                groups.setdefault(origin, set()).add(name)
+        return [g for g in groups.values() if len(g) > 1]
+
+    def _has_replica_edge(self, name: str) -> bool:
+        return any(
+            self._graph.edge_data(name, succ).get("replica", False)
+            for succ in self._graph.successors(name)
+        )
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def as_digraph(self, include_replica_links: bool = False) -> Digraph:
+        """A :class:`Digraph` copy of this influence graph.
+
+        Replica links are weight-0 edges; excluding them (the default)
+        gives the pure probability matrix used by separation.
+        """
+        out = Digraph()
+        for name in self._fcms:
+            out.add_node(name)
+        for src, dst, w in self._graph.edges():
+            data = self._graph.edge_data(src, dst)
+            if data.get("replica", False) and not include_replica_links:
+                continue
+            out.add_edge(src, dst, w, **data)
+        return out
+
+    def copy(self) -> "InfluenceGraph":
+        clone = InfluenceGraph()
+        clone._graph = self._graph.copy()
+        clone._fcms = dict(self._fcms)
+        return clone
+
+    def _require(self, name: str) -> None:
+        if name not in self._fcms:
+            raise InfluenceError(f"FCM {name!r} not in influence graph")

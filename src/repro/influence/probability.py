@@ -1,0 +1,49 @@
+"""Eq. (2): combining fault factors into an influence value.
+
+Given the factors f_1 ... f_n acting jointly and independently between a
+source and a target FCM, the influence is
+
+    FCM_i -> FCM_j  =  1 - (1 - p_1)(1 - p_2) ... (1 - p_n)
+
+i.e. the probability that *at least one* factor materialises.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.errors import ProbabilityError
+from repro.influence.factors import InfluenceFactor
+
+
+def combine_probabilities(probabilities: Iterable[float]) -> float:
+    """``1 - Π(1 - p_k)`` over probabilities in [0, 1].
+
+    An empty iterable yields 0.0 (no factor, no influence).
+    """
+    complement = 1.0
+    for p in probabilities:
+        if not 0.0 <= p <= 1.0:
+            raise ProbabilityError(f"probability must be in [0, 1], got {p}")
+        complement *= 1.0 - p
+    return 1.0 - complement
+
+
+def influence_from_factors(factors: Iterable[InfluenceFactor]) -> float:
+    """Eq. (2) applied to factor objects (each contributes Eq. (1))."""
+    return combine_probabilities(f.probability for f in factors)
+
+
+def factor_contribution(factors: list[InfluenceFactor], index: int) -> float:
+    """How much factor ``index`` adds to the combined influence.
+
+    The difference between the full Eq. (2) value and the value with that
+    factor removed — used to rank which mechanism to mitigate first.
+    """
+    if not 0 <= index < len(factors):
+        raise ProbabilityError(f"factor index {index} out of range")
+    full = influence_from_factors(factors)
+    reduced = influence_from_factors(
+        f for i, f in enumerate(factors) if i != index
+    )
+    return full - reduced

@@ -1,0 +1,140 @@
+"""Influence-reduction techniques (§4.2.2-4.2.3).
+
+Once influence values are measured, "the next step is to reduce influence
+between FCMs so that system dependability is increased".  The paper names
+level-specific techniques; we model each as a multiplicative attenuation
+of the transmission component p_{i,2} of the relevant factor kinds:
+
+* procedure level — OO design / information hiding reduces global-variable
+  spread; redundancy (range checks) reduces parameter-passing factors;
+* task/process level — recovery blocks attenuate message errors,
+  preemptive scheduling bounds timing-fault transmission, memory
+  separation attenuates shared-memory factors.
+
+:func:`apply_technique` rewrites an influence graph's factor-based edges
+accordingly and recomputes Eq. (2); edges carrying only a direct value
+(no factor decomposition) are scaled whole when their recorded dominant
+kind matches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ProbabilityError
+from repro.influence.factors import FactorKind
+from repro.influence.influence_graph import InfluenceGraph
+from repro.model.faults import IsolationTechnique
+
+# Which factor kinds each technique attenuates, and the default residual
+# transmission fraction (0.0 = perfect isolation, 1.0 = no effect).
+TECHNIQUE_TARGETS: dict[IsolationTechnique, tuple[FactorKind, ...]] = {
+    IsolationTechnique.INFORMATION_HIDING: (FactorKind.GLOBAL_VARIABLE,),
+    IsolationTechnique.RANGE_CHECKS: (FactorKind.PARAMETER_PASSING,),
+    IsolationTechnique.RECOVERY_BLOCKS: (FactorKind.MESSAGE_PASSING,),
+    IsolationTechnique.N_VERSION_PROGRAMMING: (
+        FactorKind.MESSAGE_PASSING,
+        FactorKind.SHARED_MEMORY,
+    ),
+    IsolationTechnique.PREEMPTIVE_SCHEDULING: (FactorKind.TIMING,),
+    IsolationTechnique.MEMORY_SEPARATION: (
+        FactorKind.SHARED_MEMORY,
+        FactorKind.RESOURCE_SHARING,
+    ),
+    IsolationTechnique.RESOURCE_QUOTAS: (FactorKind.RESOURCE_SHARING,),
+}
+
+DEFAULT_RESIDUAL: dict[IsolationTechnique, float] = {
+    IsolationTechnique.INFORMATION_HIDING: 0.2,
+    IsolationTechnique.RANGE_CHECKS: 0.1,
+    IsolationTechnique.RECOVERY_BLOCKS: 0.15,
+    IsolationTechnique.N_VERSION_PROGRAMMING: 0.05,
+    IsolationTechnique.PREEMPTIVE_SCHEDULING: 0.1,
+    IsolationTechnique.MEMORY_SEPARATION: 0.05,
+    IsolationTechnique.RESOURCE_QUOTAS: 0.2,
+}
+
+
+@dataclass(frozen=True)
+class ReductionReport:
+    """Effect of one technique application on an influence graph."""
+
+    technique: IsolationTechnique
+    residual: float
+    edges_changed: int
+    total_influence_before: float
+    total_influence_after: float
+
+    @property
+    def reduction(self) -> float:
+        """Absolute drop in summed influence."""
+        return self.total_influence_before - self.total_influence_after
+
+
+def apply_technique(
+    graph: InfluenceGraph,
+    technique: IsolationTechnique,
+    residual: float | None = None,
+) -> ReductionReport:
+    """Apply ``technique`` in place, attenuating matching factors.
+
+    ``residual`` is the fraction of transmission probability that remains
+    (defaults per technique).  Edges with an empty factor tuple are left
+    untouched — a direct-valued edge does not record its mechanism, so
+    there is nothing sound to attenuate.
+    """
+    if residual is None:
+        residual = DEFAULT_RESIDUAL[technique]
+    if not 0.0 <= residual <= 1.0:
+        raise ProbabilityError(f"residual must be in [0, 1], got {residual}")
+    targets = TECHNIQUE_TARGETS[technique]
+
+    before = total_influence(graph)
+    changed = 0
+    for src, dst, _w in graph.influence_edges():
+        factors = graph.factors(src, dst)
+        if not factors:
+            continue
+        if not any(f.kind in targets for f in factors):
+            continue
+        new_factors = tuple(
+            f.mitigated(residual) if f.kind in targets else f for f in factors
+        )
+        graph.set_influence(src, dst, factors=new_factors)
+        changed += 1
+    after = total_influence(graph)
+    return ReductionReport(
+        technique=technique,
+        residual=residual,
+        edges_changed=changed,
+        total_influence_before=before,
+        total_influence_after=after,
+    )
+
+
+def total_influence(graph: InfluenceGraph) -> float:
+    """Sum of all influence edge weights — the minimisation target.
+
+    "Minimisation of the value of influence on FCMs at each level of the
+    hierarchy will maximise fault containment."
+    """
+    return sum(w for _s, _t, w in graph.influence_edges())
+
+
+def rank_techniques(
+    graph: InfluenceGraph,
+    techniques: list[IsolationTechnique] | None = None,
+) -> list[tuple[IsolationTechnique, float]]:
+    """Rank techniques by the influence reduction each would achieve.
+
+    Each technique is applied to a *copy* of the graph; the original is
+    untouched.  Returns (technique, reduction) pairs, best first.
+    """
+    candidates = techniques if techniques is not None else list(TECHNIQUE_TARGETS)
+    ranked: list[tuple[IsolationTechnique, float]] = []
+    for technique in candidates:
+        trial = graph.copy()
+        report = apply_technique(trial, technique)
+        ranked.append((technique, report.reduction))
+    ranked.sort(key=lambda pair: (-pair[1], pair[0].value))
+    return ranked

@@ -1,0 +1,38 @@
+"""Serialization: JSON round-trip and Graphviz DOT export."""
+
+from repro.io.dot import influence_to_dot, mapping_to_dot
+from repro.io.serialization import (
+    SerializationError,
+    attributes_from_dict,
+    attributes_to_dict,
+    dump_hw,
+    dump_outcome,
+    dump_system,
+    hw_from_dict,
+    hw_to_dict,
+    influence_to_dict,
+    load_hw,
+    load_system,
+    outcome_to_dict,
+    system_from_dict,
+    system_to_dict,
+)
+
+__all__ = [
+    "SerializationError",
+    "attributes_from_dict",
+    "attributes_to_dict",
+    "dump_hw",
+    "dump_outcome",
+    "dump_system",
+    "hw_from_dict",
+    "hw_to_dict",
+    "influence_to_dot",
+    "influence_to_dict",
+    "load_hw",
+    "load_system",
+    "mapping_to_dot",
+    "outcome_to_dict",
+    "system_from_dict",
+    "system_to_dict",
+]

@@ -1,0 +1,99 @@
+"""Graphviz DOT export of influence graphs and mappings.
+
+The paper's figures are node-link diagrams; DOT output lets a user render
+the reconstructed figures with standard tooling::
+
+    python -c "from repro.io.dot import influence_to_dot; \\
+               from repro.workloads import paper_influence_graph; \\
+               print(influence_to_dot(paper_influence_graph()))" | dot -Tsvg
+
+Replica links render as dashed, unlabelled, undirected-looking pairs
+(the paper draws them as plain 0-weight links); influence edges carry
+their weight as the edge label, matching Figs. 3-4.
+"""
+
+from __future__ import annotations
+
+from repro.allocation.mapping import Mapping
+from repro.influence.influence_graph import InfluenceGraph
+
+
+def _quote(name: str) -> str:
+    return '"' + name.replace('"', r"\"") + '"'
+
+
+def influence_to_dot(
+    graph: InfluenceGraph,
+    title: str = "influence",
+    rankdir: str = "LR",
+) -> str:
+    """DOT digraph of one influence graph."""
+    lines = [
+        f"digraph {_quote(title)} {{",
+        f"  rankdir={rankdir};",
+        "  node [shape=circle, fontsize=11];",
+    ]
+    for name in graph.fcm_names():
+        attrs = graph.fcm(name).attributes
+        peripheries = 2 if attrs.replicated else 1
+        lines.append(
+            f"  {_quote(name)} [peripheries={peripheries}];"
+        )
+    for src, dst, weight in graph.influence_edges():
+        label = f"{weight:.2f}" if weight >= 0.005 else f"{weight:.1e}"
+        lines.append(
+            f"  {_quote(src)} -> {_quote(dst)} [label={_quote(label)}];"
+        )
+    seen: set[frozenset[str]] = set()
+    for group in graph.replica_groups():
+        members = sorted(group)
+        for i, a in enumerate(members):
+            for b in members[i + 1:]:
+                key = frozenset((a, b))
+                if key in seen or not graph.is_replica_link(a, b):
+                    continue
+                seen.add(key)
+                lines.append(
+                    f"  {_quote(a)} -> {_quote(b)} "
+                    "[dir=none, style=dashed, label=\"0\"];"
+                )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def mapping_to_dot(mapping: Mapping, title: str = "mapping") -> str:
+    """DOT digraph of a mapping: one cluster subgraph per HW node.
+
+    Clusters render as boxes (the paper's Figs. 6-8 style) containing
+    their member SW nodes; inter-cluster influence edges connect the
+    boxes through their members.
+    """
+    state = mapping.state
+    lines = [
+        f"digraph {_quote(title)} {{",
+        "  rankdir=LR;",
+        "  node [shape=circle, fontsize=11];",
+        "  compound=true;",
+    ]
+    for index, cluster in enumerate(state.clusters):
+        hw_name = mapping.assignment.get(index, "unassigned")
+        lines.append(f"  subgraph cluster_{index} {{")
+        lines.append(f"    label={_quote(hw_name)};")
+        lines.append("    style=rounded;")
+        for member in cluster.members:
+            lines.append(f"    {_quote(member)};")
+        lines.append("  }")
+    cluster_of = {
+        member: index
+        for index, cluster in enumerate(state.clusters)
+        for member in cluster.members
+    }
+    for src, dst, weight in state.graph.influence_edges():
+        if cluster_of[src] == cluster_of[dst]:
+            continue  # internal influences are invisible (Fig. 2)
+        label = f"{weight:.2f}"
+        lines.append(
+            f"  {_quote(src)} -> {_quote(dst)} [label={_quote(label)}];"
+        )
+    lines.append("}")
+    return "\n".join(lines)

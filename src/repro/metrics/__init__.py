@@ -1,0 +1,38 @@
+"""Dependability metrics and text reports."""
+
+from repro.metrics.containment import (
+    blast_radius,
+    containment_ratio,
+    expected_affected_analytic,
+    worst_blast_radius,
+)
+from repro.metrics.figures import bar_chart, tradeoff_chart
+from repro.metrics.dependability import (
+    fcm_failure_probability,
+    replicated_module_failure,
+    system_dependability_index,
+)
+from repro.metrics.report import (
+    format_table,
+    render_cluster_influences,
+    render_clusters,
+    render_influence_graph,
+    render_mapping,
+)
+
+__all__ = [
+    "bar_chart",
+    "blast_radius",
+    "containment_ratio",
+    "expected_affected_analytic",
+    "fcm_failure_probability",
+    "format_table",
+    "render_cluster_influences",
+    "render_clusters",
+    "render_influence_graph",
+    "render_mapping",
+    "replicated_module_failure",
+    "system_dependability_index",
+    "tradeoff_chart",
+    "worst_blast_radius",
+]

@@ -1,0 +1,101 @@
+"""Fault-containment measures.
+
+"Measures to quantify the goodness of dependable system integration"
+(abstract).  Analytic counterparts of the simulator's campaign metrics:
+
+* expected number of FCMs affected by a fault in a given FCM, from the
+  truncated transitive-influence series;
+* containment ratio of a partition: the share of total influence weight
+  kept *inside* clusters;
+* blast radius: reachable set under influence above a threshold.
+"""
+
+from __future__ import annotations
+
+from repro.errors import InfluenceError
+from repro.graphs.algorithms import bfs_reachable
+from repro.graphs.digraph import Digraph
+from repro.influence.influence_graph import InfluenceGraph
+from repro.influence.separation import compute_separation
+
+
+def expected_affected_analytic(
+    graph: InfluenceGraph,
+    source: str,
+    order: int = 3,
+) -> float:
+    """Expected FCMs affected by a fault in ``source`` (beyond itself).
+
+    Sums the truncated transitive influence of ``source`` on every other
+    FCM — by linearity of expectation, with each entry clamped to [0, 1]
+    (an entry is a probability bound).
+    """
+    result = compute_separation(graph, order=order)
+    total = 0.0
+    for name in result.names:
+        if name == source:
+            continue
+        total += min(1.0, max(0.0, result.transitive_influence(source, name)))
+    return total
+
+
+def containment_ratio(
+    graph: InfluenceGraph,
+    partition: list[list[str]],
+) -> float:
+    """Fraction of total influence weight that is intra-cluster.
+
+    1.0 means every influence edge is contained inside some cluster (all
+    faults stay on their HW node); 0.0 means everything crosses.  Graphs
+    without influence edges score 1.0 (nothing to contain).
+    """
+    cluster_of: dict[str, int] = {}
+    for index, block in enumerate(partition):
+        for member in block:
+            if member in cluster_of:
+                raise InfluenceError(f"{member!r} in two partition blocks")
+            cluster_of[member] = index
+    total = 0.0
+    inside = 0.0
+    for src, dst, weight in graph.influence_edges():
+        if src not in cluster_of or dst not in cluster_of:
+            raise InfluenceError("partition does not cover all FCMs")
+        total += weight
+        if cluster_of[src] == cluster_of[dst]:
+            inside += weight
+    if total == 0.0:
+        return 1.0
+    return inside / total
+
+
+def blast_radius(
+    graph: InfluenceGraph,
+    source: str,
+    threshold: float = 0.0,
+) -> set[str]:
+    """FCMs reachable from ``source`` via influence edges above ``threshold``.
+
+    The worst-case scope of a fault if every sufficiently strong edge
+    fires; the SW analogue of tracing a fault across FCR boundaries.
+    """
+    pruned = Digraph()
+    for name in graph.fcm_names():
+        pruned.add_node(name)
+    for src, dst, weight in graph.influence_edges():
+        if weight > threshold:
+            pruned.add_edge(src, dst, weight)
+    return bfs_reachable(pruned, source) - {source}
+
+
+def worst_blast_radius(
+    graph: InfluenceGraph,
+    threshold: float = 0.0,
+) -> tuple[str, int]:
+    """The FCM with the largest blast radius, and that radius."""
+    worst_name = ""
+    worst_size = -1
+    for name in graph.fcm_names():
+        size = len(blast_radius(graph, name, threshold))
+        if size > worst_size:
+            worst_name, worst_size = name, size
+    return worst_name, worst_size

@@ -1,0 +1,126 @@
+"""System-level dependability estimates.
+
+The paper composes dependability qualitatively; these helpers put numbers
+on a configured system so that design alternatives can be ranked:
+
+* per-FCM survival probability given baseline fault rates and the
+  influence graph (a fault anywhere may cascade);
+* system survival under k-of-n replication (TMR etc.);
+* a criticality-weighted dependability index for whole partitions.
+
+The model is deliberately simple (single mission period, independent
+spontaneous faults, one propagation wave per fault — consistent with the
+paper's independence assumptions in §2) and is cross-validated against
+the Monte-Carlo simulator in the test suite.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ProbabilityError
+from repro.influence.influence_graph import InfluenceGraph
+
+
+def fcm_failure_probability(
+    graph: InfluenceGraph,
+    target: str,
+    base_rates: dict[str, float],
+) -> float:
+    """Probability ``target`` ends the mission faulty (one-wave model).
+
+    ``base_rates`` gives each FCM's spontaneous fault probability for the
+    mission.  The target fails if it faults spontaneously or if any direct
+    influencer faults spontaneously *and* transmits:
+
+        P = 1 - (1 - r_t) * Π_s (1 - r_s * I(s -> t))
+    """
+    _check_rates(graph, base_rates)
+    complement = 1.0 - base_rates.get(target, 0.0)
+    for source in graph.fcm_names():
+        if source == target:
+            continue
+        influence = graph.influence(source, target)
+        if influence <= 0.0:
+            continue
+        complement *= 1.0 - base_rates.get(source, 0.0) * influence
+    return 1.0 - complement
+
+
+def replicated_module_failure(
+    replica_failures: list[float],
+    quorum: int,
+) -> float:
+    """Failure probability of a k-of-n replicated module.
+
+    The module fails when fewer than ``quorum`` replicas survive.  For TMR
+    pass the three replica failure probabilities and ``quorum=2``.
+    Replica failures are treated as independent (they sit on distinct HW
+    nodes in a valid mapping).
+    """
+    n = len(replica_failures)
+    if not 1 <= quorum <= n:
+        raise ProbabilityError(f"quorum {quorum} invalid for {n} replicas")
+    for p in replica_failures:
+        if not 0.0 <= p <= 1.0:
+            raise ProbabilityError(f"failure probability {p} outside [0, 1]")
+    # Sum over subsets is exponential; n is tiny (2-5) in practice.
+    fail_total = 0.0
+    for mask in range(1 << n):
+        surviving = [i for i in range(n) if not mask & (1 << i)]
+        if len(surviving) >= quorum:
+            continue
+        prob = 1.0
+        for i in range(n):
+            prob *= replica_failures[i] if mask & (1 << i) else 1.0 - replica_failures[i]
+        fail_total += prob
+    return fail_total
+
+
+def system_dependability_index(
+    graph: InfluenceGraph,
+    base_rates: dict[str, float],
+    quorum: int = 2,
+) -> float:
+    """Criticality-weighted survival index in [0, 1]; higher is better.
+
+    Each module contributes its survival probability weighted by its
+    criticality; replica groups contribute as k-of-n modules.  Modules
+    with zero criticality still contribute with weight epsilon so a
+    system of uncritical modules is not vacuously perfect.
+    """
+    _check_rates(graph, base_rates)
+    groups = {frozenset(g) for g in graph.replica_groups()}
+    grouped: set[str] = set()
+    terms: list[tuple[float, float]] = []  # (weight, survival)
+
+    for group in groups:
+        members = sorted(group)
+        grouped.update(members)
+        failures = [
+            fcm_failure_probability(graph, m, base_rates) for m in members
+        ]
+        q = min(quorum, len(members))
+        fail = replicated_module_failure(failures, q)
+        weight = max(
+            graph.fcm(m).attributes.criticality for m in members
+        )
+        terms.append((max(weight, 1e-9), 1.0 - fail))
+
+    for name in graph.fcm_names():
+        if name in grouped:
+            continue
+        fail = fcm_failure_probability(graph, name, base_rates)
+        weight = graph.fcm(name).attributes.criticality
+        terms.append((max(weight, 1e-9), 1.0 - fail))
+
+    total_weight = sum(w for w, _s in terms)
+    return sum(w * s for w, s in terms) / total_weight
+
+
+def _check_rates(graph: InfluenceGraph, base_rates: dict[str, float]) -> None:
+    for name, rate in base_rates.items():
+        if not graph.has_fcm(name):
+            raise ProbabilityError(f"rate given for unknown FCM {name!r}")
+        if not 0.0 <= rate <= 1.0 or not math.isfinite(rate):
+            raise ProbabilityError(f"rate for {name!r} outside [0, 1]: {rate}")

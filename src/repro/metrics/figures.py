@@ -1,0 +1,67 @@
+"""ASCII charts for curves and distributions.
+
+The benches and the CLI report trade-off curves and sweeps; a small
+horizontal bar chart makes the knee visible in a terminal without any
+plotting dependency.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.errors import DDSIError
+
+BAR_CHAR = "#"
+DEFAULT_WIDTH = 40
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = DEFAULT_WIDTH,
+    title: str | None = None,
+    value_format: str = "{:.3f}",
+) -> str:
+    """Horizontal bar chart, one row per (label, value).
+
+    Bars scale to the maximum value; zero/negative values render as
+    empty bars (the numeric column still shows the value).
+    """
+    if len(labels) != len(values):
+        raise DDSIError("labels and values must have equal length")
+    if width < 1:
+        raise DDSIError("width must be >= 1")
+    if not labels:
+        return title or ""
+    peak = max(max(values), 0.0)
+    label_width = max(len(str(l)) for l in labels)
+    rendered_values = [value_format.format(v) for v in values]
+    value_width = max(len(v) for v in rendered_values)
+    lines = []
+    if title:
+        lines.append(title)
+    for label, value, text in zip(labels, values, rendered_values):
+        if peak > 0 and value > 0:
+            length = max(1, round(width * value / peak))
+        else:
+            length = 0
+        lines.append(
+            f"{str(label).ljust(label_width)}  {text.rjust(value_width)}  "
+            f"{BAR_CHAR * length}"
+        )
+    return "\n".join(lines)
+
+
+def tradeoff_chart(curve, metric: str = "cross_influence", width: int = DEFAULT_WIDTH) -> str:
+    """Bar chart of one metric over a :class:`TradeoffCurve`."""
+    points = curve.feasible_points()
+    if not points:
+        raise DDSIError("no feasible points to chart")
+    labels = [f"{p.hw_nodes} nodes" for p in points]
+    values = [getattr(p, metric) for p in points]
+    return bar_chart(
+        labels,
+        values,
+        width=width,
+        title=f"trade-off: {metric} by integration level",
+    )

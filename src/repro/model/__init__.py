@@ -1,0 +1,47 @@
+"""FCM data model: attributes, fault taxonomy, hierarchy, system."""
+
+from repro.model.attributes import (
+    DEFAULT_IMPORTANCE_WEIGHTS,
+    AttributeSet,
+    ImportanceWeights,
+    SecurityLevel,
+    TimingConstraint,
+    combine_all,
+    combine_all_grouped,
+)
+from repro.model.faults import (
+    CONTAINMENT_LEVEL,
+    MITIGATIONS,
+    FaultEvent,
+    FaultKind,
+    IsolationTechnique,
+    is_contained_at,
+    kinds_for_level,
+)
+from repro.model.fcm import FCM, Level, procedure, process, task
+from repro.model.hierarchy import FCMHierarchy
+from repro.model.system import SoftwareSystem
+
+__all__ = [
+    "AttributeSet",
+    "CONTAINMENT_LEVEL",
+    "DEFAULT_IMPORTANCE_WEIGHTS",
+    "FCM",
+    "FCMHierarchy",
+    "FaultEvent",
+    "FaultKind",
+    "ImportanceWeights",
+    "IsolationTechnique",
+    "Level",
+    "MITIGATIONS",
+    "SecurityLevel",
+    "SoftwareSystem",
+    "TimingConstraint",
+    "combine_all",
+    "combine_all_grouped",
+    "is_contained_at",
+    "kinds_for_level",
+    "procedure",
+    "process",
+    "task",
+]

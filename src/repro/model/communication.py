@@ -1,0 +1,145 @@
+"""Communication channels between FCMs.
+
+The system model (§2) has tasks communicating via messages, procedures
+via parameters and globals, and processes via shared resources.  A
+:class:`Channel` describes one such connection concretely — mechanism,
+message rate, data volume — and §4.2's estimation rules turn it into an
+influence factor: p_{i,2} "depends on both communication medium and data
+volume", p_{i,1} comes from the source's usage history, p_{i,3} from
+injection campaigns against the target.
+
+:func:`channels_to_influence` populates an influence graph from a channel
+list plus per-FCM reliability records, closing the gap between a concrete
+system description and the abstract influence numbers the allocation
+machinery consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ModelError
+from repro.influence.estimation import (
+    InjectionOutcome,
+    Medium,
+    UsageHistory,
+    estimate_effect,
+    estimate_occurrence,
+    estimate_transmission,
+)
+from repro.influence.factors import FactorKind, InfluenceFactor
+from repro.influence.influence_graph import InfluenceGraph
+
+#: Which factor kind each medium realises.
+MEDIUM_FACTOR: dict[Medium, FactorKind] = {
+    Medium.PARAMETER: FactorKind.PARAMETER_PASSING,
+    Medium.MESSAGE: FactorKind.MESSAGE_PASSING,
+    Medium.GLOBAL_VARIABLE: FactorKind.GLOBAL_VARIABLE,
+    Medium.SHARED_MEMORY: FactorKind.SHARED_MEMORY,
+}
+
+
+@dataclass(frozen=True)
+class Channel:
+    """One concrete communication connection.
+
+    Attributes:
+        source: Sending FCM name.
+        target: Receiving FCM name.
+        medium: Transport mechanism.
+        volume: Data units exposed per interaction (drives p_{i,2}).
+        rate: Interactions per unit time (informs the communication_rate
+            attribute; not part of the per-interaction probability).
+    """
+
+    source: str
+    target: str
+    medium: Medium
+    volume: float = 1.0
+    rate: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.source == self.target:
+            raise ModelError("a channel joins two distinct FCMs")
+        if self.volume < 0:
+            raise ModelError("volume must be >= 0")
+        if self.rate < 0:
+            raise ModelError("rate must be >= 0")
+
+    def factor(
+        self,
+        source_history: UsageHistory,
+        target_injection: InjectionOutcome | None = None,
+        hazards: dict[Medium, float] | None = None,
+        interactions: float = 1.0,
+    ) -> InfluenceFactor:
+        """Estimate the Eq. (1) factor this channel contributes.
+
+        * p_{i,1} from the source FCM's operational record, compounded
+          over ``interactions`` uses of the channel during the assessment
+          period (``1 - (1 - p)^n``: the fault may arise on any use —
+          influence values in the paper are per-mission aggregates, not
+          per-call probabilities);
+        * p_{i,2} from the medium and volume;
+        * p_{i,3} from a fault-injection campaign against the target
+          (defaults to the uninformative 0.5 when no campaign was run).
+        """
+        if interactions < 0:
+            raise ModelError("interactions must be >= 0")
+        p_once = estimate_occurrence(source_history)
+        p1 = 1.0 - (1.0 - p_once) ** interactions
+        p2 = estimate_transmission(self.medium, self.volume, hazards)
+        p3 = (
+            estimate_effect(target_injection)
+            if target_injection is not None
+            else 0.5
+        )
+        return InfluenceFactor(MEDIUM_FACTOR[self.medium], p1, p2, p3)
+
+
+def channels_to_influence(
+    graph: InfluenceGraph,
+    channels: list[Channel],
+    histories: dict[str, UsageHistory],
+    injections: dict[str, InjectionOutcome] | None = None,
+    hazards: dict[Medium, float] | None = None,
+    mission_time: float = 1.0,
+) -> None:
+    """Populate ``graph`` with influence derived from concrete channels.
+
+    Multiple channels between the same ordered pair combine by Eq. (2)
+    (their factors are joined on one edge).  Every channel endpoint must
+    already be an FCM of the graph; every source needs a usage history.
+    Each channel is exercised ``rate * mission_time`` times during the
+    assessment period (occurrence compounds accordingly).
+    """
+    if mission_time < 0:
+        raise ModelError("mission_time must be >= 0")
+    injections = injections or {}
+    bundles: dict[tuple[str, str], list[InfluenceFactor]] = {}
+    for channel in channels:
+        for endpoint in (channel.source, channel.target):
+            if not graph.has_fcm(endpoint):
+                raise ModelError(f"channel endpoint {endpoint!r} not in graph")
+        history = histories.get(channel.source)
+        if history is None:
+            raise ModelError(
+                f"no usage history for channel source {channel.source!r}"
+            )
+        factor = channel.factor(
+            history,
+            injections.get(channel.target),
+            hazards,
+            interactions=channel.rate * mission_time,
+        )
+        bundles.setdefault((channel.source, channel.target), []).append(factor)
+    for (source, target), factors in bundles.items():
+        graph.set_influence(source, target, factors=factors)
+
+
+def total_channel_rate(channels: list[Channel], fcm: str) -> float:
+    """Summed message rate touching ``fcm`` (for the communication_rate
+    attribute of §4.3)."""
+    return sum(
+        c.rate for c in channels if c.source == fcm or c.target == fcm
+    )

@@ -1,0 +1,138 @@
+"""Fault taxonomy per FCM level.
+
+Section 3 of the paper assigns each hierarchy level a predefined class of
+faults handled within that level:
+
+* Process level — faults arising from sharing HW resources: memory
+  footprints (memory-space overlap), timing/scheduling faults,
+  communication faults, CPU overuse.
+* Task level — faults crossing lightweight threads inside one process:
+  shared-memory corruption, message errors, timing faults (missed
+  deadlines, priority inversion).
+* Procedure level — passing of erroneous data via parameters, return
+  values, or global variables.
+
+This module encodes that taxonomy plus the isolation techniques the paper
+names for each level, and a :class:`FaultEvent` record used by the
+fault-injection simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.model.fcm import Level
+
+
+class FaultKind(Enum):
+    """Concrete fault classes named in the paper, tagged by level."""
+
+    # Process level (resource sharing).
+    MEMORY_FOOTPRINT = "memory_footprint"
+    SCHEDULING = "scheduling"
+    COMMUNICATION = "communication"
+    CPU_OVERUSE = "cpu_overuse"
+    # Task level (intra-process threads).
+    SHARED_MEMORY = "shared_memory"
+    MESSAGE_ERROR = "message_error"
+    TIMING = "timing"
+    PRIORITY_INVERSION = "priority_inversion"
+    # Procedure level (data flow).
+    PARAMETER_PASSING = "parameter_passing"
+    RETURN_VALUE = "return_value"
+    GLOBAL_VARIABLE = "global_variable"
+
+
+# The hierarchy level at which each fault kind is contained.  Task-level
+# techniques "are also applicable at the process level" (§4.2.3), so
+# several kinds appear at both; the mapping records the *lowest* level
+# responsible for containing the kind.
+CONTAINMENT_LEVEL: dict[FaultKind, Level] = {
+    FaultKind.MEMORY_FOOTPRINT: Level.PROCESS,
+    FaultKind.SCHEDULING: Level.PROCESS,
+    FaultKind.COMMUNICATION: Level.PROCESS,
+    FaultKind.CPU_OVERUSE: Level.PROCESS,
+    FaultKind.SHARED_MEMORY: Level.TASK,
+    FaultKind.MESSAGE_ERROR: Level.TASK,
+    FaultKind.TIMING: Level.TASK,
+    FaultKind.PRIORITY_INVERSION: Level.TASK,
+    FaultKind.PARAMETER_PASSING: Level.PROCEDURE,
+    FaultKind.RETURN_VALUE: Level.PROCEDURE,
+    FaultKind.GLOBAL_VARIABLE: Level.PROCEDURE,
+}
+
+
+class IsolationTechnique(Enum):
+    """Techniques the paper names for constraining fault scope."""
+
+    MEMORY_SEPARATION = "memory_separation"  # process level
+    RESOURCE_QUOTAS = "resource_quotas"  # process level (CPU overuse)
+    N_VERSION_PROGRAMMING = "n_version_programming"  # task level
+    RECOVERY_BLOCKS = "recovery_blocks"  # task level
+    PREEMPTIVE_SCHEDULING = "preemptive_scheduling"  # task level timing
+    INFORMATION_HIDING = "information_hiding"  # procedure level (OO)
+    RANGE_CHECKS = "range_checks"  # procedure level parameters
+
+
+# Which techniques mitigate which fault kinds.
+MITIGATIONS: dict[FaultKind, tuple[IsolationTechnique, ...]] = {
+    FaultKind.MEMORY_FOOTPRINT: (IsolationTechnique.MEMORY_SEPARATION,),
+    FaultKind.SCHEDULING: (IsolationTechnique.PREEMPTIVE_SCHEDULING,),
+    FaultKind.COMMUNICATION: (IsolationTechnique.RECOVERY_BLOCKS,),
+    FaultKind.CPU_OVERUSE: (
+        IsolationTechnique.RESOURCE_QUOTAS,
+        IsolationTechnique.PREEMPTIVE_SCHEDULING,
+    ),
+    FaultKind.SHARED_MEMORY: (IsolationTechnique.MEMORY_SEPARATION,),
+    FaultKind.MESSAGE_ERROR: (
+        IsolationTechnique.RECOVERY_BLOCKS,
+        IsolationTechnique.N_VERSION_PROGRAMMING,
+    ),
+    FaultKind.TIMING: (IsolationTechnique.PREEMPTIVE_SCHEDULING,),
+    FaultKind.PRIORITY_INVERSION: (IsolationTechnique.PREEMPTIVE_SCHEDULING,),
+    FaultKind.PARAMETER_PASSING: (
+        IsolationTechnique.RANGE_CHECKS,
+        IsolationTechnique.INFORMATION_HIDING,
+    ),
+    FaultKind.RETURN_VALUE: (IsolationTechnique.RANGE_CHECKS,),
+    FaultKind.GLOBAL_VARIABLE: (IsolationTechnique.INFORMATION_HIDING,),
+}
+
+
+def kinds_for_level(level: Level) -> tuple[FaultKind, ...]:
+    """Fault kinds contained at exactly ``level``."""
+    return tuple(kind for kind, lvl in CONTAINMENT_LEVEL.items() if lvl is level)
+
+
+def is_contained_at(kind: FaultKind, level: Level) -> bool:
+    """Whether ``level`` (or a lower level) is responsible for ``kind``.
+
+    A fault kind contained at the procedure level never needs handling at
+    the process level in a well-formed hierarchy — that is the point of
+    isolating fault types into fixed levels.
+    """
+    return CONTAINMENT_LEVEL[kind] <= level
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fault occurrence, as recorded by the simulator.
+
+    Attributes:
+        fcm: Name of the FCM where the fault occurred (source for
+            transmissions).
+        kind: Fault class.
+        time: Simulation time of occurrence.
+        transmitted_from: Name of the FCM whose fault propagated here, or
+            ``None`` for a spontaneous (direct-introduction) fault.
+    """
+
+    fcm: str
+    kind: FaultKind
+    time: float
+    transmitted_from: str | None = None
+
+    @property
+    def spontaneous(self) -> bool:
+        return self.transmitted_from is None

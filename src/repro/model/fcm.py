@@ -1,0 +1,121 @@
+"""Fault containment modules (FCMs) — the paper's core abstraction.
+
+An FCM is a software module whose boundary is designed to contain a
+predefined class of faults.  The paper fixes a three-level hierarchy
+(Fig. 1): procedures (lowest), tasks (middle), processes (top).  The model
+deliberately allows extension — :class:`Level` is an ``IntEnum`` and the
+hierarchy machinery works for any strictly ordered level set — but the
+three canonical levels are what the rest of the library instantiates.
+
+FCM objects are identified by globally unique names (the paper: "tasks
+have unique static names, and only one instance of a given task can be
+live at any time").
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from enum import IntEnum
+
+from repro.errors import ModelError
+from repro.model.attributes import AttributeSet
+
+_NAME_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_.\-/]*$")
+
+
+class Level(IntEnum):
+    """FCM hierarchy level, ordered lowest to highest."""
+
+    PROCEDURE = 0
+    TASK = 1
+    PROCESS = 2
+
+    @property
+    def parent_level(self) -> "Level | None":
+        """The level a parent FCM lives at, or None for the top level."""
+        if self is Level.PROCESS:
+            return None
+        return Level(self + 1)
+
+    @property
+    def child_level(self) -> "Level | None":
+        """The level child FCMs live at, or None for the bottom level."""
+        if self is Level.PROCEDURE:
+            return None
+        return Level(self - 1)
+
+
+@dataclass
+class FCM:
+    """One fault containment module.
+
+    Attributes:
+        name: Globally unique identifier.
+        level: Hierarchy level.
+        attributes: Dependability attributes (criticality, FT, timing, ...).
+        stateless: Procedures are assumed stateless ("no static variables,
+            and results independent of invocation order, and thus may be
+            freely replicated"); meaningful at the procedure level only.
+        replica_of: For expanded replicas, the name of the original FCM;
+            ``None`` for originals.
+    """
+
+    name: str
+    level: Level
+    attributes: AttributeSet = field(default_factory=AttributeSet)
+    stateless: bool = True
+    replica_of: str | None = None
+
+    def __post_init__(self) -> None:
+        if not _NAME_RE.match(self.name):
+            raise ModelError(
+                f"invalid FCM name {self.name!r}: must start with a letter or "
+                "underscore and contain only [A-Za-z0-9_.-/]"
+            )
+        if not isinstance(self.level, Level):
+            raise ModelError(f"level must be a Level, got {self.level!r}")
+
+    @property
+    def is_replica(self) -> bool:
+        return self.replica_of is not None
+
+    def replicate(self, suffix: str) -> "FCM":
+        """A replica of this FCM named ``<name><suffix>``.
+
+        The replica itself carries FT = 1 (it *is* one of the copies), and
+        records its origin so allocation can enforce replica separation.
+        """
+        return FCM(
+            name=f"{self.name}{suffix}",
+            level=self.level,
+            attributes=self.attributes.with_fault_tolerance(1),
+            stateless=self.stateless,
+            replica_of=self.name,
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.level))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FCM):
+            return NotImplemented
+        return self.name == other.name and self.level == other.level
+
+    def __repr__(self) -> str:
+        return f"FCM({self.name!r}, {self.level.name})"
+
+
+def procedure(name: str, attributes: AttributeSet | None = None, stateless: bool = True) -> FCM:
+    """Construct a procedure-level FCM."""
+    return FCM(name, Level.PROCEDURE, attributes or AttributeSet(), stateless=stateless)
+
+
+def task(name: str, attributes: AttributeSet | None = None) -> FCM:
+    """Construct a task-level FCM."""
+    return FCM(name, Level.TASK, attributes or AttributeSet())
+
+
+def process(name: str, attributes: AttributeSet | None = None) -> FCM:
+    """Construct a process-level FCM."""
+    return FCM(name, Level.PROCESS, attributes or AttributeSet())

@@ -1,0 +1,79 @@
+"""The software system: an FCM hierarchy plus per-level influence data.
+
+A :class:`SoftwareSystem` ties together the structural model (hierarchy)
+with the quantitative model (influence factors between sibling FCMs at
+each level).  It is the object most of the framework's pipelines consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.errors import ModelError
+from repro.model.fcm import FCM, Level
+from repro.model.hierarchy import FCMHierarchy
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.influence.influence_graph import InfluenceGraph
+
+
+@dataclass
+class SoftwareSystem:
+    """An FCM hierarchy together with influence graphs per level.
+
+    Attributes:
+        name: System identifier, used in reports.
+        hierarchy: The FCM forest.
+        influence: Mapping from level to the influence graph among the FCMs
+            at that level.  Graphs are created lazily via
+            :meth:`influence_at`.
+    """
+
+    name: str
+    hierarchy: FCMHierarchy = field(default_factory=FCMHierarchy)
+    influence: dict[Level, "InfluenceGraph"] = field(default_factory=dict)
+
+    def influence_at(self, level: Level) -> "InfluenceGraph":
+        """The influence graph among FCMs at ``level``, created on demand.
+
+        Nodes are synchronised with the hierarchy: every FCM currently at
+        the level is present in the graph.
+        """
+        from repro.influence.influence_graph import InfluenceGraph
+
+        graph = self.influence.get(level)
+        if graph is None:
+            graph = InfluenceGraph()
+            self.influence[level] = graph
+        for fcm in self.hierarchy.at_level(level):
+            if not graph.has_fcm(fcm.name):
+                graph.add_fcm(fcm)
+        return graph
+
+    def processes(self) -> list[FCM]:
+        return self.hierarchy.at_level(Level.PROCESS)
+
+    def tasks(self) -> list[FCM]:
+        return self.hierarchy.at_level(Level.TASK)
+
+    def procedures(self) -> list[FCM]:
+        return self.hierarchy.at_level(Level.PROCEDURE)
+
+    def validate(self) -> list[str]:
+        """Structural audit of hierarchy plus influence-graph consistency."""
+        problems = self.hierarchy.validate()
+        for level, graph in self.influence.items():
+            level_names = {fcm.name for fcm in self.hierarchy.at_level(level)}
+            for name in graph.fcm_names():
+                if name not in level_names:
+                    problems.append(
+                        f"influence graph at {level.name} references "
+                        f"{name!r}, which is not a {level.name} FCM"
+                    )
+        return problems
+
+    def require_valid(self) -> None:
+        problems = self.validate()
+        if problems:
+            raise ModelError("invalid system: " + "; ".join(problems))

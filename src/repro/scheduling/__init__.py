@@ -1,0 +1,53 @@
+"""Scheduling substrate: EDF, RM, non-preemptive, feasibility predicates."""
+
+from repro.scheduling.edf import EDFResult, demand_feasible, edf_schedule
+from repro.scheduling.feasibility import (
+    FeasibilityMethod,
+    TimedModule,
+    combination_feasible,
+    coschedulable,
+    density_feasible,
+    jobs_from_modules,
+)
+from repro.scheduling.nonpreemptive import (
+    NonPreemptiveResult,
+    TimingFaultOutcome,
+    inject_timing_fault,
+    nonpreemptive_edf_schedule,
+)
+from repro.scheduling.rm import (
+    ResponseTimeResult,
+    hyperbolic_test,
+    liu_layland_bound,
+    response_time_analysis,
+    rm_schedulable,
+    total_utilization,
+    utilization_test,
+)
+from repro.scheduling.task_model import Job, PeriodicTask, ScheduleSlice
+
+__all__ = [
+    "EDFResult",
+    "FeasibilityMethod",
+    "Job",
+    "NonPreemptiveResult",
+    "PeriodicTask",
+    "ResponseTimeResult",
+    "ScheduleSlice",
+    "TimedModule",
+    "TimingFaultOutcome",
+    "combination_feasible",
+    "coschedulable",
+    "demand_feasible",
+    "density_feasible",
+    "edf_schedule",
+    "hyperbolic_test",
+    "inject_timing_fault",
+    "jobs_from_modules",
+    "liu_layland_bound",
+    "nonpreemptive_edf_schedule",
+    "response_time_analysis",
+    "rm_schedulable",
+    "total_utilization",
+    "utilization_test",
+]

@@ -1,0 +1,83 @@
+"""Co-schedulability predicate used by the allocation engine.
+
+When combining SW nodes, "we must nonetheless check the values of all
+attributes, such as timing constraints, since certain combinations of
+nodes may be infeasible" (§6).  This module turns FCM attribute sets into
+jobs and answers: can this set share one processor?
+
+Two testers are provided and benchmarked against each other (DESIGN.md
+ablation list): the exact processor-demand criterion, and a fast
+density-based sufficient/necessary sandwich used for large sweeps.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.model.attributes import AttributeSet
+from repro.scheduling.edf import demand_feasible
+from repro.scheduling.task_model import Job
+
+
+class FeasibilityMethod(Enum):
+    EXACT = "exact"  # processor-demand criterion (decides)
+    DENSITY = "density"  # Σ C_i / (D_i - r_i) <= 1 (sufficient only)
+
+
+@dataclass(frozen=True)
+class TimedModule:
+    """A named attribute set — the allocation engine's view of an FCM."""
+
+    name: str
+    attributes: AttributeSet
+
+    def job(self) -> Job | None:
+        if self.attributes.timing is None:
+            return None
+        return Job.from_timing(self.name, self.attributes.timing)
+
+
+def jobs_from_modules(modules: Iterable[TimedModule]) -> list[Job]:
+    """Jobs for every module that carries a timing constraint."""
+    jobs = []
+    for module in modules:
+        job = module.job()
+        if job is not None:
+            jobs.append(job)
+    return jobs
+
+
+def density_feasible(jobs: list[Job]) -> bool:
+    """Sufficient test: total density <= 1 guarantees feasibility.
+
+    Density of a job is ``work / window``.  Cheap (O(n)) and safe for
+    accepting combinations, but may reject feasible sets.
+    """
+    return sum(job.work / job.window for job in jobs if job.window > 0) <= 1.0 + 1e-12
+
+
+def coschedulable(
+    modules: Iterable[TimedModule],
+    method: FeasibilityMethod = FeasibilityMethod.EXACT,
+) -> bool:
+    """Can these modules share one preemptive processor?
+
+    Modules without timing constraints never block a combination.
+    """
+    jobs = jobs_from_modules(list(modules))
+    if not jobs:
+        return True
+    if method is FeasibilityMethod.DENSITY:
+        return density_feasible(jobs)
+    return demand_feasible(jobs)
+
+
+def combination_feasible(
+    group_a: Iterable[TimedModule],
+    group_b: Iterable[TimedModule],
+    method: FeasibilityMethod = FeasibilityMethod.EXACT,
+) -> bool:
+    """Whether the union of two already-placed groups stays schedulable."""
+    return coschedulable([*group_a, *group_b], method=method)

@@ -1,0 +1,170 @@
+"""Non-preemptive scheduling and timing-fault propagation.
+
+Section 4.2.3: "If non-preemptive scheduling is used, then a timing fault
+(e.g., a task in an infinite loop) can cause all other tasks also to fail.
+However, the probability of transmission of the timing fault can be
+minimised by using preemptive scheduling."
+
+This module simulates both disciplines in the presence of an injected
+timing fault (a job that overruns its nominal work, possibly forever) and
+measures how many *other* jobs miss their deadlines — the empirical
+transmission probability of the timing fault.  The preemption ablation
+bench builds directly on this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SchedulingError
+from repro.scheduling.edf import _EPS, edf_schedule
+from repro.scheduling.task_model import Job, ScheduleSlice
+
+
+@dataclass(frozen=True)
+class NonPreemptiveResult:
+    feasible: bool
+    slices: tuple[ScheduleSlice, ...]
+    missed: tuple[str, ...]
+
+
+def nonpreemptive_edf_schedule(jobs: list[Job], horizon: float | None = None) -> NonPreemptiveResult:
+    """Non-preemptive EDF: once a job starts it runs to completion.
+
+    ``horizon`` caps execution of any single job (models a watchdog-less
+    platform observed up to the horizon: an infinite-loop job occupies the
+    processor until the horizon).  Jobs whose work is ``inf`` require a
+    horizon.
+    """
+    names = [job.name for job in jobs]
+    if len(names) != len(set(names)):
+        raise SchedulingError("job names must be unique")
+    if any(job.work == float("inf") for job in jobs) and horizon is None:
+        raise SchedulingError("infinite jobs require a horizon")
+
+    pending = sorted(jobs, key=lambda j: j.release)
+    idx = 0
+    released: list[Job] = []
+    done: set[str] = set()
+    slices: list[ScheduleSlice] = []
+    missed: set[str] = set()
+    time = 0.0
+
+    while idx < len(pending) or len(done) < len(jobs):
+        while idx < len(pending) and pending[idx].release <= time + _EPS:
+            released.append(pending[idx])
+            idx += 1
+        ready = [j for j in released if j.name not in done]
+        if not ready:
+            if idx >= len(pending):
+                break
+            time = pending[idx].release
+            continue
+        current = min(ready, key=lambda j: (j.deadline, j.name))
+        end = time + current.work
+        if horizon is not None and end > horizon:
+            end = horizon
+        if end > time + _EPS:
+            slices.append(ScheduleSlice(current.name, time, end))
+        done.add(current.name)
+        if end > current.deadline + _EPS or (horizon is not None and time + current.work > horizon):
+            missed.add(current.name)
+        time = end
+        if horizon is not None and time >= horizon - _EPS:
+            # Everything not yet finished misses.
+            for job in jobs:
+                if job.name not in done:
+                    missed.add(job.name)
+            break
+
+    return NonPreemptiveResult(
+        feasible=not missed,
+        slices=tuple(slices),
+        missed=tuple(sorted(missed)),
+    )
+
+
+@dataclass(frozen=True)
+class TimingFaultOutcome:
+    """Result of injecting a timing fault into one job of a cluster."""
+
+    faulty_job: str
+    discipline: str  # "preemptive" | "nonpreemptive"
+    victims: tuple[str, ...]  # other jobs that missed because of the fault
+
+    @property
+    def transmitted(self) -> bool:
+        return bool(self.victims)
+
+
+def inject_timing_fault(
+    jobs: list[Job],
+    faulty: str,
+    overrun_factor: float = float("inf"),
+    horizon: float | None = None,
+    preemptive: bool = True,
+) -> TimingFaultOutcome:
+    """Run the cluster with ``faulty``'s work inflated by ``overrun_factor``.
+
+    ``overrun_factor=inf`` models the paper's infinite loop.  Under the
+    preemptive discipline the faulty job is bounded by its deadline budget
+    — a preemptive scheduler with deadline enforcement aborts it — so
+    other jobs keep their slots; under non-preemptive EDF it holds the
+    processor.  Victims are jobs (other than the faulty one) that miss
+    deadlines in the faulted run but not in the clean run.
+    """
+    by_name = {job.name: job for job in jobs}
+    if faulty not in by_name:
+        raise SchedulingError(f"no job named {faulty!r}")
+    if overrun_factor < 1.0:
+        raise SchedulingError("overrun_factor must be >= 1")
+    if horizon is None:
+        horizon = 2.0 * max(job.deadline for job in jobs)
+
+    original = by_name[faulty]
+    if preemptive:
+        # Deadline enforcement truncates the runaway job at its window end:
+        # it consumes at most its full window, then is killed.
+        inflated_work = min(
+            original.work * overrun_factor, original.deadline - original.release
+        )
+        faulted = [
+            job if job.name != faulty else Job(
+                name=job.name,
+                release=job.release,
+                deadline=job.deadline,
+                work=inflated_work,
+            )
+            for job in jobs
+        ]
+        clean_missed = set(edf_schedule(jobs).missed)
+        fault_missed = set(edf_schedule(faulted).missed)
+        discipline = "preemptive"
+    else:
+        inflated_work = original.work * overrun_factor
+        # Job.__post_init__ rejects work > window, so build the overrun job
+        # without the sanity check by using the horizon-capped simulator's
+        # convention: deadline stays, work inflates; feasibility check is
+        # bypassed by constructing via object.__new__ through a helper.
+        faulted = [
+            job if job.name != faulty else _unchecked_job(
+                job.name, job.release, job.deadline, inflated_work
+            )
+            for job in jobs
+        ]
+        clean_missed = set(nonpreemptive_edf_schedule(jobs, horizon=horizon).missed)
+        fault_missed = set(nonpreemptive_edf_schedule(faulted, horizon=horizon).missed)
+        discipline = "nonpreemptive"
+
+    victims = tuple(sorted((fault_missed - clean_missed) - {faulty}))
+    return TimingFaultOutcome(faulty_job=faulty, discipline=discipline, victims=victims)
+
+
+def _unchecked_job(name: str, release: float, deadline: float, work: float) -> Job:
+    """A Job that may be infeasible alone (an overrunning, faulty job)."""
+    job = object.__new__(Job)
+    object.__setattr__(job, "name", name)
+    object.__setattr__(job, "release", release)
+    object.__setattr__(job, "deadline", deadline)
+    object.__setattr__(job, "work", work)
+    return job

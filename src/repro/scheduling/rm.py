@@ -1,0 +1,109 @@
+"""Rate-monotonic analysis for the periodic task variant.
+
+The paper cites the classical scheduling literature (Stankovic et al.) for
+checking "the feasibility of scheduling sets of these processes on the
+same processor".  For periodic workloads (the avionics example's sensor
+and display loops) we provide the standard toolkit:
+
+* Liu & Layland utilization bound ``n (2^{1/n} - 1)`` — sufficient;
+* hyperbolic bound ``Π (U_i + 1) <= 2`` — tighter sufficient test;
+* exact response-time analysis (fixed-point iteration) — necessary and
+  sufficient for synchronous, independent, constrained-deadline tasks
+  under rate-monotonic / deadline-monotonic priorities.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import SchedulingError
+from repro.scheduling.task_model import PeriodicTask
+
+
+def total_utilization(tasks: list[PeriodicTask]) -> float:
+    return sum(task.utilization for task in tasks)
+
+
+def liu_layland_bound(n: int) -> float:
+    """The RM schedulability bound for ``n`` tasks; ln 2 in the limit."""
+    if n < 1:
+        raise SchedulingError("n must be >= 1")
+    return n * (2.0 ** (1.0 / n) - 1.0)
+
+
+def utilization_test(tasks: list[PeriodicTask]) -> bool:
+    """Sufficient: U <= n(2^{1/n} - 1).  False is *inconclusive*."""
+    if not tasks:
+        return True
+    return total_utilization(tasks) <= liu_layland_bound(len(tasks)) + 1e-12
+
+
+def hyperbolic_test(tasks: list[PeriodicTask]) -> bool:
+    """Sufficient (tighter): Π (U_i + 1) <= 2.  False is inconclusive."""
+    product = 1.0
+    for task in tasks:
+        product *= task.utilization + 1.0
+    return product <= 2.0 + 1e-12
+
+
+@dataclass(frozen=True)
+class ResponseTimeResult:
+    """Exact RM analysis outcome."""
+
+    schedulable: bool
+    response_times: dict[str, float]
+
+    def response(self, name: str) -> float:
+        try:
+            return self.response_times[name]
+        except KeyError:
+            raise SchedulingError(f"no task named {name!r}") from None
+
+
+def response_time_analysis(tasks: list[PeriodicTask], max_iterations: int = 10_000) -> ResponseTimeResult:
+    """Exact test under deadline-monotonic priorities.
+
+    ``R_i = C_i + Σ_{j ∈ hp(i)} ceil(R_i / T_j) C_j`` iterated to a fixed
+    point; schedulable iff every ``R_i <= D_i``.  Tasks whose fixed point
+    exceeds the deadline report ``inf``.
+    """
+    names = [t.name for t in tasks]
+    if len(names) != len(set(names)):
+        raise SchedulingError("task names must be unique")
+    # Deadline-monotonic priority order (RM when deadlines == periods).
+    ordered = sorted(tasks, key=lambda t: (t.effective_deadline, t.name))
+    responses: dict[str, float] = {}
+    schedulable = True
+    for i, task in enumerate(ordered):
+        higher = ordered[:i]
+        r = task.work
+        for _ in range(max_iterations):
+            interference = sum(
+                math.ceil((r - 1e-12) / h.period) * h.work for h in higher
+            )
+            r_next = task.work + interference
+            if abs(r_next - r) < 1e-12:
+                break
+            r = r_next
+            if r > task.effective_deadline + 1e-12:
+                break
+        else:
+            raise SchedulingError("response-time iteration failed to converge")
+        if r > task.effective_deadline + 1e-12:
+            responses[task.name] = float("inf")
+            schedulable = False
+        else:
+            responses[task.name] = r
+    return ResponseTimeResult(schedulable=schedulable, response_times=responses)
+
+
+def rm_schedulable(tasks: list[PeriodicTask]) -> bool:
+    """Decision procedure: quick sufficient tests, then the exact one."""
+    if not tasks:
+        return True
+    if total_utilization(tasks) > 1.0 + 1e-12:
+        return False
+    if utilization_test(tasks) or hyperbolic_test(tasks):
+        return True
+    return response_time_analysis(tasks).schedulable

@@ -1,0 +1,101 @@
+"""Schedulable job model.
+
+The allocation engine must decide whether a set of FCMs can share one
+processor ("the processes in the cluster must all be schedulable so that
+their timing requirements are met").  We model each FCM's timing
+attribute as one aperiodic *job*: ``computation_time`` units of work to be
+placed inside ``[earliest_start, deadline]``; a periodic variant is
+handled by :mod:`repro.scheduling.rm`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SchedulingError
+from repro.model.attributes import TimingConstraint
+
+
+@dataclass(frozen=True)
+class Job:
+    """One aperiodic job derived from an FCM timing constraint."""
+
+    name: str
+    release: float
+    deadline: float
+    work: float
+
+    def __post_init__(self) -> None:
+        if self.work < 0:
+            raise SchedulingError(f"job {self.name!r}: work must be >= 0")
+        if self.release < 0:
+            raise SchedulingError(f"job {self.name!r}: release must be >= 0")
+        if self.deadline < self.release + self.work - 1e-12:
+            raise SchedulingError(
+                f"job {self.name!r} is infeasible alone: "
+                f"{self.work} units in [{self.release}, {self.deadline}]"
+            )
+
+    @classmethod
+    def from_timing(cls, name: str, timing: TimingConstraint) -> "Job":
+        return cls(
+            name=name,
+            release=timing.earliest_start,
+            deadline=timing.deadline,
+            work=timing.computation_time,
+        )
+
+    @property
+    def window(self) -> float:
+        return self.deadline - self.release
+
+    @property
+    def laxity(self) -> float:
+        return self.window - self.work
+
+
+@dataclass(frozen=True)
+class PeriodicTask:
+    """A periodic task for rate-monotonic analysis (implicit deadlines
+    unless ``deadline`` is given)."""
+
+    name: str
+    period: float
+    work: float
+    deadline: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise SchedulingError(f"task {self.name!r}: period must be > 0")
+        if self.work < 0:
+            raise SchedulingError(f"task {self.name!r}: work must be >= 0")
+        effective = self.deadline if self.deadline is not None else self.period
+        if effective <= 0 or effective < self.work:
+            raise SchedulingError(
+                f"task {self.name!r}: deadline {effective} cannot fit work {self.work}"
+            )
+
+    @property
+    def utilization(self) -> float:
+        return self.work / self.period
+
+    @property
+    def effective_deadline(self) -> float:
+        return self.deadline if self.deadline is not None else self.period
+
+
+@dataclass(frozen=True)
+class ScheduleSlice:
+    """A contiguous execution interval assigned to one job."""
+
+    job: str
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise SchedulingError("schedule slice must have positive length")
+
+    @property
+    def length(self) -> float:
+        return self.end - self.start

@@ -1,0 +1,19 @@
+"""Verification: non-interference battery, system audits, R5 obligations.
+
+R5 retest obligations live in :mod:`repro.composition.retest`; this
+package hosts the analytic checks.
+"""
+
+from repro.verification.checks import ALLOWED_FACTORS, AuditReport, audit_system
+from repro.verification.noninterference import (
+    NonInterferenceReport,
+    verify_noninterference,
+)
+
+__all__ = [
+    "ALLOWED_FACTORS",
+    "AuditReport",
+    "NonInterferenceReport",
+    "audit_system",
+    "verify_noninterference",
+]

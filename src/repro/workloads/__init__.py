@@ -1,0 +1,59 @@
+"""Workloads: the paper's example, avionics scenario, random generators."""
+
+from repro.workloads.avionics import (
+    AVIONICS_EXPECTATIONS,
+    avionics_hw,
+    avionics_resources,
+    avionics_system,
+)
+from repro.workloads.automotive import (
+    automotive_hw,
+    automotive_policy,
+    automotive_resources,
+    automotive_system,
+)
+from repro.workloads.generators import (
+    WorkloadSpec,
+    random_attributes,
+    random_process_graph,
+    random_system,
+    sweep_sizes,
+)
+from repro.workloads.paper_example import (
+    FIG_3_INFLUENCES,
+    FIG_7_CLUSTERS,
+    FIG_8_NODE_COUNT,
+    HW_NODE_COUNT,
+    PAPER_FACTS,
+    TABLE_1,
+    paper_attributes,
+    paper_influence_graph,
+    paper_process_fcms,
+    paper_system,
+)
+
+__all__ = [
+    "AVIONICS_EXPECTATIONS",
+    "FIG_3_INFLUENCES",
+    "FIG_7_CLUSTERS",
+    "FIG_8_NODE_COUNT",
+    "HW_NODE_COUNT",
+    "PAPER_FACTS",
+    "TABLE_1",
+    "WorkloadSpec",
+    "avionics_hw",
+    "avionics_resources",
+    "automotive_hw",
+    "automotive_policy",
+    "automotive_resources",
+    "automotive_system",
+    "avionics_system",
+    "paper_attributes",
+    "paper_influence_graph",
+    "paper_process_fcms",
+    "paper_system",
+    "random_attributes",
+    "random_process_graph",
+    "random_system",
+    "sweep_sizes",
+]

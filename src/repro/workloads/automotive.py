@@ -1,0 +1,129 @@
+"""An automotive brake-by-wire workload — a second realistic domain.
+
+The framework claims generality across "diverse task criticality
+requirements, different fault-tolerance needs, and varied throughput,
+timing and security constraints" (§1).  Avionics exercises TMR and fixed
+resources; this scenario exercises the *duplex + fail-silent* pattern
+typical of automotive E/E architectures, channel-derived influences, and
+tight periodic loops:
+
+* ``brake_ctl`` — duplex (FT=2) brake controller, hard 10 ms loop;
+* ``wheel_speed`` — sensor fusion feeding everyone over shared memory;
+* ``stability`` — ESC algorithm, duplex;
+* ``pedal`` — pedal-position acquisition, wired to the pedal bus;
+* ``telltale`` — driver display, soft timing;
+* ``diag`` — diagnostics/logging, lowest criticality, chatty.
+"""
+
+from __future__ import annotations
+
+from repro.allocation.constraints import (
+    CombinationPolicy,
+    PeriodicSchedulability,
+    ResourceRequirements,
+)
+from repro.allocation.hw_model import HWGraph, HWNode
+from repro.influence.estimation import Medium, UsageHistory
+from repro.model.attributes import AttributeSet, TimingConstraint
+from repro.model.communication import Channel, channels_to_influence
+from repro.model.fcm import FCM, Level
+from repro.model.system import SoftwareSystem
+from repro.scheduling.task_model import PeriodicTask
+
+#: name -> (criticality, FT, EST, TCD, CT)
+PROCESSES: dict[str, tuple[float, int, float, float, float]] = {
+    "brake_ctl": (100.0, 2, 0.0, 10.0, 2.0),
+    "stability": (80.0, 2, 0.0, 20.0, 4.0),
+    "wheel_speed": (70.0, 1, 0.0, 5.0, 1.0),
+    "pedal": (60.0, 1, 0.0, 8.0, 1.0),
+    "telltale": (15.0, 1, 10.0, 100.0, 5.0),
+    "diag": (5.0, 1, 20.0, 200.0, 10.0),
+}
+
+CHANNELS: list[Channel] = [
+    Channel("wheel_speed", "brake_ctl", Medium.SHARED_MEMORY, volume=16, rate=100),
+    Channel("wheel_speed", "stability", Medium.SHARED_MEMORY, volume=16, rate=100),
+    Channel("pedal", "brake_ctl", Medium.MESSAGE, volume=4, rate=100),
+    Channel("stability", "brake_ctl", Medium.MESSAGE, volume=8, rate=50),
+    Channel("brake_ctl", "telltale", Medium.MESSAGE, volume=2, rate=10),
+    Channel("stability", "telltale", Medium.MESSAGE, volume=2, rate=10),
+    Channel("diag", "telltale", Medium.MESSAGE, volume=2, rate=1),
+    Channel("brake_ctl", "diag", Medium.MESSAGE, volume=32, rate=5),
+    Channel("stability", "diag", Medium.MESSAGE, volume=32, rate=5),
+]
+
+HISTORIES: dict[str, UsageHistory] = {
+    "brake_ctl": UsageHistory(executions=2_000_000, faults=4),
+    "stability": UsageHistory(executions=1_000_000, faults=6),
+    "wheel_speed": UsageHistory(executions=5_000_000, faults=50),
+    "pedal": UsageHistory(executions=5_000_000, faults=25),
+    "telltale": UsageHistory(executions=500_000, faults=40),
+    "diag": UsageHistory(executions=500_000, faults=100),
+}
+
+#: Periodic control loops per process (RM-checked during condensation).
+PERIODIC_TASKS: dict[str, tuple[PeriodicTask, ...]] = {
+    "brake_ctl": (PeriodicTask("brake.loop", period=10, work=2),),
+    "stability": (PeriodicTask("esc.loop", period=20, work=4),),
+    "wheel_speed": (PeriodicTask("ws.sample", period=5, work=1),),
+    "pedal": (PeriodicTask("pedal.sample", period=8, work=1),),
+}
+
+MISSION_TIME = 3600.0  # one hour of driving
+
+
+def automotive_system() -> SoftwareSystem:
+    """The brake-by-wire system with channel-derived influences."""
+    system = SoftwareSystem(name="brake-by-wire")
+    for name, (crit, ft, est, tcd, ct) in PROCESSES.items():
+        system.hierarchy.add(
+            FCM(
+                name,
+                Level.PROCESS,
+                AttributeSet(
+                    criticality=crit,
+                    fault_tolerance=ft,
+                    timing=TimingConstraint(est, tcd, ct),
+                ),
+            )
+        )
+    graph = system.influence_at(Level.PROCESS)
+    channels_to_influence(
+        graph, CHANNELS, HISTORIES, mission_time=MISSION_TIME
+    )
+    return system
+
+
+def automotive_policy() -> CombinationPolicy:
+    """Default policy plus the periodic RM constraint."""
+    policy = CombinationPolicy()
+    policy.constraints.append(PeriodicSchedulability(tasks=PERIODIC_TASKS))
+    return policy
+
+
+def automotive_resources() -> ResourceRequirements:
+    return ResourceRequirements(
+        needs={
+            "pedal": frozenset({"pedal_bus"}),
+            "wheel_speed": frozenset({"wheel_bus"}),
+        }
+    )
+
+
+def automotive_hw(nodes: int = 4) -> HWGraph:
+    """ECUs on a ring bus: neighbours cheap, others two hops."""
+    hw = HWGraph()
+    for i in range(1, nodes + 1):
+        resources: frozenset[str] = frozenset()
+        if i == 1:
+            resources = frozenset({"pedal_bus"})
+        elif i == 2:
+            resources = frozenset({"wheel_bus"})
+        hw.add_node(HWNode(f"ecu{i}", fcr=f"zone{i}", resources=resources))
+    names = hw.names()
+    for i, a in enumerate(names):
+        for j in range(i + 1, len(names)):
+            b = names[j]
+            ring_distance = min(j - i, len(names) - (j - i))
+            hw.add_link(a, b, float(ring_distance))
+    return hw

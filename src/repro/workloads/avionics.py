@@ -1,0 +1,173 @@
+"""An AIMS-like integrated flight-control workload.
+
+The paper's motivating example: "the integration for flight control SW
+involves display, sensor, collision avoidance, and navigation SW onto a
+shared platform" (the Boeing 777 AIMS system).  This module builds that
+scenario as a full three-level system:
+
+* four subsystems (processes pre-integration): ``flight_ctl`` (TMR,
+  highest criticality), ``collision_avoid`` (duplex), ``navigation``,
+  ``sensor_io``, ``display``, ``maintenance`` — mixed criticality on a
+  shared platform;
+* each process carries tasks (control loop, voter, filters, ...) and
+  procedures, with influence factors drawn from the paper's mechanisms
+  (shared memory between sensor and navigation, messages from navigation
+  to display, timing coupling in the control loop);
+* resource needs: ``sensor_io`` requires the ``sensor_bus`` resource;
+  ``display`` requires ``display_head`` — exercising the resource-aware
+  mapping path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.allocation.constraints import ResourceRequirements
+from repro.allocation.hw_model import HWGraph, HWNode
+from repro.influence.factors import FactorKind, InfluenceFactor
+from repro.model.attributes import AttributeSet, SecurityLevel, TimingConstraint
+from repro.model.fcm import FCM, Level
+from repro.model.hierarchy import FCMHierarchy
+from repro.model.system import SoftwareSystem
+
+#: process name -> (criticality, FT, EST, TCD, CT, throughput)
+PROCESSES: dict[str, tuple[float, int, float, float, float, float]] = {
+    "flight_ctl": (100.0, 3, 0.0, 20.0, 5.0, 50.0),
+    "collision_avoid": (80.0, 2, 0.0, 25.0, 6.0, 20.0),
+    "navigation": (60.0, 1, 5.0, 40.0, 8.0, 30.0),
+    "sensor_io": (50.0, 1, 0.0, 15.0, 4.0, 80.0),
+    "display": (20.0, 1, 10.0, 60.0, 10.0, 15.0),
+    "maintenance": (5.0, 1, 30.0, 100.0, 10.0, 5.0),
+}
+
+#: Tasks per process (suffix, relative criticality share).
+TASKS: dict[str, list[str]] = {
+    "flight_ctl": ["control_loop", "voter", "actuator_out"],
+    "collision_avoid": ["tracker", "advisory"],
+    "navigation": ["position", "route"],
+    "sensor_io": ["adc_scan", "calibrate"],
+    "display": ["render", "annunciator"],
+    "maintenance": ["logger"],
+}
+
+#: Process-level influence factors: (src, dst, kind, p1, p2, p3).
+PROCESS_FACTORS: list[tuple[str, str, FactorKind, float, float, float]] = [
+    ("sensor_io", "flight_ctl", FactorKind.SHARED_MEMORY, 0.05, 0.9, 0.8),
+    ("sensor_io", "navigation", FactorKind.SHARED_MEMORY, 0.05, 0.8, 0.7),
+    ("sensor_io", "collision_avoid", FactorKind.MESSAGE_PASSING, 0.05, 0.6, 0.7),
+    ("navigation", "flight_ctl", FactorKind.MESSAGE_PASSING, 0.04, 0.7, 0.6),
+    ("navigation", "display", FactorKind.MESSAGE_PASSING, 0.04, 0.5, 0.4),
+    ("collision_avoid", "flight_ctl", FactorKind.MESSAGE_PASSING, 0.03, 0.8, 0.7),
+    ("collision_avoid", "display", FactorKind.MESSAGE_PASSING, 0.03, 0.4, 0.4),
+    ("flight_ctl", "display", FactorKind.MESSAGE_PASSING, 0.02, 0.3, 0.3),
+    ("maintenance", "display", FactorKind.RESOURCE_SHARING, 0.10, 0.3, 0.3),
+    ("maintenance", "navigation", FactorKind.RESOURCE_SHARING, 0.10, 0.2, 0.3),
+    ("display", "maintenance", FactorKind.MESSAGE_PASSING, 0.02, 0.4, 0.5),
+]
+
+
+def avionics_system() -> SoftwareSystem:
+    """The full flight-control system with hierarchy and influences."""
+    system = SoftwareSystem(name="avionics")
+    hierarchy = FCMHierarchy()
+
+    for name, (crit, ft, est, tcd, ct, tput) in PROCESSES.items():
+        hierarchy.add(
+            FCM(
+                name,
+                Level.PROCESS,
+                AttributeSet(
+                    criticality=crit,
+                    fault_tolerance=ft,
+                    timing=TimingConstraint(est, tcd, ct),
+                    throughput=tput,
+                    security=(
+                        SecurityLevel.RESTRICTED
+                        if name in ("flight_ctl", "collision_avoid")
+                        else SecurityLevel.UNCLASSIFIED
+                    ),
+                ),
+            )
+        )
+        for i, suffix in enumerate(TASKS[name]):
+            task_name = f"{name}.{suffix}"
+            hierarchy.add(
+                FCM(
+                    task_name,
+                    Level.TASK,
+                    AttributeSet(criticality=crit / (i + 1.5)),
+                ),
+                parent=name,
+            )
+            for proc_suffix in ("init", "step"):
+                hierarchy.add(
+                    FCM(
+                        f"{task_name}.{proc_suffix}",
+                        Level.PROCEDURE,
+                        AttributeSet(criticality=crit / 10.0),
+                    ),
+                    parent=task_name,
+                )
+    system.hierarchy = hierarchy
+
+    graph = system.influence_at(Level.PROCESS)
+    for src, dst, kind, p1, p2, p3 in PROCESS_FACTORS:
+        graph.set_influence(
+            src,
+            dst,
+            factors=[InfluenceFactor(kind, p1, p2, p3)],
+        )
+
+    # Task-level coupling inside flight_ctl: the control loop's timing
+    # affects the voter; the voter's messages affect actuator output.
+    task_graph = system.influence_at(Level.TASK)
+    task_graph.set_influence(
+        "flight_ctl.control_loop",
+        "flight_ctl.voter",
+        factors=[InfluenceFactor(FactorKind.TIMING, 0.05, 0.9, 0.9)],
+    )
+    task_graph.set_influence(
+        "flight_ctl.voter",
+        "flight_ctl.actuator_out",
+        factors=[InfluenceFactor(FactorKind.MESSAGE_PASSING, 0.03, 0.8, 0.8)],
+    )
+    return system
+
+
+def avionics_resources() -> ResourceRequirements:
+    """Resource needs: sensor I/O and display are location-bound."""
+    return ResourceRequirements(
+        needs={
+            "sensor_io": frozenset({"sensor_bus"}),
+            "display": frozenset({"display_head"}),
+        }
+    )
+
+
+def avionics_hw(nodes: int = 6) -> HWGraph:
+    """A cabinet of ``nodes`` processors; node 1 carries the sensor bus,
+    node 2 the display head; distinct FCR per processor."""
+    hw = HWGraph()
+    for i in range(1, nodes + 1):
+        resources: frozenset[str] = frozenset()
+        if i == 1:
+            resources = frozenset({"sensor_bus"})
+        elif i == 2:
+            resources = frozenset({"display_head"})
+        hw.add_node(HWNode(f"cab{i}", fcr=f"fcr{i}", resources=resources))
+    names = hw.names()
+    for i, a in enumerate(names):
+        for b in names[i + 1:]:
+            hw.add_link(a, b, 1.0)
+    return hw
+
+
+@dataclass(frozen=True)
+class AvionicsExpectations:
+    """Facts the avionics scenario must satisfy (tests assert these)."""
+
+    replicated_nodes: int = 9  # 3 + 2 + 4 singles
+    min_hw_nodes: int = 3  # TMR lower bound
+
+
+AVIONICS_EXPECTATIONS = AvionicsExpectations()

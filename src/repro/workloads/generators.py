@@ -1,0 +1,179 @@
+"""Seeded synthetic workload generation.
+
+The heuristic-comparison and scaling benches need families of systems
+with controllable size, influence density, replication mix and timing
+load.  :func:`random_process_graph` generates process-level influence
+graphs; :func:`random_system` builds full three-level systems (processes
+containing tasks containing procedures) for the composition and
+verification tests.
+
+All generation is deterministic given the seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.influence.influence_graph import InfluenceGraph
+from repro.model.attributes import AttributeSet, TimingConstraint
+from repro.model.fcm import FCM, Level
+from repro.model.hierarchy import FCMHierarchy
+from repro.model.system import SoftwareSystem
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Parameters of a synthetic process population.
+
+    Attributes:
+        processes: Number of processes (pre-replication).
+        edge_probability: Probability an ordered pair gets an influence
+            edge.
+        replicated_fraction: Fraction of processes given FT in {2, 3}.
+        max_influence: Influence values are uniform in (0, max_influence].
+        horizon: Timing windows are laid out within [0, horizon].
+        utilization: Average fraction of each window used as computation
+            time (low values keep random clusters schedulable).
+    """
+
+    processes: int = 8
+    edge_probability: float = 0.25
+    replicated_fraction: float = 0.25
+    max_influence: float = 0.8
+    horizon: float = 100.0
+    utilization: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.processes < 1:
+            raise SimulationError("processes must be >= 1")
+        if not 0.0 <= self.edge_probability <= 1.0:
+            raise SimulationError("edge_probability must be in [0, 1]")
+        if not 0.0 <= self.replicated_fraction <= 1.0:
+            raise SimulationError("replicated_fraction must be in [0, 1]")
+        if not 0.0 < self.max_influence <= 1.0:
+            raise SimulationError("max_influence must be in (0, 1]")
+        if self.horizon <= 0:
+            raise SimulationError("horizon must be > 0")
+        if not 0.0 < self.utilization <= 1.0:
+            raise SimulationError("utilization must be in (0, 1]")
+
+
+def random_attributes(rng: random.Random, spec: WorkloadSpec, replicated: bool) -> AttributeSet:
+    """One random attribute set under ``spec``."""
+    start = rng.uniform(0.0, spec.horizon * 0.6)
+    window = rng.uniform(spec.horizon * 0.2, spec.horizon * 0.4)
+    deadline = min(start + window, spec.horizon)
+    work = max(0.01, (deadline - start) * spec.utilization * rng.uniform(0.5, 1.5))
+    work = min(work, deadline - start)
+    return AttributeSet(
+        criticality=rng.uniform(1.0, 30.0),
+        fault_tolerance=rng.choice((2, 3)) if replicated else 1,
+        timing=TimingConstraint(start, deadline, work),
+        throughput=rng.uniform(0.0, 10.0),
+    )
+
+
+def random_process_graph(
+    spec: WorkloadSpec | None = None,
+    seed: int = 0,
+) -> InfluenceGraph:
+    """A random process-level influence graph under ``spec``."""
+    spec = spec or WorkloadSpec()
+    rng = random.Random(seed)
+    graph = InfluenceGraph()
+    names = [f"p{i}" for i in range(1, spec.processes + 1)]
+    replicated_count = round(spec.processes * spec.replicated_fraction)
+    replicated = set(names[:replicated_count])
+    for name in names:
+        graph.add_fcm(
+            FCM(
+                name,
+                Level.PROCESS,
+                random_attributes(rng, spec, name in replicated),
+            )
+        )
+    for src in names:
+        for dst in names:
+            if src == dst:
+                continue
+            if rng.random() < spec.edge_probability:
+                graph.set_influence(
+                    src, dst, rng.uniform(0.01, spec.max_influence)
+                )
+    return graph
+
+
+def random_system(
+    processes: int = 3,
+    tasks_per_process: int = 3,
+    procedures_per_task: int = 3,
+    seed: int = 0,
+) -> SoftwareSystem:
+    """A full three-level system with hierarchy links.
+
+    Process/task/procedure attributes are generated with decreasing
+    criticality variance down the hierarchy; influence graphs at each
+    level get a sparse random edge set among siblings.
+    """
+    rng = random.Random(seed)
+    spec = WorkloadSpec(processes=processes)
+    system = SoftwareSystem(name=f"synthetic-{seed}")
+    hierarchy = FCMHierarchy()
+
+    for p in range(1, processes + 1):
+        process_name = f"p{p}"
+        hierarchy.add(
+            FCM(process_name, Level.PROCESS, random_attributes(rng, spec, rng.random() < 0.2))
+        )
+        for t in range(1, tasks_per_process + 1):
+            task_name = f"{process_name}.t{t}"
+            hierarchy.add(
+                FCM(
+                    task_name,
+                    Level.TASK,
+                    AttributeSet(criticality=rng.uniform(1.0, 15.0)),
+                ),
+                parent=process_name,
+            )
+            for f in range(1, procedures_per_task + 1):
+                hierarchy.add(
+                    FCM(
+                        f"{task_name}.f{f}",
+                        Level.PROCEDURE,
+                        AttributeSet(criticality=rng.uniform(0.0, 5.0)),
+                    ),
+                    parent=task_name,
+                )
+    system.hierarchy = hierarchy
+
+    for level in (Level.PROCESS, Level.TASK, Level.PROCEDURE):
+        graph = system.influence_at(level)
+        names = graph.fcm_names()
+        for src in names:
+            for dst in names:
+                if src != dst and rng.random() < 0.15:
+                    graph.set_influence(src, dst, rng.uniform(0.05, 0.6))
+    return system
+
+
+def sweep_sizes(
+    sizes: list[int],
+    seed: int = 0,
+    spec: WorkloadSpec | None = None,
+) -> dict[int, InfluenceGraph]:
+    """One random process graph per requested size (scaling benches)."""
+    base = spec or WorkloadSpec()
+    out = {}
+    for i, size in enumerate(sizes):
+        sized = WorkloadSpec(
+            processes=size,
+            edge_probability=base.edge_probability,
+            replicated_fraction=base.replicated_fraction,
+            max_influence=base.max_influence,
+            horizon=base.horizon,
+            utilization=base.utilization,
+        )
+        out[size] = random_process_graph(sized, seed=seed + i)
+    return out

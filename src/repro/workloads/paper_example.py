@@ -1,0 +1,133 @@
+"""The Section 6 worked example: eight processes p1..p8.
+
+The OCR of the paper lost every digit, so the concrete values below are a
+*reconstruction* that satisfies every structural fact the prose preserves
+(see DESIGN.md §2 and EXPERIMENTS.md for the full derivation):
+
+* p1 is highly critical and runs TMR (FT=3); p2 and p3 are of
+  intermediate criticality with FT=2; p4..p8 need no replication.
+* The single-process criticality order is pinned by the Fig. 7 pairing
+  (p1a+p8, p1b+p7, p1c+p5, p2a+p6, then the repaired p2b+p3b / p3a+p4):
+  p4 > p6 > p5 > p7 > p8.
+* The twelve influence labels legible in Fig. 3 form the multiset
+  {0.7, 0.7, 0.6, 0.5, 0.3, 0.3, 0.2, 0.2, 0.2, 0.2, 0.1, 0.1}; the edge
+  *endpoints* are chosen so that H1's first combination is (p1, p2) — the
+  pair the prose names — and the example graph stays weakly connected.
+* Timing constraints make {p4, p5, p7} pairwise co-schedulable but
+  jointly infeasible, reproducing the "certain combinations of nodes may
+  be infeasible" demonstration, while every Fig. 7 pair stays feasible.
+
+Influences in the paper were "randomly generated"; only their multiset
+and the first H1 merge are recoverable, so intermediate cluster
+identities in Figs. 5-6 may differ from the (unrecoverable) originals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.influence.influence_graph import InfluenceGraph
+from repro.model.attributes import AttributeSet, TimingConstraint
+from repro.model.fcm import FCM, Level
+from repro.model.hierarchy import FCMHierarchy
+from repro.model.system import SoftwareSystem
+
+#: Table 1 (reconstructed): process -> (C, FT, EST, TCD, CT).
+TABLE_1: dict[str, tuple[float, int, float, float, float]] = {
+    "p1": (30.0, 3, 0.0, 10.0, 3.0),
+    "p2": (20.0, 2, 0.0, 12.0, 3.0),
+    "p3": (15.0, 2, 2.0, 12.0, 3.0),
+    "p4": (9.0, 1, 10.0, 16.0, 2.0),
+    "p5": (7.0, 1, 11.0, 16.0, 2.0),
+    "p6": (8.0, 1, 4.0, 12.0, 3.0),
+    "p7": (5.0, 1, 10.0, 15.0, 3.0),
+    "p8": (3.0, 1, 12.0, 18.0, 3.0),
+}
+
+#: Fig. 3 (reconstructed endpoints, legible weights): directed influences.
+FIG_3_INFLUENCES: list[tuple[str, str, float]] = [
+    ("p1", "p2", 0.7),
+    ("p2", "p1", 0.5),
+    ("p2", "p3", 0.7),
+    ("p3", "p4", 0.6),
+    ("p4", "p3", 0.3),
+    ("p5", "p7", 0.3),
+    ("p7", "p8", 0.2),
+    ("p8", "p7", 0.2),
+    ("p4", "p5", 0.2),
+    ("p2", "p5", 0.2),
+    ("p6", "p1", 0.1),
+    ("p5", "p6", 0.1),
+]
+
+#: The Fig. 7 clusters the prose pins down exactly (Approach B result).
+FIG_7_CLUSTERS: list[set[str]] = [
+    {"p1a", "p8"},
+    {"p1b", "p7"},
+    {"p1c", "p5"},
+    {"p2a", "p6"},
+    {"p2b", "p3b"},
+    {"p3a", "p4"},
+]
+
+#: HW node count used by the example ("a strongly connected network with
+#: six HW nodes"), and the Fig. 8 refinement target.
+HW_NODE_COUNT = 6
+FIG_8_NODE_COUNT = 4
+
+
+def paper_attributes(name: str) -> AttributeSet:
+    """Attribute set of one Table 1 process."""
+    crit, ft, est, tcd, ct = TABLE_1[name]
+    return AttributeSet(
+        criticality=crit,
+        fault_tolerance=ft,
+        timing=TimingConstraint(est, tcd, ct),
+    )
+
+
+def paper_process_fcms() -> list[FCM]:
+    """The eight process-level FCMs of Table 1."""
+    return [
+        FCM(name, Level.PROCESS, paper_attributes(name))
+        for name in TABLE_1
+    ]
+
+
+def paper_influence_graph() -> InfluenceGraph:
+    """Fig. 3: the initial 8-node SW influence graph."""
+    graph = InfluenceGraph()
+    for fcm in paper_process_fcms():
+        graph.add_fcm(fcm)
+    for src, dst, weight in FIG_3_INFLUENCES:
+        graph.set_influence(src, dst, weight)
+    return graph
+
+
+def paper_system() -> SoftwareSystem:
+    """The full example as a :class:`SoftwareSystem` (process level only;
+    the paper's example works at process granularity)."""
+    system = SoftwareSystem(name="icdcs98-example")
+    hierarchy = FCMHierarchy()
+    for fcm in paper_process_fcms():
+        hierarchy.add(fcm)
+    system.hierarchy = hierarchy
+    system.influence[Level.PROCESS] = paper_influence_graph()
+    return system
+
+
+@dataclass(frozen=True)
+class PaperFacts:
+    """Structural facts the reproduction must honour (used by tests)."""
+
+    replicated_node_count: int = 12  # 3 + 2 + 2 + 5
+    influence_edge_count: int = 12
+    first_h1_merge: tuple[str, str] = ("p1", "p2")
+    jointly_infeasible: tuple[str, str, str] = ("p4", "p5", "p7")
+    infeasible_pair_demo: tuple[tuple[float, float, float], tuple[float, float, float]] = (
+        (0.0, 3.0, 2.0),
+        (1.0, 4.0, 3.0),
+    )
+
+
+PAPER_FACTS = PaperFacts()

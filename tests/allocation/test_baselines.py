@@ -1,0 +1,93 @@
+"""Baseline clustering strategies."""
+
+import pytest
+
+from repro.allocation import (
+    condense_h1,
+    evaluate_partition,
+    expand_replication,
+    initial_state,
+    load_balance_clustering,
+    random_clustering,
+    round_robin_clustering,
+)
+from repro.errors import InfeasibleAllocationError
+from repro.workloads import HW_NODE_COUNT, paper_influence_graph
+
+
+def fresh_state():
+    return initial_state(expand_replication(paper_influence_graph()))
+
+
+BASELINES = [random_clustering, round_robin_clustering, load_balance_clustering]
+
+
+class TestBaselineValidity:
+    @pytest.mark.parametrize("baseline", BASELINES)
+    def test_respects_hard_constraints(self, baseline):
+        result = baseline(fresh_state(), HW_NODE_COUNT)
+        state = result.state
+        for cluster in state.clusters:
+            assert state.policy.block_valid(state.graph, cluster.members), (
+                f"{baseline.__name__} produced invalid block {cluster.members}"
+            )
+
+    @pytest.mark.parametrize("baseline", BASELINES)
+    def test_within_target(self, baseline):
+        result = baseline(fresh_state(), HW_NODE_COUNT)
+        assert len(result.clusters) <= HW_NODE_COUNT
+
+    @pytest.mark.parametrize("baseline", BASELINES)
+    def test_covers_all_nodes(self, baseline):
+        result = baseline(fresh_state(), HW_NODE_COUNT)
+        members = [m for c in result.clusters for m in c.members]
+        assert sorted(members) == sorted(fresh_state().graph.fcm_names())
+
+    @pytest.mark.parametrize("baseline", BASELINES)
+    def test_below_replica_bound_rejected(self, baseline):
+        with pytest.raises(InfeasibleAllocationError):
+            baseline(fresh_state(), 2)
+
+
+class TestRandomBaseline:
+    def test_deterministic_given_seed(self):
+        a = random_clustering(fresh_state(), HW_NODE_COUNT, seed=5)
+        b = random_clustering(fresh_state(), HW_NODE_COUNT, seed=5)
+        assert a.partition() == b.partition()
+
+    def test_seeds_differ(self):
+        a = random_clustering(fresh_state(), HW_NODE_COUNT, seed=1)
+        b = random_clustering(fresh_state(), HW_NODE_COUNT, seed=2)
+        assert a.partition() != b.partition()
+
+
+class TestHeadlineComparison:
+    def test_h1_contains_influence_better_than_every_baseline(self):
+        """The paper's core claim: dependability-driven condensation keeps
+        influence inside nodes, so cross-node influence is lower than any
+        dependability-blind placement."""
+        h1_score = evaluate_partition(
+            condense_h1(fresh_state(), HW_NODE_COUNT).state
+        ).cross_influence
+        for baseline in BASELINES:
+            base_score = evaluate_partition(
+                baseline(fresh_state(), HW_NODE_COUNT).state
+            ).cross_influence
+            assert h1_score < base_score, (
+                f"H1 ({h1_score:.3f}) did not beat "
+                f"{baseline.__name__} ({base_score:.3f})"
+            )
+
+    def test_load_balance_actually_balances(self):
+        result = load_balance_clustering(fresh_state(), HW_NODE_COUNT)
+
+        def load(cluster):
+            total = 0.0
+            for member in cluster.members:
+                timing = result.state.graph.fcm(member).attributes.timing
+                if timing:
+                    total += timing.computation_time
+            return total
+
+        loads = [load(c) for c in result.clusters]
+        assert max(loads) - min(loads) <= 4.0  # no one node hoards work

@@ -1,0 +1,135 @@
+"""Hard constraints: replica separation, schedulability, criticality."""
+
+import pytest
+
+from repro.allocation import (
+    CombinationPolicy,
+    CriticalityExclusion,
+    ReplicaSeparation,
+    ResourceRequirements,
+    Schedulability,
+)
+from repro.errors import AllocationError
+from repro.influence import InfluenceGraph
+from repro.model import AttributeSet, FCM, Level, TimingConstraint
+from repro.scheduling import FeasibilityMethod
+
+from tests.conftest import make_process
+
+
+@pytest.fixture
+def graph() -> InfluenceGraph:
+    g = InfluenceGraph()
+    base = FCM("p", Level.PROCESS, AttributeSet(criticality=10, fault_tolerance=2))
+    g.add_fcm(base.replicate("a"))
+    g.add_fcm(base.replicate("b"))
+    g.link_replicas("pa", "pb")
+    g.add_fcm(
+        FCM(
+            "q",
+            Level.PROCESS,
+            AttributeSet(criticality=9, timing=TimingConstraint(0, 3, 2)),
+        )
+    )
+    g.add_fcm(
+        FCM(
+            "r",
+            Level.PROCESS,
+            AttributeSet(criticality=1, timing=TimingConstraint(1, 4, 3)),
+        )
+    )
+    return g
+
+
+class TestReplicaSeparation:
+    def test_blocks_replicas(self, graph):
+        assert ReplicaSeparation().check(graph, ("pa",), ("pb",)) is not None
+
+    def test_allows_others(self, graph):
+        assert ReplicaSeparation().check(graph, ("pa",), ("q",)) is None
+
+
+class TestSchedulability:
+    def test_blocks_overload(self, graph):
+        assert Schedulability().check(graph, ("q",), ("r",)) is not None
+
+    def test_allows_untimed(self, graph):
+        assert Schedulability().check(graph, ("pa",), ("pb",)) is None
+
+    def test_density_method_more_conservative(self, graph):
+        g = InfluenceGraph()
+        g.add_fcm(
+            FCM("x", Level.PROCESS, AttributeSet(timing=TimingConstraint(0, 4, 4)))
+        )
+        g.add_fcm(
+            FCM("y", Level.PROCESS, AttributeSet(timing=TimingConstraint(4, 8, 4)))
+        )
+        exact = Schedulability(FeasibilityMethod.EXACT)
+        density = Schedulability(FeasibilityMethod.DENSITY)
+        assert exact.check(g, ("x",), ("y",)) is None
+        assert density.check(g, ("x",), ("y",)) is not None
+
+
+class TestCriticalityExclusion:
+    def test_blocks_two_critical(self, graph):
+        constraint = CriticalityExclusion(threshold=8.0)
+        assert constraint.check(graph, ("pa",), ("q",)) is not None
+
+    def test_allows_critical_with_noncritical(self, graph):
+        constraint = CriticalityExclusion(threshold=8.0)
+        assert constraint.check(graph, ("pa",), ("r",)) is None
+
+
+class TestCombinationPolicy:
+    def test_default_enforces_both(self, graph):
+        policy = CombinationPolicy()
+        assert not policy.can_combine(graph, ("pa",), ("pb",))
+        assert not policy.can_combine(graph, ("q",), ("r",))
+        assert policy.can_combine(graph, ("pa",), ("q",))
+
+    def test_violations_reported(self, graph):
+        policy = CombinationPolicy()
+        reasons = policy.violations(graph, ("pa",), ("pb",))
+        assert any("replica" in r for r in reasons)
+
+    def test_require_combinable_raises(self, graph):
+        policy = CombinationPolicy()
+        with pytest.raises(AllocationError, match="rejected"):
+            policy.require_combinable(graph, ("q",), ("r",))
+
+    def test_extra_constraint_composes(self, graph):
+        policy = CombinationPolicy()
+        policy.constraints.append(CriticalityExclusion(threshold=8.0))
+        assert not policy.can_combine(graph, ("pa",), ("q",))
+
+    def test_block_violations_internal_replicas(self, graph):
+        policy = CombinationPolicy()
+        reasons = policy.block_violations(graph, ("pa", "pb", "r"))
+        assert any("replica" in reason for reason in reasons)
+
+    def test_block_violations_aggregate_schedulability(self, graph):
+        policy = CombinationPolicy()
+        reasons = policy.block_violations(graph, ("q", "r"))
+        assert any("schedulable" in reason for reason in reasons)
+
+    def test_block_valid_singleton(self, graph):
+        policy = CombinationPolicy()
+        assert policy.block_valid(graph, ("pa",))
+
+
+class TestResourceRequirements:
+    def test_required_by_union(self):
+        reqs = ResourceRequirements(
+            needs={
+                "a": frozenset({"bus"}),
+                "b": frozenset({"gpu", "bus"}),
+            }
+        )
+        assert reqs.required_by(["a", "b"]) == frozenset({"bus", "gpu"})
+        assert reqs.required_by(["c"]) == frozenset()
+
+    def test_satisfied_on(self):
+        reqs = ResourceRequirements(needs={"a": frozenset({"bus"})})
+        assert reqs.satisfied_on(["a"], frozenset({"bus", "gpu"}))
+        assert not reqs.satisfied_on(["a"], frozenset({"gpu"}))
+        assert reqs.satisfied_on(["other"], frozenset())

@@ -1,0 +1,121 @@
+"""Approach B: criticality pairing and the Fig. 7 reproduction."""
+
+import pytest
+
+from repro.allocation import (
+    ApproachBOptions,
+    SummaryCriticality,
+    condense_criticality,
+    initial_state,
+    plan_pairing,
+)
+from repro.errors import InfeasibleAllocationError
+from repro.influence import InfluenceGraph
+from repro.model import AttributeSet, FCM, Level
+from repro.workloads import FIG_7_CLUSTERS, HW_NODE_COUNT
+
+from tests.conftest import make_process
+
+
+class TestFig7Reproduction:
+    def test_exact_paper_clusters(self, expanded_paper_state):
+        result = condense_criticality(expanded_paper_state, HW_NODE_COUNT)
+        got = [set(c.members) for c in result.clusters]
+        assert len(got) == 6
+        for expected in FIG_7_CLUSTERS:
+            assert expected in got, f"missing cluster {expected}"
+
+    def test_pairing_plan_shows_repair(self, expanded_paper_state):
+        pairs = plan_pairing(expanded_paper_state)
+        as_sets = [set(a) | set(b) for a, b in pairs]
+        # The repaired pairs are the interesting ones.
+        assert {"p2b", "p3b"} in as_sets
+        assert {"p3a", "p4"} in as_sets
+
+    def test_most_with_least_ordering(self, expanded_paper_state):
+        pairs = plan_pairing(expanded_paper_state)
+        # First pair: most critical replica with least critical process.
+        first = set(pairs[0][0]) | set(pairs[0][1])
+        assert first == {"p1a", "p8"}
+
+    def test_no_replicas_share_cluster(self, expanded_paper_state):
+        result = condense_criticality(expanded_paper_state, HW_NODE_COUNT)
+        graph = result.state.graph
+        for cluster in result.clusters:
+            for i, a in enumerate(cluster.members):
+                for b in cluster.members[i + 1:]:
+                    assert not graph.is_replica_link(a, b)
+
+    def test_all_clusters_schedulable(self, expanded_paper_state):
+        result = condense_criticality(expanded_paper_state, HW_NODE_COUNT)
+        for cluster in result.clusters:
+            assert result.state.policy.block_valid(
+                result.state.graph, cluster.members
+            )
+
+
+class TestRounds:
+    def build_uniform(self, count: int) -> InfluenceGraph:
+        g = InfluenceGraph()
+        for i in range(count):
+            g.add_fcm(
+                FCM(f"u{i}", Level.PROCESS, AttributeSet(criticality=count - i))
+            )
+        return g
+
+    def test_multiple_rounds_reach_small_target(self):
+        state = initial_state(self.build_uniform(8))
+        result = condense_criticality(state, 2)
+        assert len(result.clusters) == 2
+
+    def test_odd_count_leaves_middle(self):
+        state = initial_state(self.build_uniform(5))
+        result = condense_criticality(state, 3)
+        assert len(result.clusters) == 3
+
+    def test_summary_sum_option(self):
+        state = initial_state(self.build_uniform(6))
+        result = condense_criticality(
+            state, 3, ApproachBOptions(summary=SummaryCriticality.SUM)
+        )
+        assert len(result.clusters) == 3
+
+    def test_criticality_dispersion_objective(self):
+        # Max summed criticality per cluster should be far below the sum
+        # of the two most critical processes (they are never paired).
+        state = initial_state(self.build_uniform(8))
+        result = condense_criticality(state, 4)
+        crits = []
+        for cluster in result.clusters:
+            crits.append(
+                sum(
+                    result.state.graph.fcm(m).attributes.criticality
+                    for m in cluster.members
+                )
+            )
+        assert max(crits) < 8 + 7  # top two never colocated
+
+
+class TestInfeasible:
+    def test_below_replica_bound(self, expanded_paper_state):
+        with pytest.raises(InfeasibleAllocationError):
+            condense_criticality(expanded_paper_state, 2)
+
+    def test_stalls_when_nothing_combinable(self):
+        # Three mutually-conflicting timed processes cannot reach 2.
+        from repro.model import TimingConstraint
+
+        g = InfluenceGraph()
+        for name in ("x", "y", "z"):
+            g.add_fcm(
+                FCM(
+                    name,
+                    Level.PROCESS,
+                    AttributeSet(
+                        criticality=5, timing=TimingConstraint(0, 2, 2)
+                    ),
+                )
+            )
+        state = initial_state(g)
+        with pytest.raises(InfeasibleAllocationError):
+            condense_criticality(state, 2)

@@ -1,0 +1,92 @@
+"""Approach B conflict repair beyond the immediately preceding pair."""
+
+import pytest
+
+from repro.allocation import condense_criticality, initial_state, plan_pairing
+from repro.influence import InfluenceGraph
+from repro.model import AttributeSet, FCM, Level, TimingConstraint
+
+
+def deep_repair_graph() -> InfluenceGraph:
+    """Six processes where the trailing replica conflict cannot be fixed
+    by swapping with the *last* formed pair (timing forbids it) and the
+    repair must reach one pair further back.
+
+    Criticality order: A(60) B(50) Ra(40) Rb(40) x(10) y(5).
+    Round pairing: (A, y), (B, x), leaving (Ra, Rb) — replicas, conflict.
+    Swaps with (B, x) are blocked: B's window clashes with both replicas.
+    Swaps with (A, y) work: A pairs with a replica, y with the other.
+    """
+    g = InfluenceGraph()
+    # Replicated module R with two copies at criticality 40; its window
+    # is compatible with A and the low-criticality nodes but not with B.
+    base = FCM(
+        "R",
+        Level.PROCESS,
+        AttributeSet(
+            criticality=40,
+            fault_tolerance=2,
+            timing=TimingConstraint(0, 10, 4),
+        ),
+    )
+    for suffix in ("a", "b"):
+        g.add_fcm(base.replicate(suffix))
+    g.link_replicas("Ra", "Rb")
+    g.add_fcm(
+        FCM(
+            "A",
+            Level.PROCESS,
+            AttributeSet(criticality=60, timing=TimingConstraint(10, 20, 4)),
+        )
+    )
+    g.add_fcm(
+        FCM(
+            "B",
+            Level.PROCESS,
+            # B needs 7 units of the replicas' same [0, 10] window: B with
+            # any replica is infeasible (7 + 4 > 10).
+            AttributeSet(criticality=50, timing=TimingConstraint(0, 10, 7)),
+        )
+    )
+    g.add_fcm(
+        FCM(
+            "x",
+            Level.PROCESS,
+            AttributeSet(criticality=10, timing=TimingConstraint(20, 30, 2)),
+        )
+    )
+    g.add_fcm(
+        FCM(
+            "y",
+            Level.PROCESS,
+            AttributeSet(criticality=5, timing=TimingConstraint(20, 30, 2)),
+        )
+    )
+    return g
+
+
+class TestDeepRepair:
+    def test_plan_reaches_past_infeasible_pair(self):
+        state = initial_state(deep_repair_graph())
+        pairs = plan_pairing(state)
+        merged = [set(a) | set(b) for a, b in pairs]
+        # Both replicas must be paired (the repair succeeded) ...
+        assert any("Ra" in block for block in merged)
+        assert any("Rb" in block for block in merged)
+        # ... and never with B (infeasible) nor with each other.
+        for block in merged:
+            assert not {"Ra", "Rb"} <= block
+            if "Ra" in block or "Rb" in block:
+                assert "B" not in block
+
+    def test_condensation_reaches_three_clusters(self):
+        state = initial_state(deep_repair_graph())
+        result = condense_criticality(state, 3)
+        assert len(result.clusters) == 3
+        for cluster in result.clusters:
+            assert state.policy.block_valid(state.graph, cluster.members)
+
+    def test_replicas_in_distinct_clusters(self):
+        state = initial_state(deep_repair_graph())
+        result = condense_criticality(state, 3)
+        assert result.state.cluster_of("Ra") != result.state.cluster_of("Rb")

@@ -1,0 +1,65 @@
+"""The H2 repair path: min-cut partitions that violate hard constraints."""
+
+import pytest
+
+from repro.allocation import condense_h2, initial_state
+from repro.influence import InfluenceGraph
+from repro.model import AttributeSet, FCM, Level, TimingConstraint
+
+
+def conflicted_pair_graph() -> InfluenceGraph:
+    """x and y are strongly coupled but cannot share a processor; z is
+    weakly attached.  Min-cut wants to split z off, leaving the invalid
+    block {x, y} — the repair pass must fix it."""
+    g = InfluenceGraph()
+    g.add_fcm(
+        FCM("x", Level.PROCESS, AttributeSet(timing=TimingConstraint(0, 3, 2)))
+    )
+    g.add_fcm(
+        FCM("y", Level.PROCESS, AttributeSet(timing=TimingConstraint(1, 4, 3)))
+    )
+    g.add_fcm(FCM("z", Level.PROCESS, AttributeSet()))
+    g.set_influence("x", "y", 0.9)
+    g.set_influence("y", "x", 0.9)
+    g.set_influence("x", "z", 0.05)
+    return g
+
+
+class TestH2Repair:
+    def test_invalid_cut_block_is_repaired(self):
+        state = initial_state(conflicted_pair_graph())
+        result = condense_h2(state, 2)
+        assert len(result.clusters) == 2
+        for cluster in result.clusters:
+            assert state.policy.block_valid(state.graph, cluster.members), (
+                cluster.members
+            )
+        # x and y must have ended up apart.
+        x_home = result.state.cluster_of("x")
+        y_home = result.state.cluster_of("y")
+        assert x_home != y_home
+
+    def test_repair_keeps_full_coverage(self):
+        state = initial_state(conflicted_pair_graph())
+        result = condense_h2(state, 2)
+        members = sorted(m for c in result.clusters for m in c.members)
+        assert members == ["x", "y", "z"]
+
+    def test_unreachable_target_after_repair_raises(self):
+        # Three mutually unschedulable nodes cannot fit in two blocks no
+        # matter how repair shuffles them.
+        from repro.errors import InfeasibleAllocationError
+
+        g = InfluenceGraph()
+        for name in ("a", "b", "c"):
+            g.add_fcm(
+                FCM(
+                    name,
+                    Level.PROCESS,
+                    AttributeSet(timing=TimingConstraint(0, 2, 2)),
+                )
+            )
+        g.set_influence("a", "b", 0.9)
+        g.set_influence("b", "c", 0.9)
+        with pytest.raises(InfeasibleAllocationError):
+            condense_h2(initial_state(g), 2)

@@ -1,0 +1,115 @@
+"""Heuristic H1 on the paper example and synthetic graphs."""
+
+import pytest
+
+from repro.allocation import (
+    H1Influence,
+    H1Pairing,
+    condense_h1,
+    expand_replication,
+    initial_state,
+)
+from repro.errors import InfeasibleAllocationError
+from repro.workloads import HW_NODE_COUNT, paper_influence_graph
+
+
+class TestH1OnPaperExample:
+    def test_first_merge_is_p1_p2(self, paper_graph):
+        # §6.1: "the two nodes with the highest mutual influence (p1, p2)
+        # are combined" — mutual 0.7 + 0.5 = 1.2.
+        state = initial_state(paper_graph)
+        result = condense_h1(state, 7)
+        first = result.steps[0]
+        assert set(first.first + first.second) == {"p1", "p2"}
+        assert first.mutual_influence == pytest.approx(1.2)
+
+    def test_unreplicated_reduction_to_three(self, paper_graph):
+        state = initial_state(paper_graph)
+        result = condense_h1(state, 3)
+        members = sorted(tuple(sorted(c.members)) for c in result.clusters)
+        # p1..p4 coalesce around the heavy 0.7/0.9/0.7 chain; p6 stays
+        # alone (only 0.1-weight edges).
+        assert len(members) == 3
+        assert ("p6",) in members
+
+    def test_replicated_reduction_to_six(self, expanded_paper_state):
+        result = condense_h1(expanded_paper_state, HW_NODE_COUNT)
+        clusters = [set(c.members) for c in result.clusters]
+        assert len(clusters) == 6
+        # Replica separation: each p1 replica in its own cluster.
+        for group in (("p1a", "p1b", "p1c"), ("p2a", "p2b"), ("p3a", "p3b")):
+            holders = []
+            for member in group:
+                holders.append(
+                    next(i for i, c in enumerate(clusters) if member in c)
+                )
+            assert len(set(holders)) == len(group)
+
+    def test_steps_monotone_nonincreasing_influence(self, expanded_paper_state):
+        result = condense_h1(expanded_paper_state, HW_NODE_COUNT)
+        values = [s.mutual_influence for s in result.steps]
+        assert values == sorted(values, reverse=True)
+
+    def test_cross_influence_beats_target_free_graph(self, expanded_paper_state):
+        before = expanded_paper_state.total_cross_influence()
+        result = condense_h1(expanded_paper_state, HW_NODE_COUNT)
+        assert result.state.total_cross_influence() < before
+
+    def test_target_below_replica_bound_rejected(self, expanded_paper_state):
+        with pytest.raises(InfeasibleAllocationError):
+            condense_h1(expanded_paper_state, 2)  # p1 needs 3 nodes
+
+    def test_invalid_target_rejected(self, expanded_paper_state):
+        from repro.errors import AllocationError
+
+        with pytest.raises(AllocationError):
+            condense_h1(expanded_paper_state, 0)
+
+    def test_every_cluster_schedulable(self, expanded_paper_state):
+        result = condense_h1(expanded_paper_state, HW_NODE_COUNT)
+        policy = result.state.policy
+        for cluster in result.clusters:
+            assert policy.block_valid(result.state.graph, cluster.members)
+
+
+class TestH1Pairing:
+    def test_pairing_variant_reaches_target(self, expanded_paper_state):
+        result = H1Pairing().condense(expanded_paper_state, HW_NODE_COUNT)
+        assert len(result.clusters) == HW_NODE_COUNT
+
+    def test_pairing_respects_replicas(self, expanded_paper_state):
+        result = H1Pairing().condense(expanded_paper_state, HW_NODE_COUNT)
+        graph = result.state.graph
+        for cluster in result.clusters:
+            members = cluster.members
+            for i, a in enumerate(members):
+                for b in members[i + 1:]:
+                    assert not graph.is_replica_link(a, b)
+
+    def test_pairing_first_round_pairs_disjoint(self):
+        graph = paper_influence_graph()
+        state = initial_state(graph)
+        heuristic = H1Pairing()
+        result = heuristic.condense(state, 4)
+        assert len(result.clusters) == 4
+
+
+class TestH1EdgeCases:
+    def test_target_equal_to_size_is_noop(self, paper_graph):
+        state = initial_state(paper_graph)
+        result = condense_h1(state, len(paper_graph))
+        assert len(result.clusters) == len(paper_graph)
+        assert result.steps == []
+
+    def test_zero_influence_fallback_merges(self):
+        # A graph with no edges at all can still be condensed (the HW
+        # budget dominates): H1 falls back to zero-influence merges.
+        from repro.influence import InfluenceGraph
+        from tests.conftest import make_process
+
+        g = InfluenceGraph()
+        for name in ("a", "b", "c", "d"):
+            g.add_fcm(make_process(name))
+        result = condense_h1(initial_state(g), 2)
+        assert len(result.clusters) == 2
+        assert all(s.mutual_influence == 0.0 for s in result.steps)

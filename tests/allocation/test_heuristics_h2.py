@@ -1,0 +1,90 @@
+"""Heuristic H2: recursive min-cut condensation."""
+
+import pytest
+
+from repro.allocation import (
+    H2Options,
+    SplitChoice,
+    condense_h2,
+    expand_replication,
+    initial_state,
+)
+from repro.errors import InfeasibleAllocationError
+from repro.influence import InfluenceGraph
+from repro.workloads import HW_NODE_COUNT
+
+from tests.conftest import make_process
+
+
+def two_communities() -> InfluenceGraph:
+    """Two dense communities joined by one weak edge."""
+    g = InfluenceGraph()
+    for name in ("a1", "a2", "a3", "b1", "b2", "b3"):
+        g.add_fcm(make_process(name))
+    for x, y in (("a1", "a2"), ("a2", "a3"), ("a3", "a1")):
+        g.set_influence(x, y, 0.8)
+    for x, y in (("b1", "b2"), ("b2", "b3"), ("b3", "b1")):
+        g.set_influence(x, y, 0.8)
+    g.set_influence("a1", "b1", 0.05)
+    return g
+
+
+class TestH2Structure:
+    def test_splits_along_weak_edge(self):
+        state = initial_state(two_communities())
+        result = condense_h2(state, 2)
+        clusters = sorted(tuple(sorted(c.members)) for c in result.clusters)
+        assert clusters == [("a1", "a2", "a3"), ("b1", "b2", "b3")]
+
+    def test_reaches_exact_target(self):
+        state = initial_state(two_communities())
+        result = condense_h2(state, 4)
+        assert len(result.clusters) == 4
+
+    def test_heuristic_label(self):
+        state = initial_state(two_communities())
+        assert condense_h2(state, 2).heuristic == "H2"
+
+
+class TestH2OnPaperExample:
+    def test_six_clusters_valid(self, expanded_paper_state):
+        result = condense_h2(expanded_paper_state, HW_NODE_COUNT)
+        assert len(result.clusters) == HW_NODE_COUNT
+        policy = result.state.policy
+        for cluster in result.clusters:
+            assert policy.block_valid(result.state.graph, cluster.members), (
+                f"invalid block {cluster.members}"
+            )
+
+    def test_replicas_separated(self, expanded_paper_state):
+        result = condense_h2(expanded_paper_state, HW_NODE_COUNT)
+        graph = result.state.graph
+        for cluster in result.clusters:
+            for i, a in enumerate(cluster.members):
+                for b in cluster.members[i + 1:]:
+                    assert not graph.is_replica_link(a, b)
+
+    def test_target_below_bound_rejected(self, expanded_paper_state):
+        with pytest.raises(InfeasibleAllocationError):
+            condense_h2(expanded_paper_state, 2)
+
+
+class TestH2Variants:
+    def test_st_variant_runs(self, expanded_paper_state):
+        options = H2Options(use_st_variant=True)
+        result = condense_h2(expanded_paper_state, HW_NODE_COUNT, options)
+        assert len(result.clusters) == HW_NODE_COUNT
+
+    def test_heaviest_split_choice(self):
+        state = initial_state(two_communities())
+        options = H2Options(split_choice=SplitChoice.HEAVIEST)
+        result = condense_h2(state, 3, options)
+        assert len(result.clusters) == 3
+
+    def test_single_node_blocks_handled(self):
+        g = InfluenceGraph()
+        for name in ("x", "y"):
+            g.add_fcm(make_process(name))
+        g.set_influence("x", "y", 0.5)
+        result = condense_h2(initial_state(g), 2)
+        assert len(result.clusters) == 2

@@ -1,0 +1,96 @@
+"""Heuristic H3: spheres of influence around important nodes."""
+
+import pytest
+
+from repro.allocation import H3Options, condense_h3, initial_state
+from repro.errors import InfeasibleAllocationError
+from repro.influence import InfluenceGraph
+from repro.model import AttributeSet, FCM, Level
+from repro.workloads import HW_NODE_COUNT
+
+from tests.conftest import make_process
+
+
+def star_graph() -> InfluenceGraph:
+    """Two hubs with satellites bound to them by influence."""
+    g = InfluenceGraph()
+    g.add_fcm(FCM("hub1", Level.PROCESS, AttributeSet(criticality=50)))
+    g.add_fcm(FCM("hub2", Level.PROCESS, AttributeSet(criticality=40)))
+    for i, hub in (("1", "hub1"), ("2", "hub1"), ("3", "hub2"), ("4", "hub2")):
+        sat = f"sat{i}"
+        g.add_fcm(FCM(sat, Level.PROCESS, AttributeSet(criticality=1)))
+        g.set_influence(sat, hub, 0.6)
+    return g
+
+
+class TestH3Structure:
+    def test_seeds_are_most_important(self):
+        state = initial_state(star_graph())
+        result = condense_h3(state, 2)
+        clusters = sorted(tuple(sorted(c.members)) for c in result.clusters)
+        assert clusters == [
+            ("hub1", "sat1", "sat2"),
+            ("hub2", "sat3", "sat4"),
+        ]
+
+    def test_exactly_target_clusters(self):
+        state = initial_state(star_graph())
+        result = condense_h3(state, 3)
+        assert len(result.clusters) == 3
+
+    def test_target_exceeding_nodes_rejected(self):
+        state = initial_state(star_graph())
+        with pytest.raises(InfeasibleAllocationError):
+            condense_h3(state, 99)
+
+
+class TestH3Thresholds:
+    def test_importance_threshold_blocks_absorption(self):
+        g = star_graph()
+        state = initial_state(g)
+        # sat nodes have small importance; a tiny threshold forbids
+        # absorbing them, making the target unreachable.
+        options = H3Options(importance_threshold=0.0)
+        with pytest.raises(InfeasibleAllocationError):
+            condense_h3(state, 2, options)
+
+    def test_influence_threshold_prefers_strong_seeds(self):
+        state = initial_state(star_graph())
+        options = H3Options(influence_threshold=0.5)
+        result = condense_h3(state, 2, options)
+        # Satellites still land with their hub (affinity 0.6 >= 0.5).
+        clusters = sorted(tuple(sorted(c.members)) for c in result.clusters)
+        assert clusters[0] == ("hub1", "sat1", "sat2")
+
+
+class TestH3OnPaperExample:
+    def test_six_clusters_valid(self, expanded_paper_state):
+        result = condense_h3(expanded_paper_state, HW_NODE_COUNT)
+        assert len(result.clusters) == HW_NODE_COUNT
+        policy = result.state.policy
+        for cluster in result.clusters:
+            assert policy.block_valid(result.state.graph, cluster.members)
+
+    def test_p1_replicas_are_seeds(self, expanded_paper_state):
+        # p1's replicas carry the highest criticality, so all three must
+        # seed distinct spheres.
+        result = condense_h3(expanded_paper_state, HW_NODE_COUNT)
+        for replica in ("p1a", "p1b", "p1c"):
+            holders = [
+                c for c in result.clusters if replica in c.members
+            ]
+            assert len(holders) == 1
+
+    def test_constraint_fallback_message(self):
+        # Build a graph where a node fits no sphere: two replicas as the
+        # only possible homes for their own sibling replica.
+        g = InfluenceGraph()
+        base = FCM("p", Level.PROCESS, AttributeSet(criticality=10, fault_tolerance=3))
+        for suffix in ("a", "b", "c"):
+            g.add_fcm(base.replicate(suffix))
+        g.link_replicas("pa", "pb")
+        g.link_replicas("pa", "pc")
+        g.link_replicas("pb", "pc")
+        state = initial_state(g)
+        with pytest.raises(InfeasibleAllocationError):
+            condense_h3(state, 2)

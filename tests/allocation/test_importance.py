@@ -1,0 +1,66 @@
+"""Importance ranking (§5.1)."""
+
+import pytest
+
+from repro.allocation import (
+    cluster_importance,
+    initial_state,
+    node_importance,
+    rank_clusters,
+    rank_nodes,
+    seeded_state,
+)
+from repro.influence import InfluenceGraph
+from repro.model import AttributeSet, FCM, ImportanceWeights, Level
+
+
+def graph() -> InfluenceGraph:
+    g = InfluenceGraph()
+    for name, crit, ft in (("low", 1.0, 1), ("mid", 10.0, 1), ("high", 10.0, 3)):
+        g.add_fcm(
+            FCM(name, Level.PROCESS, AttributeSet(criticality=crit, fault_tolerance=ft))
+        )
+    return g
+
+
+class TestNodeImportance:
+    def test_weighted_sum(self):
+        weights = ImportanceWeights(
+            criticality=2.0,
+            fault_tolerance=1.0,
+            timing_urgency=0.0,
+            throughput=0.0,
+            security=0.0,
+            communication_rate=0.0,
+        )
+        attrs = AttributeSet(criticality=3, fault_tolerance=3)
+        assert node_importance(attrs, weights) == pytest.approx(2 * 3 + 1 * 2)
+
+    def test_ft_breaks_ties(self):
+        g = graph()
+        assert node_importance(
+            g.fcm("high").attributes
+        ) > node_importance(g.fcm("mid").attributes)
+
+
+class TestRanking:
+    def test_rank_nodes_descending(self):
+        state = initial_state(graph())
+        assert rank_nodes(state) == ["high", "mid", "low"]
+
+    def test_rank_clusters(self):
+        state = seeded_state(graph(), [["low"], ["mid", "high"]])
+        ranked = rank_clusters(state)
+        assert ranked[0] == 1  # the cluster containing "high"
+
+    def test_cluster_importance_dominates_members(self):
+        state = seeded_state(graph(), [["low", "high"], ["mid"]])
+        combined = cluster_importance(state, 0)
+        assert combined >= cluster_importance(state, 1)
+
+    def test_stable_tie_break(self):
+        g = InfluenceGraph()
+        for name in ("b_node", "a_node"):
+            g.add_fcm(FCM(name, Level.PROCESS, AttributeSet(criticality=5)))
+        state = initial_state(g)
+        assert rank_nodes(state) == ["a_node", "b_node"]

@@ -1,0 +1,99 @@
+"""Pairwise-swap mapping improvement."""
+
+import pytest
+
+from repro.allocation import (
+    ResourceRequirements,
+    improve_mapping,
+    initial_state,
+    map_approach_a,
+)
+from repro.allocation.hw_model import HWGraph, HWNode
+from repro.influence import InfluenceGraph
+
+from tests.conftest import make_process
+
+
+def ring_hw(n: int = 4) -> HWGraph:
+    hw = HWGraph()
+    names = [f"h{i}" for i in range(n)]
+    for name in names:
+        hw.add_node(HWNode(name))
+    for i, a in enumerate(names):
+        for j in range(i + 1, n):
+            distance = min(j - i, n - (j - i))
+            hw.add_link(a, names[j], float(distance))
+    return hw
+
+
+def coupled_graph() -> InfluenceGraph:
+    g = InfluenceGraph()
+    for name in ("a", "b", "c", "d"):
+        g.add_fcm(make_process(name))
+    # a-b and c-d talk heavily; a-c lightly.
+    g.set_influence("a", "b", 0.9)
+    g.set_influence("b", "a", 0.9)
+    g.set_influence("c", "d", 0.9)
+    g.set_influence("d", "c", 0.9)
+    g.set_influence("a", "c", 0.1)
+    return g
+
+
+class TestImproveMapping:
+    def test_never_increases_cost(self):
+        state = initial_state(coupled_graph())
+        mapping = map_approach_a(state, ring_hw())
+        before = mapping.communication_cost()
+        improve_mapping(mapping)
+        assert mapping.communication_cost() <= before + 1e-12
+
+    def test_fixes_adversarial_assignment(self):
+        state = initial_state(coupled_graph())
+        mapping = map_approach_a(state, ring_hw())
+        # Scramble into a deliberately bad permutation: put the two heavy
+        # partners at ring distance 2.
+        a, b = state.cluster_of("a"), state.cluster_of("b")
+        c, d = state.cluster_of("c"), state.cluster_of("d")
+        mapping.assignment[a] = "h0"
+        mapping.assignment[b] = "h2"
+        mapping.assignment[c] = "h1"
+        mapping.assignment[d] = "h3"
+        bad = mapping.communication_cost()
+        swaps = improve_mapping(mapping)
+        assert swaps >= 1
+        assert mapping.communication_cost() < bad
+        # Heavy partners end up adjacent on the ring.
+        assert (
+            mapping.hw.link_cost(mapping.assignment[a], mapping.assignment[b])
+            == 1.0
+        )
+
+    def test_assignment_stays_a_permutation(self):
+        state = initial_state(coupled_graph())
+        mapping = map_approach_a(state, ring_hw())
+        improve_mapping(mapping)
+        nodes = list(mapping.assignment.values())
+        assert len(set(nodes)) == len(nodes)
+
+    def test_resource_constraints_block_swaps(self):
+        g = InfluenceGraph()
+        for name in ("io", "calc"):
+            g.add_fcm(make_process(name))
+        g.set_influence("io", "calc", 0.9)
+        state = initial_state(g)
+        hw = HWGraph()
+        hw.add_node(HWNode("bus_node", resources=frozenset({"bus"})))
+        hw.add_node(HWNode("plain"))
+        hw.add_link("bus_node", "plain", 1.0)
+        reqs = ResourceRequirements(needs={"io": frozenset({"bus"})})
+        mapping = map_approach_a(state, hw, resources=reqs)
+        io_cluster = state.cluster_of("io")
+        improve_mapping(mapping, resources=reqs)
+        assert mapping.node_of(io_cluster) == "bus_node"
+
+    def test_homogeneous_graph_is_noop(self):
+        from repro.allocation import fully_connected
+
+        state = initial_state(coupled_graph())
+        mapping = map_approach_a(state, fully_connected(4))
+        assert improve_mapping(mapping) == 0

@@ -1,0 +1,148 @@
+"""SW -> HW mapping: Approaches A and B, resources, dilation."""
+
+import pytest
+
+from repro.allocation import (
+    ResourceRequirements,
+    condense_h1,
+    fully_connected,
+    initial_state,
+    map_approach_a,
+    map_approach_b,
+    seeded_state,
+)
+from repro.allocation.hw_model import HWGraph, HWNode
+from repro.errors import AllocationError, InfeasibleAllocationError
+from repro.influence import InfluenceGraph
+from repro.model import AttributeSet, FCM, Level
+from repro.workloads import HW_NODE_COUNT
+
+from tests.conftest import make_process
+
+
+@pytest.fixture
+def condensed(expanded_paper_state):
+    return condense_h1(expanded_paper_state, HW_NODE_COUNT).state
+
+
+class TestApproachA:
+    def test_complete_one_to_one(self, condensed):
+        hw = fully_connected(HW_NODE_COUNT)
+        mapping = map_approach_a(condensed, hw)
+        assert mapping.is_complete()
+        assigned = list(mapping.assignment.values())
+        assert len(set(assigned)) == len(assigned)
+
+    def test_too_many_clusters_rejected(self, condensed):
+        hw = fully_connected(3)
+        with pytest.raises(InfeasibleAllocationError):
+            map_approach_a(condensed, hw)
+
+    def test_resource_constraint_respected(self):
+        g = InfluenceGraph()
+        g.add_fcm(make_process("io"))
+        g.add_fcm(make_process("calc"))
+        state = initial_state(g)
+        hw = HWGraph()
+        hw.add_node(HWNode("plain"))
+        hw.add_node(HWNode("bus_node", resources=frozenset({"bus"})))
+        hw.add_link("plain", "bus_node", 1.0)
+        reqs = ResourceRequirements(needs={"io": frozenset({"bus"})})
+        mapping = map_approach_a(state, hw, resources=reqs)
+        io_cluster = state.cluster_of("io")
+        assert mapping.node_of(io_cluster) == "bus_node"
+
+    def test_unsatisfiable_resources_raise(self):
+        g = InfluenceGraph()
+        g.add_fcm(make_process("io"))
+        state = initial_state(g)
+        hw = HWGraph()
+        hw.add_node(HWNode("plain"))
+        reqs = ResourceRequirements(needs={"io": frozenset({"bus"})})
+        with pytest.raises(InfeasibleAllocationError):
+            map_approach_a(state, hw, resources=reqs)
+
+    def test_node_of_unassigned_raises(self, condensed):
+        hw = fully_connected(HW_NODE_COUNT)
+        mapping = map_approach_a(condensed, hw)
+        with pytest.raises(AllocationError):
+            mapping.node_of(99)
+
+    def test_describe_covers_all_hw(self, condensed):
+        hw = fully_connected(HW_NODE_COUNT)
+        mapping = map_approach_a(condensed, hw)
+        rows = mapping.describe()
+        assert len(rows) == HW_NODE_COUNT
+        assert all(label != "-" for _hw, label in rows)
+
+
+class TestApproachB:
+    def test_critical_clusters_take_distinct_fcrs(self, condensed):
+        hw = fully_connected(HW_NODE_COUNT)
+        mapping = map_approach_b(condensed, hw)
+        fcrs = [mapping.hw.fcr_of(n) for n in mapping.assignment.values()]
+        assert len(set(fcrs)) == len(fcrs)
+
+    def test_complete(self, condensed):
+        hw = fully_connected(HW_NODE_COUNT)
+        assert map_approach_b(condensed, hw).is_complete()
+
+    def test_shared_fcr_hw_still_maps(self, condensed):
+        hw = fully_connected(HW_NODE_COUNT, distinct_fcrs=False)
+        mapping = map_approach_b(condensed, hw)
+        assert mapping.is_complete()
+
+
+class TestDilation:
+    def test_strong_pairs_placed_on_cheap_links(self):
+        # Line HW topology: hw1 - hw2 (cost 1), hw2 - hw3 (cost 1),
+        # hw1 - hw3 (cost 10).  The two coupled clusters must avoid the
+        # expensive link.
+        g = InfluenceGraph()
+        for name in ("a", "b", "c"):
+            g.add_fcm(make_process(name))
+        g.set_influence("a", "b", 0.9)
+        g.set_influence("b", "a", 0.9)
+        state = initial_state(g)
+        hw = HWGraph()
+        for name in ("hw1", "hw2", "hw3"):
+            hw.add_node(HWNode(name))
+        hw.add_link("hw1", "hw2", 1.0)
+        hw.add_link("hw2", "hw3", 1.0)
+        hw.add_link("hw1", "hw3", 10.0)
+        mapping = map_approach_a(state, hw)
+        a_node = mapping.node_of(state.cluster_of("a"))
+        b_node = mapping.node_of(state.cluster_of("b"))
+        assert hw.link_cost(a_node, b_node) == 1.0
+
+    def test_communication_cost_computation(self):
+        g = InfluenceGraph()
+        for name in ("a", "b"):
+            g.add_fcm(make_process(name))
+        g.set_influence("a", "b", 0.5)
+        state = initial_state(g)
+        hw = HWGraph()
+        hw.add_node(HWNode("h1"))
+        hw.add_node(HWNode("h2"))
+        hw.add_link("h1", "h2", 2.0)
+        mapping = map_approach_a(state, hw)
+        assert mapping.communication_cost() == pytest.approx(0.5 * 2.0)
+
+    def test_zero_cost_when_no_cross_influence(self):
+        g = InfluenceGraph()
+        for name in ("a", "b"):
+            g.add_fcm(make_process(name))
+        state = initial_state(g)
+        hw = fully_connected(2)
+        mapping = map_approach_a(state, hw)
+        assert mapping.communication_cost() == 0.0
+
+
+class TestClusterOn:
+    def test_lookup(self, condensed):
+        hw = fully_connected(HW_NODE_COUNT)
+        mapping = map_approach_a(condensed, hw)
+        for index, node in mapping.assignment.items():
+            assert mapping.cluster_on(node) == index
+        # A fabricated name is simply empty.
+        assert mapping.cluster_on("hw999") is None

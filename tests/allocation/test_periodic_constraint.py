@@ -1,0 +1,83 @@
+"""PeriodicSchedulability as an allocation constraint."""
+
+import pytest
+
+from repro.allocation import (
+    CombinationPolicy,
+    PeriodicSchedulability,
+    condense_h1,
+    initial_state,
+)
+from repro.allocation.clustering import ClusterState
+from repro.influence import InfluenceGraph
+from repro.scheduling import PeriodicTask
+
+from tests.conftest import make_process
+
+
+def graph_with(names):
+    g = InfluenceGraph()
+    for name in names:
+        g.add_fcm(make_process(name))
+    return g
+
+
+class TestPeriodicConstraint:
+    def test_light_loops_combine(self):
+        g = graph_with(["a", "b"])
+        constraint = PeriodicSchedulability(
+            tasks={
+                "a": (PeriodicTask("a.loop", period=10, work=2),),
+                "b": (PeriodicTask("b.loop", period=20, work=3),),
+            }
+        )
+        assert constraint.check(g, ("a",), ("b",)) is None
+
+    def test_overloaded_loops_blocked(self):
+        g = graph_with(["a", "b"])
+        constraint = PeriodicSchedulability(
+            tasks={
+                "a": (PeriodicTask("a.loop", period=10, work=7),),
+                "b": (PeriodicTask("b.loop", period=10, work=7),),
+            }
+        )
+        reason = constraint.check(g, ("a",), ("b",))
+        assert reason is not None and "RM" in reason
+
+    def test_untracked_fcms_pass(self):
+        g = graph_with(["a", "b"])
+        constraint = PeriodicSchedulability(tasks={})
+        assert constraint.check(g, ("a",), ("b",)) is None
+
+    def test_composes_into_policy(self):
+        g = graph_with(["a", "b", "c"])
+        g.set_influence("a", "b", 0.9)
+        g.set_influence("b", "a", 0.9)
+        policy = CombinationPolicy()
+        policy.constraints.append(
+            PeriodicSchedulability(
+                tasks={
+                    "a": (PeriodicTask("a.loop", period=10, work=7),),
+                    "b": (PeriodicTask("b.loop", period=10, work=7),),
+                }
+            )
+        )
+        state = ClusterState(g, policy)
+        # H1 would love to merge (a, b) — the periodic constraint forbids
+        # it, so a pairs with c instead (or stays apart).
+        result = condense_h1(state, 2)
+        for cluster in result.clusters:
+            assert not ({"a", "b"} <= set(cluster.members))
+
+    def test_block_violations_see_periodic(self):
+        g = graph_with(["a", "b"])
+        policy = CombinationPolicy()
+        policy.constraints.append(
+            PeriodicSchedulability(
+                tasks={
+                    "a": (PeriodicTask("a.loop", period=10, work=7),),
+                    "b": (PeriodicTask("b.loop", period=10, work=7),),
+                }
+            )
+        )
+        assert policy.block_violations(g, ("a", "b"))

@@ -1,0 +1,49 @@
+"""SecuritySeparation constraint."""
+
+import pytest
+
+from repro.allocation import CombinationPolicy, SecuritySeparation
+from repro.influence import InfluenceGraph
+from repro.model import AttributeSet, FCM, Level, SecurityLevel
+
+
+def graph():
+    g = InfluenceGraph()
+    for name, level in (
+        ("open", SecurityLevel.UNCLASSIFIED),
+        ("restricted", SecurityLevel.RESTRICTED),
+        ("secret", SecurityLevel.SECRET),
+        ("secret2", SecurityLevel.SECRET),
+    ):
+        g.add_fcm(FCM(name, Level.PROCESS, AttributeSet(security=level)))
+    return g
+
+
+class TestSecuritySeparation:
+    def test_same_level_combines(self):
+        constraint = SecuritySeparation(max_span=0)
+        assert constraint.check(graph(), ("secret",), ("secret2",)) is None
+
+    def test_span_zero_blocks_mixed(self):
+        constraint = SecuritySeparation(max_span=0)
+        reason = constraint.check(graph(), ("open",), ("secret",))
+        assert reason is not None and "span" in reason
+
+    def test_span_allows_adjacent(self):
+        constraint = SecuritySeparation(max_span=1)
+        assert constraint.check(graph(), ("open",), ("restricted",)) is None
+        assert constraint.check(graph(), ("open",), ("secret",)) is not None
+
+    def test_span_over_merged_members(self):
+        constraint = SecuritySeparation(max_span=1)
+        # Cluster already spans UNCLASSIFIED..RESTRICTED; adding SECRET
+        # pushes the span to 3.
+        reason = constraint.check(graph(), ("open", "restricted"), ("secret",))
+        assert reason is not None
+
+    def test_composes_into_policy(self):
+        g = graph()
+        policy = CombinationPolicy()
+        policy.constraints.append(SecuritySeparation(max_span=0))
+        assert not policy.can_combine(g, ("open",), ("secret",))
+        assert policy.can_combine(g, ("secret",), ("secret2",))

@@ -1,0 +1,129 @@
+"""Timing-driven refinement (Fig. 8) and first-fit packing."""
+
+import pytest
+
+from repro.allocation import (
+    condense_criticality,
+    condense_timing,
+    initial_state,
+    pack_by_timing,
+    timing_order,
+)
+from repro.errors import InfeasibleAllocationError
+from repro.influence import InfluenceGraph
+from repro.model import AttributeSet, FCM, Level, TimingConstraint
+from repro.workloads import FIG_8_NODE_COUNT, HW_NODE_COUNT
+
+from tests.conftest import make_process
+
+
+class TestFig8Refinement:
+    def test_fig7_state_reduces_to_four(self, expanded_paper_state):
+        # "The graph in Fig. 7 can be straightforwardly reduced to Fig. 8
+        # if only the timing attributes are considered."
+        result = condense_criticality(expanded_paper_state, HW_NODE_COUNT)
+        refined = condense_timing(result.state, FIG_8_NODE_COUNT)
+        assert len(refined.clusters) == FIG_8_NODE_COUNT
+
+    def test_refined_clusters_all_valid(self, expanded_paper_state):
+        result = condense_criticality(expanded_paper_state, HW_NODE_COUNT)
+        refined = condense_timing(result.state, FIG_8_NODE_COUNT)
+        for cluster in refined.clusters:
+            assert refined.state.policy.block_valid(
+                refined.state.graph, cluster.members
+            )
+
+    def test_replicas_still_separated(self, expanded_paper_state):
+        result = condense_criticality(expanded_paper_state, HW_NODE_COUNT)
+        refined = condense_timing(result.state, FIG_8_NODE_COUNT)
+        graph = refined.state.graph
+        for cluster in refined.clusters:
+            for i, a in enumerate(cluster.members):
+                for b in cluster.members[i + 1:]:
+                    assert not graph.is_replica_link(a, b)
+
+    def test_cannot_go_below_replica_bound(self, expanded_paper_state):
+        result = condense_criticality(expanded_paper_state, HW_NODE_COUNT)
+        with pytest.raises(InfeasibleAllocationError):
+            condense_timing(result.state, 2)
+
+
+class TestTimingOrder:
+    def test_ordering_by_est_then_deadline(self, expanded_paper_state):
+        order = timing_order(expanded_paper_state)
+        graph = expanded_paper_state.graph
+
+        def key(name):
+            t = graph.fcm(name).attributes.timing
+            return (t.earliest_start, t.deadline)
+
+        keys = [key(n) for n in order]
+        assert keys == sorted(keys)
+
+    def test_untimed_nodes_sort_last(self):
+        g = InfluenceGraph()
+        g.add_fcm(FCM("late", Level.PROCESS, AttributeSet()))
+        g.add_fcm(
+            FCM(
+                "early",
+                Level.PROCESS,
+                AttributeSet(timing=TimingConstraint(0, 5, 1)),
+            )
+        )
+        order = timing_order(initial_state(g))
+        assert order == ["early", "late"]
+
+
+class TestPackByTiming:
+    def test_packs_paper_example(self, expanded_paper_state):
+        result = pack_by_timing(expanded_paper_state, HW_NODE_COUNT)
+        assert len(result.clusters) <= HW_NODE_COUNT
+        for cluster in result.clusters:
+            assert result.state.policy.block_valid(
+                result.state.graph, cluster.members
+            )
+
+    def test_first_fit_deterministic(self, paper_graph):
+        from repro.allocation import expand_replication
+
+        a = pack_by_timing(initial_state(expand_replication(paper_graph)), 6)
+        b = pack_by_timing(initial_state(expand_replication(paper_graph)), 6)
+        assert a.partition() == b.partition()
+
+    def test_impossible_target_raises(self):
+        g = InfluenceGraph()
+        for i in range(3):
+            g.add_fcm(
+                FCM(
+                    f"t{i}",
+                    Level.PROCESS,
+                    AttributeSet(timing=TimingConstraint(0, 2, 2)),
+                )
+            )
+        with pytest.raises(InfeasibleAllocationError):
+            pack_by_timing(initial_state(g), 2)
+
+    def test_heuristic_label(self, expanded_paper_state):
+        assert (
+            pack_by_timing(expanded_paper_state, HW_NODE_COUNT).heuristic
+            == "timing-pack"
+        )
+
+
+class TestSlackScore:
+    def test_merges_prefer_disjoint_windows(self):
+        g = InfluenceGraph()
+        g.add_fcm(
+            FCM("a", Level.PROCESS, AttributeSet(timing=TimingConstraint(0, 10, 5)))
+        )
+        g.add_fcm(
+            FCM("b", Level.PROCESS, AttributeSet(timing=TimingConstraint(0, 10, 4)))
+        )
+        g.add_fcm(
+            FCM("c", Level.PROCESS, AttributeSet(timing=TimingConstraint(20, 30, 1)))
+        )
+        state = initial_state(g)
+        result = condense_timing(state, 2)
+        merged = next(c for c in result.clusters if len(c) == 2)
+        # a+c or b+c (light, disjoint) beats a+b (crowded same window).
+        assert "c" in merged.members

@@ -1,0 +1,71 @@
+"""Simulated-annealing refinement."""
+
+import pytest
+
+from repro.analysis import AnnealingOptions, anneal, optimal_condensation
+from repro.allocation import condense_h1, expand_replication, initial_state
+from repro.errors import AllocationError
+from repro.workloads import HW_NODE_COUNT, paper_influence_graph
+
+
+def h1_state():
+    graph = expand_replication(paper_influence_graph())
+    return condense_h1(initial_state(graph), HW_NODE_COUNT).state
+
+
+class TestOptions:
+    def test_validation(self):
+        with pytest.raises(AllocationError):
+            AnnealingOptions(iterations=0)
+        with pytest.raises(AllocationError):
+            AnnealingOptions(cooling=1.5)
+        with pytest.raises(AllocationError):
+            AnnealingOptions(initial_temperature=0)
+
+
+class TestAnneal:
+    def test_never_worse_than_start(self):
+        state = h1_state()
+        report = anneal(state, AnnealingOptions(iterations=500, seed=0))
+        assert report.final_cost <= report.initial_cost + 1e-9
+        assert state.total_cross_influence() == pytest.approx(report.final_cost)
+
+    def test_cluster_count_preserved(self):
+        state = h1_state()
+        anneal(state, AnnealingOptions(iterations=500, seed=1))
+        assert len(state.clusters) == HW_NODE_COUNT
+
+    def test_constraints_never_violated(self):
+        state = h1_state()
+        anneal(state, AnnealingOptions(iterations=800, seed=2))
+        for cluster in state.clusters:
+            assert state.policy.block_valid(state.graph, cluster.members)
+
+    def test_deterministic_given_seed(self):
+        a = h1_state()
+        b = h1_state()
+        ra = anneal(a, AnnealingOptions(iterations=300, seed=7))
+        rb = anneal(b, AnnealingOptions(iterations=300, seed=7))
+        assert ra.final_cost == pytest.approx(rb.final_cost)
+        assert a.as_partition() == b.as_partition()
+
+    def test_approaches_optimal(self):
+        graph = expand_replication(paper_influence_graph())
+        optimal = optimal_condensation(graph, HW_NODE_COUNT)
+        state = condense_h1(initial_state(graph.copy()), HW_NODE_COUNT).state
+        report = anneal(state, AnnealingOptions(iterations=4000, seed=3))
+        # Annealing closes at least part of the H1-to-optimal gap.
+        assert report.final_cost >= optimal.cross_influence - 1e-9
+        assert report.final_cost < report.initial_cost
+
+    def test_single_cluster_noop(self):
+        from repro.allocation import seeded_state
+        from repro.influence import InfluenceGraph
+        from tests.conftest import make_process
+
+        g = InfluenceGraph()
+        for n in ("a", "b"):
+            g.add_fcm(make_process(n))
+        state = seeded_state(g, [["a", "b"]])
+        report = anneal(state)
+        assert report.attempted_moves == 0

@@ -1,0 +1,92 @@
+"""HW/SW codesign platform selection."""
+
+import pytest
+
+from repro.analysis import (
+    DependabilityTargets,
+    PlatformOption,
+    choose_platform,
+    evaluate_platform,
+)
+from repro.allocation import expand_replication, fully_connected
+from repro.errors import DDSIError, InfeasibleAllocationError
+from repro.workloads import paper_influence_graph
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return expand_replication(paper_influence_graph())
+
+
+def menu():
+    return [
+        PlatformOption("tiny-2", fully_connected(2, prefix="t"), cost=2.0),
+        PlatformOption("small-4", fully_connected(4, prefix="s"), cost=4.0),
+        PlatformOption("mid-6", fully_connected(6, prefix="m"), cost=6.0),
+        PlatformOption("big-12", fully_connected(12, prefix="b"), cost=12.0),
+    ]
+
+
+class TestEvaluatePlatform:
+    def test_too_small_platform_infeasible(self, graph):
+        evaluation = evaluate_platform(
+            graph, menu()[0], DependabilityTargets()
+        )
+        assert not evaluation.feasible
+        assert "replication needs 3" in evaluation.reason
+
+    def test_adequate_platform(self, graph):
+        evaluation = evaluate_platform(graph, menu()[2], DependabilityTargets())
+        assert evaluation.feasible
+        assert evaluation.meets_targets
+        assert evaluation.cross_influence > 0
+
+    def test_target_violation_reported(self, graph):
+        strict = DependabilityTargets(max_cross_influence=0.001)
+        evaluation = evaluate_platform(graph, menu()[2], strict)
+        assert evaluation.feasible
+        assert not evaluation.meets_targets
+        assert "cross-influence" in evaluation.reason
+
+
+class TestChoosePlatform:
+    def test_cheapest_qualifying_platform_wins(self, graph):
+        result = choose_platform(graph, menu(), DependabilityTargets())
+        chosen = result.require_chosen()
+        # small-4 is the cheapest platform with >= 3 nodes.
+        assert chosen.option.name == "small-4"
+
+    def test_tight_influence_budget_prefers_denser_platform(self, graph):
+        # Denser integration internalises more influence, so a tight
+        # cross-influence budget disqualifies the bigger platforms.
+        budget_result = choose_platform(
+            graph, menu(), DependabilityTargets(max_cross_influence=5.0)
+        )
+        chosen = budget_result.require_chosen()
+        assert chosen.option.name == "small-4"
+        big_eval = next(
+            e for e in budget_result.evaluations if e.option.name == "big-12"
+        )
+        assert not big_eval.meets_targets
+
+    def test_nothing_qualifies(self, graph):
+        result = choose_platform(
+            graph,
+            menu(),
+            DependabilityTargets(max_cross_influence=0.0001),
+        )
+        assert result.chosen is None
+        with pytest.raises(InfeasibleAllocationError):
+            result.require_chosen()
+
+    def test_empty_menu_rejected(self, graph):
+        with pytest.raises(DDSIError):
+            choose_platform(graph, [], DependabilityTargets())
+
+    def test_all_evaluations_returned(self, graph):
+        result = choose_platform(graph, menu(), DependabilityTargets())
+        assert len(result.evaluations) == 4
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(DDSIError):
+            PlatformOption("bad", fully_connected(3), cost=-1)

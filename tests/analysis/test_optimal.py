@@ -1,0 +1,108 @@
+"""Exact optimal condensation."""
+
+import pytest
+
+from repro.analysis import (
+    MAX_EXACT_NODES,
+    optimal_condensation,
+    optimality_gap,
+    state_from_optimal,
+)
+from repro.allocation import condense_h1, expand_replication, initial_state
+from repro.errors import AllocationError, InfeasibleAllocationError
+from repro.influence import InfluenceGraph
+from repro.workloads import HW_NODE_COUNT, paper_influence_graph
+
+from tests.conftest import make_process
+
+
+def tiny_graph() -> InfluenceGraph:
+    g = InfluenceGraph()
+    for name in ("a", "b", "c", "d"):
+        g.add_fcm(make_process(name))
+    g.set_influence("a", "b", 0.9)
+    g.set_influence("c", "d", 0.8)
+    g.set_influence("a", "c", 0.1)
+    return g
+
+
+class TestOptimal:
+    def test_two_blocks_obvious_split(self):
+        result = optimal_condensation(tiny_graph(), 2)
+        assert set(map(frozenset, result.partition)) == {
+            frozenset({"a", "b"}),
+            frozenset({"c", "d"}),
+        }
+        assert result.cross_influence == pytest.approx(0.1)
+
+    def test_one_block_zero_cost(self):
+        result = optimal_condensation(tiny_graph(), 1)
+        assert result.cross_influence == 0.0
+        assert len(result.partition) == 1
+
+    def test_exact_vs_at_most_semantics(self):
+        exact_two = optimal_condensation(tiny_graph(), 2, exact=True)
+        at_most_two = optimal_condensation(tiny_graph(), 2, exact=False)
+        # With idle HW allowed, the single block (cost 0) dominates.
+        assert len(exact_two.partition) == 2
+        assert at_most_two.cross_influence == 0.0
+        assert len(at_most_two.partition) == 1
+
+    def test_more_exact_blocks_cost_at_least_as_much(self):
+        two = optimal_condensation(tiny_graph(), 2)
+        three = optimal_condensation(tiny_graph(), 3)
+        # Forcing more blocks can only expose more influence.
+        assert three.cross_influence >= two.cross_influence - 1e-12
+
+    def test_exact_blocks_exceeding_nodes_rejected(self):
+        with pytest.raises(AllocationError):
+            optimal_condensation(tiny_graph(), 5, exact=True)
+
+    def test_size_guard(self):
+        g = InfluenceGraph()
+        for i in range(MAX_EXACT_NODES + 1):
+            g.add_fcm(make_process(f"n{i}"))
+        with pytest.raises(AllocationError, match="exact search"):
+            optimal_condensation(g, 3)
+
+    def test_invalid_target(self):
+        with pytest.raises(AllocationError):
+            optimal_condensation(tiny_graph(), 0)
+
+    def test_respects_replica_constraints(self):
+        graph = expand_replication(paper_influence_graph())
+        result = optimal_condensation(graph, HW_NODE_COUNT)
+        for block in result.partition:
+            for i, a in enumerate(block):
+                for b in block[i + 1:]:
+                    assert not graph.is_replica_link(a, b)
+
+    def test_infeasible_budget_raises(self):
+        graph = expand_replication(paper_influence_graph())
+        with pytest.raises(InfeasibleAllocationError):
+            optimal_condensation(graph, 2)  # below TMR bound
+
+
+class TestOptimalityGap:
+    def test_optimal_lower_bounds_h1_on_paper_example(self):
+        graph = expand_replication(paper_influence_graph())
+        h1 = condense_h1(initial_state(graph.copy()), HW_NODE_COUNT)
+        heuristic_cost, optimal_cost, ratio = optimality_gap(
+            graph, h1.state, HW_NODE_COUNT
+        )
+        assert optimal_cost <= heuristic_cost + 1e-9
+        assert ratio >= 1.0
+
+    def test_gap_one_when_heuristic_optimal(self):
+        g = tiny_graph()
+        h1 = condense_h1(initial_state(g.copy()), 2)
+        _h, _o, ratio = optimality_gap(g, h1.state, 2)
+        assert ratio == pytest.approx(1.0)
+
+    def test_state_from_optimal_consistent(self):
+        g = tiny_graph()
+        result = optimal_condensation(g, 2)
+        state = state_from_optimal(g, result)
+        assert state.total_cross_influence() == pytest.approx(
+            result.cross_influence
+        )

@@ -1,0 +1,97 @@
+"""Sensitivity of the design to influence-estimation noise."""
+
+import pytest
+
+from repro.analysis import (
+    partition_distance,
+    perturb_influences,
+    sensitivity_sweep,
+)
+from repro.allocation import expand_replication
+from repro.errors import DDSIError, SimulationError
+from repro.workloads import HW_NODE_COUNT, paper_influence_graph
+
+
+class TestPerturb:
+    def test_zero_noise_identity(self):
+        graph = paper_influence_graph()
+        noisy = perturb_influences(graph, 0.0, seed=0)
+        for src, dst, w in graph.influence_edges():
+            assert noisy.influence(src, dst) == pytest.approx(w)
+
+    def test_noise_bounded(self):
+        graph = paper_influence_graph()
+        noisy = perturb_influences(graph, 0.5, seed=1)
+        for src, dst, w in graph.influence_edges():
+            assert 0.5 * w - 1e-9 <= noisy.influence(src, dst) <= min(1.0, 1.5 * w) + 1e-9
+
+    def test_replica_links_untouched(self):
+        graph = expand_replication(paper_influence_graph())
+        noisy = perturb_influences(graph, 0.5, seed=2)
+        assert noisy.is_replica_link("p1a", "p1b")
+        assert noisy.influence("p1a", "p1b") == 0.0
+
+    def test_original_untouched(self):
+        graph = paper_influence_graph()
+        before = dict(
+            ((s, t), w) for s, t, w in graph.influence_edges()
+        )
+        perturb_influences(graph, 0.9, seed=3)
+        after = dict(((s, t), w) for s, t, w in graph.influence_edges())
+        assert before == after
+
+    def test_negative_noise_rejected(self):
+        with pytest.raises(SimulationError):
+            perturb_influences(paper_influence_graph(), -0.1)
+
+
+class TestPartitionDistance:
+    def test_identical_zero(self):
+        p = [["a", "b"], ["c"]]
+        assert partition_distance(p, p) == 0.0
+
+    def test_relabeling_is_zero(self):
+        assert partition_distance(
+            [["a", "b"], ["c"]], [["c"], ["b", "a"]]
+        ) == 0.0
+
+    def test_full_split_vs_full_merge(self):
+        together = [["a", "b", "c"]]
+        apart = [["a"], ["b"], ["c"]]
+        assert partition_distance(together, apart) == 1.0
+
+    def test_partial(self):
+        d = partition_distance([["a", "b"], ["c", "d"]], [["a", "c"], ["b", "d"]])
+        assert 0.0 < d < 1.0
+
+    def test_mismatched_nodes_rejected(self):
+        with pytest.raises(DDSIError):
+            partition_distance([["a"]], [["b"]])
+
+    def test_single_node(self):
+        assert partition_distance([["a"]], [["a"]]) == 0.0
+
+
+class TestSweep:
+    def test_zero_noise_point_is_stable(self):
+        graph = expand_replication(paper_influence_graph())
+        points = sensitivity_sweep(
+            graph, HW_NODE_COUNT, [0.0], replicates=2, seed=0
+        )
+        assert points[0].mean_distance == 0.0
+        assert points[0].mean_cost_ratio == pytest.approx(1.0)
+
+    def test_sweep_shape(self):
+        graph = expand_replication(paper_influence_graph())
+        points = sensitivity_sweep(
+            graph, HW_NODE_COUNT, [0.0, 0.2], replicates=2, seed=1
+        )
+        assert [p.relative_noise for p in points] == [0.0, 0.2]
+        for point in points:
+            assert 0.0 <= point.mean_distance <= 1.0
+            assert point.mean_cost_ratio >= 1.0 - 1e-9
+
+    def test_replicates_validated(self):
+        graph = expand_replication(paper_influence_graph())
+        with pytest.raises(SimulationError):
+            sensitivity_sweep(graph, HW_NODE_COUNT, [0.1], replicates=0)

@@ -1,0 +1,75 @@
+"""Integration-level trade-off sweeps."""
+
+import pytest
+
+from repro.analysis import sweep_integration_levels
+from repro.allocation import expand_replication
+from repro.errors import DDSIError
+from repro.workloads import paper_influence_graph
+
+
+@pytest.fixture(scope="module")
+def curve():
+    graph = expand_replication(paper_influence_graph())
+    return sweep_integration_levels(graph, campaign_trials=150, seed=0)
+
+
+class TestSweep:
+    def test_covers_lower_bound_to_full(self, curve):
+        nodes = [p.hw_nodes for p in curve.points]
+        assert nodes[0] == 3  # TMR lower bound
+        assert nodes[-1] == 12  # one node per SW node
+        assert nodes == list(range(3, 13))
+
+    def test_all_levels_feasible_for_paper_example(self, curve):
+        assert all(p.feasible for p in curve.points)
+
+    def test_cross_influence_rises_with_dispersion(self, curve):
+        values = [p.cross_influence for p in curve.feasible_points()]
+        # Spreading over more nodes exposes more edges: monotone
+        # non-decreasing within small tolerance.
+        assert all(b >= a - 1e-9 for a, b in zip(values, values[1:]))
+
+    def test_criticality_falls_with_dispersion(self, curve):
+        values = [p.max_node_criticality for p in curve.feasible_points()]
+        assert values[-1] <= values[0]
+
+    def test_min_hw(self, curve):
+        assert curve.minimum_hw() == 3
+
+    def test_knee_selection(self, curve):
+        densest = curve.points[0]
+        knee = curve.knee(influence_budget=densest.cross_influence + 0.1)
+        assert knee.hw_nodes == densest.hw_nodes
+
+    def test_knee_unreachable_budget(self, curve):
+        with pytest.raises(DDSIError):
+            curve.knee(influence_budget=-1.0)
+
+    def test_slack_reported(self, curve):
+        for point in curve.feasible_points():
+            assert -1.0 <= point.min_slack <= 1.0
+
+
+class TestInfeasibleLevels:
+    def test_unreachable_targets_marked(self):
+        # Three mutually-unschedulable processes: 2 nodes impossible, 3 fine.
+        from repro.allocation import initial_state
+        from repro.influence import InfluenceGraph
+        from repro.model import AttributeSet, FCM, Level, TimingConstraint
+
+        g = InfluenceGraph()
+        for name in ("x", "y", "z"):
+            g.add_fcm(
+                FCM(
+                    name,
+                    Level.PROCESS,
+                    AttributeSet(timing=TimingConstraint(0, 2, 2)),
+                )
+            )
+        curve = sweep_integration_levels(g, campaign_trials=50)
+        by_nodes = {p.hw_nodes: p for p in curve.points}
+        assert not by_nodes[1].feasible
+        assert not by_nodes[2].feasible
+        assert by_nodes[3].feasible
+        assert curve.minimum_hw() == 3

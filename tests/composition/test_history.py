@@ -1,0 +1,45 @@
+"""Integration operation log."""
+
+from repro.composition import IntegrationLog, OperationKind
+
+
+class TestIntegrationLog:
+    def test_sequence_numbers_increment(self):
+        log = IntegrationLog()
+        r1 = log.record(OperationKind.GROUP, ("a",), ("p",))
+        r2 = log.record(OperationKind.MERGE, ("x", "y"), ("xy",))
+        assert (r1.sequence, r2.sequence) == (0, 1)
+
+    def test_operations_of_kind(self):
+        log = IntegrationLog()
+        log.record(OperationKind.GROUP, ("a",), ("p",))
+        log.record(OperationKind.MERGE, ("x", "y"), ("xy",))
+        log.record(OperationKind.MERGE, ("u", "v"), ("uv",))
+        assert len(log.operations_of_kind(OperationKind.MERGE)) == 2
+        assert len(log.operations_of_kind(OperationKind.DUPLICATE)) == 0
+
+    def test_touching_matches_inputs_and_outputs(self):
+        log = IntegrationLog()
+        log.record(OperationKind.MERGE, ("x", "y"), ("xy",))
+        log.record(OperationKind.GROUP, ("xy",), ("p",))
+        assert len(log.touching("xy")) == 2
+        assert len(log.touching("x")) == 1
+        assert log.touching("zz") == []
+
+    def test_rules_and_note_stored(self):
+        log = IntegrationLog()
+        record = log.record(
+            OperationKind.DUPLICATE,
+            ("util",),
+            ("util_b",),
+            rules_checked=("R1", "R2"),
+            note="for t2",
+        )
+        assert record.rules_checked == ("R1", "R2")
+        assert record.note == "for t2"
+
+    def test_len(self):
+        log = IntegrationLog()
+        assert len(log) == 0
+        log.record(OperationKind.MODIFY, ("a",), ("a",))
+        assert len(log) == 1

@@ -1,0 +1,128 @@
+"""Horizontal integration: merging siblings with Eq. (4) edge rewriting."""
+
+import pytest
+
+from repro.composition import IntegrationLog, OperationKind, merge
+from repro.errors import CompositionError, RuleViolation
+from repro.influence import InfluenceGraph
+from repro.model import AttributeSet, FCMHierarchy, Level
+from repro.model.fcm import FCM, procedure, process, task
+
+from tests.conftest import make_process
+
+
+@pytest.fixture
+def hierarchy() -> FCMHierarchy:
+    h = FCMHierarchy()
+    h.add(process("p"))
+    h.add(task("t1", AttributeSet(criticality=3, throughput=1)), parent="p")
+    h.add(task("t2", AttributeSet(criticality=7, throughput=2)), parent="p")
+    h.add(task("t3"), parent="p")
+    h.add(procedure("f1"), parent="t1")
+    h.add(procedure("f2"), parent="t2")
+    return h
+
+
+class TestMergeStructure:
+    def test_merged_fcm_replaces_constituents(self, hierarchy):
+        merged = merge(hierarchy, ["t1", "t2"], "t12")
+        assert merged.level is Level.TASK
+        assert "t1" not in hierarchy and "t2" not in hierarchy
+        assert hierarchy.parent_of("t12").name == "p"
+
+    def test_children_adopted(self, hierarchy):
+        merge(hierarchy, ["t1", "t2"], "t12")
+        assert {c.name for c in hierarchy.children_of("t12")} == {"f1", "f2"}
+
+    def test_attributes_combined(self, hierarchy):
+        merged = merge(hierarchy, ["t1", "t2"], "t12")
+        assert merged.attributes.criticality == 7
+        assert merged.attributes.throughput == 3
+
+    def test_non_siblings_rejected_r3(self, hierarchy):
+        hierarchy.add(process("q"))
+        hierarchy.add(task("tq"), parent="q")
+        with pytest.raises(RuleViolation, match="R3"):
+            merge(hierarchy, ["t1", "tq"], "bad")
+
+    def test_root_level_merge_allowed(self):
+        h = FCMHierarchy()
+        h.add(process("p1"))
+        h.add(process("p2"))
+        merged = merge(h, ["p1", "p2"], "p12")
+        assert merged.level is Level.PROCESS
+        assert h.parent_of("p12") is None
+
+    def test_log_records(self, hierarchy):
+        log = IntegrationLog()
+        merge(hierarchy, ["t1", "t2"], "t12", log=log)
+        assert log.records[0].kind is OperationKind.MERGE
+
+
+class TestMergeInfluence:
+    def build(self) -> tuple[FCMHierarchy, InfluenceGraph]:
+        h = FCMHierarchy()
+        g = InfluenceGraph()
+        for name in ("a", "b", "c", "d"):
+            h.add(process(name))
+            g.add_fcm(make_process(name))
+        g.set_influence("a", "c", 0.2)
+        g.set_influence("b", "c", 0.7)
+        g.set_influence("a", "b", 0.9)  # internal once merged
+        g.set_influence("d", "a", 0.3)
+        return h, g
+
+    def test_outgoing_edges_combined_eq4(self):
+        h, g = self.build()
+        merge(h, ["a", "b"], "ab", influence_graph=g)
+        assert g.influence("ab", "c") == pytest.approx(0.76)
+
+    def test_incoming_edges_combined(self):
+        h, g = self.build()
+        merge(h, ["a", "b"], "ab", influence_graph=g)
+        assert g.influence("d", "ab") == pytest.approx(0.3)
+
+    def test_internal_edges_disappear(self):
+        h, g = self.build()
+        merge(h, ["a", "b"], "ab", influence_graph=g)
+        assert not g.has_fcm("a") and not g.has_fcm("b")
+        edges = {(s, t) for s, t, _ in g.influence_edges()}
+        assert ("ab", "c") in edges and ("d", "ab") in edges
+        assert len(edges) == 2
+
+    def test_merging_replicas_rejected(self):
+        h = FCMHierarchy()
+        g = InfluenceGraph()
+        base = FCM("p", Level.PROCESS, AttributeSet(fault_tolerance=2))
+        for suffix in ("a", "b"):
+            replica = base.replicate(suffix)
+            h.add(replica)
+            g.add_fcm(replica)
+        g.link_replicas("pa", "pb")
+        with pytest.raises(CompositionError, match="replicas"):
+            merge(h, ["pa", "pb"], "bad", influence_graph=g)
+
+    def test_replica_lineage_transfers_to_merged_node(self):
+        h = FCMHierarchy()
+        g = InfluenceGraph()
+        base = FCM("p", Level.PROCESS, AttributeSet(fault_tolerance=2))
+        for suffix in ("a", "b"):
+            replica = base.replicate(suffix)
+            h.add(replica)
+            g.add_fcm(replica)
+        g.link_replicas("pa", "pb")
+        ordinary = process("q")
+        h.add(ordinary)
+        g.add_fcm(make_process("q"))
+        merged = merge(h, ["pa", "q"], "paq", influence_graph=g)
+        assert merged.replica_of == "p"
+        assert g.is_replica_link("paq", "pb")
+
+    def test_merging_replicas_of_different_modules_rejected(self):
+        h = FCMHierarchy()
+        a = FCM("x", Level.PROCESS, AttributeSet(fault_tolerance=2)).replicate("a")
+        b = FCM("y", Level.PROCESS, AttributeSet(fault_tolerance=2)).replicate("a")
+        h.add(a)
+        h.add(b)
+        with pytest.raises(CompositionError, match="different modules"):
+            merge(h, ["xa", "ya"], "bad")

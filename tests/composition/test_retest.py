@@ -1,0 +1,84 @@
+"""R5 retest-obligation tracking."""
+
+import pytest
+
+from repro.composition import Obligation, ObligationKind, RetestTracker
+from repro.errors import VerificationError
+from repro.model import FCMHierarchy
+from repro.model.fcm import procedure, process, task
+
+
+@pytest.fixture
+def tracker() -> RetestTracker:
+    h = FCMHierarchy()
+    h.add(process("p"))
+    h.add(task("t1"), parent="p")
+    h.add(task("t2"), parent="p")
+    h.add(procedure("f1"), parent="t1")
+    h.add(procedure("f2"), parent="t1")
+    return RetestTracker(hierarchy=h)
+
+
+class TestModified:
+    def test_obligations_for_leaf(self, tracker):
+        added = tracker.modified("f1")
+        kinds = {(o.kind, o.subject, o.counterpart) for o in added}
+        assert (ObligationKind.MODULE, "f1", None) in kinds
+        assert (ObligationKind.PARENT, "t1", None) in kinds
+        assert (ObligationKind.INTERFACE, "f1", "f2") in kinds
+
+    def test_only_parent_not_grandparent(self, tracker):
+        tracker.modified("f1")
+        subjects = {o.subject for o in tracker.pending}
+        assert "p" not in subjects  # R5: only its parent
+
+    def test_root_modification_only_itself(self, tracker):
+        added = tracker.modified("p")
+        assert len(added) == 1
+        assert added[0].kind is ObligationKind.MODULE
+
+    def test_no_duplicates(self, tracker):
+        first = tracker.modified("f1")
+        second = tracker.modified("f1")
+        assert second == ()
+        assert len(tracker.pending) == len(first)
+
+
+class TestDischarge:
+    def test_record_test(self, tracker):
+        (obligation,) = tracker.modified("p")
+        tracker.record_test(obligation)
+        assert tracker.is_clean()
+        assert tracker.discharged == [obligation]
+
+    def test_unknown_obligation_rejected(self, tracker):
+        with pytest.raises(VerificationError):
+            tracker.record_test(Obligation(ObligationKind.MODULE, "t1"))
+
+    def test_discharge_module_clears_subject(self, tracker):
+        tracker.modified("f1")
+        cleared = tracker.discharge_module("f1")
+        assert cleared >= 1
+        assert all(o.subject != "f1" for o in tracker.pending)
+
+    def test_full_workflow_to_clean(self, tracker):
+        tracker.modified("f1")
+        for name in ("f1", "t1"):
+            tracker.discharge_module(name)
+        assert tracker.is_clean()
+
+
+class TestQueries:
+    def test_pending_for_includes_counterpart(self, tracker):
+        tracker.modified("f1")
+        hits = tracker.pending_for("f2")
+        assert hits
+        assert all(
+            o.subject == "f2" or o.counterpart == "f2" for o in hits
+        )
+
+    def test_describe_readable(self, tracker):
+        tracker.modified("f1")
+        text = " | ".join(o.describe() for o in tracker.pending)
+        assert "retest module f1" in text
+        assert "retest parent composition t1" in text

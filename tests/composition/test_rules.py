@@ -1,0 +1,104 @@
+"""Rule checkers R1-R5."""
+
+import pytest
+
+from repro.composition import (
+    RULEBOOK,
+    check_r1_grouping,
+    check_r2_unparented,
+    check_r3_siblings,
+    check_r4_cross_parent,
+    retest_set,
+)
+from repro.errors import RuleViolation
+from repro.model import FCMHierarchy, Level
+from repro.model.fcm import procedure, process, task
+
+
+@pytest.fixture
+def hierarchy() -> FCMHierarchy:
+    h = FCMHierarchy()
+    h.add(process("p1"))
+    h.add(process("p2"))
+    h.add(task("t1"), parent="p1")
+    h.add(task("t2"), parent="p1")
+    h.add(task("t3"), parent="p2")
+    h.add(procedure("f1"), parent="t1")
+    h.add(procedure("f2"), parent="t1")
+    h.add(procedure("f3"))  # unattached
+    return h
+
+
+class TestRulebook:
+    def test_all_rules_documented(self):
+        assert set(RULEBOOK) == {"R1", "R2", "R3", "R4", "R5"}
+        assert all(RULEBOOK[r].statement for r in RULEBOOK)
+
+
+class TestR1:
+    def test_correct_level_passes(self, hierarchy):
+        assert check_r1_grouping(hierarchy, ["f3"], Level.TASK) is None
+
+    def test_wrong_level_fails(self, hierarchy):
+        violation = check_r1_grouping(hierarchy, ["f3"], Level.PROCESS)
+        assert violation is not None and violation.rule == "R1"
+
+    def test_top_level_has_no_parent(self, hierarchy):
+        violation = check_r1_grouping(hierarchy, ["p1"], Level.PROCEDURE)
+        assert violation is not None
+
+
+class TestR2:
+    def test_unparented_passes(self, hierarchy):
+        assert check_r2_unparented(hierarchy, ["f3"]) is None
+
+    def test_parented_fails(self, hierarchy):
+        violation = check_r2_unparented(hierarchy, ["f1"])
+        assert violation is not None and violation.rule == "R2"
+        assert "duplicate" in str(violation)
+
+
+class TestR3:
+    def test_siblings_pass(self, hierarchy):
+        assert check_r3_siblings(hierarchy, ["t1", "t2"]) is None
+
+    def test_cross_parent_fails(self, hierarchy):
+        violation = check_r3_siblings(hierarchy, ["t1", "t3"])
+        assert violation is not None and violation.rule == "R3"
+        assert "R4" in str(violation)
+
+    def test_cross_level_fails(self, hierarchy):
+        violation = check_r3_siblings(hierarchy, ["t1", "f1"])
+        assert violation is not None
+
+    def test_single_fcm_fails(self, hierarchy):
+        assert check_r3_siblings(hierarchy, ["t1"]) is not None
+
+    def test_roots_are_siblings(self, hierarchy):
+        assert check_r3_siblings(hierarchy, ["p1", "p2"]) is None
+
+
+class TestR4:
+    def test_different_parents_pass(self, hierarchy):
+        assert check_r4_cross_parent(hierarchy, "t1", "t3") is None
+
+    def test_same_parent_rejected(self, hierarchy):
+        violation = check_r4_cross_parent(hierarchy, "t1", "t2")
+        assert violation is not None and "R3" in str(violation)
+
+    def test_unparented_rejected(self, hierarchy):
+        violation = check_r4_cross_parent(hierarchy, "f3", "t1")
+        assert violation is not None
+
+
+class TestR5:
+    def test_retest_set_for_leaf(self, hierarchy):
+        members = retest_set(hierarchy, "f1")
+        assert set(members) == {"f1", "t1", "f2"}
+
+    def test_retest_excludes_grandparent(self, hierarchy):
+        members = retest_set(hierarchy, "f1")
+        assert "p1" not in members  # "and only its parent"
+
+    def test_retest_for_root(self, hierarchy):
+        assert retest_set(hierarchy, "p1") == ("p1",)

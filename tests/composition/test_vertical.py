@@ -1,0 +1,171 @@
+"""Vertical integration: grouping, duplication, parent integration."""
+
+import pytest
+
+from repro.composition import (
+    IntegrationLog,
+    OperationKind,
+    duplicate_child_for,
+    group,
+    integrate_parents,
+)
+from repro.errors import CompositionError, RuleViolation
+from repro.model import AttributeSet, FCMHierarchy, Level, TimingConstraint
+from repro.model.fcm import FCM, procedure, process, task
+
+
+@pytest.fixture
+def hierarchy() -> FCMHierarchy:
+    h = FCMHierarchy()
+    h.add(procedure("f1", AttributeSet(criticality=2, throughput=1)))
+    h.add(procedure("f2", AttributeSet(criticality=5, throughput=2)))
+    return h
+
+
+class TestGroup:
+    def test_creates_parent_at_next_level(self, hierarchy):
+        parent = group(hierarchy, ["f1", "f2"], "t1")
+        assert parent.level is Level.TASK
+        assert hierarchy.parent_of("f1").name == "t1"
+        assert hierarchy.parent_of("f2").name == "t1"
+
+    def test_parent_attributes_combined(self, hierarchy):
+        parent = group(hierarchy, ["f1", "f2"], "t1")
+        assert parent.attributes.criticality == 5
+        assert parent.attributes.throughput == 3
+
+    def test_extra_attributes_dominate(self, hierarchy):
+        parent = group(
+            hierarchy,
+            ["f1", "f2"],
+            "t1",
+            extra_attributes=AttributeSet(criticality=50),
+        )
+        assert parent.attributes.criticality == 50
+
+    def test_single_child_allowed_r1(self, hierarchy):
+        # R1: "Any number of FCMs ... can be integrated" — one is fine.
+        parent = group(hierarchy, ["f1"], "t_single")
+        assert [c.name for c in hierarchy.children_of("t_single")] == ["f1"]
+
+    def test_empty_rejected(self, hierarchy):
+        with pytest.raises(CompositionError):
+            group(hierarchy, [], "t")
+
+    def test_mixed_levels_rejected(self, hierarchy):
+        hierarchy.add(task("stray"))
+        with pytest.raises(CompositionError):
+            group(hierarchy, ["f1", "stray"], "x")
+
+    def test_already_parented_child_rejected_r2(self, hierarchy):
+        group(hierarchy, ["f1"], "t1")
+        with pytest.raises(RuleViolation, match="R2"):
+            group(hierarchy, ["f1"], "t2")
+
+    def test_process_level_cannot_group_higher(self, hierarchy):
+        hierarchy.add(process("p"))
+        with pytest.raises(RuleViolation, match="R1"):
+            group(hierarchy, ["p"], "super")
+
+    def test_grouping_tasks_into_process(self, hierarchy):
+        group(hierarchy, ["f1", "f2"], "t1")
+        parent = group(hierarchy, ["t1"], "p1")
+        assert parent.level is Level.PROCESS
+
+    def test_log_records_operation(self, hierarchy):
+        log = IntegrationLog()
+        group(hierarchy, ["f1", "f2"], "t1", log=log)
+        assert len(log) == 1
+        record = log.records[0]
+        assert record.kind is OperationKind.GROUP
+        assert record.inputs == ("f1", "f2")
+        assert record.outputs == ("t1",)
+
+
+class TestDuplicateChildFor:
+    def make_two_tasks(self) -> FCMHierarchy:
+        h = FCMHierarchy()
+        h.add(procedure("util", AttributeSet(criticality=1)))
+        h.add(task("t1"))
+        h.add(task("t2"))
+        h.attach("util", "t1")
+        return h
+
+    def test_duplicates_with_suffix(self):
+        h = self.make_two_tasks()
+        clone = duplicate_child_for(h, "util", "t2")
+        assert clone.name == "util_for_t2"
+        assert h.parent_of("util_for_t2").name == "t2"
+        assert h.parent_of("util").name == "t1"  # original untouched
+
+    def test_custom_suffix(self):
+        h = self.make_two_tasks()
+        clone = duplicate_child_for(h, "util", "t2", suffix="_b")
+        assert clone.name == "util_b"
+
+    def test_level_mismatch_rejected(self):
+        h = self.make_two_tasks()
+        h.add(process("p"))
+        with pytest.raises(RuleViolation, match="R1"):
+            duplicate_child_for(h, "util", "p")
+
+    def test_stateful_procedure_rejected(self):
+        h = FCMHierarchy()
+        h.add(FCM("stateful", Level.PROCEDURE, stateless=False))
+        h.add(task("t"))
+        with pytest.raises(CompositionError, match="stateless"):
+            duplicate_child_for(h, "stateful", "t")
+
+    def test_log_records(self):
+        h = self.make_two_tasks()
+        log = IntegrationLog()
+        duplicate_child_for(h, "util", "t2", log=log)
+        assert log.records[0].kind is OperationKind.DUPLICATE
+
+
+class TestIntegrateParents:
+    def make_two_processes(self) -> FCMHierarchy:
+        h = FCMHierarchy()
+        h.add(process("pa", AttributeSet(criticality=10, throughput=1)))
+        h.add(process("pb", AttributeSet(criticality=4, throughput=2)))
+        h.add(task("ta1"), parent="pa")
+        h.add(task("ta2"), parent="pa")
+        h.add(task("tb1"), parent="pb")
+        return h
+
+    def test_merges_parents_and_adopts_children(self):
+        h = self.make_two_processes()
+        merged = integrate_parents(h, "ta1", "tb1", "pab")
+        assert merged.level is Level.PROCESS
+        assert {c.name for c in h.children_of("pab")} == {"ta1", "ta2", "tb1"}
+        assert "pa" not in h and "pb" not in h
+
+    def test_merged_attributes_combined(self):
+        h = self.make_two_processes()
+        merged = integrate_parents(h, "ta1", "tb1", "pab")
+        assert merged.attributes.criticality == 10
+        assert merged.attributes.throughput == 3
+
+    def test_children_become_siblings(self):
+        h = self.make_two_processes()
+        integrate_parents(h, "ta1", "tb1", "pab")
+        assert {s.name for s in h.siblings_of("ta1")} == {"ta2", "tb1"}
+
+    def test_same_parent_rejected(self):
+        h = self.make_two_processes()
+        with pytest.raises(RuleViolation, match="R4"):
+            integrate_parents(h, "ta1", "ta2", "x")
+
+    def test_unparented_rejected(self):
+        h = self.make_two_processes()
+        h.add(task("orphan"))
+        with pytest.raises(RuleViolation):
+            integrate_parents(h, "orphan", "tb1", "x")
+
+    def test_log_records(self):
+        h = self.make_two_processes()
+        log = IntegrationLog()
+        integrate_parents(h, "ta1", "tb1", "pab", log=log)
+        record = log.records[0]
+        assert record.kind is OperationKind.INTEGRATE_PARENTS
+        assert set(record.inputs) == {"pa", "pb"}

@@ -1,0 +1,62 @@
+"""Shared fixtures for the DDSI test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.allocation import expand_replication, initial_state
+from repro.influence import InfluenceGraph
+from repro.model import AttributeSet, FCM, Level, TimingConstraint
+from repro.workloads import (
+    avionics_system,
+    paper_influence_graph,
+    paper_system,
+)
+
+
+def make_process(name: str, **attr_kwargs) -> FCM:
+    """A process-level FCM with the given attribute overrides."""
+    return FCM(name, Level.PROCESS, AttributeSet(**attr_kwargs))
+
+
+@pytest.fixture
+def paper_graph() -> InfluenceGraph:
+    """The Fig. 3 influence graph (8 processes, 12 edges)."""
+    return paper_influence_graph()
+
+
+@pytest.fixture
+def expanded_paper_graph(paper_graph) -> InfluenceGraph:
+    """The Fig. 4 replicated graph (12 nodes)."""
+    return expand_replication(paper_graph)
+
+
+@pytest.fixture
+def expanded_paper_state(expanded_paper_graph):
+    """Singleton clusters over the replicated paper graph."""
+    return initial_state(expanded_paper_graph)
+
+
+@pytest.fixture
+def paper_sys():
+    return paper_system()
+
+
+@pytest.fixture
+def avionics_sys():
+    return avionics_system()
+
+
+@pytest.fixture
+def triangle_graph() -> InfluenceGraph:
+    """Three processes in a line with known influences: a ->0.5 b ->0.4 c."""
+    graph = InfluenceGraph()
+    for name in ("a", "b", "c"):
+        graph.add_fcm(make_process(name))
+    graph.set_influence("a", "b", 0.5)
+    graph.set_influence("b", "c", 0.4)
+    return graph
+
+
+def timing(est: float, tcd: float, ct: float) -> TimingConstraint:
+    return TimingConstraint(est, tcd, ct)

@@ -1,0 +1,41 @@
+"""Framework campaign validation."""
+
+import pytest
+
+from repro import IntegrationFramework, fully_connected, paper_system
+
+
+class TestValidateByCampaign:
+    def test_returns_campaign_and_notes(self):
+        framework = IntegrationFramework(paper_system())
+        outcome = framework.integrate(fully_connected(6))
+        campaign = framework.validate_by_campaign(outcome, trials=500, seed=0)
+        assert campaign.trials == 500
+        assert 0.0 <= campaign.cross_cluster_rate <= 1.0
+        assert any("campaign validation" in note for note in outcome.notes)
+        assert "campaign validation" in outcome.summary()
+
+    def test_deterministic_given_seed(self):
+        framework = IntegrationFramework(paper_system())
+        outcome = framework.integrate(fully_connected(6))
+        a = framework.validate_by_campaign(outcome, trials=300, seed=5)
+        b = framework.validate_by_campaign(outcome, trials=300, seed=5)
+        assert a == b
+
+    def test_escape_rate_tracks_partition_quality(self):
+        # Denser integration (fewer nodes) must not have a higher escape
+        # rate than maximal dispersion on the same system.
+        framework_dense = IntegrationFramework(paper_system())
+        dense = framework_dense.integrate(fully_connected(3))
+        dense_campaign = framework_dense.validate_by_campaign(
+            dense, trials=1500, seed=1
+        )
+        framework_sparse = IntegrationFramework(paper_system())
+        sparse = framework_sparse.integrate(fully_connected(12))
+        sparse_campaign = framework_sparse.validate_by_campaign(
+            sparse, trials=1500, seed=1
+        )
+        assert (
+            dense_campaign.cross_cluster_rate
+            <= sparse_campaign.cross_cluster_rate
+        )

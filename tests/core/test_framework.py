@@ -1,0 +1,113 @@
+"""The end-to-end IntegrationFramework."""
+
+import pytest
+
+from repro import (
+    FrameworkOptions,
+    Heuristic,
+    IntegrationFramework,
+    MappingApproach,
+    fully_connected,
+    integrate,
+    paper_system,
+)
+from repro.errors import AllocationError
+from repro.workloads import avionics_hw, avionics_resources, avionics_system
+
+
+class TestPipeline:
+    def test_paper_example_end_to_end(self, paper_sys):
+        outcome = IntegrationFramework(paper_sys).integrate(fully_connected(6))
+        assert outcome.feasible
+        assert outcome.audit.passed
+        assert len(outcome.condensation.clusters) == 6
+        assert outcome.mapping.is_complete()
+
+    def test_summary_text(self, paper_sys):
+        outcome = IntegrationFramework(paper_sys).integrate(fully_connected(6))
+        text = outcome.summary()
+        assert "icdcs98-example" in text
+        assert "feasible: True" in text
+        assert "H1" in text
+
+    def test_functional_wrapper(self, paper_sys):
+        outcome = integrate(paper_sys, fully_connected(6))
+        assert outcome.feasible
+
+    def test_insufficient_hw_rejected(self, paper_sys):
+        with pytest.raises(AllocationError, match="replication needs"):
+            IntegrationFramework(paper_sys).integrate(fully_connected(2))
+
+    @pytest.mark.parametrize(
+        "heuristic",
+        [
+            Heuristic.H1,
+            Heuristic.H2,
+            Heuristic.H3,
+            Heuristic.CRITICALITY,
+            Heuristic.TIMING,
+            Heuristic.TIMING_PACK,
+        ],
+    )
+    def test_every_heuristic_runs(self, paper_sys, heuristic):
+        options = FrameworkOptions(heuristic=heuristic)
+        outcome = IntegrationFramework(paper_sys, options).integrate(
+            fully_connected(6)
+        )
+        assert outcome.feasible, outcome.summary()
+
+    @pytest.mark.parametrize(
+        "approach", [MappingApproach.IMPORTANCE, MappingApproach.ATTRIBUTES]
+    )
+    def test_both_mapping_approaches(self, paper_sys, approach):
+        options = FrameworkOptions(mapping=approach)
+        outcome = IntegrationFramework(paper_sys, options).integrate(
+            fully_connected(6)
+        )
+        assert outcome.feasible
+
+
+class TestAvionicsPipeline:
+    def test_resource_aware_integration(self):
+        options = FrameworkOptions(resources=avionics_resources())
+        outcome = IntegrationFramework(avionics_system(), options).integrate(
+            avionics_hw(6)
+        )
+        assert outcome.feasible
+        # The sensor process must land on the sensor-bus cabinet.
+        state = outcome.condensation.state
+        sensor_cluster = state.cluster_of("sensor_io")
+        assert outcome.mapping.node_of(sensor_cluster) == "cab1"
+        display_cluster = state.cluster_of("display")
+        assert outcome.mapping.node_of(display_cluster) == "cab2"
+
+    def test_criticality_pipeline_on_avionics(self):
+        options = FrameworkOptions(
+            heuristic=Heuristic.CRITICALITY,
+            mapping=MappingApproach.ATTRIBUTES,
+            resources=avionics_resources(),
+        )
+        outcome = IntegrationFramework(avionics_system(), options).integrate(
+            avionics_hw(6)
+        )
+        assert outcome.feasible
+        # TMR replicas of flight_ctl land on three distinct cabinets.
+        nodes = set()
+        state = outcome.condensation.state
+        for replica in ("flight_ctla", "flight_ctlb", "flight_ctlc"):
+            nodes.add(outcome.mapping.node_of(state.cluster_of(replica)))
+        assert len(nodes) == 3
+
+
+class TestStages:
+    def test_expanded_state(self, paper_sys):
+        framework = IntegrationFramework(paper_sys)
+        state = framework.expanded_state()
+        assert len(state) == 12
+
+    def test_audit_stage(self, paper_sys):
+        assert IntegrationFramework(paper_sys).audit().passed
+
+    def test_notes_mention_lower_bound(self, paper_sys):
+        outcome = IntegrationFramework(paper_sys).integrate(fully_connected(6))
+        assert any("lower bound 3" in note for note in outcome.notes)

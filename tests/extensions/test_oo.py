@@ -1,0 +1,149 @@
+"""The OO class-level extension (paper footnote 4)."""
+
+import pytest
+
+from repro.errors import ModelError, VerificationError
+from repro.extensions import (
+    ClassGroup,
+    check_encapsulation,
+    class_influence_graph,
+    require_encapsulated,
+    validate_classes,
+)
+from repro.influence import FactorKind, InfluenceFactor, InfluenceGraph
+from repro.model import AttributeSet, Level
+from repro.model.fcm import procedure, task
+
+
+def method_graph() -> InfluenceGraph:
+    g = InfluenceGraph()
+    for name in ("ctor", "getter", "setter", "helper", "free"):
+        g.add_fcm(procedure(name, AttributeSet(criticality=1)))
+    # Hidden state inside the class (globals between its own methods).
+    g.set_influence(
+        "ctor", "getter",
+        factors=[InfluenceFactor(FactorKind.GLOBAL_VARIABLE, 0.5, 0.5, 0.5)],
+    )
+    g.set_influence(
+        "setter", "getter",
+        factors=[InfluenceFactor(FactorKind.GLOBAL_VARIABLE, 0.4, 0.4, 0.4)],
+    )
+    # Clean parameter-based calls crossing the boundary.
+    g.set_influence(
+        "getter", "helper",
+        factors=[InfluenceFactor(FactorKind.PARAMETER_PASSING, 0.3, 0.3, 0.3)],
+    )
+    g.set_influence(
+        "helper", "free",
+        factors=[InfluenceFactor(FactorKind.PARAMETER_PASSING, 0.2, 0.2, 0.2)],
+    )
+    return g
+
+
+STACK = ClassGroup("Stack", ("ctor", "getter", "setter"))
+
+
+class TestClassGroup:
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            ClassGroup("", ("m",))
+        with pytest.raises(ModelError):
+            ClassGroup("K", ())
+        with pytest.raises(ModelError):
+            ClassGroup("K", ("m", "m"))
+
+
+class TestValidateClasses:
+    def test_valid_partition(self):
+        validate_classes(method_graph(), [STACK])
+
+    def test_shared_method_rejected(self):
+        with pytest.raises(ModelError, match="two classes"):
+            validate_classes(
+                method_graph(),
+                [STACK, ClassGroup("Other", ("ctor",))],
+            )
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ModelError, match="not in influence graph"):
+            validate_classes(method_graph(), [ClassGroup("K", ("ghost",))])
+
+    def test_non_procedure_rejected(self):
+        g = method_graph()
+        g.add_fcm(task("a_task"))
+        with pytest.raises(ModelError, match="not a procedure"):
+            validate_classes(g, [ClassGroup("K", ("a_task",))])
+
+
+class TestEncapsulation:
+    def test_hidden_state_allowed(self):
+        report = check_encapsulation(method_graph(), [STACK])
+        assert report.passed
+
+    def test_cross_class_global_flagged(self):
+        g = method_graph()
+        g.set_influence(
+            "setter", "helper",
+            factors=[InfluenceFactor(FactorKind.GLOBAL_VARIABLE, 0.2, 0.2, 0.2)],
+        )
+        report = check_encapsulation(g, [STACK])
+        assert not report.passed
+        assert ("setter", "helper") in report.breaches
+
+    def test_inbound_global_also_flagged(self):
+        g = method_graph()
+        g.set_influence(
+            "free", "setter",
+            factors=[InfluenceFactor(FactorKind.GLOBAL_VARIABLE, 0.2, 0.2, 0.2)],
+        )
+        assert not check_encapsulation(g, [STACK]).passed
+
+    def test_free_procedure_globals_not_breaches(self):
+        g = method_graph()
+        g.set_influence(
+            "free", "helper",
+            factors=[InfluenceFactor(FactorKind.GLOBAL_VARIABLE, 0.2, 0.2, 0.2)],
+        )
+        assert check_encapsulation(g, [STACK]).passed
+
+    def test_require_encapsulated_raises(self):
+        g = method_graph()
+        g.set_influence(
+            "setter", "helper",
+            factors=[InfluenceFactor(FactorKind.GLOBAL_VARIABLE, 0.2, 0.2, 0.2)],
+        )
+        with pytest.raises(VerificationError, match="information hiding"):
+            require_encapsulated(g, [STACK])
+
+
+class TestClassInfluenceGraph:
+    def test_nodes_are_classes_plus_free(self):
+        cg = class_influence_graph(method_graph(), [STACK])
+        assert sorted(cg.fcm_names()) == ["Stack", "free", "helper"]
+
+    def test_internal_influence_disappears(self):
+        cg = class_influence_graph(method_graph(), [STACK])
+        # ctor->getter and setter->getter are inside Stack now.
+        assert cg.influence("Stack", "helper") == pytest.approx(
+            0.3 ** 3
+        )  # only getter->helper remains
+
+    def test_eq4_combination_across_boundary(self):
+        g = method_graph()
+        g.set_influence(
+            "ctor", "helper",
+            factors=[InfluenceFactor(FactorKind.PARAMETER_PASSING, 0.5, 1.0, 1.0)],
+        )
+        cg = class_influence_graph(g, [STACK])
+        expected = 1 - (1 - 0.3 ** 3) * (1 - 0.5)
+        assert cg.influence("Stack", "helper") == pytest.approx(expected)
+
+    def test_attributes_grouped(self):
+        g = method_graph()
+        cg = class_influence_graph(g, [STACK])
+        assert cg.fcm("Stack").attributes.criticality == 1
+
+    def test_name_collision_rejected(self):
+        g = method_graph()
+        with pytest.raises(ModelError, match="collide"):
+            class_influence_graph(g, [ClassGroup("free", ("ctor",))])

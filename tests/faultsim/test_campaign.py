@@ -1,0 +1,78 @@
+"""System-level fault-injection campaigns."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.faultsim import compare_partitions, run_campaign
+from repro.influence import InfluenceGraph
+
+from tests.conftest import make_process
+
+
+def coupled_graph() -> InfluenceGraph:
+    g = InfluenceGraph()
+    for name in ("a", "b", "c", "d"):
+        g.add_fcm(make_process(name))
+    g.set_influence("a", "b", 0.9)
+    g.set_influence("b", "a", 0.9)
+    g.set_influence("c", "d", 0.9)
+    g.set_influence("d", "c", 0.9)
+    g.set_influence("a", "c", 0.05)
+    return g
+
+
+GOOD = [["a", "b"], ["c", "d"]]  # strong pairs together
+BAD = [["a", "c"], ["b", "d"]]  # strong pairs split
+
+
+class TestRunCampaign:
+    def test_zero_influence_never_escapes(self):
+        g = InfluenceGraph()
+        for name in ("x", "y"):
+            g.add_fcm(make_process(name))
+        result = run_campaign(g, [["x"], ["y"]], trials=200, seed=0)
+        assert result.cross_cluster_rate == 0.0
+        assert result.mean_affected_fcms == 0.0
+        assert result.max_affected_fcms == 0
+
+    def test_good_partition_contains_better(self):
+        g = coupled_graph()
+        good = run_campaign(g, GOOD, trials=2000, seed=1)
+        bad = run_campaign(g, BAD, trials=2000, seed=1)
+        assert good.mean_affected_clusters < bad.mean_affected_clusters
+        assert good.cross_cluster_rate < bad.cross_cluster_rate
+
+    def test_mean_fcms_independent_of_partition(self):
+        # Propagation runs on the FCM graph; the partition only changes
+        # the cross-cluster accounting.
+        g = coupled_graph()
+        good = run_campaign(g, GOOD, trials=500, seed=2)
+        bad = run_campaign(g, BAD, trials=500, seed=2)
+        assert good.mean_affected_fcms == pytest.approx(bad.mean_affected_fcms)
+
+    def test_partition_must_cover(self):
+        g = coupled_graph()
+        with pytest.raises(SimulationError, match="misses"):
+            run_campaign(g, [["a", "b"]], trials=10)
+
+    def test_duplicate_member_rejected(self):
+        g = coupled_graph()
+        with pytest.raises(SimulationError, match="two blocks"):
+            run_campaign(g, [["a", "b"], ["b", "c", "d"]], trials=10)
+
+    def test_trials_validated(self):
+        with pytest.raises(SimulationError):
+            run_campaign(coupled_graph(), GOOD, trials=0)
+
+
+class TestComparePartitions:
+    def test_same_seed_fair_comparison(self):
+        g = coupled_graph()
+        results = compare_partitions(
+            g, {"good": GOOD, "bad": BAD}, trials=500, seed=3
+        )
+        assert set(results) == {"good", "bad"}
+        assert (
+            results["good"].mean_affected_fcms
+            == results["bad"].mean_affected_fcms
+        )

@@ -1,0 +1,84 @@
+"""Empirical influence/separation estimation (E4)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.faultsim import (
+    estimate_all_influences,
+    estimate_influence,
+    estimate_separation,
+    estimate_transitive_influence,
+    max_estimation_error,
+)
+from repro.influence import InfluenceGraph, separation
+
+from tests.conftest import make_process
+
+
+def pair(p: float) -> InfluenceGraph:
+    g = InfluenceGraph()
+    for name in ("s", "t"):
+        g.add_fcm(make_process(name))
+    g.set_influence("s", "t", p)
+    return g
+
+
+class TestEstimateInfluence:
+    def test_converges_to_edge_weight(self):
+        g = pair(0.3)
+        est = estimate_influence(g, "s", "t", trials=5000, seed=0)
+        assert est.estimate == pytest.approx(0.3, abs=0.03)
+        assert est.covers(0.3)
+
+    def test_interval_tightens_with_trials(self):
+        g = pair(0.3)
+        small = estimate_influence(g, "s", "t", trials=100, seed=0)
+        big = estimate_influence(g, "s", "t", trials=5000, seed=0)
+        assert (big.high - big.low) < (small.high - small.low)
+
+    def test_zero_influence(self):
+        g = pair(0.3)
+        est = estimate_influence(g, "t", "s", trials=500, seed=0)
+        assert est.estimate == 0.0
+
+    def test_trials_validated(self):
+        with pytest.raises(SimulationError):
+            estimate_influence(pair(0.5), "s", "t", trials=0)
+
+
+class TestTransitiveEstimation:
+    def test_chain_probability(self):
+        g = InfluenceGraph()
+        for name in ("a", "b", "c"):
+            g.add_fcm(make_process(name))
+        g.set_influence("a", "b", 0.5)
+        g.set_influence("b", "c", 0.6)
+        est = estimate_transitive_influence(g, "a", "c", trials=8000, seed=1)
+        assert est.estimate == pytest.approx(0.3, abs=0.02)
+
+    def test_empirical_separation_close_to_analytic(self, paper_graph):
+        # On the paper graph the analytic series slightly *overestimates*
+        # transitive influence (path sums, not unions), so empirical
+        # separation >= analytic separation - small noise.
+        for src, dst in (("p1", "p3"), ("p2", "p5"), ("p3", "p5")):
+            empirical = estimate_separation(
+                paper_graph, src, dst, trials=4000, seed=2
+            )
+            analytic = separation(paper_graph, src, dst)
+            assert empirical >= analytic - 0.05, (src, dst)
+
+
+class TestBulkEstimation:
+    def test_all_edges_estimated(self, paper_graph):
+        estimates = estimate_all_influences(paper_graph, trials=300, seed=0)
+        assert len(estimates) == 12
+        for (src, dst), est in estimates.items():
+            assert est.source == src and est.target == dst
+
+    def test_max_error_shrinks_with_trials(self, paper_graph):
+        coarse = max_estimation_error(paper_graph, trials=50, seed=1)
+        fine = max_estimation_error(paper_graph, trials=5000, seed=1)
+        assert fine < coarse
+
+    def test_fine_estimation_accurate(self, paper_graph):
+        assert max_estimation_error(paper_graph, trials=5000, seed=3) < 0.05

@@ -1,0 +1,169 @@
+"""Unit tests for graph algorithms, cross-checked against networkx."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs import (
+    Digraph,
+    bfs_reachable,
+    dijkstra,
+    has_path,
+    is_acyclic,
+    is_tree,
+    strongly_connected_components,
+    topological_sort,
+    weakly_connected_components,
+)
+
+
+def build(edges, nodes=()):
+    g = Digraph()
+    for n in nodes:
+        g.add_node(n)
+    for src, dst in edges:
+        g.add_edge(src, dst)
+    return g
+
+
+@pytest.fixture
+def dag():
+    return build([("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")])
+
+
+@pytest.fixture
+def cyclic():
+    return build([("a", "b"), ("b", "c"), ("c", "a"), ("c", "d")])
+
+
+class TestReachability:
+    def test_bfs_reachable_includes_start(self, dag):
+        assert bfs_reachable(dag, "a") == {"a", "b", "c", "d"}
+
+    def test_bfs_reachable_partial(self, dag):
+        assert bfs_reachable(dag, "b") == {"b", "d"}
+
+    def test_bfs_missing_node_raises(self, dag):
+        with pytest.raises(GraphError):
+            bfs_reachable(dag, "zz")
+
+    def test_has_path_directions(self, dag):
+        assert has_path(dag, "a", "d")
+        assert not has_path(dag, "d", "a")
+
+
+class TestTopologicalSort:
+    def test_order_respects_edges(self, dag):
+        order = topological_sort(dag)
+        pos = {n: i for i, n in enumerate(order)}
+        for src, dst, _ in dag.edges():
+            assert pos[src] < pos[dst]
+
+    def test_cycle_raises(self, cyclic):
+        with pytest.raises(GraphError, match="cycle"):
+            topological_sort(cyclic)
+
+    def test_is_acyclic(self, dag, cyclic):
+        assert is_acyclic(dag)
+        assert not is_acyclic(cyclic)
+
+    def test_empty_graph(self):
+        assert topological_sort(Digraph()) == []
+
+
+class TestSCC:
+    def test_matches_networkx_on_random_graphs(self):
+        import random
+
+        rng = random.Random(7)
+        for trial in range(10):
+            nxg = nx.gnp_random_graph(12, 0.2, directed=True, seed=trial)
+            g = build(nxg.edges(), nodes=nxg.nodes())
+            ours = {frozenset(c) for c in strongly_connected_components(g)}
+            theirs = {
+                frozenset(c) for c in nx.strongly_connected_components(nxg)
+            }
+            assert ours == theirs
+
+    def test_single_cycle_is_one_component(self, cyclic):
+        comps = {frozenset(c) for c in strongly_connected_components(cyclic)}
+        assert frozenset({"a", "b", "c"}) in comps
+        assert frozenset({"d"}) in comps
+
+    def test_dag_components_are_singletons(self, dag):
+        comps = strongly_connected_components(dag)
+        assert all(len(c) == 1 for c in comps)
+        assert len(comps) == 4
+
+
+class TestWeakComponents:
+    def test_two_islands(self):
+        g = build([("a", "b"), ("c", "d")])
+        comps = weakly_connected_components(g)
+        assert {frozenset(c) for c in comps} == {
+            frozenset({"a", "b"}),
+            frozenset({"c", "d"}),
+        }
+
+    def test_isolated_node(self):
+        g = build([("a", "b")], nodes=["z"])
+        assert {frozenset(c) for c in weakly_connected_components(g)} == {
+            frozenset({"a", "b"}),
+            frozenset({"z"}),
+        }
+
+
+class TestDijkstra:
+    def test_simple_path_weights(self):
+        g = Digraph()
+        g.add_edge("a", "b", 2.0)
+        g.add_edge("b", "c", 3.0)
+        g.add_edge("a", "c", 10.0)
+        assert dijkstra(g, "a") == {"a": 0.0, "b": 2.0, "c": 5.0}
+
+    def test_unreachable_absent(self):
+        g = build([("a", "b")], nodes=["c"])
+        assert "c" not in dijkstra(g, "a")
+
+    def test_negative_weight_rejected(self):
+        g = Digraph()
+        g.add_edge("a", "b", -1.0)
+        with pytest.raises(GraphError):
+            dijkstra(g, "a")
+
+    def test_matches_networkx(self):
+        import random
+
+        rng = random.Random(3)
+        nxg = nx.gnp_random_graph(10, 0.4, directed=True, seed=5)
+        g = Digraph()
+        for n in nxg.nodes():
+            g.add_node(n)
+        for u, v in nxg.edges():
+            w = rng.uniform(0.1, 5.0)
+            nxg[u][v]["weight"] = w
+            g.add_edge(u, v, w)
+        ours = dijkstra(g, 0)
+        theirs = nx.single_source_dijkstra_path_length(nxg, 0)
+        assert set(ours) == set(theirs)
+        for node in ours:
+            assert ours[node] == pytest.approx(theirs[node])
+
+
+class TestIsTree:
+    def test_forest_passes(self):
+        g = build([("p", "t1"), ("p", "t2"), ("t1", "f1")])
+        assert is_tree(g)
+
+    def test_shared_child_fails(self):
+        g = build([("p1", "c"), ("p2", "c")])
+        assert not is_tree(g)
+
+    def test_cycle_fails(self):
+        g = build([("a", "b"), ("b", "a")])
+        assert not is_tree(g)
+
+    def test_roots_must_match(self):
+        g = build([("p", "c")])
+        assert is_tree(g, roots=["p"])
+        assert not is_tree(g, roots=["c"])

@@ -1,0 +1,129 @@
+"""Quotient-graph condensation."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs import (
+    Digraph,
+    condense,
+    max_combiner,
+    merge_two,
+    noisy_or_combiner,
+    sum_combiner,
+    validate_partition,
+)
+
+
+@pytest.fixture
+def square() -> Digraph:
+    g = Digraph()
+    g.add_edge("a", "b", 0.2)
+    g.add_edge("b", "c", 0.3)
+    g.add_edge("a", "c", 0.4)
+    g.add_edge("d", "c", 0.5)
+    return g
+
+
+class TestCombiners:
+    def test_sum(self):
+        assert sum_combiner([0.1, 0.2]) == pytest.approx(0.3)
+
+    def test_max(self):
+        assert max_combiner([0.1, 0.7, 0.2]) == 0.7
+
+    def test_noisy_or_matches_eq4(self):
+        # 1 - (1-0.2)(1-0.7) = 0.76, the paper's Fig. 5 value.
+        assert noisy_or_combiner([0.2, 0.7]) == pytest.approx(0.76)
+
+    def test_noisy_or_three_factors(self):
+        # 1 - (1-0.2)(1-0.7)(1-0.3) = 0.832, the Fig. 8 value.
+        assert noisy_or_combiner([0.2, 0.7, 0.3]) == pytest.approx(0.832)
+
+    def test_noisy_or_rejects_out_of_range(self):
+        with pytest.raises(GraphError):
+            noisy_or_combiner([1.2])
+
+
+class TestValidatePartition:
+    def test_valid(self, square):
+        blocks = validate_partition(square, [["a", "b"], ["c"], ["d"]])
+        assert blocks == [["a", "b"], ["c"], ["d"]]
+
+    def test_overlap_rejected(self, square):
+        with pytest.raises(GraphError, match="overlap"):
+            validate_partition(square, [["a", "b"], ["b", "c"], ["d"]])
+
+    def test_missing_node_rejected(self, square):
+        with pytest.raises(GraphError, match="cover"):
+            validate_partition(square, [["a", "b"], ["c"]])
+
+    def test_empty_block_rejected(self, square):
+        with pytest.raises(GraphError, match="empty"):
+            validate_partition(square, [["a", "b", "c", "d"], []])
+
+
+class TestCondense:
+    def test_internal_edges_disappear(self, square):
+        q, member_of = condense(square, [["a", "b"], ["c", "d"]])
+        assert len(q) == 2
+        # a->b vanished; the only quotient edge bundles a->c, b->c.
+        assert q.edge_count() == 1
+
+    def test_parallel_edges_combined_by_sum(self, square):
+        q, member_of = condense(square, [["a", "b"], ["c", "d"]])
+        label_ab = member_of["a"]
+        label_cd = member_of["c"]
+        assert q.weight(label_ab, label_cd) == pytest.approx(0.3 + 0.4)
+
+    def test_noisy_or_combination(self, square):
+        q, member_of = condense(
+            square, [["a", "b"], ["c", "d"]], combiner=noisy_or_combiner
+        )
+        expected = 1 - (1 - 0.3) * (1 - 0.4)
+        assert q.weight(member_of["a"], member_of["c"]) == pytest.approx(expected)
+
+    def test_members_recorded(self, square):
+        q, member_of = condense(square, [["a", "b"], ["c"], ["d"]])
+        assert q.node_data(member_of["a"])["members"] == ("a", "b")
+
+    def test_custom_labels(self, square):
+        q, member_of = condense(
+            square,
+            [["a", "b"], ["c"], ["d"]],
+            block_labels=["left", "mid", "right"],
+        )
+        assert set(q.nodes()) == {"left", "mid", "right"}
+        assert member_of["d"] == "right"
+
+    def test_duplicate_labels_rejected(self, square):
+        with pytest.raises(GraphError):
+            condense(square, [["a"], ["b"], ["c"], ["d"]], block_labels=["x", "x", "y", "z"])
+
+    def test_label_count_mismatch_rejected(self, square):
+        with pytest.raises(GraphError):
+            condense(square, [["a", "b"], ["c"], ["d"]], block_labels=["x"])
+
+
+class TestMergeTwo:
+    def test_preserves_other_nodes(self, square):
+        q = merge_two(square, "a", "b", "ab")
+        assert set(q.nodes()) == {"ab", "c", "d"}
+        assert q.weight("d", "c") == 0.5
+
+    def test_merged_edges_combined(self, square):
+        q = merge_two(square, "a", "b", "ab", combiner=noisy_or_combiner)
+        assert q.weight("ab", "c") == pytest.approx(1 - 0.7 * 0.6)
+
+    def test_self_merge_rejected(self, square):
+        with pytest.raises(GraphError):
+            merge_two(square, "a", "a", "aa")
+
+    def test_missing_node_rejected(self, square):
+        with pytest.raises(GraphError):
+            merge_two(square, "a", "zz", "x")
+
+    def test_iterative_merging_composes(self, square):
+        q1 = merge_two(square, "a", "b", "ab")
+        q2 = merge_two(q1, "ab", "c", "abc")
+        assert set(q2.nodes()) == {"abc", "d"}
+        assert q2.weight("d", "abc") == 0.5

@@ -1,0 +1,159 @@
+"""Unit tests for the core directed-graph structure."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs import Digraph
+
+
+@pytest.fixture
+def small() -> Digraph:
+    g = Digraph()
+    g.add_edge("a", "b", 0.5)
+    g.add_edge("b", "c", 0.25)
+    g.add_edge("a", "c", 1.5)
+    return g
+
+
+class TestNodes:
+    def test_add_node_idempotent_merges_data(self):
+        g = Digraph()
+        g.add_node("x", color="red")
+        g.add_node("x", size=3)
+        assert g.node_data("x") == {"color": "red", "size": 3}
+
+    def test_len_and_contains(self, small):
+        assert len(small) == 3
+        assert "a" in small
+        assert "z" not in small
+
+    def test_nodes_insertion_order(self):
+        g = Digraph()
+        for name in ("z", "m", "a"):
+            g.add_node(name)
+        assert g.nodes() == ["z", "m", "a"]
+
+    def test_remove_node_removes_incident_edges(self, small):
+        small.remove_node("b")
+        assert not small.has_edge("a", "b")
+        assert not small.has_edge("b", "c")
+        assert small.has_edge("a", "c")
+
+    def test_remove_missing_node_raises(self):
+        with pytest.raises(GraphError):
+            Digraph().remove_node("ghost")
+
+    def test_node_data_missing_raises(self):
+        with pytest.raises(GraphError):
+            Digraph().node_data("ghost")
+
+    def test_iter_yields_nodes(self, small):
+        assert set(iter(small)) == {"a", "b", "c"}
+
+
+class TestEdges:
+    def test_weight_roundtrip(self, small):
+        assert small.weight("a", "b") == 0.5
+
+    def test_add_edge_creates_endpoints(self):
+        g = Digraph()
+        g.add_edge("x", "y")
+        assert g.has_node("x") and g.has_node("y")
+
+    def test_self_loop_rejected(self):
+        g = Digraph()
+        with pytest.raises(GraphError, match="self-loop"):
+            g.add_edge("a", "a")
+
+    def test_duplicate_edge_rejected(self, small):
+        with pytest.raises(GraphError, match="already exists"):
+            small.add_edge("a", "b", 0.9)
+
+    def test_replace_allows_overwrite(self, small):
+        small.add_edge("a", "b", 0.9, replace=True)
+        assert small.weight("a", "b") == 0.9
+
+    def test_set_weight_updates_both_directions_of_storage(self, small):
+        small.set_weight("a", "b", 0.7)
+        assert small.weight("a", "b") == 0.7
+        assert ("a", 0.7) in small.in_edges("b")
+
+    def test_edge_data_payload(self):
+        g = Digraph()
+        g.add_edge("a", "b", 1.0, kind="shared")
+        assert g.edge_data("a", "b") == {"kind": "shared"}
+
+    def test_remove_edge(self, small):
+        small.remove_edge("a", "b")
+        assert not small.has_edge("a", "b")
+        assert small.has_node("a") and small.has_node("b")
+
+    def test_remove_missing_edge_raises(self, small):
+        with pytest.raises(GraphError):
+            small.remove_edge("c", "a")
+
+    def test_edges_listing(self, small):
+        assert set(small.edges()) == {
+            ("a", "b", 0.5),
+            ("b", "c", 0.25),
+            ("a", "c", 1.5),
+        }
+
+    def test_edge_count(self, small):
+        assert small.edge_count() == 3
+
+    def test_weight_missing_edge_raises(self, small):
+        with pytest.raises(GraphError):
+            small.weight("c", "a")
+
+
+class TestAdjacency:
+    def test_successors_predecessors(self, small):
+        assert set(small.successors("a")) == {"b", "c"}
+        assert small.predecessors("c") == ["b", "a"] or set(
+            small.predecessors("c")
+        ) == {"a", "b"}
+
+    def test_neighbors_dedupes(self):
+        g = Digraph()
+        g.add_edge("a", "b")
+        g.add_edge("b", "a")
+        assert g.neighbors("a") == ["b"]
+
+    def test_degrees(self, small):
+        assert small.out_degree("a") == 2
+        assert small.in_degree("c") == 2
+        assert small.in_degree("a") == 0
+
+    def test_out_edges_pairs(self, small):
+        assert dict(small.out_edges("a")) == {"b": 0.5, "c": 1.5}
+
+
+class TestWholeGraph:
+    def test_copy_independent(self, small):
+        clone = small.copy()
+        clone.remove_edge("a", "b")
+        assert small.has_edge("a", "b")
+        assert not clone.has_edge("a", "b")
+
+    def test_subgraph_induces_edges(self, small):
+        sub = small.subgraph(["a", "c"])
+        assert sub.nodes() == ["a", "c"]
+        assert sub.has_edge("a", "c")
+        assert sub.edge_count() == 1
+
+    def test_subgraph_unknown_node_raises(self, small):
+        with pytest.raises(GraphError):
+            small.subgraph(["a", "nope"])
+
+    def test_reverse_flips_edges(self, small):
+        rev = small.reverse()
+        assert rev.has_edge("b", "a")
+        assert rev.weight("c", "b") == 0.25
+        assert not rev.has_edge("a", "b")
+
+    def test_to_undirected_sums_antiparallel(self):
+        g = Digraph()
+        g.add_edge("a", "b", 0.3)
+        g.add_edge("b", "a", 0.2)
+        assert g.to_undirected_weights() == {frozenset(("a", "b")): 0.5}

@@ -1,0 +1,114 @@
+"""Matrix helpers for the separation series."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError, InfluenceError
+from repro.graphs import (
+    Digraph,
+    adjacency_matrix,
+    power_series_limit,
+    power_series_sum,
+    series_tail_bound,
+    spectral_radius,
+)
+
+
+@pytest.fixture
+def line() -> Digraph:
+    g = Digraph()
+    g.add_edge("a", "b", 0.5)
+    g.add_edge("b", "c", 0.4)
+    return g
+
+
+class TestAdjacency:
+    def test_matrix_entries(self, line):
+        m, names = adjacency_matrix(line)
+        i = {n: k for k, n in enumerate(names)}
+        assert m[i["a"], i["b"]] == 0.5
+        assert m[i["b"], i["c"]] == 0.4
+        assert m.sum() == pytest.approx(0.9)
+
+    def test_explicit_order(self, line):
+        m, names = adjacency_matrix(line, order=["c", "b", "a"])
+        assert names == ["c", "b", "a"]
+        assert m[2, 1] == 0.5  # a -> b
+
+    def test_order_must_cover_all(self, line):
+        with pytest.raises(GraphError):
+            adjacency_matrix(line, order=["a", "b"])
+
+    def test_order_rejects_unknown(self, line):
+        with pytest.raises(GraphError):
+            adjacency_matrix(line, order=["a", "b", "zz"])
+
+    def test_order_rejects_duplicates(self, line):
+        with pytest.raises(GraphError):
+            adjacency_matrix(line, order=["a", "a", "b"])
+
+
+class TestPowerSeries:
+    def test_first_order_is_matrix(self, line):
+        m, _ = adjacency_matrix(line)
+        assert np.allclose(power_series_sum(m, 1), m)
+
+    def test_second_order_adds_two_hop(self, line):
+        m, names = adjacency_matrix(line)
+        s = power_series_sum(m, 2)
+        i = {n: k for k, n in enumerate(names)}
+        assert s[i["a"], i["c"]] == pytest.approx(0.5 * 0.4)
+
+    def test_order_zero_rejected(self):
+        with pytest.raises(InfluenceError):
+            power_series_sum(np.zeros((2, 2)), 0)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(InfluenceError):
+            power_series_sum(np.zeros((2, 3)), 1)
+
+    def test_matches_explicit_sum(self):
+        rng = np.random.default_rng(1)
+        m = rng.uniform(0, 0.2, size=(5, 5))
+        explicit = m + m @ m + m @ m @ m
+        assert np.allclose(power_series_sum(m, 3), explicit)
+
+
+class TestLimit:
+    def test_limit_equals_high_order_truncation(self):
+        rng = np.random.default_rng(2)
+        m = rng.uniform(0, 0.15, size=(4, 4))
+        limit = power_series_limit(m)
+        truncated = power_series_sum(m, 60)
+        assert np.allclose(limit, truncated, atol=1e-10)
+
+    def test_divergent_matrix_rejected(self):
+        m = np.array([[0.0, 1.0], [1.0, 0.0]])  # spectral radius 1
+        with pytest.raises(InfluenceError, match="diverges"):
+            power_series_limit(m)
+
+    def test_spectral_radius_of_zero_matrix(self):
+        assert spectral_radius(np.zeros((3, 3))) == 0.0
+
+    def test_spectral_radius_diagonal(self):
+        assert spectral_radius(np.diag([0.2, -0.6])) == pytest.approx(0.6)
+
+
+class TestTailBound:
+    def test_bound_dominates_actual_tail(self):
+        rng = np.random.default_rng(3)
+        m = rng.uniform(0, 0.1, size=(4, 4))
+        limit = power_series_limit(m)
+        for order in (1, 2, 3, 5):
+            truncated = power_series_sum(m, order)
+            actual_tail = np.abs(limit - truncated).max()
+            assert actual_tail <= series_tail_bound(m, order) + 1e-12
+
+    def test_bound_infinite_for_heavy_matrix(self):
+        m = np.full((3, 3), 0.5)  # row sum 1.5 >= 1
+        assert series_tail_bound(m, 3) == float("inf")
+
+    def test_bound_decreases_with_order(self):
+        m = np.full((3, 3), 0.1)
+        bounds = [series_tail_bound(m, k) for k in range(1, 6)]
+        assert bounds == sorted(bounds, reverse=True)

@@ -1,0 +1,125 @@
+"""Min-cut algorithms, validated against networkx as oracle."""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs import Digraph, st_min_cut, stoer_wagner
+
+
+def to_digraph(nxg) -> Digraph:
+    g = Digraph()
+    for n in nxg.nodes():
+        g.add_node(n)
+    for u, v, data in nxg.edges(data=True):
+        g.add_edge(u, v, data.get("weight", 1.0))
+    return g
+
+
+def cut_weight(nxg, side) -> float:
+    total = 0.0
+    for u, v, data in nxg.edges(data=True):
+        if (u in side) != (v in side):
+            total += data.get("weight", 1.0)
+    return total
+
+
+class TestStoerWagner:
+    def test_two_node_graph(self):
+        g = Digraph()
+        g.add_edge("a", "b", 0.7)
+        weight, side = stoer_wagner(g)
+        assert weight == pytest.approx(0.7)
+        assert side in ({"a"}, {"b"})
+
+    def test_single_node_raises(self):
+        g = Digraph()
+        g.add_node("only")
+        with pytest.raises(GraphError):
+            stoer_wagner(g)
+
+    def test_disconnected_pair_gives_zero_cut(self):
+        g = Digraph()
+        g.add_edge("a", "b", 1.0)
+        g.add_node("z")
+        weight, side = stoer_wagner(g)
+        assert weight == 0.0
+        assert side == {"z"} or side == {"a", "b"}
+
+    def test_bridge_graph(self):
+        # Two triangles joined by one light edge: the cut is the bridge.
+        g = Digraph()
+        for a, b in (("a", "b"), ("b", "c"), ("c", "a")):
+            g.add_edge(a, b, 5.0)
+        for a, b in (("x", "y"), ("y", "z"), ("z", "x")):
+            g.add_edge(a, b, 5.0)
+        g.add_edge("c", "x", 0.5)
+        weight, side = stoer_wagner(g)
+        assert weight == pytest.approx(0.5)
+        assert side in ({"a", "b", "c"}, {"x", "y", "z"})
+
+    def test_matches_networkx_on_random_graphs(self):
+        rng = random.Random(11)
+        for trial in range(8):
+            nxg = nx.gnp_random_graph(9, 0.5, seed=trial)
+            if not nx.is_connected(nxg):
+                continue
+            for u, v in nxg.edges():
+                nxg[u][v]["weight"] = round(rng.uniform(0.1, 3.0), 3)
+            ours_weight, ours_side = stoer_wagner(to_digraph(nxg))
+            theirs_weight, _ = nx.stoer_wagner(nxg)
+            assert ours_weight == pytest.approx(theirs_weight, rel=1e-9)
+            # Our returned side must realise the weight it claims.
+            assert cut_weight(nxg, ours_side) == pytest.approx(ours_weight)
+
+    def test_antiparallel_edges_summed(self):
+        g = Digraph()
+        g.add_edge("a", "b", 0.3)
+        g.add_edge("b", "a", 0.4)
+        weight, _ = stoer_wagner(g)
+        assert weight == pytest.approx(0.7)
+
+
+class TestSTMinCut:
+    def test_series_pair(self):
+        g = Digraph()
+        g.add_edge("s", "m", 2.0)
+        g.add_edge("m", "t", 1.0)
+        weight, side = st_min_cut(g, "s", "t")
+        assert weight == pytest.approx(1.0)
+        assert side == {"s", "m"}
+
+    def test_same_endpoints_raise(self):
+        g = Digraph()
+        g.add_edge("a", "b")
+        with pytest.raises(GraphError):
+            st_min_cut(g, "a", "a")
+
+    def test_missing_node_raises(self):
+        g = Digraph()
+        g.add_edge("a", "b")
+        with pytest.raises(GraphError):
+            st_min_cut(g, "a", "zz")
+
+    def test_disconnected_endpoints_zero(self):
+        g = Digraph()
+        g.add_edge("a", "b", 1.0)
+        g.add_node("t")
+        weight, side = st_min_cut(g, "a", "t")
+        assert weight == 0.0
+        assert side == {"a", "b"}
+
+    def test_matches_networkx_flow(self):
+        rng = random.Random(2)
+        for trial in range(6):
+            nxg = nx.gnp_random_graph(8, 0.5, seed=trial + 20)
+            if not nx.is_connected(nxg):
+                continue
+            for u, v in nxg.edges():
+                nxg[u][v]["capacity"] = round(rng.uniform(0.5, 2.0), 3)
+                nxg[u][v]["weight"] = nxg[u][v]["capacity"]
+            ours, _ = st_min_cut(to_digraph(nxg), 0, 7)
+            theirs, _ = nx.minimum_cut(nxg, 0, 7)
+            assert ours == pytest.approx(theirs, rel=1e-9)

@@ -1,0 +1,129 @@
+"""Eq. (4): cluster influence and the replica override."""
+
+import pytest
+
+from repro.errors import InfluenceError
+from repro.influence import (
+    InfluenceGraph,
+    cluster_contains_replica_of,
+    cluster_influence_on,
+    clusters_combinable,
+    condense_influence,
+    influence_on_cluster,
+)
+from repro.model import AttributeSet, FCM, Level
+
+from tests.conftest import make_process
+
+
+@pytest.fixture
+def fig2_graph() -> InfluenceGraph:
+    """A 7-node graph like Fig. 2: nodes 1-5 to be combined, 6-7 outside."""
+    g = InfluenceGraph()
+    for i in range(1, 8):
+        g.add_fcm(make_process(f"n{i}"))
+    # Internal influences among 1..5.
+    g.set_influence("n1", "n2", 0.4)
+    g.set_influence("n2", "n3", 0.3)
+    g.set_influence("n4", "n5", 0.2)
+    # External influences onto n6 and n7.
+    g.set_influence("n3", "n6", 0.2)
+    g.set_influence("n5", "n6", 0.7)
+    g.set_influence("n2", "n7", 0.3)
+    g.set_influence("n6", "n1", 0.1)
+    return g
+
+
+CLUSTER = ["n1", "n2", "n3", "n4", "n5"]
+
+
+class TestEq4:
+    def test_parallel_influences_combine(self, fig2_graph):
+        # n3 and n5 both influence n6: 1 - (1-0.2)(1-0.7) = 0.76.
+        assert cluster_influence_on(fig2_graph, CLUSTER, "n6") == pytest.approx(0.76)
+
+    def test_single_edge_passthrough(self, fig2_graph):
+        assert cluster_influence_on(fig2_graph, CLUSTER, "n7") == pytest.approx(0.3)
+
+    def test_inbound_combination(self, fig2_graph):
+        assert influence_on_cluster(fig2_graph, "n6", CLUSTER) == pytest.approx(0.1)
+
+    def test_internal_influences_invisible(self, fig2_graph):
+        # The value toward n6 ignores all intra-cluster edges.
+        value = cluster_influence_on(fig2_graph, CLUSTER, "n6")
+        fig2_graph.set_influence("n1", "n3", 0.9)  # new internal edge
+        assert cluster_influence_on(fig2_graph, CLUSTER, "n6") == value
+
+    def test_no_edges_is_zero(self, fig2_graph):
+        assert cluster_influence_on(fig2_graph, ["n6"], "n4") == 0.0
+
+    def test_target_inside_cluster_rejected(self, fig2_graph):
+        with pytest.raises(InfluenceError):
+            cluster_influence_on(fig2_graph, CLUSTER, "n3")
+
+    def test_empty_cluster_rejected(self, fig2_graph):
+        with pytest.raises(InfluenceError):
+            cluster_influence_on(fig2_graph, [], "n6")
+
+    def test_unknown_member_rejected(self, fig2_graph):
+        with pytest.raises(InfluenceError):
+            cluster_influence_on(fig2_graph, ["zz"], "n6")
+
+
+def replicated_graph() -> InfluenceGraph:
+    g = InfluenceGraph()
+    base = FCM("p", Level.PROCESS, AttributeSet(fault_tolerance=2))
+    g.add_fcm(base.replicate("a"))
+    g.add_fcm(base.replicate("b"))
+    g.link_replicas("pa", "pb")
+    g.add_fcm(make_process("q"))
+    g.set_influence("q", "pa", 0.5)
+    g.set_influence("q", "pb", 0.5)
+    return g
+
+
+class TestReplicaOverride:
+    def test_cluster_with_replica_of_target_pins_zero(self):
+        g = replicated_graph()
+        # Cluster {pa, q} vs target pb: pa is pb's replica -> 0.
+        assert cluster_influence_on(g, ["pa", "q"], "pb") == 0.0
+
+    def test_inbound_override(self):
+        g = replicated_graph()
+        assert influence_on_cluster(g, "pb", ["pa", "q"]) == 0.0
+
+    def test_contains_replica_predicate(self):
+        g = replicated_graph()
+        assert cluster_contains_replica_of(g, ["pa", "q"], "pb")
+        assert not cluster_contains_replica_of(g, ["q"], "pb")
+
+    def test_combinable_predicate(self):
+        g = replicated_graph()
+        assert not clusters_combinable(g, ["pa"], ["pb", "q"])
+        assert clusters_combinable(g, ["pa"], ["q"])
+
+    def test_overlapping_clusters_rejected(self):
+        g = replicated_graph()
+        with pytest.raises(InfluenceError):
+            clusters_combinable(g, ["pa", "q"], ["q"])
+
+
+class TestCondenseInfluence:
+    def test_full_partition_matrix(self, fig2_graph):
+        partition = [CLUSTER, ["n6"], ["n7"]]
+        values = condense_influence(fig2_graph, partition)
+        assert values[(0, 1)] == pytest.approx(0.76)
+        assert values[(0, 2)] == pytest.approx(0.3)
+        assert values[(1, 0)] == pytest.approx(0.1)
+        assert (2, 0) not in values  # no influence, no replica
+
+    def test_replica_blocks_pinned_zero(self):
+        g = replicated_graph()
+        values = condense_influence(g, [["pa"], ["pb"], ["q"]])
+        assert values[(0, 1)] == 0.0
+        assert values[(1, 0)] == 0.0
+        assert values[(2, 0)] == pytest.approx(0.5)
+
+    def test_overlap_rejected(self, fig2_graph):
+        with pytest.raises(InfluenceError):
+            condense_influence(fig2_graph, [["n1"], ["n1", "n2"]])

@@ -1,0 +1,120 @@
+"""Estimating p-components (§4.2.1) and the Wilson interval."""
+
+import pytest
+
+from repro.errors import InfluenceError
+from repro.influence import (
+    InjectionOutcome,
+    Medium,
+    MediumModel,
+    UsageHistory,
+    estimate_effect,
+    estimate_occurrence,
+    estimate_transmission,
+    wilson_interval,
+)
+
+
+class TestUsageHistory:
+    def test_valid(self):
+        h = UsageHistory(executions=100, faults=3)
+        assert h.faults == 3
+
+    def test_negative_rejected(self):
+        with pytest.raises(InfluenceError):
+            UsageHistory(-1, 0)
+
+    def test_faults_exceed_executions_rejected(self):
+        with pytest.raises(InfluenceError):
+            UsageHistory(2, 3)
+
+
+class TestOccurrence:
+    def test_laplace_smoothing(self):
+        # (3+1)/(100+2)
+        assert estimate_occurrence(UsageHistory(100, 3)) == pytest.approx(4 / 102)
+
+    def test_raw_estimate(self):
+        assert estimate_occurrence(UsageHistory(100, 3), smoothing=0) == 0.03
+
+    def test_no_history_with_smoothing_gives_half(self):
+        assert estimate_occurrence(UsageHistory(0, 0)) == pytest.approx(0.5)
+
+    def test_raw_needs_executions(self):
+        with pytest.raises(InfluenceError):
+            estimate_occurrence(UsageHistory(0, 0), smoothing=0)
+
+    def test_negative_smoothing_rejected(self):
+        with pytest.raises(InfluenceError):
+            estimate_occurrence(UsageHistory(10, 1), smoothing=-1)
+
+
+class TestTransmission:
+    def test_volume_scaling(self):
+        low = estimate_transmission(Medium.SHARED_MEMORY, 1)
+        high = estimate_transmission(Medium.SHARED_MEMORY, 100)
+        assert high > low
+
+    def test_zero_volume_zero_probability(self):
+        assert estimate_transmission(Medium.MESSAGE, 0) == 0.0
+
+    def test_globals_riskier_than_parameters(self):
+        # §4.2.2: "the probability of (f2) is higher" for globals.
+        volume = 10
+        assert estimate_transmission(
+            Medium.GLOBAL_VARIABLE, volume
+        ) > estimate_transmission(Medium.PARAMETER, volume)
+
+    def test_custom_hazard_table(self):
+        value = estimate_transmission(
+            Medium.MESSAGE, 1, hazards={Medium.MESSAGE: 0.5}
+        )
+        assert value == pytest.approx(0.5)
+
+    def test_missing_hazard_rejected(self):
+        with pytest.raises(InfluenceError):
+            estimate_transmission(Medium.MESSAGE, 1, hazards={})
+
+    def test_medium_model_validation(self):
+        with pytest.raises(Exception):
+            MediumModel(hazard=1.5)
+        with pytest.raises(InfluenceError):
+            MediumModel(hazard=0.1).transmission_probability(-1)
+
+    def test_probability_saturates_below_one(self):
+        assert estimate_transmission(Medium.SHARED_MEMORY, 10_000) <= 1.0
+
+
+class TestEffect:
+    def test_estimate(self):
+        outcome = InjectionOutcome(injections=50, target_faults=10)
+        assert estimate_effect(outcome) == pytest.approx(11 / 52)
+
+    def test_validation(self):
+        with pytest.raises(InfluenceError):
+            InjectionOutcome(0, 0)
+        with pytest.raises(InfluenceError):
+            InjectionOutcome(5, 6)
+
+
+class TestWilson:
+    def test_contains_point_estimate(self):
+        low, high = wilson_interval(30, 100)
+        assert low < 0.3 < high
+
+    def test_extreme_counts_bounded(self):
+        low, high = wilson_interval(0, 10)
+        assert low == 0.0 and high < 0.5
+        low, high = wilson_interval(10, 10)
+        assert low > 0.5 and high == 1.0
+
+    def test_narrows_with_trials(self):
+        w_small = wilson_interval(5, 10)
+        w_big = wilson_interval(500, 1000)
+        assert (w_big[1] - w_big[0]) < (w_small[1] - w_small[0])
+
+    def test_validation(self):
+        with pytest.raises(InfluenceError):
+            wilson_interval(1, 0)
+        with pytest.raises(InfluenceError):
+            wilson_interval(5, 4)

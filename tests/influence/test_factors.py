@@ -1,0 +1,57 @@
+"""Influence factors and Eq. (1)."""
+
+import pytest
+
+from repro.errors import ProbabilityError
+from repro.influence import FACTOR_FAULT_KIND, FactorKind, InfluenceFactor
+
+
+class TestEq1:
+    def test_probability_is_product(self):
+        f = InfluenceFactor(FactorKind.SHARED_MEMORY, 0.5, 0.4, 0.3)
+        assert f.probability == pytest.approx(0.5 * 0.4 * 0.3)
+
+    def test_component_range_checked(self):
+        for bad in (-0.1, 1.1):
+            with pytest.raises(ProbabilityError):
+                InfluenceFactor(FactorKind.TIMING, bad, 0.5, 0.5)
+            with pytest.raises(ProbabilityError):
+                InfluenceFactor(FactorKind.TIMING, 0.5, bad, 0.5)
+            with pytest.raises(ProbabilityError):
+                InfluenceFactor(FactorKind.TIMING, 0.5, 0.5, bad)
+
+    def test_zero_component_kills_factor(self):
+        f = InfluenceFactor(FactorKind.TIMING, 0.9, 0.0, 0.9)
+        assert f.probability == 0.0
+
+
+class TestFromProbability:
+    def test_degenerate_decomposition(self):
+        f = InfluenceFactor.from_probability(FactorKind.MESSAGE_PASSING, 0.42)
+        assert f.probability == pytest.approx(0.42)
+        assert f.p_transmission == 1.0
+        assert f.p_effect == 1.0
+
+    def test_range_checked(self):
+        with pytest.raises(ProbabilityError):
+            InfluenceFactor.from_probability(FactorKind.TIMING, 1.5)
+
+
+class TestMitigated:
+    def test_scales_transmission_only(self):
+        f = InfluenceFactor(FactorKind.TIMING, 0.5, 0.8, 0.5)
+        m = f.mitigated(0.25)
+        assert m.p_occurrence == 0.5
+        assert m.p_transmission == pytest.approx(0.2)
+        assert m.p_effect == 0.5
+        assert m.probability == pytest.approx(f.probability * 0.25)
+
+    def test_scale_range_checked(self):
+        f = InfluenceFactor(FactorKind.TIMING, 0.5, 0.8, 0.5)
+        with pytest.raises(ProbabilityError):
+            f.mitigated(1.2)
+
+
+class TestFaultKindMap:
+    def test_every_factor_kind_mapped(self):
+        assert set(FACTOR_FAULT_KIND) == set(FactorKind)

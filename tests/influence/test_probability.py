@@ -1,0 +1,81 @@
+"""Eq. (2): factor combination."""
+
+import pytest
+
+from repro.errors import ProbabilityError
+from repro.influence import (
+    FactorKind,
+    InfluenceFactor,
+    combine_probabilities,
+    factor_contribution,
+    influence_from_factors,
+)
+
+
+class TestCombineProbabilities:
+    def test_paper_values(self):
+        # Fig. 5: 1 - (1-0.2)(1-0.7) = 0.76 and 1 - (1-0.3)(1-0.1) = 0.37.
+        assert combine_probabilities([0.2, 0.7]) == pytest.approx(0.76)
+        assert combine_probabilities([0.3, 0.1]) == pytest.approx(0.37)
+
+    def test_empty_is_zero(self):
+        assert combine_probabilities([]) == 0.0
+
+    def test_single_identity(self):
+        assert combine_probabilities([0.42]) == pytest.approx(0.42)
+
+    def test_certain_factor_dominates(self):
+        assert combine_probabilities([0.3, 1.0, 0.2]) == 1.0
+
+    def test_monotone_in_each_argument(self):
+        low = combine_probabilities([0.2, 0.3])
+        high = combine_probabilities([0.2, 0.5])
+        assert high > low
+
+    def test_bounded_by_one(self):
+        assert combine_probabilities([0.9] * 10) <= 1.0
+
+    def test_at_least_max_component(self):
+        values = [0.15, 0.4, 0.05]
+        assert combine_probabilities(values) >= max(values)
+
+    def test_range_checked(self):
+        with pytest.raises(ProbabilityError):
+            combine_probabilities([0.5, 1.5])
+
+
+class TestInfluenceFromFactors:
+    def test_combines_eq1_products(self):
+        factors = [
+            InfluenceFactor(FactorKind.PARAMETER_PASSING, 0.5, 0.4, 1.0),  # 0.2
+            InfluenceFactor(FactorKind.GLOBAL_VARIABLE, 0.7, 1.0, 1.0),  # 0.7
+        ]
+        assert influence_from_factors(factors) == pytest.approx(0.76)
+
+    def test_empty(self):
+        assert influence_from_factors([]) == 0.0
+
+
+class TestFactorContribution:
+    def test_contribution_sums_to_less_than_total(self):
+        factors = [
+            InfluenceFactor.from_probability(FactorKind.TIMING, 0.3),
+            InfluenceFactor.from_probability(FactorKind.SHARED_MEMORY, 0.4),
+        ]
+        total = influence_from_factors(factors)
+        c0 = factor_contribution(factors, 0)
+        c1 = factor_contribution(factors, 1)
+        assert c0 > 0 and c1 > 0
+        # Noisy-or has overlap, so marginal contributions undershoot.
+        assert c0 + c1 <= total + 1e-12
+
+    def test_larger_factor_contributes_more(self):
+        factors = [
+            InfluenceFactor.from_probability(FactorKind.TIMING, 0.1),
+            InfluenceFactor.from_probability(FactorKind.SHARED_MEMORY, 0.6),
+        ]
+        assert factor_contribution(factors, 1) > factor_contribution(factors, 0)
+
+    def test_index_checked(self):
+        with pytest.raises(ProbabilityError):
+            factor_contribution([], 0)

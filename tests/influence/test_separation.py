@@ -1,0 +1,157 @@
+"""Eq. (3): separation via the transitive power series."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InfluenceError
+from repro.influence import (
+    InfluenceGraph,
+    compute_separation,
+    convergence_order,
+    separation,
+)
+
+from tests.conftest import make_process
+
+
+def line_graph(*weights: float) -> InfluenceGraph:
+    """n1 -> n2 -> ... with given weights."""
+    g = InfluenceGraph()
+    names = [f"n{i}" for i in range(len(weights) + 1)]
+    for name in names:
+        g.add_fcm(make_process(name))
+    for i, w in enumerate(weights):
+        g.set_influence(names[i], names[i + 1], w)
+    return g
+
+
+class TestDirectTerm:
+    def test_direct_only(self):
+        g = line_graph(0.3)
+        assert separation(g, "n0", "n1") == pytest.approx(0.7)
+
+    def test_reverse_direction_fully_separated(self):
+        g = line_graph(0.3)
+        assert separation(g, "n1", "n0") == 1.0
+
+    def test_self_separation_undefined(self):
+        g = line_graph(0.3)
+        with pytest.raises(InfluenceError):
+            separation(g, "n0", "n0")
+
+
+class TestTransitiveTerms:
+    def test_two_hop_contribution(self):
+        g = line_graph(0.5, 0.4)
+        # P_02 = 0; one path n0->n1->n2 of weight 0.2.
+        assert separation(g, "n0", "n2") == pytest.approx(1 - 0.2)
+
+    def test_three_hop_needs_order_three(self):
+        g = line_graph(0.5, 0.5, 0.5)
+        assert separation(g, "n0", "n3", order=2) == 1.0
+        assert separation(g, "n0", "n3", order=3) == pytest.approx(1 - 0.125)
+
+    def test_paper_equation_shape(self):
+        # Direct + sum of 2-paths: P_ij + Σ_k P_ik P_kj.
+        g = InfluenceGraph()
+        for name in ("i", "k1", "k2", "j"):
+            g.add_fcm(make_process(name))
+        g.set_influence("i", "j", 0.1)
+        g.set_influence("i", "k1", 0.5)
+        g.set_influence("k1", "j", 0.4)
+        g.set_influence("i", "k2", 0.3)
+        g.set_influence("k2", "j", 0.2)
+        expected = 1 - (0.1 + 0.5 * 0.4 + 0.3 * 0.2)
+        assert separation(g, "i", "j", order=2) == pytest.approx(expected)
+
+    def test_clamping(self):
+        # Heavy influences: raw series exceeds 1, separation clamps to 0.
+        g = InfluenceGraph()
+        for name in ("a", "b", "c"):
+            g.add_fcm(make_process(name))
+        g.set_influence("a", "b", 0.9)
+        g.set_influence("a", "c", 0.9)
+        g.set_influence("c", "b", 0.9)
+        clamped = separation(g, "a", "b")
+        raw = separation(g, "a", "b", clamp=False)
+        assert clamped == 0.0
+        assert raw < 0.0
+
+
+class TestSeparationResult:
+    def test_matrix_diagonal_nan(self):
+        g = line_graph(0.5)
+        result = compute_separation(g)
+        m = result.matrix()
+        assert np.isnan(m[0, 0]) and np.isnan(m[1, 1])
+
+    def test_matrix_matches_pairwise(self):
+        g = line_graph(0.5, 0.4)
+        result = compute_separation(g)
+        m = result.matrix()
+        i = result.names.index("n0")
+        j = result.names.index("n2")
+        assert m[i, j] == pytest.approx(result.separation("n0", "n2"))
+
+    def test_unknown_name_raises(self):
+        g = line_graph(0.5)
+        result = compute_separation(g)
+        with pytest.raises(InfluenceError):
+            result.separation("zz", "n0")
+
+    def test_tail_bound_zero_for_closed_form(self):
+        g = line_graph(0.5, 0.4)
+        result = compute_separation(g, order=None)
+        assert result.tail_bound == 0.0
+
+    def test_closed_form_matches_truncation_on_dag(self):
+        # A DAG's series is finite, so closed form == deep truncation.
+        g = line_graph(0.5, 0.4, 0.3)
+        closed = compute_separation(g, order=None)
+        truncated = compute_separation(g, order=10)
+        for src in ("n0", "n1"):
+            for dst in ("n2", "n3"):
+                assert closed.separation(src, dst) == pytest.approx(
+                    truncated.separation(src, dst)
+                )
+
+    def test_invalid_order_rejected(self):
+        g = line_graph(0.5)
+        with pytest.raises(InfluenceError):
+            compute_separation(g, order=0)
+
+
+class TestReplicaHandling:
+    def test_replica_links_do_not_leak_influence(self):
+        from repro.model import AttributeSet, FCM, Level
+
+        g = InfluenceGraph()
+        base = FCM("p", Level.PROCESS, AttributeSet(fault_tolerance=2))
+        g.add_fcm(base.replicate("a"))
+        g.add_fcm(base.replicate("b"))
+        g.link_replicas("pa", "pb")
+        assert separation(g, "pa", "pb") == 1.0
+
+
+class TestConvergence:
+    def test_convergence_order_bounds_exact_tail(self):
+        g = line_graph(0.3, 0.3, 0.3)
+        order = convergence_order(g, tolerance=1e-6)
+        assert order >= 1
+        closed = compute_separation(g, order=None)
+        truncated = compute_separation(g, order=order)
+        gap = abs(closed.transitive - truncated.transitive).max()
+        assert gap < 1e-6
+
+    def test_divergent_graph_rejected(self):
+        g = InfluenceGraph()
+        for name in ("a", "b"):
+            g.add_fcm(make_process(name))
+        g.set_influence("a", "b", 1.0)
+        g.set_influence("b", "a", 1.0)
+        with pytest.raises(InfluenceError):
+            convergence_order(g)
+
+    def test_paper_graph_converges(self, paper_graph):
+        order = convergence_order(paper_graph, tolerance=1e-9)
+        assert order < 64

@@ -1,0 +1,127 @@
+"""Direct tests for helpers exercised only indirectly elsewhere."""
+
+import pytest
+
+from repro.allocation import initial_state
+from repro.allocation.heuristics.base import best_combinable_pair
+from repro.cli import build_parser
+from repro.errors import SchedulingError
+from repro.influence import InfluenceGraph
+from repro.io import attributes_from_dict, attributes_to_dict
+from repro.model import AttributeSet, SecurityLevel, TimingConstraint
+from repro.scheduling import ScheduleSlice
+from repro.workloads import WorkloadSpec, random_attributes
+
+from tests.conftest import make_process
+
+
+class TestBestCombinablePair:
+    def graph(self) -> InfluenceGraph:
+        g = InfluenceGraph()
+        for name in ("a", "b", "c"):
+            g.add_fcm(make_process(name))
+        g.set_influence("a", "b", 0.4)
+        g.set_influence("b", "c", 0.7)
+        return g
+
+    def test_picks_maximum_score(self):
+        state = initial_state(self.graph())
+        found = best_combinable_pair(
+            state, lambda s, i, j: s.mutual_influence(i, j)
+        )
+        assert found is not None
+        i, j, value = found
+        members = set(state.clusters[i].members) | set(state.clusters[j].members)
+        assert members == {"b", "c"}
+        assert value == pytest.approx(0.7)
+
+    def test_require_positive_filters(self):
+        g = InfluenceGraph()
+        for name in ("x", "y"):
+            g.add_fcm(make_process(name))
+        state = initial_state(g)
+        assert (
+            best_combinable_pair(
+                state,
+                lambda s, i, j: s.mutual_influence(i, j),
+                require_positive=True,
+            )
+            is None
+        )
+
+    def test_deterministic_tie_break(self):
+        g = InfluenceGraph()
+        for name in ("a", "b", "c", "d"):
+            g.add_fcm(make_process(name))
+        g.set_influence("a", "b", 0.5)
+        g.set_influence("c", "d", 0.5)
+        state = initial_state(g)
+        found = best_combinable_pair(
+            state, lambda s, i, j: s.mutual_influence(i, j)
+        )
+        i, j, _ = found
+        assert (i, j) == (0, 1)  # first pair in index order wins ties
+
+
+class TestBuildParser:
+    def test_subcommands_registered(self):
+        parser = build_parser()
+        args = parser.parse_args(["example", "paper"])
+        assert args.command == "example"
+        args = parser.parse_args(
+            ["integrate", "sys.json", "--hw-nodes", "4", "--heuristic", "h2"]
+        )
+        assert args.heuristic == "h2"
+        assert args.hw_nodes == 4
+
+    def test_invalid_heuristic_rejected(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["integrate", "x.json", "--heuristic", "magic"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestAttributeDictRoundTrip:
+    def test_full_round_trip(self):
+        attrs = AttributeSet(
+            criticality=12.5,
+            fault_tolerance=3,
+            timing=TimingConstraint(1, 9, 4),
+            throughput=7.0,
+            security=SecurityLevel.SECRET,
+            communication_rate=2.0,
+        )
+        assert attributes_from_dict(attributes_to_dict(attrs)) == attrs
+
+    def test_defaults_round_trip(self):
+        attrs = AttributeSet()
+        assert attributes_from_dict(attributes_to_dict(attrs)) == attrs
+
+    def test_missing_keys_default(self):
+        assert attributes_from_dict({}) == AttributeSet()
+
+
+class TestRandomAttributes:
+    def test_feasible_and_bounded(self):
+        import random
+
+        rng = random.Random(0)
+        spec = WorkloadSpec()
+        for replicated in (False, True):
+            attrs = random_attributes(rng, spec, replicated)
+            assert attrs.timing is not None and attrs.timing.fits_alone()
+            assert attrs.timing.deadline <= spec.horizon
+            assert (attrs.fault_tolerance > 1) == replicated
+
+
+class TestScheduleSlice:
+    def test_length(self):
+        s = ScheduleSlice("j", 1.0, 3.5)
+        assert s.length == pytest.approx(2.5)
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(SchedulingError):
+            ScheduleSlice("j", 2.0, 2.0)

@@ -1,0 +1,134 @@
+"""Cross-module integration tests: full pipelines, cross-validation."""
+
+import pytest
+
+from repro import (
+    FrameworkOptions,
+    Heuristic,
+    IntegrationFramework,
+    fully_connected,
+)
+from repro.allocation import (
+    condense_criticality,
+    condense_h1,
+    evaluate_partition,
+    expand_replication,
+    initial_state,
+    load_balance_clustering,
+    random_clustering,
+    round_robin_clustering,
+)
+from repro.faultsim import compare_partitions, run_campaign
+from repro.influence import compute_separation
+from repro.metrics import containment_ratio
+from repro.workloads import (
+    HW_NODE_COUNT,
+    WorkloadSpec,
+    paper_influence_graph,
+    paper_system,
+    random_process_graph,
+)
+
+
+class TestAnalyticVsSimulated:
+    """The Eq. (3) series and the Monte-Carlo simulator must agree on the
+    paper graph within sampling noise and series-truncation bias."""
+
+    def test_separation_ordering_consistent(self, paper_graph):
+        from repro.faultsim import estimate_separation
+
+        result = compute_separation(paper_graph)
+        pairs = [("p1", "p3"), ("p1", "p5"), ("p2", "p4")]
+        analytic = {p: result.separation(*p) for p in pairs}
+        empirical = {
+            p: estimate_separation(paper_graph, *p, trials=3000, seed=0)
+            for p in pairs
+        }
+        # Same relative ordering of who is best separated from whom.
+        assert sorted(pairs, key=analytic.get) == sorted(
+            pairs, key=empirical.get
+        )
+
+
+class TestCampaignValidatesClustering:
+    """Fault-injection campaigns must prefer the H1 partition over the
+    dependability-blind baselines — the paper's core claim, verified by
+    simulation rather than by the metric H1 itself optimises."""
+
+    def test_h1_partition_contains_faults_best(self):
+        graph = expand_replication(paper_influence_graph())
+        partitions = {}
+        partitions["h1"] = condense_h1(
+            initial_state(graph.copy()), HW_NODE_COUNT
+        ).partition()
+        partitions["round_robin"] = round_robin_clustering(
+            initial_state(graph.copy()), HW_NODE_COUNT
+        ).partition()
+        partitions["load_balance"] = load_balance_clustering(
+            initial_state(graph.copy()), HW_NODE_COUNT
+        ).partition()
+        results = compare_partitions(graph, partitions, trials=2000, seed=7)
+        h1 = results["h1"]
+        for label in ("round_robin", "load_balance"):
+            assert h1.cross_cluster_rate < results[label].cross_cluster_rate, (
+                label,
+                h1,
+                results[label],
+            )
+
+    def test_containment_ratio_agrees_with_campaign(self):
+        graph = expand_replication(paper_influence_graph())
+        h1 = condense_h1(initial_state(graph.copy()), HW_NODE_COUNT).partition()
+        rr = round_robin_clustering(
+            initial_state(graph.copy()), HW_NODE_COUNT
+        ).partition()
+        assert containment_ratio(graph, h1) > containment_ratio(graph, rr)
+
+
+class TestHeuristicsOnSyntheticWorkloads:
+    def test_h1_beats_baselines_across_seeds(self):
+        wins = 0
+        trials = 6
+        for seed in range(trials):
+            spec = WorkloadSpec(processes=12, utilization=0.15)
+            graph = expand_replication(random_process_graph(spec, seed=seed))
+            target = max(4, len(graph) // 3)
+            h1 = evaluate_partition(
+                condense_h1(initial_state(graph.copy()), target).state
+            ).cross_influence
+            base = evaluate_partition(
+                random_clustering(initial_state(graph.copy()), target, seed=seed).state
+            ).cross_influence
+            if h1 <= base:
+                wins += 1
+        assert wins >= trials - 1  # allow one unlucky draw
+
+    def test_criticality_heuristic_disperses_critical_mass(self):
+        spec = WorkloadSpec(processes=10, utilization=0.15)
+        graph = expand_replication(random_process_graph(spec, seed=3))
+        target = max(4, len(graph) // 2)
+        approach_b = evaluate_partition(
+            condense_criticality(initial_state(graph.copy()), target).state
+        )
+        rr = evaluate_partition(
+            round_robin_clustering(initial_state(graph.copy()), target).state
+        )
+        assert (
+            approach_b.max_node_criticality <= rr.max_node_criticality * 1.5
+        )
+
+
+class TestFrameworkDeterminism:
+    def test_repeated_runs_identical(self):
+        first = IntegrationFramework(paper_system()).integrate(fully_connected(6))
+        second = IntegrationFramework(paper_system()).integrate(fully_connected(6))
+        assert first.condensation.partition() == second.condensation.partition()
+        assert first.mapping.assignment == second.mapping.assignment
+
+    def test_all_heuristics_produce_valid_mappings(self):
+        for heuristic in Heuristic:
+            outcome = IntegrationFramework(
+                paper_system(), FrameworkOptions(heuristic=heuristic)
+            ).integrate(fully_connected(6))
+            assert outcome.score.replica_separation_ok, heuristic
+            assert outcome.score.partition.feasible, heuristic

@@ -1,0 +1,141 @@
+"""Edge cases and degraded inputs across module boundaries."""
+
+import pytest
+
+from repro import (
+    FrameworkOptions,
+    IntegrationFramework,
+    SoftwareSystem,
+    fully_connected,
+)
+from repro.allocation import (
+    Cluster,
+    ClusterState,
+    condense_h1,
+    evaluate_partition,
+    initial_state,
+    map_approach_a,
+)
+from repro.errors import AllocationError, DDSIError
+from repro.influence import InfluenceGraph, compute_separation
+from repro.metrics import render_clusters, render_influence_graph
+from repro.model import AttributeSet, FCM, Level
+from repro.model.fcm import process
+
+from tests.conftest import make_process
+
+
+class TestEmptyAndSingleton:
+    def test_empty_influence_graph(self):
+        g = InfluenceGraph()
+        assert g.fcm_names() == []
+        assert g.influence_edges() == []
+        assert g.replica_groups() == []
+
+    def test_singleton_system_integrates(self):
+        system = SoftwareSystem(name="solo")
+        system.hierarchy.add(process("only", AttributeSet(criticality=1)))
+        system.influence_at(Level.PROCESS)
+        outcome = IntegrationFramework(system).integrate(fully_connected(1))
+        assert outcome.feasible
+        assert outcome.condensation.labels() == ["only"]
+
+    def test_singleton_separation(self):
+        g = InfluenceGraph()
+        g.add_fcm(make_process("x"))
+        result = compute_separation(g)
+        assert result.names == ("x",)
+
+    def test_empty_cluster_render(self):
+        g = InfluenceGraph()
+        g.add_fcm(make_process("x"))
+        state = initial_state(g)
+        text = render_clusters(state)
+        assert "x" in text
+
+    def test_render_empty_graph(self):
+        text = render_influence_graph(InfluenceGraph())
+        assert "influence" in text
+
+
+class TestDegenerateSystems:
+    def test_no_influence_edges_still_integrates(self):
+        system = SoftwareSystem(name="quiet")
+        for i in range(4):
+            system.hierarchy.add(
+                process(f"p{i}", AttributeSet(criticality=float(i)))
+            )
+        system.influence_at(Level.PROCESS)
+        outcome = IntegrationFramework(system).integrate(fully_connected(2))
+        assert outcome.feasible
+        assert outcome.score.partition.cross_influence == 0.0
+
+    def test_all_replicated_system(self):
+        system = SoftwareSystem(name="replicated")
+        for name in ("a", "b"):
+            system.hierarchy.add(
+                process(name, AttributeSet(criticality=1, fault_tolerance=2))
+            )
+        system.influence_at(Level.PROCESS)
+        outcome = IntegrationFramework(system).integrate(fully_connected(4))
+        assert outcome.feasible
+        # 4 replicas, 4 nodes, 1:1.
+        assert len(outcome.condensation.clusters) == 4
+
+    def test_untimed_system_skips_schedulability(self):
+        g = InfluenceGraph()
+        for name in ("x", "y", "z"):
+            g.add_fcm(make_process(name))
+        g.set_influence("x", "y", 0.5)
+        state = initial_state(g)
+        result = condense_h1(state, 1)
+        assert len(result.clusters) == 1
+
+
+class TestScoreAndSummary:
+    def test_summary_includes_audit_findings(self):
+        system = SoftwareSystem(name="noisy")
+        for name in ("a", "b"):
+            system.hierarchy.add(process(name))
+        graph = system.influence_at(Level.PROCESS)
+        graph.set_influence("a", "b", 0.99)
+        options = FrameworkOptions(influence_budget=0.5)
+        outcome = IntegrationFramework(system, options).integrate(
+            fully_connected(2)
+        )
+        assert not outcome.audit.passed
+        assert "audit findings" in outcome.summary()
+
+    def test_partition_score_on_empty_cluster_members(self):
+        g = InfluenceGraph()
+        g.add_fcm(make_process("a"))
+        state = ClusterState(g, clusters=[Cluster(("a",))])
+        score = evaluate_partition(state)
+        assert score.cluster_count == 1
+        assert score.feasible
+
+
+class TestDefensiveErrors:
+    def test_mapping_more_clusters_than_hw(self):
+        g = InfluenceGraph()
+        for name in ("a", "b", "c"):
+            g.add_fcm(make_process(name))
+        state = initial_state(g)
+        with pytest.raises(AllocationError):
+            map_approach_a(state, fully_connected(2))
+
+    def test_cluster_state_rejects_foreign_members(self):
+        g = InfluenceGraph()
+        g.add_fcm(make_process("a"))
+        with pytest.raises(AllocationError):
+            ClusterState(g, clusters=[Cluster(("ghost",))])
+
+    def test_exceptions_share_base_class(self):
+        # API promise: one catchable base.
+        from repro import errors
+
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception) and obj is not DDSIError:
+                if obj.__module__ == "repro.errors":
+                    assert issubclass(obj, DDSIError), name

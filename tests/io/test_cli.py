@@ -1,0 +1,103 @@
+"""Command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.io import dump_system
+from repro.workloads import paper_system
+
+
+@pytest.fixture
+def system_file(tmp_path):
+    path = tmp_path / "system.json"
+    dump_system(paper_system(), str(path))
+    return str(path)
+
+
+class TestExample:
+    def test_dump_paper_to_stdout(self, capsys):
+        assert main(["example", "paper"]) == 0
+        out = capsys.readouterr().out
+        data = json.loads(out)
+        assert data["format"] == "ddsi-system"
+        assert len(data["fcms"]) == 8
+
+    def test_dump_avionics_to_file(self, tmp_path, capsys):
+        out_path = tmp_path / "avionics.json"
+        assert main(["example", "avionics", "--out", str(out_path)]) == 0
+        data = json.loads(out_path.read_text())
+        assert data["name"] == "avionics"
+        assert "_hw_hint" in data
+
+
+class TestIntegrate:
+    def test_with_hw_nodes(self, system_file, capsys):
+        code = main(["integrate", system_file, "--hw-nodes", "6"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "feasible: True" in out
+        assert "HW node" in out
+
+    def test_with_hw_file(self, system_file, tmp_path, capsys):
+        from repro.allocation import fully_connected
+        from repro.io import dump_hw
+
+        hw_path = tmp_path / "hw.json"
+        dump_hw(fully_connected(6), str(hw_path))
+        code = main(["integrate", system_file, "--hw", str(hw_path)])
+        assert code == 0
+
+    def test_heuristic_choice(self, system_file, capsys):
+        code = main(
+            [
+                "integrate",
+                system_file,
+                "--hw-nodes",
+                "6",
+                "--heuristic",
+                "criticality",
+                "--mapping",
+                "b",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "ApproachB" in out
+
+    def test_missing_hw_spec_errors(self, system_file, capsys):
+        code = main(["integrate", system_file])
+        assert code == 2
+        assert "provide --hw" in capsys.readouterr().err
+
+
+class TestAudit:
+    def test_clean_system_passes(self, system_file, capsys):
+        assert main(["audit", system_file]) == 0
+        assert "audit passed" in capsys.readouterr().out
+
+    def test_budget_violation_fails(self, system_file, capsys):
+        code = main(["audit", system_file, "--influence-budget", "0.1"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "finding:" in out
+
+
+class TestTradeoff:
+    def test_table_printed(self, system_file, capsys):
+        assert main(["tradeoff", system_file, "--trials", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "Integration-level trade-off" in out
+        assert "HW nodes" in out
+
+
+class TestIntegrateOut:
+    def test_outcome_written(self, system_file, tmp_path, capsys):
+        out_path = tmp_path / "outcome.json"
+        code = main(
+            ["integrate", system_file, "--hw-nodes", "6", "--out", str(out_path)]
+        )
+        assert code == 0
+        data = json.loads(out_path.read_text())
+        assert data["format"] == "ddsi-outcome"

@@ -1,0 +1,59 @@
+"""DOT export."""
+
+import pytest
+
+from repro.allocation import (
+    condense_h1,
+    expand_replication,
+    fully_connected,
+    initial_state,
+    map_approach_a,
+)
+from repro.io.dot import influence_to_dot, mapping_to_dot
+from repro.workloads import HW_NODE_COUNT, paper_influence_graph
+
+
+class TestInfluenceToDot:
+    def test_contains_all_nodes_and_edges(self, paper_graph):
+        dot = influence_to_dot(paper_graph)
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+        for name in paper_graph.fcm_names():
+            assert f'"{name}"' in dot
+        assert '"p1" -> "p2" [label="0.70"]' in dot
+
+    def test_replica_links_dashed(self, expanded_paper_graph):
+        dot = influence_to_dot(expanded_paper_graph)
+        assert "style=dashed" in dot
+        assert '"p1a" -> "p1b"' in dot
+
+    def test_replicated_originals_double_circled(self, paper_graph):
+        dot = influence_to_dot(paper_graph)
+        assert '"p1" [peripheries=2];' in dot
+        assert '"p4" [peripheries=1];' in dot
+
+    def test_quoting(self):
+        from repro.influence import InfluenceGraph
+        from tests.conftest import make_process
+
+        g = InfluenceGraph()
+        g.add_fcm(make_process("node.with.dots"))
+        dot = influence_to_dot(g)
+        assert '"node.with.dots"' in dot
+
+
+class TestMappingToDot:
+    def test_clusters_as_subgraphs(self, expanded_paper_state):
+        result = condense_h1(expanded_paper_state, HW_NODE_COUNT)
+        mapping = map_approach_a(result.state, fully_connected(HW_NODE_COUNT))
+        dot = mapping_to_dot(mapping)
+        assert dot.count("subgraph cluster_") == HW_NODE_COUNT
+        for hw_name in mapping.assignment.values():
+            assert f'label="{hw_name}"' in dot
+
+    def test_internal_edges_omitted(self, expanded_paper_state):
+        result = condense_h1(expanded_paper_state, HW_NODE_COUNT)
+        mapping = map_approach_a(result.state, fully_connected(HW_NODE_COUNT))
+        dot = mapping_to_dot(mapping)
+        # p1a -> p2a is internal to its cluster in the H1 result.
+        assert '"p1a" -> "p2a"' not in dot

@@ -1,0 +1,183 @@
+"""JSON round-trip of systems and HW graphs."""
+
+import json
+
+import pytest
+
+from repro.allocation import fully_connected
+from repro.io import (
+    SerializationError,
+    dump_hw,
+    dump_system,
+    hw_from_dict,
+    hw_to_dict,
+    load_hw,
+    load_system,
+    system_from_dict,
+    system_to_dict,
+)
+from repro.model import Level
+from repro.workloads import avionics_hw, avionics_system, paper_system
+
+
+class TestSystemRoundTrip:
+    def test_paper_system(self):
+        original = paper_system()
+        clone = system_from_dict(system_to_dict(original))
+        assert clone.name == original.name
+        assert clone.hierarchy.names() == original.hierarchy.names()
+        g0 = original.influence[Level.PROCESS]
+        g1 = clone.influence[Level.PROCESS]
+        assert sorted(g0.influence_edges()) == sorted(g1.influence_edges())
+
+    def test_avionics_system_with_factors(self):
+        original = avionics_system()
+        clone = system_from_dict(system_to_dict(original))
+        g0 = original.influence[Level.PROCESS]
+        g1 = clone.influence[Level.PROCESS]
+        # Factor decompositions survive.
+        f0 = g0.factors("sensor_io", "flight_ctl")
+        f1 = g1.factors("sensor_io", "flight_ctl")
+        assert f0 == f1
+        # Hierarchy links survive.
+        assert (
+            clone.hierarchy.parent_of("flight_ctl.voter").name == "flight_ctl"
+        )
+        clone.require_valid()
+
+    def test_attributes_survive(self):
+        original = paper_system()
+        clone = system_from_dict(system_to_dict(original))
+        a0 = original.hierarchy.get("p1").attributes
+        a1 = clone.hierarchy.get("p1").attributes
+        assert a0 == a1
+
+    def test_replica_links_survive(self):
+        from repro.allocation import expand_replication
+        from repro.io.serialization import influence_to_dict
+        from repro.workloads import paper_influence_graph
+
+        expanded = expand_replication(paper_influence_graph())
+        data = influence_to_dict(expanded)
+        assert sorted(map(sorted, data["replica_links"]))  # nonempty
+        # p1 has three replicas -> three pairwise links.
+        p1_links = [
+            pair for pair in data["replica_links"] if pair[0].startswith("p1")
+        ]
+        assert len(p1_links) == 3
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "system.json"
+        dump_system(paper_system(), str(path))
+        clone = load_system(str(path))
+        assert clone.name == "icdcs98-example"
+
+    def test_integration_works_after_reload(self, tmp_path):
+        from repro import IntegrationFramework
+
+        path = tmp_path / "system.json"
+        dump_system(paper_system(), str(path))
+        outcome = IntegrationFramework(load_system(str(path))).integrate(
+            fully_connected(6)
+        )
+        assert outcome.feasible
+
+
+class TestHWRoundTrip:
+    def test_avionics_hw(self):
+        original = avionics_hw(6)
+        clone = hw_from_dict(hw_to_dict(original))
+        assert clone.names() == original.names()
+        assert clone.node("cab1").resources == frozenset({"sensor_bus"})
+        assert clone.all_links() == original.all_links()
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "hw.json"
+        dump_hw(fully_connected(4), str(path))
+        clone = load_hw(str(path))
+        assert len(clone) == 4
+
+
+class TestErrorHandling:
+    def test_wrong_format_tag(self):
+        with pytest.raises(SerializationError, match="format"):
+            system_from_dict({"format": "something-else", "version": 1})
+
+    def test_future_version_rejected(self):
+        with pytest.raises(SerializationError, match="version"):
+            system_from_dict({"format": "ddsi-system", "version": 99})
+
+    def test_unknown_level_rejected(self):
+        data = {
+            "format": "ddsi-system",
+            "version": 1,
+            "name": "x",
+            "fcms": [{"name": "a", "level": "MODULE", "attributes": {}}],
+        }
+        with pytest.raises(SerializationError, match="level"):
+            system_from_dict(data)
+
+    def test_unknown_security_rejected(self):
+        data = {
+            "format": "ddsi-system",
+            "version": 1,
+            "name": "x",
+            "fcms": [
+                {
+                    "name": "a",
+                    "level": "PROCESS",
+                    "attributes": {"security": "ULTRA"},
+                }
+            ],
+        }
+        with pytest.raises(SerializationError, match="security"):
+            system_from_dict(data)
+
+    def test_non_object_rejected(self):
+        with pytest.raises(SerializationError):
+            system_from_dict([1, 2, 3])  # type: ignore[arg-type]
+
+    def test_json_is_stable(self, tmp_path):
+        path = tmp_path / "a.json"
+        dump_system(paper_system(), str(path))
+        first = json.loads(path.read_text())
+        dump_system(paper_system(), str(path))
+        second = json.loads(path.read_text())
+        assert first == second
+
+
+class TestOutcomeExport:
+    def test_outcome_to_dict(self, tmp_path):
+        from repro import IntegrationFramework
+        from repro.io import dump_outcome, outcome_to_dict
+
+        outcome = IntegrationFramework(paper_system()).integrate(
+            fully_connected(6)
+        )
+        data = outcome_to_dict(outcome)
+        assert data["format"] == "ddsi-outcome"
+        assert data["feasible"] is True
+        assert len(data["clusters"]) == 6
+        members = sorted(
+            m for cluster in data["clusters"] for m in cluster["members"]
+        )
+        assert len(members) == 12  # every replica accounted for
+        nodes = [c["hw_node"] for c in data["clusters"]]
+        assert len(set(nodes)) == 6
+
+        path = tmp_path / "outcome.json"
+        dump_outcome(outcome, str(path))
+        reloaded = json.loads(path.read_text())
+        assert reloaded == data
+
+    def test_outcome_records_scores_and_notes(self):
+        from repro import IntegrationFramework
+        from repro.io import outcome_to_dict
+
+        outcome = IntegrationFramework(paper_system()).integrate(
+            fully_connected(6)
+        )
+        data = outcome_to_dict(outcome)
+        assert data["scores"]["complete"] is True
+        assert data["scores"]["cross_influence"] > 0
+        assert any("condensed to" in note for note in data["notes"])

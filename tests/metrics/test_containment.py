@@ -1,0 +1,105 @@
+"""Containment measures."""
+
+import pytest
+
+from repro.errors import InfluenceError
+from repro.influence import InfluenceGraph
+from repro.metrics import (
+    blast_radius,
+    containment_ratio,
+    expected_affected_analytic,
+    worst_blast_radius,
+)
+
+from tests.conftest import make_process
+
+
+def diamond() -> InfluenceGraph:
+    g = InfluenceGraph()
+    for name in ("a", "b", "c", "d"):
+        g.add_fcm(make_process(name))
+    g.set_influence("a", "b", 0.5)
+    g.set_influence("a", "c", 0.4)
+    g.set_influence("b", "d", 0.5)
+    g.set_influence("c", "d", 0.5)
+    return g
+
+
+class TestExpectedAffected:
+    def test_diamond_value(self):
+        # E[affected by a] = P(b) + P(c) + min(1, P_ab P_bd + P_ac P_cd).
+        g = diamond()
+        expected = 0.5 + 0.4 + (0.5 * 0.5 + 0.4 * 0.5)
+        assert expected_affected_analytic(g, "a") == pytest.approx(expected)
+
+    def test_sink_node_zero(self):
+        g = diamond()
+        assert expected_affected_analytic(g, "d") == 0.0
+
+    def test_entries_clamped_to_one(self):
+        g = InfluenceGraph()
+        for name in ("a", "m1", "m2", "t"):
+            g.add_fcm(make_process(name))
+        g.set_influence("a", "t", 0.9)
+        g.set_influence("a", "m1", 0.9)
+        g.set_influence("m1", "t", 0.9)
+        g.set_influence("a", "m2", 0.9)
+        g.set_influence("m2", "t", 0.9)
+        # Raw series entry for (a, t) is 0.9 + 0.81 + 0.81 > 1; clamp.
+        value = expected_affected_analytic(g, "a")
+        assert value <= 3.0
+
+
+class TestContainmentRatio:
+    def test_all_inside(self):
+        g = diamond()
+        assert containment_ratio(g, [["a", "b", "c", "d"]]) == 1.0
+
+    def test_all_crossing(self):
+        g = diamond()
+        assert containment_ratio(g, [["a"], ["b"], ["c"], ["d"]]) == 0.0
+
+    def test_partial(self):
+        g = diamond()
+        ratio = containment_ratio(g, [["a", "b"], ["c", "d"]])
+        # Inside: a->b (0.5), c->d (0.5); total 1.9.
+        assert ratio == pytest.approx(1.0 / 1.9)
+
+    def test_empty_graph_perfect(self):
+        g = InfluenceGraph()
+        g.add_fcm(make_process("x"))
+        assert containment_ratio(g, [["x"]]) == 1.0
+
+    def test_partition_must_cover(self):
+        g = diamond()
+        with pytest.raises(InfluenceError):
+            containment_ratio(g, [["a", "b"]])
+
+    def test_overlap_rejected(self):
+        g = diamond()
+        with pytest.raises(InfluenceError):
+            containment_ratio(g, [["a", "b"], ["b", "c", "d"]])
+
+
+class TestBlastRadius:
+    def test_full_reach(self):
+        g = diamond()
+        assert blast_radius(g, "a") == {"b", "c", "d"}
+
+    def test_threshold_prunes(self):
+        g = diamond()
+        assert blast_radius(g, "a", threshold=0.45) == {"b", "d"}
+
+    def test_sink_empty(self):
+        g = diamond()
+        assert blast_radius(g, "d") == set()
+
+    def test_worst_blast_radius(self):
+        g = diamond()
+        name, size = worst_blast_radius(g)
+        assert name == "a" and size == 3
+
+    def test_paper_graph_blast(self, paper_graph):
+        # p2 reaches p3, p4, p5, p6, p1, p7, p8 transitively.
+        radius = blast_radius(paper_graph, "p2")
+        assert "p3" in radius and "p7" in radius

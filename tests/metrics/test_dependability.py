@@ -1,0 +1,124 @@
+"""Dependability estimates."""
+
+import pytest
+
+from repro.errors import ProbabilityError
+from repro.influence import InfluenceGraph
+from repro.metrics import (
+    fcm_failure_probability,
+    replicated_module_failure,
+    system_dependability_index,
+)
+from repro.model import AttributeSet, FCM, Level
+
+from tests.conftest import make_process
+
+
+def pair_graph(influence: float) -> InfluenceGraph:
+    g = InfluenceGraph()
+    for name in ("s", "t"):
+        g.add_fcm(make_process(name))
+    if influence:
+        g.set_influence("s", "t", influence)
+    return g
+
+
+class TestFcmFailure:
+    def test_isolated_node_base_rate(self):
+        g = pair_graph(0.0)
+        assert fcm_failure_probability(g, "t", {"t": 0.1}) == pytest.approx(0.1)
+
+    def test_cascade_term(self):
+        g = pair_graph(0.5)
+        # P = 1 - (1 - 0.1)(1 - 0.2 * 0.5)
+        p = fcm_failure_probability(g, "t", {"t": 0.1, "s": 0.2})
+        assert p == pytest.approx(1 - 0.9 * 0.9)
+
+    def test_missing_rate_defaults_zero(self):
+        g = pair_graph(0.5)
+        assert fcm_failure_probability(g, "t", {}) == 0.0
+
+    def test_rate_validation(self):
+        g = pair_graph(0.5)
+        with pytest.raises(ProbabilityError):
+            fcm_failure_probability(g, "t", {"t": 1.5})
+        with pytest.raises(ProbabilityError):
+            fcm_failure_probability(g, "t", {"ghost": 0.5})
+
+    def test_matches_simulation(self):
+        # Cross-validate against the Monte-Carlo simulator: seed s with
+        # its base rate, propagate one wave.
+        import random
+
+        g = pair_graph(0.6)
+        rates = {"s": 0.3, "t": 0.05}
+        analytic = fcm_failure_probability(g, "t", rates)
+        rng = random.Random(0)
+        hits = 0
+        trials = 20000
+        for _ in range(trials):
+            t_failed = rng.random() < rates["t"]
+            if rng.random() < rates["s"] and rng.random() < 0.6:
+                t_failed = True
+            hits += t_failed
+        assert hits / trials == pytest.approx(analytic, abs=0.01)
+
+
+class TestReplicatedModule:
+    def test_tmr_majority(self):
+        # TMR with p=0.1 each: fails when >= 2 fail.
+        p = 0.1
+        expected = 3 * p * p * (1 - p) + p ** 3
+        assert replicated_module_failure([p, p, p], quorum=2) == pytest.approx(
+            expected
+        )
+
+    def test_simplex(self):
+        assert replicated_module_failure([0.2], quorum=1) == pytest.approx(0.2)
+
+    def test_quorum_validation(self):
+        with pytest.raises(ProbabilityError):
+            replicated_module_failure([0.1, 0.1], quorum=3)
+        with pytest.raises(ProbabilityError):
+            replicated_module_failure([0.1], quorum=0)
+
+    def test_probability_validation(self):
+        with pytest.raises(ProbabilityError):
+            replicated_module_failure([1.2], quorum=1)
+
+    def test_replication_helps(self):
+        p = 0.1
+        assert replicated_module_failure([p] * 3, 2) < p
+
+
+class TestSystemIndex:
+    def build(self) -> InfluenceGraph:
+        g = InfluenceGraph()
+        base = FCM("crit", Level.PROCESS, AttributeSet(criticality=10, fault_tolerance=3))
+        for suffix in ("a", "b", "c"):
+            g.add_fcm(base.replicate(suffix))
+        g.link_replicas("crita", "critb")
+        g.link_replicas("crita", "critc")
+        g.link_replicas("critb", "critc")
+        g.add_fcm(FCM("aux", Level.PROCESS, AttributeSet(criticality=1)))
+        return g
+
+    def test_index_in_unit_interval(self):
+        g = self.build()
+        rates = {name: 0.05 for name in g.fcm_names()}
+        index = system_dependability_index(g, rates)
+        assert 0.0 < index <= 1.0
+
+    def test_lower_rates_better(self):
+        g = self.build()
+        good = system_dependability_index(g, {n: 0.01 for n in g.fcm_names()})
+        bad = system_dependability_index(g, {n: 0.3 for n in g.fcm_names()})
+        assert good > bad
+
+    def test_tmr_shields_critical_module(self):
+        g = self.build()
+        rates = {n: 0.1 for n in g.fcm_names()}
+        index = system_dependability_index(g, rates)
+        # TMR survival at p=0.1 is ~0.972; weighted with aux (0.9 at
+        # weight 1) the index must beat the unreplicated 0.9 baseline.
+        assert index > 0.9

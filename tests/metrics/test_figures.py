@@ -1,0 +1,59 @@
+"""ASCII chart rendering."""
+
+import pytest
+
+from repro.analysis import sweep_integration_levels
+from repro.allocation import expand_replication
+from repro.errors import DDSIError
+from repro.metrics.figures import bar_chart, tradeoff_chart
+from repro.workloads import paper_influence_graph
+
+
+class TestBarChart:
+    def test_basic_rendering(self):
+        text = bar_chart(["a", "bb"], [1.0, 2.0], width=10, title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].startswith("a ")
+        # The max value gets the full width.
+        assert lines[2].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_zero_values_empty_bars(self):
+        text = bar_chart(["x", "y"], [0.0, 3.0])
+        assert text.splitlines()[0].count("#") == 0
+
+    def test_all_zero(self):
+        text = bar_chart(["x"], [0.0])
+        assert "#" not in text
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(DDSIError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_width_validated(self):
+        with pytest.raises(DDSIError):
+            bar_chart(["a"], [1.0], width=0)
+
+    def test_empty_chart(self):
+        assert bar_chart([], [], title="nothing") == "nothing"
+
+    def test_value_format(self):
+        text = bar_chart(["a"], [0.123456], value_format="{:.1f}")
+        assert "0.1" in text
+
+
+class TestTradeoffChart:
+    @pytest.fixture(scope="class")
+    def curve(self):
+        graph = expand_replication(paper_influence_graph())
+        return sweep_integration_levels(graph, campaign_trials=50, seed=0)
+
+    def test_chart_has_all_levels(self, curve):
+        text = tradeoff_chart(curve)
+        for point in curve.feasible_points():
+            assert f"{point.hw_nodes} nodes" in text
+
+    def test_other_metric(self, curve):
+        text = tradeoff_chart(curve, metric="max_node_criticality")
+        assert "max_node_criticality" in text

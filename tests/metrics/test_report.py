@@ -1,0 +1,66 @@
+"""Text report rendering."""
+
+from repro.allocation import condense_h1, fully_connected, map_approach_a
+from repro.metrics import (
+    format_table,
+    render_cluster_influences,
+    render_clusters,
+    render_influence_graph,
+    render_mapping,
+)
+from repro.workloads import HW_NODE_COUNT
+
+
+class TestFormatTable:
+    def test_headers_and_rows(self):
+        text = format_table(["x", "y"], [[1, 2.5], ["ab", 3]])
+        lines = text.splitlines()
+        assert lines[0].startswith("x")
+        assert "-" in lines[1]
+        assert "2.500" in text
+        assert "ab" in text
+
+    def test_title(self):
+        text = format_table(["a"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_integral_floats_compact(self):
+        text = format_table(["v"], [[3.0]])
+        assert "3" in text and "3.000" not in text
+
+    def test_alignment(self):
+        text = format_table(["col"], [["short"], ["much_longer_value"]])
+        lines = text.splitlines()
+        assert len(lines[2]) <= len(lines[3])
+
+
+class TestRenderers:
+    def test_influence_graph_lists_edges(self, paper_graph):
+        text = render_influence_graph(paper_graph)
+        assert "p1 -> p2" in text
+        assert "0.70" in text
+
+    def test_influence_graph_shows_replica_links(self, expanded_paper_graph):
+        text = render_influence_graph(expanded_paper_graph)
+        assert "p1a == p1b" in text
+        assert "replica link" in text
+
+    def test_render_clusters(self, expanded_paper_state):
+        result = condense_h1(expanded_paper_state, HW_NODE_COUNT)
+        text = render_clusters(result.state)
+        assert "total cross-cluster influence" in text
+        for cluster in result.clusters:
+            assert cluster.label in text
+
+    def test_render_cluster_influences(self, expanded_paper_state):
+        result = condense_h1(expanded_paper_state, HW_NODE_COUNT)
+        text = render_cluster_influences(result.state)
+        assert "from" in text and "to" in text
+
+    def test_render_mapping(self, expanded_paper_state):
+        result = condense_h1(expanded_paper_state, HW_NODE_COUNT)
+        mapping = map_approach_a(result.state, fully_connected(HW_NODE_COUNT))
+        text = render_mapping(mapping)
+        assert "HW node" in text
+        assert "communication cost" in text
+        assert "hw1" in text

@@ -1,0 +1,110 @@
+"""Channel model -> influence factors."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.influence import (
+    InfluenceGraph,
+    InjectionOutcome,
+    Medium,
+    UsageHistory,
+)
+from repro.model.communication import (
+    Channel,
+    channels_to_influence,
+    total_channel_rate,
+)
+from repro.model.fcm import procedure, task
+
+
+@pytest.fixture
+def graph() -> InfluenceGraph:
+    g = InfluenceGraph()
+    for name in ("a", "b", "c"):
+        g.add_fcm(task(name))
+    return g
+
+
+HIST = {"a": UsageHistory(1000, 10), "b": UsageHistory(500, 50)}
+
+
+class TestChannel:
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            Channel("a", "a", Medium.MESSAGE)
+        with pytest.raises(ModelError):
+            Channel("a", "b", Medium.MESSAGE, volume=-1)
+        with pytest.raises(ModelError):
+            Channel("a", "b", Medium.MESSAGE, rate=-1)
+
+    def test_factor_components(self):
+        channel = Channel("a", "b", Medium.SHARED_MEMORY, volume=10)
+        factor = channel.factor(
+            UsageHistory(1000, 10), InjectionOutcome(100, 30)
+        )
+        assert factor.p_occurrence == pytest.approx(11 / 1002)
+        assert 0 < factor.p_transmission < 1
+        assert factor.p_effect == pytest.approx(31 / 102)
+
+    def test_default_effect_prior(self):
+        channel = Channel("a", "b", Medium.MESSAGE)
+        factor = channel.factor(UsageHistory(100, 1))
+        assert factor.p_effect == 0.5
+
+    def test_volume_raises_transmission(self):
+        thin = Channel("a", "b", Medium.SHARED_MEMORY, volume=1)
+        bulk = Channel("a", "b", Medium.SHARED_MEMORY, volume=100)
+        history = UsageHistory(100, 5)
+        assert bulk.factor(history).p_transmission > thin.factor(history).p_transmission
+
+
+class TestChannelsToInfluence:
+    def test_populates_edges(self, graph):
+        channels = [
+            Channel("a", "b", Medium.MESSAGE, volume=5),
+            Channel("b", "c", Medium.SHARED_MEMORY, volume=20),
+        ]
+        channels_to_influence(graph, channels, HIST)
+        assert graph.influence("a", "b") > 0
+        assert graph.influence("b", "c") > 0
+        assert graph.influence("a", "c") == 0
+
+    def test_parallel_channels_combine_eq2(self, graph):
+        channels = [
+            Channel("a", "b", Medium.MESSAGE, volume=5),
+            Channel("a", "b", Medium.SHARED_MEMORY, volume=5),
+        ]
+        channels_to_influence(graph, channels, HIST)
+        assert len(graph.factors("a", "b")) == 2
+
+    def test_injection_data_used(self, graph):
+        channels = [Channel("a", "b", Medium.MESSAGE, volume=5)]
+        channels_to_influence(
+            graph, channels, HIST, injections={"b": InjectionOutcome(10, 10)}
+        )
+        factor = graph.factors("a", "b")[0]
+        assert factor.p_effect == pytest.approx(11 / 12)
+
+    def test_missing_history_rejected(self, graph):
+        with pytest.raises(ModelError, match="usage history"):
+            channels_to_influence(
+                graph, [Channel("c", "a", Medium.MESSAGE)], HIST
+            )
+
+    def test_unknown_endpoint_rejected(self, graph):
+        with pytest.raises(ModelError, match="not in graph"):
+            channels_to_influence(
+                graph, [Channel("a", "zz", Medium.MESSAGE)], HIST
+            )
+
+
+class TestRates:
+    def test_total_channel_rate(self):
+        channels = [
+            Channel("a", "b", Medium.MESSAGE, rate=3),
+            Channel("b", "c", Medium.MESSAGE, rate=2),
+            Channel("c", "a", Medium.MESSAGE, rate=5),
+        ]
+        assert total_channel_rate(channels, "a") == 8
+        assert total_channel_rate(channels, "b") == 5
+        assert total_channel_rate(channels, "zz") == 0

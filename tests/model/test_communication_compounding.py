@@ -1,0 +1,68 @@
+"""Mission-time compounding of channel occurrence probabilities."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.influence import InfluenceGraph, Medium, UsageHistory
+from repro.model.communication import Channel, channels_to_influence
+from repro.model.fcm import task
+
+
+class TestCompounding:
+    HISTORY = UsageHistory(executions=10_000, faults=10)
+
+    def test_single_interaction_matches_raw_estimate(self):
+        channel = Channel("a", "b", Medium.MESSAGE)
+        factor = channel.factor(self.HISTORY, interactions=1.0)
+        assert factor.p_occurrence == pytest.approx(11 / 10_002)
+
+    def test_compounding_formula(self):
+        channel = Channel("a", "b", Medium.MESSAGE)
+        p_once = 11 / 10_002
+        factor = channel.factor(self.HISTORY, interactions=100.0)
+        assert factor.p_occurrence == pytest.approx(1 - (1 - p_once) ** 100)
+
+    def test_monotone_in_interactions(self):
+        channel = Channel("a", "b", Medium.MESSAGE)
+        values = [
+            channel.factor(self.HISTORY, interactions=n).p_occurrence
+            for n in (1, 10, 100, 1000)
+        ]
+        assert values == sorted(values)
+        assert values[-1] <= 1.0
+
+    def test_zero_interactions_zero_occurrence(self):
+        channel = Channel("a", "b", Medium.MESSAGE)
+        assert channel.factor(self.HISTORY, interactions=0.0).p_occurrence == 0.0
+
+    def test_negative_interactions_rejected(self):
+        channel = Channel("a", "b", Medium.MESSAGE)
+        with pytest.raises(ModelError):
+            channel.factor(self.HISTORY, interactions=-1.0)
+
+
+class TestMissionTime:
+    def make_graph(self):
+        g = InfluenceGraph()
+        for name in ("a", "b"):
+            g.add_fcm(task(name))
+        return g
+
+    def test_mission_time_scales_influence(self):
+        short = self.make_graph()
+        long = self.make_graph()
+        channels = [Channel("a", "b", Medium.MESSAGE, volume=5, rate=10)]
+        histories = {"a": UsageHistory(10_000, 10)}
+        channels_to_influence(short, channels, histories, mission_time=1.0)
+        channels_to_influence(long, channels, histories, mission_time=1000.0)
+        assert long.influence("a", "b") > short.influence("a", "b")
+
+    def test_negative_mission_time_rejected(self):
+        g = self.make_graph()
+        with pytest.raises(ModelError):
+            channels_to_influence(
+                g,
+                [Channel("a", "b", Medium.MESSAGE)],
+                {"a": UsageHistory(10, 0)},
+                mission_time=-1.0,
+            )

@@ -1,0 +1,74 @@
+"""Fault taxonomy and level discipline."""
+
+from repro.model import (
+    CONTAINMENT_LEVEL,
+    FaultEvent,
+    FaultKind,
+    IsolationTechnique,
+    Level,
+    MITIGATIONS,
+    is_contained_at,
+    kinds_for_level,
+)
+
+
+class TestTaxonomy:
+    def test_every_kind_has_a_level(self):
+        assert set(CONTAINMENT_LEVEL) == set(FaultKind)
+
+    def test_every_kind_has_mitigations(self):
+        assert set(MITIGATIONS) == set(FaultKind)
+        assert all(MITIGATIONS[k] for k in FaultKind)
+
+    def test_procedure_level_kinds(self):
+        kinds = set(kinds_for_level(Level.PROCEDURE))
+        assert kinds == {
+            FaultKind.PARAMETER_PASSING,
+            FaultKind.RETURN_VALUE,
+            FaultKind.GLOBAL_VARIABLE,
+        }
+
+    def test_process_level_kinds_include_memory_footprint(self):
+        assert FaultKind.MEMORY_FOOTPRINT in kinds_for_level(Level.PROCESS)
+
+    def test_task_kinds_include_timing(self):
+        assert FaultKind.TIMING in kinds_for_level(Level.TASK)
+
+
+class TestContainment:
+    def test_lower_level_faults_contained_above(self):
+        # Procedure-level faults are contained at any level.
+        assert is_contained_at(FaultKind.GLOBAL_VARIABLE, Level.PROCEDURE)
+        assert is_contained_at(FaultKind.GLOBAL_VARIABLE, Level.PROCESS)
+
+    def test_process_faults_not_contained_below(self):
+        assert not is_contained_at(FaultKind.MEMORY_FOOTPRINT, Level.TASK)
+        assert not is_contained_at(FaultKind.MEMORY_FOOTPRINT, Level.PROCEDURE)
+
+    def test_paper_named_techniques_present(self):
+        # §3.2: N-version programming and recovery blocks at task level.
+        assert IsolationTechnique.N_VERSION_PROGRAMMING in MITIGATIONS[
+            FaultKind.MESSAGE_ERROR
+        ]
+        assert IsolationTechnique.RECOVERY_BLOCKS in MITIGATIONS[
+            FaultKind.MESSAGE_ERROR
+        ]
+        # §3.3: information hiding at procedure level.
+        assert IsolationTechnique.INFORMATION_HIDING in MITIGATIONS[
+            FaultKind.GLOBAL_VARIABLE
+        ]
+        # §4.2.3: preemptive scheduling against timing faults.
+        assert IsolationTechnique.PREEMPTIVE_SCHEDULING in MITIGATIONS[
+            FaultKind.TIMING
+        ]
+
+
+class TestFaultEvent:
+    def test_spontaneous(self):
+        e = FaultEvent("p1", FaultKind.TIMING, 0.0)
+        assert e.spontaneous
+
+    def test_transmitted(self):
+        e = FaultEvent("p2", FaultKind.TIMING, 1.0, transmitted_from="p1")
+        assert not e.spontaneous
+        assert e.transmitted_from == "p1"

@@ -1,0 +1,73 @@
+"""FCM objects and the level enum."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.model import AttributeSet, FCM, Level
+from repro.model.fcm import procedure, process, task
+
+
+class TestLevel:
+    def test_ordering(self):
+        assert Level.PROCEDURE < Level.TASK < Level.PROCESS
+
+    def test_parent_levels(self):
+        assert Level.PROCEDURE.parent_level is Level.TASK
+        assert Level.TASK.parent_level is Level.PROCESS
+        assert Level.PROCESS.parent_level is None
+
+    def test_child_levels(self):
+        assert Level.PROCESS.child_level is Level.TASK
+        assert Level.TASK.child_level is Level.PROCEDURE
+        assert Level.PROCEDURE.child_level is None
+
+
+class TestFCM:
+    def test_constructors(self):
+        assert procedure("f").level is Level.PROCEDURE
+        assert task("t").level is Level.TASK
+        assert process("p").level is Level.PROCESS
+
+    def test_invalid_name_rejected(self):
+        for bad in ("", "1abc", "has space", "semi;colon"):
+            with pytest.raises(ModelError):
+                FCM(bad, Level.TASK)
+
+    def test_dotted_names_allowed(self):
+        FCM("nav.route.step_1", Level.PROCEDURE)
+
+    def test_level_type_enforced(self):
+        with pytest.raises(ModelError):
+            FCM("x", "process")  # type: ignore[arg-type]
+
+    def test_equality_by_name_and_level(self):
+        a = FCM("x", Level.TASK)
+        b = FCM("x", Level.TASK, AttributeSet(criticality=9))
+        c = FCM("x", Level.PROCESS)
+        assert a == b
+        assert a != c
+        assert hash(a) == hash(b)
+
+    def test_equality_other_types(self):
+        assert FCM("x", Level.TASK) != "x"
+
+
+class TestReplication:
+    def test_replicate_names_and_lineage(self):
+        original = process("p1", AttributeSet(criticality=10, fault_tolerance=3))
+        replica = original.replicate("a")
+        assert replica.name == "p1a"
+        assert replica.replica_of == "p1"
+        assert replica.is_replica
+        assert not original.is_replica
+
+    def test_replica_carries_ft_one(self):
+        original = process("p1", AttributeSet(fault_tolerance=3))
+        assert original.replicate("b").attributes.fault_tolerance == 1
+
+    def test_replica_keeps_other_attributes(self):
+        original = process("p1", AttributeSet(criticality=12, throughput=3))
+        replica = original.replicate("a")
+        assert replica.attributes.criticality == 12
+        assert replica.attributes.throughput == 3
+        assert replica.level is Level.PROCESS

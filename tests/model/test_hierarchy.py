@@ -1,0 +1,168 @@
+"""FCM hierarchy container: R1/R2 structure, duplication, aggregation."""
+
+import pytest
+
+from repro.errors import HierarchyError, ModelError
+from repro.model import AttributeSet, FCM, FCMHierarchy, Level, TimingConstraint
+from repro.model.fcm import procedure, process, task
+
+
+@pytest.fixture
+def tree() -> FCMHierarchy:
+    h = FCMHierarchy()
+    h.add(process("p1", AttributeSet(criticality=10)))
+    h.add(task("t1", AttributeSet(criticality=5)), parent="p1")
+    h.add(task("t2", AttributeSet(criticality=8)), parent="p1")
+    h.add(procedure("f1", AttributeSet(criticality=2)), parent="t1")
+    h.add(procedure("f2"), parent="t1")
+    return h
+
+
+class TestMembership:
+    def test_add_and_get(self, tree):
+        assert tree.get("t1").level is Level.TASK
+        assert "f1" in tree
+        assert len(tree) == 5
+
+    def test_duplicate_name_rejected(self, tree):
+        with pytest.raises(HierarchyError, match="already present"):
+            tree.add(task("t1"))
+
+    def test_get_missing_raises(self, tree):
+        with pytest.raises(HierarchyError):
+            tree.get("ghost")
+
+    def test_at_level(self, tree):
+        assert [f.name for f in tree.at_level(Level.TASK)] == ["t1", "t2"]
+
+    def test_remove_leaf(self, tree):
+        tree.remove("f2")
+        assert "f2" not in tree
+        assert [c.name for c in tree.children_of("t1")] == ["f1"]
+
+    def test_remove_internal_rejected(self, tree):
+        with pytest.raises(HierarchyError, match="children"):
+            tree.remove("t1")
+
+    def test_add_with_bad_parent_rolls_back(self):
+        h = FCMHierarchy()
+        h.add(process("p"))
+        with pytest.raises(HierarchyError):
+            h.add(procedure("f"), parent="p")  # skips a level: R1
+        assert "f" not in h  # rollback happened
+
+
+class TestLinks:
+    def test_r1_adjacent_levels_only(self, tree):
+        tree.add(procedure("orphan"))
+        with pytest.raises(HierarchyError, match="R1"):
+            tree.attach("orphan", "p1")
+
+    def test_r2_single_parent(self, tree):
+        tree.add(task("t3"), parent="p1")
+        tree.add(process("p2"))
+        with pytest.raises(HierarchyError, match="R2"):
+            tree.attach("t3", "p2")
+
+    def test_detach_then_reattach(self, tree):
+        tree.add(process("p2"))
+        tree.detach("t2")
+        tree.attach("t2", "p2")
+        assert tree.parent_of("t2").name == "p2"
+
+    def test_detach_unparented_raises(self, tree):
+        with pytest.raises(HierarchyError):
+            tree.detach("p1")
+
+    def test_parent_child_navigation(self, tree):
+        assert tree.parent_of("f1").name == "t1"
+        assert tree.parent_of("p1") is None
+        assert [c.name for c in tree.children_of("p1")] == ["t1", "t2"]
+
+    def test_siblings(self, tree):
+        assert [s.name for s in tree.siblings_of("t1")] == ["t2"]
+        assert tree.siblings_of("p1") == []
+
+    def test_descendants_preorder(self, tree):
+        assert [d.name for d in tree.descendants_of("p1")] == [
+            "t1",
+            "f1",
+            "f2",
+            "t2",
+        ]
+
+    def test_roots(self, tree):
+        tree.add(process("p2"))
+        assert {r.name for r in tree.roots()} == {"p1", "p2"}
+
+
+class TestAggregation:
+    def test_effective_attributes_dominate_children(self, tree):
+        attrs = tree.effective_attributes("p1")
+        assert attrs.criticality == 10  # parent's own max
+
+    def test_effective_attributes_lift_child_criticality(self):
+        h = FCMHierarchy()
+        h.add(process("p", AttributeSet(criticality=1)))
+        h.add(task("t", AttributeSet(criticality=99)), parent="p")
+        assert h.effective_attributes("p").criticality == 99
+
+    def test_effective_attributes_sum_throughput(self):
+        h = FCMHierarchy()
+        h.add(process("p", AttributeSet(throughput=1)))
+        h.add(task("t1", AttributeSet(throughput=2)), parent="p")
+        h.add(task("t2", AttributeSet(throughput=3)), parent="p")
+        assert h.effective_attributes("p").throughput == 6
+
+
+class TestValidate:
+    def test_clean_tree_validates(self, tree):
+        assert tree.validate() == []
+
+    def test_validate_detects_forced_corruption(self, tree):
+        # Simulate corruption bypassing the API.
+        tree._parent["t2"] = "p1"
+        tree._children["p1"] = ["t1", "t2", "t2"]
+        problems = tree.validate()
+        assert any("multiple parents" in p for p in problems)
+
+
+class TestDuplicateSubtree:
+    def test_clone_names_and_structure(self, tree):
+        clone_root = tree.duplicate_subtree("t1", "_copy")
+        assert clone_root.name == "t1_copy"
+        assert {c.name for c in tree.children_of("t1_copy")} == {
+            "f1_copy",
+            "f2_copy",
+        }
+
+    def test_clone_attaches_to_parent(self, tree):
+        tree.add(process("p2"))
+        tree.duplicate_subtree("t1", "_b", parent="p2")
+        assert tree.parent_of("t1_b").name == "p2"
+
+    def test_clone_keeps_attributes(self, tree):
+        tree.duplicate_subtree("t1", "_x")
+        assert tree.get("f1_x").attributes.criticality == 2
+
+    def test_empty_suffix_rejected(self, tree):
+        with pytest.raises(ModelError):
+            tree.duplicate_subtree("t1", "")
+
+    def test_name_collision_during_clone_raises(self, tree):
+        tree.add(task("t1_dup"))
+        with pytest.raises(HierarchyError):
+            tree.duplicate_subtree("t1", "_dup")
+
+
+class TestRender:
+    def test_render_contains_all_names(self, tree):
+        text = tree.render()
+        for name in ("p1", "t1", "t2", "f1", "f2"):
+            assert name in text
+
+    def test_render_indents_children(self, tree):
+        lines = tree.render().splitlines()
+        p1_line = next(l for l in lines if l.startswith("p1"))
+        t1_line = next(l for l in lines if "t1 " in l)
+        assert t1_line.startswith("  ")

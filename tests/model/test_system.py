@@ -1,0 +1,55 @@
+"""SoftwareSystem: hierarchy + per-level influence graphs."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.model import AttributeSet, FCM, FCMHierarchy, Level, SoftwareSystem
+from repro.model.fcm import process, task
+
+
+@pytest.fixture
+def system() -> SoftwareSystem:
+    s = SoftwareSystem(name="sys")
+    s.hierarchy.add(process("p1"))
+    s.hierarchy.add(process("p2"))
+    s.hierarchy.add(task("t1"), parent="p1")
+    return s
+
+
+class TestInfluenceAt:
+    def test_creates_graph_lazily(self, system):
+        assert Level.PROCESS not in system.influence
+        graph = system.influence_at(Level.PROCESS)
+        assert Level.PROCESS in system.influence
+        assert set(graph.fcm_names()) == {"p1", "p2"}
+
+    def test_syncs_new_fcms(self, system):
+        graph = system.influence_at(Level.PROCESS)
+        system.hierarchy.add(process("p3"))
+        graph2 = system.influence_at(Level.PROCESS)
+        assert graph2 is graph
+        assert "p3" in graph2.fcm_names()
+
+    def test_level_separation(self, system):
+        task_graph = system.influence_at(Level.TASK)
+        assert task_graph.fcm_names() == ["t1"]
+
+    def test_level_accessors(self, system):
+        assert {p.name for p in system.processes()} == {"p1", "p2"}
+        assert [t.name for t in system.tasks()] == ["t1"]
+        assert system.procedures() == []
+
+
+class TestValidate:
+    def test_clean_system(self, system):
+        system.influence_at(Level.PROCESS)
+        assert system.validate() == []
+        system.require_valid()
+
+    def test_detects_foreign_fcm_in_graph(self, system):
+        graph = system.influence_at(Level.PROCESS)
+        graph.add_fcm(task("stray"))
+        problems = system.validate()
+        assert any("stray" in p for p in problems)
+        with pytest.raises(ModelError):
+            system.require_valid()

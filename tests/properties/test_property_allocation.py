@@ -1,0 +1,83 @@
+"""Property-based tests for condensation invariants."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.allocation import (
+    condense_h1,
+    expand_replication,
+    initial_state,
+    required_hw_nodes,
+)
+from repro.workloads import WorkloadSpec, random_process_graph
+
+
+@st.composite
+def workloads(draw):
+    processes = draw(st.integers(min_value=3, max_value=10))
+    edge_p = draw(st.floats(min_value=0.05, max_value=0.5))
+    replicated = draw(st.floats(min_value=0.0, max_value=0.4))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    spec = WorkloadSpec(
+        processes=processes,
+        edge_probability=edge_p,
+        replicated_fraction=replicated,
+        utilization=0.15,  # keep clusters schedulable
+    )
+    return random_process_graph(spec, seed=seed), seed
+
+
+class TestCondensationInvariants:
+    @given(workloads())
+    @settings(max_examples=30, deadline=None)
+    def test_h1_preserves_members_and_separates_replicas(self, workload):
+        graph, _seed = workload
+        expanded = expand_replication(graph)
+        state = initial_state(expanded)
+        target = max(required_hw_nodes(expanded), len(expanded) // 2, 1)
+        result = condense_h1(state, target)
+
+        # Partition covers every node exactly once.
+        members = [m for c in result.clusters for m in c.members]
+        assert sorted(members) == sorted(expanded.fcm_names())
+
+        # Replicas never share a cluster.
+        for cluster in result.clusters:
+            for i, a in enumerate(cluster.members):
+                for b in cluster.members[i + 1:]:
+                    assert not expanded.is_replica_link(a, b)
+
+        # Every cluster passes the hard constraints.
+        for cluster in result.clusters:
+            assert state.policy.block_valid(expanded, cluster.members)
+
+    @given(workloads())
+    @settings(max_examples=30, deadline=None)
+    def test_condensation_never_increases_cross_influence(self, workload):
+        graph, _seed = workload
+        expanded = expand_replication(graph)
+        state = initial_state(expanded)
+        before = state.total_cross_influence()
+        target = max(required_hw_nodes(expanded), len(expanded) // 2, 1)
+        result = condense_h1(state, target)
+        assert result.state.total_cross_influence() <= before + 1e-9
+
+    @given(workloads())
+    @settings(max_examples=20, deadline=None)
+    def test_expansion_preserves_edge_probabilities(self, workload):
+        graph, _seed = workload
+        expanded = expand_replication(graph)
+        # Every original edge must appear (possibly many times) with the
+        # identical weight between corresponding replicas.
+        for src, dst, weight in graph.influence_edges():
+            images_src = [
+                n for n in expanded.fcm_names()
+                if n == src or expanded.fcm(n).replica_of == src
+            ]
+            images_dst = [
+                n for n in expanded.fcm_names()
+                if n == dst or expanded.fcm(n).replica_of == dst
+            ]
+            for a in images_src:
+                for b in images_dst:
+                    assert abs(expanded.influence(a, b) - weight) < 1e-12

@@ -1,0 +1,96 @@
+"""Property-based tests for attribute combination (§4.3)."""
+
+import hypothesis.strategies as st
+from hypothesis import assume, given, settings
+
+from repro.model import AttributeSet, SecurityLevel, TimingConstraint
+
+
+@st.composite
+def attribute_sets(draw):
+    timing = None
+    if draw(st.booleans()):
+        start = draw(st.floats(min_value=0, max_value=50, allow_nan=False))
+        window = draw(st.floats(min_value=0.5, max_value=30, allow_nan=False))
+        work = draw(st.floats(min_value=0.0, max_value=window, allow_nan=False))
+        timing = TimingConstraint(start, start + window, work)
+    return AttributeSet(
+        criticality=draw(st.floats(min_value=0, max_value=100, allow_nan=False)),
+        fault_tolerance=draw(st.integers(min_value=1, max_value=4)),
+        timing=timing,
+        throughput=draw(st.floats(min_value=0, max_value=50, allow_nan=False)),
+        security=draw(st.sampled_from(list(SecurityLevel))),
+        communication_rate=draw(st.floats(min_value=0, max_value=10, allow_nan=False)),
+    )
+
+
+class TestGroupedCombination:
+    @given(attribute_sets(), attribute_sets())
+    @settings(max_examples=100, deadline=None)
+    def test_commutative_scalars(self, a, b):
+        ab = a.combine_grouped(b)
+        ba = b.combine_grouped(a)
+        assert ab.criticality == ba.criticality
+        assert ab.fault_tolerance == ba.fault_tolerance
+        assert abs(ab.throughput - ba.throughput) < 1e-9
+        assert ab.security == ba.security
+
+    @given(attribute_sets(), attribute_sets())
+    @settings(max_examples=100, deadline=None)
+    def test_dominates_both_inputs(self, a, b):
+        combined = a.combine_grouped(b)
+        assert combined.criticality >= max(a.criticality, b.criticality)
+        assert combined.fault_tolerance >= max(a.fault_tolerance, b.fault_tolerance)
+        assert combined.security >= max(a.security, b.security)
+        assert combined.throughput >= a.throughput - 1e-12
+        assert combined.throughput >= b.throughput - 1e-12
+
+    @given(attribute_sets(), attribute_sets(), attribute_sets())
+    @settings(max_examples=60, deadline=None)
+    def test_associative_on_scalars(self, a, b, c):
+        left = a.combine_grouped(b).combine_grouped(c)
+        right = a.combine_grouped(b.combine_grouped(c))
+        assert left.criticality == right.criticality
+        assert abs(left.throughput - right.throughput) < 1e-9
+        assert left.fault_tolerance == right.fault_tolerance
+
+    @given(attribute_sets(), attribute_sets())
+    @settings(max_examples=100, deadline=None)
+    def test_grouped_timing_envelope_contains_inputs(self, a, b):
+        combined = a.combine_grouped(b)
+        for source in (a, b):
+            if source.timing is not None:
+                assert combined.timing is not None
+                assert combined.timing.earliest_start <= source.timing.earliest_start
+                assert combined.timing.deadline >= source.timing.deadline
+
+
+class TestMergeCombination:
+    @given(
+        st.floats(min_value=0, max_value=20, allow_nan=False),
+        st.floats(min_value=0, max_value=20, allow_nan=False),
+        st.floats(min_value=30, max_value=60, allow_nan=False),
+        st.floats(min_value=30, max_value=60, allow_nan=False),
+        st.floats(min_value=0, max_value=5, allow_nan=False),
+        st.floats(min_value=0, max_value=5, allow_nan=False),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_merge_timing_is_most_stringent(self, s1, s2, d1, d2, w1, w2):
+        # Windows start <= 20, deadlines >= 30, total work <= 10, so the
+        # merged window (min deadline - min start >= 0 units wide, and
+        # wide enough for w1 + w2) is always legal.
+        a = AttributeSet(timing=TimingConstraint(s1, d1, w1))
+        b = AttributeSet(timing=TimingConstraint(s2, d2, w2))
+        merged = a.combine(b)
+        assert merged.timing.deadline == min(d1, d2)
+        assert merged.timing.earliest_start == min(s1, s2)
+        assert merged.timing.computation_time == w1 + w2
+
+    @given(attribute_sets())
+    @settings(max_examples=50, deadline=None)
+    def test_identity_like_combination(self, a):
+        neutral = AttributeSet()
+        combined = a.combine_grouped(neutral)
+        assert combined.criticality == a.criticality
+        assert combined.fault_tolerance == a.fault_tolerance
+        assert abs(combined.throughput - a.throughput) < 1e-12

@@ -1,0 +1,96 @@
+"""Property-based tests for composition operations."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.composition import group, merge
+from repro.model import AttributeSet, FCMHierarchy, Level
+from repro.model.fcm import procedure
+
+
+@st.composite
+def procedure_pools(draw):
+    count = draw(st.integers(min_value=2, max_value=8))
+    crits = draw(
+        st.lists(
+            st.floats(min_value=0, max_value=50, allow_nan=False),
+            min_size=count,
+            max_size=count,
+        )
+    )
+    tputs = draw(
+        st.lists(
+            st.floats(min_value=0, max_value=10, allow_nan=False),
+            min_size=count,
+            max_size=count,
+        )
+    )
+    h = FCMHierarchy()
+    for i in range(count):
+        h.add(
+            procedure(
+                f"f{i}",
+                AttributeSet(criticality=crits[i], throughput=tputs[i]),
+            )
+        )
+    return h, count
+
+
+class TestGroupProperties:
+    @given(procedure_pools())
+    @settings(max_examples=50, deadline=None)
+    def test_group_preserves_count_plus_one(self, pool):
+        h, count = pool
+        names = [f"f{i}" for i in range(count)]
+        group(h, names, "parent")
+        assert len(h) == count + 1
+        assert all(h.parent_of(n).name == "parent" for n in names)
+
+    @given(procedure_pools())
+    @settings(max_examples=50, deadline=None)
+    def test_parent_attributes_dominate(self, pool):
+        h, count = pool
+        names = [f"f{i}" for i in range(count)]
+        parent = group(h, names, "parent")
+        crits = [h.get(n).attributes.criticality for n in names]
+        tputs = [h.get(n).attributes.throughput for n in names]
+        assert parent.attributes.criticality == max(crits)
+        assert abs(parent.attributes.throughput - sum(tputs)) < 1e-9
+
+    @given(procedure_pools())
+    @settings(max_examples=50, deadline=None)
+    def test_hierarchy_remains_valid(self, pool):
+        h, count = pool
+        names = [f"f{i}" for i in range(count)]
+        group(h, names[: count // 2 + 1], "t1")
+        if names[count // 2 + 1:]:
+            group(h, names[count // 2 + 1:], "t2")
+        assert h.validate() == []
+
+
+class TestMergeProperties:
+    @given(procedure_pools(), st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_merge_reduces_count_by_k_minus_one(self, pool, data):
+        h, count = pool
+        names = [f"f{i}" for i in range(count)]
+        group(h, names, "parent")
+        k = data.draw(st.integers(min_value=2, max_value=count))
+        chosen = names[:k]
+        before = len(h)
+        merged = merge(h, chosen, "merged")
+        assert len(h) == before - k + 1
+        assert h.parent_of("merged").name == "parent"
+        crits = [c for c in (merged.attributes.criticality,)]
+        assert crits[0] >= 0
+
+    @given(procedure_pools())
+    @settings(max_examples=50, deadline=None)
+    def test_merge_then_validate(self, pool):
+        h, count = pool
+        names = [f"f{i}" for i in range(count)]
+        group(h, names, "parent")
+        merge(h, names[:2], "m01")
+        assert h.validate() == []
+        assert "m01" in h
+        assert names[0] not in h and names[1] not in h

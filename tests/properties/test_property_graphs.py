@@ -1,0 +1,92 @@
+"""Property-based tests for the graph substrate."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.graphs import (
+    Digraph,
+    bfs_reachable,
+    condense,
+    stoer_wagner,
+    strongly_connected_components,
+    sum_combiner,
+    topological_sort,
+)
+
+
+@st.composite
+def digraphs(draw, max_nodes: int = 8):
+    size = draw(st.integers(min_value=1, max_value=max_nodes))
+    names = [f"v{i}" for i in range(size)]
+    g = Digraph()
+    for name in names:
+        g.add_node(name)
+    for src in names:
+        for dst in names:
+            if src != dst and draw(st.booleans()):
+                g.add_edge(src, dst, draw(st.floats(0.01, 5.0, allow_nan=False)))
+    return g
+
+
+class TestSCCProperties:
+    @given(digraphs())
+    @settings(max_examples=50, deadline=None)
+    def test_components_partition_nodes(self, g):
+        comps = strongly_connected_components(g)
+        flat = [n for comp in comps for n in comp]
+        assert sorted(map(str, flat)) == sorted(map(str, g.nodes()))
+
+    @given(digraphs())
+    @settings(max_examples=50, deadline=None)
+    def test_mutual_reachability_within_component(self, g):
+        for comp in strongly_connected_components(g):
+            for a in comp:
+                reach = bfs_reachable(g, a)
+                assert all(b in reach for b in comp)
+
+
+class TestTopoProperties:
+    @given(digraphs())
+    @settings(max_examples=50, deadline=None)
+    def test_acyclic_iff_all_components_singleton_no_selfloop(self, g):
+        comps = strongly_connected_components(g)
+        acyclic = all(len(c) == 1 for c in comps)
+        try:
+            topological_sort(g)
+            sortable = True
+        except Exception:
+            sortable = False
+        assert sortable == acyclic
+
+
+class TestMinCutProperties:
+    @given(digraphs(max_nodes=7))
+    @settings(max_examples=40, deadline=None)
+    def test_cut_weight_matches_partition(self, g):
+        if len(g) < 2:
+            return
+        weight, side = stoer_wagner(g)
+        assert 0 < len(side) < len(g)
+        undirected = g.to_undirected_weights()
+        manual = sum(
+            w for key, w in undirected.items()
+            if len(key & side) == 1
+        )
+        assert abs(manual - weight) < 1e-9
+
+
+class TestCondenseProperties:
+    @given(digraphs(max_nodes=6), st.integers(min_value=1, max_value=3))
+    @settings(max_examples=40, deadline=None)
+    def test_total_weight_conserved_minus_internal(self, g, blocks):
+        names = g.nodes()
+        partition = [[] for _ in range(min(blocks, len(names)))]
+        for i, name in enumerate(names):
+            partition[i % len(partition)].append(name)
+        quotient, member_of = condense(g, partition, sum_combiner)
+        internal = sum(
+            w for s, t, w in g.edges() if member_of[s] == member_of[t]
+        )
+        total = sum(w for _s, _t, w in g.edges())
+        quotient_total = sum(w for _s, _t, w in quotient.edges())
+        assert abs(quotient_total - (total - internal)) < 1e-9

@@ -1,0 +1,114 @@
+"""Property-based tests for the influence calculus (Eqs. 1-4)."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.influence import (
+    FactorKind,
+    InfluenceFactor,
+    InfluenceGraph,
+    cluster_influence_on,
+    combine_probabilities,
+    influence_from_factors,
+)
+
+from tests.conftest import make_process
+
+probabilities = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+prob_lists = st.lists(probabilities, min_size=0, max_size=8)
+
+
+class TestCombineProperties:
+    @given(prob_lists)
+    def test_result_is_probability(self, values):
+        assert 0.0 <= combine_probabilities(values) <= 1.0 + 1e-12
+
+    @given(prob_lists)
+    def test_at_least_max(self, values):
+        combined = combine_probabilities(values)
+        assert combined >= max(values, default=0.0) - 1e-12
+
+    @given(prob_lists)
+    def test_at_most_sum(self, values):
+        combined = combine_probabilities(values)
+        assert combined <= sum(values) + 1e-9
+
+    @given(prob_lists, probabilities)
+    def test_monotone_in_extension(self, values, extra):
+        base = combine_probabilities(values)
+        extended = combine_probabilities(values + [extra])
+        assert extended >= base - 1e-12
+
+    @given(prob_lists)
+    def test_order_invariant(self, values):
+        forward = combine_probabilities(values)
+        backward = combine_probabilities(list(reversed(values)))
+        assert abs(forward - backward) < 1e-12  # FP product reorder noise
+
+    @given(probabilities, probabilities, probabilities)
+    def test_eq1_product_bounded_by_components(self, p1, p2, p3):
+        f = InfluenceFactor(FactorKind.SHARED_MEMORY, p1, p2, p3)
+        assert f.probability <= min(p1, p2, p3) + 1e-12
+
+    @given(st.lists(probabilities, min_size=1, max_size=6))
+    def test_eq2_from_factors_matches_manual(self, values):
+        factors = [
+            InfluenceFactor.from_probability(FactorKind.TIMING, v)
+            for v in values
+        ]
+        assert abs(
+            influence_from_factors(factors) - combine_probabilities(values)
+        ) < 1e-12
+
+
+@st.composite
+def cluster_scenarios(draw):
+    """A small graph, a cluster subset, and an outside target."""
+    size = draw(st.integers(min_value=3, max_value=7))
+    names = [f"n{i}" for i in range(size)]
+    graph = InfluenceGraph()
+    for name in names:
+        graph.add_fcm(make_process(name))
+    # Random edge set.
+    for src in names:
+        for dst in names:
+            if src != dst and draw(st.booleans()):
+                weight = draw(
+                    st.floats(min_value=0.01, max_value=0.99, allow_nan=False)
+                )
+                graph.set_influence(src, dst, weight)
+    members = draw(
+        st.lists(
+            st.sampled_from(names[:-1]), min_size=1, max_size=size - 1, unique=True
+        )
+    )
+    target = names[-1]
+    return graph, members, target
+
+
+class TestEq4Properties:
+    @given(cluster_scenarios())
+    @settings(max_examples=60, deadline=None)
+    def test_cluster_influence_is_probability(self, scenario):
+        graph, members, target = scenario
+        value = cluster_influence_on(graph, members, target)
+        assert 0.0 <= value <= 1.0 + 1e-12
+
+    @given(cluster_scenarios())
+    @settings(max_examples=60, deadline=None)
+    def test_cluster_influence_dominates_members(self, scenario):
+        # Eq. 4 is a noisy-or: the cluster influences the target at least
+        # as strongly as any single member does.
+        graph, members, target = scenario
+        value = cluster_influence_on(graph, members, target)
+        for member in members:
+            assert value >= graph.influence(member, target) - 1e-12
+
+    @given(cluster_scenarios())
+    @settings(max_examples=60, deadline=None)
+    def test_growing_cluster_never_loses_influence(self, scenario):
+        graph, members, target = scenario
+        all_names = [n for n in graph.fcm_names() if n != target]
+        small = cluster_influence_on(graph, members, target)
+        large = cluster_influence_on(graph, all_names, target)
+        assert large >= small - 1e-12

@@ -1,0 +1,80 @@
+"""Property-based tests for the scheduling substrate."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.scheduling import (
+    Job,
+    demand_feasible,
+    density_feasible,
+    edf_schedule,
+    nonpreemptive_edf_schedule,
+)
+
+
+@st.composite
+def job_sets(draw, max_jobs: int = 6):
+    count = draw(st.integers(min_value=1, max_value=max_jobs))
+    jobs = []
+    for i in range(count):
+        release = draw(st.floats(min_value=0, max_value=20, allow_nan=False))
+        window = draw(st.floats(min_value=0.5, max_value=10, allow_nan=False))
+        work = draw(st.floats(min_value=0.1, max_value=window, allow_nan=False))
+        jobs.append(Job(f"j{i}", release, release + window, work))
+    return jobs
+
+
+class TestEDFProperties:
+    @given(job_sets())
+    @settings(max_examples=80, deadline=None)
+    def test_edf_decides_feasibility_like_demand_criterion(self, jobs):
+        # EDF is optimal on one preemptive processor, so the simulation
+        # and the analytic criterion must agree exactly.
+        assert edf_schedule(jobs).feasible == demand_feasible(jobs)
+
+    @given(job_sets())
+    @settings(max_examples=80, deadline=None)
+    def test_all_work_executes(self, jobs):
+        result = edf_schedule(jobs)
+        total = sum(s.length for s in result.slices)
+        assert abs(total - sum(j.work for j in jobs)) < 1e-6
+
+    @given(job_sets())
+    @settings(max_examples=80, deadline=None)
+    def test_no_job_runs_before_release(self, jobs):
+        result = edf_schedule(jobs)
+        release = {j.name: j.release for j in jobs}
+        for piece in result.slices:
+            assert piece.start >= release[piece.job] - 1e-9
+
+    @given(job_sets())
+    @settings(max_examples=80, deadline=None)
+    def test_slices_never_overlap(self, jobs):
+        result = edf_schedule(jobs)
+        ordered = sorted(result.slices, key=lambda s: s.start)
+        for a, b in zip(ordered, ordered[1:]):
+            assert a.end <= b.start + 1e-9
+
+    @given(job_sets())
+    @settings(max_examples=60, deadline=None)
+    def test_density_sound_wrt_exact(self, jobs):
+        if density_feasible(jobs):
+            assert demand_feasible(jobs)
+
+
+class TestNonPreemptiveProperties:
+    @given(job_sets(max_jobs=5))
+    @settings(max_examples=60, deadline=None)
+    def test_nonpreemptive_never_beats_preemptive(self, jobs):
+        # If non-preemptive EDF succeeds, preemptive EDF must too.
+        if nonpreemptive_edf_schedule(jobs).feasible:
+            assert edf_schedule(jobs).feasible
+
+    @given(job_sets(max_jobs=5))
+    @settings(max_examples=60, deadline=None)
+    def test_jobs_run_contiguously(self, jobs):
+        result = nonpreemptive_edf_schedule(jobs)
+        seen = set()
+        for piece in result.slices:
+            assert piece.job not in seen, "non-preemptive job was split"
+            seen.add(piece.job)

@@ -1,0 +1,60 @@
+"""Property-based round-trip of the JSON serialization."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.io import system_from_dict, system_to_dict
+from repro.model import Level
+from repro.workloads import random_system
+
+
+@st.composite
+def random_systems(draw):
+    return random_system(
+        processes=draw(st.integers(min_value=1, max_value=4)),
+        tasks_per_process=draw(st.integers(min_value=1, max_value=3)),
+        procedures_per_task=draw(st.integers(min_value=1, max_value=3)),
+        seed=draw(st.integers(min_value=0, max_value=500)),
+    )
+
+
+class TestRoundTrip:
+    @given(random_systems())
+    @settings(max_examples=25, deadline=None)
+    def test_structure_survives(self, system):
+        clone = system_from_dict(system_to_dict(system))
+        assert clone.name == system.name
+        assert sorted(clone.hierarchy.names()) == sorted(system.hierarchy.names())
+        for fcm in system.hierarchy:
+            original_parent = system.hierarchy.parent_of(fcm.name)
+            cloned_parent = clone.hierarchy.parent_of(fcm.name)
+            assert (original_parent is None) == (cloned_parent is None)
+            if original_parent is not None:
+                assert cloned_parent.name == original_parent.name
+
+    @given(random_systems())
+    @settings(max_examples=25, deadline=None)
+    def test_influence_survives(self, system):
+        clone = system_from_dict(system_to_dict(system))
+        for level in (Level.PROCESS, Level.TASK, Level.PROCEDURE):
+            if level not in system.influence:
+                continue
+            original = system.influence[level]
+            restored = clone.influence[level]
+            assert sorted(original.influence_edges()) == sorted(
+                restored.influence_edges()
+            )
+
+    @given(random_systems())
+    @settings(max_examples=25, deadline=None)
+    def test_attributes_survive(self, system):
+        clone = system_from_dict(system_to_dict(system))
+        for fcm in system.hierarchy:
+            assert clone.hierarchy.get(fcm.name).attributes == fcm.attributes
+
+    @given(random_systems())
+    @settings(max_examples=15, deadline=None)
+    def test_double_round_trip_is_fixed_point(self, system):
+        once = system_to_dict(system)
+        twice = system_to_dict(system_from_dict(once))
+        assert once == twice

@@ -1,0 +1,123 @@
+"""EDF simulation and the processor-demand feasibility criterion."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.scheduling import Job, demand_feasible, edf_schedule
+
+
+class TestJob:
+    def test_properties(self):
+        j = Job("a", 2, 10, 3)
+        assert j.window == 8
+        assert j.laxity == 5
+
+    def test_infeasible_alone_rejected(self):
+        with pytest.raises(SchedulingError, match="infeasible alone"):
+            Job("a", 0, 2, 3)
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(SchedulingError):
+            Job("a", -1, 5, 1)
+        with pytest.raises(SchedulingError):
+            Job("a", 0, 5, -1)
+
+    def test_from_timing(self):
+        from repro.model import TimingConstraint
+
+        j = Job.from_timing("x", TimingConstraint(1, 9, 4))
+        assert (j.release, j.deadline, j.work) == (1, 9, 4)
+
+
+class TestDemandFeasible:
+    def test_paper_infeasible_pair(self):
+        # The prose's demonstration pair: <0,3,2> and <1,4,3>.
+        jobs = [Job("a", 0, 3, 2), Job("b", 1, 4, 3)]
+        assert not demand_feasible(jobs)
+
+    def test_disjoint_windows_feasible(self):
+        jobs = [Job("a", 0, 10, 3), Job("b", 12, 18, 3)]
+        assert demand_feasible(jobs)
+
+    def test_table1_triple_infeasible(self):
+        # p4, p5, p7 of the reconstructed Table 1: pairwise OK, jointly not.
+        p4 = Job("p4", 10, 16, 2)
+        p5 = Job("p5", 11, 16, 2)
+        p7 = Job("p7", 10, 15, 3)
+        assert demand_feasible([p4, p5])
+        assert demand_feasible([p4, p7])
+        assert demand_feasible([p5, p7])
+        assert not demand_feasible([p4, p5, p7])
+
+    def test_empty_feasible(self):
+        assert demand_feasible([])
+
+    def test_exact_fit_feasible(self):
+        jobs = [Job("a", 0, 4, 2), Job("b", 0, 4, 2)]
+        assert demand_feasible(jobs)
+
+    def test_agrees_with_edf_simulation(self):
+        import random
+
+        rng = random.Random(9)
+        for trial in range(50):
+            jobs = []
+            for i in range(rng.randint(2, 6)):
+                release = rng.uniform(0, 10)
+                window = rng.uniform(1, 8)
+                work = rng.uniform(0.1, window)
+                jobs.append(Job(f"j{i}", release, release + window, work))
+            assert demand_feasible(jobs) == edf_schedule(jobs).feasible, (
+                f"disagreement on trial {trial}: {jobs}"
+            )
+
+
+class TestEDFSchedule:
+    def test_simple_two_jobs(self):
+        result = edf_schedule([Job("a", 0, 5, 2), Job("b", 1, 4, 2)])
+        assert result.feasible
+        assert result.missed == ()
+        assert result.makespan == pytest.approx(4.0)
+
+    def test_preemption_happens(self):
+        # b has a tighter deadline and must preempt a.
+        result = edf_schedule([Job("a", 0, 20, 8), Job("b", 2, 5, 2)])
+        assert result.feasible
+        jobs_in_order = [s.job for s in result.slices]
+        assert jobs_in_order == ["a", "b", "a"]
+
+    def test_overload_reports_missed(self):
+        result = edf_schedule([Job("a", 0, 3, 2), Job("b", 1, 4, 3)])
+        assert not result.feasible
+        assert len(result.missed) >= 1
+
+    def test_work_conserving_after_miss(self):
+        result = edf_schedule([Job("a", 0, 3, 2), Job("b", 1, 4, 3)])
+        total_run = sum(s.length for s in result.slices)
+        assert total_run == pytest.approx(5.0)  # all work still executes
+
+    def test_completion_time(self):
+        result = edf_schedule([Job("a", 0, 5, 2)])
+        assert result.completion_time("a") == pytest.approx(2.0)
+        with pytest.raises(SchedulingError):
+            result.completion_time("ghost")
+
+    def test_idle_gap_handled(self):
+        result = edf_schedule([Job("a", 0, 2, 1), Job("b", 5, 8, 2)])
+        assert result.feasible
+        starts = {s.job: s.start for s in result.slices}
+        assert starts["b"] == pytest.approx(5.0)
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchedulingError):
+            edf_schedule([Job("a", 0, 5, 1), Job("a", 0, 5, 1)])
+
+    def test_empty(self):
+        result = edf_schedule([])
+        assert result.feasible and result.slices == ()
+
+    def test_deterministic_tie_break(self):
+        jobs = [Job("b", 0, 4, 2), Job("a", 0, 4, 2)]
+        first = edf_schedule(jobs)
+        second = edf_schedule(list(reversed(jobs)))
+        assert [s.job for s in first.slices] == [s.job for s in second.slices]

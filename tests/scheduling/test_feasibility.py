@@ -1,0 +1,97 @@
+"""Co-schedulability predicates used by allocation."""
+
+import pytest
+
+from repro.model import AttributeSet, TimingConstraint
+from repro.scheduling import (
+    FeasibilityMethod,
+    Job,
+    TimedModule,
+    combination_feasible,
+    coschedulable,
+    density_feasible,
+    jobs_from_modules,
+)
+
+
+def module(name: str, est=None, tcd=None, ct=None) -> TimedModule:
+    timing = TimingConstraint(est, tcd, ct) if est is not None else None
+    return TimedModule(name, AttributeSet(timing=timing))
+
+
+class TestTimedModule:
+    def test_job_extraction(self):
+        m = module("a", 0, 10, 3)
+        job = m.job()
+        assert job is not None and job.work == 3
+
+    def test_untimed_module_has_no_job(self):
+        assert module("a").job() is None
+
+    def test_jobs_from_modules_skips_untimed(self):
+        jobs = jobs_from_modules([module("a", 0, 5, 1), module("b")])
+        assert [j.name for j in jobs] == ["a"]
+
+
+class TestCoschedulable:
+    def test_empty_and_untimed_pass(self):
+        assert coschedulable([])
+        assert coschedulable([module("a"), module("b")])
+
+    def test_feasible_pair(self):
+        assert coschedulable([module("a", 0, 10, 3), module("b", 10, 15, 3)])
+
+    def test_infeasible_pair(self):
+        assert not coschedulable([module("a", 0, 3, 2), module("b", 1, 4, 3)])
+
+    def test_untimed_never_blocks(self):
+        mods = [module("a", 0, 3, 3), module("b")]
+        assert coschedulable(mods)
+
+
+class TestDensity:
+    def test_density_sufficient_but_conservative(self):
+        # Two jobs with disjoint windows: density 1.0 + small, still
+        # feasible exactly, but density may reject.
+        a = Job("a", 0, 4, 4)  # density 1.0
+        b = Job("b", 4, 8, 4)  # density 1.0
+        assert not density_feasible([a, b])
+        assert coschedulable(
+            [module("a", 0, 4, 4), module("b", 4, 8, 4)],
+            method=FeasibilityMethod.EXACT,
+        )
+
+    def test_density_accepts_light_load(self):
+        assert density_feasible([Job("a", 0, 10, 2), Job("b", 0, 10, 3)])
+
+    def test_density_never_accepts_what_exact_rejects(self):
+        import random
+
+        rng = random.Random(6)
+        for _ in range(50):
+            jobs = []
+            for i in range(rng.randint(2, 5)):
+                release = rng.uniform(0, 6)
+                window = rng.uniform(1, 6)
+                jobs.append(
+                    Job(f"j{i}", release, release + window, rng.uniform(0.1, window))
+                )
+            if density_feasible(jobs):
+                from repro.scheduling import demand_feasible
+
+                assert demand_feasible(jobs)
+
+
+class TestCombinationFeasible:
+    def test_union_checked(self):
+        group_a = [module("a", 10, 16, 2)]
+        group_b = [module("b", 11, 16, 2), module("c", 10, 15, 3)]
+        # Each group fine alone; union overloads [10, 16].
+        assert coschedulable(group_a)
+        assert coschedulable(group_b)
+        assert not combination_feasible(group_a, group_b)
+
+    def test_disjoint_combination(self):
+        assert combination_feasible(
+            [module("a", 0, 5, 2)], [module("b", 6, 10, 2)]
+        )

@@ -1,0 +1,106 @@
+"""Non-preemptive scheduling and timing-fault transmission (§4.2.3)."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.scheduling import (
+    Job,
+    inject_timing_fault,
+    nonpreemptive_edf_schedule,
+)
+
+
+class TestNonPreemptiveSchedule:
+    def test_runs_to_completion(self):
+        jobs = [Job("a", 0, 10, 4), Job("b", 1, 4, 2)]
+        result = nonpreemptive_edf_schedule(jobs)
+        # a starts first (only ready job) and cannot be preempted, so b
+        # misses its deadline: the classic non-preemptive anomaly.
+        assert not result.feasible
+        assert "b" in result.missed
+
+    def test_feasible_with_gaps(self):
+        jobs = [Job("a", 0, 3, 2), Job("b", 5, 9, 3)]
+        result = nonpreemptive_edf_schedule(jobs)
+        assert result.feasible
+        assert [s.job for s in result.slices] == ["a", "b"]
+
+    def test_earliest_deadline_selected_among_ready(self):
+        jobs = [Job("a", 0, 20, 2), Job("b", 0, 5, 2)]
+        result = nonpreemptive_edf_schedule(jobs)
+        assert result.slices[0].job == "b"
+
+    def test_horizon_caps_runaway(self):
+        from repro.scheduling.nonpreemptive import _unchecked_job
+
+        runaway = _unchecked_job("loop", 0.0, 5.0, float("inf"))
+        other = Job("x", 1, 20, 2)
+        result = nonpreemptive_edf_schedule([runaway, other], horizon=40.0)
+        assert "loop" in result.missed
+        assert "x" in result.missed  # never got the processor
+
+    def test_infinite_work_needs_horizon(self):
+        from repro.scheduling.nonpreemptive import _unchecked_job
+
+        runaway = _unchecked_job("loop", 0.0, 5.0, float("inf"))
+        with pytest.raises(SchedulingError, match="horizon"):
+            nonpreemptive_edf_schedule([runaway])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchedulingError):
+            nonpreemptive_edf_schedule([Job("a", 0, 5, 1), Job("a", 0, 5, 1)])
+
+
+class TestTimingFaultInjection:
+    JOBS = [
+        Job("victim1", 0, 30, 3),
+        Job("faulty", 0, 10, 2),
+        Job("victim2", 5, 40, 3),
+    ]
+
+    def test_nonpreemptive_infinite_loop_kills_everyone(self):
+        outcome = inject_timing_fault(
+            self.JOBS, "faulty", preemptive=False
+        )
+        assert outcome.transmitted
+        assert set(outcome.victims) == {"victim1", "victim2"}
+
+    def test_preemptive_contains_the_fault(self):
+        # §4.2.3: "the probability of transmission of the timing fault can
+        # be minimised by using preemptive scheduling".
+        outcome = inject_timing_fault(self.JOBS, "faulty", preemptive=True)
+        assert not outcome.transmitted
+
+    def test_preemptive_can_still_transmit_under_load(self):
+        tight = [
+            Job("faulty", 0, 10, 2),
+            Job("victim", 0, 11, 8),
+        ]
+        outcome = inject_timing_fault(tight, "faulty", preemptive=True)
+        # The runaway consumes its whole [0, 10] window; the victim needs
+        # 8 units by t=11 and cannot get them.
+        assert outcome.victims == ("victim",)
+
+    def test_bounded_overrun_smaller_blast(self):
+        mild = inject_timing_fault(
+            self.JOBS, "faulty", overrun_factor=1.5, preemptive=False
+        )
+        severe = inject_timing_fault(
+            self.JOBS, "faulty", preemptive=False
+        )
+        assert len(mild.victims) <= len(severe.victims)
+
+    def test_unknown_job_rejected(self):
+        with pytest.raises(SchedulingError):
+            inject_timing_fault(self.JOBS, "ghost")
+
+    def test_overrun_below_one_rejected(self):
+        with pytest.raises(SchedulingError):
+            inject_timing_fault(self.JOBS, "faulty", overrun_factor=0.5)
+
+    def test_discipline_labels(self):
+        assert inject_timing_fault(self.JOBS, "faulty").discipline == "preemptive"
+        assert (
+            inject_timing_fault(self.JOBS, "faulty", preemptive=False).discipline
+            == "nonpreemptive"
+        )

@@ -1,0 +1,122 @@
+"""Rate-monotonic analysis for periodic tasks."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.scheduling import (
+    PeriodicTask,
+    hyperbolic_test,
+    liu_layland_bound,
+    response_time_analysis,
+    rm_schedulable,
+    total_utilization,
+    utilization_test,
+)
+
+
+class TestPeriodicTask:
+    def test_utilization(self):
+        t = PeriodicTask("a", period=10, work=2)
+        assert t.utilization == pytest.approx(0.2)
+        assert t.effective_deadline == 10
+
+    def test_explicit_deadline(self):
+        t = PeriodicTask("a", period=10, work=2, deadline=5)
+        assert t.effective_deadline == 5
+
+    def test_validation(self):
+        with pytest.raises(SchedulingError):
+            PeriodicTask("a", period=0, work=1)
+        with pytest.raises(SchedulingError):
+            PeriodicTask("a", period=10, work=-1)
+        with pytest.raises(SchedulingError):
+            PeriodicTask("a", period=10, work=6, deadline=5)
+
+
+class TestBounds:
+    def test_liu_layland_values(self):
+        assert liu_layland_bound(1) == pytest.approx(1.0)
+        assert liu_layland_bound(2) == pytest.approx(2 * (2 ** 0.5 - 1))
+        assert liu_layland_bound(100) == pytest.approx(0.696, abs=0.01)
+
+    def test_liu_layland_requires_positive(self):
+        with pytest.raises(SchedulingError):
+            liu_layland_bound(0)
+
+    def test_utilization_test_accepts_light_set(self):
+        tasks = [PeriodicTask("a", 10, 1), PeriodicTask("b", 20, 2)]
+        assert utilization_test(tasks)
+
+    def test_hyperbolic_tighter_than_liu_layland(self):
+        # A set accepted by hyperbolic but not by Liu & Layland.
+        tasks = [
+            PeriodicTask("a", 10, 6),  # U = 0.6
+            PeriodicTask("b", 10, 1),  # U = 0.1
+            PeriodicTask("c", 10, 1),  # U = 0.1; total 0.8 > LL3 = 0.7798
+        ]  # hyperbolic product: 1.6 * 1.1 * 1.1 = 1.936 <= 2
+        assert not utilization_test(tasks)
+        assert hyperbolic_test(tasks)
+        # And the exact test agrees it is schedulable.
+        assert response_time_analysis(tasks).schedulable
+
+
+class TestResponseTime:
+    def test_classic_example(self):
+        tasks = [
+            PeriodicTask("t1", period=4, work=1),
+            PeriodicTask("t2", period=5, work=2),
+            PeriodicTask("t3", period=20, work=5),
+        ]
+        result = response_time_analysis(tasks)
+        assert result.schedulable
+        assert result.response("t1") == pytest.approx(1.0)
+        assert result.response("t2") == pytest.approx(3.0)
+        # t3: fixed point of 5 + ceil(R/4) + 2 ceil(R/5).
+        assert result.response("t3") <= 20
+
+    def test_unschedulable_set(self):
+        tasks = [
+            PeriodicTask("a", period=2, work=1),
+            PeriodicTask("b", period=3, work=1.8),
+        ]
+        result = response_time_analysis(tasks)
+        assert not result.schedulable
+        assert result.response("b") == float("inf")
+
+    def test_duplicate_names_rejected(self):
+        tasks = [PeriodicTask("a", 4, 1), PeriodicTask("a", 5, 1)]
+        with pytest.raises(SchedulingError):
+            response_time_analysis(tasks)
+
+    def test_unknown_response_raises(self):
+        result = response_time_analysis([PeriodicTask("a", 4, 1)])
+        with pytest.raises(SchedulingError):
+            result.response("zz")
+
+
+class TestDecision:
+    def test_empty_schedulable(self):
+        assert rm_schedulable([])
+
+    def test_overloaded_rejected_fast(self):
+        tasks = [PeriodicTask("a", 1, 0.7), PeriodicTask("b", 1, 0.7)]
+        assert not rm_schedulable(tasks)
+
+    def test_total_utilization(self):
+        tasks = [PeriodicTask("a", 10, 5), PeriodicTask("b", 4, 1)]
+        assert total_utilization(tasks) == pytest.approx(0.75)
+
+    def test_decision_matches_exact_analysis(self):
+        import random
+
+        rng = random.Random(4)
+        for _ in range(30):
+            tasks = []
+            for i in range(rng.randint(1, 5)):
+                period = rng.uniform(2, 20)
+                work = rng.uniform(0.1, period * 0.5)
+                tasks.append(PeriodicTask(f"t{i}", period, work))
+            if total_utilization(tasks) > 1.0:
+                assert not rm_schedulable(tasks)
+            else:
+                assert rm_schedulable(tasks) == response_time_analysis(tasks).schedulable

@@ -1,0 +1,86 @@
+"""System audit battery."""
+
+import pytest
+
+from repro.influence import FactorKind, InfluenceFactor
+from repro.model import Level, SoftwareSystem
+from repro.model.fcm import procedure, process, task
+from repro.verification import ALLOWED_FACTORS, audit_system
+
+
+def build_system() -> SoftwareSystem:
+    s = SoftwareSystem(name="audit-me")
+    s.hierarchy.add(process("p1"))
+    s.hierarchy.add(process("p2"))
+    s.hierarchy.add(task("t1"), parent="p1")
+    s.hierarchy.add(task("t2"), parent="p1")
+    s.hierarchy.add(procedure("f1"), parent="t1")
+    s.hierarchy.add(procedure("f2"), parent="t1")
+    return s
+
+
+class TestAllowedFactors:
+    def test_procedure_mechanisms(self):
+        assert FactorKind.PARAMETER_PASSING in ALLOWED_FACTORS[Level.PROCEDURE]
+        assert FactorKind.SHARED_MEMORY not in ALLOWED_FACTORS[Level.PROCEDURE]
+
+    def test_task_techniques_reach_process_level(self):
+        for kind in (FactorKind.SHARED_MEMORY, FactorKind.TIMING):
+            assert kind in ALLOWED_FACTORS[Level.TASK]
+            assert kind in ALLOWED_FACTORS[Level.PROCESS]
+
+    def test_resource_sharing_process_only(self):
+        assert FactorKind.RESOURCE_SHARING in ALLOWED_FACTORS[Level.PROCESS]
+        assert FactorKind.RESOURCE_SHARING not in ALLOWED_FACTORS[Level.TASK]
+
+
+class TestAuditSystem:
+    def test_clean_system_passes(self):
+        system = build_system()
+        graph = system.influence_at(Level.PROCESS)
+        graph.set_influence(
+            "p1",
+            "p2",
+            factors=[InfluenceFactor(FactorKind.SHARED_MEMORY, 0.1, 0.5, 0.5)],
+        )
+        report = audit_system(system)
+        assert report.passed
+        assert report.describe() == []
+
+    def test_level_discipline_violation(self):
+        system = build_system()
+        graph = system.influence_at(Level.PROCESS)
+        # Parameter passing between *processes* is a discipline breach:
+        # procedures cannot call across processes in the system model.
+        graph.set_influence(
+            "p1",
+            "p2",
+            factors=[InfluenceFactor(FactorKind.PARAMETER_PASSING, 0.1, 0.5, 0.5)],
+        )
+        report = audit_system(system)
+        assert not report.passed
+        assert any("parameter_passing" in m for m in report.level_discipline)
+
+    def test_structural_problems_reported(self):
+        system = build_system()
+        graph = system.influence_at(Level.PROCESS)
+        graph.add_fcm(task("stray"))
+        report = audit_system(system)
+        assert not report.passed
+        assert report.structural
+
+    def test_noninterference_integrated(self):
+        system = build_system()
+        graph = system.influence_at(Level.PROCESS)
+        graph.set_influence("p1", "p2", 0.9)
+        report = audit_system(system, influence_budget=0.5)
+        assert not report.passed
+        assert not report.noninterference[Level.PROCESS].passed
+        assert any("budget" in line for line in report.describe())
+
+    def test_multiple_levels_audited(self):
+        system = build_system()
+        system.influence_at(Level.PROCESS)
+        system.influence_at(Level.TASK)
+        report = audit_system(system)
+        assert set(report.noninterference) == {Level.PROCESS, Level.TASK}

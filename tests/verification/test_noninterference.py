@@ -1,0 +1,81 @@
+"""Non-interference battery."""
+
+import pytest
+
+from repro.influence import InfluenceGraph
+from repro.model import AttributeSet, FCM, Level
+from repro.verification import verify_noninterference
+
+from tests.conftest import make_process
+
+
+def graph_with(*edges) -> InfluenceGraph:
+    g = InfluenceGraph()
+    names = {n for e in edges for n in e[:2]}
+    for name in sorted(names):
+        g.add_fcm(make_process(name))
+    for src, dst, w in edges:
+        g.set_influence(src, dst, w)
+    return g
+
+
+class TestInfluenceBudget:
+    def test_within_budget_passes(self):
+        g = graph_with(("a", "b", 0.2))
+        report = verify_noninterference(g, influence_budget=0.5)
+        assert report.passed
+
+    def test_over_budget_flagged(self):
+        g = graph_with(("a", "b", 0.8))
+        report = verify_noninterference(g, influence_budget=0.5)
+        assert not report.passed
+        assert report.over_budget == (("a", "b", 0.8),)
+        assert any("budget" in line for line in report.describe())
+
+    def test_default_budget_disables_check(self):
+        g = graph_with(("a", "b", 1.0))
+        assert verify_noninterference(g).passed
+
+
+class TestSeparationFloor:
+    def test_under_separated_pair_flagged(self):
+        g = graph_with(("a", "b", 0.9))
+        report = verify_noninterference(g, separation_floor=0.5)
+        assert not report.passed
+        assert ("a", "b", pytest.approx(0.1)) in [
+            (s, t, v) for s, t, v in report.under_separated
+        ]
+
+    def test_transitive_paths_counted(self):
+        g = graph_with(("a", "b", 0.9), ("b", "c", 0.9))
+        report = verify_noninterference(g, separation_floor=0.5)
+        pairs = {(s, t) for s, t, _v in report.under_separated}
+        assert ("a", "c") in pairs  # 1 - 0.81 = 0.19 < 0.5
+
+    def test_floor_zero_disables(self):
+        g = graph_with(("a", "b", 1.0))
+        assert verify_noninterference(g, separation_floor=0.0).passed
+
+
+class TestReplicaIsolation:
+    def build(self, leak: bool) -> InfluenceGraph:
+        g = InfluenceGraph()
+        base = FCM("p", Level.PROCESS, AttributeSet(fault_tolerance=2))
+        g.add_fcm(base.replicate("a"))
+        g.add_fcm(base.replicate("b"))
+        g.link_replicas("pa", "pb")
+        g.add_fcm(make_process("m"))
+        if leak:
+            g.set_influence("pa", "m", 0.5)
+            g.set_influence("m", "pb", 0.5)
+        return g
+
+    def test_isolated_replicas_pass(self):
+        report = verify_noninterference(self.build(leak=False))
+        assert report.passed
+
+    def test_influence_path_between_replicas_flagged(self):
+        report = verify_noninterference(self.build(leak=True))
+        assert not report.passed
+        assert report.replica_paths == (("pa", "pb"),)
+        assert any("not isolated" in line for line in report.describe())

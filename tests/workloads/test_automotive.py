@@ -1,0 +1,98 @@
+"""The automotive brake-by-wire scenario."""
+
+import pytest
+
+from repro.allocation import (
+    condense_h1,
+    evaluate_mapping,
+    expand_replication,
+    initial_state,
+    map_approach_a,
+    required_hw_nodes,
+)
+from repro.allocation.clustering import ClusterState
+from repro.model import Level
+from repro.workloads.automotive import (
+    PERIODIC_TASKS,
+    automotive_hw,
+    automotive_policy,
+    automotive_resources,
+    automotive_system,
+)
+
+
+@pytest.fixture(scope="module")
+def system():
+    return automotive_system()
+
+
+class TestStructure:
+    def test_six_processes(self, system):
+        assert len(system.processes()) == 6
+        system.require_valid()
+
+    def test_duplex_pattern(self, system):
+        assert system.hierarchy.get("brake_ctl").attributes.fault_tolerance == 2
+        assert system.hierarchy.get("stability").attributes.fault_tolerance == 2
+        assert system.hierarchy.get("diag").attributes.fault_tolerance == 1
+
+    def test_channel_derived_influences(self, system):
+        graph = system.influence_at(Level.PROCESS)
+        # Heavily exercised shared-memory channel dominates.
+        ws_brake = graph.influence("wheel_speed", "brake_ctl")
+        diag_tell = graph.influence("diag", "telltale")
+        assert ws_brake > diag_tell
+        assert 0 < ws_brake <= 1
+        # Factors recorded for audit.
+        assert graph.factors("wheel_speed", "brake_ctl")
+
+    def test_expansion(self, system):
+        graph = system.influence_at(Level.PROCESS)
+        expanded = expand_replication(graph)
+        assert len(expanded) == 8  # 2 + 2 + 4 singles
+        assert required_hw_nodes(expanded) == 2
+
+
+class TestIntegration:
+    def test_four_ecu_integration(self, system):
+        graph = expand_replication(system.influence_at(Level.PROCESS))
+        state = ClusterState(graph, automotive_policy())
+        result = condense_h1(state, 4)
+        assert len(result.clusters) == 4
+        # Duplex pairs separated.
+        for pair in (("brake_ctla", "brake_ctlb"), ("stabilitya", "stabilityb")):
+            holders = {result.state.cluster_of(m) for m in pair}
+            assert len(holders) == 2
+
+    def test_periodic_constraint_active(self, system):
+        # brake_ctl (U=0.2) + wheel_speed (U=0.2) + pedal (U=0.125) +
+        # stability (U=0.2) is RM-schedulable; verify the constraint
+        # actually evaluates by checking a deliberately overloaded pair.
+        from repro.allocation import PeriodicSchedulability
+        from repro.scheduling import PeriodicTask
+
+        graph = expand_replication(system.influence_at(Level.PROCESS))
+        heavy = PeriodicSchedulability(
+            tasks={
+                "wheel_speed": (PeriodicTask("w", period=2, work=1.5),),
+                "pedal": (PeriodicTask("p", period=2, work=1.5),),
+            }
+        )
+        assert heavy.check(graph, ("wheel_speed",), ("pedal",)) is not None
+
+    def test_resource_aware_mapping(self, system):
+        graph = expand_replication(system.influence_at(Level.PROCESS))
+        state = ClusterState(graph, automotive_policy())
+        result = condense_h1(state, 4)
+        hw = automotive_hw(4)
+        mapping = map_approach_a(result.state, hw, automotive_resources())
+        score = evaluate_mapping(mapping, automotive_resources())
+        assert score.feasible, (score.resource_violations, score.partition.constraint_violations)
+        pedal_node = mapping.node_of(result.state.cluster_of("pedal"))
+        assert hw.has_resource(pedal_node, "pedal_bus")
+
+    def test_ring_topology_costs(self):
+        hw = automotive_hw(4)
+        assert hw.link_cost("ecu1", "ecu2") == 1.0
+        assert hw.link_cost("ecu1", "ecu3") == 2.0
+        assert hw.link_cost("ecu1", "ecu4") == 1.0  # ring wraps

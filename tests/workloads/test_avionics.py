@@ -1,0 +1,76 @@
+"""The avionics (AIMS-like) scenario."""
+
+import pytest
+
+from repro.allocation import expand_replication, required_hw_nodes
+from repro.model import Level, SecurityLevel
+from repro.verification import audit_system
+from repro.workloads import (
+    AVIONICS_EXPECTATIONS,
+    avionics_hw,
+    avionics_resources,
+    avionics_system,
+)
+
+
+class TestStructure:
+    def test_six_processes(self, avionics_sys):
+        assert len(avionics_sys.processes()) == 6
+
+    def test_three_levels_populated(self, avionics_sys):
+        assert avionics_sys.tasks()
+        assert avionics_sys.procedures()
+
+    def test_hierarchy_valid(self, avionics_sys):
+        avionics_sys.require_valid()
+
+    def test_flight_ctl_is_tmr(self, avionics_sys):
+        fc = avionics_sys.hierarchy.get("flight_ctl")
+        assert fc.attributes.fault_tolerance == 3
+        assert fc.attributes.criticality == max(
+            p.attributes.criticality for p in avionics_sys.processes()
+        )
+
+    def test_security_levels(self, avionics_sys):
+        assert (
+            avionics_sys.hierarchy.get("flight_ctl").attributes.security
+            is SecurityLevel.RESTRICTED
+        )
+        assert (
+            avionics_sys.hierarchy.get("display").attributes.security
+            is SecurityLevel.UNCLASSIFIED
+        )
+
+
+class TestInfluences:
+    def test_factor_based_edges(self, avionics_sys):
+        graph = avionics_sys.influence_at(Level.PROCESS)
+        factors = graph.factors("sensor_io", "flight_ctl")
+        assert factors
+        assert graph.influence("sensor_io", "flight_ctl") > 0
+
+    def test_audit_passes(self, avionics_sys):
+        report = audit_system(avionics_sys)
+        assert report.passed, report.describe()
+
+    def test_expansion(self, avionics_sys):
+        graph = avionics_sys.influence_at(Level.PROCESS)
+        expanded = expand_replication(graph)
+        assert len(expanded) == AVIONICS_EXPECTATIONS.replicated_nodes
+        assert (
+            required_hw_nodes(expanded)
+            == AVIONICS_EXPECTATIONS.min_hw_nodes
+        )
+
+
+class TestPlatform:
+    def test_hw_resources(self):
+        hw = avionics_hw(6)
+        assert hw.has_resource("cab1", "sensor_bus")
+        assert hw.has_resource("cab2", "display_head")
+        assert len(hw) == 6
+
+    def test_resource_requirements(self):
+        reqs = avionics_resources()
+        assert reqs.required_by(["sensor_io"]) == frozenset({"sensor_bus"})
+        assert reqs.required_by(["navigation"]) == frozenset()

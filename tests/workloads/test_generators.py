@@ -1,0 +1,96 @@
+"""Synthetic workload generators."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.model import Level
+from repro.workloads import (
+    WorkloadSpec,
+    random_process_graph,
+    random_system,
+    sweep_sizes,
+)
+
+
+class TestWorkloadSpec:
+    def test_defaults_valid(self):
+        WorkloadSpec()
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            WorkloadSpec(processes=0)
+        with pytest.raises(SimulationError):
+            WorkloadSpec(edge_probability=1.5)
+        with pytest.raises(SimulationError):
+            WorkloadSpec(replicated_fraction=-0.1)
+        with pytest.raises(SimulationError):
+            WorkloadSpec(max_influence=0.0)
+        with pytest.raises(SimulationError):
+            WorkloadSpec(utilization=0.0)
+        with pytest.raises(SimulationError):
+            WorkloadSpec(horizon=-1)
+
+
+class TestRandomProcessGraph:
+    def test_deterministic(self):
+        a = random_process_graph(seed=7)
+        b = random_process_graph(seed=7)
+        assert a.fcm_names() == b.fcm_names()
+        assert sorted(a.influence_edges()) == sorted(b.influence_edges())
+
+    def test_size_and_weights(self):
+        spec = WorkloadSpec(processes=20, max_influence=0.5)
+        g = random_process_graph(spec, seed=1)
+        assert len(g) == 20
+        assert all(0 < w <= 0.5 for _s, _t, w in g.influence_edges())
+
+    def test_replication_fraction(self):
+        spec = WorkloadSpec(processes=8, replicated_fraction=0.5)
+        g = random_process_graph(spec, seed=2)
+        replicated = [
+            n for n in g.fcm_names()
+            if g.fcm(n).attributes.fault_tolerance > 1
+        ]
+        assert len(replicated) == 4
+
+    def test_all_timed_and_feasible_alone(self):
+        g = random_process_graph(seed=3)
+        for name in g.fcm_names():
+            timing = g.fcm(name).attributes.timing
+            assert timing is not None and timing.fits_alone()
+
+    def test_edge_probability_zero(self):
+        spec = WorkloadSpec(processes=5, edge_probability=0.0)
+        g = random_process_graph(spec, seed=0)
+        assert g.influence_edges() == []
+
+
+class TestRandomSystem:
+    def test_structure(self):
+        system = random_system(processes=2, tasks_per_process=2, procedures_per_task=2)
+        assert len(system.processes()) == 2
+        assert len(system.tasks()) == 4
+        assert len(system.procedures()) == 8
+        system.require_valid()
+
+    def test_hierarchy_links(self):
+        system = random_system(processes=2, tasks_per_process=2, procedures_per_task=1)
+        for task in system.tasks():
+            assert system.hierarchy.parent_of(task.name) is not None
+
+    def test_influence_graphs_at_all_levels(self):
+        system = random_system(seed=5)
+        for level in (Level.PROCESS, Level.TASK, Level.PROCEDURE):
+            assert level in system.influence
+
+    def test_deterministic(self):
+        a = random_system(seed=9)
+        b = random_system(seed=9)
+        assert a.hierarchy.names() == b.hierarchy.names()
+
+
+class TestSweepSizes:
+    def test_one_graph_per_size(self):
+        graphs = sweep_sizes([4, 8, 16], seed=0)
+        assert set(graphs) == {4, 8, 16}
+        assert all(len(graphs[n]) == n for n in graphs)

@@ -1,0 +1,113 @@
+"""The reconstructed paper example must honour every recoverable fact."""
+
+import pytest
+
+from repro.allocation import expand_replication, initial_state
+from repro.model import Level
+from repro.scheduling import Job, demand_feasible
+from repro.workloads import (
+    FIG_3_INFLUENCES,
+    HW_NODE_COUNT,
+    PAPER_FACTS,
+    TABLE_1,
+    paper_attributes,
+    paper_influence_graph,
+    paper_process_fcms,
+    paper_system,
+)
+
+
+class TestTable1:
+    def test_eight_processes(self):
+        assert len(TABLE_1) == 8
+        assert list(TABLE_1) == [f"p{i}" for i in range(1, 9)]
+
+    def test_replication_structure(self):
+        # p1 TMR, p2/p3 duplex, rest simplex (§6 prose).
+        assert TABLE_1["p1"][1] == 3
+        assert TABLE_1["p2"][1] == 2
+        assert TABLE_1["p3"][1] == 2
+        for p in ("p4", "p5", "p6", "p7", "p8"):
+            assert TABLE_1[p][1] == 1
+
+    def test_criticality_ordering(self):
+        # p1 highest; p2, p3 intermediate; singles pinned by Fig. 7:
+        # p4 > p6 > p5 > p7 > p8.
+        c = {name: row[0] for name, row in TABLE_1.items()}
+        assert c["p1"] > c["p2"] >= c["p3"] > c["p4"]
+        assert c["p4"] > c["p6"] > c["p5"] > c["p7"] > c["p8"]
+
+    def test_every_process_feasible_alone(self):
+        for name in TABLE_1:
+            attrs = paper_attributes(name)
+            assert attrs.timing is not None
+            assert attrs.timing.fits_alone()
+
+
+class TestFig3:
+    def test_twelve_edges(self):
+        assert len(FIG_3_INFLUENCES) == PAPER_FACTS.influence_edge_count
+
+    def test_weight_multiset_matches_ocr(self):
+        weights = sorted(w for _s, _t, w in FIG_3_INFLUENCES)
+        assert weights == sorted(
+            [0.7, 0.7, 0.6, 0.5, 0.3, 0.3, 0.2, 0.2, 0.2, 0.2, 0.1, 0.1]
+        )
+
+    def test_p1_p2_highest_mutual(self):
+        graph = paper_influence_graph()
+        best = max(
+            (
+                (graph.mutual_influence(a, b), (a, b))
+                for a in TABLE_1
+                for b in TABLE_1
+                if a < b
+            ),
+        )
+        assert best[1] == PAPER_FACTS.first_h1_merge
+
+    def test_graph_weakly_connected(self):
+        from repro.graphs import weakly_connected_components
+
+        graph = paper_influence_graph().as_digraph()
+        assert len(weakly_connected_components(graph)) == 1
+
+
+class TestTimingFacts:
+    def test_demo_pair_infeasible(self):
+        (a, b) = PAPER_FACTS.infeasible_pair_demo
+        jobs = [Job("x", *a), Job("y", *b)]
+        assert not demand_feasible(jobs)
+
+    def test_triple_pairwise_ok_jointly_not(self):
+        names = PAPER_FACTS.jointly_infeasible
+        jobs = {
+            n: Job(n, *paper_attributes(n).timing.as_tuple()) for n in names
+        }
+        listed = list(jobs.values())
+        for i in range(3):
+            pair = [listed[j] for j in range(3) if j != i]
+            assert demand_feasible(pair)
+        assert not demand_feasible(listed)
+
+
+class TestSystemBuilders:
+    def test_process_fcms(self):
+        fcms = paper_process_fcms()
+        assert len(fcms) == 8
+        assert all(f.level is Level.PROCESS for f in fcms)
+
+    def test_system_valid(self):
+        system = paper_system()
+        system.require_valid()
+        assert len(system.processes()) == 8
+
+    def test_expansion_count(self):
+        expanded = expand_replication(paper_influence_graph())
+        assert len(expanded) == PAPER_FACTS.replicated_node_count
+
+    def test_hw_count_supports_replication(self):
+        from repro.allocation import required_hw_nodes
+
+        expanded = expand_replication(paper_influence_graph())
+        assert required_hw_nodes(expanded) <= HW_NODE_COUNT
