@@ -55,7 +55,7 @@ def test_hierarchy_value(benchmark, artifact):
         ],
         rows,
         title=(
-            f"E12: fault scope vs FCM boundary containment "
+            "E12: fault scope vs FCM boundary containment "
             f"({TRIALS} procedure faults)"
         ),
     )
@@ -63,9 +63,9 @@ def test_hierarchy_value(benchmark, artifact):
     strong = results[0.8]
     if strong.mean_processes_affected > 0:
         text += (
-            f"\nhierarchy payoff at containment 0.8: "
+            "\nhierarchy payoff at containment 0.8: "
             f"{flat.mean_processes_affected / strong.mean_processes_affected:.1f}x "
-            f"fewer processes affected per fault"
+            "fewer processes affected per fault"
         )
     artifact("hierarchy_value", text)
 

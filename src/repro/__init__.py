@@ -23,6 +23,8 @@ Subpackages:
 * ``repro.scheduling`` — EDF/RM feasibility, timing-fault simulation
 * ``repro.allocation`` — SW/HW graphs, heuristics H1-H3, mapping, goodness
 * ``repro.faultsim`` — Monte-Carlo fault propagation and campaigns
+* ``repro.resilience`` — HW-failure injection, degraded-mode planning,
+  recovery policies (restart/retry/failover)
 * ``repro.verification`` — non-interference battery, system audit
 * ``repro.metrics`` — containment/dependability measures, text reports
 * ``repro.workloads`` — paper example, avionics + automotive scenarios,
@@ -61,6 +63,15 @@ from repro.model import (
     SoftwareSystem,
     TimingConstraint,
 )
+from repro.resilience import (
+    DegradationPlan,
+    FailureEvent,
+    FailureKind,
+    FailureScenario,
+    ResilienceReport,
+    plan_degradation,
+    run_resilience_campaign,
+)
 from repro.workloads import avionics_system, paper_system, random_system
 
 __version__ = "1.0.0"
@@ -69,9 +80,13 @@ __all__ = [
     "AttributeSet",
     "ClusterState",
     "CombinationPolicy",
+    "DegradationPlan",
     "FCM",
     "FCMHierarchy",
     "FactorKind",
+    "FailureEvent",
+    "FailureKind",
+    "FailureScenario",
     "FrameworkOptions",
     "HWGraph",
     "HWNode",
@@ -82,6 +97,7 @@ __all__ = [
     "IntegrationOutcome",
     "Level",
     "MappingApproach",
+    "ResilienceReport",
     "SecurityLevel",
     "SoftwareSystem",
     "TimingConstraint",
@@ -92,5 +108,7 @@ __all__ = [
     "initial_state",
     "integrate",
     "paper_system",
+    "plan_degradation",
     "random_system",
+    "run_resilience_campaign",
 ]

@@ -110,7 +110,7 @@ class CriticalityExclusion:
 
         if critical(first) and critical(second):
             return (
-                f"both clusters contain processes with criticality >= "
+                "both clusters contain processes with criticality >= "
                 f"{self.threshold}"
             )
         return None

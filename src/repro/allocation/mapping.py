@@ -105,7 +105,7 @@ def map_approach_a(
         ]
         if not candidates:
             raise InfeasibleAllocationError(
-                f"no free HW node satisfies resources "
+                "no free HW node satisfies resources "
                 f"{sorted(reqs.required_by(members))!r} for cluster "
                 f"{state.clusters[index].label!r}"
             )
@@ -162,7 +162,7 @@ def map_approach_b(
         ]
         if not candidates:
             raise InfeasibleAllocationError(
-                f"no free HW node satisfies resources for cluster "
+                "no free HW node satisfies resources for cluster "
                 f"{state.clusters[index].label!r}"
             )
         fresh_fcr = [n for n in candidates if hw.fcr_of(n) not in used_fcrs]

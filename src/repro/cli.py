@@ -2,10 +2,15 @@
 
 Subcommands:
 
-* ``integrate SYSTEM.json --hw HW.json [--heuristic h1] [--mapping a]``
-  — run the full pipeline and print the clusters, mapping and score.
+* ``integrate SYSTEM.json --hw HW.json [--heuristic h1] [--mapping a]
+  [--validate-trials N --seed S]`` — run the full pipeline and print the
+  clusters, mapping and score, optionally followed by fault-injection
+  campaign validation.
 * ``audit SYSTEM.json`` — structural + non-interference audit.
 * ``tradeoff SYSTEM.json`` — sweep integration levels (E-style table).
+* ``resilience --workload paper --failures 2 --seed 0`` — integrate a
+  built-in workload, then run a HW-failure campaign and report
+  availability per criticality class.
 * ``example NAME`` — dump a built-in workload (``paper`` or ``avionics``)
   as JSON, as a starting template.
 
@@ -21,6 +26,7 @@ import json
 import sys
 
 from repro.analysis.tradeoff import sweep_integration_levels
+from repro.errors import DDSIError
 from repro.allocation.hw_model import fully_connected
 from repro.allocation.sw_graph import expand_replication
 from repro.core.framework import (
@@ -35,10 +41,29 @@ from repro.io.serialization import (
     load_system,
     system_to_dict,
 )
-from repro.metrics.report import format_table, render_clusters, render_mapping
+from repro.metrics.report import (
+    format_table,
+    render_clusters,
+    render_mapping,
+    render_resilience,
+)
 from repro.model.fcm import Level
 from repro.verification.checks import audit_system
-from repro.workloads import avionics_hw, avionics_system, paper_system
+from repro.workloads import (
+    HW_NODE_COUNT,
+    automotive_failure_rates,
+    automotive_hw,
+    automotive_policy,
+    automotive_resources,
+    automotive_system,
+    automotive_zone_loss,
+    avionics_cabinet_loss,
+    avionics_failure_rates,
+    avionics_hw,
+    avionics_resources,
+    avionics_system,
+    paper_system,
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -68,6 +93,14 @@ def build_parser() -> argparse.ArgumentParser:
     integrate.add_argument(
         "--out", default=None, help="write the outcome as JSON here"
     )
+    integrate.add_argument(
+        "--validate-trials", type=int, default=0, metavar="N",
+        help="after integrating, validate by a fault-injection campaign "
+        "of N trials (0 = skip)",
+    )
+    integrate.add_argument(
+        "--seed", type=int, default=0, help="campaign validation RNG seed"
+    )
 
     audit = sub.add_parser("audit", help="audit a system design")
     audit.add_argument("system", help="system JSON file")
@@ -77,6 +110,39 @@ def build_parser() -> argparse.ArgumentParser:
     tradeoff = sub.add_parser("tradeoff", help="sweep integration levels")
     tradeoff.add_argument("system", help="system JSON file")
     tradeoff.add_argument("--trials", type=int, default=300)
+
+    resilience = sub.add_parser(
+        "resilience", help="run a HW-failure campaign on a workload"
+    )
+    resilience.add_argument(
+        "--workload",
+        choices=["paper", "avionics", "automotive"],
+        default="paper",
+        help="built-in workload (system + HW + resources)",
+    )
+    resilience.add_argument(
+        "--failures", type=int, default=2, help="HW failures per trial"
+    )
+    resilience.add_argument("--trials", type=int, default=100)
+    resilience.add_argument("--seed", type=int, default=0)
+    resilience.add_argument(
+        "--horizon", type=float, default=100.0, help="simulated time per trial"
+    )
+    resilience.add_argument(
+        "--scenario", action="store_true",
+        help="replay the workload's scripted failure scenario instead of "
+        "drawing random failures (avionics/automotive only)",
+    )
+    resilience.add_argument(
+        "--heuristic",
+        choices=[h.value for h in Heuristic],
+        default=Heuristic.H1.value,
+    )
+    resilience.add_argument(
+        "--mapping",
+        choices=[m.value for m in MappingApproach],
+        default=MappingApproach.IMPORTANCE.value,
+    )
 
     example = sub.add_parser("example", help="dump a built-in workload")
     example.add_argument("name", choices=["paper", "avionics"])
@@ -97,7 +163,12 @@ def _cmd_integrate(args: argparse.Namespace) -> int:
         heuristic=Heuristic(args.heuristic),
         mapping=MappingApproach(args.mapping),
     )
-    outcome = IntegrationFramework(system, options).integrate(hw)
+    framework = IntegrationFramework(system, options)
+    outcome = framework.integrate(hw)
+    if args.validate_trials > 0:
+        framework.validate_by_campaign(
+            outcome, trials=args.validate_trials, seed=args.seed
+        )
     print(render_clusters(outcome.condensation.state))
     print()
     print(render_mapping(outcome.mapping))
@@ -154,6 +225,66 @@ def _cmd_tradeoff(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_resilience(args: argparse.Namespace) -> int:
+    from repro.resilience.campaign import replay_scenario, run_resilience_campaign
+
+    if args.workload == "paper":
+        system, hw = paper_system(), fully_connected(HW_NODE_COUNT)
+        options = FrameworkOptions(
+            heuristic=Heuristic(args.heuristic),
+            mapping=MappingApproach(args.mapping),
+        )
+        rates, scenario = None, None
+    elif args.workload == "avionics":
+        system, hw = avionics_system(), avionics_hw(6)
+        options = FrameworkOptions(
+            heuristic=Heuristic(args.heuristic),
+            mapping=MappingApproach(args.mapping),
+            resources=avionics_resources(),
+        )
+        rates, scenario = avionics_failure_rates(), avionics_cabinet_loss()
+    else:
+        system, hw = automotive_system(), automotive_hw()
+        options = FrameworkOptions(
+            heuristic=Heuristic(args.heuristic),
+            mapping=MappingApproach(args.mapping),
+            policy=automotive_policy(),
+            resources=automotive_resources(),
+        )
+        rates, scenario = automotive_failure_rates(), automotive_zone_loss()
+
+    framework = IntegrationFramework(system, options)
+    outcome = framework.integrate(hw)
+    if args.scenario:
+        if scenario is None:
+            print(
+                "error: the paper workload has no scripted scenario",
+                file=sys.stderr,
+            )
+            return 2
+        report = replay_scenario(
+            outcome,
+            scenario,
+            seed=args.seed,
+            resources=options.resources,
+            approach=options.mapping.value,
+        )
+        print(f"scenario: {scenario.name} — {scenario.description}")
+    else:
+        report = run_resilience_campaign(
+            outcome,
+            failures=args.failures,
+            trials=args.trials,
+            seed=args.seed,
+            horizon=args.horizon,
+            rates=rates,
+            resources=options.resources,
+            approach=options.mapping.value,
+        )
+    print(render_resilience(report))
+    return 0 if report.separation_violations == 0 else 1
+
+
 def _cmd_example(args: argparse.Namespace) -> int:
     system = paper_system() if args.name == "paper" else avionics_system()
     payload = system_to_dict(system)
@@ -175,9 +306,14 @@ def main(argv: list[str] | None = None) -> int:
         "integrate": _cmd_integrate,
         "audit": _cmd_audit,
         "tradeoff": _cmd_tradeoff,
+        "resilience": _cmd_resilience,
         "example": _cmd_example,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except DDSIError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -95,7 +95,7 @@ def check_r3_siblings(
     if len(levels) != 1:
         return RuleViolation(
             "R3",
-            f"cannot merge across levels {sorted(l.name for l in levels)}",
+            f"cannot merge across levels {sorted(level.name for level in levels)}",
         )
     parents = {
         parent.name if (parent := hierarchy.parent_of(name)) is not None else None

@@ -48,7 +48,7 @@ def group(
     child_levels = {hierarchy.get(name).level for name in child_list}
     if len(child_levels) != 1:
         raise CompositionError(
-            f"children span levels {sorted(l.name for l in child_levels)}"
+            f"children span levels {sorted(level.name for level in child_levels)}"
         )
     child_level = child_levels.pop()
     parent_level = child_level.parent_level

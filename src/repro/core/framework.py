@@ -144,6 +144,71 @@ class IntegrationFramework:
         return campaign
 
     # ------------------------------------------------------------------
+    # Degraded mode
+    # ------------------------------------------------------------------
+    def degrade(
+        self,
+        outcome: IntegrationOutcome,
+        failed_nodes: list[str] | tuple[str, ...] | set[str],
+        failed_links: tuple[tuple[str, str], ...] = (),
+    ):
+        """Plan the degraded mapping after losing ``failed_nodes``.
+
+        Re-homes the outcome's clusters on the surviving HW with the
+        pipeline's configured mapping approach, shedding the least
+        critical clusters if capacity runs out.  Returns the
+        :class:`~repro.resilience.degradation.DegradationPlan`.
+        """
+        from repro.resilience.degradation import plan_degradation
+
+        return plan_degradation(
+            outcome,
+            failed_nodes,
+            failed_links=failed_links,
+            approach=self.options.mapping.value,
+            resources=self.options.resources,
+        )
+
+    def validate_under_failures(
+        self,
+        outcome: IntegrationOutcome,
+        failures: int = 2,
+        trials: int = 100,
+        seed: int = 0,
+        horizon: float = 100.0,
+        rates=None,
+        policies=None,
+    ):
+        """Independent validation: inject HW-node failures, measure
+        degraded-mode availability.
+
+        Runs a resilience campaign against the outcome's own HW graph and
+        appends a one-line note, mirroring :meth:`validate_by_campaign`
+        for the hardware-failure axis.  Returns the
+        :class:`~repro.resilience.campaign.ResilienceReport`.
+        """
+        from repro.resilience.campaign import run_resilience_campaign
+
+        report = run_resilience_campaign(
+            outcome,
+            failures=failures,
+            trials=trials,
+            seed=seed,
+            horizon=horizon,
+            rates=rates,
+            policies=policies,
+            resources=self.options.resources,
+            approach=self.options.mapping.value,
+        )
+        outcome.notes.append(
+            f"resilience validation ({trials} trials, {failures} failures): "
+            f"min class availability {report.min_availability:.3f}, "
+            f"mean clusters shed {report.mean_clusters_shed:.2f}, "
+            f"separation violations {report.separation_violations}"
+        )
+        return report
+
+    # ------------------------------------------------------------------
     # Pipeline
     # ------------------------------------------------------------------
     def integrate(self, hw: HWGraph) -> IntegrationOutcome:

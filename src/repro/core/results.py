@@ -39,7 +39,7 @@ class IntegrationOutcome:
             f"system: {self.system_name}",
             f"heuristic: {self.condensation.heuristic}",
             f"clusters: {', '.join(self.condensation.labels())}",
-            f"cross-cluster influence: "
+            "cross-cluster influence: "
             f"{self.score.partition.cross_influence:.3f}",
             f"communication cost: {self.score.communication_cost:.3f}",
             f"feasible: {self.feasible}",

@@ -69,6 +69,10 @@ def run_campaign(
     missing = [n for n in names if n not in cluster_of]
     if missing:
         raise SimulationError(f"partition misses FCMs: {missing!r}")
+    known = set(names)
+    unknown = sorted(member for member in cluster_of if member not in known)
+    if unknown:
+        raise SimulationError(f"partition contains unknown FCMs: {unknown!r}")
 
     rng = random.Random(seed)
     total_fcms = 0

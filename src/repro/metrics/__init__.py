@@ -16,8 +16,10 @@ from repro.metrics.report import (
     format_table,
     render_cluster_influences,
     render_clusters,
+    render_degradation,
     render_influence_graph,
     render_mapping,
+    render_resilience,
 )
 
 __all__ = [
@@ -29,8 +31,10 @@ __all__ = [
     "format_table",
     "render_cluster_influences",
     "render_clusters",
+    "render_degradation",
     "render_influence_graph",
     "render_mapping",
+    "render_resilience",
     "replicated_module_failure",
     "system_dependability_index",
     "tradeoff_chart",

@@ -34,7 +34,7 @@ def bar_chart(
     if not labels:
         return title or ""
     peak = max(max(values), 0.0)
-    label_width = max(len(str(l)) for l in labels)
+    label_width = max(len(str(label)) for label in labels)
     rendered_values = [value_format.format(v) for v in values]
     value_width = max(len(v) for v in rendered_values)
     lines = []

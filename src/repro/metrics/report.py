@@ -110,6 +110,47 @@ def render_cluster_influences(state: ClusterState) -> str:
     return format_table(["from", "to", "influence"], rows)
 
 
+def render_resilience(report, title: str = "") -> str:
+    """Availability-per-class table plus degradation/recovery summary.
+
+    ``report`` is a :class:`~repro.resilience.campaign.ResilienceReport`;
+    typed loosely to keep metrics free of a hard resilience dependency.
+    """
+    rows = [
+        (label, report.class_sizes[label], f"{report.availability[label]:.4f}")
+        for label in report.availability
+    ]
+    table = format_table(
+        ["class", "processes", "availability"],
+        rows,
+        title=title
+        or (
+            "Degraded-mode availability "
+            f"({report.trials} trials, {report.failures_per_trial} failures, "
+            f"horizon {report.horizon:g})"
+        ),
+    )
+    lines = [
+        table,
+        f"clusters shed: mean {report.mean_clusters_shed:.2f}, "
+        f"max {report.max_clusters_shed}",
+        f"replica-separation violations: {report.separation_violations}",
+        f"class-A outage trials: {report.class_a_outages}",
+        f"recoveries: {report.recoveries} "
+        f"(p50 {report.recovery_p50:.2f}, p95 {report.recovery_p95:.2f}, "
+        f"worst {report.recovery_worst:.2f})",
+    ]
+    return "\n".join(lines)
+
+
+def render_degradation(plan) -> str:
+    """One degraded-mode plan as text (mapping table plus decisions)."""
+    lines = list(plan.describe())
+    if plan.mapping is not None:
+        lines.append(render_mapping(plan.mapping, title="degraded SW -> HW mapping"))
+    return "\n".join(lines)
+
+
 def render_mapping(mapping: Mapping, title: str = "") -> str:
     """HW-node to SW-cluster assignment table (Figs. 6-8 style)."""
     rows = []

@@ -1,0 +1,81 @@
+"""Degraded-mode resilience: failure injection, remapping, recovery.
+
+The paper argues for FT replication (§5.4) and for clustering strongly
+interacting FCMs (§5.3) so the integrated system *survives hardware
+faults* — this package closes the loop by actually killing HW nodes and
+measuring what remains:
+
+* :mod:`repro.resilience.bands` — criticality classes (A/B/C) used for
+  degraded-mode accounting;
+* :mod:`repro.resilience.failures` — failure models: permanent node loss,
+  transient outage with repair time, link failure, drawn from per-FCR
+  rates or scripted as :class:`FailureScenario`;
+* :mod:`repro.resilience.degradation` — the planner that re-homes
+  clusters on the surviving HW, shedding the least critical ones when
+  capacity runs out, replica separation preserved;
+* :mod:`repro.resilience.recovery` — restart / retry / failover policies
+  with simulated-time cost (REL recovery vocabulary);
+* :mod:`repro.resilience.campaign` — failure campaigns over simulated
+  time reporting availability per criticality class, shed counts, and
+  time-to-recover percentiles.
+"""
+
+from repro.resilience.bands import (
+    DEFAULT_BANDS,
+    CriticalityBands,
+    cluster_class,
+    origin_of,
+    process_classes,
+)
+from repro.resilience.campaign import (
+    ResilienceReport,
+    replay_scenario,
+    run_resilience_campaign,
+)
+from repro.resilience.degradation import (
+    DegradationPlan,
+    plan_degradation,
+    surviving_hw,
+)
+from repro.resilience.failures import (
+    FailureEvent,
+    FailureKind,
+    FailureScenario,
+    FCRFailureRates,
+    draw_failure_sequence,
+)
+from repro.resilience.recovery import (
+    DEFAULT_POLICIES,
+    BoundedRetry,
+    FailoverToReplica,
+    RecoveryPolicySet,
+    RecoveryResult,
+    RestartInPlace,
+    recover_cluster,
+)
+
+__all__ = [
+    "BoundedRetry",
+    "CriticalityBands",
+    "DEFAULT_BANDS",
+    "DEFAULT_POLICIES",
+    "DegradationPlan",
+    "FCRFailureRates",
+    "FailoverToReplica",
+    "FailureEvent",
+    "FailureKind",
+    "FailureScenario",
+    "RecoveryPolicySet",
+    "RecoveryResult",
+    "ResilienceReport",
+    "RestartInPlace",
+    "cluster_class",
+    "draw_failure_sequence",
+    "origin_of",
+    "plan_degradation",
+    "process_classes",
+    "recover_cluster",
+    "replay_scenario",
+    "run_resilience_campaign",
+    "surviving_hw",
+]

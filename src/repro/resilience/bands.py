@@ -1,0 +1,96 @@
+"""Criticality classes for degraded-mode accounting.
+
+The paper treats criticality as a continuous attribute; degraded-mode
+reporting needs discrete *classes* ("did we keep every class-A function
+alive?"), in the spirit of DO-178B/ISO 26262 assurance levels.  A
+:class:`CriticalityBands` maps each process's criticality — as a fraction
+of the system's maximum — onto the labels ``A`` (most critical), ``B``,
+``C``.  Replicas inherit the class of their origin process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.allocation.clustering import ClusterState
+from repro.influence.influence_graph import InfluenceGraph
+
+#: Class labels, most critical first.
+CLASS_LABELS: tuple[str, str, str] = ("A", "B", "C")
+
+
+@dataclass(frozen=True)
+class CriticalityBands:
+    """Fractional thresholds splitting criticality into classes.
+
+    A process whose criticality is at least ``a_floor`` times the system
+    maximum is class ``A``; at least ``b_floor`` times, class ``B``;
+    anything below is class ``C``.
+    """
+
+    a_floor: float = 0.6
+    b_floor: float = 0.3
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.b_floor < self.a_floor <= 1.0:
+            raise SimulationError(
+                "bands need 0 < b_floor < a_floor <= 1, got "
+                f"({self.a_floor}, {self.b_floor})"
+            )
+
+    def classify(self, fraction: float) -> str:
+        """Class label for a criticality fraction in [0, 1]."""
+        if fraction >= self.a_floor:
+            return "A"
+        if fraction >= self.b_floor:
+            return "B"
+        return "C"
+
+
+DEFAULT_BANDS = CriticalityBands()
+
+
+def origin_of(graph: InfluenceGraph, name: str) -> str:
+    """The original process a node stands for (itself unless a replica)."""
+    fcm = graph.fcm(name)
+    return fcm.replica_of or fcm.name
+
+
+def process_classes(
+    graph: InfluenceGraph,
+    bands: CriticalityBands = DEFAULT_BANDS,
+) -> dict[str, str]:
+    """Class label per *origin* process of the (expanded) graph.
+
+    Replicas collapse onto their origin; criticality fractions are taken
+    against the highest process criticality in the system.
+    """
+    crits: dict[str, float] = {}
+    for fcm in graph.fcms():
+        origin = fcm.replica_of or fcm.name
+        crit = fcm.attributes.criticality
+        crits[origin] = max(crits.get(origin, 0.0), crit)
+    if not crits:
+        return {}
+    top = max(crits.values())
+    if top <= 0.0:
+        return {origin: CLASS_LABELS[-1] for origin in crits}
+    return {origin: bands.classify(crit / top) for origin, crit in crits.items()}
+
+
+def cluster_class(
+    state: ClusterState,
+    index: int,
+    bands: CriticalityBands = DEFAULT_BANDS,
+) -> str:
+    """Class of a cluster: the best class among its members' origins."""
+    classes = process_classes(state.graph, bands)
+    member_classes = {
+        classes[origin_of(state.graph, member)]
+        for member in state.clusters[index].members
+    }
+    for label in CLASS_LABELS:
+        if label in member_classes:
+            return label
+    return CLASS_LABELS[-1]

@@ -1,0 +1,153 @@
+"""Recovery policies: restart, retry, failover.
+
+De Florio & Deconinck's REL makes recovery actions first-class vocabulary;
+we model the three the paper's degraded-mode story needs, each with a
+simulated-time cost and a success probability:
+
+* :class:`RestartInPlace` — the node returns (transient outage) and the
+  cluster restarts on it;
+* :class:`BoundedRetry` — redeploy attempts with a bounded attempt count
+  (permanent loss with spare capacity, or a failed restart);
+* :class:`FailoverToReplica` — switch to an already-running replica; the
+  cheapest action, only available when FT replication left a live copy.
+
+:func:`recover_cluster` is the decision ladder the campaign driver walks
+for each displaced cluster.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class RecoveryResult:
+    """Outcome of one recovery attempt chain.
+
+    Attributes:
+        policy: Which policy (chain) ran, e.g. ``"failover"`` or
+            ``"restart+retry"``.
+        succeeded: Whether service was restored.
+        attempts: Total attempts consumed across the chain.
+        duration: Simulated time from failure to restoration (or to
+            giving up).
+    """
+
+    policy: str
+    succeeded: bool
+    attempts: int
+    duration: float
+
+
+def _check_probability(value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise SimulationError(f"probability must be in [0, 1], got {value}")
+
+
+def _check_duration(value: float) -> None:
+    if value < 0.0:
+        raise SimulationError(f"duration must be >= 0, got {value}")
+
+
+@dataclass(frozen=True)
+class RestartInPlace:
+    """Restart the cluster on its (repaired) node."""
+
+    restart_time: float = 2.0
+    success_probability: float = 0.9
+
+    def __post_init__(self) -> None:
+        _check_probability(self.success_probability)
+        _check_duration(self.restart_time)
+
+    def attempt(self, rng: random.Random) -> RecoveryResult:
+        succeeded = rng.random() < self.success_probability
+        return RecoveryResult("restart", succeeded, 1, self.restart_time)
+
+
+@dataclass(frozen=True)
+class BoundedRetry:
+    """Redeploy with at most ``max_attempts`` tries."""
+
+    max_attempts: int = 3
+    attempt_time: float = 1.5
+    success_probability: float = 0.7
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise SimulationError("max_attempts must be >= 1")
+        _check_probability(self.success_probability)
+        _check_duration(self.attempt_time)
+
+    def attempt(self, rng: random.Random) -> RecoveryResult:
+        duration = 0.0
+        for attempt in range(1, self.max_attempts + 1):
+            duration += self.attempt_time
+            if rng.random() < self.success_probability:
+                return RecoveryResult("retry", True, attempt, duration)
+        return RecoveryResult("retry", False, self.max_attempts, duration)
+
+
+@dataclass(frozen=True)
+class FailoverToReplica:
+    """Switch service to a live replica; succeeds whenever one exists."""
+
+    switch_time: float = 0.5
+
+    def __post_init__(self) -> None:
+        _check_duration(self.switch_time)
+
+    def attempt(self, rng: random.Random) -> RecoveryResult:
+        return RecoveryResult("failover", True, 1, self.switch_time)
+
+
+@dataclass(frozen=True)
+class RecoveryPolicySet:
+    """The three policies a campaign composes."""
+
+    restart: RestartInPlace = field(default_factory=RestartInPlace)
+    retry: BoundedRetry = field(default_factory=BoundedRetry)
+    failover: FailoverToReplica = field(default_factory=FailoverToReplica)
+
+
+DEFAULT_POLICIES = RecoveryPolicySet()
+
+
+def recover_cluster(
+    policies: RecoveryPolicySet,
+    rng: random.Random,
+    masked: bool,
+    transient: bool,
+    repair_time: float = 0.0,
+    replaced: bool = True,
+) -> RecoveryResult:
+    """Recovery decision ladder for one displaced cluster.
+
+    ``masked`` — a live replica covers the function: failover.
+    ``transient`` — the node returns after ``repair_time``: restart in
+    place once repaired, falling back to bounded retry elsewhere.
+    Otherwise (permanent loss) — bounded-retry redeploy if the planner
+    found a new home (``replaced``); with no home left the cluster stays
+    down and the result reports failure in zero time.
+    """
+    if masked:
+        return policies.failover.attempt(rng)
+    if transient:
+        restart = policies.restart.attempt(rng)
+        if restart.succeeded:
+            return RecoveryResult(
+                "restart", True, restart.attempts, repair_time + restart.duration
+            )
+        retry = policies.retry.attempt(rng)
+        return RecoveryResult(
+            "restart+retry",
+            retry.succeeded,
+            restart.attempts + retry.attempts,
+            repair_time + restart.duration + retry.duration,
+        )
+    if replaced:
+        return policies.retry.attempt(rng)
+    return RecoveryResult("none", False, 0, 0.0)

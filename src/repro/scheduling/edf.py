@@ -74,7 +74,6 @@ def edf_schedule(jobs: list[Job]) -> EDFResult:
     if len(names) != len(set(names)):
         raise SchedulingError("job names must be unique")
     remaining = {job.name: job.work for job in jobs}
-    by_name = {job.name: job for job in jobs}
     slices: list[ScheduleSlice] = []
     missed: set[str] = set()
 

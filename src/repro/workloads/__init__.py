@@ -12,6 +12,12 @@ from repro.workloads.automotive import (
     automotive_resources,
     automotive_system,
 )
+from repro.workloads.failure_scenarios import (
+    automotive_failure_rates,
+    automotive_zone_loss,
+    avionics_cabinet_loss,
+    avionics_failure_rates,
+)
 from repro.workloads.generators import (
     WorkloadSpec,
     random_attributes,
@@ -41,12 +47,16 @@ __all__ = [
     "PAPER_FACTS",
     "TABLE_1",
     "WorkloadSpec",
+    "avionics_cabinet_loss",
+    "avionics_failure_rates",
     "avionics_hw",
     "avionics_resources",
+    "automotive_failure_rates",
     "automotive_hw",
     "automotive_policy",
     "automotive_resources",
     "automotive_system",
+    "automotive_zone_loss",
     "avionics_system",
     "paper_attributes",
     "paper_influence_graph",

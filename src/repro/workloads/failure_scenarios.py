@@ -1,0 +1,99 @@
+"""Scripted HW failure scenarios for the avionics and automotive workloads.
+
+Each scenario pairs a workload's HW graph with the failure sequence a
+certification argument would actually rehearse: losing a cabinet (or
+ECU zone), riding out a transient outage, and losing a resource-bearing
+node so the degradation planner must shed something.  They feed
+:func:`repro.resilience.campaign.replay_scenario` directly.
+"""
+
+from __future__ import annotations
+
+from repro.resilience.failures import (
+    FailureEvent,
+    FailureKind,
+    FailureScenario,
+    FCRFailureRates,
+)
+
+#: Avionics cabinet FCR labels (matches :func:`avionics_hw`).
+_AVIONICS_FCRS = tuple(f"fcr{i}" for i in range(1, 7))
+
+#: Automotive zone FCR labels (matches :func:`automotive_hw`).
+_AUTOMOTIVE_ZONES = tuple(f"zone{i}" for i in range(1, 5))
+
+
+def avionics_failure_rates() -> FCRFailureRates:
+    """Per-cabinet rates: rare permanent losses, occasional transients.
+
+    Cabinets 1-2 carry location-bound resources (sensor bus, display
+    head) and are built more robust — half the baseline rates.
+    """
+    permanent = {fcr: 0.004 for fcr in _AVIONICS_FCRS}
+    transient = {fcr: 0.02 for fcr in _AVIONICS_FCRS}
+    for hardened in ("fcr1", "fcr2"):
+        permanent[hardened] = 0.002
+        transient[hardened] = 0.01
+    return FCRFailureRates(
+        permanent=permanent,
+        transient=transient,
+        link_rate=0.0005,
+        mean_repair_time=6.0,
+    )
+
+
+def avionics_cabinet_loss() -> FailureScenario:
+    """Cabinet loss drill on the 6-node avionics platform.
+
+    A spare cabinet dies outright, another rides out a transient outage,
+    then the display-head cabinet (``cab2``) is lost — forcing the
+    planner to shed the display function (class C) rather than anything
+    flight-critical.
+    """
+    return FailureScenario(
+        name="avionics-cabinet-loss",
+        events=(
+            FailureEvent(time=10.0, kind=FailureKind.PERMANENT_NODE, node="cab4"),
+            FailureEvent(
+                time=40.0,
+                kind=FailureKind.TRANSIENT_NODE,
+                node="cab5",
+                repair_time=6.0,
+            ),
+            FailureEvent(time=70.0, kind=FailureKind.PERMANENT_NODE, node="cab2"),
+        ),
+        description="spare cabinet lost, transient outage, display cabinet lost",
+    )
+
+
+def automotive_failure_rates() -> FCRFailureRates:
+    """Per-zone ECU rates: automotive-grade transients dominate."""
+    return FCRFailureRates(
+        permanent={zone: 0.003 for zone in _AUTOMOTIVE_ZONES},
+        transient={zone: 0.03 for zone in _AUTOMOTIVE_ZONES},
+        link_rate=0.002,
+        mean_repair_time=3.0,
+    )
+
+
+def automotive_zone_loss() -> FailureScenario:
+    """Zone-loss drill on the 4-ECU ring.
+
+    A transient brown-out on a spare ECU, then permanent loss of the
+    pedal-bus ECU (``ecu1``), then a ring-link cut between the
+    survivors.
+    """
+    return FailureScenario(
+        name="automotive-zone-loss",
+        events=(
+            FailureEvent(
+                time=5.0,
+                kind=FailureKind.TRANSIENT_NODE,
+                node="ecu4",
+                repair_time=3.0,
+            ),
+            FailureEvent(time=12.0, kind=FailureKind.PERMANENT_NODE, node="ecu1"),
+            FailureEvent(time=20.0, kind=FailureKind.LINK, link=("ecu2", "ecu3")),
+        ),
+        description="ECU brown-out, pedal-bus ECU lost, ring link cut",
+    )

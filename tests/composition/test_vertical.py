@@ -45,7 +45,7 @@ class TestGroup:
 
     def test_single_child_allowed_r1(self, hierarchy):
         # R1: "Any number of FCMs ... can be integrated" — one is fine.
-        parent = group(hierarchy, ["f1"], "t_single")
+        group(hierarchy, ["f1"], "t_single")
         assert [c.name for c in hierarchy.children_of("t_single")] == ["f1"]
 
     def test_empty_rejected(self, hierarchy):

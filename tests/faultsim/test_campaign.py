@@ -64,6 +64,17 @@ class TestRunCampaign:
         with pytest.raises(SimulationError):
             run_campaign(coupled_graph(), GOOD, trials=0)
 
+    def test_unknown_member_rejected(self):
+        g = coupled_graph()
+        with pytest.raises(SimulationError, match="unknown"):
+            run_campaign(g, [["a", "b"], ["c", "d", "ghost"]], trials=10)
+
+    def test_same_seed_identical_results(self):
+        g = coupled_graph()
+        a = run_campaign(g, GOOD, trials=500, seed=11)
+        b = run_campaign(g, GOOD, trials=500, seed=11)
+        assert a == b
+
 
 class TestComparePartitions:
     def test_same_seed_fair_comparison(self):

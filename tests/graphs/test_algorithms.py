@@ -73,9 +73,6 @@ class TestTopologicalSort:
 
 class TestSCC:
     def test_matches_networkx_on_random_graphs(self):
-        import random
-
-        rng = random.Random(7)
         for trial in range(10):
             nxg = nx.gnp_random_graph(12, 0.2, directed=True, seed=trial)
             g = build(nxg.edges(), nodes=nxg.nodes())

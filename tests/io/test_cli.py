@@ -101,3 +101,70 @@ class TestIntegrateOut:
         assert code == 0
         data = json.loads(out_path.read_text())
         assert data["format"] == "ddsi-outcome"
+
+
+class TestIntegrateValidate:
+    def test_validate_trials_prints_campaign_note(self, system_file, capsys):
+        code = main(
+            [
+                "integrate",
+                system_file,
+                "--hw-nodes",
+                "6",
+                "--validate-trials",
+                "200",
+                "--seed",
+                "3",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "campaign validation (200 faults)" in out
+        assert "escape rate" in out
+
+    def test_validation_off_by_default(self, system_file, capsys):
+        assert main(["integrate", system_file, "--hw-nodes", "6"]) == 0
+        assert "campaign validation" not in capsys.readouterr().out
+
+
+class TestResilience:
+    def test_paper_campaign_prints_availability(self, capsys):
+        code = main(
+            [
+                "resilience",
+                "--workload",
+                "paper",
+                "--failures",
+                "2",
+                "--trials",
+                "50",
+                "--seed",
+                "0",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "availability" in out
+        rows = [line.split() for line in out.splitlines()]
+        for label in ("A", "B", "C"):
+            assert any(row and row[0] == label for row in rows), label
+        assert "clusters shed" in out
+        assert "separation violations: 0" in out
+
+    def test_avionics_scenario_replay(self, capsys):
+        code = main(
+            ["resilience", "--workload", "avionics", "--scenario", "--seed", "0"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "availability" in out
+        assert any(line.split()[:1] == ["A"] for line in out.splitlines())
+
+    def test_same_seed_same_output(self, capsys):
+        args = ["resilience", "--workload", "paper", "--trials", "30",
+                "--seed", "7"]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert first == second

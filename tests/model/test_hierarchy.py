@@ -163,6 +163,7 @@ class TestRender:
 
     def test_render_indents_children(self, tree):
         lines = tree.render().splitlines()
-        p1_line = next(l for l in lines if l.startswith("p1"))
-        t1_line = next(l for l in lines if "t1 " in l)
+        p1_line = next(line for line in lines if line.startswith("p1"))
+        t1_line = next(line for line in lines if "t1 " in line)
+        assert not p1_line.startswith(" ")
         assert t1_line.startswith("  ")

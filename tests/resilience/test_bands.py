@@ -1,0 +1,71 @@
+"""Criticality classes."""
+
+import pytest
+
+from repro import IntegrationFramework, fully_connected, paper_system
+from repro.errors import SimulationError
+from repro.resilience.bands import (
+    CriticalityBands,
+    cluster_class,
+    origin_of,
+    process_classes,
+)
+from repro.workloads import avionics_system
+from repro.model.fcm import Level
+
+
+class TestCriticalityBands:
+    def test_classify_thresholds(self):
+        bands = CriticalityBands(a_floor=0.6, b_floor=0.3)
+        assert bands.classify(1.0) == "A"
+        assert bands.classify(0.6) == "A"
+        assert bands.classify(0.59) == "B"
+        assert bands.classify(0.3) == "B"
+        assert bands.classify(0.29) == "C"
+
+    def test_invalid_bands_rejected(self):
+        with pytest.raises(SimulationError):
+            CriticalityBands(a_floor=0.3, b_floor=0.6)
+        with pytest.raises(SimulationError):
+            CriticalityBands(a_floor=1.2, b_floor=0.3)
+
+
+class TestProcessClasses:
+    def test_paper_example_classes(self):
+        outcome = IntegrationFramework(paper_system()).integrate(fully_connected(6))
+        classes = process_classes(outcome.condensation.state.graph)
+        # p1 (30) and p2 (20) reach the 0.6 * 30 bar; p3 (15) and p4 (9)
+        # reach the 0.3 * 30 bar; the rest are class C.
+        assert classes["p1"] == "A"
+        assert classes["p2"] == "A"
+        assert classes["p3"] == "B"
+        assert classes["p4"] == "B"
+        for name in ("p5", "p6", "p7", "p8"):
+            assert classes[name] == "C"
+
+    def test_replicas_collapse_onto_origin(self):
+        outcome = IntegrationFramework(paper_system()).integrate(fully_connected(6))
+        graph = outcome.condensation.state.graph
+        classes = process_classes(graph)
+        # The expanded graph holds p1a..p1c, yet classes key origins only.
+        assert "p1a" not in classes
+        assert origin_of(graph, "p1a") == "p1"
+
+    def test_avionics_flight_control_is_class_a(self):
+        graph = avionics_system().influence_at(Level.PROCESS)
+        classes = process_classes(graph)
+        assert classes["flight_ctl"] == "A"
+        assert classes["maintenance"] == "C"
+
+
+class TestClusterClass:
+    def test_cluster_takes_best_member_class(self):
+        outcome = IntegrationFramework(paper_system()).integrate(fully_connected(6))
+        state = outcome.condensation.state
+        for index, cluster in enumerate(state.clusters):
+            label = cluster_class(state, index)
+            classes = process_classes(state.graph)
+            member_classes = [
+                classes[origin_of(state.graph, m)] for m in cluster.members
+            ]
+            assert label == min(member_classes)  # "A" < "B" < "C"

@@ -1,0 +1,95 @@
+"""Failure models and sequence drawing."""
+
+import random
+
+import pytest
+
+from repro import fully_connected
+from repro.errors import SimulationError
+from repro.resilience.failures import (
+    FailureEvent,
+    FailureKind,
+    FailureScenario,
+    FCRFailureRates,
+    draw_failure_sequence,
+)
+
+
+class TestFailureEvent:
+    def test_node_event(self):
+        event = FailureEvent(time=1.0, kind=FailureKind.PERMANENT_NODE, node="hw1")
+        assert event.node == "hw1"
+
+    def test_transient_needs_repair_time(self):
+        with pytest.raises(SimulationError):
+            FailureEvent(time=1.0, kind=FailureKind.TRANSIENT_NODE, node="hw1")
+
+    def test_permanent_rejects_repair_time(self):
+        with pytest.raises(SimulationError):
+            FailureEvent(
+                time=1.0,
+                kind=FailureKind.PERMANENT_NODE,
+                node="hw1",
+                repair_time=2.0,
+            )
+
+    def test_link_event_carries_link(self):
+        event = FailureEvent(time=0.0, kind=FailureKind.LINK, link=("hw1", "hw2"))
+        assert event.link == ("hw1", "hw2")
+        with pytest.raises(SimulationError):
+            FailureEvent(time=0.0, kind=FailureKind.LINK, node="hw1")
+
+
+class TestFailureScenario:
+    def test_events_must_be_time_ordered(self):
+        with pytest.raises(SimulationError):
+            FailureScenario(
+                name="bad",
+                events=(
+                    FailureEvent(time=5.0, kind=FailureKind.PERMANENT_NODE, node="a"),
+                    FailureEvent(time=1.0, kind=FailureKind.PERMANENT_NODE, node="b"),
+                ),
+            )
+
+
+class TestRates:
+    def test_uniform_covers_every_fcr(self):
+        hw = fully_connected(4)
+        rates = FCRFailureRates.uniform(hw, permanent=0.1)
+        for name in hw.names():
+            assert rates.permanent_rate(hw.fcr_of(name)) == 0.1
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(SimulationError):
+            FCRFailureRates(permanent={"fcr1": -0.1})
+
+
+class TestDrawSequence:
+    def test_draws_requested_count(self):
+        hw = fully_connected(6)
+        rates = FCRFailureRates.uniform(hw)
+        events = draw_failure_sequence(hw, rates, 3, random.Random(0))
+        assert len(events) == 3
+        times = [e.time for e in events]
+        assert times == sorted(times)
+
+    def test_permanent_nodes_do_not_fail_twice(self):
+        hw = fully_connected(3)
+        rates = FCRFailureRates.uniform(hw, permanent=1.0, transient=0.0)
+        events = draw_failure_sequence(hw, rates, 10, random.Random(1))
+        # Only three nodes exist; after all die, the rates burn out.
+        assert len(events) == 3
+        assert len({e.node for e in events}) == 3
+
+    def test_horizon_truncates(self):
+        hw = fully_connected(6)
+        rates = FCRFailureRates.uniform(hw, permanent=0.0001, transient=0.0)
+        events = draw_failure_sequence(hw, rates, 50, random.Random(0), horizon=1.0)
+        assert all(e.time < 1.0 for e in events)
+
+    def test_deterministic_given_seed(self):
+        hw = fully_connected(6)
+        rates = FCRFailureRates.uniform(hw, link_rate=0.01)
+        a = draw_failure_sequence(hw, rates, 5, random.Random(7))
+        b = draw_failure_sequence(hw, rates, 5, random.Random(7))
+        assert a == b

@@ -1,0 +1,109 @@
+"""Recovery policy ladder."""
+
+import random
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.resilience.recovery import (
+    DEFAULT_POLICIES,
+    BoundedRetry,
+    FailoverToReplica,
+    RecoveryPolicySet,
+    RestartInPlace,
+    recover_cluster,
+)
+
+
+class TestPolicies:
+    def test_failover_always_succeeds(self):
+        result = FailoverToReplica(switch_time=0.5).attempt(random.Random(0))
+        assert result.succeeded
+        assert result.duration == 0.5
+
+    def test_restart_sure_success(self):
+        policy = RestartInPlace(restart_time=2.0, success_probability=1.0)
+        result = policy.attempt(random.Random(0))
+        assert result.succeeded
+        assert result.duration == 2.0
+
+    def test_retry_bounded_attempts(self):
+        policy = BoundedRetry(max_attempts=3, attempt_time=1.5,
+                              success_probability=0.0)
+        result = policy.attempt(random.Random(0))
+        assert not result.succeeded
+        assert result.attempts == 3
+        assert result.duration == pytest.approx(4.5)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(SimulationError):
+            RestartInPlace(success_probability=1.5)
+        with pytest.raises(SimulationError):
+            BoundedRetry(max_attempts=0)
+        with pytest.raises(SimulationError):
+            FailoverToReplica(switch_time=-1.0)
+
+
+class TestLadder:
+    def test_masked_takes_failover(self):
+        result = recover_cluster(
+            DEFAULT_POLICIES, random.Random(0), masked=True, transient=False
+        )
+        assert result.policy == "failover"
+        assert result.succeeded
+
+    def test_transient_restarts_after_repair(self):
+        policies = RecoveryPolicySet(
+            restart=RestartInPlace(restart_time=2.0, success_probability=1.0)
+        )
+        result = recover_cluster(
+            policies, random.Random(0), masked=False, transient=True,
+            repair_time=6.0,
+        )
+        assert result.policy == "restart"
+        assert result.duration == pytest.approx(8.0)
+
+    def test_failed_restart_falls_back_to_retry(self):
+        policies = RecoveryPolicySet(
+            restart=RestartInPlace(restart_time=2.0, success_probability=0.0),
+            retry=BoundedRetry(max_attempts=2, attempt_time=1.5,
+                               success_probability=1.0),
+        )
+        result = recover_cluster(
+            policies, random.Random(0), masked=False, transient=True,
+            repair_time=3.0,
+        )
+        assert result.policy == "restart+retry"
+        assert result.succeeded
+        assert result.duration == pytest.approx(3.0 + 2.0 + 1.5)
+
+    def test_permanent_with_replacement_retries(self):
+        policies = RecoveryPolicySet(
+            retry=BoundedRetry(max_attempts=3, attempt_time=1.5,
+                               success_probability=1.0)
+        )
+        result = recover_cluster(
+            policies, random.Random(0), masked=False, transient=False,
+            replaced=True,
+        )
+        assert result.policy == "retry"
+        assert result.succeeded
+
+    def test_permanent_without_replacement_stays_down(self):
+        result = recover_cluster(
+            DEFAULT_POLICIES, random.Random(0), masked=False, transient=False,
+            replaced=False,
+        )
+        assert result.policy == "none"
+        assert not result.succeeded
+
+    def test_deterministic_given_seed(self):
+        a = recover_cluster(
+            DEFAULT_POLICIES, random.Random(5), masked=False, transient=True,
+            repair_time=4.0,
+        )
+        b = recover_cluster(
+            DEFAULT_POLICIES, random.Random(5), masked=False, transient=True,
+            repair_time=4.0,
+        )
+        assert a == b
