@@ -1,0 +1,115 @@
+#!/usr/bin/env python
+"""Pipeline benchmark: stage timings + campaign throughput.
+
+Runs the full integrate pipeline under a :class:`repro.obs.Recorder` for
+two scenarios — the paper's 8-process example and a generated
+200-process workload — and writes ``BENCH_pipeline.json`` at the repo
+root.  Each entry carries ``{name, wall_s, trials_per_s, n_processes}``
+plus per-stage wall times pulled from the trace spans, seeding the
+perf trajectory the ROADMAP asks for.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_pipeline.py [--quick] [-o OUT]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.allocation.hw_model import fully_connected
+from repro.core.framework import FrameworkOptions, Heuristic, IntegrationFramework
+from repro.obs import PIPELINE_STAGES, Recorder, use
+from repro.workloads import HW_NODE_COUNT, paper_system
+from repro.workloads.generators import random_system
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_pipeline.json"
+
+
+def bench_scenario(name, system, hw, heuristic, trials) -> dict:
+    """Integrate ``system`` on ``hw`` once, then run a fault campaign.
+
+    Returns one BENCH entry: total pipeline wall time, per-stage wall
+    times (from the recorder's spans), and campaign throughput.
+    """
+    framework = IntegrationFramework(system, FrameworkOptions(heuristic=heuristic))
+    recorder = Recorder()
+    t0 = time.perf_counter()
+    with use(recorder):
+        outcome = framework.integrate(hw)
+        campaign = framework.validate_by_campaign(outcome, trials=trials, seed=0)
+    wall_s = time.perf_counter() - t0
+
+    stages = {
+        span.name: span.duration
+        for span in recorder.spans
+        if span.name in PIPELINE_STAGES
+    }
+    return {
+        "name": name,
+        "wall_s": round(wall_s, 6),
+        "trials_per_s": round(campaign.trials_per_s, 1),
+        "n_processes": len(system.processes()),
+        "feasible": outcome.feasible,
+        "heuristic": heuristic.name,
+        "hw_nodes": len(hw),
+        "campaign_trials": campaign.trials,
+        "stages": {stage: round(stages.get(stage, 0.0), 6) for stage in PIPELINE_STAGES},
+    }
+
+
+def run(quick: bool = False) -> list[dict]:
+    trials = 200 if quick else 2000
+    entries = [
+        bench_scenario(
+            "paper-8",
+            paper_system(),
+            fully_connected(HW_NODE_COUNT),
+            Heuristic.H1,
+            trials,
+        ),
+        bench_scenario(
+            "generated-200",
+            random_system(
+                processes=200, tasks_per_process=1, procedures_per_task=1, seed=42
+            ),
+            fully_connected(40),
+            Heuristic.TIMING_PACK,
+            trials,
+        ),
+    ]
+    return entries
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="fewer campaign trials (CI-friendly)"
+    )
+    parser.add_argument(
+        "-o", "--output", default=str(DEFAULT_OUTPUT), help="output JSON path"
+    )
+    args = parser.parse_args(argv)
+
+    entries = run(quick=args.quick)
+    Path(args.output).write_text(json.dumps(entries, indent=2) + "\n")
+    for entry in entries:
+        stage_text = " ".join(
+            f"{stage}={entry['stages'][stage] * 1000:.1f}ms"
+            for stage in PIPELINE_STAGES
+        )
+        print(
+            f"{entry['name']}: {entry['wall_s']:.3f}s total, "
+            f"{entry['trials_per_s']:.0f} trials/s ({stage_text})"
+        )
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

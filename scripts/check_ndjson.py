@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Validate repro trace NDJSON files; exit nonzero on any problem.
+
+Used by CI after generating sample traces: every line must parse as
+JSON, and span/decision records must carry the required keys with a
+consistent parent structure (see :func:`repro.obs.ndjson.validate_trace`).
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_ndjson.py trace.ndjson [more.ndjson ...]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.errors import ObservabilityError
+from repro.obs import load_ndjson, validate_trace
+
+
+def check_file(path: str) -> list[str]:
+    """Problems found in one NDJSON file (empty list means valid)."""
+    try:
+        events = load_ndjson(path)
+    except ObservabilityError as exc:
+        return [str(exc)]
+    except OSError as exc:
+        return [f"cannot read {path}: {exc}"]
+    return validate_trace(events)
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print("usage: check_ndjson.py FILE [FILE ...]", file=sys.stderr)
+        return 2
+    failed = False
+    for path in argv:
+        problems = check_file(path)
+        if problems:
+            failed = True
+            print(f"{path}: INVALID")
+            for problem in problems:
+                print(f"  - {problem}")
+        else:
+            print(f"{path}: ok")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import AllocationError, InfeasibleAllocationError
 from repro.allocation.clustering import Cluster, ClusterState
+from repro.obs import current
 
 
 @dataclass(frozen=True)
@@ -64,14 +65,27 @@ class CondensationHeuristic(ABC):
                 f"bound {lower_bound}"
             )
         result = CondensationResult(state=state, heuristic=self.name)
+        rec = current()
         while len(state) > target:
             step = self.step(state)
             if step is None:
+                if rec.enabled:
+                    rec.decision(
+                        "condense",
+                        "abort",
+                        subject=self.name,
+                        reason=f"no feasible combination at {len(state)} "
+                        f"clusters (target {target})",
+                    )
                 raise InfeasibleAllocationError(
                     f"{self.name}: no feasible combination found at "
                     f"{len(state)} clusters (target {target})"
                 )
             result.steps.append(step)
+        if rec.enabled:
+            rec.counter("condense_steps_total").inc(
+                len(result.steps), heuristic=self.name
+            )
         return result
 
     @abstractmethod
@@ -98,14 +112,19 @@ def best_combinable_pair(
     meaningless).
     """
     best: tuple[int, int, float] | None = None
+    rec = current()
+    rejected = 0
     n = len(state.clusters)
     for i in range(n):
         for j in range(i + 1, n):
             if not state.can_combine(i, j):
+                rejected += 1
                 continue
             value = score(state, i, j)
             if require_positive and value <= 0.0:
                 continue
             if best is None or value > best[2] + 1e-15:
                 best = (i, j, value)
+    if rec.enabled and rejected:
+        rec.counter("condense_pairs_rejected_total").inc(rejected)
     return best

@@ -29,6 +29,7 @@ from repro.model.attributes import (
     DEFAULT_IMPORTANCE_WEIGHTS,
     ImportanceWeights,
 )
+from repro.obs import current
 
 
 @dataclass
@@ -96,6 +97,7 @@ def map_approach_a(
     reqs = resources or ResourceRequirements()
     mapping = Mapping(state=state, hw=hw)
     free = list(hw.names())
+    rec = current()
 
     for index in rank_clusters(state, weights):
         members = state.clusters[index].members
@@ -118,6 +120,17 @@ def map_approach_a(
                 name,
             ),
         )
+        if rec.enabled:
+            rec.decision(
+                "map",
+                "place",
+                subject=state.clusters[index].label,
+                reason=f"min dilation cost "
+                f"{_placement_cost(mapping, index, chosen):.4f} among "
+                f"{len(candidates)} candidate nodes",
+                node=chosen,
+                approach="a",
+            )
         mapping.assignment[index] = chosen
         free.remove(chosen)
     return mapping
@@ -140,6 +153,7 @@ def map_approach_b(
     reqs = resources or ResourceRequirements()
     mapping = Mapping(state=state, hw=hw)
     free = list(hw.names())
+    rec = current()
 
     def lexicographic_key(index: int):
         attrs = state.attributes(index)
@@ -176,6 +190,18 @@ def map_approach_b(
                 name,
             ),
         )
+        if rec.enabled:
+            rec.decision(
+                "map",
+                "place",
+                subject=state.clusters[index].label,
+                reason="fresh FCR preferred"
+                if fresh_fcr
+                else "no unused FCR left; fell back to lowest dilation",
+                node=chosen,
+                fcr=hw.fcr_of(chosen),
+                approach="b",
+            )
         mapping.assignment[index] = chosen
         used_fcrs.add(hw.fcr_of(chosen))
         free.remove(chosen)

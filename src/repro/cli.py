@@ -13,6 +13,14 @@ Subcommands:
   availability per criticality class.
 * ``example NAME`` — dump a built-in workload (``paper`` or ``avionics``)
   as JSON, as a starting template.
+* ``trace summarize TRACE.ndjson`` — aggregate an NDJSON trace into a
+  per-stage timing table (``--tree`` renders the span tree instead).
+
+Every subcommand accepts ``--trace FILE`` (write an NDJSON span/decision
+trace) and ``--metrics FILE`` (write a metrics-registry JSON snapshot);
+``integrate`` and ``resilience`` additionally take ``-v/--verbose`` for a
+one-line stage-timing footer.  With none of those given, the library runs
+against the no-op recorder and records nothing.
 
 The CLI is a thin veneer over the library; every code path it exercises
 is also covered by the API tests, and ``tests/io/test_cli.py`` drives the
@@ -48,6 +56,15 @@ from repro.metrics.report import (
     render_resilience,
 )
 from repro.model.fcm import Level
+from repro.obs import (
+    Recorder,
+    current,
+    load_ndjson,
+    render_summary,
+    render_tree,
+    stage_footer,
+    use,
+)
 from repro.verification.checks import audit_system
 from repro.workloads import (
     HW_NODE_COUNT,
@@ -66,6 +83,18 @@ from repro.workloads import (
 )
 
 
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    """Attach ``--trace`` / ``--metrics`` to one subcommand parser."""
+    parser.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="write an NDJSON span/decision trace of this run here",
+    )
+    parser.add_argument(
+        "--metrics", default=None, metavar="FILE",
+        help="write a JSON metrics snapshot of this run here",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -74,7 +103,17 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     integrate = sub.add_parser("integrate", help="run the full pipeline")
-    integrate.add_argument("system", help="system JSON file")
+    integrate.add_argument(
+        "system", nargs="?", default=None,
+        help="system JSON file (or use --workload for a built-in one)",
+    )
+    integrate.add_argument(
+        "--workload",
+        choices=["paper", "avionics", "automotive"],
+        default=None,
+        help="integrate a built-in workload (system + HW + resources) "
+        "instead of a system file",
+    )
     integrate.add_argument("--hw", help="HW graph JSON file")
     integrate.add_argument(
         "--hw-nodes", type=int, default=None,
@@ -101,15 +140,22 @@ def build_parser() -> argparse.ArgumentParser:
     integrate.add_argument(
         "--seed", type=int, default=0, help="campaign validation RNG seed"
     )
+    integrate.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="print a one-line stage-timing footer",
+    )
+    _add_obs_flags(integrate)
 
     audit = sub.add_parser("audit", help="audit a system design")
     audit.add_argument("system", help="system JSON file")
     audit.add_argument("--influence-budget", type=float, default=1.0)
     audit.add_argument("--separation-floor", type=float, default=0.0)
+    _add_obs_flags(audit)
 
     tradeoff = sub.add_parser("tradeoff", help="sweep integration levels")
     tradeoff.add_argument("system", help="system JSON file")
     tradeoff.add_argument("--trials", type=int, default=300)
+    _add_obs_flags(tradeoff)
 
     resilience = sub.add_parser(
         "resilience", help="run a HW-failure campaign on a workload"
@@ -143,30 +189,98 @@ def build_parser() -> argparse.ArgumentParser:
         choices=[m.value for m in MappingApproach],
         default=MappingApproach.IMPORTANCE.value,
     )
+    resilience.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="print stage-timing and campaign-throughput footers",
+    )
+    _add_obs_flags(resilience)
 
     example = sub.add_parser("example", help="dump a built-in workload")
     example.add_argument("name", choices=["paper", "avionics"])
     example.add_argument("--out", default=None, help="write JSON here (default stdout)")
+    _add_obs_flags(example)
+
+    trace = sub.add_parser("trace", help="inspect NDJSON traces")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    summarize = trace_sub.add_parser(
+        "summarize", help="aggregate a trace into a per-stage timing table"
+    )
+    summarize.add_argument("file", help="NDJSON trace file")
+    summarize.add_argument(
+        "--tree", action="store_true",
+        help="render the span tree instead of the aggregate table",
+    )
     return parser
 
 
-def _cmd_integrate(args: argparse.Namespace) -> int:
-    system = load_system(args.system)
-    if args.hw:
-        hw = load_hw(args.hw)
-    elif args.hw_nodes:
-        hw = fully_connected(args.hw_nodes)
+def _builtin_workload(name: str, heuristic: str, mapping: str):
+    """(system, hw, options, rates, scenario) for one built-in workload."""
+    if name == "paper":
+        system, hw = paper_system(), fully_connected(HW_NODE_COUNT)
+        options = FrameworkOptions(
+            heuristic=Heuristic(heuristic),
+            mapping=MappingApproach(mapping),
+        )
+        rates, scenario = None, None
+    elif name == "avionics":
+        system, hw = avionics_system(), avionics_hw(6)
+        options = FrameworkOptions(
+            heuristic=Heuristic(heuristic),
+            mapping=MappingApproach(mapping),
+            resources=avionics_resources(),
+        )
+        rates, scenario = avionics_failure_rates(), avionics_cabinet_loss()
     else:
-        print("error: provide --hw FILE or --hw-nodes N", file=sys.stderr)
-        return 2
-    options = FrameworkOptions(
-        heuristic=Heuristic(args.heuristic),
-        mapping=MappingApproach(args.mapping),
-    )
+        system, hw = automotive_system(), automotive_hw()
+        options = FrameworkOptions(
+            heuristic=Heuristic(heuristic),
+            mapping=MappingApproach(mapping),
+            policy=automotive_policy(),
+            resources=automotive_resources(),
+        )
+        rates, scenario = automotive_failure_rates(), automotive_zone_loss()
+    return system, hw, options, rates, scenario
+
+
+def _print_stage_footer() -> None:
+    footer = stage_footer(current())
+    if footer:
+        print(footer)
+
+
+def _cmd_integrate(args: argparse.Namespace) -> int:
+    if args.workload:
+        system, hw, options, _rates, _scenario = _builtin_workload(
+            args.workload, args.heuristic, args.mapping
+        )
+        if args.hw:
+            hw = load_hw(args.hw)
+        elif args.hw_nodes:
+            hw = fully_connected(args.hw_nodes)
+    else:
+        if not args.system:
+            print(
+                "error: provide a system file or --workload NAME",
+                file=sys.stderr,
+            )
+            return 2
+        system = load_system(args.system)
+        if args.hw:
+            hw = load_hw(args.hw)
+        elif args.hw_nodes:
+            hw = fully_connected(args.hw_nodes)
+        else:
+            print("error: provide --hw FILE or --hw-nodes N", file=sys.stderr)
+            return 2
+        options = FrameworkOptions(
+            heuristic=Heuristic(args.heuristic),
+            mapping=MappingApproach(args.mapping),
+        )
     framework = IntegrationFramework(system, options)
     outcome = framework.integrate(hw)
+    campaign = None
     if args.validate_trials > 0:
-        framework.validate_by_campaign(
+        campaign = framework.validate_by_campaign(
             outcome, trials=args.validate_trials, seed=args.seed
         )
     print(render_clusters(outcome.condensation.state))
@@ -174,6 +288,13 @@ def _cmd_integrate(args: argparse.Namespace) -> int:
     print(render_mapping(outcome.mapping))
     print()
     print(outcome.summary())
+    if args.verbose:
+        _print_stage_footer()
+        if campaign is not None:
+            print(
+                f"campaign: {campaign.elapsed_s:.3f}s · "
+                f"{campaign.trials_per_s:.0f} trials/s"
+            )
     if args.out:
         from repro.io.serialization import dump_outcome
 
@@ -228,31 +349,9 @@ def _cmd_tradeoff(args: argparse.Namespace) -> int:
 def _cmd_resilience(args: argparse.Namespace) -> int:
     from repro.resilience.campaign import replay_scenario, run_resilience_campaign
 
-    if args.workload == "paper":
-        system, hw = paper_system(), fully_connected(HW_NODE_COUNT)
-        options = FrameworkOptions(
-            heuristic=Heuristic(args.heuristic),
-            mapping=MappingApproach(args.mapping),
-        )
-        rates, scenario = None, None
-    elif args.workload == "avionics":
-        system, hw = avionics_system(), avionics_hw(6)
-        options = FrameworkOptions(
-            heuristic=Heuristic(args.heuristic),
-            mapping=MappingApproach(args.mapping),
-            resources=avionics_resources(),
-        )
-        rates, scenario = avionics_failure_rates(), avionics_cabinet_loss()
-    else:
-        system, hw = automotive_system(), automotive_hw()
-        options = FrameworkOptions(
-            heuristic=Heuristic(args.heuristic),
-            mapping=MappingApproach(args.mapping),
-            policy=automotive_policy(),
-            resources=automotive_resources(),
-        )
-        rates, scenario = automotive_failure_rates(), automotive_zone_loss()
-
+    system, hw, options, rates, scenario = _builtin_workload(
+        args.workload, args.heuristic, args.mapping
+    )
     framework = IntegrationFramework(system, options)
     outcome = framework.integrate(hw)
     if args.scenario:
@@ -282,6 +381,12 @@ def _cmd_resilience(args: argparse.Namespace) -> int:
             approach=options.mapping.value,
         )
     print(render_resilience(report))
+    if args.verbose:
+        _print_stage_footer()
+        print(
+            f"campaign: {report.elapsed_s:.3f}s · "
+            f"{report.trials_per_s:.0f} trials/s"
+        )
     return 0 if report.separation_violations == 0 else 1
 
 
@@ -300,6 +405,24 @@ def _cmd_example(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    events = load_ndjson(args.file)
+    if args.tree:
+        print(render_tree(events))
+    else:
+        print(render_summary(events))
+    return 0
+
+
+def _check_writable(path: str, what: str) -> None:
+    """Fail fast (DDSIError -> exit 2) before running a long command."""
+    try:
+        with open(path, "w"):
+            pass
+    except OSError as exc:
+        raise DDSIError(f"cannot write {what} file {path!r}: {exc}") from exc
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -308,9 +431,26 @@ def main(argv: list[str] | None = None) -> int:
         "tradeoff": _cmd_tradeoff,
         "resilience": _cmd_resilience,
         "example": _cmd_example,
+        "trace": _cmd_trace,
     }
+    trace_path = getattr(args, "trace", None)
+    metrics_path = getattr(args, "metrics", None)
+    verbose = getattr(args, "verbose", False)
     try:
-        return handlers[args.command](args)
+        if not (trace_path or metrics_path or verbose):
+            return handlers[args.command](args)
+        if trace_path:
+            _check_writable(trace_path, "trace")
+        if metrics_path:
+            _check_writable(metrics_path, "metrics")
+        recorder = Recorder()
+        with use(recorder):
+            code = handlers[args.command](args)
+        if trace_path:
+            recorder.write_trace(trace_path)
+        if metrics_path:
+            recorder.write_metrics(metrics_path)
+        return code
     except DDSIError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

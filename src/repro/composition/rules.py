@@ -27,6 +27,19 @@ from dataclasses import dataclass
 from repro.errors import RuleViolation
 from repro.model.fcm import Level
 from repro.model.hierarchy import FCMHierarchy
+from repro.obs import current
+
+
+def _checked(rule: str, violation: RuleViolation | None) -> RuleViolation | None:
+    """Record one rule firing (outcome-labeled counter; decisions for
+    violations) and pass the checker's verdict through."""
+    rec = current()
+    if rec.enabled:
+        outcome = "ok" if violation is None else "violation"
+        rec.counter("rule_checks_total").inc(rule=rule, outcome=outcome)
+        if violation is not None:
+            rec.decision("rule", "violation", subject=rule, reason=str(violation))
+    return violation
 
 
 @dataclass(frozen=True)
@@ -54,16 +67,21 @@ def check_r1_grouping(
     """R1: every child must sit exactly one level below ``parent_level``."""
     expected = parent_level.child_level
     if expected is None:
-        return RuleViolation("R1", f"{parent_level.name} has no child level")
+        return _checked(
+            "R1", RuleViolation("R1", f"{parent_level.name} has no child level")
+        )
     for name in children:
         fcm = hierarchy.get(name)
         if fcm.level is not expected:
-            return RuleViolation(
+            return _checked(
                 "R1",
-                f"{name!r} is a {fcm.level.name} FCM; a {parent_level.name} "
-                f"parent integrates {expected.name} FCMs only",
+                RuleViolation(
+                    "R1",
+                    f"{name!r} is a {fcm.level.name} FCM; a {parent_level.name} "
+                    f"parent integrates {expected.name} FCMs only",
+                ),
             )
-    return None
+    return _checked("R1", None)
 
 
 def check_r2_unparented(
@@ -74,12 +92,15 @@ def check_r2_unparented(
     for name in children:
         parent = hierarchy.parent_of(name)
         if parent is not None:
-            return RuleViolation(
+            return _checked(
                 "R2",
-                f"{name!r} already belongs to {parent.name!r}; an FCM cannot "
-                "be shared — duplicate it, or integrate the parents (R4)",
+                RuleViolation(
+                    "R2",
+                    f"{name!r} already belongs to {parent.name!r}; an FCM cannot "
+                    "be shared — duplicate it, or integrate the parents (R4)",
+                ),
             )
-    return None
+    return _checked("R2", None)
 
 
 def check_r3_siblings(
@@ -90,25 +111,33 @@ def check_r3_siblings(
     at the same level — top-level siblings of the forest)."""
     name_list = list(names)
     if len(name_list) < 2:
-        return RuleViolation("R3", "merging requires at least two FCMs")
+        return _checked(
+            "R3", RuleViolation("R3", "merging requires at least two FCMs")
+        )
     levels = {hierarchy.get(name).level for name in name_list}
     if len(levels) != 1:
-        return RuleViolation(
+        return _checked(
             "R3",
-            f"cannot merge across levels {sorted(level.name for level in levels)}",
+            RuleViolation(
+                "R3",
+                f"cannot merge across levels {sorted(level.name for level in levels)}",
+            ),
         )
     parents = {
         parent.name if (parent := hierarchy.parent_of(name)) is not None else None
         for name in name_list
     }
     if len(parents) != 1:
-        return RuleViolation(
+        return _checked(
             "R3",
-            f"FCMs {name_list!r} are not siblings (parents: "
-            f"{sorted(map(repr, parents))}); to integrate children of "
-            "different parents, first integrate the parents (R4)",
+            RuleViolation(
+                "R3",
+                f"FCMs {name_list!r} are not siblings (parents: "
+                f"{sorted(map(repr, parents))}); to integrate children of "
+                "different parents, first integrate the parents (R4)",
+            ),
         )
-    return None
+    return _checked("R3", None)
 
 
 def check_r4_cross_parent(
@@ -121,16 +150,23 @@ def check_r4_cross_parent(
     p1 = hierarchy.parent_of(first)
     p2 = hierarchy.parent_of(second)
     if p1 is None or p2 is None:
-        return RuleViolation(
-            "R4", f"{first!r} and {second!r} must both have parents to integrate"
+        return _checked(
+            "R4",
+            RuleViolation(
+                "R4",
+                f"{first!r} and {second!r} must both have parents to integrate",
+            ),
         )
     if p1.name == p2.name:
-        return RuleViolation(
+        return _checked(
             "R4",
-            f"{first!r} and {second!r} already share parent {p1.name!r}; "
-            "merge them directly (R3)",
+            RuleViolation(
+                "R4",
+                f"{first!r} and {second!r} already share parent {p1.name!r}; "
+                "merge them directly (R3)",
+            ),
         )
-    return None
+    return _checked("R4", None)
 
 
 def retest_set(hierarchy: FCMHierarchy, modified: str) -> tuple[str, ...]:
@@ -146,4 +182,15 @@ def retest_set(hierarchy: FCMHierarchy, modified: str) -> tuple[str, ...]:
     if parent is not None:
         out.append(parent.name)
         out.extend(s.name for s in hierarchy.siblings_of(modified))
+    rec = current()
+    if rec.enabled:
+        rec.counter("rule_checks_total").inc(rule="R5", outcome="ok")
+        rec.decision(
+            "rule",
+            "retest",
+            subject="R5",
+            reason=f"modification of {modified!r} requires retesting "
+            f"{len(out)} FCMs",
+            fcms=list(out),
+        )
     return tuple(out)

@@ -32,6 +32,7 @@ from repro.allocation.sw_graph import expand_replication, required_hw_nodes
 from repro.core.results import IntegrationOutcome
 from repro.model.fcm import Level
 from repro.model.system import SoftwareSystem
+from repro.obs import current
 from repro.verification.checks import audit_system
 
 
@@ -76,21 +77,42 @@ class IntegrationFramework:
     # ------------------------------------------------------------------
     def audit(self):
         """Stage 1: structural and non-interference audit."""
-        return audit_system(
-            self.system,
-            influence_budget=self.options.influence_budget,
-            separation_floor=self.options.separation_floor,
-        )
+        with current().span("audit", system=self.system.name):
+            return audit_system(
+                self.system,
+                influence_budget=self.options.influence_budget,
+                separation_floor=self.options.separation_floor,
+            )
 
     def expanded_state(self) -> ClusterState:
         """Stage 2: replicate FT>1 processes and start singleton clusters."""
-        graph = self.system.influence_at(Level.PROCESS)
-        expanded = expand_replication(graph)
-        return ClusterState(expanded, self.options.policy)
+        with current().span("expand") as span:
+            graph = self.system.influence_at(Level.PROCESS)
+            expanded = expand_replication(graph)
+            span.set(processes=len(graph), expanded=len(expanded))
+            return ClusterState(expanded, self.options.policy)
 
     def condense(self, state: ClusterState, target: int) -> CondensationResult:
         """Stage 3: reduce the SW graph to at most ``target`` clusters."""
         heuristic = self.options.heuristic
+        rec = current()
+        with rec.span("condense", heuristic=heuristic.value, target=target):
+            result = self._condense(state, target, heuristic)
+        if rec.enabled:
+            for step in result.steps:
+                rec.decision(
+                    "condense",
+                    "merge",
+                    subject=",".join(step.first) + " + " + ",".join(step.second),
+                    reason=step.note or f"heuristic {result.heuristic}",
+                    mutual_influence=step.mutual_influence,
+                    heuristic=result.heuristic,
+                )
+        return result
+
+    def _condense(
+        self, state: ClusterState, target: int, heuristic: Heuristic
+    ) -> CondensationResult:
         if heuristic is Heuristic.H1:
             return condense_h1(state, target)
         if heuristic is Heuristic.H1_ANNEALED:
@@ -113,9 +135,12 @@ class IntegrationFramework:
 
     def map(self, state: ClusterState, hw: HWGraph) -> Mapping:
         """Stage 4: assign clusters to HW nodes."""
-        if self.options.mapping is MappingApproach.IMPORTANCE:
-            return map_approach_a(state, hw, self.options.resources)
-        return map_approach_b(state, hw, self.options.resources)
+        with current().span(
+            "map", approach=self.options.mapping.value, hw_nodes=len(hw)
+        ):
+            if self.options.mapping is MappingApproach.IMPORTANCE:
+                return map_approach_a(state, hw, self.options.resources)
+            return map_approach_b(state, hw, self.options.resources)
 
     def validate_by_campaign(
         self,
@@ -213,21 +238,30 @@ class IntegrationFramework:
     # ------------------------------------------------------------------
     def integrate(self, hw: HWGraph) -> IntegrationOutcome:
         """Run all stages against ``hw`` and return the full outcome."""
-        audit = self.audit()
-        state = self.expanded_state()
-        notes = []
-        lower = required_hw_nodes(state.graph)
-        if lower > len(hw):
-            raise AllocationError(
-                f"replication needs {lower} HW nodes but only {len(hw)} exist"
+        rec = current()
+        with rec.span(
+            "pipeline",
+            system=self.system.name,
+            heuristic=self.options.heuristic.value,
+            mapping=self.options.mapping.value,
+            hw_nodes=len(hw),
+        ):
+            audit = self.audit()
+            state = self.expanded_state()
+            notes = []
+            lower = required_hw_nodes(state.graph)
+            if lower > len(hw):
+                raise AllocationError(
+                    f"replication needs {lower} HW nodes but only {len(hw)} exist"
+                )
+            condensation = self.condense(state, len(hw))
+            mapping = self.map(condensation.state, hw)
+            with rec.span("score"):
+                score = evaluate_mapping(mapping, self.options.resources)
+            notes.append(
+                f"condensed to {len(condensation.state.clusters)} clusters "
+                f"for {len(hw)} HW nodes (replica lower bound {lower})"
             )
-        condensation = self.condense(state, len(hw))
-        mapping = self.map(condensation.state, hw)
-        score = evaluate_mapping(mapping, self.options.resources)
-        notes.append(
-            f"condensed to {len(condensation.state.clusters)} clusters "
-            f"for {len(hw)} HW nodes (replica lower bound {lower})"
-        )
         return IntegrationOutcome(
             system_name=self.system.name,
             audit=audit,

@@ -85,3 +85,8 @@ class VerificationError(DDSIError):
 
 class SimulationError(DDSIError):
     """Fault-injection simulation received invalid configuration."""
+
+
+class ObservabilityError(DDSIError):
+    """Invalid trace/metrics input: malformed NDJSON, unwritable sink,
+    or a metric registered twice with conflicting types."""

@@ -12,11 +12,13 @@ across HW nodes" (§5.3).
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 
 from repro.errors import SimulationError
 from repro.faultsim.propagation import propagate_once
 from repro.influence.influence_graph import InfluenceGraph
+from repro.obs import DEFAULT_COUNT_BUCKETS, current
 
 
 @dataclass(frozen=True)
@@ -32,6 +34,9 @@ class CampaignResult:
         max_affected_fcms: Worst single trial.
         cross_cluster_rate: Fraction of trials in which the fault escaped
             the seed's cluster.
+        elapsed_s: Wall time of the campaign loop (``perf_counter``;
+            excluded from equality so seeded reruns still compare equal).
+        trials_per_s: Campaign throughput (also excluded from equality).
     """
 
     trials: int
@@ -39,6 +44,8 @@ class CampaignResult:
     mean_affected_clusters: float
     max_affected_fcms: int
     cross_cluster_rate: float
+    elapsed_s: float = field(default=0.0, compare=False)
+    trials_per_s: float = field(default=0.0, compare=False)
 
 
 def run_campaign(
@@ -75,27 +82,51 @@ def run_campaign(
         raise SimulationError(f"partition contains unknown FCMs: {unknown!r}")
 
     rng = random.Random(seed)
+    rec = current()
+    spread_hist = (
+        rec.histogram("faultsim_affected_fcms", buckets=DEFAULT_COUNT_BUCKETS)
+        if rec.enabled
+        else None
+    )
     total_fcms = 0
     total_clusters = 0
     worst = 0
     escapes = 0
-    for trial in range(trials):
-        source = names[rng.randrange(len(names))]
-        record = propagate_once(graph, source, rng, trial)
-        others = record.affected - {source}
-        total_fcms += len(others)
-        worst = max(worst, len(others))
-        seed_cluster = cluster_of[source]
-        hit_clusters = {cluster_of[n] for n in others} - {seed_cluster}
-        total_clusters += len(hit_clusters)
-        if hit_clusters:
-            escapes += 1
+    t0 = time.perf_counter()
+    with rec.span(
+        "faultsim.campaign",
+        trials=trials,
+        seed=seed,
+        fcms=len(names),
+        clusters=len(partition),
+    ):
+        for trial in range(trials):
+            source = names[rng.randrange(len(names))]
+            record = propagate_once(graph, source, rng, trial)
+            others = record.affected - {source}
+            total_fcms += len(others)
+            worst = max(worst, len(others))
+            seed_cluster = cluster_of[source]
+            hit_clusters = {cluster_of[n] for n in others} - {seed_cluster}
+            total_clusters += len(hit_clusters)
+            if hit_clusters:
+                escapes += 1
+            if spread_hist is not None:
+                spread_hist.observe(len(others))
+    elapsed = time.perf_counter() - t0
+    rate = trials / elapsed if elapsed > 0 else 0.0
+    if rec.enabled:
+        rec.counter("faultsim_trials_total").inc(trials)
+        rec.counter("faultsim_escapes_total").inc(escapes)
+        rec.gauge("faultsim_trials_per_s").set(rate)
     return CampaignResult(
         trials=trials,
         mean_affected_fcms=total_fcms / trials,
         mean_affected_clusters=total_clusters / trials,
         max_affected_fcms=worst,
         cross_cluster_rate=escapes / trials,
+        elapsed_s=elapsed,
+        trials_per_s=rate,
     )
 
 

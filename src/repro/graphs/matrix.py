@@ -13,6 +13,7 @@ import numpy as np
 
 from repro.errors import GraphError, InfluenceError
 from repro.graphs.digraph import Digraph, Node
+from repro.obs import current
 
 
 def adjacency_matrix(graph: Digraph, order: list[Node] | None = None) -> tuple[np.ndarray, list[Node]]:
@@ -47,6 +48,16 @@ def power_series_sum(matrix: np.ndarray, max_order: int) -> np.ndarray:
         raise InfluenceError("max_order must be >= 1")
     if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
         raise InfluenceError("matrix must be square")
+    rec = current()
+    if rec.enabled:
+        rec.counter("power_series_calls_total").inc(form="truncated")
+        rec.counter("power_series_terms_total").inc(max_order)
+        with rec.timed("power_series_s", form="truncated"):
+            return _power_series_sum(matrix, max_order)
+    return _power_series_sum(matrix, max_order)
+
+
+def _power_series_sum(matrix: np.ndarray, max_order: int) -> np.ndarray:
     acc = matrix.copy()
     term = matrix.copy()
     for _ in range(max_order - 1):
@@ -76,6 +87,15 @@ def power_series_limit(matrix: np.ndarray) -> np.ndarray:
             f"influence series diverges (spectral radius {radius:.4f} >= 1); "
             "use a truncated order instead"
         )
+    rec = current()
+    if rec.enabled:
+        rec.counter("power_series_calls_total").inc(form="closed")
+        with rec.timed("power_series_s", form="closed"):
+            return _power_series_limit(matrix)
+    return _power_series_limit(matrix)
+
+
+def _power_series_limit(matrix: np.ndarray) -> np.ndarray:
     n = matrix.shape[0]
     identity = np.eye(n)
     return np.linalg.inv(identity - matrix) - identity

@@ -19,6 +19,7 @@ from collections import deque
 
 from repro.errors import GraphError
 from repro.graphs.digraph import Digraph, Node
+from repro.obs import current
 
 
 def stoer_wagner(graph: Digraph) -> tuple[float, set[Node]]:
@@ -32,6 +33,15 @@ def stoer_wagner(graph: Digraph) -> tuple[float, set[Node]]:
     nodes = graph.nodes()
     if len(nodes) < 2:
         raise GraphError("min-cut requires at least two nodes")
+    rec = current()
+    if rec.enabled:
+        rec.counter("mincut_calls_total").inc(algorithm="stoer_wagner")
+        with rec.timed("mincut_stoer_wagner_s"):
+            return _stoer_wagner(graph, nodes)
+    return _stoer_wagner(graph, nodes)
+
+
+def _stoer_wagner(graph: Digraph, nodes: list[Node]) -> tuple[float, set[Node]]:
 
     # Build symmetric adjacency over supernodes; each supernode remembers
     # the original nodes merged into it.
@@ -90,7 +100,15 @@ def st_min_cut(graph: Digraph, source: Node, sink: Node) -> tuple[float, set[Nod
     for node in (source, sink):
         if not graph.has_node(node):
             raise GraphError(f"node {node!r} not in graph")
+    rec = current()
+    if rec.enabled:
+        rec.counter("mincut_calls_total").inc(algorithm="st_min_cut")
+        with rec.timed("mincut_st_min_cut_s"):
+            return _st_min_cut(graph, source, sink)
+    return _st_min_cut(graph, source, sink)
 
+
+def _st_min_cut(graph: Digraph, source: Node, sink: Node) -> tuple[float, set[Node]]:
     # Residual capacities on the undirected view: capacity in both
     # directions equals the summed undirected weight.
     residual: dict[Node, dict[Node, float]] = {n: {} for n in graph.nodes()}

@@ -1,0 +1,67 @@
+"""repro.obs — dependency-free observability for the DDSI pipeline.
+
+Three record kinds over one ambient :class:`Recorder`:
+
+* **spans** — nested wall-time intervals per pipeline stage / hot path;
+* **metrics** — counters, gauges, fixed-bucket histograms with labels;
+* **decision events** — what the pipeline chose, with reasons.
+
+Disabled by default: library instrumentation talks to
+:data:`NULL_RECORDER` (every call a no-op) unless a real recorder is
+installed with :func:`use`.  See ``docs/OBSERVABILITY.md`` for the trace
+schema and the metric-name catalogue.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_COUNT_BUCKETS,
+    DEFAULT_TIME_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.ndjson import dump_ndjson, load_ndjson, validate_trace
+from repro.obs.recorder import (
+    NULL_RECORDER,
+    DecisionEvent,
+    NullRecorder,
+    Recorder,
+    Span,
+    current,
+    use,
+)
+from repro.obs.summarize import (
+    PIPELINE_STAGES,
+    StageStats,
+    decision_counts,
+    render_summary,
+    render_tree,
+    stage_footer,
+    summarize_trace,
+)
+
+__all__ = [
+    "DEFAULT_COUNT_BUCKETS",
+    "DEFAULT_TIME_BUCKETS",
+    "NULL_RECORDER",
+    "PIPELINE_STAGES",
+    "Counter",
+    "DecisionEvent",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRecorder",
+    "Recorder",
+    "Span",
+    "StageStats",
+    "current",
+    "decision_counts",
+    "dump_ndjson",
+    "load_ndjson",
+    "render_summary",
+    "render_tree",
+    "stage_footer",
+    "summarize_trace",
+    "use",
+    "validate_trace",
+]

@@ -1,0 +1,112 @@
+"""NDJSON (newline-delimited JSON) trace I/O and validation.
+
+A trace file is one JSON object per line: a leading ``meta`` record,
+then ``span`` and ``decision`` records in completion order (see
+``docs/OBSERVABILITY.md`` for the schema).  The loader is strict — any
+malformed line raises :class:`~repro.errors.ObservabilityError` with the
+line number — and :func:`validate_trace` performs the structural checks
+the CI gate runs over emitted traces.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.errors import ObservabilityError
+
+_SPAN_KEYS = {"sid", "parent", "name", "depth", "t_start", "t_end", "dur_s"}
+_DECISION_KEYS = {"seq", "category", "action", "subject", "reason", "span"}
+
+
+def dump_ndjson(events, path_or_file) -> None:
+    """Write ``events`` (dicts) as NDJSON to a path or open file."""
+    if hasattr(path_or_file, "write"):
+        _write(events, path_or_file)
+        return
+    try:
+        with open(path_or_file, "w") as handle:
+            _write(events, handle)
+    except OSError as exc:
+        raise ObservabilityError(
+            f"cannot write trace file {path_or_file!r}: {exc}"
+        ) from exc
+
+
+def _write(events, handle) -> None:
+    for event in events:
+        handle.write(json.dumps(event, separators=(",", ":")) + "\n")
+
+
+def load_ndjson(path_or_file) -> list[dict]:
+    """Parse an NDJSON file into a list of dicts (blank lines skipped)."""
+    if hasattr(path_or_file, "read"):
+        return _parse(path_or_file, getattr(path_or_file, "name", "<stream>"))
+    try:
+        with open(path_or_file) as handle:
+            return _parse(handle, str(path_or_file))
+    except OSError as exc:
+        raise ObservabilityError(
+            f"cannot read trace file {path_or_file!r}: {exc}"
+        ) from exc
+
+
+def _parse(handle, label: str) -> list[dict]:
+    events: list[dict] = []
+    for lineno, line in enumerate(handle, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ObservabilityError(
+                f"{label}:{lineno}: malformed NDJSON line: {exc}"
+            ) from exc
+        if not isinstance(event, dict):
+            raise ObservabilityError(
+                f"{label}:{lineno}: NDJSON line is not a JSON object"
+            )
+        events.append(event)
+    return events
+
+
+def validate_trace(events: list[dict]) -> list[str]:
+    """Structural problems of a parsed trace (empty list = valid).
+
+    Checks: every record carries a known ``type`` and its required keys,
+    span parents reference emitted sids, and closed spans have
+    ``t_end >= t_start``.
+    """
+    problems: list[str] = []
+    sids: set[int] = set()
+    for i, event in enumerate(events):
+        kind = event.get("type")
+        if kind == "span":
+            sids.add(event.get("sid", -1))
+    for i, event in enumerate(events):
+        where = f"event {i}"
+        kind = event.get("type")
+        if kind == "meta":
+            if event.get("format") != "repro-trace":
+                problems.append(f"{where}: meta record has no repro-trace format tag")
+            continue
+        if kind == "span":
+            missing = _SPAN_KEYS - set(event)
+            if missing:
+                problems.append(f"{where}: span missing keys {sorted(missing)}")
+                continue
+            parent = event["parent"]
+            if parent is not None and parent not in sids:
+                problems.append(
+                    f"{where}: span {event['sid']} has unknown parent {parent}"
+                )
+            if event["t_end"] is not None and event["t_end"] < event["t_start"]:
+                problems.append(f"{where}: span {event['sid']} ends before it starts")
+            continue
+        if kind == "decision":
+            missing = _DECISION_KEYS - set(event)
+            if missing:
+                problems.append(f"{where}: decision missing keys {sorted(missing)}")
+            continue
+        problems.append(f"{where}: unknown record type {kind!r}")
+    return problems

@@ -1,0 +1,373 @@
+"""Tracing and decision recording for the DDSI pipeline.
+
+The paper's closing argument (§7) is that applying the framework to real
+systems hinges on *measuring* actual parameters; this module is the
+measurement substrate.  A :class:`Recorder` collects three kinds of
+records while the pipeline runs:
+
+* **spans** — named, nested wall-time intervals (``perf_counter`` based)
+  with structured attributes, one per pipeline stage or hot-path call;
+* **decision events** — typed records of what the pipeline chose
+  (heuristic merges, R1-R5 rule firings, mapping placements, degraded-mode
+  shed/split choices) and why;
+* **metrics** — counters, gauges and fixed-bucket histograms kept in the
+  recorder's :class:`~repro.obs.metrics.MetricsRegistry`.
+
+Instrumented library code never takes a recorder parameter; it asks
+:func:`current` for the ambient one.  The default is :data:`NULL_RECORDER`,
+whose every method is a storage-free no-op, so instrumentation costs one
+attribute check when observability is off.  Enable recording around any
+block with :func:`use`::
+
+    from repro.obs import Recorder, use
+
+    recorder = Recorder()
+    with use(recorder):
+        IntegrationFramework(system).integrate(hw)
+    recorder.write_trace("trace.ndjson")
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from repro.obs.metrics import (
+    NULL_INSTRUMENT,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+TRACE_FORMAT = "repro-trace"
+TRACE_VERSION = 1
+
+
+@dataclass
+class Span:
+    """One completed (or still-open) named interval.
+
+    Times are seconds since the recorder's epoch (its construction time),
+    so a trace is self-relative and deterministic in structure across
+    runs — only the durations vary.
+    """
+
+    sid: int
+    parent: int | None
+    name: str
+    depth: int
+    t_start: float
+    t_end: float | None = None
+    attrs: dict = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        """Elapsed seconds (0.0 while the span is still open)."""
+        if self.t_end is None:
+            return 0.0
+        return self.t_end - self.t_start
+
+    def to_event(self) -> dict:
+        event = {
+            "type": "span",
+            "sid": self.sid,
+            "parent": self.parent,
+            "name": self.name,
+            "depth": self.depth,
+            "t_start": self.t_start,
+            "t_end": self.t_end,
+            "dur_s": self.duration,
+        }
+        if self.attrs:
+            event["attrs"] = self.attrs
+        return event
+
+
+@dataclass(frozen=True)
+class DecisionEvent:
+    """A typed record of one choice the pipeline made.
+
+    Attributes:
+        seq: Monotonic sequence number within the recorder.
+        category: Subsystem slug (``condense``, ``map``, ``rule``,
+            ``degrade``, ...).
+        action: What was done (``merge``, ``place``, ``violation``,
+            ``shed``, ``split``, ...).
+        subject: The thing decided about (cluster label, rule id, ...).
+        reason: Human-readable justification.
+        span: sid of the innermost open span when the decision fired.
+        attrs: Structured extras (scores, node names, ...).
+    """
+
+    seq: int
+    category: str
+    action: str
+    subject: str
+    reason: str
+    span: int | None
+    attrs: dict = field(default_factory=dict)
+
+    def to_event(self) -> dict:
+        event = {
+            "type": "decision",
+            "seq": self.seq,
+            "category": self.category,
+            "action": self.action,
+            "subject": self.subject,
+            "reason": self.reason,
+            "span": self.span,
+        }
+        if self.attrs:
+            event["attrs"] = self.attrs
+        return event
+
+
+class _ActiveSpan:
+    """Context manager driving one :class:`Span` on the recorder stack."""
+
+    __slots__ = ("_recorder", "_span")
+
+    def __init__(self, recorder: "Recorder", span: Span) -> None:
+        self._recorder = recorder
+        self._span = span
+
+    def set(self, **attrs) -> "_ActiveSpan":
+        """Attach attributes to the span after it opened."""
+        self._span.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "_ActiveSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self._recorder._close_span(self._span)
+        return False
+
+
+class _Timed:
+    """Context manager that observes its elapsed time into a histogram."""
+
+    __slots__ = ("_histogram", "_labels", "_t0")
+
+    def __init__(self, histogram: Histogram, labels: dict) -> None:
+        self._histogram = histogram
+        self._labels = labels
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_Timed":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self._histogram.observe(time.perf_counter() - self._t0, **self._labels)
+        return False
+
+
+class _NoopSpan:
+    """The do-nothing span/timer; one shared instance, zero storage."""
+
+    __slots__ = ()
+
+    def set(self, **attrs) -> "_NoopSpan":
+        return self
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class NullRecorder:
+    """The disabled recorder: every method is a storage-free no-op.
+
+    Hot paths gate attribute formatting on :attr:`enabled` so the
+    disabled path costs one attribute check and no allocations that
+    outlive the call.
+    """
+
+    __slots__ = ()
+
+    enabled = False
+
+    def span(self, name: str, **attrs) -> _NoopSpan:
+        return NOOP_SPAN
+
+    def timed(self, name: str, **labels) -> _NoopSpan:
+        return NOOP_SPAN
+
+    def decision(
+        self,
+        category: str,
+        action: str,
+        subject: str = "",
+        reason: str = "",
+        **attrs,
+    ) -> None:
+        return None
+
+    def counter(self, name: str):
+        return NULL_INSTRUMENT
+
+    def gauge(self, name: str):
+        return NULL_INSTRUMENT
+
+    def histogram(self, name: str, buckets=None):
+        return NULL_INSTRUMENT
+
+
+NULL_RECORDER = NullRecorder()
+
+
+class Recorder:
+    """Collects spans, decisions and metrics for one observed run."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._epoch = time.perf_counter()
+        self._seq = 0
+        self._stack: list[Span] = []
+        self.spans: list[Span] = []
+        self.decisions: list[DecisionEvent] = []
+        self.metrics = MetricsRegistry()
+        # Events in completion order (spans append on close, decisions on
+        # creation), ready for NDJSON streaming.
+        self._log: list[dict] = []
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    # ------------------------------------------------------------------
+    # Spans
+    # ------------------------------------------------------------------
+    def span(self, name: str, **attrs) -> _ActiveSpan:
+        """Open a nested span; use as a context manager."""
+        parent = self._stack[-1].sid if self._stack else None
+        span = Span(
+            sid=self._next_seq(),
+            parent=parent,
+            name=name,
+            depth=len(self._stack),
+            t_start=time.perf_counter() - self._epoch,
+            attrs=dict(attrs),
+        )
+        self._stack.append(span)
+        self.spans.append(span)
+        return _ActiveSpan(self, span)
+
+    def _close_span(self, span: Span) -> None:
+        span.t_end = time.perf_counter() - self._epoch
+        # Close any deeper spans left open (defensive: exceptions may
+        # unwind several levels at once).
+        while self._stack and self._stack[-1] is not span:
+            dangling = self._stack.pop()
+            dangling.t_end = span.t_end
+            self._log.append(dangling.to_event())
+        if self._stack:
+            self._stack.pop()
+        self._log.append(span.to_event())
+
+    def timed(self, name: str, **labels) -> _Timed:
+        """Time a block into histogram ``name`` (seconds)."""
+        return _Timed(self.metrics.histogram(name), labels)
+
+    # ------------------------------------------------------------------
+    # Decisions
+    # ------------------------------------------------------------------
+    def decision(
+        self,
+        category: str,
+        action: str,
+        subject: str = "",
+        reason: str = "",
+        **attrs,
+    ) -> DecisionEvent:
+        event = DecisionEvent(
+            seq=self._next_seq(),
+            category=category,
+            action=action,
+            subject=subject,
+            reason=reason,
+            span=self._stack[-1].sid if self._stack else None,
+            attrs=attrs,
+        )
+        self.decisions.append(event)
+        self._log.append(event.to_event())
+        return event
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        return self.metrics.counter(name)
+
+    def gauge(self, name: str) -> Gauge:
+        return self.metrics.gauge(name)
+
+    def histogram(self, name: str, buckets=None) -> Histogram:
+        return self.metrics.histogram(name, buckets)
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def events(self) -> list[dict]:
+        """All trace events: one meta line, then completion-ordered records.
+
+        Still-open spans are flushed with ``t_end: null`` so a trace
+        written mid-run is valid NDJSON.
+        """
+        meta = {
+            "type": "meta",
+            "format": TRACE_FORMAT,
+            "version": TRACE_VERSION,
+            "clock": "perf_counter",
+            "spans": len(self.spans),
+            "decisions": len(self.decisions),
+        }
+        out = [meta]
+        out.extend(self._log)
+        closed = {id(s) for s in self.spans if s.t_end is not None}
+        out.extend(
+            s.to_event() for s in self.spans if id(s) not in closed
+        )
+        return out
+
+    def write_trace(self, path_or_file) -> None:
+        """Write the trace as NDJSON (one JSON object per line)."""
+        from repro.obs.ndjson import dump_ndjson
+
+        dump_ndjson(self.events(), path_or_file)
+
+    def write_metrics(self, path_or_file) -> None:
+        """Write the metrics snapshot as a single JSON document."""
+        self.metrics.write_snapshot(path_or_file)
+
+
+# ----------------------------------------------------------------------
+# Ambient recorder
+# ----------------------------------------------------------------------
+_current: Recorder | NullRecorder = NULL_RECORDER
+
+
+def current() -> Recorder | NullRecorder:
+    """The ambient recorder (the no-op :data:`NULL_RECORDER` by default)."""
+    return _current
+
+
+@contextmanager
+def use(recorder: Recorder | NullRecorder):
+    """Install ``recorder`` as the ambient recorder for a ``with`` block."""
+    global _current
+    previous = _current
+    _current = recorder
+    try:
+        yield recorder
+    finally:
+        _current = previous

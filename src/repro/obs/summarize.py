@@ -1,0 +1,149 @@
+"""Trace aggregation: per-stage timing tables, span trees, CLI footers.
+
+Consumes the NDJSON event dicts produced by
+:meth:`~repro.obs.recorder.Recorder.events` (or loaded back with
+:func:`~repro.obs.ndjson.load_ndjson`) and renders them for humans:
+``repro trace summarize`` uses :func:`render_summary`, the ``-v`` timing
+footer uses :func:`stage_footer`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: The pipeline stage spans, in execution order, used by the footer.
+PIPELINE_STAGES = ("audit", "expand", "condense", "map", "score")
+
+
+@dataclass(frozen=True)
+class StageStats:
+    """Aggregate timing of all spans sharing one name."""
+
+    name: str
+    count: int
+    total_s: float
+    mean_s: float
+    max_s: float
+
+
+def _spans(events: list[dict]) -> list[dict]:
+    return [e for e in events if e.get("type") == "span"]
+
+
+def _decisions(events: list[dict]) -> list[dict]:
+    return [e for e in events if e.get("type") == "decision"]
+
+
+def summarize_trace(events: list[dict]) -> list[StageStats]:
+    """Per-span-name timing aggregates, ordered by total time descending."""
+    totals: dict[str, list[float]] = {}
+    for span in _spans(events):
+        totals.setdefault(span["name"], []).append(span.get("dur_s") or 0.0)
+    stats = [
+        StageStats(
+            name=name,
+            count=len(durs),
+            total_s=sum(durs),
+            mean_s=sum(durs) / len(durs),
+            max_s=max(durs),
+        )
+        for name, durs in totals.items()
+    ]
+    return sorted(stats, key=lambda s: (-s.total_s, s.name))
+
+
+def decision_counts(events: list[dict]) -> dict[tuple[str, str], int]:
+    """(category, action) -> number of decision events."""
+    counts: dict[tuple[str, str], int] = {}
+    for event in _decisions(events):
+        key = (event.get("category", "?"), event.get("action", "?"))
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def render_summary(events: list[dict]) -> str:
+    """The ``repro trace summarize`` report: timing table + decisions."""
+    from repro.metrics.report import format_table
+
+    stats = summarize_trace(events)
+    if not stats:
+        return "trace contains no spans"
+    rows = [
+        (
+            s.name,
+            s.count,
+            f"{s.total_s * 1000:.2f}",
+            f"{s.mean_s * 1000:.2f}",
+            f"{s.max_s * 1000:.2f}",
+        )
+        for s in stats
+    ]
+    lines = [
+        format_table(
+            ["span", "count", "total ms", "mean ms", "max ms"],
+            rows,
+            title="Per-stage timing",
+        )
+    ]
+    counts = decision_counts(events)
+    if counts:
+        decision_rows = [
+            (category, action, count)
+            for (category, action), count in sorted(counts.items())
+        ]
+        lines.append("")
+        lines.append(
+            format_table(
+                ["category", "action", "decisions"],
+                decision_rows,
+                title="Decision events",
+            )
+        )
+    return "\n".join(lines)
+
+
+def render_tree(events: list[dict]) -> str:
+    """Indented span tree with durations and decision attachment counts."""
+    spans = sorted(_spans(events), key=lambda s: s.get("t_start", 0.0))
+    children: dict[int | None, list[dict]] = {}
+    for span in spans:
+        children.setdefault(span.get("parent"), []).append(span)
+    decisions_per_span: dict[int | None, int] = {}
+    for event in _decisions(events):
+        key = event.get("span")
+        decisions_per_span[key] = decisions_per_span.get(key, 0) + 1
+
+    lines: list[str] = []
+
+    def walk(parent: int | None, indent: int) -> None:
+        for span in children.get(parent, ()):
+            duration = (span.get("dur_s") or 0.0) * 1000
+            suffix = ""
+            n_dec = decisions_per_span.get(span["sid"], 0)
+            if n_dec:
+                suffix = f"  [{n_dec} decision{'s' if n_dec != 1 else ''}]"
+            lines.append(f"{'  ' * indent}{span['name']}  {duration:.2f}ms{suffix}")
+            walk(span["sid"], indent + 1)
+
+    walk(None, 0)
+    return "\n".join(lines) if lines else "trace contains no spans"
+
+
+def stage_footer(recorder) -> str:
+    """One-line ``stages: audit 2ms · condense 14ms · ...`` summary.
+
+    Reads the live recorder (not a file): picks the children of the
+    outermost ``pipeline`` span, in execution order.  Returns ``""`` when
+    no pipeline span was recorded.
+    """
+    pipeline = next((s for s in recorder.spans if s.name == "pipeline"), None)
+    if pipeline is None:
+        return ""
+    stages = [
+        s for s in recorder.spans
+        if s.parent == pipeline.sid and s.name in PIPELINE_STAGES
+    ]
+    if not stages:
+        return ""
+    parts = [f"{s.name} {s.duration * 1000:.0f}ms" for s in stages]
+    return "stages: " + " · ".join(parts)

@@ -15,11 +15,13 @@ violations, and time-to-recover percentiles.
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass, field
 
 from repro.errors import SimulationError
 from repro.allocation.constraints import ResourceRequirements
 from repro.core.results import IntegrationOutcome
+from repro.obs import current
 from repro.resilience.bands import (
     CLASS_LABELS,
     DEFAULT_BANDS,
@@ -64,6 +66,9 @@ class ResilienceReport:
         recovery_p50: Median time-to-recover.
         recovery_p95: 95th-percentile time-to-recover.
         recovery_worst: Worst time-to-recover.
+        elapsed_s: Wall time of the campaign loop (``perf_counter``;
+            excluded from equality so seeded reruns still compare equal).
+        trials_per_s: Campaign throughput (also excluded from equality).
     """
 
     trials: int
@@ -79,6 +84,8 @@ class ResilienceReport:
     recovery_p50: float = 0.0
     recovery_p95: float = 0.0
     recovery_worst: float = 0.0
+    elapsed_s: float = field(default=0.0, compare=False)
+    trials_per_s: float = field(default=0.0, compare=False)
 
     @property
     def min_availability(self) -> float:
@@ -119,6 +126,7 @@ def run_resilience_campaign(
     origins = sorted(classes)
 
     rng = random.Random(seed)
+    rec = current()
     availability_sums = {origin: 0.0 for origin in origins}
     shed_total = 0
     shed_worst = 0
@@ -126,23 +134,49 @@ def run_resilience_campaign(
     class_a_outages = 0
     recovery_durations: list[float] = []
 
-    for _trial in range(trials):
-        if scenario is not None:
-            events = [e for e in scenario.events if e.time < horizon]
-        else:
-            events = draw_failure_sequence(hw, rates, failures, rng, horizon)
-        downtime, trial_shed, trial_violations, trial_a_outage = _simulate_trial(
-            outcome, events, rng, horizon, policies, bands, resources,
-            approach, classes, recovery_durations,
+    t0 = time.perf_counter()
+    with rec.span(
+        "resilience.campaign",
+        trials=trials,
+        failures=failures,
+        seed=seed,
+        horizon=horizon,
+        scripted=scenario is not None,
+    ):
+        for _trial in range(trials):
+            if scenario is not None:
+                events = [e for e in scenario.events if e.time < horizon]
+            else:
+                events = draw_failure_sequence(hw, rates, failures, rng, horizon)
+            if rec.enabled:
+                for event in events:
+                    rec.counter("resilience_failures_total").inc(
+                        kind=event.kind.name.lower()
+                    )
+            downtime, trial_shed, trial_violations, trial_a_outage = _simulate_trial(
+                outcome, events, rng, horizon, policies, bands, resources,
+                approach, classes, recovery_durations,
+            )
+            for origin in origins:
+                lost = min(downtime.get(origin, 0.0), horizon)
+                availability_sums[origin] += 1.0 - lost / horizon
+            shed_total += trial_shed
+            shed_worst = max(shed_worst, trial_shed)
+            separation_violations += trial_violations
+            if trial_a_outage:
+                class_a_outages += 1
+    elapsed = time.perf_counter() - t0
+    rate = trials / elapsed if elapsed > 0 else 0.0
+    if rec.enabled:
+        rec.counter("resilience_trials_total").inc(trials)
+        rec.gauge("resilience_trials_per_s").set(rate)
+        # Simulated-time buckets (same units as ``horizon``), not seconds.
+        recovery_hist = rec.histogram(
+            "resilience_recovery_duration",
+            buckets=(0.1, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0),
         )
-        for origin in origins:
-            lost = min(downtime.get(origin, 0.0), horizon)
-            availability_sums[origin] += 1.0 - lost / horizon
-        shed_total += trial_shed
-        shed_worst = max(shed_worst, trial_shed)
-        separation_violations += trial_violations
-        if trial_a_outage:
-            class_a_outages += 1
+        for duration in recovery_durations:
+            recovery_hist.observe(duration)
 
     class_sizes: dict[str, int] = {}
     class_availability: dict[str, float] = {}
@@ -170,6 +204,8 @@ def run_resilience_campaign(
         recovery_p50=_percentile(ordered, 0.50),
         recovery_p95=_percentile(ordered, 0.95),
         recovery_worst=ordered[-1] if ordered else 0.0,
+        elapsed_s=elapsed,
+        trials_per_s=rate,
     )
 
 

@@ -25,6 +25,7 @@ from repro.allocation.constraints import ResourceRequirements
 from repro.allocation.hw_model import HWGraph
 from repro.allocation.mapping import Mapping, map_approach_a, map_approach_b
 from repro.core.results import IntegrationOutcome
+from repro.obs import current
 from repro.resilience.bands import (
     DEFAULT_BANDS,
     CriticalityBands,
@@ -143,6 +144,7 @@ def plan_degradation(
     survivors = surviving_hw(outcome.mapping.hw, failed_nodes, failed_links)
     classes = process_classes(graph, bands)
     notes: list[str] = []
+    rec = current()
 
     # Working partition: original cluster index -> current member tuple.
     blocks: dict[int, tuple[str, ...]] = {
@@ -171,18 +173,40 @@ def plan_degradation(
                     f"split {state.clusters[index].label}: shed "
                     f"{', '.join(stranded)} (resource unreachable)"
                 )
+                if rec.enabled:
+                    rec.decision(
+                        "degrade",
+                        "split",
+                        subject=state.clusters[index].label,
+                        reason="resource unreachable on surviving HW",
+                        shed_members=list(stranded),
+                    )
             else:
                 del blocks[index]
                 shed.append(index)
                 notes.append(
                     f"shed {state.clusters[index].label} (resource unreachable)"
                 )
+                if rec.enabled:
+                    rec.decision(
+                        "degrade",
+                        "shed",
+                        subject=state.clusters[index].label,
+                        reason="resource unreachable on surviving HW",
+                    )
 
     def shed_one(reason: str) -> None:
         victim = _pick_shed(graph, blocks)
         shed.append(victim)
         shed_members.extend(blocks.pop(victim))
         notes.append(f"shed {state.clusters[victim].label} ({reason})")
+        if rec.enabled:
+            rec.decision(
+                "degrade",
+                "shed",
+                subject=state.clusters[victim].label,
+                reason=reason,
+            )
 
     # 2. Shed whole clusters until the survivors can host the rest.
     while len(blocks) > len(survivors):
@@ -222,6 +246,10 @@ def plan_degradation(
     uncovered = tuple(sorted(all_origins - hosted_origins))
 
     violations = _separation_violations(graph, hosted_members, assignment)
+    if rec.enabled:
+        rec.counter("degrade_plans_total").inc()
+        if violations:
+            rec.counter("degrade_separation_violations_total").inc(len(violations))
 
     return DegradationPlan(
         failed_nodes=tuple(sorted(set(failed_nodes))),

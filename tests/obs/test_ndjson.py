@@ -1,0 +1,104 @@
+"""NDJSON round-trip, strict loading, and trace validation."""
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import (
+    Recorder,
+    dump_ndjson,
+    load_ndjson,
+    validate_trace,
+)
+
+
+@pytest.fixture
+def recorded():
+    rec = Recorder()
+    with rec.span("pipeline", system="paper"):
+        with rec.span("audit"):
+            pass
+        with rec.span("condense"):
+            rec.decision("condense", "merge", subject="p1 + p2", reason="H1")
+    return rec
+
+
+class TestRoundTrip:
+    def test_write_then_load_identical(self, recorded, tmp_path):
+        path = tmp_path / "trace.ndjson"
+        recorded.write_trace(str(path))
+        assert load_ndjson(str(path)) == recorded.events()
+
+    def test_round_trip_preserves_attrs(self, recorded, tmp_path):
+        path = tmp_path / "trace.ndjson"
+        recorded.write_trace(str(path))
+        spans = [e for e in load_ndjson(str(path)) if e["type"] == "span"]
+        pipeline = next(s for s in spans if s["name"] == "pipeline")
+        assert pipeline["attrs"] == {"system": "paper"}
+
+    def test_one_object_per_line(self, recorded, tmp_path):
+        path = tmp_path / "trace.ndjson"
+        recorded.write_trace(str(path))
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == len(recorded.events())
+
+    def test_file_object_round_trip(self, recorded, tmp_path):
+        path = tmp_path / "trace.ndjson"
+        with open(path, "w") as handle:
+            dump_ndjson(recorded.events(), handle)
+        with open(path) as handle:
+            assert load_ndjson(handle) == recorded.events()
+
+
+class TestStrictLoading:
+    def test_malformed_line_reports_line_number(self, tmp_path):
+        path = tmp_path / "bad.ndjson"
+        path.write_text('{"type":"meta","format":"repro-trace"}\nnot json\n')
+        with pytest.raises(ObservabilityError, match=":2:"):
+            load_ndjson(str(path))
+
+    def test_non_object_line_rejected(self, tmp_path):
+        path = tmp_path / "bad.ndjson"
+        path.write_text("[1,2,3]\n")
+        with pytest.raises(ObservabilityError, match="not a JSON object"):
+            load_ndjson(str(path))
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "ok.ndjson"
+        path.write_text('{"a":1}\n\n{"b":2}\n')
+        assert load_ndjson(str(path)) == [{"a": 1}, {"b": 2}]
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(ObservabilityError, match="cannot read"):
+            load_ndjson(str(tmp_path / "absent.ndjson"))
+
+
+class TestValidateTrace:
+    def test_recorded_trace_is_valid(self, recorded):
+        assert validate_trace(recorded.events()) == []
+
+    def test_bad_meta_format_flagged(self):
+        problems = validate_trace([{"type": "meta", "format": "other"}])
+        assert any("format" in p for p in problems)
+
+    def test_span_missing_keys_flagged(self):
+        problems = validate_trace([{"type": "span", "sid": 1}])
+        assert any("missing keys" in p for p in problems)
+
+    def test_unknown_parent_flagged(self, recorded):
+        events = recorded.events()
+        spans = [e for e in events if e["type"] == "span"]
+        spans[0]["parent"] = 999
+        assert any("unknown parent" in p for p in validate_trace(events))
+
+    def test_negative_duration_flagged(self):
+        span = {
+            "type": "span", "sid": 1, "parent": None, "name": "x",
+            "depth": 0, "t_start": 2.0, "t_end": 1.0, "dur_s": -1.0,
+        }
+        assert any("ends before" in p for p in validate_trace([span]))
+
+    def test_unknown_type_flagged(self):
+        assert any(
+            "unknown record type" in p
+            for p in validate_trace([{"type": "mystery"}])
+        )

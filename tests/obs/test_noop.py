@@ -1,0 +1,72 @@
+"""The disabled-recorder path: no events, no measurable allocations."""
+
+import tracemalloc
+
+from repro.allocation.hw_model import fully_connected
+from repro.core.framework import IntegrationFramework
+from repro.obs import NULL_RECORDER, Recorder, current, use
+from repro.workloads import HW_NODE_COUNT, paper_system
+
+
+class TestNullRecorder:
+    def test_disabled_flag(self):
+        assert NULL_RECORDER.enabled is False
+        assert Recorder().enabled is True
+
+    def test_span_is_shared_noop(self):
+        first = NULL_RECORDER.span("audit", system="paper")
+        second = NULL_RECORDER.timed("power_series_s")
+        assert first is second  # one shared instance, zero storage
+        with first as span:
+            assert span.set(anything=1) is span
+
+    def test_decision_returns_none(self):
+        assert NULL_RECORDER.decision("condense", "merge", subject="x") is None
+
+    def test_instruments_are_noops(self):
+        NULL_RECORDER.counter("n").inc(5, rule="R1")
+        NULL_RECORDER.gauge("g").set(1.0)
+        NULL_RECORDER.histogram("h").observe(0.5)
+
+
+class TestFrameworkRunsDisabled:
+    def test_framework_run_records_nothing(self):
+        # No recorder installed: the ambient NULL_RECORDER absorbs all
+        # instrumentation, and a subsequent real recorder stays empty.
+        assert current() is NULL_RECORDER
+        framework = IntegrationFramework(paper_system())
+        outcome = framework.integrate(fully_connected(HW_NODE_COUNT))
+        assert outcome.feasible
+        probe = Recorder()
+        assert probe.spans == []
+        assert probe.decisions == []
+        assert len(probe.metrics) == 0
+
+    def test_disabled_run_allocates_nothing_in_obs(self):
+        framework = IntegrationFramework(paper_system())
+        hw = fully_connected(HW_NODE_COUNT)
+        framework.integrate(hw)  # warm caches before measuring
+
+        tracemalloc.start()
+        before = tracemalloc.take_snapshot()
+        framework.integrate(hw)
+        after = tracemalloc.take_snapshot()
+        tracemalloc.stop()
+
+        obs_filter = tracemalloc.Filter(True, "*/repro/obs/*")
+        growth = sum(
+            stat.size_diff
+            for stat in after.filter_traces([obs_filter]).compare_to(
+                before.filter_traces([obs_filter]), "filename"
+            )
+        )
+        assert growth == 0, f"obs allocated {growth} bytes while disabled"
+
+    def test_enabled_then_disabled_restores_null(self):
+        rec = Recorder()
+        with use(rec):
+            IntegrationFramework(paper_system()).integrate(
+                fully_connected(HW_NODE_COUNT)
+            )
+        assert current() is NULL_RECORDER
+        assert len(rec.spans) > 0
