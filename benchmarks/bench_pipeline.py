@@ -23,6 +23,8 @@ from pathlib import Path
 
 from repro.allocation.hw_model import fully_connected
 from repro.core.framework import FrameworkOptions, Heuristic, IntegrationFramework
+from repro.exec import ExecPolicy
+from repro.faultsim.campaign import run_campaign
 from repro.obs import PIPELINE_STAGES, Recorder, use
 from repro.workloads import HW_NODE_COUNT, paper_system
 from repro.workloads.generators import random_system
@@ -63,6 +65,41 @@ def bench_scenario(name, system, hw, heuristic, trials) -> dict:
     }
 
 
+def bench_parallel_campaign(name, system, hw, heuristic, trials, workers) -> dict:
+    """Run one fault campaign serially and pooled; record the speedup.
+
+    The pooled run goes through the supervised runner
+    (:mod:`repro.exec`), so this entry also asserts the determinism
+    contract where it matters most: both runs must agree on every
+    campaign statistic, or the entry is marked ``identical: false``.
+    """
+    framework = IntegrationFramework(system, FrameworkOptions(heuristic=heuristic))
+    outcome = framework.integrate(hw)
+    state = outcome.condensation.state
+    graph, partition = state.graph, state.as_partition()
+
+    t0 = time.perf_counter()
+    serial = run_campaign(graph, partition, trials=trials, seed=0)
+    serial_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    pooled = run_campaign(
+        graph, partition, trials=trials, seed=0,
+        policy=ExecPolicy(workers=workers),
+    )
+    pooled_s = time.perf_counter() - t0
+    return {
+        "name": name,
+        "campaign_trials": trials,
+        "workers": workers,
+        "serial_wall_s": round(serial_s, 6),
+        "pooled_wall_s": round(pooled_s, 6),
+        "speedup": round(serial_s / pooled_s, 3) if pooled_s else None,
+        "identical": serial == pooled,
+        "retries": pooled.exec_report.retries if pooled.exec_report else 0,
+    }
+
+
 def run(quick: bool = False) -> list[dict]:
     trials = 200 if quick else 2000
     entries = [
@@ -82,6 +119,16 @@ def run(quick: bool = False) -> list[dict]:
             Heuristic.TIMING_PACK,
             trials,
         ),
+        bench_parallel_campaign(
+            "parallel-campaign-200",
+            random_system(
+                processes=200, tasks_per_process=1, procedures_per_task=1, seed=42
+            ),
+            fully_connected(40),
+            Heuristic.TIMING_PACK,
+            trials,
+            workers=4,
+        ),
     ]
     return entries
 
@@ -99,14 +146,22 @@ def main(argv=None) -> int:
     entries = run(quick=args.quick)
     Path(args.output).write_text(json.dumps(entries, indent=2) + "\n")
     for entry in entries:
-        stage_text = " ".join(
-            f"{stage}={entry['stages'][stage] * 1000:.1f}ms"
-            for stage in PIPELINE_STAGES
-        )
-        print(
-            f"{entry['name']}: {entry['wall_s']:.3f}s total, "
-            f"{entry['trials_per_s']:.0f} trials/s ({stage_text})"
-        )
+        if "stages" in entry:
+            stage_text = " ".join(
+                f"{stage}={entry['stages'][stage] * 1000:.1f}ms"
+                for stage in PIPELINE_STAGES
+            )
+            print(
+                f"{entry['name']}: {entry['wall_s']:.3f}s total, "
+                f"{entry['trials_per_s']:.0f} trials/s ({stage_text})"
+            )
+        else:
+            print(
+                f"{entry['name']}: serial {entry['serial_wall_s']:.3f}s vs "
+                f"{entry['workers']} workers {entry['pooled_wall_s']:.3f}s "
+                f"(speedup {entry['speedup']:.2f}x, "
+                f"identical={entry['identical']})"
+            )
     print(f"wrote {args.output}")
     return 0
 

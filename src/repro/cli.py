@@ -11,8 +11,19 @@ Subcommands:
 * ``resilience --workload paper --failures 2 --seed 0`` — integrate a
   built-in workload, then run a HW-failure campaign and report
   availability per criticality class.
+* ``faultsim --workload paper --trials 1000`` — integrate a built-in
+  workload, then run a fault-injection campaign over the resulting
+  partition.
+* ``exec chaos`` — the supervised runner's chaos self-test: killed
+  workers, torn checkpoints, interrupted campaigns, all checked against
+  a serial baseline.
 * ``example NAME`` — dump a built-in workload (``paper`` or ``avionics``)
   as JSON, as a starting template.
+
+``resilience`` and ``faultsim`` both take supervised-runner flags
+(``--workers``, ``--batch-size``, ``--trial-timeout``, ``--checkpoint``,
+``--resume``); campaign results are bit-identical whichever combination
+is used.
 * ``trace summarize TRACE.ndjson`` — aggregate an NDJSON trace into a
   per-stage timing table (``--tree`` renders the span tree instead).
 
@@ -51,7 +62,9 @@ from repro.io.serialization import (
 )
 from repro.metrics.report import (
     format_table,
+    render_campaign,
     render_clusters,
+    render_exec_report,
     render_mapping,
     render_resilience,
 )
@@ -92,6 +105,47 @@ def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--metrics", default=None, metavar="FILE",
         help="write a JSON metrics snapshot of this run here",
+    )
+
+
+def _add_exec_flags(parser: argparse.ArgumentParser) -> None:
+    """Attach supervised-runner flags to a campaign subcommand."""
+    parser.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="run campaign batches on a supervised worker pool of N "
+        "processes (0 = serial in-process)",
+    )
+    parser.add_argument(
+        "--batch-size", type=int, default=0, metavar="N",
+        help="trials per batch (0 = derive from trials and workers); the "
+        "result is identical for every batch size",
+    )
+    parser.add_argument(
+        "--trial-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-trial time budget; a batch exceeding batch_size x this "
+        "is treated as hung and retried",
+    )
+    parser.add_argument(
+        "--checkpoint", default=None, metavar="FILE",
+        help="stream completed batches to this NDJSON checkpoint file",
+    )
+    parser.add_argument(
+        "--resume", default=None, metavar="FILE",
+        help="resume from a checkpoint file, skipping completed batches "
+        "(implies checkpointing to the same file)",
+    )
+
+
+def _exec_policy(args: argparse.Namespace):
+    """An :class:`ExecPolicy` from CLI flags, or None for the defaults."""
+    from repro.exec import ExecPolicy
+
+    if not (args.workers or args.batch_size or args.trial_timeout):
+        return None
+    return ExecPolicy(
+        workers=args.workers,
+        batch_size=args.batch_size,
+        trial_timeout=args.trial_timeout,
     )
 
 
@@ -193,7 +247,58 @@ def build_parser() -> argparse.ArgumentParser:
         "-v", "--verbose", action="store_true",
         help="print stage-timing and campaign-throughput footers",
     )
+    _add_exec_flags(resilience)
     _add_obs_flags(resilience)
+
+    faultsim = sub.add_parser(
+        "faultsim", help="run a fault-injection campaign on a workload"
+    )
+    faultsim.add_argument(
+        "--workload",
+        choices=["paper", "avionics", "automotive"],
+        default="paper",
+        help="built-in workload (system + HW + resources)",
+    )
+    faultsim.add_argument("--trials", type=int, default=1000)
+    faultsim.add_argument("--seed", type=int, default=0)
+    faultsim.add_argument(
+        "--heuristic",
+        choices=[h.value for h in Heuristic],
+        default=Heuristic.H1.value,
+    )
+    faultsim.add_argument(
+        "--mapping",
+        choices=[m.value for m in MappingApproach],
+        default=MappingApproach.IMPORTANCE.value,
+    )
+    faultsim.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="print stage-timing and campaign-throughput footers",
+    )
+    _add_exec_flags(faultsim)
+    _add_obs_flags(faultsim)
+
+    exec_cmd = sub.add_parser(
+        "exec", help="supervised-runner utilities"
+    )
+    exec_sub = exec_cmd.add_subparsers(dest="exec_command", required=True)
+    chaos = exec_sub.add_parser(
+        "chaos",
+        help="run the runner's chaos self-test (killed workers, torn "
+        "checkpoints, interrupted campaigns)",
+    )
+    chaos.add_argument(
+        "--trials", type=int, default=32,
+        help="faultsim trials per self-test campaign",
+    )
+    chaos.add_argument("--workers", type=int, default=2)
+    chaos.add_argument("--seed", type=int, default=7)
+    chaos.add_argument(
+        "--workdir", default=None, metavar="DIR",
+        help="directory for checkpoint scratch files (default: a fresh "
+        "temporary directory)",
+    )
+    _add_obs_flags(chaos)
 
     example = sub.add_parser("example", help="dump a built-in workload")
     example.add_argument("name", choices=["paper", "avionics"])
@@ -379,8 +484,15 @@ def _cmd_resilience(args: argparse.Namespace) -> int:
             rates=rates,
             resources=options.resources,
             approach=options.mapping.value,
+            policy=_exec_policy(args),
+            checkpoint=args.checkpoint,
+            resume=args.resume,
         )
     print(render_resilience(report))
+    if report.exec_report is not None and (
+        args.verbose or report.exec_report.workers
+    ):
+        print(render_exec_report(report.exec_report))
     if args.verbose:
         _print_stage_footer()
         print(
@@ -388,6 +500,74 @@ def _cmd_resilience(args: argparse.Namespace) -> int:
             f"{report.trials_per_s:.0f} trials/s"
         )
     return 0 if report.separation_violations == 0 else 1
+
+
+def _cmd_faultsim(args: argparse.Namespace) -> int:
+    from repro.faultsim.campaign import run_campaign
+
+    system, hw, options, _rates, _scenario = _builtin_workload(
+        args.workload, args.heuristic, args.mapping
+    )
+    framework = IntegrationFramework(system, options)
+    outcome = framework.integrate(hw)
+    state = outcome.condensation.state
+    result = run_campaign(
+        state.graph,
+        state.as_partition(),
+        trials=args.trials,
+        seed=args.seed,
+        policy=_exec_policy(args),
+        checkpoint=args.checkpoint,
+        resume=args.resume,
+    )
+    print(
+        render_campaign(
+            result,
+            title=f"Fault-injection campaign ({args.workload}, "
+            f"{args.trials} trials, seed {args.seed})",
+        )
+    )
+    if result.exec_report is not None and (
+        args.verbose or result.exec_report.workers
+    ):
+        print(render_exec_report(result.exec_report))
+    if args.verbose:
+        _print_stage_footer()
+        print(
+            f"campaign: {result.elapsed_s:.3f}s · "
+            f"{result.trials_per_s:.0f} trials/s"
+        )
+    return 0
+
+
+def _cmd_exec(args: argparse.Namespace) -> int:
+    import tempfile
+
+    from repro.exec import run_chaos_selftest
+
+    if args.workdir is not None:
+        result = run_chaos_selftest(
+            args.workdir,
+            trials=args.trials,
+            workers=args.workers,
+            seed=args.seed,
+        )
+    else:
+        with tempfile.TemporaryDirectory(prefix="repro-chaos-") as workdir:
+            result = run_chaos_selftest(
+                workdir,
+                trials=args.trials,
+                workers=args.workers,
+                seed=args.seed,
+            )
+    for line in result.describe():
+        print(line)
+    print(
+        "chaos self-test "
+        + ("PASSED" if result.passed else "FAILED")
+        + f" ({len(result.checks)} checks, {len(result.failures)} failures)"
+    )
+    return 0 if result.passed else 1
 
 
 def _cmd_example(args: argparse.Namespace) -> int:
@@ -430,6 +610,8 @@ def main(argv: list[str] | None = None) -> int:
         "audit": _cmd_audit,
         "tradeoff": _cmd_tradeoff,
         "resilience": _cmd_resilience,
+        "faultsim": _cmd_faultsim,
+        "exec": _cmd_exec,
         "example": _cmd_example,
         "trace": _cmd_trace,
     }

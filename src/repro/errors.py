@@ -90,3 +90,26 @@ class SimulationError(DDSIError):
 class ObservabilityError(DDSIError):
     """Invalid trace/metrics input: malformed NDJSON, unwritable sink,
     or a metric registered twice with conflicting types."""
+
+
+class ExecutionError(DDSIError):
+    """The supervised campaign runner failed permanently.
+
+    Raised when a batch cannot be completed even after the full
+    degradation ladder (pool retries, batch splitting, serial fallback),
+    or when the runner receives inconsistent configuration."""
+
+
+class CheckpointError(ExecutionError):
+    """A campaign checkpoint cannot be used for resume.
+
+    Raised on fingerprint mismatch (the checkpoint belongs to a different
+    campaign) or an unreadable checkpoint file.  Corrupt *trailing* lines
+    are not an error — they are reported and their batches recomputed."""
+
+
+class CampaignInterrupted(ExecutionError):
+    """The runner was interrupted mid-campaign (chaos or signal).
+
+    Completed batches are already in the checkpoint; the run can be
+    continued with ``resume``."""

@@ -1,0 +1,58 @@
+"""repro.exec — crash-safe supervised execution for Monte Carlo campaigns.
+
+The dependability analyses are only as trustworthy as the tooling that
+runs them; this package applies the paper's own fault-tolerance thinking
+to the campaign runner (De Florio's application-level fault tolerance):
+
+* :mod:`repro.exec.batching` — deterministic batch plans and SHA-256
+  per-trial seed derivation (bit-identical results for any batch size,
+  worker count, or retry history);
+* :mod:`repro.exec.runner` — the supervised multiprocessing pool:
+  timeouts, crashed-worker respawn, retry with exponential backoff and
+  jitter, and graceful degradation (split, then serial fallback);
+* :mod:`repro.exec.checkpoint` — streamed NDJSON checkpoints with an
+  atomic-rename completion manifest, tolerant of torn trailing lines;
+* :mod:`repro.exec.chaos` — fault injection into the runner itself,
+  backing the ``repro exec chaos`` self-test.
+
+See ``docs/EXECUTION.md`` for the determinism contract, the checkpoint
+schema, and the supervision state machine.
+"""
+
+from repro.exec.batching import (
+    Batch,
+    default_batch_size,
+    derive_seed,
+    plan_batches,
+)
+from repro.exec.chaos import (
+    ChaosPlan,
+    ChaosSelfTestResult,
+    run_chaos_selftest,
+    truncate_file,
+)
+from repro.exec.checkpoint import (
+    CheckpointData,
+    CheckpointWriter,
+    campaign_fingerprint,
+    load_checkpoint,
+)
+from repro.exec.runner import ExecPolicy, ExecReport, run_supervised
+
+__all__ = [
+    "Batch",
+    "ChaosPlan",
+    "ChaosSelfTestResult",
+    "CheckpointData",
+    "CheckpointWriter",
+    "ExecPolicy",
+    "ExecReport",
+    "campaign_fingerprint",
+    "default_batch_size",
+    "derive_seed",
+    "load_checkpoint",
+    "plan_batches",
+    "run_chaos_selftest",
+    "run_supervised",
+    "truncate_file",
+]

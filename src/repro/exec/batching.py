@@ -1,0 +1,101 @@
+"""Deterministic batch planning and seed derivation for campaigns.
+
+The determinism contract (docs/EXECUTION.md) rests on two rules:
+
+* **per-trial seeds** — trial ``t`` of a campaign with seed ``S`` always
+  runs on ``random.Random(derive_seed(S, t))``, regardless of which
+  batch, worker, or retry attempt executes it.  Seeds are derived with
+  SHA-256, so they are stable across platforms, Python versions and
+  ``PYTHONHASHSEED``.
+* **batches are pure trial ranges** — a :class:`Batch` carries no state
+  beyond ``(start, size)``; splitting a batch (graceful degradation) or
+  resuming from a checkpoint covering different ranges cannot change any
+  trial's outcome.
+
+Campaign aggregates are merged in trial order (see the campaign modules),
+so the final result is bit-identical for any batch size, worker count,
+retry history, or interrupt/resume schedule.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.errors import ExecutionError
+
+_SEED_DOMAIN = "repro-exec"
+
+
+def derive_seed(campaign_seed: int, index: int, purpose: str = "trial") -> int:
+    """A stable 63-bit seed for unit ``index`` of a seeded campaign.
+
+    ``purpose`` separates independent seed streams (trial RNGs vs. the
+    supervisor's backoff jitter) drawn from one campaign seed.
+    """
+    text = f"{_SEED_DOMAIN}:{purpose}:{campaign_seed}:{index}"
+    digest = hashlib.sha256(text.encode("ascii")).digest()
+    return int.from_bytes(digest[:8], "big") >> 1
+
+
+@dataclass(frozen=True)
+class Batch:
+    """A contiguous range of campaign trials: ``[start, start + size)``."""
+
+    start: int
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise ExecutionError(f"batch start must be >= 0, got {self.start}")
+        if self.size < 1:
+            raise ExecutionError(f"batch size must be >= 1, got {self.size}")
+
+    @property
+    def stop(self) -> int:
+        return self.start + self.size
+
+    def trials(self) -> range:
+        return range(self.start, self.stop)
+
+    def split(self) -> tuple["Batch", "Batch"]:
+        """Two halves covering the same trials (degradation ladder).
+
+        A single-trial batch cannot be split.
+        """
+        if self.size < 2:
+            raise ExecutionError("cannot split a single-trial batch")
+        left = self.size // 2
+        return (
+            Batch(self.start, left),
+            Batch(self.start + left, self.size - left),
+        )
+
+
+def plan_batches(trials: int, batch_size: int) -> tuple[Batch, ...]:
+    """Split ``trials`` into consecutive batches of ``batch_size``.
+
+    The last batch may be short.  The plan is a pure function of its
+    arguments — resuming a campaign re-derives the identical plan.
+    """
+    if trials < 1:
+        raise ExecutionError(f"trials must be >= 1, got {trials}")
+    if batch_size < 1:
+        raise ExecutionError(f"batch_size must be >= 1, got {batch_size}")
+    return tuple(
+        Batch(start, min(batch_size, trials - start))
+        for start in range(0, trials, batch_size)
+    )
+
+
+def default_batch_size(trials: int, workers: int) -> int:
+    """A batch size giving each worker ~4 batches (bounded to [1, trials]).
+
+    Small enough that a lost batch wastes little work and stragglers
+    balance out; large enough that dispatch overhead stays negligible.
+    """
+    if workers <= 1:
+        # Serial runs still batch (checkpoint granularity), sized so a
+        # resumable campaign checkpoints at least every ~1/16 of the run.
+        return max(1, min(trials, (trials + 15) // 16))
+    return max(1, (trials + workers * 4 - 1) // (workers * 4))

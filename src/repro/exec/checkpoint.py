@@ -1,0 +1,196 @@
+"""Crash-safe campaign checkpoints: streamed NDJSON + atomic manifest.
+
+A checkpoint file is NDJSON, one object per line, written append-only and
+flushed (+fsync'd) after every completed batch so a crash loses at most
+the batch in flight:
+
+* line 1 — ``{"type": "meta", "format": "repro-exec-checkpoint",
+  "version": 1, "fingerprint": ..., "trials": ..., "seed": ...}``;
+* then one ``{"type": "batch", "start": S, "size": N, "payload": {...}}``
+  per completed batch, in completion (not trial) order.
+
+The **fingerprint** hashes the campaign's identity (kind, seed, trials,
+campaign parameters); resume refuses a checkpoint whose fingerprint does
+not match, so results from a different campaign can never be merged in.
+
+A crash can leave a torn final line (or, on hostile filesystems, torn
+middle lines).  :func:`load_checkpoint` treats any undecodable or
+schema-invalid line as *corrupt*: it is counted, reported to the caller
+(who surfaces it as an obs decision), and its batch simply recomputed —
+corruption degrades to lost work, never to a crash or a wrong result.
+
+On successful completion the runner writes ``<path>.manifest``, a single
+JSON document, via write-temp-then-:func:`os.replace` — its existence is
+an atomic signal that the checkpoint covers the whole campaign.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import CheckpointError
+
+CHECKPOINT_FORMAT = "repro-exec-checkpoint"
+CHECKPOINT_VERSION = 1
+
+
+def campaign_fingerprint(kind: str, seed: int, trials: int, params: dict) -> str:
+    """A short stable digest identifying one campaign configuration.
+
+    ``params`` must be JSON-serializable; key order does not matter.
+    """
+    payload = json.dumps(
+        {"kind": kind, "seed": seed, "trials": trials, "params": params},
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass
+class CheckpointData:
+    """Everything recovered from an existing checkpoint file."""
+
+    fingerprint: str | None = None
+    trials: int | None = None
+    seed: int | None = None
+    entries: dict[tuple[int, int], Any] = field(default_factory=dict)
+    corrupt_lines: int = 0
+    corrupt_detail: list[str] = field(default_factory=list)
+
+    def covered_trials(self) -> int:
+        return sum(size for _, size in self.entries)
+
+
+def load_checkpoint(path: str) -> CheckpointData:
+    """Recover completed batches from ``path``, tolerating torn lines."""
+    data = CheckpointData()
+    try:
+        with open(path, encoding="utf-8") as handle:
+            lines = handle.readlines()
+    except OSError as exc:
+        raise CheckpointError(f"cannot read checkpoint {path!r}: {exc}") from exc
+    for number, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            data.corrupt_lines += 1
+            data.corrupt_detail.append(f"line {number}: undecodable ({exc.msg})")
+            continue
+        if not isinstance(record, dict):
+            data.corrupt_lines += 1
+            data.corrupt_detail.append(f"line {number}: not an object")
+            continue
+        kind = record.get("type")
+        if kind == "meta":
+            if record.get("format") != CHECKPOINT_FORMAT:
+                raise CheckpointError(
+                    f"{path!r} is not a campaign checkpoint "
+                    f"(format {record.get('format')!r})"
+                )
+            if record.get("version", 1) > CHECKPOINT_VERSION:
+                raise CheckpointError(
+                    f"checkpoint version {record.get('version')} is newer "
+                    f"than supported {CHECKPOINT_VERSION}"
+                )
+            data.fingerprint = record.get("fingerprint")
+            data.trials = record.get("trials")
+            data.seed = record.get("seed")
+        elif kind == "batch":
+            start, size, payload = (
+                record.get("start"),
+                record.get("size"),
+                record.get("payload"),
+            )
+            if (
+                isinstance(start, int)
+                and isinstance(size, int)
+                and size >= 1
+                and start >= 0
+                and payload is not None
+            ):
+                data.entries[(start, size)] = payload
+            else:
+                data.corrupt_lines += 1
+                data.corrupt_detail.append(f"line {number}: malformed batch record")
+        else:
+            data.corrupt_lines += 1
+            data.corrupt_detail.append(f"line {number}: unknown type {kind!r}")
+    return data
+
+
+class CheckpointWriter:
+    """Append-only NDJSON checkpoint writer (one flush+fsync per batch)."""
+
+    def __init__(
+        self,
+        path: str,
+        fingerprint: str,
+        trials: int,
+        seed: int,
+        fresh: bool,
+    ) -> None:
+        self.path = path
+        self.fingerprint = fingerprint
+        self.trials = trials
+        self.seed = seed
+        self.batches_written = 0
+        try:
+            self._handle = open(path, "a", encoding="utf-8")
+        except OSError as exc:
+            raise CheckpointError(
+                f"cannot open checkpoint {path!r}: {exc}"
+            ) from exc
+        if fresh:
+            self._write_line(
+                {
+                    "type": "meta",
+                    "format": CHECKPOINT_FORMAT,
+                    "version": CHECKPOINT_VERSION,
+                    "fingerprint": fingerprint,
+                    "trials": trials,
+                    "seed": seed,
+                }
+            )
+
+    def record(self, start: int, size: int, payload: Any) -> None:
+        self._write_line(
+            {"type": "batch", "start": start, "size": size, "payload": payload}
+        )
+        self.batches_written += 1
+
+    def _write_line(self, record: dict) -> None:
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+    def write_manifest(self, extra: dict | None = None) -> str:
+        """Atomically publish ``<path>.manifest`` marking completion."""
+        manifest_path = self.path + ".manifest"
+        document = {
+            "format": CHECKPOINT_FORMAT + "-manifest",
+            "version": CHECKPOINT_VERSION,
+            "fingerprint": self.fingerprint,
+            "trials": self.trials,
+            "seed": self.seed,
+            "complete": True,
+        }
+        if extra:
+            document.update(extra)
+        tmp_path = manifest_path + ".tmp"
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, manifest_path)
+        return manifest_path

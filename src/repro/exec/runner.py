@@ -1,0 +1,667 @@
+"""The supervised campaign runner: pool, retries, degradation, resume.
+
+``run_supervised`` executes a campaign's batch task over a deterministic
+batch plan (:mod:`repro.exec.batching`), optionally across a pool of
+forked worker processes, and survives the runner's own faults:
+
+* **crashed workers** (SIGKILL, OOM, segfault) are detected by exit
+  code, their batch retried on a respawned worker;
+* **hung batches** trip a per-batch timeout (``trial_timeout x size``),
+  the worker is killed and the batch retried;
+* retries use **exponential backoff with deterministic jitter** (jitter
+  affects scheduling only, never results);
+* a batch that exhausts its pool attempts is **split** in half (binary
+  isolation of the poisoned trial range) and, at single-trial size,
+  **degraded to serial in-process execution**;
+* when the pool as a whole keeps failing, it is **abandoned** and the
+  remaining batches run serially — the campaign still completes.
+
+Every such decision is emitted as a typed ``exec`` decision event on the
+ambient :mod:`repro.obs` recorder, so a trace shows exactly how a run
+survived.  Completed batches stream to an NDJSON checkpoint
+(:mod:`repro.exec.checkpoint`); ``resume=`` skips work already done.
+
+The supervisor is single-threaded; each worker owns a private pair of
+unidirectional pipes (tasks in, results out) with exactly one writer
+per pipe.  A shared ``multiprocessing.Queue`` would be unsafe here: its
+producers serialize on a cross-process write lock held by a background
+feeder thread, and a worker SIGKILLed mid-write orphans that lock,
+deadlocking every sibling's results forever.  With private pipes a torn
+write is confined to the dead worker's own channel and surfaces as
+``EOFError`` on the supervisor's next read — a crash signal, not a
+hang.  Worker processes are forked, so campaign payloads (graphs,
+integration outcomes) need not be picklable on the way in.
+"""
+
+from __future__ import annotations
+
+import heapq
+import multiprocessing
+import os
+import random
+import time
+import traceback
+from multiprocessing import connection as _mp_connection
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import (
+    CampaignInterrupted,
+    CheckpointError,
+    ExecutionError,
+)
+from repro.exec.batching import (
+    Batch,
+    default_batch_size,
+    derive_seed,
+    plan_batches,
+)
+from repro.exec.chaos import ChaosPlan
+from repro.exec.checkpoint import (
+    CheckpointWriter,
+    campaign_fingerprint,
+    load_checkpoint,
+)
+from repro.obs import current
+
+BatchTask = Callable[[int, int, int], Any]
+Combine = Callable[[Any, Any], Any]
+
+_POLL_S = 0.02
+_JOIN_GRACE_S = 1.0
+
+
+@dataclass(frozen=True)
+class ExecPolicy:
+    """Knobs of the supervised runner.
+
+    Attributes:
+        workers: Pool size; 0 or 1 runs serially in-process (batching
+            and checkpointing still apply).
+        batch_size: Trials per batch; 0 derives a default from the
+            trial count and worker count.
+        trial_timeout: Seconds allowed per trial; a batch's deadline is
+            ``trial_timeout * size``.  ``None`` disables timeouts.
+        max_attempts: Pool attempts per batch before the degradation
+            ladder (split, then serial) takes over.
+        backoff_base: First retry delay (seconds); doubles per attempt.
+        backoff_max: Upper bound on one retry delay.
+        backoff_jitter: Max fractional jitter added to each delay (drawn
+            from a seed-derived RNG, so scheduling is reproducible).
+        pool_failure_budget: Crashes + timeouts tolerated before the
+            pool is abandoned for serial execution; 0 derives
+            ``max(6, 3 * workers)``.
+    """
+
+    workers: int = 0
+    batch_size: int = 0
+    trial_timeout: float | None = None
+    max_attempts: int = 3
+    backoff_base: float = 0.05
+    backoff_max: float = 2.0
+    backoff_jitter: float = 0.25
+    pool_failure_budget: int = 0
+
+    def __post_init__(self) -> None:
+        if self.workers < 0:
+            raise ExecutionError("workers must be >= 0")
+        if self.batch_size < 0:
+            raise ExecutionError("batch_size must be >= 0")
+        if self.trial_timeout is not None and self.trial_timeout <= 0:
+            raise ExecutionError("trial_timeout must be > 0")
+        if self.max_attempts < 1:
+            raise ExecutionError("max_attempts must be >= 1")
+
+    def resolved_batch_size(self, trials: int) -> int:
+        if self.batch_size:
+            return min(self.batch_size, trials)
+        return default_batch_size(trials, self.workers)
+
+    def resolved_failure_budget(self) -> int:
+        if self.pool_failure_budget:
+            return self.pool_failure_budget
+        return max(6, 3 * self.workers)
+
+
+@dataclass
+class ExecReport:
+    """What the supervisor did to complete one campaign."""
+
+    trials: int
+    batch_size: int
+    workers: int
+    batches_total: int = 0
+    batches_run: int = 0
+    batches_from_checkpoint: int = 0
+    retries: int = 0
+    worker_crashes: int = 0
+    timeouts: int = 0
+    splits: int = 0
+    serial_fallbacks: int = 0
+    pool_abandoned: bool = False
+    corrupt_checkpoint_lines: int = 0
+    checkpoint_path: str | None = None
+    manifest_path: str | None = None
+    elapsed_s: float = 0.0
+
+
+class _Worker:
+    """One pool worker process plus its private pipe pair.
+
+    The pipes are created immediately before the fork and the child's
+    ends are closed in the supervisor immediately after, so the worker
+    holds the only write end of its result pipe: its death — however
+    abrupt — reliably reads as ``EOFError`` on the supervisor side.
+    """
+
+    def __init__(
+        self,
+        worker_id: int,
+        ctx,
+        task: BatchTask,
+        seed: int,
+        chaos: ChaosPlan | None,
+    ) -> None:
+        self.id = worker_id
+        task_recv, self.task_send = ctx.Pipe(duplex=False)
+        self.result_recv, result_send = ctx.Pipe(duplex=False)
+        self.assignment: tuple[Batch, int] | None = None
+        self.deadline: float | None = None
+        self.process = ctx.Process(
+            target=_worker_main,
+            args=(task, seed, chaos, task_recv, result_send),
+            daemon=True,
+            name=f"repro-exec-{worker_id}",
+        )
+        self.process.start()
+        task_recv.close()
+        result_send.close()
+
+    @property
+    def idle(self) -> bool:
+        return self.assignment is None
+
+    def dispatch(self, batch: Batch, attempt: int, deadline: float | None) -> None:
+        self.assignment = (batch, attempt)
+        self.deadline = deadline
+        try:
+            self.task_send.send((batch.start, batch.size, attempt))
+        except (OSError, ValueError):
+            pass  # worker already dead; the crash scan reclaims the batch
+
+    def clear(self) -> None:
+        self.assignment = None
+        self.deadline = None
+
+    def stop(self) -> None:
+        try:
+            self.task_send.send(None)
+        except (OSError, ValueError):
+            pass
+
+    def kill(self) -> None:
+        if self.process.is_alive():
+            self.process.kill()
+        self.process.join(_JOIN_GRACE_S)
+        self.close()
+
+    def close(self) -> None:
+        for conn in (self.task_send, self.result_recv):
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+
+def _worker_main(task, seed, chaos, task_recv, result_send):
+    # Workers inherit the parent's recorder via fork; their records could
+    # never flow back, so run against the no-op recorder instead.
+    from repro.obs import recorder as _recorder_module
+
+    _recorder_module._current = _recorder_module.NULL_RECORDER
+    while True:
+        try:
+            item = task_recv.recv()
+        except (EOFError, OSError):
+            return  # supervisor went away
+        if item is None:
+            return
+        start, size, attempt = item
+        if chaos is not None:
+            chaos.maybe_inject(start, size, attempt)
+        try:
+            payload = task(start, size, seed)
+        except Exception:
+            message = ("error", start, size, traceback.format_exc())
+        else:
+            message = ("ok", start, size, payload)
+        try:
+            result_send.send(message)
+        except (OSError, ValueError):
+            return
+
+
+def run_supervised(
+    task: BatchTask,
+    *,
+    trials: int,
+    seed: int,
+    kind: str,
+    params: dict | None = None,
+    policy: ExecPolicy | None = None,
+    combine: Combine | None = None,
+    checkpoint: str | None = None,
+    resume: str | None = None,
+    chaos: ChaosPlan | None = None,
+) -> tuple[list[Any], ExecReport]:
+    """Run ``task`` over every batch of a campaign, supervised.
+
+    ``task(start, size, seed)`` must be a pure function of its arguments
+    (per-trial RNGs via :func:`~repro.exec.batching.derive_seed`)
+    returning a JSON-serializable payload; ``combine`` merges the
+    payloads of two *adjacent* trial ranges and is required to reuse
+    checkpoint entries whose ranges subdivide a planned batch.
+
+    Returns ``(payloads, report)`` with payloads in trial order — one
+    per planned batch (sub-batch payloads are combined back).
+    """
+    policy = policy or ExecPolicy()
+    batch_size = policy.resolved_batch_size(trials)
+    plan = plan_batches(trials, batch_size)
+    fingerprint = campaign_fingerprint(kind, seed, trials, params or {})
+    rec = current()
+    report = ExecReport(
+        trials=trials, batch_size=batch_size, workers=policy.workers,
+        batches_total=len(plan),
+    )
+
+    done: dict[tuple[int, int], Any] = {}
+    writer: CheckpointWriter | None = None
+    t0 = time.perf_counter()
+    with rec.span(
+        "exec.supervise",
+        kind=kind,
+        trials=trials,
+        batch_size=batch_size,
+        workers=policy.workers,
+        fingerprint=fingerprint,
+    ):
+        if resume is not None:
+            _load_resume(resume, fingerprint, done, report, rec)
+        checkpoint_path = checkpoint or resume
+        if checkpoint_path is not None:
+            fresh = not (
+                resume is not None
+                and os.path.exists(resume)
+                and checkpoint_path == resume
+            )
+            writer = CheckpointWriter(
+                checkpoint_path, fingerprint, trials, seed, fresh=fresh
+            )
+            report.checkpoint_path = checkpoint_path
+        try:
+            todo = [b for b in plan if not _covered(b, done, combine)]
+            report.batches_from_checkpoint = len(plan) - len(todo)
+            if report.batches_from_checkpoint and rec.enabled:
+                rec.counter("exec_batches_total").inc(
+                    report.batches_from_checkpoint, source="checkpoint"
+                )
+
+            def complete(batch: Batch, payload: Any, source: str) -> None:
+                if (batch.start, batch.size) in done:
+                    return  # late duplicate (result raced a timeout retry)
+                done[(batch.start, batch.size)] = payload
+                report.batches_run += 1
+                if rec.enabled:
+                    rec.counter("exec_batches_total").inc(source=source)
+                if writer is not None:
+                    writer.record(batch.start, batch.size, payload)
+                    if (
+                        chaos is not None
+                        and chaos.interrupt_after_batches is not None
+                        and writer.batches_written
+                        >= chaos.interrupt_after_batches
+                    ):
+                        rec.decision(
+                            "exec", "interrupted", subject=kind,
+                            reason="chaos: interrupt_after_batches reached",
+                            batches_written=writer.batches_written,
+                        )
+                        raise CampaignInterrupted(
+                            f"chaos interrupt after "
+                            f"{writer.batches_written} checkpointed batches"
+                        )
+
+            if todo:
+                if policy.workers >= 2:
+                    _run_pool(
+                        task, seed, todo, policy, chaos, complete, done,
+                        report, rec,
+                    )
+                else:
+                    for batch in todo:
+                        complete(batch, task(batch.start, batch.size, seed),
+                                 "serial")
+            if writer is not None:
+                report.manifest_path = writer.write_manifest(
+                    {"kind": kind, "batches": len(plan)}
+                )
+            rec.decision(
+                "exec", "complete", subject=kind,
+                reason="all batches accounted for",
+                batches=len(plan), retries=report.retries,
+                from_checkpoint=report.batches_from_checkpoint,
+            )
+        finally:
+            if writer is not None:
+                writer.close()
+            report.elapsed_s = time.perf_counter() - t0
+
+    return [_assemble(b, done, combine) for b in plan], report
+
+
+# ----------------------------------------------------------------------
+# Resume plumbing
+# ----------------------------------------------------------------------
+def _load_resume(resume, fingerprint, done, report, rec) -> None:
+    if not os.path.exists(resume):
+        rec.decision(
+            "exec", "resume", subject=resume,
+            reason="checkpoint missing; starting fresh", entries=0,
+        )
+        return
+    data = load_checkpoint(resume)
+    if data.fingerprint is not None and data.fingerprint != fingerprint:
+        raise CheckpointError(
+            f"checkpoint {resume!r} belongs to a different campaign "
+            f"(fingerprint {data.fingerprint} != {fingerprint})"
+        )
+    if data.corrupt_lines:
+        report.corrupt_checkpoint_lines = data.corrupt_lines
+        rec.decision(
+            "exec", "checkpoint_corrupt", subject=resume,
+            reason="corrupt checkpoint lines skipped; their batches will "
+            "be recomputed",
+            lines=data.corrupt_lines, detail=data.corrupt_detail[:5],
+        )
+    done.update(data.entries)
+    rec.decision(
+        "exec", "resume", subject=resume,
+        reason="completed batches loaded from checkpoint",
+        entries=len(data.entries), corrupt_lines=data.corrupt_lines,
+    )
+
+
+def _covered(batch: Batch, done: dict, combine: Combine | None) -> bool:
+    if (batch.start, batch.size) in done:
+        return True
+    if combine is None:
+        return False
+    position = batch.start
+    while position < batch.stop:
+        step = next(
+            (
+                size
+                for (start, size) in done
+                if start == position and position + size <= batch.stop
+            ),
+            None,
+        )
+        if step is None:
+            return False
+        position += step
+    return True
+
+
+def _assemble(batch: Batch, done: dict, combine: Combine | None) -> Any:
+    if (batch.start, batch.size) in done:
+        return done[(batch.start, batch.size)]
+    assert combine is not None  # _covered() guaranteed assembly is possible
+    payload = None
+    position = batch.start
+    while position < batch.stop:
+        size = next(
+            size
+            for (start, size) in done
+            if start == position and position + size <= batch.stop
+        )
+        piece = done[(position, size)]
+        payload = piece if payload is None else combine(payload, piece)
+        position += size
+    return payload
+
+
+# ----------------------------------------------------------------------
+# The worker pool
+# ----------------------------------------------------------------------
+def _run_pool(
+    task, seed, todo, policy, chaos, complete, done, report, rec
+) -> None:
+    """Dispatch ``todo`` over a supervised pool (see module docstring)."""
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX fallback
+        rec.decision(
+            "exec", "pool_abandoned", reason="fork start method unavailable",
+        )
+        report.pool_abandoned = True
+        for batch in todo:
+            complete(batch, task(batch.start, batch.size, seed), "serial")
+        return
+
+    jitter_rng = random.Random(derive_seed(seed, 0, purpose="jitter"))
+    failure_budget = policy.resolved_failure_budget()
+    workers: dict[int, _Worker] = {}
+    next_worker_id = 0
+    pending: list[tuple[Batch, int]] = [(batch, 1) for batch in todo]
+    pending.reverse()  # pop() from the end -> dispatch in plan order
+    retry_heap: list[tuple[float, int, Batch, int]] = []
+    retry_tiebreak = 0
+    failures = 0
+    abandoned = False
+
+    def spawn() -> _Worker:
+        nonlocal next_worker_id
+        worker = _Worker(next_worker_id, ctx, task, seed, chaos)
+        workers[worker.id] = worker
+        next_worker_id += 1
+        return worker
+
+    def serial_fallback(batch: Batch) -> None:
+        report.serial_fallbacks += 1
+        rec.decision(
+            "exec", "serial_fallback", subject=f"[{batch.start},{batch.stop})",
+            reason="pool attempts exhausted; running batch in-process",
+        )
+        try:
+            payload = task(batch.start, batch.size, seed)
+        except Exception as exc:
+            raise ExecutionError(
+                f"batch [{batch.start},{batch.stop}) failed even in serial "
+                f"fallback: {exc}"
+            ) from exc
+        complete(batch, payload, "serial")
+
+    def handle_failure(batch: Batch, attempt: int, cause: str) -> None:
+        nonlocal retry_tiebreak
+        if attempt >= policy.max_attempts:
+            if batch.size > 1:
+                left, right = batch.split()
+                report.splits += 1
+                rec.decision(
+                    "exec", "split",
+                    subject=f"[{batch.start},{batch.stop})",
+                    reason=f"{cause}; attempts exhausted, shrinking batch",
+                    left=left.size, right=right.size,
+                )
+                pending.append((right, 1))
+                pending.append((left, 1))
+            else:
+                serial_fallback(batch)
+            return
+        report.retries += 1
+        delay = min(
+            policy.backoff_max,
+            policy.backoff_base * (2 ** (attempt - 1)),
+        )
+        delay *= 1.0 + policy.backoff_jitter * jitter_rng.random()
+        rec.decision(
+            "exec", "retry", subject=f"[{batch.start},{batch.stop})",
+            reason=f"{cause}; retrying with backoff",
+            attempt=attempt + 1, delay_s=round(delay, 4),
+        )
+        if rec.enabled:
+            rec.counter("exec_retries_total").inc()
+        retry_tiebreak += 1
+        heapq.heappush(
+            retry_heap,
+            (time.monotonic() + delay, retry_tiebreak, batch, attempt + 1),
+        )
+
+    def fail_worker(worker: _Worker, cause: str) -> None:
+        nonlocal failures
+        failures += 1
+        assignment = worker.assignment
+        worker.clear()
+        worker.kill()
+        del workers[worker.id]
+        if assignment is not None:
+            batch, attempt = assignment
+            handle_failure(batch, attempt, cause)
+
+    def crash(worker: _Worker) -> None:
+        worker.process.join(_JOIN_GRACE_S)
+        report.worker_crashes += 1
+        if worker.assignment is not None:
+            batch, _ = worker.assignment
+            subject = f"[{batch.start},{batch.stop})"
+            detail = "mid-batch"
+        else:
+            subject = f"worker-{worker.id}"
+            detail = "while idle"
+        rec.decision(
+            "exec", "worker_crash", subject=subject,
+            reason=f"worker {worker.id} exited "
+            f"(code {worker.process.exitcode}) {detail}",
+        )
+        if rec.enabled:
+            rec.counter("exec_worker_crashes_total").inc()
+        fail_worker(worker, "worker crash")
+
+    try:
+        for _ in range(min(policy.workers, len(pending))):
+            spawn()
+        while pending or retry_heap or any(
+            not w.idle for w in workers.values()
+        ):
+            now = time.monotonic()
+            while retry_heap and retry_heap[0][0] <= now:
+                _, _, batch, attempt = heapq.heappop(retry_heap)
+                pending.append((batch, attempt))
+
+            if not abandoned and failures >= failure_budget:
+                abandoned = True
+                report.pool_abandoned = True
+                rec.decision(
+                    "exec", "pool_abandoned",
+                    reason=f"{failures} worker failures >= budget "
+                    f"{failure_budget}; finishing serially",
+                )
+                # Reclaim every in-flight and scheduled batch: a broken
+                # pool must not hold the campaign hostage.
+                for worker in list(workers.values()):
+                    if worker.assignment is not None:
+                        pending.append(worker.assignment)
+                        worker.clear()
+                    worker.kill()
+                    del workers[worker.id]
+                while retry_heap:
+                    _, _, batch, attempt = heapq.heappop(retry_heap)
+                    pending.append((batch, attempt))
+
+            if abandoned:
+                while pending:
+                    batch, _ = pending.pop()
+                    serial_fallback(batch)
+                break
+
+            while len(workers) < policy.workers and pending:
+                spawn()
+            for worker in list(workers.values()):
+                if not pending:
+                    break
+                if worker.idle and worker.process.is_alive():
+                    batch, attempt = pending.pop()
+                    if (batch.start, batch.size) in done:
+                        continue  # completed by a raced late result
+                    deadline = (
+                        now + policy.trial_timeout * batch.size
+                        if policy.trial_timeout is not None
+                        else None
+                    )
+                    worker.dispatch(batch, attempt, deadline)
+
+            if workers:
+                by_conn = {w.result_recv: w for w in workers.values()}
+                ready = _mp_connection.wait(
+                    list(by_conn), timeout=_POLL_S
+                )
+            else:
+                time.sleep(_POLL_S)
+                ready = []
+            for conn in ready:
+                worker = by_conn[conn]
+                if worker.id not in workers:
+                    continue  # removed earlier in this same pass
+                try:
+                    message = worker.result_recv.recv()
+                except (EOFError, OSError):
+                    # The worker died, possibly SIGKILLed mid-send; the
+                    # torn write is confined to its own pipe.
+                    crash(worker)
+                    continue
+                status, start, size, payload = message
+                attempt = 1
+                if worker.assignment is not None:
+                    attempt = worker.assignment[1]
+                worker.clear()
+                batch = Batch(start, size)
+                if status == "ok":
+                    complete(batch, payload, "pool")
+                else:
+                    rec.decision(
+                        "exec", "batch_error",
+                        subject=f"[{start},{start + size})",
+                        reason="worker raised", detail=str(payload)[-400:],
+                    )
+                    handle_failure(batch, attempt, "error")
+
+            now = time.monotonic()
+            for worker in list(workers.values()):
+                if worker.assignment is None:
+                    continue
+                if not worker.process.is_alive():
+                    crash(worker)
+                elif worker.deadline is not None and now > worker.deadline:
+                    batch, _ = worker.assignment
+                    report.timeouts += 1
+                    rec.decision(
+                        "exec", "batch_timeout",
+                        subject=f"[{batch.start},{batch.stop})",
+                        reason=f"batch exceeded "
+                        f"{policy.trial_timeout * batch.size:.3f}s deadline; "
+                        f"killing worker {worker.id}",
+                    )
+                    if rec.enabled:
+                        rec.counter("exec_timeouts_total").inc()
+                    fail_worker(worker, "batch timeout")
+    finally:
+        for worker in list(workers.values()):
+            worker.stop()
+        deadline = time.monotonic() + _JOIN_GRACE_S
+        for worker in list(workers.values()):
+            worker.process.join(max(0.0, deadline - time.monotonic()))
+            if worker.process.is_alive():
+                worker.kill()
+            else:
+                worker.close()

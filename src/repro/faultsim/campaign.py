@@ -7,6 +7,14 @@ reports, per trial, how many FCMs and how many *clusters* (HW nodes) were
 affected — the quantitative version of "mapping of FCMs which influence
 each other strongly onto the same node ... so faults are not propagated
 across HW nodes" (§5.3).
+
+Campaigns execute through :mod:`repro.exec`: trials are split into
+deterministic batches with per-trial seeds
+(:func:`repro.exec.batching.derive_seed`), so the result is bit-identical
+whether the campaign runs serially, across a worker pool, or resumed
+from a checkpoint after a crash.  Pass an
+:class:`~repro.exec.runner.ExecPolicy` to parallelise and
+``checkpoint=``/``resume=`` paths to make the run crash-safe.
 """
 
 from __future__ import annotations
@@ -16,6 +24,8 @@ import time
 from dataclasses import dataclass, field
 
 from repro.errors import SimulationError
+from repro.exec.batching import derive_seed
+from repro.exec.runner import ExecPolicy, ExecReport, run_supervised
 from repro.faultsim.propagation import propagate_once
 from repro.influence.influence_graph import InfluenceGraph
 from repro.obs import DEFAULT_COUNT_BUCKETS, current
@@ -37,6 +47,9 @@ class CampaignResult:
         elapsed_s: Wall time of the campaign loop (``perf_counter``;
             excluded from equality so seeded reruns still compare equal).
         trials_per_s: Campaign throughput (also excluded from equality).
+        exec_report: How the supervised runner completed the campaign
+            (also excluded from equality; ``None`` on the serial fast
+            path with no checkpointing).
     """
 
     trials: int
@@ -46,24 +59,14 @@ class CampaignResult:
     cross_cluster_rate: float
     elapsed_s: float = field(default=0.0, compare=False)
     trials_per_s: float = field(default=0.0, compare=False)
+    exec_report: ExecReport | None = field(
+        default=None, compare=False, repr=False
+    )
 
 
-def run_campaign(
-    graph: InfluenceGraph,
-    partition: list[list[str]],
-    trials: int = 1000,
-    seed: int = 0,
-) -> CampaignResult:
-    """Seed ``trials`` faults uniformly over FCMs and measure spread.
-
-    ``partition`` maps FCMs to clusters (HW nodes); propagation runs on
-    the *FCM-level* graph — the partition only determines how spread is
-    counted.  Intra-cluster edges are assumed contained by the shared
-    node's FCR in the cross-cluster accounting, per the paper's fault
-    containment argument.
-    """
-    if trials < 1:
-        raise SimulationError("trials must be >= 1")
+def _check_partition(
+    graph: InfluenceGraph, partition: list[list[str]]
+) -> dict[str, int]:
     names = graph.fcm_names()
     if not names:
         raise SimulationError("graph has no FCMs")
@@ -80,18 +83,60 @@ def run_campaign(
     unknown = sorted(member for member in cluster_of if member not in known)
     if unknown:
         raise SimulationError(f"partition contains unknown FCMs: {unknown!r}")
+    return cluster_of
 
-    rng = random.Random(seed)
+
+def _combine(a: dict, b: dict) -> dict:
+    """Merge the payloads of two adjacent trial ranges (trial order)."""
+    return {
+        "affected": a["affected"] + b["affected"],
+        "cluster_hits": a["cluster_hits"] + b["cluster_hits"],
+    }
+
+
+def run_campaign(
+    graph: InfluenceGraph,
+    partition: list[list[str]],
+    trials: int = 1000,
+    seed: int = 0,
+    policy: ExecPolicy | None = None,
+    checkpoint: str | None = None,
+    resume: str | None = None,
+    chaos=None,
+) -> CampaignResult:
+    """Seed ``trials`` faults uniformly over FCMs and measure spread.
+
+    ``partition`` maps FCMs to clusters (HW nodes); propagation runs on
+    the *FCM-level* graph — the partition only determines how spread is
+    counted.  Intra-cluster edges are assumed contained by the shared
+    node's FCR in the cross-cluster accounting, per the paper's fault
+    containment argument.
+
+    Trial ``t`` always runs on ``random.Random(derive_seed(seed, t))``,
+    so the result does not depend on ``policy`` (workers, batch size),
+    retries, or checkpoint/resume history.
+    """
+    if trials < 1:
+        raise SimulationError("trials must be >= 1")
+    cluster_of = _check_partition(graph, partition)
+    names = graph.fcm_names()
+
+    def run_batch(start: int, size: int, campaign_seed: int) -> dict:
+        affected: list[int] = []
+        cluster_hits: list[int] = []
+        for trial in range(start, start + size):
+            rng = random.Random(derive_seed(campaign_seed, trial))
+            source = names[rng.randrange(len(names))]
+            record = propagate_once(graph, source, rng, trial)
+            others = record.affected - {source}
+            seed_cluster = cluster_of[source]
+            hit = {cluster_of[n] for n in others} - {seed_cluster}
+            affected.append(len(others))
+            cluster_hits.append(len(hit))
+        return {"affected": affected, "cluster_hits": cluster_hits}
+
     rec = current()
-    spread_hist = (
-        rec.histogram("faultsim_affected_fcms", buckets=DEFAULT_COUNT_BUCKETS)
-        if rec.enabled
-        else None
-    )
-    total_fcms = 0
-    total_clusters = 0
-    worst = 0
-    escapes = 0
+    policy = policy or ExecPolicy(batch_size=trials)
     t0 = time.perf_counter()
     with rec.span(
         "faultsim.campaign",
@@ -99,20 +144,38 @@ def run_campaign(
         seed=seed,
         fcms=len(names),
         clusters=len(partition),
+        workers=policy.workers,
     ):
-        for trial in range(trials):
-            source = names[rng.randrange(len(names))]
-            record = propagate_once(graph, source, rng, trial)
-            others = record.affected - {source}
-            total_fcms += len(others)
-            worst = max(worst, len(others))
-            seed_cluster = cluster_of[source]
-            hit_clusters = {cluster_of[n] for n in others} - {seed_cluster}
-            total_clusters += len(hit_clusters)
-            if hit_clusters:
-                escapes += 1
-            if spread_hist is not None:
-                spread_hist.observe(len(others))
+        payloads, exec_report = run_supervised(
+            run_batch,
+            trials=trials,
+            seed=seed,
+            kind="faultsim",
+            params={"fcms": sorted(names), "clusters": len(partition)},
+            policy=policy,
+            combine=_combine,
+            checkpoint=checkpoint,
+            resume=resume,
+            chaos=chaos,
+        )
+        spread_hist = (
+            rec.histogram("faultsim_affected_fcms", buckets=DEFAULT_COUNT_BUCKETS)
+            if rec.enabled
+            else None
+        )
+        total_fcms = 0
+        total_clusters = 0
+        worst = 0
+        escapes = 0
+        for payload in payloads:
+            for count, hits in zip(payload["affected"], payload["cluster_hits"]):
+                total_fcms += count
+                total_clusters += hits
+                worst = max(worst, count)
+                if hits:
+                    escapes += 1
+                if spread_hist is not None:
+                    spread_hist.observe(count)
     elapsed = time.perf_counter() - t0
     rate = trials / elapsed if elapsed > 0 else 0.0
     if rec.enabled:
@@ -127,6 +190,7 @@ def run_campaign(
         cross_cluster_rate=escapes / trials,
         elapsed_s=elapsed,
         trials_per_s=rate,
+        exec_report=exec_report,
     )
 
 

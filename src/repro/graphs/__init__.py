@@ -25,9 +25,11 @@ from repro.graphs.condensation import (
 )
 from repro.graphs.digraph import Digraph
 from repro.graphs.matrix import (
+    MAX_SERIES_ORDER,
     adjacency_matrix,
     power_series_limit,
     power_series_sum,
+    power_series_sum_guarded,
     series_tail_bound,
     spectral_radius,
 )
@@ -35,6 +37,7 @@ from repro.graphs.mincut import st_min_cut, stoer_wagner
 
 __all__ = [
     "Digraph",
+    "MAX_SERIES_ORDER",
     "adjacency_matrix",
     "bfs_reachable",
     "condense",
@@ -47,6 +50,7 @@ __all__ = [
     "noisy_or_combiner",
     "power_series_limit",
     "power_series_sum",
+    "power_series_sum_guarded",
     "series_tail_bound",
     "spectral_radius",
     "st_min_cut",

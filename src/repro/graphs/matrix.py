@@ -66,6 +66,74 @@ def _power_series_sum(matrix: np.ndarray, max_order: int) -> np.ndarray:
     return acc
 
 
+# Convergence guard (Eq. 3): the power series is only meaningful while
+# its terms shrink; on a divergent influence matrix (spectral radius
+# >= 1) a deep truncation silently returns astronomically wrong values.
+MAX_SERIES_ORDER = 128
+_NEGLIGIBLE_TERM = 1e-300
+
+
+def power_series_sum_guarded(
+    matrix: np.ndarray,
+    max_order: int,
+    growth_patience: int = 2,
+) -> tuple[np.ndarray, int, bool]:
+    """``P + ... + P^k`` with divergence detection.
+
+    Accumulates at most ``max_order`` terms (itself capped at
+    :data:`MAX_SERIES_ORDER`), watching the infinity norm of each term:
+
+    * a term that underflows to negligible ends the sum early —
+      the remaining tail cannot change the result;
+    * ``growth_patience`` consecutive non-decreasing terms mean the
+      series is not converging — the sum stops there and is flagged.
+
+    Returns ``(sum, terms_used, diverging)``; ``diverging`` is True when
+    the guard tripped and the returned truncation must not be trusted as
+    an approximation of the infinite series.
+    """
+    if max_order < 1:
+        raise InfluenceError("max_order must be >= 1")
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise InfluenceError("matrix must be square")
+    max_order = min(max_order, MAX_SERIES_ORDER)
+    rec = current()
+    if rec.enabled:
+        rec.counter("power_series_calls_total").inc(form="guarded")
+        with rec.timed("power_series_s", form="guarded"):
+            result = _power_series_sum_guarded(matrix, max_order, growth_patience)
+        rec.counter("power_series_terms_total").inc(result[1])
+        return result
+    return _power_series_sum_guarded(matrix, max_order, growth_patience)
+
+
+def _power_series_sum_guarded(
+    matrix: np.ndarray,
+    max_order: int,
+    growth_patience: int,
+) -> tuple[np.ndarray, int, bool]:
+    acc = matrix.copy()
+    term = matrix.copy()
+    previous_norm = float(np.max(np.abs(term))) if term.size else 0.0
+    growth_streak = 0
+    terms = 1
+    for _ in range(max_order - 1):
+        term = term @ matrix
+        norm = float(np.max(np.abs(term))) if term.size else 0.0
+        if norm < _NEGLIGIBLE_TERM:
+            break
+        acc += term
+        terms += 1
+        if norm >= previous_norm:
+            growth_streak += 1
+            if growth_streak >= growth_patience:
+                return acc, terms, True
+        else:
+            growth_streak = 0
+        previous_norm = norm
+    return acc, terms, False
+
+
 def spectral_radius(matrix: np.ndarray) -> float:
     """Largest eigenvalue magnitude; the series converges iff this is < 1."""
     if matrix.size == 0:

@@ -69,9 +69,10 @@ class InfluenceFactor:
     p_effect: float
 
     def __post_init__(self) -> None:
-        _check_probability(self.p_occurrence, "p_occurrence")
-        _check_probability(self.p_transmission, "p_transmission")
-        _check_probability(self.p_effect, "p_effect")
+        label = self.kind.value
+        _check_probability(self.p_occurrence, f"{label}: p_occurrence")
+        _check_probability(self.p_transmission, f"{label}: p_transmission")
+        _check_probability(self.p_effect, f"{label}: p_effect")
 
     @property
     def probability(self) -> float:

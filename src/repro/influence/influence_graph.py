@@ -92,10 +92,15 @@ class InfluenceGraph:
             raise InfluenceError("provide exactly one of value= or factors=")
         factor_tuple: tuple[InfluenceFactor, ...] = tuple(factors or ())
         if factors is not None:
-            value = influence_from_factors(factor_tuple)
+            value = influence_from_factors(
+                factor_tuple, context=f"influence {source!r} -> {target!r}"
+            )
         assert value is not None
         if not 0.0 <= value <= 1.0:
-            raise ProbabilityError(f"influence must be in [0, 1], got {value}")
+            raise ProbabilityError(
+                f"influence {source!r} -> {target!r} must be in [0, 1], "
+                f"got {value}"
+            )
         if self.is_replica_link(source, target):
             raise InfluenceError(
                 f"{source!r} and {target!r} are replicas; their link weight "

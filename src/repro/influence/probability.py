@@ -16,22 +16,47 @@ from repro.errors import ProbabilityError
 from repro.influence.factors import InfluenceFactor
 
 
-def combine_probabilities(probabilities: Iterable[float]) -> float:
+def combine_probabilities(
+    probabilities: Iterable[float], context: str | None = None
+) -> float:
     """``1 - Π(1 - p_k)`` over probabilities in [0, 1].
 
-    An empty iterable yields 0.0 (no factor, no influence).
+    An empty iterable yields 0.0 (no factor, no influence).  ``context``
+    names where the probabilities came from (an FCM pair, a factor
+    tuple) so an out-of-range ``p_k`` is reported against its source
+    instead of silently producing an influence value > 1.
     """
+    where = f" ({context})" if context else ""
     complement = 1.0
-    for p in probabilities:
+    for index, p in enumerate(probabilities):
         if not 0.0 <= p <= 1.0:
-            raise ProbabilityError(f"probability must be in [0, 1], got {p}")
+            raise ProbabilityError(
+                f"p_{index + 1} must be in [0, 1], got {p}{where}"
+            )
         complement *= 1.0 - p
     return 1.0 - complement
 
 
-def influence_from_factors(factors: Iterable[InfluenceFactor]) -> float:
-    """Eq. (2) applied to factor objects (each contributes Eq. (1))."""
-    return combine_probabilities(f.probability for f in factors)
+def influence_from_factors(
+    factors: Iterable[InfluenceFactor], context: str | None = None
+) -> float:
+    """Eq. (2) applied to factor objects (each contributes Eq. (1)).
+
+    An invalid factor probability is reported with the factor's kind and
+    position plus the caller's ``context`` (typically the FCM pair).
+    """
+    factor_tuple = tuple(factors)
+    for index, factor in enumerate(factor_tuple):
+        p = factor.probability
+        if not 0.0 <= p <= 1.0:
+            where = f" of {context}" if context else ""
+            raise ProbabilityError(
+                f"factor[{index}] ({factor.kind.value}){where} has "
+                f"probability {p}, outside [0, 1]"
+            )
+    return combine_probabilities(
+        (f.probability for f in factor_tuple), context=context
+    )
 
 
 def factor_contribution(factors: list[InfluenceFactor], index: int) -> float:

@@ -24,13 +24,16 @@ import numpy as np
 
 from repro.errors import InfluenceError
 from repro.graphs.matrix import (
+    MAX_SERIES_ORDER,
     adjacency_matrix,
     power_series_limit,
     power_series_sum,
+    power_series_sum_guarded,
     series_tail_bound,
     spectral_radius,
 )
 from repro.influence.influence_graph import InfluenceGraph
+from repro.obs import current
 
 DEFAULT_ORDER = 3
 
@@ -46,12 +49,21 @@ class SeparationResult:
             (``P + ... + P^order``).
         tail_bound: Upper bound on the neglected tail (0 for closed form,
             ``inf`` when the norm criterion fails).
+        truncated: True when the convergence guard stopped the series
+            early — the terms were not decreasing, so the truncation is
+            *not* an approximation of the (divergent) infinite series
+            and downstream consumers should treat the values as a lower
+            bound on transitive influence only.
+        terms_used: Terms actually accumulated (``None`` for the closed
+            form).
     """
 
     order: int | None
     names: tuple[str, ...]
     transitive: np.ndarray
     tail_bound: float
+    truncated: bool = False
+    terms_used: int | None = None
 
     def separation(self, source: str, target: str, clamp: bool = True) -> float:
         """``1 - transitive[source, target]``, clamped to [0, 1] by default."""
@@ -94,19 +106,45 @@ def compute_separation(
     """
     digraph = graph.as_digraph(include_replica_links=False)
     matrix, names = adjacency_matrix(digraph)
+    rec = current()
     if order is None:
         transitive = power_series_limit(matrix)
-        tail = 0.0
-    else:
-        if order < 1:
-            raise InfluenceError("truncation order must be >= 1")
-        transitive = power_series_sum(matrix, order)
-        tail = series_tail_bound(matrix, order)
+        return SeparationResult(
+            order=None,
+            names=tuple(names),
+            transitive=transitive,
+            tail_bound=0.0,
+        )
+    if order < 1:
+        raise InfluenceError("truncation order must be >= 1")
+    requested = order
+    if order > MAX_SERIES_ORDER:
+        order = MAX_SERIES_ORDER
+        rec.decision(
+            "separation", "order_capped", subject=str(requested),
+            reason=f"path length capped at {MAX_SERIES_ORDER}; deeper terms "
+            "are either negligible or the series diverges",
+            cap=MAX_SERIES_ORDER,
+        )
+    transitive, terms_used, diverging = power_series_sum_guarded(matrix, order)
+    tail = series_tail_bound(matrix, order)
+    if diverging:
+        rec.decision(
+            "separation", "truncated", subject=f"order={requested}",
+            reason="power-series terms stopped decreasing (spectral radius "
+            ">= 1); sum truncated instead of accumulating a divergent tail",
+            terms_used=terms_used,
+        )
+        if rec.enabled:
+            rec.counter("separation_truncations_total").inc()
+        tail = float("inf")
     return SeparationResult(
         order=order,
         names=tuple(names),
         transitive=transitive,
         tail_bound=tail,
+        truncated=diverging,
+        terms_used=terms_used,
     )
 
 

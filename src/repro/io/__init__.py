@@ -17,9 +17,17 @@ from repro.io.serialization import (
     system_from_dict,
     system_to_dict,
 )
+from repro.io.validation import (
+    ValidationFailure,
+    ValidationIssue,
+    validate_system_dict,
+)
 
 __all__ = [
     "SerializationError",
+    "ValidationFailure",
+    "ValidationIssue",
+    "validate_system_dict",
     "attributes_from_dict",
     "attributes_to_dict",
     "dump_hw",

@@ -168,7 +168,19 @@ def system_to_dict(system: SoftwareSystem) -> dict[str, Any]:
     }
 
 
-def system_from_dict(data: dict[str, Any]) -> SoftwareSystem:
+def system_from_dict(
+    data: dict[str, Any],
+    source: str | None = None,
+    text: str | None = None,
+) -> SoftwareSystem:
+    # Walk the whole document first so *every* defect is reported at
+    # once, with JSON-path (and, given ``text``, line) context; the
+    # legacy per-field raises below remain as a backstop.
+    from repro.io.validation import ValidationFailure, validate_system_dict
+
+    issues = validate_system_dict(data, text=text)
+    if issues:
+        raise ValidationFailure(issues, source=source)
     _check_header(data, FORMAT_SYSTEM)
     system = SoftwareSystem(name=data.get("name", "unnamed"))
     for entry in data.get("fcms", []):
@@ -206,7 +218,17 @@ def dump_system(system: SoftwareSystem, path: str) -> None:
 
 def load_system(path: str) -> SoftwareSystem:
     with open(path) as handle:
-        return system_from_dict(json.load(handle))
+        text = handle.read()
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        from repro.io.validation import ValidationFailure, ValidationIssue
+
+        raise ValidationFailure(
+            [ValidationIssue("$", f"invalid JSON: {exc.msg}", exc.lineno)],
+            source=path,
+        ) from exc
+    return system_from_dict(data, source=path, text=text)
 
 
 # ----------------------------------------------------------------------

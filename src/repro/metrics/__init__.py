@@ -14,9 +14,11 @@ from repro.metrics.dependability import (
 )
 from repro.metrics.report import (
     format_table,
+    render_campaign,
     render_cluster_influences,
     render_clusters,
     render_degradation,
+    render_exec_report,
     render_influence_graph,
     render_mapping,
     render_resilience,
@@ -29,9 +31,11 @@ __all__ = [
     "expected_affected_analytic",
     "fcm_failure_probability",
     "format_table",
+    "render_campaign",
     "render_cluster_influences",
     "render_clusters",
     "render_degradation",
+    "render_exec_report",
     "render_influence_graph",
     "render_mapping",
     "render_resilience",

@@ -143,6 +143,61 @@ def render_resilience(report, title: str = "") -> str:
     return "\n".join(lines)
 
 
+def render_campaign(result, title: str = "") -> str:
+    """Fault-injection campaign summary (faultsim ``CampaignResult``).
+
+    Typed loosely, like :func:`render_resilience`, to keep metrics free
+    of a hard faultsim dependency.
+    """
+    rows = [
+        ("trials", result.trials),
+        ("mean affected FCMs", f"{result.mean_affected_fcms:.3f}"),
+        ("mean affected clusters", f"{result.mean_affected_clusters:.3f}"),
+        ("max affected FCMs", result.max_affected_fcms),
+        ("cross-cluster escape rate", f"{result.cross_cluster_rate:.3f}"),
+    ]
+    return format_table(
+        ["metric", "value"],
+        rows,
+        title=title or "Fault-injection campaign",
+    )
+
+
+def render_exec_report(report) -> str:
+    """One-or-two-line summary of an :class:`~repro.exec.ExecReport`.
+
+    Shows how the supervised runner completed a campaign: worker/batch
+    shape, checkpoint reuse, and any retries or degradations.
+    """
+    lines = [
+        f"exec: {report.batches_run}/{report.batches_total} batches run "
+        f"({report.batches_from_checkpoint} from checkpoint) · "
+        f"workers {report.workers} · batch size {report.batch_size}"
+    ]
+    events = []
+    if report.retries:
+        events.append(f"retries {report.retries}")
+    if report.worker_crashes:
+        events.append(f"worker crashes {report.worker_crashes}")
+    if report.timeouts:
+        events.append(f"timeouts {report.timeouts}")
+    if report.splits:
+        events.append(f"batch splits {report.splits}")
+    if report.serial_fallbacks:
+        events.append(f"serial fallbacks {report.serial_fallbacks}")
+    if report.pool_abandoned:
+        events.append("pool abandoned")
+    if report.corrupt_checkpoint_lines:
+        events.append(
+            f"corrupt checkpoint lines {report.corrupt_checkpoint_lines}"
+        )
+    if events:
+        lines.append("exec events: " + ", ".join(events))
+    if report.checkpoint_path:
+        lines.append(f"checkpoint: {report.checkpoint_path}")
+    return "\n".join(lines)
+
+
 def render_degradation(plan) -> str:
     """One degraded-mode plan as text (mapping table plus decisions)."""
     lines = list(plan.describe())

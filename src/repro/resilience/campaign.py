@@ -10,6 +10,10 @@ per displaced cluster (:mod:`repro.resilience.recovery`), and charges
 downtime to every origin process left without a live copy.  The report
 aggregates availability per criticality class, shedding, separation
 violations, and time-to-recover percentiles.
+
+Campaigns execute through :mod:`repro.exec` with per-trial seeds, so a
+report is bit-identical whether it was computed serially, on a worker
+pool, or resumed from a checkpoint mid-run (see docs/EXECUTION.md).
 """
 
 from __future__ import annotations
@@ -19,6 +23,8 @@ import time
 from dataclasses import dataclass, field
 
 from repro.errors import SimulationError
+from repro.exec.batching import derive_seed
+from repro.exec.runner import ExecPolicy, ExecReport, run_supervised
 from repro.allocation.constraints import ResourceRequirements
 from repro.core.results import IntegrationOutcome
 from repro.obs import current
@@ -69,6 +75,8 @@ class ResilienceReport:
         elapsed_s: Wall time of the campaign loop (``perf_counter``;
             excluded from equality so seeded reruns still compare equal).
         trials_per_s: Campaign throughput (also excluded from equality).
+        exec_report: How the supervised runner completed the campaign
+            (also excluded from equality).
     """
 
     trials: int
@@ -86,6 +94,9 @@ class ResilienceReport:
     recovery_worst: float = 0.0
     elapsed_s: float = field(default=0.0, compare=False)
     trials_per_s: float = field(default=0.0, compare=False)
+    exec_report: ExecReport | None = field(
+        default=None, compare=False, repr=False
+    )
 
     @property
     def min_availability(self) -> float:
@@ -105,12 +116,20 @@ def run_resilience_campaign(
     resources: ResourceRequirements | None = None,
     approach: str = "a",
     scenario: FailureScenario | None = None,
+    policy: ExecPolicy | None = None,
+    checkpoint: str | None = None,
+    resume: str | None = None,
+    chaos=None,
 ) -> ResilienceReport:
     """Run ``trials`` failure sequences against an integrated system.
 
     With ``scenario`` given, every trial replays the same scripted events
     (recovery outcomes still vary by trial); otherwise each trial draws
     ``failures`` events from ``rates`` (uniform per-FCR defaults).
+
+    Trial ``t`` always runs on ``random.Random(derive_seed(seed, t))``,
+    so the report does not depend on ``policy`` (workers, batch size),
+    retries, or checkpoint/resume history.
     """
     if trials < 1:
         raise SimulationError("trials must be >= 1")
@@ -125,8 +144,36 @@ def run_resilience_campaign(
     classes = process_classes(state.graph, bands)
     origins = sorted(classes)
 
-    rng = random.Random(seed)
+    def run_batch(start: int, size: int, campaign_seed: int) -> dict:
+        records = []
+        for trial in range(start, start + size):
+            rng = random.Random(derive_seed(campaign_seed, trial))
+            if scenario is not None:
+                events = [e for e in scenario.events if e.time < horizon]
+            else:
+                events = draw_failure_sequence(hw, rates, failures, rng, horizon)
+            kinds: dict[str, int] = {}
+            for event in events:
+                label = event.kind.name.lower()
+                kinds[label] = kinds.get(label, 0) + 1
+            downtime, shed, violations, a_outage, recoveries = _simulate_trial(
+                outcome, events, rng, horizon, policies, bands, resources,
+                approach, classes,
+            )
+            records.append(
+                {
+                    "downtime": downtime,
+                    "shed": shed,
+                    "violations": violations,
+                    "a_outage": a_outage,
+                    "recoveries": recoveries,
+                    "failure_kinds": kinds,
+                }
+            )
+        return {"records": records}
+
     rec = current()
+    exec_policy = policy or ExecPolicy(batch_size=trials)
     availability_sums = {origin: 0.0 for origin in origins}
     shed_total = 0
     shed_worst = 0
@@ -142,29 +189,43 @@ def run_resilience_campaign(
         seed=seed,
         horizon=horizon,
         scripted=scenario is not None,
+        workers=exec_policy.workers,
     ):
-        for _trial in range(trials):
-            if scenario is not None:
-                events = [e for e in scenario.events if e.time < horizon]
-            else:
-                events = draw_failure_sequence(hw, rates, failures, rng, horizon)
-            if rec.enabled:
-                for event in events:
-                    rec.counter("resilience_failures_total").inc(
-                        kind=event.kind.name.lower()
-                    )
-            downtime, trial_shed, trial_violations, trial_a_outage = _simulate_trial(
-                outcome, events, rng, horizon, policies, bands, resources,
-                approach, classes, recovery_durations,
-            )
-            for origin in origins:
-                lost = min(downtime.get(origin, 0.0), horizon)
-                availability_sums[origin] += 1.0 - lost / horizon
-            shed_total += trial_shed
-            shed_worst = max(shed_worst, trial_shed)
-            separation_violations += trial_violations
-            if trial_a_outage:
-                class_a_outages += 1
+        payloads, exec_report = run_supervised(
+            run_batch,
+            trials=trials,
+            seed=seed,
+            kind="resilience",
+            params={
+                "failures": failures,
+                "horizon": horizon,
+                "approach": approach,
+                "scripted": scenario.name if scenario is not None else None,
+                "system": outcome.system_name,
+            },
+            policy=exec_policy,
+            combine=lambda a, b: {"records": a["records"] + b["records"]},
+            checkpoint=checkpoint,
+            resume=resume,
+            chaos=chaos,
+        )
+        for payload in payloads:
+            for record in payload["records"]:
+                downtime = record["downtime"]
+                for origin in origins:
+                    lost = min(downtime.get(origin, 0.0), horizon)
+                    availability_sums[origin] += 1.0 - lost / horizon
+                shed_total += record["shed"]
+                shed_worst = max(shed_worst, record["shed"])
+                separation_violations += record["violations"]
+                if record["a_outage"]:
+                    class_a_outages += 1
+                recovery_durations.extend(record["recoveries"])
+                if rec.enabled:
+                    for label, count in record["failure_kinds"].items():
+                        rec.counter("resilience_failures_total").inc(
+                            count, kind=label
+                        )
     elapsed = time.perf_counter() - t0
     rate = trials / elapsed if elapsed > 0 else 0.0
     if rec.enabled:
@@ -206,6 +267,7 @@ def run_resilience_campaign(
         recovery_worst=ordered[-1] if ordered else 0.0,
         elapsed_s=elapsed,
         trials_per_s=rate,
+        exec_report=exec_report,
     )
 
 
@@ -246,10 +308,10 @@ def _simulate_trial(
     resources: ResourceRequirements | None,
     approach: str,
     classes: dict[str, str],
-    recovery_durations: list[float],
-) -> tuple[dict[str, float], int, int, bool]:
+) -> tuple[dict[str, float], int, int, bool, list[float]]:
     """One failure sequence; returns (downtime per origin, worst shed
-    count, separation violations, class-A outage happened)."""
+    count, separation violations, class-A outage happened, recovery
+    durations)."""
     state = outcome.condensation.state
     graph = state.graph
     perm_failed: set[str] = set()
@@ -260,6 +322,7 @@ def _simulate_trial(
         index: state.clusters[index].members for index in hosting
     }
     downtime: dict[str, float] = {}
+    recovery_durations: list[float] = []
     shed_worst = 0
     violations = 0
     a_outage = False
@@ -336,7 +399,7 @@ def _simulate_trial(
         hosting = dict(plan.assignment)
         hosted_members = dict(plan.hosted_members)
 
-    return downtime, shed_worst, violations, a_outage
+    return downtime, shed_worst, violations, a_outage, recovery_durations
 
 
 def _percentile(ordered: list[float], q: float) -> float:

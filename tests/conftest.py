@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import signal
+
 import pytest
 
 from repro.allocation import expand_replication, initial_state
@@ -12,6 +14,35 @@ from repro.workloads import (
     paper_influence_graph,
     paper_system,
 )
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    """Homegrown ``@pytest.mark.timeout(seconds)`` via SIGALRM.
+
+    The worker-pool tests supervise real child processes; a supervision
+    bug would otherwise hang the whole suite.  ``pytest-timeout`` is not
+    a dependency, so the guard is a plain alarm — main-thread, POSIX
+    only, which is exactly where these tests run.
+    """
+    marker = item.get_closest_marker("timeout")
+    if marker is None or not hasattr(signal, "SIGALRM"):
+        yield
+        return
+    seconds = int(marker.args[0]) if marker.args else 60
+
+    def on_alarm(signum, frame):
+        raise TimeoutError(
+            f"test exceeded its {seconds}s timeout marker"
+        )
+
+    previous = signal.signal(signal.SIGALRM, on_alarm)
+    signal.alarm(seconds)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 def make_process(name: str, **attr_kwargs) -> FCM:

@@ -1,0 +1,1 @@
+"""Supervised campaign runner."""

@@ -1,0 +1,141 @@
+"""Acceptance: campaigns through the runner are bit-identical however run.
+
+The ISSUE's acceptance criterion: a resilience campaign run with
+``--workers 4``, killed mid-run and resumed, must produce a result
+bit-identical (modulo wall-clock fields, which are excluded from
+dataclass equality) to the same campaign run serially without
+interruption.
+"""
+
+import dataclasses
+import multiprocessing
+import os
+import signal
+import time
+
+import pytest
+
+from repro import IntegrationFramework, fully_connected, paper_system
+from repro.errors import CampaignInterrupted
+from repro.exec import ChaosPlan, ExecPolicy, truncate_file
+from repro.faultsim.campaign import run_campaign
+from repro.resilience.campaign import run_resilience_campaign
+from repro.workloads import paper_influence_graph
+
+
+def paper_outcome():
+    return IntegrationFramework(paper_system()).integrate(fully_connected(6))
+
+
+def assert_field_for_field(a, b):
+    """Bit-identical on every comparable field (incl. float bit patterns)."""
+    for f in dataclasses.fields(a):
+        if not f.compare:
+            continue
+        va, vb = getattr(a, f.name), getattr(b, f.name)
+        assert va == vb, f"field {f.name}: {va!r} != {vb!r}"
+        if isinstance(va, float):
+            assert va.hex() == vb.hex(), f"field {f.name} differs in bits"
+
+
+class TestFaultsimDeterminism:
+    @pytest.mark.timeout(120)
+    def test_workers_and_batch_size_do_not_change_result(self):
+        graph = paper_influence_graph()
+        partition = [[name] for name in graph.fcm_names()]
+        serial = run_campaign(graph, partition, trials=60, seed=3)
+        pooled = run_campaign(
+            graph, partition, trials=60, seed=3,
+            policy=ExecPolicy(workers=2, batch_size=7),
+        )
+        assert_field_for_field(serial, pooled)
+
+    def test_interrupt_and_resume_identical(self, tmp_path):
+        graph = paper_influence_graph()
+        partition = [[name] for name in graph.fcm_names()]
+        baseline = run_campaign(graph, partition, trials=50, seed=9)
+        path = str(tmp_path / "faultsim.ndjson")
+        with pytest.raises(CampaignInterrupted):
+            run_campaign(
+                graph, partition, trials=50, seed=9,
+                policy=ExecPolicy(batch_size=10), checkpoint=path,
+                chaos=ChaosPlan(interrupt_after_batches=2),
+            )
+        resumed = run_campaign(
+            graph, partition, trials=50, seed=9,
+            policy=ExecPolicy(batch_size=10), resume=path,
+        )
+        assert_field_for_field(baseline, resumed)
+        assert resumed.exec_report.batches_from_checkpoint == 2
+
+
+class TestResilienceAcceptance:
+    @pytest.mark.timeout(120)
+    def test_workers4_interrupted_resumed_equals_serial(self, tmp_path):
+        outcome = paper_outcome()
+        baseline = run_resilience_campaign(
+            outcome, failures=2, trials=40, seed=17
+        )
+        path = str(tmp_path / "resilience.ndjson")
+        policy = ExecPolicy(workers=4, batch_size=5)
+        with pytest.raises(CampaignInterrupted):
+            run_resilience_campaign(
+                outcome, failures=2, trials=40, seed=17,
+                policy=policy, checkpoint=path,
+                chaos=ChaosPlan(interrupt_after_batches=3),
+            )
+        # Tear the trailing checkpoint line, as a crash mid-write would.
+        truncate_file(path, 7)
+        resumed = run_resilience_campaign(
+            outcome, failures=2, trials=40, seed=17,
+            policy=policy, resume=path,
+        )
+        assert_field_for_field(baseline, resumed)
+        report = resumed.exec_report
+        assert report.corrupt_checkpoint_lines == 1
+        assert report.batches_from_checkpoint == 2
+        assert report.manifest_path is not None
+
+    @pytest.mark.timeout(120)
+    def test_sigkilled_process_resumes_identically(self, tmp_path):
+        """A real SIGKILL of a pooled campaign process, then resume."""
+        outcome = paper_outcome()
+        baseline = run_resilience_campaign(
+            outcome, failures=2, trials=300, seed=17
+        )
+        path = str(tmp_path / "killed.ndjson")
+        ctx = multiprocessing.get_context("fork")
+        child = ctx.Process(target=_checkpointed_campaign, args=(path,))
+        child.start()
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline and child.is_alive():
+            if _batch_lines(path) >= 3:
+                break
+            time.sleep(0.005)
+        if child.is_alive():
+            # The child leads its own session (setsid), so this takes its
+            # worker pool down with it — nothing survives the crash.
+            os.killpg(child.pid, signal.SIGKILL)
+        child.join(30)
+        resumed = run_resilience_campaign(
+            outcome, failures=2, trials=300, seed=17,
+            policy=ExecPolicy(workers=4, batch_size=10), resume=path,
+        )
+        assert_field_for_field(baseline, resumed)
+        assert resumed.exec_report.batches_from_checkpoint >= 2
+
+
+def _checkpointed_campaign(path: str) -> None:
+    os.setsid()  # own process group, so killpg cannot touch the test runner
+    run_resilience_campaign(
+        paper_outcome(), failures=2, trials=300, seed=17,
+        policy=ExecPolicy(workers=4, batch_size=10), checkpoint=path,
+    )
+
+
+def _batch_lines(path: str) -> int:
+    try:
+        with open(path, encoding="utf-8") as handle:
+            return sum(1 for line in handle if '"type": "batch"' in line)
+    except OSError:
+        return 0

@@ -1,0 +1,116 @@
+"""Checkpoint files: round trip, torn lines, fingerprints, manifest."""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import CheckpointError
+from repro.exec import (
+    CheckpointWriter,
+    campaign_fingerprint,
+    load_checkpoint,
+    truncate_file,
+)
+
+
+@pytest.fixture
+def written(tmp_path):
+    path = str(tmp_path / "campaign.ndjson")
+    writer = CheckpointWriter(path, "fp1234", trials=20, seed=3, fresh=True)
+    writer.record(0, 10, {"hits": [1, 2]})
+    writer.record(10, 10, {"hits": [3]})
+    writer.close()
+    return path
+
+
+class TestRoundTrip:
+    def test_entries_recovered(self, written):
+        data = load_checkpoint(written)
+        assert data.fingerprint == "fp1234"
+        assert data.trials == 20
+        assert data.seed == 3
+        assert data.entries == {
+            (0, 10): {"hits": [1, 2]},
+            (10, 10): {"hits": [3]},
+        }
+        assert data.corrupt_lines == 0
+        assert data.covered_trials() == 20
+
+    def test_append_mode_preserves_existing(self, written):
+        writer = CheckpointWriter(
+            written, "fp1234", trials=20, seed=3, fresh=False
+        )
+        writer.record(0, 5, {"hits": []})
+        writer.close()
+        data = load_checkpoint(written)
+        assert len(data.entries) == 3
+
+    def test_fingerprint_stable_and_param_sensitive(self):
+        base = campaign_fingerprint("faultsim", 0, 100, {"a": 1, "b": 2})
+        assert base == campaign_fingerprint("faultsim", 0, 100, {"b": 2, "a": 1})
+        assert base != campaign_fingerprint("faultsim", 1, 100, {"a": 1, "b": 2})
+        assert base != campaign_fingerprint("faultsim", 0, 101, {"a": 1, "b": 2})
+        assert base != campaign_fingerprint("resilience", 0, 100, {"a": 1, "b": 2})
+
+
+class TestTornLines:
+    def test_truncated_trailing_line_counted_not_fatal(self, written):
+        truncate_file(written, 15)
+        data = load_checkpoint(written)
+        assert data.corrupt_lines == 1
+        assert data.entries == {(0, 10): {"hits": [1, 2]}}
+        assert "undecodable" in data.corrupt_detail[0]
+
+    def test_garbage_line_counted(self, written):
+        with open(written, "a") as handle:
+            handle.write("not json at all\n")
+        data = load_checkpoint(written)
+        assert data.corrupt_lines == 1
+        assert len(data.entries) == 2
+
+    def test_malformed_batch_record_counted(self, written):
+        with open(written, "a") as handle:
+            handle.write(json.dumps({"type": "batch", "start": -1}) + "\n")
+            handle.write(json.dumps({"type": "mystery"}) + "\n")
+        data = load_checkpoint(written)
+        assert data.corrupt_lines == 2
+        assert len(data.entries) == 2
+
+
+class TestRefusals:
+    def test_wrong_format_rejected(self, tmp_path):
+        path = tmp_path / "other.ndjson"
+        path.write_text(json.dumps({"type": "meta", "format": "nope"}) + "\n")
+        with pytest.raises(CheckpointError, match="not a campaign checkpoint"):
+            load_checkpoint(str(path))
+
+    def test_newer_version_rejected(self, tmp_path):
+        path = tmp_path / "future.ndjson"
+        path.write_text(
+            json.dumps(
+                {"type": "meta", "format": "repro-exec-checkpoint", "version": 99}
+            )
+            + "\n"
+        )
+        with pytest.raises(CheckpointError, match="newer"):
+            load_checkpoint(str(path))
+
+    def test_unreadable_path_rejected(self, tmp_path):
+        with pytest.raises(CheckpointError, match="cannot read"):
+            load_checkpoint(str(tmp_path / "missing.ndjson"))
+
+
+class TestManifest:
+    def test_manifest_published_atomically(self, written):
+        writer = CheckpointWriter(
+            written, "fp1234", trials=20, seed=3, fresh=False
+        )
+        manifest_path = writer.write_manifest({"batches": 2})
+        writer.close()
+        assert manifest_path == written + ".manifest"
+        assert not os.path.exists(manifest_path + ".tmp")
+        document = json.loads(open(manifest_path).read())
+        assert document["complete"] is True
+        assert document["fingerprint"] == "fp1234"
+        assert document["batches"] == 2

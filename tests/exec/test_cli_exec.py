@@ -1,0 +1,65 @@
+"""CLI surface of the supervised runner: faultsim, exec chaos, flags."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestFaultsimCommand:
+    def test_serial_run(self, capsys):
+        assert main(["faultsim", "--trials", "50", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Fault-injection campaign" in out
+        assert "cross-cluster escape rate" in out
+
+    @pytest.mark.timeout(120)
+    def test_workers_match_serial(self, capsys):
+        assert main(["faultsim", "--trials", "60", "--seed", "5"]) == 0
+        serial = capsys.readouterr().out
+        assert main(
+            ["faultsim", "--trials", "60", "--seed", "5",
+             "--workers", "2", "--batch-size", "7"]
+        ) == 0
+        pooled = capsys.readouterr().out
+        # Identical campaign table; the pooled run adds an exec footer.
+        assert serial.strip().splitlines()[:7] == pooled.strip().splitlines()[:7]
+        assert "exec:" in pooled
+
+    def test_checkpoint_and_resume(self, tmp_path, capsys):
+        path = str(tmp_path / "cli.ndjson")
+        assert main(
+            ["faultsim", "--trials", "40", "--checkpoint", path]
+        ) == 0
+        first = capsys.readouterr().out
+        assert main(["faultsim", "--trials", "40", "--resume", path]) == 0
+        second = capsys.readouterr().out
+        assert first.strip().splitlines()[:7] == second.strip().splitlines()[:7]
+        manifest = json.loads(open(path + ".manifest").read())
+        assert manifest["complete"] is True
+
+
+class TestExecChaosCommand:
+    @pytest.mark.timeout(180)
+    def test_chaos_selftest_passes(self, tmp_path, capsys):
+        code = main(
+            ["exec", "chaos", "--trials", "24", "--workers", "2",
+             "--workdir", str(tmp_path)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "chaos self-test PASSED" in out
+        assert "[FAIL]" not in out
+
+
+class TestResilienceExecFlags:
+    @pytest.mark.timeout(120)
+    def test_workers_match_serial(self, capsys):
+        base_args = ["resilience", "--trials", "30", "--seed", "2"]
+        assert main(base_args) == 0
+        serial = capsys.readouterr().out
+        assert main(base_args + ["--workers", "2", "--batch-size", "5"]) == 0
+        pooled = capsys.readouterr().out
+        assert serial.strip().splitlines()[:9] == pooled.strip().splitlines()[:9]
+        assert "exec:" in pooled

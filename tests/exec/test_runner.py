@@ -1,0 +1,237 @@
+"""The supervised runner: pool vs. serial, retries, degradation, resume."""
+
+import pytest
+
+from repro.errors import CampaignInterrupted, CheckpointError, ExecutionError
+from repro.exec import (
+    ChaosPlan,
+    ExecPolicy,
+    derive_seed,
+    run_supervised,
+    truncate_file,
+)
+from repro.obs import Recorder, use
+
+
+def trial_values(start, size, seed):
+    """A deterministic per-trial payload, one value per trial."""
+    return {
+        "values": [derive_seed(seed, t) % 997 for t in range(start, start + size)]
+    }
+
+
+def combine(a, b):
+    return {"values": a["values"] + b["values"]}
+
+
+def flatten(payloads):
+    return [v for p in payloads for v in p["values"]]
+
+
+def expected(trials, seed):
+    return [derive_seed(seed, t) % 997 for t in range(trials)]
+
+
+class TestSerial:
+    def test_result_and_report(self):
+        payloads, report = run_supervised(
+            trial_values, trials=23, seed=5, kind="unit",
+            policy=ExecPolicy(batch_size=7), combine=combine,
+        )
+        assert flatten(payloads) == expected(23, 5)
+        assert report.batches_total == report.batches_run == 4
+        assert report.batches_from_checkpoint == 0
+        assert report.retries == 0
+
+    def test_batch_size_does_not_change_result(self):
+        results = [
+            flatten(
+                run_supervised(
+                    trial_values, trials=30, seed=9, kind="unit",
+                    policy=ExecPolicy(batch_size=bs), combine=combine,
+                )[0]
+            )
+            for bs in (1, 7, 30)
+        ]
+        assert results[0] == results[1] == results[2] == expected(30, 9)
+
+
+class TestPool:
+    @pytest.mark.timeout(60)
+    def test_pool_identical_to_serial(self):
+        serial, _ = run_supervised(
+            trial_values, trials=40, seed=3, kind="unit",
+            policy=ExecPolicy(batch_size=5), combine=combine,
+        )
+        pooled, report = run_supervised(
+            trial_values, trials=40, seed=3, kind="unit",
+            policy=ExecPolicy(workers=4, batch_size=5), combine=combine,
+        )
+        assert flatten(pooled) == flatten(serial)
+        assert report.workers == 4
+
+    @pytest.mark.timeout(60)
+    def test_transient_kill_recovered_by_retry(self):
+        recorder = Recorder()
+        with use(recorder):
+            payloads, report = run_supervised(
+                trial_values, trials=24, seed=1, kind="unit",
+                policy=ExecPolicy(
+                    workers=2, batch_size=6, backoff_base=0.01,
+                    backoff_max=0.05,
+                ),
+                combine=combine,
+                chaos=ChaosPlan(kill_once_trials=frozenset({13})),
+            )
+        assert flatten(payloads) == expected(24, 1)
+        assert report.worker_crashes >= 1
+        assert report.retries >= 1
+        actions = {d.action for d in recorder.decisions if d.category == "exec"}
+        assert "worker_crash" in actions
+        assert "retry" in actions
+
+    @pytest.mark.timeout(60)
+    def test_persistent_kill_degrades_to_serial(self):
+        payloads, report = run_supervised(
+            trial_values, trials=16, seed=2, kind="unit",
+            policy=ExecPolicy(
+                workers=2, batch_size=4, max_attempts=2,
+                backoff_base=0.01, backoff_max=0.05,
+            ),
+            combine=combine,
+            chaos=ChaosPlan(kill_trials=frozenset({5})),
+        )
+        assert flatten(payloads) == expected(16, 2)
+        assert report.serial_fallbacks >= 1
+        assert report.splits >= 1
+
+    @pytest.mark.timeout(60)
+    def test_slow_batch_times_out_and_still_completes(self):
+        payloads, report = run_supervised(
+            trial_values, trials=12, seed=4, kind="unit",
+            policy=ExecPolicy(
+                workers=2, batch_size=4, trial_timeout=0.05,
+                max_attempts=2, backoff_base=0.01, backoff_max=0.05,
+            ),
+            combine=combine,
+            chaos=ChaosPlan(slow_trials=((6, 30.0),)),
+        )
+        assert flatten(payloads) == expected(12, 4)
+        assert report.timeouts >= 1
+
+    @pytest.mark.timeout(60)
+    def test_pool_abandoned_when_budget_exhausted(self):
+        recorder = Recorder()
+        with use(recorder):
+            payloads, report = run_supervised(
+                trial_values, trials=16, seed=6, kind="unit",
+                policy=ExecPolicy(
+                    workers=2, batch_size=4, pool_failure_budget=1,
+                    backoff_base=0.01, backoff_max=0.05,
+                ),
+                combine=combine,
+                chaos=ChaosPlan(kill_trials=frozenset({1})),
+            )
+        assert flatten(payloads) == expected(16, 6)
+        assert report.pool_abandoned
+        actions = {d.action for d in recorder.decisions if d.category == "exec"}
+        assert "pool_abandoned" in actions
+
+    @pytest.mark.timeout(60)
+    def test_always_raising_task_surfaces_execution_error(self):
+        def explode(start, size, seed):
+            raise ValueError("boom")
+
+        with pytest.raises(ExecutionError, match="serial fallback"):
+            run_supervised(
+                explode, trials=4, seed=0, kind="unit",
+                policy=ExecPolicy(
+                    workers=2, batch_size=2, max_attempts=1,
+                    backoff_base=0.01, backoff_max=0.05,
+                ),
+            )
+
+
+class TestCheckpointResume:
+    def test_interrupt_then_resume_is_identical(self, tmp_path):
+        baseline, _ = run_supervised(
+            trial_values, trials=30, seed=11, kind="unit",
+            policy=ExecPolicy(batch_size=5), combine=combine,
+        )
+        path = str(tmp_path / "run.ndjson")
+        with pytest.raises(CampaignInterrupted):
+            run_supervised(
+                trial_values, trials=30, seed=11, kind="unit",
+                policy=ExecPolicy(batch_size=5), combine=combine,
+                checkpoint=path,
+                chaos=ChaosPlan(interrupt_after_batches=3),
+            )
+        resumed, report = run_supervised(
+            trial_values, trials=30, seed=11, kind="unit",
+            policy=ExecPolicy(batch_size=5), combine=combine, resume=path,
+        )
+        assert flatten(resumed) == flatten(baseline)
+        assert report.batches_from_checkpoint == 3
+        assert report.batches_run == 3
+        assert report.manifest_path is not None
+
+    def test_corrupt_trailing_line_recomputed(self, tmp_path):
+        recorder = Recorder()
+        path = str(tmp_path / "run.ndjson")
+        with pytest.raises(CampaignInterrupted):
+            run_supervised(
+                trial_values, trials=30, seed=11, kind="unit",
+                policy=ExecPolicy(batch_size=5), combine=combine,
+                checkpoint=path,
+                chaos=ChaosPlan(interrupt_after_batches=3),
+            )
+        truncate_file(path, 10)
+        with use(recorder):
+            resumed, report = run_supervised(
+                trial_values, trials=30, seed=11, kind="unit",
+                policy=ExecPolicy(batch_size=5), combine=combine, resume=path,
+            )
+        assert flatten(resumed) == expected(30, 11)
+        assert report.corrupt_checkpoint_lines == 1
+        assert report.batches_from_checkpoint == 2
+        actions = {d.action for d in recorder.decisions if d.category == "exec"}
+        assert "checkpoint_corrupt" in actions
+        assert "resume" in actions
+
+    def test_resume_with_different_batch_size_combines_entries(self, tmp_path):
+        path = str(tmp_path / "run.ndjson")
+        with pytest.raises(CampaignInterrupted):
+            run_supervised(
+                trial_values, trials=30, seed=11, kind="unit",
+                policy=ExecPolicy(batch_size=3), combine=combine,
+                checkpoint=path,
+                chaos=ChaosPlan(interrupt_after_batches=4),
+            )
+        resumed, report = run_supervised(
+            trial_values, trials=30, seed=11, kind="unit",
+            policy=ExecPolicy(batch_size=6), combine=combine, resume=path,
+        )
+        assert flatten(resumed) == expected(30, 11)
+        assert report.batches_from_checkpoint == 2  # four 3-wide -> two 6-wide
+
+    def test_foreign_checkpoint_refused(self, tmp_path):
+        path = str(tmp_path / "run.ndjson")
+        run_supervised(
+            trial_values, trials=10, seed=0, kind="unit",
+            policy=ExecPolicy(batch_size=5), combine=combine, checkpoint=path,
+        )
+        with pytest.raises(CheckpointError, match="different campaign"):
+            run_supervised(
+                trial_values, trials=10, seed=999, kind="unit",
+                policy=ExecPolicy(batch_size=5), combine=combine, resume=path,
+            )
+
+    def test_missing_resume_file_starts_fresh(self, tmp_path):
+        path = str(tmp_path / "never-written.ndjson")
+        payloads, report = run_supervised(
+            trial_values, trials=10, seed=0, kind="unit",
+            policy=ExecPolicy(batch_size=5), combine=combine, resume=path,
+        )
+        assert flatten(payloads) == expected(10, 0)
+        assert report.batches_from_checkpoint == 0
+        assert report.checkpoint_path == path

@@ -1,0 +1,112 @@
+"""Satellite: Eq. (3) convergence guard and named probability errors."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ProbabilityError
+from repro.graphs.matrix import (
+    MAX_SERIES_ORDER,
+    power_series_sum,
+    power_series_sum_guarded,
+)
+from repro.influence import (
+    FactorKind,
+    InfluenceFactor,
+    InfluenceGraph,
+    compute_separation,
+)
+from repro.influence.probability import combine_probabilities, influence_from_factors
+from repro.obs import Recorder, use
+from tests.conftest import make_process
+
+
+def chain(weight: float) -> InfluenceGraph:
+    graph = InfluenceGraph()
+    for name in ("a", "b", "c"):
+        graph.add_fcm(make_process(name))
+    graph.set_influence("a", "b", weight)
+    graph.set_influence("b", "c", weight)
+    return graph
+
+
+def cyclic(weight: float) -> InfluenceGraph:
+    graph = chain(weight)
+    graph.set_influence("c", "a", weight)
+    return graph
+
+
+class TestGuardedSeries:
+    def test_matches_plain_sum_when_converging(self):
+        matrix = np.array([[0.0, 0.5], [0.0, 0.0]])
+        plain = power_series_sum(matrix, 10)
+        guarded, _terms, diverging = power_series_sum_guarded(matrix, 10)
+        assert not diverging
+        assert np.allclose(plain, guarded)
+
+    def test_divergent_matrix_flagged(self):
+        # Spectral radius 1.2: every term grows; the guard must trip,
+        # not accumulate a huge truncation.
+        matrix = np.array([[0.0, 1.2], [1.2, 0.0]])
+        _, terms, diverging = power_series_sum_guarded(matrix, 100)
+        assert diverging
+        assert terms < 100
+
+    def test_early_stop_on_negligible_terms(self):
+        matrix = np.array([[0.0, 1e-200], [0.0, 0.0]])
+        _, terms, diverging = power_series_sum_guarded(matrix, 50)
+        assert not diverging
+        assert terms <= 2
+
+
+class TestSeparationGuard:
+    def test_convergent_graph_not_truncated(self):
+        result = compute_separation(chain(0.5), order=5)
+        assert result.truncated is False
+        assert result.terms_used is not None
+
+    def test_order_capped_at_max(self):
+        result = compute_separation(chain(0.5), order=100_000)
+        assert result.order == MAX_SERIES_ORDER
+
+    def test_divergent_cycle_sets_truncated_flag_and_warns(self):
+        # A certainty cycle: spectral radius exactly 1, so the series
+        # never converges and the term norms never decrease.
+        recorder = Recorder()
+        with use(recorder):
+            result = compute_separation(cyclic(1.0), order=64)
+        assert result.truncated is True
+        assert result.tail_bound == float("inf")
+        actions = {
+            d.action for d in recorder.decisions if d.category == "separation"
+        }
+        assert "truncated" in actions
+        assert "separation_truncations_total" in recorder.metrics.names()
+
+    def test_truncated_sum_stays_finite(self):
+        result = compute_separation(cyclic(1.0), order=MAX_SERIES_ORDER)
+        assert np.isfinite(result.transitive).all()
+
+
+class TestNamedProbabilityErrors:
+    def test_combine_names_position_and_context(self):
+        with pytest.raises(ProbabilityError, match=r"p_2 .* \(edge a -> b\)"):
+            combine_probabilities([0.5, 1.5], context="edge a -> b")
+
+    def test_factor_validation_names_kind_and_pair(self):
+        bad = InfluenceFactor.from_probability(FactorKind.TIMING, 0.5)
+        object.__setattr__(bad, "p_occurrence", 2.0)  # bypass __post_init__
+        with pytest.raises(
+            ProbabilityError, match=r"factor\[0\] \(timing\) of influence 'a' -> 'b'"
+        ):
+            influence_from_factors([bad], context="influence 'a' -> 'b'")
+
+    def test_factor_construction_names_component(self):
+        with pytest.raises(
+            ProbabilityError, match="message_passing: p_transmission"
+        ):
+            InfluenceFactor(FactorKind.MESSAGE_PASSING, 0.5, 1.2, 0.5)
+
+    def test_set_influence_names_pair(self):
+        graph = chain(0.5)
+        with pytest.raises(ProbabilityError, match="'a' -> 'b'"):
+            graph.set_influence("a", "b", 1.5)

@@ -1,0 +1,175 @@
+"""Aggregated document validation: one report, every defect, exit 2."""
+
+import copy
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.io import (
+    ValidationFailure,
+    dump_system,
+    load_system,
+    system_from_dict,
+    validate_system_dict,
+)
+from repro.io.serialization import system_to_dict
+from repro.workloads import paper_system
+
+
+def good_doc() -> dict:
+    return system_to_dict(paper_system())
+
+
+class TestCleanDocuments:
+    def test_paper_system_validates_clean(self):
+        assert validate_system_dict(good_doc()) == []
+
+    def test_round_trip_still_works(self, tmp_path):
+        path = tmp_path / "sys.json"
+        dump_system(paper_system(), str(path))
+        assert load_system(str(path)).name == paper_system().name
+
+
+class TestAggregation:
+    def test_multiple_defects_reported_together(self):
+        doc = good_doc()
+        doc["fcms"][0]["attributes"]["criticality"] = -1
+        doc["fcms"][1]["level"] = "MODULE"
+        doc["fcms"][2].pop("name")
+        with pytest.raises(ValidationFailure) as excinfo:
+            system_from_dict(doc)
+        issues = excinfo.value.issues
+        assert len(issues) >= 3
+        paths = [issue.path for issue in issues]
+        assert "fcms[0].attributes.criticality" in paths
+        assert "fcms[1].level" in paths
+        assert "fcms[2].name" in paths
+        # Everything is in one message, not one-defect-per-raise.
+        message = str(excinfo.value)
+        assert "validation issues" in message
+        assert "criticality" in message and "MODULE" in message
+
+    def test_line_context_from_file(self, tmp_path):
+        doc = good_doc()
+        doc["fcms"][0]["attributes"]["criticality"] = -3
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(doc, indent=2))
+        with pytest.raises(ValidationFailure) as excinfo:
+            load_system(str(path))
+        issue = excinfo.value.issues[0]
+        # Line hints are best-effort: they locate the offending FCM's
+        # entry (by name), not the exact attribute line.
+        assert issue.line is not None
+        name = doc["fcms"][0]["name"]
+        assert name in path.read_text().splitlines()[issue.line - 1]
+
+    def test_invalid_json_reports_parse_line(self, tmp_path):
+        path = tmp_path / "torn.json"
+        path.write_text('{\n  "format": "ddsi-system",\n  "fcms": [\n')
+        with pytest.raises(ValidationFailure) as excinfo:
+            load_system(str(path))
+        assert "invalid JSON" in str(excinfo.value)
+        assert excinfo.value.issues[0].line is not None
+
+    def test_cyclic_hierarchy_detected(self):
+        doc = good_doc()
+        names = [f["name"] for f in doc["fcms"][:3]]
+        doc["links"] = [
+            {"child": names[0], "parent": names[1]},
+            {"child": names[1], "parent": names[2]},
+            {"child": names[2], "parent": names[0]},
+        ]
+        with pytest.raises(ValidationFailure, match="cyclic hierarchy"):
+            system_from_dict(doc)
+
+    def test_cli_exits_2_with_full_report(self, tmp_path, capsys):
+        doc = good_doc()
+        doc["fcms"][0]["attributes"]["criticality"] = -1
+        doc["fcms"][1]["level"] = "NOPE"
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(doc, indent=2))
+        code = main(["audit", str(path)])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "2 validation issues" in err
+        assert "criticality" in err and "NOPE" in err
+
+
+def _mutations():
+    """20 distinct corruptions of a valid system document."""
+
+    def m(description, apply):
+        return pytest.param(apply, id=description)
+
+    def set_path(doc, keys, value):
+        target = doc
+        for key in keys[:-1]:
+            target = target[key]
+        target[keys[-1]] = value
+
+    return [
+        m("wrong-format", lambda d: set_path(d, ["format"], "nope")),
+        m("future-version", lambda d: set_path(d, ["version"], 99)),
+        m("string-version", lambda d: set_path(d, ["version"], "one")),
+        m("fcms-not-list", lambda d: set_path(d, ["fcms"], {"a": 1})),
+        m("fcm-not-object", lambda d: d["fcms"].__setitem__(0, "x")),
+        m("missing-name", lambda d: d["fcms"][0].pop("name")),
+        m("empty-name", lambda d: set_path(d, ["fcms", 0, "name"], "")),
+        m("duplicate-name",
+          lambda d: set_path(d, ["fcms", 1, "name"], d["fcms"][0]["name"])),
+        m("missing-level", lambda d: d["fcms"][0].pop("level")),
+        m("unknown-level", lambda d: set_path(d, ["fcms", 0, "level"], "MODULE")),
+        m("negative-criticality",
+          lambda d: set_path(d, ["fcms", 0, "attributes", "criticality"], -0.5)),
+        m("criticality-not-number",
+          lambda d: set_path(d, ["fcms", 0, "attributes", "criticality"], "hi")),
+        m("zero-fault-tolerance",
+          lambda d: set_path(d, ["fcms", 0, "attributes", "fault_tolerance"], 0)),
+        m("unknown-security",
+          lambda d: set_path(d, ["fcms", 0, "attributes", "security"], "ULTRA")),
+        m("degenerate-timing",
+          lambda d: set_path(d, ["fcms", 0, "attributes", "timing"],
+                             {"earliest_start": 5, "deadline": 6,
+                              "computation_time": 10})),
+        m("unknown-replica-origin",
+          lambda d: set_path(d, ["fcms", 0, "replica_of"], "ghost")),
+        m("link-unknown-child",
+          lambda d: d.__setitem__(
+              "links", [{"child": "ghost", "parent": d["fcms"][0]["name"]}])),
+        m("self-parent",
+          lambda d: d.__setitem__(
+              "links", [{"child": d["fcms"][0]["name"],
+                         "parent": d["fcms"][0]["name"]}])),
+        m("edge-unknown-target",
+          lambda d: d["influence"]["PROCESS"]["edges"].append(
+              {"source": d["fcms"][0]["name"], "target": "ghost",
+               "value": 0.5})),
+        m("edge-probability-above-one",
+          lambda d: set_path(
+              d, ["influence", "PROCESS", "edges", 0, "value"], 1.5)),
+    ]
+
+
+class TestFuzzMutations:
+    @pytest.mark.parametrize("mutate", _mutations())
+    def test_every_mutation_caught_as_validation_failure(self, mutate):
+        doc = copy.deepcopy(good_doc())
+        # Normalise edge 0 to a plain-value edge so value mutations apply.
+        edges = doc["influence"]["PROCESS"]["edges"]
+        if "value" not in edges[0]:
+            edges[0] = {
+                "source": edges[0]["source"],
+                "target": edges[0]["target"],
+                "value": 0.5,
+            }
+        mutate(doc)
+        with pytest.raises(ValidationFailure) as excinfo:
+            system_from_dict(doc)
+        assert len(excinfo.value.issues) >= 1
+        for issue in excinfo.value.issues:
+            assert issue.path
+            assert issue.message
+
+    def test_mutation_count_is_twenty(self):
+        assert len(_mutations()) == 20
