@@ -140,7 +140,16 @@ def _exec_policy(args: argparse.Namespace):
     """An :class:`ExecPolicy` from CLI flags, or None for the defaults."""
     from repro.exec import ExecPolicy
 
-    if not (args.workers or args.batch_size or args.trial_timeout):
+    # --checkpoint/--resume alone must also opt in: without a policy the
+    # campaign runs as one all-trials batch, so the checkpoint would only
+    # be written at completion and resume could never recover anything.
+    if not (
+        args.workers
+        or args.batch_size
+        or args.trial_timeout
+        or args.checkpoint
+        or args.resume
+    ):
         return None
     return ExecPolicy(
         workers=args.workers,

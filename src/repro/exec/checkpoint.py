@@ -1,8 +1,10 @@
 """Crash-safe campaign checkpoints: streamed NDJSON + atomic manifest.
 
-A checkpoint file is NDJSON, one object per line, written append-only and
-flushed (+fsync'd) after every completed batch so a crash loses at most
-the batch in flight:
+A checkpoint file is NDJSON, one object per line, flushed (+fsync'd)
+after every completed batch so a crash loses at most the batch in
+flight.  A *fresh* checkpoint truncates any existing file at its path
+(stale batches from an earlier campaign must never survive into a later
+resume); only resume appends:
 
 * line 1 — ``{"type": "meta", "format": "repro-exec-checkpoint",
   "version": 1, "fingerprint": ..., "trials": ..., "seed": ...}``;
@@ -36,6 +38,19 @@ from repro.errors import CheckpointError
 
 CHECKPOINT_FORMAT = "repro-exec-checkpoint"
 CHECKPOINT_VERSION = 1
+
+
+def _ends_without_newline(path: str) -> bool:
+    """True if ``path`` exists, is non-empty, and lacks a final newline."""
+    try:
+        with open(path, "rb") as probe:
+            probe.seek(0, os.SEEK_END)
+            if probe.tell() == 0:
+                return False
+            probe.seek(-1, os.SEEK_END)
+            return probe.read(1) != b"\n"
+    except OSError:
+        return False
 
 
 def campaign_fingerprint(kind: str, seed: int, trials: int, params: dict) -> str:
@@ -140,8 +155,13 @@ class CheckpointWriter:
         self.trials = trials
         self.seed = seed
         self.batches_written = 0
+        # A fresh checkpoint must truncate: appending a new meta line to a
+        # stale file would let a later --resume merge batches computed
+        # under different campaign parameters (the last meta line wins the
+        # fingerprint check while every old batch line survives).
+        torn_tail = False if fresh else _ends_without_newline(path)
         try:
-            self._handle = open(path, "a", encoding="utf-8")
+            self._handle = open(path, "w" if fresh else "a", encoding="utf-8")
         except OSError as exc:
             raise CheckpointError(
                 f"cannot open checkpoint {path!r}: {exc}"
@@ -157,6 +177,11 @@ class CheckpointWriter:
                     "seed": seed,
                 }
             )
+        elif torn_tail:
+            # Seal a torn trailing line so the next record starts on its
+            # own line instead of extending the undecodable partial one.
+            self._handle.write("\n")
+            self._handle.flush()
 
     def record(self, start: int, size: int, payload: Any) -> None:
         self._write_line(

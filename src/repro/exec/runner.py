@@ -392,42 +392,55 @@ def _load_resume(resume, fingerprint, done, report, rec) -> None:
     )
 
 
+def _find_chain(
+    batch: Batch, done: dict
+) -> list[tuple[int, int]] | None:
+    """Adjacent ``done`` ranges tiling ``batch`` exactly, or None.
+
+    ``done`` can hold overlapping decompositions of the same range —
+    e.g. a resumed checkpoint's ``(0, 3)`` alongside split-produced
+    ``(0, 2)``/``(2, 2)`` for a planned batch ``[0, 4)`` — so a greedy
+    walk can dead-end on a valid cover.  Search all decompositions,
+    visiting each reachable position once (coverage from a position is
+    independent of how it was reached).
+    """
+    stack: list[tuple[int, list[tuple[int, int]]]] = [(batch.start, [])]
+    seen = {batch.start}
+    while stack:
+        position, chain = stack.pop()
+        if position == batch.stop:
+            return chain
+        for start, size in done:
+            if start != position or position + size > batch.stop:
+                continue
+            nxt = position + size
+            if nxt not in seen:
+                seen.add(nxt)
+                stack.append((nxt, chain + [(start, size)]))
+    return None
+
+
 def _covered(batch: Batch, done: dict, combine: Combine | None) -> bool:
     if (batch.start, batch.size) in done:
         return True
     if combine is None:
         return False
-    position = batch.start
-    while position < batch.stop:
-        step = next(
-            (
-                size
-                for (start, size) in done
-                if start == position and position + size <= batch.stop
-            ),
-            None,
-        )
-        if step is None:
-            return False
-        position += step
-    return True
+    return _find_chain(batch, done) is not None
 
 
 def _assemble(batch: Batch, done: dict, combine: Combine | None) -> Any:
     if (batch.start, batch.size) in done:
         return done[(batch.start, batch.size)]
-    assert combine is not None  # _covered() guaranteed assembly is possible
-    payload = None
-    position = batch.start
-    while position < batch.stop:
-        size = next(
-            size
-            for (start, size) in done
-            if start == position and position + size <= batch.stop
+    chain = _find_chain(batch, done) if combine is not None else None
+    if chain is None:
+        raise ExecutionError(
+            f"cannot assemble batch [{batch.start},{batch.stop}) from "
+            f"completed ranges {sorted(done)}"
         )
-        piece = done[(position, size)]
+    payload = None
+    for key in chain:
+        piece = done[key]
         payload = piece if payload is None else combine(payload, piece)
-        position += size
     return payload
 
 

@@ -46,6 +46,40 @@ class TestRoundTrip:
         data = load_checkpoint(written)
         assert len(data.entries) == 3
 
+    def test_fresh_truncates_stale_checkpoint(self, written):
+        # A fresh writer on an existing path must not leave the old
+        # campaign's meta/batch lines behind: on resume the last meta
+        # line would win the fingerprint check while stale batches get
+        # silently reused.
+        writer = CheckpointWriter(
+            written, "fp-other", trials=8, seed=7, fresh=True
+        )
+        writer.record(0, 4, {"hits": [9]})
+        writer.close()
+        data = load_checkpoint(written)
+        assert data.fingerprint == "fp-other"
+        assert data.trials == 8
+        assert data.entries == {(0, 4): {"hits": [9]}}
+        assert data.corrupt_lines == 0
+
+    def test_append_after_torn_line_starts_on_new_line(self, written):
+        # Drop the trailing newline (torn final line); appending must
+        # seal it so the next record is not glued onto the torn text.
+        with open(written, "rb+") as handle:
+            handle.seek(0, os.SEEK_END)
+            handle.truncate(handle.tell() - 10)
+        writer = CheckpointWriter(
+            written, "fp1234", trials=20, seed=3, fresh=False
+        )
+        writer.record(10, 10, {"hits": [4]})
+        writer.close()
+        data = load_checkpoint(written)
+        assert data.corrupt_lines == 1  # only the torn line itself
+        assert data.entries == {
+            (0, 10): {"hits": [1, 2]},
+            (10, 10): {"hits": [4]},
+        }
+
     def test_fingerprint_stable_and_param_sensitive(self):
         base = campaign_fingerprint("faultsim", 0, 100, {"a": 1, "b": 2})
         assert base == campaign_fingerprint("faultsim", 0, 100, {"b": 2, "a": 1})

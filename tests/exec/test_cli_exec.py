@@ -39,6 +39,23 @@ class TestFaultsimCommand:
         manifest = json.loads(open(path + ".manifest").read())
         assert manifest["complete"] is True
 
+    def test_checkpoint_alone_batches_the_run(self, tmp_path, capsys):
+        # --checkpoint without --workers/--batch-size must still split
+        # the campaign into multiple batches: a single all-trials batch
+        # checkpoints only at completion, so a crash would lose
+        # everything and --resume could never recover partial work.
+        path = str(tmp_path / "granular.ndjson")
+        assert main(
+            ["faultsim", "--trials", "40", "--checkpoint", path]
+        ) == 0
+        capsys.readouterr()
+        batch_lines = [
+            json.loads(line)
+            for line in open(path)
+            if json.loads(line)["type"] == "batch"
+        ]
+        assert len(batch_lines) > 1
+
 
 class TestExecChaosCommand:
     @pytest.mark.timeout(180)

@@ -235,3 +235,56 @@ class TestCheckpointResume:
         assert flatten(payloads) == expected(10, 0)
         assert report.batches_from_checkpoint == 0
         assert report.checkpoint_path == path
+
+    def test_fresh_checkpoint_discards_stale_campaign(self, tmp_path):
+        # Reusing a checkpoint path (without --resume) for a *different*
+        # campaign must truncate: otherwise the old campaign's batches
+        # survive alongside the new meta line and a later resume merges
+        # payloads computed under the wrong seed.
+        path = str(tmp_path / "run.ndjson")
+        run_supervised(
+            trial_values, trials=30, seed=0, kind="unit",
+            policy=ExecPolicy(batch_size=5), combine=combine,
+            checkpoint=path,
+        )
+        with pytest.raises(CampaignInterrupted):
+            run_supervised(
+                trial_values, trials=30, seed=999, kind="unit",
+                policy=ExecPolicy(batch_size=5), combine=combine,
+                checkpoint=path,
+                chaos=ChaosPlan(interrupt_after_batches=1),
+            )
+        resumed, report = run_supervised(
+            trial_values, trials=30, seed=999, kind="unit",
+            policy=ExecPolicy(batch_size=5), combine=combine, resume=path,
+        )
+        assert flatten(resumed) == expected(30, 999)
+        assert report.batches_from_checkpoint == 1
+        assert report.corrupt_checkpoint_lines == 0
+
+
+class TestAssembly:
+    def test_overlapping_decompositions_do_not_dead_end(self):
+        from repro.exec.batching import Batch
+        from repro.exec.runner import _assemble, _covered
+
+        # Insertion order puts the dead-end range first: a greedy walk
+        # over [0,4) would take (0,3) and strand itself at position 3.
+        done = {
+            (0, 3): {"values": [10, 11, 12]},
+            (0, 2): {"values": [10, 11]},
+            (2, 2): {"values": [12, 13]},
+        }
+        batch = Batch(0, 4)
+        assert _covered(batch, done, combine)
+        assert _assemble(batch, done, combine) == {"values": [10, 11, 12, 13]}
+
+    def test_unassemblable_batch_raises_execution_error(self):
+        from repro.exec.batching import Batch
+        from repro.exec.runner import _assemble, _covered
+
+        done = {(0, 3): {"values": [10, 11, 12]}}
+        batch = Batch(0, 4)
+        assert not _covered(batch, done, combine)
+        with pytest.raises(ExecutionError, match="cannot assemble"):
+            _assemble(batch, done, combine)
