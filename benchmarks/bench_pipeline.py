@@ -5,8 +5,14 @@ Runs the full integrate pipeline under a :class:`repro.obs.Recorder` for
 two scenarios — the paper's 8-process example and a generated
 200-process workload — and writes ``BENCH_pipeline.json`` at the repo
 root.  Each entry carries ``{name, wall_s, trials_per_s, n_processes}``
-plus per-stage wall times pulled from the trace spans, seeding the
-perf trajectory the ROADMAP asks for.
+plus per-stage wall times pulled from the trace spans and a provenance
+block (git sha, python version, machine fingerprint), seeding the perf
+trajectory the ROADMAP asks for.
+
+Every run is also appended to ``BENCH_history.ndjson`` (one JSON record
+per run, ``--no-history`` to skip), and ``python -m repro bench check``
+gates the latest results against the committed baseline
+``benchmarks/BENCH_baseline.json``.
 
 Usage::
 
@@ -25,12 +31,14 @@ from repro.allocation.hw_model import fully_connected
 from repro.core.framework import FrameworkOptions, Heuristic, IntegrationFramework
 from repro.exec import ExecPolicy
 from repro.faultsim.campaign import run_campaign
-from repro.obs import PIPELINE_STAGES, Recorder, use
+from repro.obs import PIPELINE_STAGES, Recorder, collect_provenance, use
+from repro.obs.analyze import append_history
 from repro.workloads import HW_NODE_COUNT, paper_system
 from repro.workloads.generators import random_system
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_pipeline.json"
+DEFAULT_HISTORY = REPO_ROOT / "BENCH_history.ndjson"
 
 
 def bench_scenario(name, system, hw, heuristic, trials) -> dict:
@@ -141,10 +149,23 @@ def main(argv=None) -> int:
     parser.add_argument(
         "-o", "--output", default=str(DEFAULT_OUTPUT), help="output JSON path"
     )
+    parser.add_argument(
+        "--history", default=str(DEFAULT_HISTORY),
+        help="NDJSON bench-history file to append this run to",
+    )
+    parser.add_argument(
+        "--no-history", action="store_true",
+        help="do not append this run to the history file",
+    )
     args = parser.parse_args(argv)
 
     entries = run(quick=args.quick)
+    provenance = collect_provenance()
+    for entry in entries:
+        entry["provenance"] = provenance
     Path(args.output).write_text(json.dumps(entries, indent=2) + "\n")
+    if not args.no_history:
+        append_history(entries, args.history, quick=args.quick)
     for entry in entries:
         if "stages" in entry:
             stage_text = " ".join(

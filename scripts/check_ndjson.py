@@ -15,18 +15,24 @@ from __future__ import annotations
 import sys
 
 from repro.errors import ObservabilityError
-from repro.obs import load_ndjson, validate_trace
+from repro.obs import load_ndjson, trace_meta, validate_trace
 
 
-def check_file(path: str) -> list[str]:
-    """Problems found in one NDJSON file (empty list means valid)."""
+def check_file(path: str) -> tuple[list[str], str]:
+    """(problems, format label) for one NDJSON file (no problems = valid)."""
     try:
         events = load_ndjson(path)
     except ObservabilityError as exc:
-        return [str(exc)]
+        return [str(exc)], "?"
     except OSError as exc:
-        return [f"cannot read {path}: {exc}"]
-    return validate_trace(events)
+        return [f"cannot read {path}: {exc}"], "?"
+    meta = trace_meta(events)
+    label = (
+        f"{meta.get('format', '?')} v{meta.get('version', '?')}"
+        if meta is not None
+        else "no meta line"
+    )
+    return validate_trace(events), label
 
 
 def main(argv: list[str]) -> int:
@@ -35,14 +41,14 @@ def main(argv: list[str]) -> int:
         return 2
     failed = False
     for path in argv:
-        problems = check_file(path)
+        problems, label = check_file(path)
         if problems:
             failed = True
-            print(f"{path}: INVALID")
+            print(f"{path}: INVALID ({label})")
             for problem in problems:
                 print(f"  - {problem}")
         else:
-            print(f"{path}: ok")
+            print(f"{path}: ok ({label})")
     return 1 if failed else 0
 
 

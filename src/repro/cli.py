@@ -26,6 +26,19 @@ Subcommands:
 is used.
 * ``trace summarize TRACE.ndjson`` — aggregate an NDJSON trace into a
   per-stage timing table (``--tree`` renders the span tree instead).
+* ``trace critical-path TRACE.ndjson`` — dominant-path report with
+  per-span self-time vs. child-time.
+* ``trace diff A.ndjson B.ndjson`` — align spans by path and report
+  per-stage wall-time / count deltas; exits 1 on regression beyond the
+  noise threshold, 2 when the runs are incomparable (``--force``
+  overrides the provenance refusal).
+* ``trace export TRACE.ndjson --format {chrome,collapsed}`` — Chrome
+  trace-event JSON (Perfetto / ``chrome://tracing``) or collapsed
+  stacks for flamegraph tooling.
+* ``exec digest TRACE.ndjson`` — per-batch run-health table from the
+  supervised runner's decision events.
+* ``bench check`` — compare the latest ``BENCH_pipeline.json`` against
+  the committed baseline (``bench update-baseline`` refreshes it).
 
 Every subcommand accepts ``--trace FILE`` (write an NDJSON span/decision
 trace) and ``--metrics FILE`` (write a metrics-registry JSON snapshot);
@@ -291,6 +304,12 @@ def build_parser() -> argparse.ArgumentParser:
         "exec", help="supervised-runner utilities"
     )
     exec_sub = exec_cmd.add_subparsers(dest="exec_command", required=True)
+    digest = exec_sub.add_parser(
+        "digest",
+        help="aggregate a trace's exec decision events (retries, splits, "
+        "crashes, backoff) into a run-health table",
+    )
+    digest.add_argument("file", help="NDJSON trace file")
     chaos = exec_sub.add_parser(
         "chaos",
         help="run the runner's chaos self-test (killed workers, torn "
@@ -323,6 +342,72 @@ def build_parser() -> argparse.ArgumentParser:
     summarize.add_argument(
         "--tree", action="store_true",
         help="render the span tree instead of the aggregate table",
+    )
+    critical = trace_sub.add_parser(
+        "critical-path",
+        help="walk the span tree's dominant path (self vs child time)",
+    )
+    critical.add_argument("file", help="NDJSON trace file")
+    diff = trace_sub.add_parser(
+        "diff",
+        help="compare two traces per span path; exit 1 on regression",
+    )
+    diff.add_argument("baseline", help="baseline NDJSON trace (A)")
+    diff.add_argument("candidate", help="candidate NDJSON trace (B)")
+    diff.add_argument(
+        "--threshold", type=float, default=20.0, metavar="PCT",
+        help="relative growth considered a regression (default 20%%)",
+    )
+    diff.add_argument(
+        "--min-delta-ms", type=float, default=0.5, metavar="MS",
+        help="absolute growth below this is noise (default 0.5ms)",
+    )
+    diff.add_argument(
+        "--force", action="store_true",
+        help="diff even when provenance says the runs are incomparable",
+    )
+    export = trace_sub.add_parser(
+        "export",
+        help="convert a trace for external tools (Perfetto, flamegraphs)",
+    )
+    export.add_argument("file", help="NDJSON trace file")
+    export.add_argument(
+        "--format", choices=["chrome", "collapsed"], default="chrome",
+        help="chrome = trace-event JSON (Perfetto / chrome://tracing); "
+        "collapsed = flamegraph.pl collapsed stacks",
+    )
+    export.add_argument(
+        "-o", "--out", default=None, metavar="FILE",
+        help="output file (default: stdout)",
+    )
+
+    bench = sub.add_parser(
+        "bench", help="benchmark baseline utilities (the perf ratchet)"
+    )
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+    bench_check = bench_sub.add_parser(
+        "check",
+        help="compare the latest bench run against the committed baseline; "
+        "exit 1 beyond tolerance",
+    )
+    bench_update = bench_sub.add_parser(
+        "update-baseline",
+        help="rewrite the committed baseline from the latest bench run",
+    )
+    for sub_parser in (bench_check, bench_update):
+        sub_parser.add_argument(
+            "--latest", default="BENCH_pipeline.json", metavar="FILE",
+            help="bench results to gate (default: BENCH_pipeline.json)",
+        )
+        sub_parser.add_argument(
+            "--baseline", default="benchmarks/BENCH_baseline.json",
+            metavar="FILE",
+            help="baseline document (default: benchmarks/BENCH_baseline.json)",
+        )
+    bench_check.add_argument(
+        "--tolerance", type=float, default=None, metavar="FRACTION",
+        help="override the wall-time tolerance (e.g. 0.5 allows +50%%); "
+        "stage and throughput tolerances scale with it",
     )
     return parser
 
@@ -554,6 +639,12 @@ def _cmd_exec(args: argparse.Namespace) -> int:
 
     from repro.exec import run_chaos_selftest
 
+    if args.exec_command == "digest":
+        from repro.obs.analyze import digest_exec_events, render_digest
+
+        events = load_ndjson(args.file)
+        print(render_digest(digest_exec_events(events)))
+        return 0
     if args.workdir is not None:
         result = run_chaos_selftest(
             args.workdir,
@@ -595,12 +686,102 @@ def _cmd_example(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
+    if args.trace_command == "summarize":
+        events = load_ndjson(args.file)
+        if args.tree:
+            print(render_tree(events))
+        else:
+            print(render_summary(events))
+        return 0
+    if args.trace_command == "critical-path":
+        from repro.obs.analyze import render_critical_path
+
+        print(render_critical_path(load_ndjson(args.file)))
+        return 0
+    if args.trace_command == "diff":
+        return _cmd_trace_diff(args)
+    return _cmd_trace_export(args)
+
+
+def _cmd_trace_diff(args: argparse.Namespace) -> int:
+    from repro.obs.analyze import (
+        comparability_problems,
+        diff_traces,
+        render_diff,
+    )
+
+    events_a = load_ndjson(args.baseline)
+    events_b = load_ndjson(args.candidate)
+    refusals, _warnings = comparability_problems(events_a, events_b)
+    if refusals and not args.force:
+        for refusal in refusals:
+            print(f"error: incomparable traces: {refusal}", file=sys.stderr)
+        print("(use --force to diff anyway)", file=sys.stderr)
+        return 2
+    diff = diff_traces(
+        events_a,
+        events_b,
+        threshold=args.threshold / 100.0,
+        min_delta_s=args.min_delta_ms / 1000.0,
+    )
+    if refusals:
+        diff.warnings = [f"forced: {r}" for r in refusals] + diff.warnings
+    print(render_diff(diff))
+    return 1 if diff.regression else 0
+
+
+def _cmd_trace_export(args: argparse.Namespace) -> int:
+    from repro.obs.analyze import to_chrome_trace, to_collapsed_stacks
+
     events = load_ndjson(args.file)
-    if args.tree:
-        print(render_tree(events))
+    if args.format == "chrome":
+        text = json.dumps(to_chrome_trace(events), indent=1)
     else:
-        print(render_summary(events))
+        text = to_collapsed_stacks(events)
+    if args.out:
+        try:
+            with open(args.out, "w") as handle:
+                handle.write(text + "\n")
+        except OSError as exc:
+            raise DDSIError(
+                f"cannot write export file {args.out!r}: {exc}"
+            ) from exc
+        print(f"wrote {args.out}")
+    else:
+        print(text)
     return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.obs.analyze import (
+        check_bench,
+        load_baseline,
+        render_bench_check,
+        write_baseline,
+    )
+    from repro.obs.analyze.bench import load_latest
+
+    entries = load_latest(args.latest)
+    if args.bench_command == "update-baseline":
+        write_baseline(entries, args.baseline)
+        print(
+            f"wrote {args.baseline} from {args.latest} "
+            f"({len(entries)} case(s))"
+        )
+        return 0
+    baseline = load_baseline(args.baseline)
+    tolerance = None
+    if args.tolerance is not None:
+        # One knob scales the whole gate: stages get 4/3 of the wall
+        # tolerance (noisier), throughput may drop by at most half of it.
+        tolerance = {
+            "wall_s": args.tolerance,
+            "stage_s": args.tolerance * 4.0 / 3.0,
+            "trials_per_s": min(args.tolerance / 2.0, 0.95),
+        }
+    check = check_bench(entries, baseline, tolerance=tolerance)
+    print(render_bench_check(check))
+    return 0 if check.passed else 1
 
 
 def _check_writable(path: str, what: str) -> None:
@@ -623,6 +804,7 @@ def main(argv: list[str] | None = None) -> int:
         "exec": _cmd_exec,
         "example": _cmd_example,
         "trace": _cmd_trace,
+        "bench": _cmd_bench,
     }
     trace_path = getattr(args, "trace", None)
     metrics_path = getattr(args, "metrics", None)
@@ -635,6 +817,9 @@ def main(argv: list[str] | None = None) -> int:
         if metrics_path:
             _check_writable(metrics_path, "metrics")
         recorder = Recorder()
+        recorder.set_provenance(
+            command=args.command, workload=getattr(args, "workload", None)
+        )
         with use(recorder):
             code = handlers[args.command](args)
         if trace_path:

@@ -20,7 +20,8 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
 )
-from repro.obs.ndjson import dump_ndjson, load_ndjson, validate_trace
+from repro.obs.ndjson import dump_ndjson, load_ndjson, trace_meta, validate_trace
+from repro.obs.provenance import collect_provenance, machine_fingerprint
 from repro.obs.recorder import (
     NULL_RECORDER,
     DecisionEvent,
@@ -34,6 +35,7 @@ from repro.obs.summarize import (
     PIPELINE_STAGES,
     StageStats,
     decision_counts,
+    open_span_count,
     render_summary,
     render_tree,
     stage_footer,
@@ -54,14 +56,18 @@ __all__ = [
     "Recorder",
     "Span",
     "StageStats",
+    "collect_provenance",
     "current",
     "decision_counts",
     "dump_ndjson",
     "load_ndjson",
+    "machine_fingerprint",
+    "open_span_count",
     "render_summary",
     "render_tree",
     "stage_footer",
     "summarize_trace",
+    "trace_meta",
     "use",
     "validate_trace",
 ]

@@ -1,0 +1,343 @@
+"""Benchmark baseline checking: the perf ratchet behind ``repro bench check``.
+
+``benchmarks/bench_pipeline.py`` measures the pipeline and appends every
+run to ``BENCH_history.ndjson``; this module compares the latest run
+against a **committed baseline** (``benchmarks/BENCH_baseline.json``)
+with per-case / per-stage tolerances, so a perf regression fails CI
+instead of silently shifting the numbers the next PR measures against.
+
+Tolerances are asymmetric by design: wall times may grow by at most
+``1 + wall_s`` relative (e.g. ``0.75`` allows +75%), throughput may drop
+by at most ``trials_per_s`` relative, and per-stage comparisons apply a
+``stage_floor_s`` absolute floor so sub-millisecond stages cannot fail
+the gate on scheduler jitter.  Cross-machine runs are compared with the
+same numbers but flagged in the report — the committed defaults are
+deliberately loose enough for CI-runner variance; tighten them locally
+when hunting a specific regression.
+
+Baseline update workflow (see ``docs/OBSERVABILITY.md``)::
+
+    PYTHONPATH=src python benchmarks/bench_pipeline.py --quick
+    PYTHONPATH=src python -m repro bench update-baseline
+    git add benchmarks/BENCH_baseline.json
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.errors import ObservabilityError
+
+BASELINE_FORMAT = "repro-bench-baseline"
+BASELINE_VERSION = 1
+
+#: Committed-default tolerances: loose enough for CI-runner variance.
+DEFAULT_TOLERANCE = {
+    "wall_s": 1.5,  # latest wall time may be up to 2.5x the baseline
+    "stage_s": 2.0,  # per-stage wall time may be up to 3x the baseline
+    "trials_per_s": 0.7,  # throughput may drop to 30% of the baseline
+    "stage_floor_s": 0.005,  # ignore stages where both runs are < 5ms
+}
+
+
+@dataclass(frozen=True)
+class BenchFinding:
+    """One tolerance violation (or structural mismatch)."""
+
+    case: str
+    metric: str
+    baseline: float | None
+    latest: float | None
+    limit: float | None
+    message: str
+
+
+@dataclass
+class BenchCheck:
+    """The gate verdict: ``passed`` drives the exit code."""
+
+    findings: list[BenchFinding] = field(default_factory=list)
+    checked: list[str] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return not self.findings
+
+
+def load_baseline(path) -> dict:
+    """Parse and structurally validate a baseline document."""
+    try:
+        with open(path) as handle:
+            doc = json.load(handle)
+    except OSError as exc:
+        raise ObservabilityError(
+            f"cannot read bench baseline {path!r}: {exc}"
+        ) from exc
+    except json.JSONDecodeError as exc:
+        raise ObservabilityError(
+            f"bench baseline {path!r} is not valid JSON: {exc}"
+        ) from exc
+    if not isinstance(doc, dict) or doc.get("format") != BASELINE_FORMAT:
+        raise ObservabilityError(
+            f"bench baseline {path!r} has no {BASELINE_FORMAT!r} format tag "
+            "(generate one with: python -m repro bench update-baseline)"
+        )
+    if not isinstance(doc.get("entries"), list):
+        raise ObservabilityError(
+            f"bench baseline {path!r} has no entries list"
+        )
+    return doc
+
+
+def load_latest(path) -> list[dict]:
+    """Parse a ``BENCH_pipeline.json`` run (a list of entries)."""
+    try:
+        with open(path) as handle:
+            entries = json.load(handle)
+    except OSError as exc:
+        raise ObservabilityError(
+            f"cannot read bench results {path!r}: {exc}"
+        ) from exc
+    except json.JSONDecodeError as exc:
+        raise ObservabilityError(
+            f"bench results {path!r} are not valid JSON: {exc}"
+        ) from exc
+    if not isinstance(entries, list):
+        raise ObservabilityError(
+            f"bench results {path!r} are not a list of entries"
+        )
+    return entries
+
+
+def write_baseline(
+    entries: list[dict],
+    path,
+    tolerance: dict | None = None,
+    provenance: dict | None = None,
+) -> dict:
+    """Write (and return) a baseline document built from ``entries``."""
+    from repro.obs.provenance import collect_provenance
+
+    doc = {
+        "format": BASELINE_FORMAT,
+        "version": BASELINE_VERSION,
+        "provenance": provenance or collect_provenance(),
+        "tolerance": dict(DEFAULT_TOLERANCE, **(tolerance or {})),
+        "entries": entries,
+    }
+    try:
+        with open(path, "w") as handle:
+            json.dump(doc, handle, indent=2)
+            handle.write("\n")
+    except OSError as exc:
+        raise ObservabilityError(
+            f"cannot write bench baseline {path!r}: {exc}"
+        ) from exc
+    return doc
+
+
+def append_history(entries: list[dict], path, quick: bool = False) -> dict:
+    """Append one run record to the NDJSON bench history; returns it."""
+    import time
+
+    from repro.obs.provenance import collect_provenance
+
+    record = {
+        "unix_time": round(time.time(), 3),
+        "quick": quick,
+        "provenance": collect_provenance(),
+        "entries": entries,
+    }
+    try:
+        with open(path, "a") as handle:
+            handle.write(json.dumps(record, separators=(",", ":")) + "\n")
+    except OSError as exc:
+        raise ObservabilityError(
+            f"cannot append bench history {path!r}: {exc}"
+        ) from exc
+    return record
+
+
+def _tolerances(baseline_doc: dict, entry: dict, override: dict | None) -> dict:
+    """Effective tolerances: defaults < document < per-entry < override."""
+    effective = dict(DEFAULT_TOLERANCE)
+    effective.update(baseline_doc.get("tolerance") or {})
+    effective.update(entry.get("tolerance") or {})
+    effective.update(override or {})
+    return effective
+
+
+def check_bench(
+    latest_entries: list[dict],
+    baseline_doc: dict,
+    tolerance: dict | None = None,
+) -> BenchCheck:
+    """Compare the latest bench run against a baseline document.
+
+    Checks, per baseline case: total wall time, campaign throughput and
+    per-stage wall times for scenario entries; serial wall time and the
+    serial==pooled determinism contract for parallel entries.  A case
+    present in the baseline but missing from the latest run is a
+    failure; extra latest-only cases are noted, not failed.
+    """
+    check = BenchCheck()
+    latest_by_name = {e.get("name"): e for e in latest_entries}
+    for base in baseline_doc.get("entries", []):
+        name = base.get("name", "?")
+        latest = latest_by_name.pop(name, None)
+        if latest is None:
+            check.findings.append(
+                BenchFinding(
+                    case=name,
+                    metric="presence",
+                    baseline=None,
+                    latest=None,
+                    limit=None,
+                    message=f"{name}: case missing from the latest bench run",
+                )
+            )
+            continue
+        check.checked.append(name)
+        tol = _tolerances(baseline_doc, base, tolerance)
+        _check_entry(check, name, base, latest, tol)
+    for name in latest_by_name:
+        check.notes.append(
+            f"{name}: present in the latest run but not in the baseline"
+        )
+    machine_base = (baseline_doc.get("provenance") or {}).get("machine")
+    machines_latest = {
+        (e.get("provenance") or {}).get("machine")
+        for e in latest_entries
+        if e.get("provenance")
+    } - {None}
+    if machine_base and machines_latest and machines_latest != {machine_base}:
+        check.notes.append(
+            "latest run was recorded on a different machine than the "
+            "baseline; tolerances are cross-machine loose by default"
+        )
+    return check
+
+
+def _check_entry(
+    check: BenchCheck, name: str, base: dict, latest: dict, tol: dict
+) -> None:
+    def fail(metric, base_v, latest_v, limit, message):
+        check.findings.append(
+            BenchFinding(
+                case=name,
+                metric=metric,
+                baseline=base_v,
+                latest=latest_v,
+                limit=limit,
+                message=message,
+            )
+        )
+
+    def slower(metric, base_v, latest_v, rel):
+        limit = base_v * (1.0 + rel)
+        if latest_v > limit:
+            fail(
+                metric,
+                base_v,
+                latest_v,
+                limit,
+                f"{name}: {metric} {latest_v:.4f}s exceeds "
+                f"{base_v:.4f}s + {rel * 100:.0f}% tolerance "
+                f"(limit {limit:.4f}s)",
+            )
+
+    # Wall time scales with campaign length; a --quick run is not
+    # wall-comparable to a full baseline.  Per-stage times and the
+    # normalized trials/s still are, so only the wall checks are skipped.
+    trials_b = base.get("campaign_trials")
+    trials_l = latest.get("campaign_trials")
+    comparable_wall = trials_b is None or trials_l is None or trials_b == trials_l
+    if not comparable_wall:
+        check.notes.append(
+            f"{name}: campaign trial counts differ "
+            f"({trials_b} vs {trials_l}); wall-time comparison skipped"
+        )
+    if comparable_wall and "wall_s" in base and "wall_s" in latest:
+        slower("wall_s", float(base["wall_s"]), float(latest["wall_s"]),
+               float(tol["wall_s"]))
+    if comparable_wall and "serial_wall_s" in base and "serial_wall_s" in latest:
+        slower(
+            "serial_wall_s",
+            float(base["serial_wall_s"]),
+            float(latest["serial_wall_s"]),
+            float(tol["wall_s"]),
+        )
+    if "trials_per_s" in base and "trials_per_s" in latest:
+        base_v, latest_v = float(base["trials_per_s"]), float(latest["trials_per_s"])
+        rel = float(tol["trials_per_s"])
+        limit = base_v * (1.0 - rel)
+        if latest_v < limit:
+            fail(
+                "trials_per_s",
+                base_v,
+                latest_v,
+                limit,
+                f"{name}: throughput {latest_v:.1f}/s fell below "
+                f"{base_v:.1f}/s - {rel * 100:.0f}% tolerance "
+                f"(limit {limit:.1f}/s)",
+            )
+    floor = float(tol["stage_floor_s"])
+    base_stages = base.get("stages") or {}
+    latest_stages = latest.get("stages") or {}
+    for stage, base_v in base_stages.items():
+        if stage not in latest_stages:
+            fail(
+                f"stages.{stage}",
+                float(base_v),
+                None,
+                None,
+                f"{name}: stage {stage!r} missing from the latest run",
+            )
+            continue
+        base_v = float(base_v)
+        latest_v = float(latest_stages[stage])
+        if max(base_v, latest_v) < floor:
+            continue
+        rel = float(tol["stage_s"])
+        limit = base_v * (1.0 + rel)
+        if latest_v > limit and latest_v - base_v > floor:
+            fail(
+                f"stages.{stage}",
+                base_v,
+                latest_v,
+                limit,
+                f"{name}: stage {stage} {latest_v * 1000:.2f}ms exceeds "
+                f"{base_v * 1000:.2f}ms + {rel * 100:.0f}% tolerance",
+            )
+    if base.get("identical") is True and latest.get("identical") is False:
+        fail(
+            "identical",
+            1.0,
+            0.0,
+            None,
+            f"{name}: pooled campaign no longer matches the serial run "
+            "(determinism contract broken)",
+        )
+
+
+def render_bench_check(check: BenchCheck) -> str:
+    """The ``repro bench check`` report."""
+    lines: list[str] = []
+    if check.checked:
+        lines.append(
+            f"checked {len(check.checked)} case(s): "
+            + ", ".join(check.checked)
+        )
+    for note in check.notes:
+        lines.append(f"note: {note}")
+    if check.passed:
+        lines.append("bench check PASSED (within tolerance of the baseline)")
+    else:
+        for finding in check.findings:
+            lines.append(f"REGRESSION: {finding.message}")
+        lines.append(
+            f"bench check FAILED ({len(check.findings)} regression(s))"
+        )
+    return "\n".join(lines)

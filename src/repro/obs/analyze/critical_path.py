@@ -1,0 +1,135 @@
+"""Critical-path analysis of a span tree.
+
+Answers "where did the wall time actually go?" for one recorded run:
+starting from the longest root span, repeatedly descend into the child
+that consumed the most wall time.  Each step reports the span's total
+duration, its **self time** (total minus the sum of its children — the
+time the stage spent in its own code) and its child time, so a stage
+that is slow *itself* is distinguishable from a stage that merely
+contains a slow callee.
+
+Consumes the event dicts of :func:`repro.obs.load_ndjson`; still-open
+spans (``t_end`` null) count as zero duration, and spans whose parent
+sid is missing from the trace (truncated files) are treated as roots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CriticalPathStep:
+    """One span on the dominant path, root first."""
+
+    sid: int | None
+    name: str
+    depth: int
+    total_s: float
+    self_s: float
+    child_s: float
+    #: Fraction of the path root's total duration (1.0 for the root;
+    #: 0.0 when the root itself has zero duration).
+    share_of_root: float
+    #: How many sibling spans competed at this step (including this one).
+    siblings: int
+
+
+def _spans(events: list[dict]) -> list[dict]:
+    return [e for e in events if e.get("type") == "span"]
+
+
+def _dur(span: dict) -> float:
+    return span.get("dur_s") or 0.0
+
+
+def span_tree(events: list[dict]) -> tuple[list[dict], dict]:
+    """(roots, children-by-sid) for a trace's span records.
+
+    Children lists are sorted by start time; spans referencing a parent
+    sid absent from the trace are promoted to roots.
+    """
+    spans = sorted(_spans(events), key=lambda s: s.get("t_start") or 0.0)
+    known = {s.get("sid") for s in spans}
+    roots: list[dict] = []
+    children: dict = {}
+    for span in spans:
+        parent = span.get("parent")
+        if parent is None or parent not in known:
+            roots.append(span)
+        else:
+            children.setdefault(parent, []).append(span)
+    return roots, children
+
+
+def critical_path(events: list[dict]) -> list[CriticalPathStep]:
+    """The dominant path, root first (empty list for a span-less trace).
+
+    The root is the longest root span; at every level the walk follows
+    the child with the largest duration (ties broken by start order).
+    """
+    roots, children = span_tree(events)
+    if not roots:
+        return []
+    root = max(roots, key=_dur)
+    root_total = _dur(root)
+    path: list[CriticalPathStep] = []
+    node, siblings, depth = root, len(roots), 0
+    while node is not None:
+        kids = children.get(node.get("sid"), [])
+        child_s = sum(_dur(k) for k in kids)
+        total = _dur(node)
+        path.append(
+            CriticalPathStep(
+                sid=node.get("sid"),
+                name=node.get("name") or "?",
+                depth=depth,
+                total_s=total,
+                self_s=max(total - child_s, 0.0),
+                child_s=child_s,
+                share_of_root=(total / root_total) if root_total > 0 else 0.0,
+                siblings=siblings,
+            )
+        )
+        if not kids:
+            break
+        node = max(kids, key=_dur)
+        siblings = len(kids)
+        depth += 1
+    return path
+
+
+def render_critical_path(events: list[dict]) -> str:
+    """The ``repro trace critical-path`` report."""
+    from repro.metrics.report import format_table
+
+    if not events:
+        return "trace is empty (no events)"
+    path = critical_path(events)
+    if not path:
+        return "trace contains no spans"
+    rows = [
+        (
+            "  " * step.depth + step.name,
+            f"{step.total_s * 1000:.2f}",
+            f"{step.self_s * 1000:.2f}",
+            f"{step.child_s * 1000:.2f}",
+            f"{step.share_of_root * 100:.1f}%",
+            step.siblings,
+        )
+        for step in path
+    ]
+    table = format_table(
+        ["span", "total ms", "self ms", "child ms", "of root", "siblings"],
+        rows,
+        title="Critical path (dominant child at every level)",
+    )
+    hottest = max(path, key=lambda s: s.self_s)
+    summary = (
+        f"hottest self-time: {hottest.name} "
+        f"({hottest.self_s * 1000:.2f}ms, "
+        f"{hottest.self_s / path[0].total_s * 100:.1f}% of root)"
+        if path[0].total_s > 0
+        else "root span has zero recorded duration"
+    )
+    return table + "\n\n" + summary

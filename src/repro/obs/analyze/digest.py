@@ -1,0 +1,187 @@
+"""Run-health digest: aggregate ``repro.exec`` decision events.
+
+The supervised runner (PR 3) narrates every fault it survives — worker
+crashes, batch timeouts, retries with backoff, splits, serial fallbacks,
+checkpoint resumes — as ``exec``-category decision events in the trace.
+This module folds that stream into a per-batch table plus campaign-level
+counters so a chaos or campaign run is auditable at a glance:
+``repro exec digest trace.ndjson``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class BatchHealth:
+    """Fault handling observed for one batch subject ``[start,stop)``."""
+
+    subject: str
+    retries: int = 0
+    backoff_s: float = 0.0
+    splits: int = 0
+    crashes: int = 0
+    timeouts: int = 0
+    errors: int = 0
+    serial_fallbacks: int = 0
+
+    @property
+    def events(self) -> int:
+        return (
+            self.retries
+            + self.splits
+            + self.crashes
+            + self.timeouts
+            + self.errors
+            + self.serial_fallbacks
+        )
+
+
+@dataclass
+class ExecDigest:
+    """Everything the runner recorded about how the campaign survived."""
+
+    batches: dict[str, BatchHealth] = field(default_factory=dict)
+    pool_abandoned: int = 0
+    interrupted: int = 0
+    resumes: int = 0
+    resumed_entries: int = 0
+    corrupt_checkpoint_lines: int = 0
+    completed: bool = False
+    completed_batches: int = 0
+    completed_from_checkpoint: int = 0
+    other_decisions: int = 0
+
+    @property
+    def total_retries(self) -> int:
+        return sum(b.retries for b in self.batches.values())
+
+    @property
+    def total_backoff_s(self) -> float:
+        return sum(b.backoff_s for b in self.batches.values())
+
+
+#: decision action -> BatchHealth counter it increments.
+_BATCH_ACTIONS = {
+    "retry": "retries",
+    "split": "splits",
+    "worker_crash": "crashes",
+    "batch_timeout": "timeouts",
+    "batch_error": "errors",
+    "serial_fallback": "serial_fallbacks",
+}
+
+
+def digest_exec_events(events: list[dict]) -> ExecDigest:
+    """Fold a trace's ``exec`` decision events into an :class:`ExecDigest`."""
+    digest = ExecDigest()
+    for event in events:
+        if event.get("type") != "decision" or event.get("category") != "exec":
+            continue
+        action = event.get("action")
+        attrs = event.get("attrs") or {}
+        if action in _BATCH_ACTIONS:
+            subject = event.get("subject") or "?"
+            batch = digest.batches.setdefault(subject, BatchHealth(subject))
+            setattr(
+                batch,
+                _BATCH_ACTIONS[action],
+                getattr(batch, _BATCH_ACTIONS[action]) + 1,
+            )
+            if action == "retry":
+                batch.backoff_s += float(attrs.get("delay_s") or 0.0)
+        elif action == "pool_abandoned":
+            digest.pool_abandoned += 1
+        elif action == "interrupted":
+            digest.interrupted += 1
+        elif action == "resume":
+            digest.resumes += 1
+            digest.resumed_entries += int(attrs.get("entries") or 0)
+            digest.corrupt_checkpoint_lines += int(attrs.get("corrupt_lines") or 0)
+        elif action == "checkpoint_corrupt":
+            digest.corrupt_checkpoint_lines += int(attrs.get("lines") or 0)
+        elif action == "complete":
+            digest.completed = True
+            digest.completed_batches = int(attrs.get("batches") or 0)
+            digest.completed_from_checkpoint = int(
+                attrs.get("from_checkpoint") or 0
+            )
+        else:
+            digest.other_decisions += 1
+    return digest
+
+
+def render_digest(digest: ExecDigest) -> str:
+    """The ``repro exec digest`` report."""
+    from repro.metrics.report import format_table
+
+    if not digest.batches and not (
+        digest.completed
+        or digest.resumes
+        or digest.interrupted
+        or digest.pool_abandoned
+    ):
+        return "trace contains no exec decision events"
+
+    lines: list[str] = []
+    if digest.batches:
+        rows = [
+            (
+                b.subject,
+                b.retries,
+                f"{b.backoff_s * 1000:.1f}",
+                b.splits,
+                b.crashes,
+                b.timeouts,
+                b.errors,
+                b.serial_fallbacks,
+            )
+            for b in sorted(
+                digest.batches.values(), key=lambda b: (-b.events, b.subject)
+            )
+        ]
+        lines.append(
+            format_table(
+                [
+                    "batch",
+                    "retries",
+                    "backoff ms",
+                    "splits",
+                    "crashes",
+                    "timeouts",
+                    "errors",
+                    "serial",
+                ],
+                rows,
+                title="Per-batch fault handling",
+            )
+        )
+        lines.append("")
+    summary = [
+        f"batches with faults: {len(digest.batches)}",
+        f"retries: {digest.total_retries} "
+        f"(backoff {digest.total_backoff_s * 1000:.1f}ms)",
+    ]
+    if digest.resumes:
+        summary.append(
+            f"resumes: {digest.resumes} "
+            f"({digest.resumed_entries} checkpointed batches reused)"
+        )
+    if digest.corrupt_checkpoint_lines:
+        summary.append(
+            f"corrupt checkpoint lines: {digest.corrupt_checkpoint_lines}"
+        )
+    if digest.pool_abandoned:
+        summary.append(f"pool abandoned: {digest.pool_abandoned}x")
+    if digest.interrupted:
+        summary.append(f"interrupted: {digest.interrupted}x")
+    if digest.completed:
+        summary.append(
+            f"completed: {digest.completed_batches} batches "
+            f"({digest.completed_from_checkpoint} from checkpoint)"
+        )
+    else:
+        summary.append("completed: NO (no exec complete event in trace)")
+    lines.append(" · ".join(summary))
+    return "\n".join(lines)

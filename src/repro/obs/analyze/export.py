@@ -1,0 +1,106 @@
+"""Trace exporters: Chrome trace-event JSON and collapsed flamegraph stacks.
+
+Two lingua-franca formats so repro traces plug into standard tooling:
+
+* **Chrome trace-event JSON** (``--format chrome``) — loadable in
+  Perfetto (https://ui.perfetto.dev) or ``chrome://tracing``.  Spans
+  become complete (``"ph": "X"``) events with microsecond timestamps;
+  decision events become instant (``"ph": "i"``) events pinned to their
+  owning span's start, with category/action/reason in ``args``.
+* **Collapsed stacks** (``--format collapsed``) — Brendan Gregg's
+  ``flamegraph.pl`` / speedscope input: one ``root;child;leaf value``
+  line per distinct span stack, where the value is the stack's **self
+  time** in integer microseconds.  Self time (not total) keeps the
+  flamegraph's invariant that a frame's width equals its samples.
+"""
+
+from __future__ import annotations
+
+from repro.obs.analyze.critical_path import span_tree
+from repro.obs.ndjson import trace_meta
+
+_US = 1_000_000.0
+
+
+def _spans(events: list[dict]) -> list[dict]:
+    return [e for e in events if e.get("type") == "span"]
+
+
+def to_chrome_trace(events: list[dict]) -> dict:
+    """A Chrome trace-event document (``json.dump`` it to a file)."""
+    spans_by_sid = {s.get("sid"): s for s in _spans(events)}
+    trace_events: list[dict] = []
+    for span in _spans(events):
+        t_start = span.get("t_start") or 0.0
+        open_span = span.get("t_end") is None
+        dur_s = 0.0 if open_span else (span.get("dur_s") or 0.0)
+        record = {
+            "name": span.get("name") or "?",
+            "cat": "span",
+            "ph": "X",
+            "ts": t_start * _US,
+            "dur": dur_s * _US,
+            "pid": 1,
+            "tid": 1,
+        }
+        args = dict(span.get("attrs") or {})
+        if open_span:
+            args["open"] = True
+        if args:
+            record["args"] = args
+        trace_events.append(record)
+    for event in events:
+        if event.get("type") != "decision":
+            continue
+        owner = spans_by_sid.get(event.get("span"))
+        ts = (owner.get("t_start") or 0.0) if owner else 0.0
+        trace_events.append(
+            {
+                "name": f"{event.get('category', '?')}.{event.get('action', '?')}",
+                "cat": "decision",
+                "ph": "i",
+                "ts": ts * _US,
+                "s": "t",
+                "pid": 1,
+                "tid": 1,
+                "args": {
+                    "subject": event.get("subject", ""),
+                    "reason": event.get("reason", ""),
+                    **(event.get("attrs") or {}),
+                },
+            }
+        )
+    document = {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+    }
+    meta = trace_meta(events)
+    if meta is not None and meta.get("provenance"):
+        document["otherData"] = meta["provenance"]
+    return document
+
+
+def to_collapsed_stacks(events: list[dict]) -> str:
+    """Collapsed-stack text (``flamegraph.pl`` input), sorted by stack.
+
+    Stacks with zero integer-microsecond self time are dropped — they
+    would render as zero-width frames anyway.
+    """
+    roots, children = span_tree(events)
+    totals: dict[str, int] = {}
+
+    def visit(span: dict, prefix: str) -> None:
+        name = (span.get("name") or "?").replace(";", ",")
+        stack = f"{prefix};{name}" if prefix else name
+        kids = children.get(span.get("sid"), ())
+        child_s = sum(k.get("dur_s") or 0.0 for k in kids)
+        self_s = max((span.get("dur_s") or 0.0) - child_s, 0.0)
+        self_us = int(round(self_s * _US))
+        if self_us > 0:
+            totals[stack] = totals.get(stack, 0) + self_us
+        for child in kids:
+            visit(child, stack)
+
+    for root in roots:
+        visit(root, "")
+    return "\n".join(f"{stack} {value}" for stack, value in sorted(totals.items()))

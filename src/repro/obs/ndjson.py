@@ -70,12 +70,27 @@ def _parse(handle, label: str) -> list[dict]:
     return events
 
 
+#: Provenance keys a version-2 meta line must carry (workload and
+#: git_sha are optional: not every run names a workload or has git).
+_PROVENANCE_KEYS = {"repro_version", "python", "machine"}
+
+
+def trace_meta(events: list[dict]) -> dict | None:
+    """The trace's leading ``meta`` record, or ``None`` when absent."""
+    for event in events:
+        if event.get("type") == "meta":
+            return event
+        break
+    return None
+
+
 def validate_trace(events: list[dict]) -> list[str]:
     """Structural problems of a parsed trace (empty list = valid).
 
     Checks: every record carries a known ``type`` and its required keys,
-    span parents reference emitted sids, and closed spans have
-    ``t_end >= t_start``.
+    span parents reference emitted sids, closed spans have
+    ``t_end >= t_start``, and version-2 meta lines carry a provenance
+    block (version-1 traces, which predate provenance, stay valid).
     """
     problems: list[str] = []
     sids: set[int] = set()
@@ -89,6 +104,21 @@ def validate_trace(events: list[dict]) -> list[str]:
         if kind == "meta":
             if event.get("format") != "repro-trace":
                 problems.append(f"{where}: meta record has no repro-trace format tag")
+            version = event.get("version")
+            if not isinstance(version, int) or version < 1:
+                problems.append(f"{where}: meta record has no format version")
+            elif version >= 2:
+                provenance = event.get("provenance")
+                if not isinstance(provenance, dict):
+                    problems.append(
+                        f"{where}: v{version} meta record has no provenance block"
+                    )
+                else:
+                    missing = _PROVENANCE_KEYS - set(provenance)
+                    if missing:
+                        problems.append(
+                            f"{where}: provenance missing keys {sorted(missing)}"
+                        )
             continue
         if kind == "span":
             missing = _SPAN_KEYS - set(event)

@@ -42,7 +42,11 @@ from repro.obs.metrics import (
 )
 
 TRACE_FORMAT = "repro-trace"
-TRACE_VERSION = 1
+# Version 2 added the mandatory ``provenance`` block to the meta line
+# (git sha, python version, machine fingerprint, repro version, and the
+# workload name when one was set) so trace diffs can refuse to compare
+# incomparable runs.  Version-1 traces are still readable.
+TRACE_VERSION = 2
 
 
 @dataclass
@@ -236,9 +240,22 @@ class Recorder:
         self.spans: list[Span] = []
         self.decisions: list[DecisionEvent] = []
         self.metrics = MetricsRegistry()
+        # Extra provenance merged over the auto-collected block when the
+        # trace is written (set_provenance(workload="paper", ...)).
+        self.provenance: dict = {}
         # Events in completion order (spans append on close, decisions on
         # creation), ready for NDJSON streaming.
         self._log: list[dict] = []
+
+    def set_provenance(self, **fields) -> None:
+        """Record extra provenance for the trace meta line.
+
+        ``None`` values are dropped so callers can pass through optional
+        CLI arguments unconditionally.
+        """
+        self.provenance.update(
+            {k: v for k, v in fields.items() if v is not None}
+        )
 
     def _next_seq(self) -> int:
         self._seq += 1
@@ -323,6 +340,10 @@ class Recorder:
         Still-open spans are flushed with ``t_end: null`` so a trace
         written mid-run is valid NDJSON.
         """
+        from repro.obs.provenance import collect_provenance
+
+        provenance = collect_provenance()
+        provenance.update(self.provenance)
         meta = {
             "type": "meta",
             "format": TRACE_FORMAT,
@@ -330,6 +351,7 @@ class Recorder:
             "clock": "perf_counter",
             "spans": len(self.spans),
             "decisions": len(self.decisions),
+            "provenance": provenance,
         }
         out = [meta]
         out.extend(self._log)

@@ -24,6 +24,9 @@ class StageStats:
     total_s: float
     mean_s: float
     max_s: float
+    #: Spans of this name flushed with ``t_end: null`` (still open when
+    #: the trace was written); their duration counts as 0.
+    open_count: int = 0
 
 
 def _spans(events: list[dict]) -> list[dict]:
@@ -34,11 +37,25 @@ def _decisions(events: list[dict]) -> list[dict]:
     return [e for e in events if e.get("type") == "decision"]
 
 
+def open_span_count(events: list[dict]) -> int:
+    """Spans written with ``t_end: null`` (trace captured mid-run)."""
+    return sum(1 for s in _spans(events) if s.get("t_end") is None)
+
+
 def summarize_trace(events: list[dict]) -> list[StageStats]:
-    """Per-span-name timing aggregates, ordered by total time descending."""
+    """Per-span-name timing aggregates, ordered by total time descending.
+
+    Tolerant of hand-written or truncated traces: spans missing a
+    ``name`` aggregate under ``"?"``, and still-open spans (``t_end``
+    null) contribute a duration of 0 but are counted in ``open_count``.
+    """
     totals: dict[str, list[float]] = {}
+    open_counts: dict[str, int] = {}
     for span in _spans(events):
-        totals.setdefault(span["name"], []).append(span.get("dur_s") or 0.0)
+        name = span.get("name") or "?"
+        totals.setdefault(name, []).append(span.get("dur_s") or 0.0)
+        if span.get("t_end") is None:
+            open_counts[name] = open_counts.get(name, 0) + 1
     stats = [
         StageStats(
             name=name,
@@ -46,6 +63,7 @@ def summarize_trace(events: list[dict]) -> list[StageStats]:
             total_s=sum(durs),
             mean_s=sum(durs) / len(durs),
             max_s=max(durs),
+            open_count=open_counts.get(name, 0),
         )
         for name, durs in totals.items()
     ]
@@ -62,15 +80,22 @@ def decision_counts(events: list[dict]) -> dict[tuple[str, str], int]:
 
 
 def render_summary(events: list[dict]) -> str:
-    """The ``repro trace summarize`` report: timing table + decisions."""
+    """The ``repro trace summarize`` report: timing table + decisions.
+
+    Degrades cleanly instead of tracebacking: an empty file, a
+    meta-only trace and a trace of still-open spans each produce a
+    one-line message (plus an open-span note where applicable).
+    """
     from repro.metrics.report import format_table
 
+    if not events:
+        return "trace is empty (no events)"
     stats = summarize_trace(events)
     if not stats:
         return "trace contains no spans"
     rows = [
         (
-            s.name,
+            s.name + (f" ({s.open_count} open)" if s.open_count else ""),
             s.count,
             f"{s.total_s * 1000:.2f}",
             f"{s.mean_s * 1000:.2f}",
@@ -85,6 +110,13 @@ def render_summary(events: list[dict]) -> str:
             title="Per-stage timing",
         )
     ]
+    open_spans = open_span_count(events)
+    if open_spans:
+        lines.append("")
+        lines.append(
+            f"note: {open_spans} span(s) still open when the trace was "
+            "written; their durations count as 0"
+        )
     counts = decision_counts(events)
     if counts:
         decision_rows = [
@@ -103,11 +135,21 @@ def render_summary(events: list[dict]) -> str:
 
 
 def render_tree(events: list[dict]) -> str:
-    """Indented span tree with durations and decision attachment counts."""
-    spans = sorted(_spans(events), key=lambda s: s.get("t_start", 0.0))
+    """Indented span tree with durations and decision attachment counts.
+
+    Spans whose parent sid never appears in the trace (truncated files)
+    are treated as roots; still-open spans are marked ``(open)``.
+    """
+    if not events:
+        return "trace is empty (no events)"
+    spans = sorted(_spans(events), key=lambda s: s.get("t_start") or 0.0)
+    known_sids = {s.get("sid") for s in spans}
     children: dict[int | None, list[dict]] = {}
     for span in spans:
-        children.setdefault(span.get("parent"), []).append(span)
+        parent = span.get("parent")
+        if parent not in known_sids:
+            parent = None
+        children.setdefault(parent, []).append(span)
     decisions_per_span: dict[int | None, int] = {}
     for event in _decisions(events):
         key = event.get("span")
@@ -118,12 +160,14 @@ def render_tree(events: list[dict]) -> str:
     def walk(parent: int | None, indent: int) -> None:
         for span in children.get(parent, ()):
             duration = (span.get("dur_s") or 0.0) * 1000
-            suffix = ""
-            n_dec = decisions_per_span.get(span["sid"], 0)
+            suffix = " (open)" if span.get("t_end") is None else ""
+            n_dec = decisions_per_span.get(span.get("sid"), 0)
             if n_dec:
-                suffix = f"  [{n_dec} decision{'s' if n_dec != 1 else ''}]"
-            lines.append(f"{'  ' * indent}{span['name']}  {duration:.2f}ms{suffix}")
-            walk(span["sid"], indent + 1)
+                suffix += f"  [{n_dec} decision{'s' if n_dec != 1 else ''}]"
+            name = span.get("name") or "?"
+            lines.append(f"{'  ' * indent}{name}  {duration:.2f}ms{suffix}")
+            if span.get("sid") is not None:
+                walk(span["sid"], indent + 1)
 
     walk(None, 0)
     return "\n".join(lines) if lines else "trace contains no spans"

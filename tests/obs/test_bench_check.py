@@ -1,0 +1,165 @@
+"""The bench regression gate: baseline round-trip, tolerances, history."""
+
+import json
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.analyze import (
+    append_history,
+    check_bench,
+    load_baseline,
+    render_bench_check,
+    write_baseline,
+)
+from repro.obs.analyze.bench import load_latest
+
+
+def _entry(name="paper-8", wall_s=0.08, trials_per_s=30000.0, **over):
+    entry = {
+        "name": name,
+        "wall_s": wall_s,
+        "trials_per_s": trials_per_s,
+        "n_processes": 8,
+        "campaign_trials": 2000,
+        "stages": {
+            "audit": 0.0002,
+            "expand": 0.0002,
+            "condense": 0.006,
+            "map": 0.001,
+            "score": 0.0006,
+        },
+    }
+    entry.update(over)
+    return entry
+
+
+@pytest.fixture
+def baseline_doc(tmp_path):
+    path = tmp_path / "baseline.json"
+    write_baseline([_entry()], path)
+    return load_baseline(path)
+
+
+class TestBaselineIO:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        doc = write_baseline([_entry()], path)
+        assert load_baseline(path) == doc
+        assert doc["format"] == "repro-bench-baseline"
+        assert "machine" in doc["provenance"]
+
+    def test_missing_file_clean_error(self, tmp_path):
+        with pytest.raises(ObservabilityError, match="cannot read"):
+            load_baseline(tmp_path / "nope.json")
+
+    def test_wrong_format_clean_error(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format": "something-else"}')
+        with pytest.raises(ObservabilityError, match="format tag"):
+            load_baseline(path)
+
+    def test_latest_must_be_a_list(self, tmp_path):
+        path = tmp_path / "latest.json"
+        path.write_text('{"not": "a list"}')
+        with pytest.raises(ObservabilityError, match="not a list"):
+            load_latest(path)
+
+
+class TestGate:
+    def test_unchanged_rerun_passes(self, baseline_doc):
+        check = check_bench([_entry()], baseline_doc)
+        assert check.passed
+        assert "PASSED" in render_bench_check(check)
+
+    def test_wall_time_regression_fails(self, baseline_doc):
+        # Default wall tolerance is +150%; 4x is beyond it.
+        check = check_bench([_entry(wall_s=0.32)], baseline_doc)
+        assert not check.passed
+        assert any(f.metric == "wall_s" for f in check.findings)
+        assert "FAILED" in render_bench_check(check)
+
+    def test_wall_time_within_tolerance_passes(self, baseline_doc):
+        check = check_bench([_entry(wall_s=0.12)], baseline_doc)
+        assert check.passed
+
+    def test_throughput_drop_fails(self, baseline_doc):
+        check = check_bench([_entry(trials_per_s=3000.0)], baseline_doc)
+        assert any(f.metric == "trials_per_s" for f in check.findings)
+
+    def test_stage_regression_fails(self, baseline_doc):
+        slow = _entry()
+        slow["stages"] = dict(slow["stages"], condense=0.030)  # 5x
+        check = check_bench([slow], baseline_doc)
+        assert any(f.metric == "stages.condense" for f in check.findings)
+
+    def test_sub_floor_stages_never_fail(self, baseline_doc):
+        noisy = _entry()
+        # audit grows 10x but stays under the 5ms stage floor.
+        noisy["stages"] = dict(noisy["stages"], audit=0.002)
+        check = check_bench([noisy], baseline_doc)
+        assert check.passed
+
+    def test_missing_case_fails(self, baseline_doc):
+        check = check_bench([], baseline_doc)
+        assert any(f.metric == "presence" for f in check.findings)
+
+    def test_extra_case_is_note_not_failure(self, baseline_doc):
+        check = check_bench(
+            [_entry(), _entry(name="new-case")], baseline_doc
+        )
+        assert check.passed
+        assert any("new-case" in note for note in check.notes)
+
+    def test_quick_run_skips_wall_comparison(self, baseline_doc):
+        quick = _entry(wall_s=0.01, trials_per_s=30000.0, campaign_trials=200)
+        check = check_bench([quick], baseline_doc)
+        assert check.passed
+        assert any("wall-time comparison skipped" in n for n in check.notes)
+
+    def test_determinism_contract_break_fails(self, tmp_path):
+        parallel = {
+            "name": "parallel-campaign-200",
+            "campaign_trials": 2000,
+            "workers": 4,
+            "serial_wall_s": 1.0,
+            "pooled_wall_s": 0.5,
+            "identical": True,
+        }
+        path = tmp_path / "baseline.json"
+        write_baseline([parallel], path)
+        latest = dict(parallel, identical=False)
+        check = check_bench([latest], load_baseline(path))
+        assert any(f.metric == "identical" for f in check.findings)
+
+    def test_tolerance_override_tightens_gate(self, baseline_doc):
+        # +50% wall growth passes the default gate but fails a 25% one.
+        latest = [_entry(wall_s=0.12)]
+        assert check_bench(latest, baseline_doc).passed
+        tight = check_bench(
+            latest, baseline_doc, tolerance={"wall_s": 0.25}
+        )
+        assert not tight.passed
+
+    def test_per_entry_tolerance_override(self, tmp_path):
+        base = _entry()
+        base["tolerance"] = {"wall_s": 0.1}
+        path = tmp_path / "baseline.json"
+        write_baseline([base], path)
+        check = check_bench([_entry(wall_s=0.12)], load_baseline(path))
+        assert not check.passed
+
+
+class TestHistory:
+    def test_append_history_is_valid_ndjson(self, tmp_path):
+        path = tmp_path / "history.ndjson"
+        append_history([_entry()], path, quick=True)
+        append_history([_entry()], path, quick=False)
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        for line in lines:
+            record = json.loads(line)
+            assert record["entries"][0]["name"] == "paper-8"
+            assert "machine" in record["provenance"]
+            assert "git_sha" in record["provenance"]
+        assert json.loads(lines[0])["quick"] is True

@@ -1,0 +1,124 @@
+"""Exporters: Chrome trace-event JSON and collapsed flamegraph stacks."""
+
+import json
+
+from repro.obs import Recorder, use
+from repro.obs.analyze import to_chrome_trace, to_collapsed_stacks
+
+
+def _recorded():
+    rec = Recorder()
+    rec.set_provenance(workload="unit")
+    with rec.span("pipeline"):
+        with rec.span("condense", heuristic="h1"):
+            rec.decision("condense", "merge", subject="p1 + p2", reason="H1")
+        with rec.span("map"):
+            pass
+    return rec.events()
+
+
+class TestChromeTrace:
+    def test_document_shape(self):
+        doc = to_chrome_trace(_recorded())
+        assert set(doc) >= {"traceEvents", "displayTimeUnit"}
+        assert doc["displayTimeUnit"] == "ms"
+        json.dumps(doc)  # must be serialisable
+
+    def test_spans_become_complete_events(self):
+        doc = to_chrome_trace(_recorded())
+        complete = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert {e["name"] for e in complete} == {"pipeline", "condense", "map"}
+        for event in complete:
+            assert event["ts"] >= 0.0
+            assert event["dur"] >= 0.0
+            assert event["pid"] == 1
+
+    def test_timestamps_in_microseconds(self):
+        events = [
+            {
+                "type": "span", "sid": 1, "parent": None, "name": "s",
+                "depth": 0, "t_start": 0.5, "t_end": 1.5, "dur_s": 1.0,
+            }
+        ]
+        (record,) = to_chrome_trace(events)["traceEvents"]
+        assert record["ts"] == 500_000.0
+        assert record["dur"] == 1_000_000.0
+
+    def test_decisions_become_instants_at_owner_start(self):
+        doc = to_chrome_trace(_recorded())
+        instants = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+        assert len(instants) == 1
+        instant = instants[0]
+        assert instant["name"] == "condense.merge"
+        assert instant["args"]["subject"] == "p1 + p2"
+        condense = next(
+            e for e in doc["traceEvents"]
+            if e["ph"] == "X" and e["name"] == "condense"
+        )
+        assert instant["ts"] == condense["ts"]
+
+    def test_span_attrs_carried_in_args(self):
+        doc = to_chrome_trace(_recorded())
+        condense = next(
+            e for e in doc["traceEvents"]
+            if e["ph"] == "X" and e["name"] == "condense"
+        )
+        assert condense["args"]["heuristic"] == "h1"
+
+    def test_provenance_in_other_data(self):
+        doc = to_chrome_trace(_recorded())
+        assert doc["otherData"]["workload"] == "unit"
+
+    def test_open_span_exported_with_zero_duration(self):
+        rec = Recorder()
+        rec.span("never-closed")
+        doc = to_chrome_trace(rec.events())
+        (record,) = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert record["dur"] == 0.0
+        assert record["args"]["open"] is True
+
+
+class TestCollapsedStacks:
+    def test_stacks_are_semicolon_paths(self):
+        text = to_collapsed_stacks(_recorded())
+        stacks = {line.rsplit(" ", 1)[0] for line in text.splitlines()}
+        assert "pipeline;condense" in stacks
+
+    def test_values_are_positive_integer_microseconds(self):
+        for line in to_collapsed_stacks(_recorded()).splitlines():
+            value = line.rsplit(" ", 1)[1]
+            assert int(value) > 0
+
+    def test_self_time_semantics(self):
+        # root 10ms with a 4ms child: root's own line carries 6ms.
+        events = [
+            {"type": "span", "sid": 1, "parent": None, "name": "root",
+             "depth": 0, "t_start": 0.0, "t_end": 0.010, "dur_s": 0.010},
+            {"type": "span", "sid": 2, "parent": 1, "name": "leaf",
+             "depth": 1, "t_start": 0.0, "t_end": 0.004, "dur_s": 0.004},
+        ]
+        lines = dict(
+            line.rsplit(" ", 1) for line in to_collapsed_stacks(events).splitlines()
+        )
+        assert int(lines["root"]) == 6000
+        assert int(lines["root;leaf"]) == 4000
+
+    def test_semicolons_in_names_escaped(self):
+        events = [
+            {"type": "span", "sid": 1, "parent": None, "name": "a;b",
+             "depth": 0, "t_start": 0.0, "t_end": 0.001, "dur_s": 0.001},
+        ]
+        text = to_collapsed_stacks(events)
+        assert text.startswith("a,b ")
+
+    def test_repeated_stacks_merge(self):
+        events = [
+            {"type": "span", "sid": i, "parent": None, "name": "hot",
+             "depth": 0, "t_start": 0.0, "t_end": 0.002, "dur_s": 0.002}
+            for i in (1, 2)
+        ]
+        (line,) = to_collapsed_stacks(events).splitlines()
+        assert line == "hot 4000"
+
+    def test_empty_trace_is_empty_output(self):
+        assert to_collapsed_stacks([]) == ""

@@ -1,0 +1,82 @@
+"""Regression tests: ``trace summarize`` on degenerate traces.
+
+ISSUE 4 satellite: empty files, meta-only traces, and traces whose
+spans were still open at write time must render clean messages, not
+tracebacks or misleading 0.00ms rows.
+"""
+
+from repro.obs import Recorder, open_span_count
+from repro.obs.summarize import render_summary, render_tree, summarize_trace
+
+
+class TestEmptyAndMetaOnly:
+    def test_empty_event_list(self):
+        assert render_summary([]) == "trace is empty (no events)"
+        assert render_tree([]) == "trace is empty (no events)"
+
+    def test_meta_only_trace(self):
+        events = Recorder().events()
+        assert render_summary(events) == "trace contains no spans"
+        assert render_tree(events) == "trace contains no spans"
+
+    def test_decisions_without_spans_still_render(self):
+        rec = Recorder()
+        rec.decision("condense", "merge", subject="p1", reason="test")
+        text = render_summary(rec.events())
+        assert "Decision events" not in text  # no spans -> short message
+        assert text == "trace contains no spans"
+
+
+class TestOpenSpans:
+    def _open_trace(self):
+        rec = Recorder()
+        rec.span("pipeline")  # never closed
+        return rec.events()
+
+    def test_open_span_counted(self):
+        assert open_span_count(self._open_trace()) == 1
+
+    def test_summary_annotates_open_spans(self):
+        text = render_summary(self._open_trace())
+        assert "pipeline (1 open)" in text
+        assert "still open" in text
+
+    def test_stats_track_open_count(self):
+        (stats,) = summarize_trace(self._open_trace())
+        assert stats.open_count == 1
+        assert stats.total_s == 0.0
+
+    def test_tree_marks_open_spans(self):
+        assert "(open)" in render_tree(self._open_trace())
+
+    def test_mixed_open_and_closed(self):
+        rec = Recorder()
+        with rec.span("done"):
+            pass
+        rec.span("pending")
+        text = render_summary(rec.events())
+        assert "pending (1 open)" in text
+        assert "done (" not in text
+
+
+class TestMalformedSpans:
+    def test_span_missing_name(self):
+        events = [{"type": "span", "sid": 1, "parent": None, "dur_s": 0.01}]
+        (stats,) = summarize_trace(events)
+        assert stats.name == "?"
+        assert "?" in render_tree(events)
+
+    def test_span_missing_duration(self):
+        events = [{"type": "span", "sid": 1, "parent": None, "name": "s"}]
+        (stats,) = summarize_trace(events)
+        assert stats.total_s == 0.0
+        render_summary(events)
+        render_tree(events)
+
+    def test_truncated_trace_orphan_promoted_to_root(self):
+        # Parent sid 99 was lost (file truncated): the child still shows.
+        events = [
+            {"type": "span", "sid": 2, "parent": 99, "name": "orphan",
+             "t_start": 0.0, "t_end": 0.01, "dur_s": 0.01},
+        ]
+        assert "orphan" in render_tree(events)
