@@ -121,12 +121,24 @@ def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _workers_arg(value: str) -> int:
+    """Parse ``--workers``: a count, or ``auto`` for the available CPUs."""
+    from repro.errors import ExecutionError
+    from repro.exec.batching import resolve_workers
+
+    try:
+        return resolve_workers(value)
+    except ExecutionError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
 def _add_exec_flags(parser: argparse.ArgumentParser) -> None:
     """Attach supervised-runner flags to a campaign subcommand."""
     parser.add_argument(
-        "--workers", type=int, default=0, metavar="N",
+        "--workers", type=_workers_arg, default=0, metavar="N",
         help="run campaign batches on a supervised worker pool of N "
-        "processes (0 = serial in-process)",
+        "processes (0 = serial in-process, 'auto' = the CPUs this "
+        "process may run on)",
     )
     parser.add_argument(
         "--batch-size", type=int, default=0, metavar="N",
@@ -266,6 +278,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=MappingApproach.IMPORTANCE.value,
     )
     resilience.add_argument(
+        "--engine",
+        choices=["auto", "scalar", "vector"],
+        default="auto",
+        help="trial engine; resilience has no vectorized path, so 'auto' "
+        "falls back to scalar and 'vector' is refused",
+    )
+    resilience.add_argument(
         "-v", "--verbose", action="store_true",
         help="print stage-timing and campaign-throughput footers",
     )
@@ -292,6 +311,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--mapping",
         choices=[m.value for m in MappingApproach],
         default=MappingApproach.IMPORTANCE.value,
+    )
+    faultsim.add_argument(
+        "--engine",
+        choices=["auto", "scalar", "vector"],
+        default="auto",
+        help="trial engine: 'scalar' per-trial oracle, 'vector' NumPy "
+        "batch kernel, 'auto' vector when numpy is importable",
     )
     faultsim.add_argument(
         "-v", "--verbose", action="store_true",
@@ -581,6 +607,7 @@ def _cmd_resilience(args: argparse.Namespace) -> int:
             policy=_exec_policy(args),
             checkpoint=args.checkpoint,
             resume=args.resume,
+            engine=args.engine,
         )
     print(render_resilience(report))
     if report.exec_report is not None and (
@@ -613,6 +640,7 @@ def _cmd_faultsim(args: argparse.Namespace) -> int:
         policy=_exec_policy(args),
         checkpoint=args.checkpoint,
         resume=args.resume,
+        engine=args.engine,
     )
     print(
         render_campaign(
@@ -629,7 +657,8 @@ def _cmd_faultsim(args: argparse.Namespace) -> int:
         _print_stage_footer()
         print(
             f"campaign: {result.elapsed_s:.3f}s · "
-            f"{result.trials_per_s:.0f} trials/s"
+            f"{result.trials_per_s:.0f} trials/s · "
+            f"engine {result.engine}"
         )
     return 0
 

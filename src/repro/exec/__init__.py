@@ -21,9 +21,11 @@ schema, and the supervision state machine.
 
 from repro.exec.batching import (
     Batch,
+    available_cpus,
     default_batch_size,
     derive_seed,
     plan_batches,
+    resolve_workers,
 )
 from repro.exec.chaos import (
     ChaosPlan,
@@ -42,6 +44,8 @@ from repro.exec.runner import ExecPolicy, ExecReport, run_supervised
 __all__ = [
     "Batch",
     "ChaosPlan",
+    "available_cpus",
+    "resolve_workers",
     "ChaosSelfTestResult",
     "CheckpointData",
     "CheckpointWriter",

@@ -91,6 +91,11 @@ class ExecPolicy:
         pool_failure_budget: Crashes + timeouts tolerated before the
             pool is abandoned for serial execution; 0 derives
             ``max(6, 3 * workers)``.
+        target_batch_s: Pooled runs with ``batch_size=0`` start with a
+            short serial probe and size batches to roughly this much
+            wall time each, so per-batch dispatch overhead amortizes for
+            slow trials without starving fast ones of parallelism.
+            0 disables calibration (the static default size is used).
     """
 
     workers: int = 0
@@ -101,6 +106,7 @@ class ExecPolicy:
     backoff_max: float = 2.0
     backoff_jitter: float = 0.25
     pool_failure_budget: int = 0
+    target_batch_s: float = 0.25
 
     def __post_init__(self) -> None:
         if self.workers < 0:
@@ -111,6 +117,8 @@ class ExecPolicy:
             raise ExecutionError("trial_timeout must be > 0")
         if self.max_attempts < 1:
             raise ExecutionError("max_attempts must be >= 1")
+        if self.target_batch_s < 0:
+            raise ExecutionError("target_batch_s must be >= 0")
 
     def resolved_batch_size(self, trials: int) -> int:
         if self.batch_size:
@@ -142,6 +150,7 @@ class ExecReport:
     corrupt_checkpoint_lines: int = 0
     checkpoint_path: str | None = None
     manifest_path: str | None = None
+    calibrated_batch_size: int | None = None
     elapsed_s: float = 0.0
 
 
@@ -300,13 +309,6 @@ def run_supervised(
             )
             report.checkpoint_path = checkpoint_path
         try:
-            todo = [b for b in plan if not _covered(b, done, combine)]
-            report.batches_from_checkpoint = len(plan) - len(todo)
-            if report.batches_from_checkpoint and rec.enabled:
-                rec.counter("exec_batches_total").inc(
-                    report.batches_from_checkpoint, source="checkpoint"
-                )
-
             def complete(batch: Batch, payload: Any, source: str) -> None:
                 if (batch.start, batch.size) in done:
                     return  # late duplicate (result raced a timeout retry)
@@ -331,6 +333,30 @@ def run_supervised(
                             f"chaos interrupt after "
                             f"{writer.batches_written} checkpointed batches"
                         )
+
+            probe_batches = 0
+            if (
+                policy.workers >= 2
+                and policy.batch_size == 0
+                and policy.target_batch_s > 0
+            ):
+                calibrated = _calibrated_plan(
+                    task, trials, seed, policy, done, combine, complete,
+                    report, rec,
+                )
+                if calibrated is not None:
+                    plan = calibrated
+                    report.batches_total = len(plan)
+                    probe_batches = 1
+
+            todo = [b for b in plan if not _covered(b, done, combine)]
+            report.batches_from_checkpoint = (
+                len(plan) - len(todo) - probe_batches
+            )
+            if report.batches_from_checkpoint and rec.enabled:
+                rec.counter("exec_batches_total").inc(
+                    report.batches_from_checkpoint, source="checkpoint"
+                )
 
             if todo:
                 if policy.workers >= 2:
@@ -442,6 +468,61 @@ def _assemble(batch: Batch, done: dict, combine: Combine | None) -> Any:
         piece = done[key]
         payload = piece if payload is None else combine(payload, piece)
     return payload
+
+
+# ----------------------------------------------------------------------
+# Batch-size calibration
+# ----------------------------------------------------------------------
+_CALIBRATION_PROBE = 32
+
+
+def _calibrated_plan(
+    task, trials, seed, policy, done, combine, complete, report, rec
+) -> tuple[Batch, ...] | None:
+    """Size pooled batches from a short serial probe, or None to skip.
+
+    Runs the first ``min(trials, 32)`` trials in-process, times them, and
+    sizes the remaining batches to roughly ``policy.target_batch_s`` of
+    wall time each (clamped so every worker still gets at least one
+    batch).  The probe's payload is kept via ``complete`` — calibration
+    costs no redundant trials.  Skipped (returns ``None``) when the run
+    is too small to parallelise or a resumed checkpoint already covers
+    the probe range (timing checkpointed work would measure nothing).
+    """
+    probe = min(trials, _CALIBRATION_PROBE)
+    if trials - probe <= 0:
+        return None
+    probe_batch = Batch(0, probe)
+    if _covered(probe_batch, done, combine):
+        rec.decision(
+            "exec", "calibrate", subject="batch_size",
+            reason="probe range already covered by checkpoint; "
+            "using static default batch size",
+            probe_trials=probe,
+        )
+        return None
+    t0 = time.perf_counter()
+    payload = task(probe_batch.start, probe_batch.size, seed)
+    elapsed = time.perf_counter() - t0
+    complete(probe_batch, payload, "calibration")
+    per_trial = max(elapsed / probe, 1e-9)
+    remaining = trials - probe
+    per_worker = (remaining + policy.workers - 1) // policy.workers
+    size = max(1, min(int(policy.target_batch_s / per_trial), per_worker))
+    report.calibrated_batch_size = size
+    report.batch_size = size
+    rec.decision(
+        "exec", "calibrate", subject="batch_size",
+        reason="batch size derived from serial probe timing",
+        probe_trials=probe,
+        probe_s=round(elapsed, 6),
+        per_trial_s=round(per_trial, 9),
+        batch_size=size,
+    )
+    return (probe_batch,) + tuple(
+        Batch(start, min(size, trials - start))
+        for start in range(probe, trials, size)
+    )
 
 
 # ----------------------------------------------------------------------

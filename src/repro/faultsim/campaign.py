@@ -15,6 +15,12 @@ whether the campaign runs serially, across a worker pool, or resumed
 from a checkpoint after a crash.  Pass an
 :class:`~repro.exec.runner.ExecPolicy` to parallelise and
 ``checkpoint=``/``resume=`` paths to make the run crash-safe.
+
+``engine=`` selects the trial simulator: the scalar per-trial oracle,
+the NumPy batch kernel (:mod:`repro.faultsim.kernel`), or ``auto``
+(vector when numpy is importable).  Each engine is deterministic on its
+own stream; the resolved engine is baked into the checkpoint fingerprint
+so resume never mixes streams.
 """
 
 from __future__ import annotations
@@ -26,7 +32,8 @@ from dataclasses import dataclass, field
 from repro.errors import SimulationError
 from repro.exec.batching import derive_seed
 from repro.exec.runner import ExecPolicy, ExecReport, run_supervised
-from repro.faultsim.propagation import propagate_once
+from repro.faultsim.engine import record_engine_decision, resolve_engine
+from repro.faultsim.propagation import compile_adjacency, propagate_once
 from repro.influence.influence_graph import InfluenceGraph
 from repro.obs import DEFAULT_COUNT_BUCKETS, current
 
@@ -44,6 +51,9 @@ class CampaignResult:
         max_affected_fcms: Worst single trial.
         cross_cluster_rate: Fraction of trials in which the fault escaped
             the seed's cluster.
+        engine: Which trial simulator produced the result (``scalar`` or
+            ``vector``; excluded from equality — engines are compared
+            statistically, not bit-wise).
         elapsed_s: Wall time of the campaign loop (``perf_counter``;
             excluded from equality so seeded reruns still compare equal).
         trials_per_s: Campaign throughput (also excluded from equality).
@@ -57,6 +67,7 @@ class CampaignResult:
     mean_affected_clusters: float
     max_affected_fcms: int
     cross_cluster_rate: float
+    engine: str = field(default="scalar", compare=False)
     elapsed_s: float = field(default=0.0, compare=False)
     trials_per_s: float = field(default=0.0, compare=False)
     exec_report: ExecReport | None = field(
@@ -94,6 +105,53 @@ def _combine(a: dict, b: dict) -> dict:
     }
 
 
+def _scalar_batch_task(graph, names, cluster_of):
+    """The per-trial reference path, with the adjacency hoisted out.
+
+    The compiled adjacency is captured by the closure, so worker pools
+    receive it once at fork time — per-batch messages stay
+    ``(start, size, seed)`` tuples.
+    """
+    adjacency = compile_adjacency(graph)
+
+    def run_batch(start: int, size: int, campaign_seed: int) -> dict:
+        affected: list[int] = []
+        cluster_hits: list[int] = []
+        for trial in range(start, start + size):
+            rng = random.Random(derive_seed(campaign_seed, trial))
+            source = names[rng.randrange(len(names))]
+            record = propagate_once(
+                graph, source, rng, trial, adjacency=adjacency
+            )
+            others = record.affected - {source}
+            seed_cluster = cluster_of[source]
+            hit = {cluster_of[n] for n in others} - {seed_cluster}
+            affected.append(len(others))
+            cluster_hits.append(len(hit))
+        return {"affected": affected, "cluster_hits": cluster_hits}
+
+    return run_batch
+
+
+def _vector_batch_task(graph, names, cluster_of, clusters):
+    """The NumPy kernel path: whole batches as matrix operations."""
+    import numpy as np
+
+    from repro.faultsim.kernel import campaign_batch, compile_graph
+
+    compiled = compile_graph(graph)
+    cluster_vector = np.array(
+        [cluster_of[name] for name in compiled.names], dtype=np.int64
+    )
+
+    def run_batch(start: int, size: int, campaign_seed: int) -> dict:
+        return campaign_batch(
+            compiled, cluster_vector, clusters, campaign_seed, start, size
+        )
+
+    return run_batch
+
+
 def run_campaign(
     graph: InfluenceGraph,
     partition: list[list[str]],
@@ -103,6 +161,7 @@ def run_campaign(
     checkpoint: str | None = None,
     resume: str | None = None,
     chaos=None,
+    engine: str = "auto",
 ) -> CampaignResult:
     """Seed ``trials`` faults uniformly over FCMs and measure spread.
 
@@ -112,28 +171,23 @@ def run_campaign(
     node's FCR in the cross-cluster accounting, per the paper's fault
     containment argument.
 
-    Trial ``t`` always runs on ``random.Random(derive_seed(seed, t))``,
-    so the result does not depend on ``policy`` (workers, batch size),
-    retries, or checkpoint/resume history.
+    The result is a pure function of ``(trials, seed, engine)``: the
+    scalar engine seeds trial ``t`` with ``derive_seed(seed, t)``, the
+    vector engine draws fixed RNG blocks — neither depends on ``policy``
+    (workers, batch size), retries, or checkpoint/resume history.
     """
     if trials < 1:
         raise SimulationError("trials must be >= 1")
     cluster_of = _check_partition(graph, partition)
     names = graph.fcm_names()
-
-    def run_batch(start: int, size: int, campaign_seed: int) -> dict:
-        affected: list[int] = []
-        cluster_hits: list[int] = []
-        for trial in range(start, start + size):
-            rng = random.Random(derive_seed(campaign_seed, trial))
-            source = names[rng.randrange(len(names))]
-            record = propagate_once(graph, source, rng, trial)
-            others = record.affected - {source}
-            seed_cluster = cluster_of[source]
-            hit = {cluster_of[n] for n in others} - {seed_cluster}
-            affected.append(len(others))
-            cluster_hits.append(len(hit))
-        return {"affected": affected, "cluster_hits": cluster_hits}
+    choice = resolve_engine(engine)
+    record_engine_decision("faultsim", choice)
+    if choice.is_vector:
+        run_batch = _vector_batch_task(
+            graph, names, cluster_of, len(partition)
+        )
+    else:
+        run_batch = _scalar_batch_task(graph, names, cluster_of)
 
     rec = current()
     policy = policy or ExecPolicy(batch_size=trials)
@@ -145,13 +199,18 @@ def run_campaign(
         fcms=len(names),
         clusters=len(partition),
         workers=policy.workers,
+        engine=choice.engine,
     ):
         payloads, exec_report = run_supervised(
             run_batch,
             trials=trials,
             seed=seed,
             kind="faultsim",
-            params={"fcms": sorted(names), "clusters": len(partition)},
+            params={
+                "fcms": sorted(names),
+                "clusters": len(partition),
+                "engine": choice.engine,
+            },
             policy=policy,
             combine=_combine,
             checkpoint=checkpoint,
@@ -179,7 +238,7 @@ def run_campaign(
     elapsed = time.perf_counter() - t0
     rate = trials / elapsed if elapsed > 0 else 0.0
     if rec.enabled:
-        rec.counter("faultsim_trials_total").inc(trials)
+        rec.counter("faultsim_trials_total").inc(trials, engine=choice.engine)
         rec.counter("faultsim_escapes_total").inc(escapes)
         rec.gauge("faultsim_trials_per_s").set(rate)
     return CampaignResult(
@@ -188,6 +247,7 @@ def run_campaign(
         mean_affected_clusters=total_clusters / trials,
         max_affected_fcms=worst,
         cross_cluster_rate=escapes / trials,
+        engine=choice.engine,
         elapsed_s=elapsed,
         trials_per_s=rate,
         exec_report=exec_report,
@@ -199,9 +259,12 @@ def compare_partitions(
     partitions: dict[str, list[list[str]]],
     trials: int = 1000,
     seed: int = 0,
+    engine: str = "auto",
 ) -> dict[str, CampaignResult]:
     """Run the same campaign (same seed) against several partitions."""
     return {
-        label: run_campaign(graph, partition, trials=trials, seed=seed)
+        label: run_campaign(
+            graph, partition, trials=trials, seed=seed, engine=engine
+        )
         for label, partition in partitions.items()
     }

@@ -29,7 +29,7 @@ import random
 from dataclasses import dataclass
 
 from repro.errors import SimulationError
-from repro.faultsim.propagation import propagate_once
+from repro.faultsim.propagation import compile_adjacency, propagate_once
 from repro.model.fcm import Level
 from repro.model.system import SoftwareSystem
 
@@ -85,6 +85,12 @@ def run_multilevel_campaign(
     proc_graph = system.influence_at(Level.PROCEDURE)
     task_graph = system.influence_at(Level.TASK)
     process_graph = system.influence_at(Level.PROCESS)
+    # One adjacency precompute per level for the whole campaign.
+    proc_adj = compile_adjacency(proc_graph)
+    task_adj = compile_adjacency(task_graph) if len(task_graph) else None
+    process_adj = (
+        compile_adjacency(process_graph) if len(process_graph) else None
+    )
 
     rng = random.Random(seed)
     total_procs = 0
@@ -94,7 +100,9 @@ def run_multilevel_campaign(
 
     for trial in range(trials):
         source = procedures[rng.randrange(len(procedures))]
-        affected_procs = propagate_once(proc_graph, source, rng, trial).affected
+        affected_procs = propagate_once(
+            proc_graph, source, rng, trial, adjacency=proc_adj
+        ).affected
         total_procs += len(affected_procs)
 
         # Escalate each affected procedure to its parent task.
@@ -109,7 +117,7 @@ def run_multilevel_campaign(
         for task_name in seeded_tasks:
             if task_graph.has_fcm(task_name):
                 affected_tasks |= propagate_once(
-                    task_graph, task_name, rng, trial
+                    task_graph, task_name, rng, trial, adjacency=task_adj
                 ).affected
             else:
                 affected_tasks.add(task_name)
@@ -127,7 +135,11 @@ def run_multilevel_campaign(
         for process_name in seeded_processes:
             if process_graph.has_fcm(process_name):
                 affected_processes |= propagate_once(
-                    process_graph, process_name, rng, trial
+                    process_graph,
+                    process_name,
+                    rng,
+                    trial,
+                    adjacency=process_adj,
                 ).affected
             else:
                 affected_processes.add(process_name)

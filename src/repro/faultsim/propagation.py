@@ -17,12 +17,20 @@ influence weight, wave by wave (an FCM already faulty is not re-faulted).
 Over many trials, the hit frequency of a direct neighbour estimates
 influence, and the hit frequency of any node estimates
 ``1 - separation`` — the *transitive* interaction Eq. (3) approximates.
+
+This module is the **scalar reference oracle**; campaigns default to the
+vectorized kernel (:mod:`repro.faultsim.kernel`) via ``engine="auto"``
+and fall back here.  Hot loops should pass a pre-built
+:class:`ScalarAdjacency` so the per-edge lookups (graph queries, factor
+scans for edge kinds) happen once per campaign, not once per trial.
 """
 
 from __future__ import annotations
 
 import random
 from collections import deque
+from dataclasses import dataclass
+from typing import Callable
 
 from repro.errors import SimulationError
 from repro.faultsim.events import TrialRecord
@@ -31,24 +39,70 @@ from repro.influence.factors import FACTOR_FAULT_KIND, FactorKind
 from repro.model.faults import FaultEvent, FaultKind
 
 
+@dataclass(frozen=True)
+class ScalarAdjacency:
+    """Per-source outgoing edges, precomputed once for a whole campaign.
+
+    ``out[source]`` lists ``(target, probability, kind)`` for every
+    positive-weight influence edge, in ``fcm_names()`` order — the same
+    order (and therefore the same RNG draw sequence) as querying the
+    graph per trial, so using the precompute is bit-identical to not
+    using it.
+    """
+
+    out: dict[str, tuple[tuple[str, float, FaultKind], ...]]
+    seed_kind: FaultKind
+
+
+def compile_adjacency(graph: InfluenceGraph) -> ScalarAdjacency:
+    """Hoist the per-trial edge-list rebuild out of the trial loop."""
+    names = graph.fcm_names()
+    out: dict[str, tuple[tuple[str, float, FaultKind], ...]] = {}
+    for source in names:
+        edges = []
+        for target in names:
+            if target == source:
+                continue
+            p = graph.influence(source, target)
+            if p <= 0.0:
+                continue
+            edges.append((target, p, _edge_kind(graph, source, target)))
+        out[source] = tuple(edges)
+    return ScalarAdjacency(
+        out=out, seed_kind=FACTOR_FAULT_KIND[FactorKind.SHARED_MEMORY]
+    )
+
+
 def propagate_once(
     graph: InfluenceGraph,
     source: str,
     rng: random.Random,
     trial: int = 0,
     direct_only: bool = False,
+    adjacency: ScalarAdjacency | None = None,
+    edge_draw: Callable[[str, str], float] | None = None,
 ) -> TrialRecord:
     """One trial: seed a fault at ``source``, fire edges probabilistically.
 
     ``direct_only`` restricts propagation to the first wave — the "no
     third FCM considered" condition in the definition of influence; the
     default propagates transitively (the condition Eq. (3) models).
+
+    ``adjacency`` (from :func:`compile_adjacency`) skips the per-trial
+    graph queries without changing any outcome.  ``edge_draw`` replaces
+    the RNG with an explicit uniform per edge — the shared-draw hook the
+    scalar/vector parity tests feed the same draw matrix through.
     """
-    if not graph.has_fcm(source):
+    if adjacency is None:
+        if not graph.has_fcm(source):
+            raise SimulationError(f"FCM {source!r} not in graph")
+        adjacency = compile_adjacency(graph)
+    elif source not in adjacency.out:
         raise SimulationError(f"FCM {source!r} not in graph")
     record = TrialRecord(trial=trial)
-    seed_kind = _edge_kind(graph, source, None)
-    record.events.append(FaultEvent(fcm=source, kind=seed_kind, time=0.0))
+    record.events.append(
+        FaultEvent(fcm=source, kind=adjacency.seed_kind, time=0.0)
+    )
     record.affected.add(source)
 
     frontier = deque([(source, 0.0)])
@@ -56,14 +110,15 @@ def propagate_once(
         current, time = frontier.popleft()
         if direct_only and current != source:
             continue
-        for target in graph.fcm_names():
-            if target in record.affected or target == current:
+        for target, p, kind in adjacency.out[current]:
+            if target in record.affected:
                 continue
-            p = graph.influence(current, target)
-            if p <= 0.0:
-                continue
-            if rng.random() < p:
-                kind = _edge_kind(graph, current, target)
+            draw = (
+                edge_draw(current, target)
+                if edge_draw is not None
+                else rng.random()
+            )
+            if draw < p:
                 record.events.append(
                     FaultEvent(
                         fcm=target,
@@ -107,10 +162,15 @@ def affected_counts(
     """
     if trials < 1:
         raise SimulationError("trials must be >= 1")
+    if not graph.has_fcm(source):
+        raise SimulationError(f"FCM {source!r} not in graph")
     rng = random.Random(seed)
+    adjacency = compile_adjacency(graph)
     counts = {name: 0 for name in graph.fcm_names()}
     for trial in range(trials):
-        record = propagate_once(graph, source, rng, trial, direct_only)
+        record = propagate_once(
+            graph, source, rng, trial, direct_only, adjacency=adjacency
+        )
         for name in record.affected:
             counts[name] += 1
     return counts

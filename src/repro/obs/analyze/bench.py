@@ -38,6 +38,10 @@ DEFAULT_TOLERANCE = {
     "stage_s": 2.0,  # per-stage wall time may be up to 3x the baseline
     "trials_per_s": 0.7,  # throughput may drop to 30% of the baseline
     "stage_floor_s": 0.005,  # ignore stages where both runs are < 5ms
+    # Pooled campaigns must actually be faster than serial whenever the
+    # pool engages (>= 2 effective workers); entries where the pool was
+    # declined (1 CPU) skip this gate with a note instead.
+    "min_speedup": 1.0,
 }
 
 
@@ -177,8 +181,9 @@ def check_bench(
     """Compare the latest bench run against a baseline document.
 
     Checks, per baseline case: total wall time, campaign throughput and
-    per-stage wall times for scenario entries; serial wall time and the
-    serial==pooled determinism contract for parallel entries.  A case
+    per-stage wall times for scenario entries; serial wall time, the
+    serial==pooled determinism contract, and the pooled-speedup floor
+    (only when the pool engaged) for parallel entries.  A case
     present in the baseline but missing from the latest run is a
     failure; extra latest-only cases are noted, not failed.
     """
@@ -320,6 +325,29 @@ def _check_entry(
             f"{name}: pooled campaign no longer matches the serial run "
             "(determinism contract broken)",
         )
+    if "speedup" in base and latest.get("speedup") is not None:
+        engaged = latest.get("pool_engaged")
+        if engaged is None:
+            engaged = int(latest.get("workers") or 0) >= 2
+        if engaged:
+            floor_speedup = float(tol["min_speedup"])
+            latest_v = float(latest["speedup"])
+            if latest_v <= floor_speedup:
+                fail(
+                    "speedup",
+                    float(base["speedup"]),
+                    latest_v,
+                    floor_speedup,
+                    f"{name}: pooled speedup {latest_v:.3f}x is not above "
+                    f"{floor_speedup:.2f}x — the worker pool made the "
+                    "campaign slower than running it serially",
+                )
+        else:
+            check.notes.append(
+                f"{name}: pool did not engage "
+                f"({latest.get('cpus', '?')} CPU(s) available); "
+                "speedup gate skipped"
+            )
 
 
 def render_bench_check(check: BenchCheck) -> str:

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from repro.errors import SimulationError
 from repro.exec.batching import derive_seed
 from repro.exec.runner import ExecPolicy, ExecReport, run_supervised
+from repro.faultsim.engine import record_engine_decision, resolve_engine
 from repro.allocation.constraints import ResourceRequirements
 from repro.core.results import IntegrationOutcome
 from repro.obs import current
@@ -120,6 +121,7 @@ def run_resilience_campaign(
     checkpoint: str | None = None,
     resume: str | None = None,
     chaos=None,
+    engine: str = "auto",
 ) -> ResilienceReport:
     """Run ``trials`` failure sequences against an integrated system.
 
@@ -130,9 +132,20 @@ def run_resilience_campaign(
     Trial ``t`` always runs on ``random.Random(derive_seed(seed, t))``,
     so the report does not depend on ``policy`` (workers, batch size),
     retries, or checkpoint/resume history.
+
+    Resilience trials re-plan the mapping event by event, so there is no
+    vectorized path: ``engine="auto"`` always resolves to scalar (the
+    fallback is recorded as a decision event) and an explicit
+    ``engine="vector"`` raises.
     """
     if trials < 1:
         raise SimulationError("trials must be >= 1")
+    choice = resolve_engine(
+        engine,
+        vectorizable=False,
+        why_not="resilience trials re-plan degradation event by event",
+    )
+    record_engine_decision("resilience", choice)
     if failures < 1 and scenario is None:
         raise SimulationError("failures must be >= 1")
     if horizon <= 0.0:
@@ -190,6 +203,7 @@ def run_resilience_campaign(
         horizon=horizon,
         scripted=scenario is not None,
         workers=exec_policy.workers,
+        engine=choice.engine,
     ):
         payloads, exec_report = run_supervised(
             run_batch,

@@ -3,7 +3,14 @@
 import pytest
 
 from repro.errors import ExecutionError
-from repro.exec import Batch, default_batch_size, derive_seed, plan_batches
+from repro.exec import (
+    Batch,
+    available_cpus,
+    default_batch_size,
+    derive_seed,
+    plan_batches,
+    resolve_workers,
+)
 
 
 class TestDeriveSeed:
@@ -87,3 +94,25 @@ class TestDefaultBatchSize:
     def test_tiny_campaigns(self):
         assert default_batch_size(1, 0) == 1
         assert default_batch_size(1, 8) == 1
+
+
+class TestResolveWorkers:
+    def test_integers_pass_through(self):
+        assert resolve_workers(0) == 0
+        assert resolve_workers(4) == 4
+        assert resolve_workers("3") == 3
+
+    def test_auto_matches_available_cpus(self):
+        # 'auto' must never oversubscribe: a pool larger than the machine
+        # is how the parallel bench once measured a 0.884x "speedup".
+        resolved = resolve_workers("auto")
+        assert resolved == available_cpus()
+        assert resolved >= 1
+
+    def test_bad_values_rejected(self):
+        with pytest.raises(ExecutionError):
+            resolve_workers("many")
+        with pytest.raises(ExecutionError):
+            resolve_workers(-1)
+        with pytest.raises(ExecutionError):
+            resolve_workers(None)

@@ -57,6 +57,65 @@ class TestFaultsimCommand:
         assert len(batch_lines) > 1
 
 
+class TestEngineFlags:
+    def test_scalar_engine_runs(self, capsys):
+        assert main(
+            ["faultsim", "--trials", "50", "--seed", "3",
+             "--engine", "scalar", "-v"]
+        ) == 0
+        assert "engine scalar" in capsys.readouterr().out
+
+    def test_vector_engine_runs(self, capsys):
+        pytest.importorskip("numpy")
+        assert main(
+            ["faultsim", "--trials", "50", "--seed", "3",
+             "--engine", "vector", "-v"]
+        ) == 0
+        assert "engine vector" in capsys.readouterr().out
+
+    def test_engines_agree_on_trial_count(self, capsys):
+        pytest.importorskip("numpy")
+        assert main(
+            ["faultsim", "--trials", "80", "--engine", "scalar"]
+        ) == 0
+        scalar = capsys.readouterr().out
+        assert main(
+            ["faultsim", "--trials", "80", "--engine", "vector"]
+        ) == 0
+        vector = capsys.readouterr().out
+        # Same table shape; first row (trials) identical.
+        assert scalar.splitlines()[0] == vector.splitlines()[0]
+
+    def test_unknown_engine_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            main(["faultsim", "--trials", "10", "--engine", "turbo"])
+
+    def test_resilience_vector_refused(self, capsys):
+        assert main(
+            ["resilience", "--trials", "5", "--engine", "vector"]
+        ) == 2
+        assert "vector engine unavailable" in capsys.readouterr().err
+
+    def test_resilience_auto_falls_back(self, capsys):
+        assert main(
+            ["resilience", "--trials", "5", "--engine", "auto"]
+        ) == 0
+
+
+class TestWorkersAuto:
+    def test_workers_auto_accepted(self, capsys):
+        assert main(
+            ["faultsim", "--trials", "40", "--workers", "auto",
+             "--engine", "scalar"]
+        ) == 0
+        assert "exec:" in capsys.readouterr().out
+
+    def test_workers_garbage_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["faultsim", "--trials", "10", "--workers", "lots"])
+        assert "integer or 'auto'" in capsys.readouterr().err
+
+
 class TestExecChaosCommand:
     @pytest.mark.timeout(180)
     def test_chaos_selftest_passes(self, tmp_path, capsys):

@@ -152,6 +152,82 @@ class TestPool:
             )
 
 
+class TestCalibration:
+    @pytest.mark.timeout(60)
+    def test_calibrated_pool_identical_to_serial(self):
+        serial, _ = run_supervised(
+            trial_values, trials=300, seed=3, kind="unit", combine=combine,
+        )
+        recorder = Recorder()
+        with use(recorder):
+            pooled, report = run_supervised(
+                trial_values, trials=300, seed=3, kind="unit",
+                policy=ExecPolicy(workers=2), combine=combine,
+            )
+        assert flatten(pooled) == flatten(serial)
+        assert report.calibrated_batch_size is not None
+        assert report.batch_size == report.calibrated_batch_size
+        # A trivially fast task clamps to remaining/workers: probe + 2.
+        assert report.batches_total == 3
+        actions = {d.action for d in recorder.decisions if d.category == "exec"}
+        assert "calibrate" in actions
+
+    def test_explicit_batch_size_skips_calibration(self):
+        _, report = run_supervised(
+            trial_values, trials=100, seed=1, kind="unit",
+            policy=ExecPolicy(workers=2, batch_size=10), combine=combine,
+        )
+        assert report.calibrated_batch_size is None
+
+    def test_target_zero_disables_calibration(self):
+        _, report = run_supervised(
+            trial_values, trials=100, seed=1, kind="unit",
+            policy=ExecPolicy(workers=2, target_batch_s=0.0), combine=combine,
+        )
+        assert report.calibrated_batch_size is None
+
+    def test_serial_runs_never_calibrate(self):
+        _, report = run_supervised(
+            trial_values, trials=100, seed=1, kind="unit", combine=combine,
+        )
+        assert report.calibrated_batch_size is None
+
+    def test_tiny_campaign_skips_calibration(self):
+        # Nothing left to parallelise after a 32-trial probe.
+        _, report = run_supervised(
+            trial_values, trials=20, seed=1, kind="unit",
+            policy=ExecPolicy(workers=2), combine=combine,
+        )
+        assert report.calibrated_batch_size is None
+
+    def test_probe_covered_by_resume_skips_calibration(self, tmp_path):
+        # Timing checkpointed work would measure nothing, so a resumed
+        # run whose checkpoint covers the probe range keeps the static
+        # default batch size.
+        path = str(tmp_path / "cal.ndjson")
+        baseline, _ = run_supervised(
+            trial_values, trials=100, seed=13, kind="unit",
+            policy=ExecPolicy(batch_size=8), combine=combine,
+            checkpoint=path,
+        )
+        recorder = Recorder()
+        with use(recorder):
+            resumed, report = run_supervised(
+                trial_values, trials=100, seed=13, kind="unit",
+                policy=ExecPolicy(workers=2), combine=combine, resume=path,
+            )
+        assert report.calibrated_batch_size is None
+        skipped = [
+            d for d in recorder.decisions if d.action == "calibrate"
+        ]
+        assert skipped and "covered" in skipped[0].reason
+        assert flatten(resumed) == flatten(baseline)
+
+    def test_negative_target_rejected(self):
+        with pytest.raises(ExecutionError):
+            ExecPolicy(target_batch_s=-0.1)
+
+
 class TestCheckpointResume:
     def test_interrupt_then_resume_is_identical(self, tmp_path):
         baseline, _ = run_supervised(

@@ -2,11 +2,16 @@
 
 import pytest
 
-from repro.errors import SimulationError
-from repro.faultsim import compare_partitions, run_campaign
+from repro.errors import CheckpointError, SimulationError
+from repro.exec import ExecPolicy
+from repro.faultsim import NUMPY_AVAILABLE, compare_partitions, run_campaign
 from repro.influence import InfluenceGraph
 
 from tests.conftest import make_process
+
+needs_numpy = pytest.mark.skipif(
+    not NUMPY_AVAILABLE, reason="vector engine requires numpy"
+)
 
 
 def coupled_graph() -> InfluenceGraph:
@@ -74,6 +79,68 @@ class TestRunCampaign:
         a = run_campaign(g, GOOD, trials=500, seed=11)
         b = run_campaign(g, GOOD, trials=500, seed=11)
         assert a == b
+
+
+class TestEngines:
+    def test_scalar_engine_recorded(self):
+        result = run_campaign(
+            coupled_graph(), GOOD, trials=100, seed=0, engine="scalar"
+        )
+        assert result.engine == "scalar"
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(SimulationError, match="unknown engine"):
+            run_campaign(coupled_graph(), GOOD, trials=10, engine="turbo")
+
+    @needs_numpy
+    def test_vector_engine_recorded(self):
+        result = run_campaign(
+            coupled_graph(), GOOD, trials=100, seed=0, engine="vector"
+        )
+        assert result.engine == "vector"
+
+    @needs_numpy
+    def test_engines_agree_statistically(self):
+        g = coupled_graph()
+        scalar = run_campaign(g, GOOD, trials=4000, seed=5, engine="scalar")
+        vector = run_campaign(g, GOOD, trials=4000, seed=5, engine="vector")
+        assert vector.mean_affected_fcms == pytest.approx(
+            scalar.mean_affected_fcms, rel=0.1
+        )
+        assert vector.mean_affected_clusters == pytest.approx(
+            scalar.mean_affected_clusters, abs=0.05
+        )
+        assert vector.cross_cluster_rate == pytest.approx(
+            scalar.cross_cluster_rate, abs=0.05
+        )
+
+    @needs_numpy
+    def test_vector_result_invariant_under_exec_plan(self):
+        g = coupled_graph()
+        reference = run_campaign(g, GOOD, trials=700, seed=9, engine="vector")
+        for batch_size in (33, 256, 700):
+            split = run_campaign(
+                g, GOOD, trials=700, seed=9, engine="vector",
+                policy=ExecPolicy(batch_size=batch_size),
+            )
+            assert split == reference
+
+    @needs_numpy
+    def test_resume_refuses_the_other_engine(self, tmp_path):
+        # The engine is part of the checkpoint fingerprint: a scalar
+        # resume of a vector checkpoint would silently mix two different
+        # deterministic streams in one result.
+        g = coupled_graph()
+        path = str(tmp_path / "campaign.ndjson")
+        run_campaign(
+            g, GOOD, trials=200, seed=4, engine="vector",
+            policy=ExecPolicy(batch_size=50), checkpoint=path,
+        )
+        with pytest.raises(CheckpointError, match="different campaign"):
+            run_campaign(
+                g, GOOD, trials=200, seed=4, engine="scalar",
+                policy=ExecPolicy(batch_size=50), resume=path,
+            )
 
 
 class TestComparePartitions:

@@ -132,6 +132,55 @@ class TestGate:
         check = check_bench([latest], load_baseline(path))
         assert any(f.metric == "identical" for f in check.findings)
 
+    def _parallel_entry(self, **over):
+        entry = {
+            "name": "parallel-campaign-200",
+            "campaign_trials": 2000,
+            "workers": 4,
+            "cpus": 4,
+            "pool_engaged": True,
+            "serial_wall_s": 1.0,
+            "pooled_wall_s": 0.4,
+            "speedup": 2.5,
+            "identical": True,
+        }
+        entry.update(over)
+        return entry
+
+    def test_pooled_slowdown_fails_speedup_gate(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline([self._parallel_entry()], path)
+        latest = self._parallel_entry(speedup=0.884, pooled_wall_s=1.13)
+        check = check_bench([latest], load_baseline(path))
+        findings = [f for f in check.findings if f.metric == "speedup"]
+        assert findings and "slower" in findings[0].message
+
+    def test_speedup_above_one_passes(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline([self._parallel_entry()], path)
+        latest = self._parallel_entry(speedup=1.4, pooled_wall_s=0.71)
+        assert check_bench([latest], load_baseline(path)).passed
+
+    def test_unengaged_pool_skips_speedup_gate_with_note(self, tmp_path):
+        # One CPU: the pool is declined, ~1.0x is expected and honest.
+        path = tmp_path / "baseline.json"
+        write_baseline([self._parallel_entry()], path)
+        latest = self._parallel_entry(
+            speedup=0.98, workers=1, cpus=1, pool_engaged=False
+        )
+        check = check_bench([latest], load_baseline(path))
+        assert check.passed
+        assert any("pool did not engage" in n for n in check.notes)
+
+    def test_min_speedup_tolerance_override(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline([self._parallel_entry()], path)
+        latest = self._parallel_entry(speedup=1.5)
+        strict = check_bench(
+            [latest], load_baseline(path), tolerance={"min_speedup": 2.0}
+        )
+        assert any(f.metric == "speedup" for f in strict.findings)
+
     def test_tolerance_override_tightens_gate(self, baseline_doc):
         # +50% wall growth passes the default gate but fails a 25% one.
         latest = [_entry(wall_s=0.12)]

@@ -54,7 +54,10 @@ class TestPipelineSpans:
         spans = {s.name for s in recorded_pipeline.spans}
         assert "faultsim.campaign" in spans
         metrics = recorded_pipeline.metrics.snapshot()["metrics"]
-        assert metrics["faultsim_trials_total"]["series"][""] == 50.0
+        # The trials counter is labelled by the engine that ran them.
+        series = metrics["faultsim_trials_total"]["series"]
+        assert sum(series.values()) == 50.0
+        assert all(key.startswith("engine=") for key in series)
         assert "faultsim_affected_fcms" in metrics
 
     def test_rule_check_counters_and_decision(self):

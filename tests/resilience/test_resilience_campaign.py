@@ -47,6 +47,30 @@ class TestCampaign:
         b = run_resilience_campaign(outcome, failures=2, trials=30, seed=42)
         assert a == b
 
+    def test_vector_engine_refused(self):
+        # Event-driven trials have no vectorized path; an explicit
+        # request must fail loudly rather than silently run scalar.
+        with pytest.raises(SimulationError, match="vector engine unavailable"):
+            run_resilience_campaign(
+                paper_outcome(), failures=2, trials=5, seed=0, engine="vector"
+            )
+
+    def test_auto_engine_falls_back_with_decision(self):
+        from repro.obs import Recorder, use
+
+        recorder = Recorder()
+        with use(recorder):
+            report = run_resilience_campaign(
+                paper_outcome(), failures=2, trials=5, seed=0, engine="auto"
+            )
+        assert report.trials == 5
+        engine_decisions = [
+            d for d in recorder.decisions
+            if d.category == "resilience" and d.action == "engine"
+        ]
+        assert engine_decisions and engine_decisions[0].subject == "scalar"
+        assert "event by event" in engine_decisions[0].reason
+
     def test_different_seeds_vary(self):
         outcome = paper_outcome()
         a = run_resilience_campaign(outcome, failures=2, trials=30, seed=1)
