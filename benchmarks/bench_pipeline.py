@@ -135,6 +135,59 @@ def bench_parallel_campaign(name, system, hw, heuristic, trials, workers) -> dic
     }
 
 
+def bench_sharded_campaign(name, system, hw, heuristic, trials, shards, workers) -> dict:
+    """Run one fault campaign serially and sharded; record the speedup.
+
+    The sharded run goes through the shard supervisor
+    (:mod:`repro.exec.shards`) over the ``local`` fork-pool backend, so
+    this entry asserts the block-aligned lease machinery reproduces the
+    serial result bit-for-bit while recording how many shards actually
+    engaged and how many leases were re-dispatched.  Shard leases are
+    cut on 256-trial block boundaries, so a ``--quick`` run (fewer
+    trials than one block) honestly plans a single shard and reports
+    ``pool_engaged: false`` — the speedup gate only applies when at
+    least two shards ran over at least two slots.
+    """
+    framework = IntegrationFramework(system, FrameworkOptions(heuristic=heuristic))
+    outcome = framework.integrate(hw)
+    state = outcome.condensation.state
+    graph, partition = state.graph, state.as_partition()
+    cpus = available_cpus()
+    effective = max(1, min(workers, cpus))
+
+    t0 = time.perf_counter()
+    serial = run_campaign(graph, partition, trials=trials, seed=0, engine="scalar")
+    serial_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    sharded = run_campaign(
+        graph, partition, trials=trials, seed=0,
+        policy=ExecPolicy(workers=effective),
+        engine="scalar", shards=shards, backend="local",
+    )
+    sharded_s = time.perf_counter() - t0
+    report = sharded.exec_report
+    return {
+        "name": name,
+        "campaign_trials": trials,
+        "workers": effective,
+        "workers_requested": workers,
+        "cpus": cpus,
+        "shards_requested": shards,
+        "shards": report.shards,
+        "backend": report.backend,
+        "pool_engaged": effective >= 2 and report.shards >= 2,
+        "serial_wall_s": round(serial_s, 6),
+        "pooled_wall_s": round(sharded_s, 6),
+        "speedup": round(serial_s / sharded_s, 3) if sharded_s else None,
+        "identical": serial == sharded,
+        "leases": report.leases_granted,
+        "redispatches": report.redispatches,
+        "lease_expiries": report.lease_expiries,
+        "shard_crashes": report.shard_crashes,
+    }
+
+
 def run(quick: bool = False) -> list[dict]:
     trials = 200 if quick else 2000
     entries = [
@@ -169,6 +222,17 @@ def run(quick: bool = False) -> list[dict]:
             Heuristic.TIMING_PACK,
             trials,
             workers=4,
+        ),
+        bench_sharded_campaign(
+            "generated-200-sharded",
+            random_system(
+                processes=200, tasks_per_process=1, procedures_per_task=1, seed=42
+            ),
+            fully_connected(40),
+            Heuristic.TIMING_PACK,
+            trials,
+            shards=2,
+            workers=2,
         ),
     ]
     if NUMPY_AVAILABLE:

@@ -1,25 +1,59 @@
 #!/usr/bin/env python
-"""Validate repro trace NDJSON files; exit nonzero on any problem.
+"""Validate repro NDJSON files; exit nonzero on any problem.
 
-Used by CI after generating sample traces: every line must parse as
-JSON, and span/decision records must carry the required keys with a
-consistent parent structure (see :func:`repro.obs.ndjson.validate_trace`).
+Sniffs each file's first meta line and dispatches:
+
+* ``repro-exec-checkpoint`` — structural checkpoint + manifest
+  validation (:func:`repro.exec.validate_checkpoint`): batch ranges
+  inside the campaign, manifest/checkpoint identity agreement, and no
+  manifest claiming completion over coverage gaps.  Torn lines are
+  tolerated (the format survives crashes by design) and surfaced in
+  the label.
+* anything else — trace validation: every line must parse as JSON,
+  and span/decision records must carry the required keys with a
+  consistent parent structure
+  (see :func:`repro.obs.ndjson.validate_trace`).
 
 Usage::
 
-    PYTHONPATH=src python scripts/check_ndjson.py trace.ndjson [more.ndjson ...]
+    PYTHONPATH=src python scripts/check_ndjson.py trace.ndjson \
+        checkpoint.ndjson [more.ndjson ...]
 """
 
 from __future__ import annotations
 
+import json
 import sys
 
 from repro.errors import ObservabilityError
+from repro.exec import validate_checkpoint
+from repro.exec.checkpoint import CHECKPOINT_FORMAT
 from repro.obs import load_ndjson, trace_meta, validate_trace
+
+
+def _sniff_format(path: str) -> str | None:
+    """The ``format`` tag of the file's first decodable line, if any."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            for line in handle:
+                if not line.strip():
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    return None
+                if isinstance(record, dict):
+                    return record.get("format")
+                return None
+    except OSError:
+        return None
+    return None
 
 
 def check_file(path: str) -> tuple[list[str], str]:
     """(problems, format label) for one NDJSON file (no problems = valid)."""
+    if _sniff_format(path) == CHECKPOINT_FORMAT:
+        return validate_checkpoint(path)
     try:
         events = load_ndjson(path)
     except ObservabilityError as exc:

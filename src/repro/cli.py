@@ -80,6 +80,7 @@ from repro.metrics.report import (
     render_exec_report,
     render_mapping,
     render_resilience,
+    render_shard_report,
 )
 from repro.model.fcm import Level
 from repro.obs import (
@@ -159,6 +160,28 @@ def _add_exec_flags(parser: argparse.ArgumentParser) -> None:
         help="resume from a checkpoint file, skipping completed batches "
         "(implies checkpointing to the same file)",
     )
+    parser.add_argument(
+        "--heartbeat-timeout", type=float, default=None, metavar="SECONDS",
+        help="sharded runs: expire a lease whose worker has been silent "
+        "this long and re-dispatch its uncovered remainder (must exceed "
+        "one block's wall time)",
+    )
+
+
+def _add_shard_flags(parser: argparse.ArgumentParser) -> None:
+    """Attach shard-backend flags to a campaign subcommand."""
+    parser.add_argument(
+        "--backend", choices=["local", "subprocess"], default=None,
+        help="run the campaign as shard leases over this execution "
+        "backend ('local' forked slots, 'subprocess' isolated "
+        "python -m repro shard workers); results are bit-identical "
+        "to a serial run",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=0, metavar="N",
+        help="split the campaign into N block-aligned shards (0 with "
+        "--backend = derive from CPUs); implies the shard supervisor",
+    )
 
 
 def _exec_policy(args: argparse.Namespace):
@@ -174,12 +197,14 @@ def _exec_policy(args: argparse.Namespace):
         or args.trial_timeout
         or args.checkpoint
         or args.resume
+        or getattr(args, "heartbeat_timeout", None)
     ):
         return None
     return ExecPolicy(
         workers=args.workers,
         batch_size=args.batch_size,
         trial_timeout=args.trial_timeout,
+        heartbeat_timeout=getattr(args, "heartbeat_timeout", None),
     )
 
 
@@ -324,6 +349,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="print stage-timing and campaign-throughput footers",
     )
     _add_exec_flags(faultsim)
+    _add_shard_flags(faultsim)
     _add_obs_flags(faultsim)
 
     exec_cmd = sub.add_parser(
@@ -339,20 +365,38 @@ def build_parser() -> argparse.ArgumentParser:
     chaos = exec_sub.add_parser(
         "chaos",
         help="run the runner's chaos self-test (killed workers, torn "
-        "checkpoints, interrupted campaigns)",
+        "checkpoints, interrupted campaigns); with --shards, the "
+        "shard-lease self-test (killed shard workers, stalled "
+        "heartbeats, corrupted partial checkpoints)",
     )
     chaos.add_argument(
-        "--trials", type=int, default=32,
-        help="faultsim trials per self-test campaign",
+        "--trials", type=int, default=None,
+        help="faultsim trials per self-test campaign (default: 32, or "
+        "1024 with --shards so every shard spans whole 256-trial "
+        "blocks)",
     )
     chaos.add_argument("--workers", type=int, default=2)
     chaos.add_argument("--seed", type=int, default=7)
+    chaos.add_argument(
+        "--shards", type=int, default=0, metavar="N",
+        help="run the shard-level chaos proofs over N shards instead of "
+        "the batch-pool self-test",
+    )
+    chaos.add_argument(
+        "--backend", choices=["local", "subprocess"], default="local",
+        help="execution backend for the shard-level proofs",
+    )
     chaos.add_argument(
         "--workdir", default=None, metavar="DIR",
         help="directory for checkpoint scratch files (default: a fresh "
         "temporary directory)",
     )
     _add_obs_flags(chaos)
+    exec_sub.add_parser(
+        "shard-worker",
+        help="serve shard leases over stdin/stdout (spawned by the "
+        "subprocess backend; not for interactive use)",
+    )
 
     example = sub.add_parser("example", help="dump a built-in workload")
     example.add_argument("name", choices=["paper", "avionics"])
@@ -641,6 +685,8 @@ def _cmd_faultsim(args: argparse.Namespace) -> int:
         checkpoint=args.checkpoint,
         resume=args.resume,
         engine=args.engine,
+        backend=args.backend,
+        shards=args.shards,
     )
     print(
         render_campaign(
@@ -652,7 +698,10 @@ def _cmd_faultsim(args: argparse.Namespace) -> int:
     if result.exec_report is not None and (
         args.verbose or result.exec_report.workers
     ):
-        print(render_exec_report(result.exec_report))
+        if hasattr(result.exec_report, "leases_granted"):
+            print(render_shard_report(result.exec_report))
+        else:
+            print(render_exec_report(result.exec_report))
     if args.verbose:
         _print_stage_footer()
         print(
@@ -666,29 +715,41 @@ def _cmd_faultsim(args: argparse.Namespace) -> int:
 def _cmd_exec(args: argparse.Namespace) -> int:
     import tempfile
 
-    from repro.exec import run_chaos_selftest
+    from repro.exec import run_chaos_selftest, run_shard_chaos_selftest
 
+    if args.exec_command == "shard-worker":
+        from repro.exec.transport import shard_worker_main
+
+        return shard_worker_main()
     if args.exec_command == "digest":
         from repro.obs.analyze import digest_exec_events, render_digest
 
         events = load_ndjson(args.file)
         print(render_digest(digest_exec_events(events)))
         return 0
-    if args.workdir is not None:
-        result = run_chaos_selftest(
-            args.workdir,
-            trials=args.trials,
+
+    def selftest(workdir: str):
+        if args.shards:
+            return run_shard_chaos_selftest(
+                workdir,
+                trials=args.trials or 1024,
+                shards=args.shards,
+                workers=args.workers,
+                seed=args.seed,
+                backend=args.backend,
+            )
+        return run_chaos_selftest(
+            workdir,
+            trials=args.trials or 32,
             workers=args.workers,
             seed=args.seed,
         )
+
+    if args.workdir is not None:
+        result = selftest(args.workdir)
     else:
         with tempfile.TemporaryDirectory(prefix="repro-chaos-") as workdir:
-            result = run_chaos_selftest(
-                workdir,
-                trials=args.trials,
-                workers=args.workers,
-                seed=args.seed,
-            )
+            result = selftest(workdir)
     for line in result.describe():
         print(line)
     print(

@@ -9,16 +9,40 @@ to the campaign runner (De Florio's application-level fault tolerance):
   worker count, or retry history);
 * :mod:`repro.exec.runner` — the supervised multiprocessing pool:
   timeouts, crashed-worker respawn, retry with exponential backoff and
-  jitter, and graceful degradation (split, then serial fallback);
+  jitter, graceful degradation (split, then serial fallback), and
+  signal-safe interruption (:class:`~repro.exec.runner.InterruptGuard`);
 * :mod:`repro.exec.checkpoint` — streamed NDJSON checkpoints with an
-  atomic-rename completion manifest, tolerant of torn trailing lines;
-* :mod:`repro.exec.chaos` — fault injection into the runner itself,
-  backing the ``repro exec chaos`` self-test.
+  atomic-rename completion manifest, tolerant of torn trailing lines,
+  plus structural validation for CI;
+* :mod:`repro.exec.backend` — the pluggable execution-backend contract:
+  block-aligned lease serving, the forked-slot pool, and task specs a
+  remote worker can rebuild from JSON;
+* :mod:`repro.exec.transport` — backend #2: isolated
+  ``python -m repro exec shard-worker`` subprocesses over NDJSON pipes
+  (the test double for SSH/container transports);
+* :mod:`repro.exec.shards` — the shard-lease supervisor: block-aligned
+  shard planning, heartbeat-based straggler expiry, and re-dispatch with
+  bit-identical aggregates;
+* :mod:`repro.exec.chaos` — fault injection into the runner itself
+  (worker-level :class:`ChaosPlan`, shard-level :class:`ShardChaos`),
+  backing the ``repro exec chaos`` self-tests.
 
 See ``docs/EXECUTION.md`` for the determinism contract, the checkpoint
-schema, and the supervision state machine.
+schema, the supervision state machine, and the shard-lease lifecycle.
 """
 
+from repro.exec.backend import (
+    LEASE_BLOCK_TRIALS,
+    BackendEvent,
+    ExecBackend,
+    ForkPoolBackend,
+    PipeWorker,
+    block_ranges,
+    build_task,
+    make_backend,
+    selftest_spec,
+    serve_lease,
+)
 from repro.exec.batching import (
     Batch,
     available_cpus,
@@ -30,33 +54,69 @@ from repro.exec.batching import (
 from repro.exec.chaos import (
     ChaosPlan,
     ChaosSelfTestResult,
+    ShardChaos,
     run_chaos_selftest,
+    run_shard_chaos_selftest,
     truncate_file,
 )
 from repro.exec.checkpoint import (
     CheckpointData,
     CheckpointWriter,
     campaign_fingerprint,
+    coverage_gaps,
     load_checkpoint,
+    validate_checkpoint,
 )
-from repro.exec.runner import ExecPolicy, ExecReport, run_supervised
+from repro.exec.runner import (
+    ExecPolicy,
+    ExecReport,
+    InterruptGuard,
+    run_supervised,
+)
+from repro.exec.shards import (
+    Shard,
+    ShardReport,
+    plan_shards,
+    run_sharded,
+    uncovered_ranges,
+)
 
 __all__ = [
     "Batch",
+    "BackendEvent",
     "ChaosPlan",
-    "available_cpus",
-    "resolve_workers",
     "ChaosSelfTestResult",
     "CheckpointData",
     "CheckpointWriter",
+    "ExecBackend",
     "ExecPolicy",
     "ExecReport",
+    "ForkPoolBackend",
+    "InterruptGuard",
+    "LEASE_BLOCK_TRIALS",
+    "PipeWorker",
+    "Shard",
+    "ShardChaos",
+    "ShardReport",
+    "available_cpus",
+    "block_ranges",
+    "build_task",
     "campaign_fingerprint",
+    "coverage_gaps",
     "default_batch_size",
     "derive_seed",
     "load_checkpoint",
+    "make_backend",
     "plan_batches",
+    "plan_shards",
+    "resolve_workers",
     "run_chaos_selftest",
+    "run_shard_chaos_selftest",
+    "run_sharded",
     "run_supervised",
+    "selftest_spec",
+    "serve_lease",
     "truncate_file",
+    "uncovered_ranges",
+    "validate_checkpoint",
 ]

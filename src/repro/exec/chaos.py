@@ -60,6 +60,68 @@ class ChaosPlan:
             os.kill(os.getpid(), signal.SIGKILL)
 
 
+@dataclass(frozen=True)
+class ShardChaos:
+    """Shard-level faults for the lease supervisor (`run_sharded`).
+
+    Where :class:`ChaosPlan` poisons trial ranges inside one pool,
+    ``ShardChaos`` murders or stalls *whole shard workers* — the
+    failure modes a distributed campaign actually meets:
+
+    * ``kill_shards`` — a first-attempt lease for one of these shards
+      SIGKILLs its slot **mid-lease**: after the first block's partial
+      has streamed out when the lease spans several blocks (proving
+      completed blocks are banked, not recomputed), else before any.
+    * ``stall_shards`` — a first-attempt lease for one of these shards
+      sleeps ``stall_s`` before its first heartbeat, so the supervisor
+      must detect the silence via ``ExecPolicy.heartbeat_timeout``,
+      expire the lease, and re-dispatch.
+    * ``interrupt_after_partials`` — supervisor-side: raise
+      :class:`~repro.errors.CampaignInterrupted` once this many
+      partials are checkpointed (mid-campaign crash without murder).
+
+    Injection keys on ``attempt == 1`` only, so re-dispatch always
+    recovers.  The plan is JSON round-trippable (``to_dict`` /
+    ``from_dict``) because it must cross the subprocess transport's
+    hello line.
+    """
+
+    kill_shards: frozenset[int] = frozenset()
+    stall_shards: frozenset[int] = frozenset()
+    stall_s: float = 30.0
+    interrupt_after_partials: int | None = None
+
+    def maybe_inject(
+        self, shard: int, attempt: int, block_index: int, total_blocks: int
+    ) -> None:
+        """Run inside a shard slot just before serving one block."""
+        if attempt != 1:
+            return
+        if shard in self.stall_shards and block_index == 0:
+            time.sleep(self.stall_s)
+        if shard in self.kill_shards:
+            kill_at = 1 if total_blocks > 1 else 0
+            if block_index == kill_at:
+                os.kill(os.getpid(), signal.SIGKILL)
+
+    def to_dict(self) -> dict:
+        return {
+            "kill_shards": sorted(self.kill_shards),
+            "stall_shards": sorted(self.stall_shards),
+            "stall_s": self.stall_s,
+            "interrupt_after_partials": self.interrupt_after_partials,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> ShardChaos:
+        return cls(
+            kill_shards=frozenset(data.get("kill_shards") or ()),
+            stall_shards=frozenset(data.get("stall_shards") or ()),
+            stall_s=float(data.get("stall_s", 30.0)),
+            interrupt_after_partials=data.get("interrupt_after_partials"),
+        )
+
+
 def truncate_file(path: str, chop_bytes: int) -> int:
     """Remove the last ``chop_bytes`` bytes of ``path`` (torn-write fake).
 
@@ -176,4 +238,116 @@ def run_chaos_selftest(
     check("resume" in actions, "resume skipped completed batches")
     check(os.path.exists(checkpoint + ".manifest"),
           "completion manifest atomically published")
+    return result
+
+
+def run_shard_chaos_selftest(
+    workdir: str,
+    trials: int = 1024,
+    shards: int = 2,
+    workers: int = 2,
+    seed: int = 7,
+    backend: str = "local",
+) -> ChaosSelfTestResult:
+    """Prove shard-lease supervision end-to-end against three failures.
+
+    Runs the same faultsim campaign serially (baseline) and then three
+    chaos-ridden sharded ways — a SIGKILLed shard worker mid-lease, a
+    shard stalled past the heartbeat deadline, and an interrupted run
+    resumed over a torn shard checkpoint — checking every variant
+    reproduces the baseline bit-for-bit while the decision trail shows
+    the supervisor actually expired, re-dispatched, and recovered.  The
+    chaos checkpoint is left in ``workdir`` so CI can validate its
+    structure with ``scripts/check_ndjson.py``.
+    """
+    from repro.errors import CampaignInterrupted
+    from repro.exec.runner import ExecPolicy
+    from repro.faultsim.campaign import run_campaign
+    from repro.obs import Recorder, use
+    from repro.workloads import paper_influence_graph
+
+    os.makedirs(workdir, exist_ok=True)
+    graph = paper_influence_graph()
+    partition = [[name] for name in graph.fcm_names()]
+    result = ChaosSelfTestResult(passed=True)
+
+    def check(condition: bool, label: str) -> None:
+        if condition:
+            result.checks.append(label)
+        else:
+            result.passed = False
+            result.failures.append(label)
+
+    def actions_of(recorder) -> set[str]:
+        return {d.action for d in recorder.decisions if d.category == "exec"}
+
+    baseline = run_campaign(graph, partition, trials=trials, seed=seed)
+
+    # --- proof 1: SIGKILL a whole shard worker mid-lease ---------------
+    recorder = Recorder()
+    with use(recorder):
+        killed = run_campaign(
+            graph, partition, trials=trials, seed=seed,
+            policy=ExecPolicy(
+                workers=workers, backoff_base=0.01, backoff_max=0.05,
+            ),
+            shards=shards, backend=backend,
+            chaos=ShardChaos(kill_shards=frozenset({shards - 1})),
+        )
+    actions = actions_of(recorder)
+    check(killed == baseline,
+          "kill-a-shard result identical to serial baseline")
+    check("shard_crash" in actions,
+          "SIGKILLed shard worker detected as a crash")
+    check("redispatch" in actions,
+          "dead shard's uncovered remainder re-dispatched")
+
+    # --- proof 2: shard stalls past the heartbeat deadline -------------
+    recorder = Recorder()
+    with use(recorder):
+        stalled = run_campaign(
+            graph, partition, trials=trials, seed=seed,
+            policy=ExecPolicy(
+                workers=workers, backoff_base=0.01, backoff_max=0.05,
+                heartbeat_timeout=0.75,
+            ),
+            shards=shards, backend=backend,
+            chaos=ShardChaos(stall_shards=frozenset({0}), stall_s=30.0),
+        )
+    actions = actions_of(recorder)
+    check(stalled == baseline,
+          "stalled-shard result identical to serial baseline")
+    check("lease_expired" in actions,
+          "silent shard expired by heartbeat deadline")
+
+    # --- proof 3: interrupt, corrupt the shard checkpoint, resume ------
+    checkpoint = os.path.join(workdir, "shard-chaos.ndjson")
+    if os.path.exists(checkpoint):
+        os.remove(checkpoint)
+    interrupted = False
+    try:
+        run_campaign(
+            graph, partition, trials=trials, seed=seed,
+            policy=ExecPolicy(workers=workers),
+            shards=shards, backend=backend, checkpoint=checkpoint,
+            chaos=ShardChaos(interrupt_after_partials=2),
+        )
+    except CampaignInterrupted:
+        interrupted = True
+    check(interrupted, "interrupt chaos aborts the sharded campaign mid-run")
+    truncate_file(checkpoint, 7)
+    recorder = Recorder()
+    with use(recorder):
+        resumed = run_campaign(
+            graph, partition, trials=trials, seed=seed,
+            policy=ExecPolicy(workers=workers),
+            shards=shards, backend=backend, resume=checkpoint,
+        )
+    actions = actions_of(recorder)
+    check(resumed == baseline,
+          "resumed sharded result identical to serial baseline")
+    check("checkpoint_corrupt" in actions,
+          "torn shard partial detected and reported")
+    check(os.path.exists(checkpoint + ".manifest"),
+          "shard completion manifest atomically published")
     return result

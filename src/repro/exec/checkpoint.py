@@ -198,8 +198,17 @@ class CheckpointWriter:
         if not self._handle.closed:
             self._handle.close()
 
-    def write_manifest(self, extra: dict | None = None) -> str:
-        """Atomically publish ``<path>.manifest`` marking completion."""
+    def write_manifest(
+        self, extra: dict | None = None, complete: bool = True
+    ) -> str:
+        """Atomically publish ``<path>.manifest``.
+
+        ``complete=True`` marks the checkpoint as covering the whole
+        campaign; ``complete=False`` seals an *interrupted* run — the
+        manifest records how far it got while leaving the completion
+        signal unset, so resume tooling and humans can tell a graceful
+        interrupt from a finished campaign.
+        """
         manifest_path = self.path + ".manifest"
         document = {
             "format": CHECKPOINT_FORMAT + "-manifest",
@@ -207,7 +216,8 @@ class CheckpointWriter:
             "fingerprint": self.fingerprint,
             "trials": self.trials,
             "seed": self.seed,
-            "complete": True,
+            "complete": complete,
+            "batches_written": self.batches_written,
         }
         if extra:
             document.update(extra)
@@ -219,3 +229,85 @@ class CheckpointWriter:
             os.fsync(handle.fileno())
         os.replace(tmp_path, manifest_path)
         return manifest_path
+
+
+# ----------------------------------------------------------------------
+# Structural validation (scripts/check_ndjson.py, CI)
+# ----------------------------------------------------------------------
+def coverage_gaps(
+    entries: dict[tuple[int, int], Any] | list[tuple[int, int]],
+    trials: int,
+) -> list[tuple[int, int]]:
+    """Sub-ranges of ``[0, trials)`` no entry covers (overlaps allowed)."""
+    intervals = sorted((start, start + size) for start, size in entries)
+    gaps: list[tuple[int, int]] = []
+    position = 0
+    for start, stop in intervals:
+        if start > position:
+            gaps.append((position, start))
+        position = max(position, stop)
+    if position < trials:
+        gaps.append((position, trials))
+    return gaps
+
+
+def validate_checkpoint(path: str) -> tuple[list[str], str]:
+    """Structural validation of a checkpoint file and its manifest.
+
+    Returns ``(problems, label)``; an empty problem list means the file
+    is a well-formed exec checkpoint.  Torn/corrupt lines are *not*
+    problems — the format tolerates them by design (they degrade to
+    recomputed batches) — but they are surfaced in the label.  A
+    manifest claiming ``complete`` over a checkpoint with coverage gaps
+    IS a problem: that combination could silently truncate a campaign.
+    """
+    problems: list[str] = []
+    try:
+        data = load_checkpoint(path)
+    except CheckpointError as exc:
+        return [str(exc)], "?"
+    label = f"{CHECKPOINT_FORMAT} v{CHECKPOINT_VERSION}"
+    if data.corrupt_lines:
+        label += f" ({data.corrupt_lines} corrupt line(s) tolerated)"
+    if data.fingerprint is None:
+        problems.append("no meta line: fingerprint/trials/seed unknown")
+    if data.trials is not None:
+        for start, size in data.entries:
+            if start + size > data.trials:
+                problems.append(
+                    f"batch [{start},{start + size}) exceeds "
+                    f"trials={data.trials}"
+                )
+    manifest_path = path + ".manifest"
+    if not os.path.exists(manifest_path):
+        return problems, label
+    try:
+        with open(manifest_path, encoding="utf-8") as handle:
+            manifest = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        problems.append(f"manifest unreadable: {exc}")
+        return problems, label
+    if not isinstance(manifest, dict):
+        problems.append("manifest is not a JSON object")
+        return problems, label
+    if manifest.get("format") != CHECKPOINT_FORMAT + "-manifest":
+        problems.append(
+            f"manifest format {manifest.get('format')!r} is not "
+            f"{CHECKPOINT_FORMAT + '-manifest'!r}"
+        )
+    for key in ("fingerprint", "trials", "seed"):
+        checkpoint_value = getattr(data, key)
+        manifest_value = manifest.get(key)
+        if checkpoint_value is not None and manifest_value != checkpoint_value:
+            problems.append(
+                f"manifest {key} {manifest_value!r} does not match "
+                f"checkpoint {checkpoint_value!r}"
+            )
+    if manifest.get("complete") and data.trials:
+        gaps = coverage_gaps(data.entries, data.trials)
+        if gaps:
+            problems.append(
+                f"manifest claims completion but {len(gaps)} trial "
+                f"range(s) are uncovered (first: {gaps[0]})"
+            )
+    return problems, label

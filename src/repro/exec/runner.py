@@ -39,10 +39,12 @@ import heapq
 import multiprocessing
 import os
 import random
+import signal
+import threading
 import time
 import traceback
 from multiprocessing import connection as _mp_connection
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.errors import (
@@ -50,6 +52,7 @@ from repro.errors import (
     CheckpointError,
     ExecutionError,
 )
+from repro.exec.backend import PipeWorker, _quiet_worker_recorder
 from repro.exec.batching import (
     Batch,
     default_batch_size,
@@ -96,6 +99,13 @@ class ExecPolicy:
             wall time each, so per-batch dispatch overhead amortizes for
             slow trials without starving fast ones of parallelism.
             0 disables calibration (the static default size is used).
+        heartbeat_timeout: Sharded runs only
+            (:func:`repro.exec.shards.run_sharded`): a lease whose slot
+            sends no heartbeat/partial for this many seconds is expired
+            and its uncovered remainder re-dispatched.  ``None``
+            disables straggler detection.  Must comfortably exceed the
+            wall time of one :data:`~repro.exec.backend.LEASE_BLOCK_TRIALS`
+            block, since partials are the heartbeat carrier.
     """
 
     workers: int = 0
@@ -107,6 +117,7 @@ class ExecPolicy:
     backoff_jitter: float = 0.25
     pool_failure_budget: int = 0
     target_batch_s: float = 0.25
+    heartbeat_timeout: float | None = None
 
     def __post_init__(self) -> None:
         if self.workers < 0:
@@ -119,6 +130,8 @@ class ExecPolicy:
             raise ExecutionError("max_attempts must be >= 1")
         if self.target_batch_s < 0:
             raise ExecutionError("target_batch_s must be >= 0")
+        if self.heartbeat_timeout is not None and self.heartbeat_timeout <= 0:
+            raise ExecutionError("heartbeat_timeout must be > 0")
 
     def resolved_batch_size(self, trials: int) -> int:
         if self.batch_size:
@@ -154,14 +167,61 @@ class ExecReport:
     elapsed_s: float = 0.0
 
 
-class _Worker:
-    """One pool worker process plus its private pipe pair.
+class InterruptGuard:
+    """Cooperative SIGINT/SIGTERM handling for campaign supervisors.
 
-    The pipes are created immediately before the fork and the child's
-    ends are closed in the supervisor immediately after, so the worker
-    holds the only write end of its result pipe: its death — however
-    abrupt — reliably reads as ``EOFError`` on the supervisor side.
+    Installed (main thread only) for the duration of a supervised or
+    sharded run: the first signal sets a flag that :meth:`check`
+    converts — at the next safe point, *between* checkpoint writes —
+    into :class:`~repro.errors.CampaignInterrupted`, so the runner's
+    cleanup path flushes the checkpoint, seals an ``interrupted``
+    manifest, and terminates its workers, leaving a resumable state.  A
+    second signal escalates to an immediate ``KeyboardInterrupt`` for
+    users who really mean it.
     """
+
+    def __init__(self) -> None:
+        self.signaled: str | None = None
+        self._previous: dict[int, Any] = {}
+
+    def __enter__(self) -> "InterruptGuard":
+        if threading.current_thread() is threading.main_thread():
+            for sig in (signal.SIGINT, signal.SIGTERM):
+                try:
+                    self._previous[sig] = signal.signal(sig, self._handle)
+                except (ValueError, OSError):  # pragma: no cover - no signals
+                    pass
+        return self
+
+    def __exit__(self, *exc) -> None:
+        for sig, previous in self._previous.items():
+            try:
+                signal.signal(sig, previous)
+            except (ValueError, OSError):  # pragma: no cover
+                pass
+
+    def _handle(self, signum, frame) -> None:
+        if self.signaled is not None:
+            raise KeyboardInterrupt
+        self.signaled = signal.Signals(signum).name
+
+    def check(self, rec, subject: str) -> None:
+        """Raise ``CampaignInterrupted`` if a signal arrived (safe point)."""
+        if self.signaled is None:
+            return
+        rec.decision(
+            "exec", "interrupted", subject=subject,
+            reason=f"{self.signaled} received; checkpoint flushed and "
+            "manifest sealed for resume",
+        )
+        raise CampaignInterrupted(
+            f"{self.signaled}: campaign interrupted at a batch boundary; "
+            "resume from the checkpoint to continue"
+        )
+
+
+class _Worker(PipeWorker):
+    """One batch-pool worker: a :class:`PipeWorker` plus its assignment."""
 
     def __init__(
         self,
@@ -171,20 +231,15 @@ class _Worker:
         seed: int,
         chaos: ChaosPlan | None,
     ) -> None:
-        self.id = worker_id
-        task_recv, self.task_send = ctx.Pipe(duplex=False)
-        self.result_recv, result_send = ctx.Pipe(duplex=False)
         self.assignment: tuple[Batch, int] | None = None
         self.deadline: float | None = None
-        self.process = ctx.Process(
-            target=_worker_main,
-            args=(task, seed, chaos, task_recv, result_send),
-            daemon=True,
+        super().__init__(
+            worker_id,
+            ctx,
+            _worker_main,
+            (task, seed, chaos),
             name=f"repro-exec-{worker_id}",
         )
-        self.process.start()
-        task_recv.close()
-        result_send.close()
 
     @property
     def idle(self) -> bool:
@@ -193,41 +248,15 @@ class _Worker:
     def dispatch(self, batch: Batch, attempt: int, deadline: float | None) -> None:
         self.assignment = (batch, attempt)
         self.deadline = deadline
-        try:
-            self.task_send.send((batch.start, batch.size, attempt))
-        except (OSError, ValueError):
-            pass  # worker already dead; the crash scan reclaims the batch
+        self.send((batch.start, batch.size, attempt))
 
     def clear(self) -> None:
         self.assignment = None
         self.deadline = None
 
-    def stop(self) -> None:
-        try:
-            self.task_send.send(None)
-        except (OSError, ValueError):
-            pass
-
-    def kill(self) -> None:
-        if self.process.is_alive():
-            self.process.kill()
-        self.process.join(_JOIN_GRACE_S)
-        self.close()
-
-    def close(self) -> None:
-        for conn in (self.task_send, self.result_recv):
-            try:
-                conn.close()
-            except OSError:
-                pass
-
 
 def _worker_main(task, seed, chaos, task_recv, result_send):
-    # Workers inherit the parent's recorder via fork; their records could
-    # never flow back, so run against the no-op recorder instead.
-    from repro.obs import recorder as _recorder_module
-
-    _recorder_module._current = _recorder_module.NULL_RECORDER
+    _quiet_worker_recorder()
     while True:
         try:
             item = task_recv.recv()
@@ -294,7 +323,7 @@ def run_supervised(
         batch_size=batch_size,
         workers=policy.workers,
         fingerprint=fingerprint,
-    ):
+    ), InterruptGuard() as guard:
         if resume is not None:
             _load_resume(resume, fingerprint, done, report, rec)
         checkpoint_path = checkpoint or resume
@@ -333,6 +362,7 @@ def run_supervised(
                             f"chaos interrupt after "
                             f"{writer.batches_written} checkpointed batches"
                         )
+                guard.check(rec, kind)
 
             probe_batches = 0
             if (
@@ -362,10 +392,11 @@ def run_supervised(
                 if policy.workers >= 2:
                     _run_pool(
                         task, seed, todo, policy, chaos, complete, done,
-                        report, rec,
+                        report, rec, guard,
                     )
                 else:
                     for batch in todo:
+                        guard.check(rec, kind)
                         complete(batch, task(batch.start, batch.size, seed),
                                  "serial")
             if writer is not None:
@@ -378,6 +409,17 @@ def run_supervised(
                 batches=len(plan), retries=report.retries,
                 from_checkpoint=report.batches_from_checkpoint,
             )
+        except CampaignInterrupted:
+            # Seal a resumable state: the checkpoint is already flushed
+            # per batch; the manifest records the interruption (its
+            # ``complete`` flag stays false so nothing mistakes a partial
+            # run for a finished one).
+            if writer is not None:
+                report.manifest_path = writer.write_manifest(
+                    {"kind": kind, "batches": len(plan), "interrupted": True},
+                    complete=False,
+                )
+            raise
         finally:
             if writer is not None:
                 writer.close()
@@ -529,7 +571,7 @@ def _calibrated_plan(
 # The worker pool
 # ----------------------------------------------------------------------
 def _run_pool(
-    task, seed, todo, policy, chaos, complete, done, report, rec
+    task, seed, todo, policy, chaos, complete, done, report, rec, guard=None
 ) -> None:
     """Dispatch ``todo`` over a supervised pool (see module docstring)."""
     try:
@@ -648,6 +690,8 @@ def _run_pool(
         while pending or retry_heap or any(
             not w.idle for w in workers.values()
         ):
+            if guard is not None:
+                guard.check(rec, "pool")
             now = time.monotonic()
             while retry_heap and retry_heap[0][0] <= now:
                 _, _, batch, attempt = heapq.heappop(retry_heap)

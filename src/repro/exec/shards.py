@@ -1,0 +1,581 @@
+"""Shard-tolerant campaign execution: block-aligned leases over backends.
+
+Where :func:`repro.exec.runner.run_supervised` survives the loss of
+single *workers*, this module survives the loss of entire *shards* —
+the grid-style step the ROADMAP's "shard campaigns across hosts" item
+asks for.  A campaign is split into :class:`Shard` s whose boundaries
+fall on :data:`~repro.exec.backend.LEASE_BLOCK_TRIALS`-trial RNG
+blocks, so **any** shard assignment, re-dispatch, partial completion or
+resume yields aggregates bit-identical to a serial run (the kernel
+simulates covering blocks whole; the scalar engine is per-trial seeded
+— neither can see the schedule).
+
+The supervisor (:func:`run_sharded`) grants each shard's uncovered
+range as a **lease** to a backend slot and tracks liveness by
+heartbeat: workers stream one partial aggregate per block (each partial
+doubles as a heartbeat), and a lease whose slot goes silent past
+``ExecPolicy.heartbeat_timeout`` is *expired* — the slot is killed and
+the lease's **uncovered remainder** re-dispatched through the PR 3
+retry/backoff plumbing.  Completed blocks are never re-run: every
+partial is banked in the standard NDJSON checkpoint
+(:mod:`repro.exec.checkpoint`, same fingerprint as the batch runner),
+so a supervisor crash mid-campaign resumes without repeating finished
+shards, and a checkpoint written by the sharded path resumes under the
+batch runner (and vice versa).
+
+Escalation mirrors the supervised runner's ladder: per-lease attempts
+exhaust into in-process serial rescue of the remaining blocks, and a
+backend exceeding the pool failure budget is abandoned wholesale — the
+campaign still completes serially.  Every step is a typed ``exec``
+decision event (``lease_grant`` / ``lease_expired`` / ``redispatch`` /
+``shard_crash`` / ``backend_abandoned``) on the ambient recorder.
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import ExecutionError
+from repro.exec.backend import (
+    LEASE_BLOCK_TRIALS,
+    ExecBackend,
+    block_ranges,
+    build_task,
+    make_backend,
+)
+from repro.exec.batching import Batch, available_cpus, derive_seed
+from repro.exec.checkpoint import CheckpointWriter, campaign_fingerprint
+from repro.exec.runner import (
+    ExecPolicy,
+    InterruptGuard,
+    _assemble,
+    _covered,
+    _load_resume,
+)
+from repro.obs import current
+
+_POLL_S = 0.02
+
+
+@dataclass(frozen=True)
+class Shard:
+    """A contiguous, block-aligned slice of a campaign's trials."""
+
+    id: int
+    start: int
+    size: int
+
+    @property
+    def stop(self) -> int:
+        return self.start + self.size
+
+
+def plan_shards(
+    trials: int, shards: int, block: int = LEASE_BLOCK_TRIALS
+) -> tuple[Shard, ...]:
+    """Split ``trials`` into at most ``shards`` block-aligned shards.
+
+    Shard boundaries are multiples of ``block`` (the final shard may end
+    short at ``trials``), and blocks are distributed as evenly as the
+    block count allows; a campaign smaller than ``shards`` blocks gets
+    one shard per block.  The plan is a pure function of its arguments —
+    resume re-derives the identical plan.
+    """
+    if trials < 1:
+        raise ExecutionError(f"trials must be >= 1, got {trials}")
+    if shards < 1:
+        raise ExecutionError(f"shards must be >= 1, got {shards}")
+    if block < 1:
+        raise ExecutionError(f"block must be >= 1, got {block}")
+    n_blocks = (trials + block - 1) // block
+    shards = min(shards, n_blocks)
+    base, extra = divmod(n_blocks, shards)
+    plan: list[Shard] = []
+    position = 0
+    for index in range(shards):
+        blocks = base + (1 if index < extra else 0)
+        start = position * block
+        stop = min((position + blocks) * block, trials)
+        plan.append(Shard(index, start, stop - start))
+        position += blocks
+    return tuple(plan)
+
+
+def uncovered_ranges(
+    start: int,
+    size: int,
+    done: dict,
+    combine: Callable | None,
+    block: int = LEASE_BLOCK_TRIALS,
+) -> list[tuple[int, int]]:
+    """Block-aligned sub-ranges of ``[start, start+size)`` not in ``done``.
+
+    Consecutive uncovered blocks merge into one contiguous range (one
+    lease can serve them in a single pass).  Coverage is judged per
+    block via the runner's chain search, so checkpoint entries written
+    at any batch size count as long as they tile whole blocks.
+    """
+    missing: list[tuple[int, int]] = []
+    for bstart, bsize in block_ranges(start, size, block):
+        if _covered(Batch(bstart, bsize), done, combine):
+            continue
+        if missing and missing[-1][0] + missing[-1][1] == bstart:
+            last_start, last_size = missing[-1]
+            missing[-1] = (last_start, last_size + bsize)
+        else:
+            missing.append((bstart, bsize))
+    return missing
+
+
+@dataclass
+class ShardReport:
+    """What the shard supervisor did to complete one campaign."""
+
+    trials: int
+    shards: int
+    block: int
+    slots: int
+    backend: str
+    leases_granted: int = 0
+    redispatches: int = 0
+    lease_expiries: int = 0
+    shard_crashes: int = 0
+    serial_rescue_blocks: int = 0
+    partials: int = 0
+    partials_from_checkpoint: int = 0
+    heartbeats: int = 0
+    backend_abandoned: bool = False
+    corrupt_checkpoint_lines: int = 0
+    checkpoint_path: str | None = None
+    manifest_path: str | None = None
+    elapsed_s: float = 0.0
+
+    @property
+    def workers(self) -> int:
+        """Slot count, under the name the CLI report plumbing expects."""
+        return self.slots
+
+
+@dataclass
+class _Lease:
+    id: int
+    shard: int
+    start: int
+    size: int
+    attempt: int
+    slot: int
+    last_beat: float = field(default_factory=time.monotonic)
+
+    def message(self) -> dict:
+        return {
+            "type": "lease",
+            "id": self.id,
+            "shard": self.shard,
+            "start": self.start,
+            "size": self.size,
+            "attempt": self.attempt,
+        }
+
+
+def run_sharded(
+    task: Callable[[int, int, int], Any] | None = None,
+    *,
+    trials: int,
+    seed: int,
+    kind: str,
+    params: dict | None = None,
+    policy: ExecPolicy | None = None,
+    shards: int = 0,
+    backend: str | ExecBackend = "local",
+    task_spec: dict | None = None,
+    combine: Callable[[Any, Any], Any] | None = None,
+    checkpoint: str | None = None,
+    resume: str | None = None,
+    chaos=None,
+    block: int = LEASE_BLOCK_TRIALS,
+) -> tuple[list[Any], ShardReport]:
+    """Run a campaign as shard leases over an execution backend.
+
+    ``task``/``task_spec`` follow :func:`~repro.exec.backend.make_backend`;
+    ``combine`` is required (partial aggregates arrive per block and must
+    merge).  Returns ``(payloads, report)`` with one payload per planned
+    shard, in trial order — the same shape ``run_supervised`` returns
+    for its batch plan, so campaign aggregation code is shared.
+    """
+    if combine is None:
+        raise ExecutionError("run_sharded requires a combine function")
+    policy = policy or ExecPolicy()
+    if shards < 0:
+        raise ExecutionError(f"shards must be >= 0, got {shards}")
+    n_blocks = (trials + block - 1) // block
+    shards = shards or min(max(2, available_cpus()), n_blocks)
+    plan = plan_shards(trials, shards, block)
+    slots = min(policy.workers or min(len(plan), available_cpus()), len(plan))
+    slots = max(1, slots)
+    local_task = task if task is not None else build_task(task_spec or {})
+    fingerprint = campaign_fingerprint(kind, seed, trials, params or {})
+    rec = current()
+    report = ShardReport(
+        trials=trials,
+        shards=len(plan),
+        block=block,
+        slots=slots,
+        backend=backend if isinstance(backend, str) else backend.name,
+    )
+
+    done: dict[tuple[int, int], Any] = {}
+    writer: CheckpointWriter | None = None
+    t0 = time.perf_counter()
+    with rec.span(
+        "exec.shards",
+        kind=kind,
+        trials=trials,
+        shards=len(plan),
+        slots=slots,
+        backend=report.backend,
+        fingerprint=fingerprint,
+    ), InterruptGuard() as guard:
+        if resume is not None:
+            _load_resume(resume, fingerprint, done, report, rec)
+            report.partials_from_checkpoint = len(done)
+        checkpoint_path = checkpoint or resume
+        if checkpoint_path is not None:
+            fresh = not (
+                resume is not None
+                and os.path.exists(resume)
+                and checkpoint_path == resume
+            )
+            writer = CheckpointWriter(
+                checkpoint_path, fingerprint, trials, seed, fresh=fresh
+            )
+            report.checkpoint_path = checkpoint_path
+
+        def bank(start: int, size: int, payload: Any, source: str) -> None:
+            if (start, size) in done:
+                return  # a raced re-dispatch finished the same block
+            done[(start, size)] = payload
+            report.partials += 1
+            if rec.enabled:
+                rec.counter("exec_partials_total").inc(source=source)
+            if writer is not None:
+                writer.record(start, size, payload)
+                if (
+                    chaos is not None
+                    and getattr(chaos, "interrupt_after_partials", None)
+                    is not None
+                    and writer.batches_written >= chaos.interrupt_after_partials
+                ):
+                    from repro.errors import CampaignInterrupted
+
+                    rec.decision(
+                        "exec", "interrupted", subject=kind,
+                        reason="chaos: interrupt_after_partials reached",
+                        partials_written=writer.batches_written,
+                    )
+                    raise CampaignInterrupted(
+                        f"chaos interrupt after {writer.batches_written} "
+                        f"checkpointed partials"
+                    )
+            guard.check(rec, kind)
+
+        rec.decision(
+            "exec", "shard_plan", subject=kind,
+            reason="campaign split into block-aligned shard leases",
+            shards=len(plan), block=block, slots=slots,
+            backend=report.backend,
+        )
+        try:
+            _supervise(
+                plan, policy, backend, task, task_spec, local_task, seed,
+                chaos, block, combine, done, bank, report, rec, guard,
+            )
+            # Every shard must now assemble from banked ranges.
+            payloads = [
+                _assemble(Batch(s.start, s.size), done, combine) for s in plan
+            ]
+            if writer is not None:
+                report.manifest_path = writer.write_manifest(
+                    {
+                        "kind": kind,
+                        "shards": len(plan),
+                        "backend": report.backend,
+                    }
+                )
+            rec.decision(
+                "exec", "complete", subject=kind,
+                reason="all shards accounted for",
+                shards=len(plan),
+                redispatches=report.redispatches,
+                from_checkpoint=report.partials_from_checkpoint,
+            )
+        except BaseException:
+            if writer is not None:
+                report.manifest_path = writer.write_manifest(
+                    {
+                        "kind": kind,
+                        "shards": len(plan),
+                        "backend": report.backend,
+                        "interrupted": True,
+                    },
+                    complete=False,
+                )
+            raise
+        finally:
+            if writer is not None:
+                writer.close()
+            report.elapsed_s = time.perf_counter() - t0
+    return payloads, report
+
+
+def _supervise(
+    plan, policy, backend, task, task_spec, local_task, seed, chaos, block,
+    combine, done, bank, report, rec, guard,
+) -> None:
+    """The lease event loop (see module docstring for the policy)."""
+    jitter_rng = random.Random(derive_seed(seed, 0, purpose="lease-jitter"))
+    failure_budget = policy.resolved_failure_budget()
+    heartbeat_timeout = policy.heartbeat_timeout
+
+    def rescue(start: int, size: int, reason: str) -> None:
+        """Run a range serially in-process, banking per-block partials."""
+        rec.decision(
+            "exec", "serial_fallback", subject=f"[{start},{start + size})",
+            reason=reason,
+        )
+        for bstart, bsize in uncovered_ranges(start, size, done, combine, block):
+            for pstart, psize in block_ranges(bstart, bsize, block):
+                try:
+                    payload = local_task(pstart, psize, seed)
+                except Exception as exc:
+                    raise ExecutionError(
+                        f"block [{pstart},{pstart + psize}) failed even in "
+                        f"serial rescue: {exc}"
+                    ) from exc
+                report.serial_rescue_blocks += 1
+                bank(pstart, psize, payload, "serial")
+
+    # Work queue: (shard_id, start, size, attempt); pop() -> plan order.
+    pending: list[tuple[int, int, int, int]] = []
+    for shard in reversed(plan):
+        for start, size in reversed(
+            uncovered_ranges(shard.start, shard.size, done, combine, block)
+        ):
+            pending.append((shard.id, start, size, 1))
+    retry_heap: list[tuple[float, int, int, int, int, int]] = []
+    retry_tiebreak = 0
+    failures = 0
+    next_lease_id = 0
+    inflight: dict[int, _Lease] = {}  # lease id -> lease
+    slot_lease: dict[int, int] = {}  # slot id -> lease id
+
+    if not pending:
+        return  # checkpoint already covers the campaign
+
+    exec_backend = (
+        backend
+        if isinstance(backend, ExecBackend)
+        else make_backend(
+            backend,
+            task=task,
+            task_spec=task_spec,
+            seed=seed,
+            chaos=chaos,
+            block=block,
+        )
+    )
+
+    def fail_lease(lease: _Lease, cause: str) -> None:
+        nonlocal retry_tiebreak
+        slot_lease.pop(lease.slot, None)
+        inflight.pop(lease.id, None)
+        remainder = uncovered_ranges(
+            lease.start, lease.size, done, combine, block
+        )
+        if not remainder:
+            return  # every block landed before the lease died
+        if lease.attempt >= policy.max_attempts:
+            for start, size in remainder:
+                rescue(
+                    start, size,
+                    f"{cause}; lease attempts exhausted, running in-process",
+                )
+            return
+        delay = min(
+            policy.backoff_max,
+            policy.backoff_base * (2 ** (lease.attempt - 1)),
+        )
+        delay *= 1.0 + policy.backoff_jitter * jitter_rng.random()
+        report.redispatches += len(remainder)
+        if rec.enabled:
+            rec.counter("exec_redispatch_total").inc(len(remainder))
+        for start, size in remainder:
+            rec.decision(
+                "exec", "redispatch", subject=f"[{start},{start + size})",
+                reason=f"{cause}; re-dispatching uncovered remainder "
+                "with backoff",
+                shard=lease.shard, attempt=lease.attempt + 1,
+                delay_s=round(delay, 4),
+            )
+            retry_tiebreak += 1
+            heapq.heappush(
+                retry_heap,
+                (
+                    time.monotonic() + delay, retry_tiebreak,
+                    lease.shard, start, size, lease.attempt + 1,
+                ),
+            )
+
+    try:
+        abandoned = False
+        while pending or retry_heap or inflight:
+            guard.check(rec, "shards")
+            now = time.monotonic()
+            while retry_heap and retry_heap[0][0] <= now:
+                _, _, shard_id, start, size, attempt = heapq.heappop(retry_heap)
+                pending.append((shard_id, start, size, attempt))
+
+            if not abandoned and failures >= failure_budget:
+                abandoned = True
+                report.backend_abandoned = True
+                rec.decision(
+                    "exec", "backend_abandoned",
+                    reason=f"{failures} slot failures >= budget "
+                    f"{failure_budget}; finishing serially",
+                    backend=report.backend,
+                )
+                exec_backend.shutdown()
+                for lease in list(inflight.values()):
+                    pending.append(
+                        (lease.shard, lease.start, lease.size, lease.attempt)
+                    )
+                inflight.clear()
+                slot_lease.clear()
+                while retry_heap:
+                    _, _, shard_id, start, size, attempt = heapq.heappop(
+                        retry_heap
+                    )
+                    pending.append((shard_id, start, size, attempt))
+
+            if abandoned:
+                while pending:
+                    shard_id, start, size, _ = pending.pop()
+                    rescue(start, size, "backend abandoned")
+                break
+
+            # Keep enough live slots for the work still queued.
+            want = min(
+                report.slots, len(inflight) + len(pending) + len(retry_heap)
+            )
+            while len(exec_backend.live_slots()) < want:
+                exec_backend.spawn_slot()
+            idle = [
+                s for s in exec_backend.live_slots() if s not in slot_lease
+            ]
+            for slot in idle:
+                if not pending:
+                    break
+                shard_id, start, size, attempt = pending.pop()
+                remainder = uncovered_ranges(start, size, done, combine, block)
+                for rstart, rsize in remainder[1:]:
+                    pending.append((shard_id, rstart, rsize, attempt))
+                if not remainder:
+                    continue  # a raced completion covered it meanwhile
+                start, size = remainder[0]
+                lease = _Lease(
+                    id=next_lease_id, shard=shard_id, start=start,
+                    size=size, attempt=attempt, slot=slot,
+                )
+                next_lease_id += 1
+                inflight[lease.id] = lease
+                slot_lease[slot] = lease.id
+                report.leases_granted += 1
+                rec.decision(
+                    "exec", "lease_grant", subject=f"[{start},{start + size})",
+                    reason="shard lease granted to backend slot",
+                    shard=shard_id, slot=slot, attempt=attempt,
+                    lease=lease.id,
+                )
+                if rec.enabled:
+                    rec.counter("exec_leases_total").inc()
+                exec_backend.dispatch(slot, lease.message())
+
+            for event in exec_backend.poll(_POLL_S):
+                if event.kind == "exit":
+                    lease_id = slot_lease.pop(event.slot, None)
+                    if lease_id is None:
+                        continue  # an idle slot died; replaced next pass
+                    lease = inflight[lease_id]
+                    failures += 1
+                    report.shard_crashes += 1
+                    rec.decision(
+                        "exec", "shard_crash",
+                        subject=f"[{lease.start},{lease.start + lease.size})",
+                        reason=f"slot {event.slot} exited "
+                        f"(code {event.exitcode}) mid-lease",
+                        shard=lease.shard, lease=lease.id,
+                    )
+                    if rec.enabled:
+                        rec.counter("exec_shard_crashes_total").inc()
+                    fail_lease(lease, "shard slot crashed")
+                    continue
+                message = event.message or {}
+                mtype = message.get("type")
+                if mtype == "ready":
+                    continue
+                lease = inflight.get(message.get("lease"))
+                if lease is None:
+                    continue  # late message from a superseded lease
+                lease.last_beat = time.monotonic()
+                if mtype == "heartbeat":
+                    report.heartbeats += 1
+                elif mtype == "partial":
+                    bank(
+                        message["start"], message["size"],
+                        message["payload"], "lease",
+                    )
+                elif mtype == "done":
+                    inflight.pop(lease.id, None)
+                    slot_lease.pop(lease.slot, None)
+                    rec.decision(
+                        "exec", "lease_done",
+                        subject=f"[{lease.start},{lease.start + lease.size})",
+                        reason="lease served to completion",
+                        shard=lease.shard, lease=lease.id, slot=lease.slot,
+                    )
+                elif mtype == "error":
+                    failures += 1
+                    rec.decision(
+                        "exec", "lease_error",
+                        subject=f"[{lease.start},{lease.start + lease.size})",
+                        reason="worker raised inside the lease",
+                        detail=str(message.get("detail", ""))[-400:],
+                        shard=lease.shard, lease=lease.id,
+                    )
+                    exec_backend.kill(lease.slot)
+                    fail_lease(lease, "lease error")
+
+            if heartbeat_timeout is not None:
+                now = time.monotonic()
+                for lease in list(inflight.values()):
+                    if now - lease.last_beat <= heartbeat_timeout:
+                        continue
+                    failures += 1
+                    report.lease_expiries += 1
+                    rec.decision(
+                        "exec", "lease_expired",
+                        subject=f"[{lease.start},{lease.start + lease.size})",
+                        reason=f"no heartbeat for {heartbeat_timeout:.3f}s; "
+                        f"killing slot {lease.slot} and re-dispatching",
+                        shard=lease.shard, lease=lease.id, slot=lease.slot,
+                    )
+                    if rec.enabled:
+                        rec.counter("exec_lease_expiries_total").inc()
+                    exec_backend.kill(lease.slot)
+                    fail_lease(lease, "lease heartbeat expired")
+    finally:
+        exec_backend.shutdown()

@@ -1,0 +1,288 @@
+"""The subprocess shard transport: isolated workers over NDJSON pipes.
+
+:class:`SubprocessBackend` launches each slot as a fresh
+``python -m repro exec shard-worker`` interpreter and speaks a
+line-oriented JSON protocol over its stdin/stdout:
+
+* supervisor -> worker: one ``hello`` line (task spec, campaign seed,
+  serialized chaos plan, block size), then ``lease`` lines, then an
+  optional ``shutdown``;
+* worker -> supervisor: ``ready`` after the hello, then the
+  :func:`repro.exec.backend.serve_lease` stream — ``heartbeat`` /
+  ``partial`` / ``done`` / ``error`` lines.
+
+Nothing crosses the boundary except JSON, so a campaign that completes
+on this backend is proven serializable end to end — the contract a
+future SSH or container transport inherits unchanged.  The supervisor
+reads worker stdout with raw nonblocking ``os.read`` under a
+``selectors`` loop (never the buffered reader — buffered bytes are
+invisible to the selector) and treats EOF as slot death, mirroring the
+fork transport's private-pipe crash signal.
+
+:func:`shard_worker_main` is the worker side, mounted at
+``python -m repro exec shard-worker``; it rebuilds the task from the
+spec (:func:`repro.exec.backend.build_task`) and serves leases until
+EOF or ``shutdown``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import selectors
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.errors import ExecutionError
+from repro.exec.backend import (
+    LEASE_BLOCK_TRIALS,
+    BackendEvent,
+    ExecBackend,
+    build_task,
+    serve_lease,
+)
+
+_JOIN_GRACE_S = 1.0
+_READ_CHUNK = 65536
+
+
+def _worker_env() -> dict[str, str]:
+    """Child env with the repro package importable.
+
+    The tests (and any source checkout) rely on ``PYTHONPATH=src``; an
+    installed package needs nothing.  Prepending this package's parent
+    directory covers both without caring which applies.
+    """
+    env = dict(os.environ)
+    package_root = str(Path(__file__).resolve().parent.parent.parent)
+    existing = env.get("PYTHONPATH", "")
+    if package_root not in existing.split(os.pathsep):
+        env["PYTHONPATH"] = (
+            package_root + (os.pathsep + existing if existing else "")
+        )
+    return env
+
+
+class _Slot:
+    """One worker subprocess plus its stdout line buffer."""
+
+    def __init__(self, slot_id: int, hello: bytes) -> None:
+        self.id = slot_id
+        self.buffer = bytearray()
+        self.process = subprocess.Popen(
+            [sys.executable, "-m", "repro", "exec", "shard-worker"],
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            env=_worker_env(),
+        )
+        os.set_blocking(self.process.stdout.fileno(), False)
+        self.write(hello)
+
+    def write(self, line: bytes) -> None:
+        try:
+            self.process.stdin.write(line)
+            self.process.stdin.flush()
+        except (OSError, ValueError, BrokenPipeError):
+            pass  # slot died; its EOF event reclaims the work
+
+    def kill(self) -> None:
+        if self.process.poll() is None:
+            self.process.kill()
+        try:
+            self.process.wait(_JOIN_GRACE_S)
+        except subprocess.TimeoutExpired:  # pragma: no cover - kill is final
+            pass
+        self.close()
+
+    def close(self) -> None:
+        for stream in (self.process.stdin, self.process.stdout):
+            try:
+                if stream is not None:
+                    stream.close()
+            except OSError:
+                pass
+
+
+class SubprocessBackend(ExecBackend):
+    """Shard backend #2: isolated ``repro exec shard-worker`` processes."""
+
+    name = "subprocess"
+
+    def __init__(
+        self,
+        task_spec: dict,
+        seed: int,
+        chaos=None,
+        block: int = LEASE_BLOCK_TRIALS,
+    ) -> None:
+        try:
+            chaos_dict = chaos.to_dict() if chaos is not None else None
+            self._hello = (
+                json.dumps(
+                    {
+                        "type": "hello",
+                        "spec": task_spec,
+                        "seed": seed,
+                        "chaos": chaos_dict,
+                        "block": block,
+                    },
+                    sort_keys=True,
+                ).encode("utf-8")
+                + b"\n"
+            )
+        except (TypeError, ValueError) as exc:
+            raise ExecutionError(
+                f"task spec is not JSON-serializable: {exc}"
+            ) from exc
+        self._slots: dict[int, _Slot] = {}
+        self._next_id = 0
+        self._selector = selectors.DefaultSelector()
+
+    def spawn_slot(self) -> int:
+        slot = _Slot(self._next_id, self._hello)
+        self._slots[slot.id] = slot
+        self._selector.register(
+            slot.process.stdout, selectors.EVENT_READ, slot
+        )
+        self._next_id += 1
+        return slot.id
+
+    def live_slots(self) -> list[int]:
+        return list(self._slots)
+
+    def dispatch(self, slot: int, lease: dict) -> None:
+        self._slots[slot].write(
+            json.dumps(lease, sort_keys=True).encode("utf-8") + b"\n"
+        )
+
+    def _drop(self, slot: _Slot, events: list[BackendEvent]) -> None:
+        try:
+            self._selector.unregister(slot.process.stdout)
+        except (KeyError, ValueError):
+            pass
+        exitcode = slot.process.poll()
+        slot.close()
+        del self._slots[slot.id]
+        events.append(BackendEvent("exit", slot.id, exitcode=exitcode))
+
+    def poll(self, timeout: float) -> list[BackendEvent]:
+        events: list[BackendEvent] = []
+        if not self._slots:
+            time.sleep(timeout)
+            return events
+        for key, _mask in self._selector.select(timeout):
+            slot: _Slot = key.data
+            if slot.id not in self._slots:
+                continue
+            try:
+                chunk = os.read(slot.process.stdout.fileno(), _READ_CHUNK)
+            except (OSError, ValueError):
+                chunk = b""
+            except BlockingIOError:  # pragma: no cover - select said ready
+                continue
+            if not chunk:
+                self._drop(slot, events)
+                continue
+            slot.buffer.extend(chunk)
+            while True:
+                newline = slot.buffer.find(b"\n")
+                if newline < 0:
+                    break
+                line = bytes(slot.buffer[:newline])
+                del slot.buffer[: newline + 1]
+                if not line.strip():
+                    continue
+                try:
+                    message = json.loads(line)
+                except json.JSONDecodeError:
+                    # A torn line can only be the slot's last words.
+                    continue
+                if isinstance(message, dict):
+                    events.append(
+                        BackendEvent("message", slot.id, message=message)
+                    )
+        return events
+
+    def kill(self, slot: int) -> None:
+        victim = self._slots.pop(slot, None)
+        if victim is not None:
+            try:
+                self._selector.unregister(victim.process.stdout)
+            except (KeyError, ValueError):
+                pass
+            victim.kill()
+
+    def shutdown(self) -> None:
+        shutdown_line = b'{"type": "shutdown"}\n'
+        for slot in self._slots.values():
+            slot.write(shutdown_line)
+        deadline = time.monotonic() + _JOIN_GRACE_S
+        for slot in list(self._slots.values()):
+            try:
+                slot.process.wait(max(0.0, deadline - time.monotonic()))
+            except subprocess.TimeoutExpired:
+                slot.process.kill()
+            try:
+                self._selector.unregister(slot.process.stdout)
+            except (KeyError, ValueError):
+                pass
+            slot.close()
+        self._slots.clear()
+        self._selector.close()
+
+
+# ----------------------------------------------------------------------
+# The worker side: python -m repro exec shard-worker
+# ----------------------------------------------------------------------
+def shard_worker_main(stdin=None, stdout=None) -> int:
+    """Serve shard leases over stdin/stdout until EOF or ``shutdown``.
+
+    Exit codes: 0 on clean shutdown/EOF, 2 on a malformed hello (the
+    spec could not be rebuilt — a config error, not a trial failure).
+    Trial errors never exit; they flow back as ``error`` messages so
+    the supervisor can retry or escalate.
+    """
+    from repro.exec.chaos import ShardChaos
+
+    stdin = stdin if stdin is not None else sys.stdin
+    stdout = stdout if stdout is not None else sys.stdout
+
+    def emit(message: dict) -> None:
+        stdout.write(json.dumps(message, sort_keys=True) + "\n")
+        stdout.flush()
+
+    hello_line = stdin.readline()
+    if not hello_line:
+        return 0
+    try:
+        hello = json.loads(hello_line)
+        if hello.get("type") != "hello":
+            raise ValueError(f"expected hello, got {hello.get('type')!r}")
+        task = build_task(hello["spec"])
+        seed = int(hello["seed"])
+        block = int(hello.get("block") or LEASE_BLOCK_TRIALS)
+        chaos = (
+            ShardChaos.from_dict(hello["chaos"])
+            if hello.get("chaos")
+            else None
+        )
+    except Exception as exc:
+        emit({"type": "error", "lease": None, "detail": f"bad hello: {exc}"})
+        return 2
+    emit({"type": "ready"})
+    for line in stdin:
+        if not line.strip():
+            continue
+        try:
+            message = json.loads(line)
+        except json.JSONDecodeError:
+            continue  # a torn supervisor line; nothing to serve
+        if message.get("type") == "shutdown":
+            return 0
+        if message.get("type") != "lease":
+            continue
+        serve_lease(task, seed, message, emit, chaos=chaos, block=block)
+    return 0

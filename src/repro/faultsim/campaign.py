@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 from repro.errors import SimulationError
 from repro.exec.batching import derive_seed
 from repro.exec.runner import ExecPolicy, ExecReport, run_supervised
+from repro.exec.shards import ShardReport, run_sharded
 from repro.faultsim.engine import record_engine_decision, resolve_engine
 from repro.faultsim.propagation import compile_adjacency, propagate_once
 from repro.influence.influence_graph import InfluenceGraph
@@ -70,7 +71,7 @@ class CampaignResult:
     engine: str = field(default="scalar", compare=False)
     elapsed_s: float = field(default=0.0, compare=False)
     trials_per_s: float = field(default=0.0, compare=False)
-    exec_report: ExecReport | None = field(
+    exec_report: ExecReport | ShardReport | None = field(
         default=None, compare=False, repr=False
     )
 
@@ -152,6 +153,27 @@ def _vector_batch_task(graph, names, cluster_of, clusters):
     return run_batch
 
 
+def _task_from_params(params: dict):
+    """Rebuild a campaign batch task from a JSON task spec.
+
+    This is the factory behind the shard task-spec entry
+    ``"repro.faultsim.campaign:_task_from_params"``: a subprocess shard
+    worker receives only JSON (serialized graph, partition, resolved
+    engine — never ``"auto"``, so every worker runs the exact stream the
+    supervisor fingerprinted) and rebuilds the same closure the
+    in-process path uses.
+    """
+    from repro.io.serialization import graph_from_dict
+
+    graph = graph_from_dict(params["graph"])
+    partition = [list(block) for block in params["partition"]]
+    cluster_of = _check_partition(graph, partition)
+    names = graph.fcm_names()
+    if params["engine"] == "vector":
+        return _vector_batch_task(graph, names, cluster_of, len(partition))
+    return _scalar_batch_task(graph, names, cluster_of)
+
+
 def run_campaign(
     graph: InfluenceGraph,
     partition: list[list[str]],
@@ -162,6 +184,8 @@ def run_campaign(
     resume: str | None = None,
     chaos=None,
     engine: str = "auto",
+    backend: str | None = None,
+    shards: int = 0,
 ) -> CampaignResult:
     """Seed ``trials`` faults uniformly over FCMs and measure spread.
 
@@ -175,6 +199,15 @@ def run_campaign(
     scalar engine seeds trial ``t`` with ``derive_seed(seed, t)``, the
     vector engine draws fixed RNG blocks — neither depends on ``policy``
     (workers, batch size), retries, or checkpoint/resume history.
+
+    ``backend``/``shards`` route the campaign through the shard-lease
+    supervisor (:func:`repro.exec.shards.run_sharded`) instead of the
+    batch pool: ``backend`` picks the transport (``"local"`` forked
+    slots or ``"subprocess"`` isolated interpreters), ``shards`` the
+    block-aligned split.  Checkpoints are interchangeable between the
+    two paths (same fingerprint, same record format), and the result is
+    bit-identical either way — ``chaos`` should then be a
+    :class:`~repro.exec.chaos.ShardChaos`.
     """
     if trials < 1:
         raise SimulationError("trials must be >= 1")
@@ -201,22 +234,52 @@ def run_campaign(
         workers=policy.workers,
         engine=choice.engine,
     ):
-        payloads, exec_report = run_supervised(
-            run_batch,
-            trials=trials,
-            seed=seed,
-            kind="faultsim",
-            params={
-                "fcms": sorted(names),
-                "clusters": len(partition),
-                "engine": choice.engine,
-            },
-            policy=policy,
-            combine=_combine,
-            checkpoint=checkpoint,
-            resume=resume,
-            chaos=chaos,
-        )
+        campaign_params = {
+            "fcms": sorted(names),
+            "clusters": len(partition),
+            "engine": choice.engine,
+        }
+        if backend is not None or shards > 0:
+            task_spec = None
+            if backend == "subprocess":
+                from repro.io.serialization import graph_to_dict
+
+                task_spec = {
+                    "entry": "repro.faultsim.campaign:_task_from_params",
+                    "params": {
+                        "graph": graph_to_dict(graph),
+                        "partition": [list(block) for block in partition],
+                        "engine": choice.engine,
+                    },
+                }
+            payloads, exec_report = run_sharded(
+                run_batch,
+                trials=trials,
+                seed=seed,
+                kind="faultsim",
+                params=campaign_params,
+                policy=policy,
+                shards=shards,
+                backend=backend or "local",
+                task_spec=task_spec,
+                combine=_combine,
+                checkpoint=checkpoint,
+                resume=resume,
+                chaos=chaos,
+            )
+        else:
+            payloads, exec_report = run_supervised(
+                run_batch,
+                trials=trials,
+                seed=seed,
+                kind="faultsim",
+                params=campaign_params,
+                policy=policy,
+                combine=_combine,
+                checkpoint=checkpoint,
+                resume=resume,
+                chaos=chaos,
+            )
         spread_hist = (
             rec.histogram("faultsim_affected_fcms", buckets=DEFAULT_COUNT_BUCKETS)
             if rec.enabled

@@ -8,6 +8,8 @@ from repro.io.serialization import (
     dump_hw,
     dump_outcome,
     dump_system,
+    graph_from_dict,
+    graph_to_dict,
     hw_from_dict,
     hw_to_dict,
     influence_to_dict,
@@ -33,6 +35,8 @@ __all__ = [
     "dump_hw",
     "dump_outcome",
     "dump_system",
+    "graph_from_dict",
+    "graph_to_dict",
     "hw_from_dict",
     "hw_to_dict",
     "influence_to_dot",

@@ -135,6 +135,59 @@ def _load_influence(
         graph.link_replicas(a, b)
 
 
+FORMAT_GRAPH = "ddsi-influence-graph"
+
+
+def graph_to_dict(graph: InfluenceGraph) -> dict[str, Any]:
+    """Serialize a standalone influence graph, FCM nodes included.
+
+    :func:`influence_to_dict` captures only edges (the system document
+    stores FCMs separately); this captures the whole graph, so a worker
+    process can rebuild it from JSON alone — the shard-campaign task
+    spec crossing the subprocess transport depends on it.
+    """
+    document = {
+        "format": FORMAT_GRAPH,
+        "version": VERSION,
+        "fcms": [
+            {
+                "name": fcm.name,
+                "level": fcm.level.name,
+                "attributes": attributes_to_dict(fcm.attributes),
+                "stateless": fcm.stateless,
+                "replica_of": fcm.replica_of,
+            }
+            for fcm in graph.fcms()
+        ],
+    }
+    document.update(influence_to_dict(graph))
+    return document
+
+
+def graph_from_dict(data: dict[str, Any]) -> InfluenceGraph:
+    """Rebuild a standalone influence graph from :func:`graph_to_dict`."""
+    _check_header(data, FORMAT_GRAPH)
+    graph = InfluenceGraph()
+    for entry in data.get("fcms", []):
+        try:
+            level = Level[entry["level"]]
+        except KeyError as exc:
+            raise SerializationError(
+                f"unknown level {entry.get('level')!r}"
+            ) from exc
+        graph.add_fcm(
+            FCM(
+                name=entry["name"],
+                level=level,
+                attributes=attributes_from_dict(entry.get("attributes", {})),
+                stateless=entry.get("stateless", True),
+                replica_of=entry.get("replica_of"),
+            )
+        )
+    _load_influence(graph, data)
+    return graph
+
+
 # ----------------------------------------------------------------------
 # Systems
 # ----------------------------------------------------------------------

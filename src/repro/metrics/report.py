@@ -198,6 +198,40 @@ def render_exec_report(report) -> str:
     return "\n".join(lines)
 
 
+def render_shard_report(report) -> str:
+    """Summary of a :class:`~repro.exec.ShardReport` (sharded campaigns).
+
+    Shows the shard/lease shape and everything the supervisor had to do
+    beyond the happy path: expiries, re-dispatches, crashes, rescues.
+    """
+    lines = [
+        f"shards: {report.shards} x {report.block}-trial blocks over "
+        f"'{report.backend}' backend · slots {report.slots} · "
+        f"{report.leases_granted} leases · {report.partials} partials "
+        f"({report.partials_from_checkpoint} from checkpoint)"
+    ]
+    events = []
+    if report.lease_expiries:
+        events.append(f"lease expiries {report.lease_expiries}")
+    if report.redispatches:
+        events.append(f"redispatches {report.redispatches}")
+    if report.shard_crashes:
+        events.append(f"shard crashes {report.shard_crashes}")
+    if report.serial_rescue_blocks:
+        events.append(f"serial rescue blocks {report.serial_rescue_blocks}")
+    if report.backend_abandoned:
+        events.append("backend abandoned")
+    if report.corrupt_checkpoint_lines:
+        events.append(
+            f"corrupt checkpoint lines {report.corrupt_checkpoint_lines}"
+        )
+    if events:
+        lines.append("shard events: " + ", ".join(events))
+    if report.checkpoint_path:
+        lines.append(f"checkpoint: {report.checkpoint_path}")
+    return "\n".join(lines)
+
+
 def render_degradation(plan) -> str:
     """One degraded-mode plan as text (mapping table plus decisions)."""
     lines = list(plan.describe())

@@ -16,20 +16,31 @@ from repro.workloads import (
 )
 
 
+DEFAULT_TEST_TIMEOUT_S = 120
+
+
 @pytest.hookimpl(hookwrapper=True)
 def pytest_runtest_call(item):
     """Homegrown ``@pytest.mark.timeout(seconds)`` via SIGALRM.
 
-    The worker-pool tests supervise real child processes; a supervision
-    bug would otherwise hang the whole suite.  ``pytest-timeout`` is not
-    a dependency, so the guard is a plain alarm — main-thread, POSIX
-    only, which is exactly where these tests run.
+    The worker-pool and shard-backend tests supervise real child
+    processes; a supervision bug would otherwise hang the whole suite —
+    so every test gets a generous :data:`DEFAULT_TEST_TIMEOUT_S` alarm,
+    and ``@pytest.mark.timeout(N)`` tightens (or loosens) it per test.
+    ``pytest-timeout`` is not a dependency, so the guard is a plain
+    alarm — main-thread, POSIX only, which is exactly where these tests
+    run.
     """
-    marker = item.get_closest_marker("timeout")
-    if marker is None or not hasattr(signal, "SIGALRM"):
+    if not hasattr(signal, "SIGALRM"):
         yield
         return
-    seconds = int(marker.args[0]) if marker.args else 60
+    marker = item.get_closest_marker("timeout")
+    if marker is None:
+        seconds = DEFAULT_TEST_TIMEOUT_S
+    else:
+        seconds = (
+            int(marker.args[0]) if marker.args else DEFAULT_TEST_TIMEOUT_S
+        )
 
     def on_alarm(signum, frame):
         raise TimeoutError(

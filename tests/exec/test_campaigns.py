@@ -125,6 +125,132 @@ class TestResilienceAcceptance:
         assert resumed.exec_report.batches_from_checkpoint >= 2
 
 
+class TestResumeWorkerInvariance:
+    """A checkpoint written under one worker count resumes under any."""
+
+    def _interrupted_checkpoint(self, path: str, workers: int) -> None:
+        graph = paper_influence_graph()
+        partition = [[name] for name in graph.fcm_names()]
+        with pytest.raises(CampaignInterrupted):
+            run_campaign(
+                graph, partition, trials=80, seed=13,
+                policy=ExecPolicy(workers=workers, batch_size=9),
+                checkpoint=path,
+                chaos=ChaosPlan(interrupt_after_batches=4),
+            )
+
+    @pytest.mark.timeout(120)
+    def test_serial_checkpoint_resumed_by_pool(self, tmp_path):
+        graph = paper_influence_graph()
+        partition = [[name] for name in graph.fcm_names()]
+        baseline = run_campaign(graph, partition, trials=80, seed=13)
+        path = str(tmp_path / "serial-to-pool.ndjson")
+        self._interrupted_checkpoint(path, workers=0)
+        resumed = run_campaign(
+            graph, partition, trials=80, seed=13,
+            policy=ExecPolicy(workers=4, batch_size=9), resume=path,
+        )
+        assert_field_for_field(baseline, resumed)
+        assert resumed.exec_report.batches_from_checkpoint == 4
+
+    @pytest.mark.timeout(120)
+    def test_pool_checkpoint_resumed_serially(self, tmp_path):
+        graph = paper_influence_graph()
+        partition = [[name] for name in graph.fcm_names()]
+        baseline = run_campaign(graph, partition, trials=80, seed=13)
+        path = str(tmp_path / "pool-to-serial.ndjson")
+        self._interrupted_checkpoint(path, workers=4)
+        resumed = run_campaign(
+            graph, partition, trials=80, seed=13,
+            policy=ExecPolicy(workers=0, batch_size=9), resume=path,
+        )
+        assert_field_for_field(baseline, resumed)
+        assert resumed.exec_report.batches_from_checkpoint >= 1
+
+    @pytest.mark.timeout(120)
+    def test_resume_with_different_batch_size_has_no_dead_ends(
+        self, tmp_path
+    ):
+        # Resuming with a batch size that does not divide the
+        # checkpointed ranges forces the all-decomposition chain search.
+        graph = paper_influence_graph()
+        partition = [[name] for name in graph.fcm_names()]
+        baseline = run_campaign(graph, partition, trials=80, seed=13)
+        path = str(tmp_path / "rebatched.ndjson")
+        self._interrupted_checkpoint(path, workers=1)
+        resumed = run_campaign(
+            graph, partition, trials=80, seed=13,
+            policy=ExecPolicy(workers=2, batch_size=13), resume=path,
+        )
+        assert_field_for_field(baseline, resumed)
+
+
+class TestShardedCampaigns:
+    """The shard supervisor reproduces serial campaigns bit-for-bit."""
+
+    @pytest.mark.timeout(120)
+    def test_sharded_local_identical_to_serial(self):
+        graph = paper_influence_graph()
+        partition = [[name] for name in graph.fcm_names()]
+        serial = run_campaign(graph, partition, trials=600, seed=21)
+        sharded = run_campaign(
+            graph, partition, trials=600, seed=21,
+            policy=ExecPolicy(workers=2), shards=2, backend="local",
+        )
+        assert_field_for_field(serial, sharded)
+        assert sharded.exec_report.backend == "local"
+        assert sharded.exec_report.shards == 2
+
+    @pytest.mark.timeout(120)
+    def test_shard_checkpoint_resumes_under_batch_runner(self, tmp_path):
+        """Checkpoints are interchangeable between the two exec paths."""
+        from repro.exec import ShardChaos
+
+        graph = paper_influence_graph()
+        partition = [[name] for name in graph.fcm_names()]
+        baseline = run_campaign(graph, partition, trials=600, seed=21)
+        path = str(tmp_path / "shard-to-batch.ndjson")
+        with pytest.raises(CampaignInterrupted):
+            run_campaign(
+                graph, partition, trials=600, seed=21,
+                policy=ExecPolicy(workers=2), shards=2, backend="local",
+                checkpoint=path,
+                chaos=ShardChaos(interrupt_after_partials=1),
+            )
+        # A block-sized batch plan reuses the banked 256-trial partials
+        # directly; any other batch size would recompute them but still
+        # produce the identical result.
+        resumed = run_campaign(
+            graph, partition, trials=600, seed=21,
+            policy=ExecPolicy(workers=2, batch_size=256), resume=path,
+        )
+        assert_field_for_field(baseline, resumed)
+        assert resumed.exec_report.batches_from_checkpoint >= 1
+
+    @pytest.mark.timeout(120)
+    def test_batch_checkpoint_resumes_under_shard_supervisor(
+        self, tmp_path
+    ):
+        graph = paper_influence_graph()
+        partition = [[name] for name in graph.fcm_names()]
+        baseline = run_campaign(graph, partition, trials=600, seed=21)
+        path = str(tmp_path / "batch-to-shard.ndjson")
+        with pytest.raises(CampaignInterrupted):
+            run_campaign(
+                graph, partition, trials=600, seed=21,
+                policy=ExecPolicy(workers=0, batch_size=64),
+                checkpoint=path,
+                chaos=ChaosPlan(interrupt_after_batches=4),
+            )
+        resumed = run_campaign(
+            graph, partition, trials=600, seed=21,
+            policy=ExecPolicy(workers=2), shards=2, backend="local",
+            resume=path,
+        )
+        assert_field_for_field(baseline, resumed)
+        assert resumed.exec_report.partials_from_checkpoint >= 1
+
+
 def _checkpointed_campaign(path: str) -> None:
     os.setsid()  # own process group, so killpg cannot touch the test runner
     run_resilience_campaign(

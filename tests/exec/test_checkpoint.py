@@ -148,3 +148,139 @@ class TestManifest:
         assert document["complete"] is True
         assert document["fingerprint"] == "fp1234"
         assert document["batches"] == 2
+
+
+class TestCoverageGaps:
+    def test_no_entries_one_gap(self):
+        from repro.exec import coverage_gaps
+
+        assert coverage_gaps({}, 100) == [(0, 100)]
+
+    def test_full_cover_no_gaps(self):
+        from repro.exec import coverage_gaps
+
+        assert coverage_gaps({(0, 50): 1, (50, 50): 2}, 100) == []
+
+    def test_interior_and_tail_gaps(self):
+        from repro.exec import coverage_gaps
+
+        gaps = coverage_gaps({(10, 20): 1, (50, 10): 2}, 100)
+        assert gaps == [(0, 10), (30, 50), (60, 100)]
+
+    def test_overlapping_entries_allowed(self):
+        from repro.exec import coverage_gaps
+
+        assert coverage_gaps({(0, 60): 1, (40, 60): 2}, 100) == []
+
+
+class TestValidateCheckpoint:
+    def test_valid_file_without_manifest(self, written):
+        from repro.exec import validate_checkpoint
+
+        problems, label = validate_checkpoint(written)
+        assert problems == []
+        assert label.startswith("repro-exec-checkpoint v1")
+
+    def test_torn_line_tolerated_in_label_not_problems(self, written):
+        from repro.exec import validate_checkpoint
+
+        truncate_file(written, 7)
+        problems, label = validate_checkpoint(written)
+        assert problems == []
+        assert "corrupt line" in label
+
+    def test_batch_beyond_trials_is_a_problem(self, tmp_path):
+        from repro.exec import validate_checkpoint
+
+        path = str(tmp_path / "over.ndjson")
+        writer = CheckpointWriter(path, "fp", trials=20, seed=1, fresh=True)
+        writer.record(0, 30, {"x": 1})
+        writer.close()
+        problems, _ = validate_checkpoint(path)
+        assert any("exceeds trials" in p for p in problems)
+
+    def test_missing_meta_is_a_problem(self, tmp_path):
+        from repro.exec import validate_checkpoint
+
+        path = str(tmp_path / "headless.ndjson")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(
+                json.dumps(
+                    {"type": "batch", "start": 0, "size": 5, "payload": 1}
+                )
+                + "\n"
+            )
+        problems, _ = validate_checkpoint(path)
+        assert any("no meta line" in p for p in problems)
+
+    def test_complete_manifest_over_full_cover_ok(self, written):
+        from repro.exec import validate_checkpoint
+
+        writer = CheckpointWriter(
+            written, "fp1234", trials=20, seed=3, fresh=False
+        )
+        writer.write_manifest()
+        writer.close()
+        problems, _ = validate_checkpoint(written)
+        assert problems == []
+
+    def test_complete_manifest_over_gaps_is_a_problem(self, tmp_path):
+        from repro.exec import validate_checkpoint
+
+        path = str(tmp_path / "gappy.ndjson")
+        writer = CheckpointWriter(path, "fp", trials=20, seed=1, fresh=True)
+        writer.record(0, 5, {"x": 1})
+        writer.write_manifest()  # claims complete over 5/20 trials
+        writer.close()
+        problems, _ = validate_checkpoint(path)
+        assert any("uncovered" in p for p in problems)
+
+    def test_interrupted_manifest_over_gaps_ok(self, tmp_path):
+        from repro.exec import validate_checkpoint
+
+        path = str(tmp_path / "interrupted.ndjson")
+        writer = CheckpointWriter(path, "fp", trials=20, seed=1, fresh=True)
+        writer.record(0, 5, {"x": 1})
+        writer.write_manifest({"interrupted": True}, complete=False)
+        writer.close()
+        problems, _ = validate_checkpoint(path)
+        assert problems == []
+
+    def test_manifest_identity_mismatch_is_a_problem(self, written):
+        from repro.exec import validate_checkpoint
+
+        manifest = written + ".manifest"
+        with open(manifest, "w", encoding="utf-8") as handle:
+            json.dump(
+                {
+                    "format": "repro-exec-checkpoint-manifest",
+                    "version": 1,
+                    "fingerprint": "OTHER",
+                    "trials": 20,
+                    "seed": 3,
+                    "complete": False,
+                },
+                handle,
+            )
+        problems, _ = validate_checkpoint(written)
+        assert any("fingerprint" in p for p in problems)
+
+    def test_unreadable_manifest_is_a_problem(self, written):
+        from repro.exec import validate_checkpoint
+
+        with open(written + ".manifest", "w", encoding="utf-8") as handle:
+            handle.write("{not json")
+        problems, _ = validate_checkpoint(written)
+        assert any("manifest unreadable" in p for p in problems)
+
+    def test_wrong_format_rejected_outright(self, tmp_path):
+        from repro.exec import validate_checkpoint
+
+        path = str(tmp_path / "trace.ndjson")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(
+                json.dumps({"type": "meta", "format": "repro-trace"}) + "\n"
+            )
+        problems, label = validate_checkpoint(path)
+        assert problems
+        assert label == "?"

@@ -139,3 +139,69 @@ class TestResilienceExecFlags:
         pooled = capsys.readouterr().out
         assert serial.strip().splitlines()[:9] == pooled.strip().splitlines()[:9]
         assert "exec:" in pooled
+
+
+class TestShardFlags:
+    @pytest.mark.timeout(120)
+    def test_sharded_run_matches_serial_and_prints_shard_footer(
+        self, capsys
+    ):
+        assert main(["faultsim", "--trials", "600", "--seed", "5"]) == 0
+        serial = capsys.readouterr().out
+        assert main(
+            ["faultsim", "--trials", "600", "--seed", "5",
+             "--backend", "local", "--shards", "2", "--workers", "2"]
+        ) == 0
+        sharded = capsys.readouterr().out
+        assert (
+            serial.strip().splitlines()[:7]
+            == sharded.strip().splitlines()[:7]
+        )
+        assert "shards:" in sharded
+        assert "'local' backend" in sharded
+
+    @pytest.mark.timeout(120)
+    def test_shards_alone_implies_shard_supervisor(self, capsys):
+        assert main(
+            ["faultsim", "--trials", "300", "--seed", "5", "--shards", "1"]
+        ) == 0
+        assert "shards:" in capsys.readouterr().out
+
+    def test_unknown_backend_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            main(["faultsim", "--trials", "10", "--backend", "telepathy"])
+
+    @pytest.mark.timeout(120)
+    def test_sharded_checkpoint_resume_roundtrip(self, tmp_path, capsys):
+        path = str(tmp_path / "cli-shards.ndjson")
+        assert main(
+            ["faultsim", "--trials", "600", "--seed", "5",
+             "--backend", "local", "--shards", "2", "--checkpoint", path]
+        ) == 0
+        first = capsys.readouterr().out
+        assert main(
+            ["faultsim", "--trials", "600", "--seed", "5",
+             "--backend", "local", "--shards", "2", "--resume", path]
+        ) == 0
+        second = capsys.readouterr().out
+        assert (
+            first.strip().splitlines()[:7]
+            == second.strip().splitlines()[:7]
+        )
+        manifest = json.loads(open(path + ".manifest").read())
+        assert manifest["complete"] is True
+        assert manifest["backend"] == "local"
+
+
+class TestShardChaosCommand:
+    @pytest.mark.timeout(300)
+    def test_shard_chaos_selftest_passes(self, tmp_path, capsys):
+        code = main(
+            ["exec", "chaos", "--shards", "2", "--workers", "2",
+             "--workdir", str(tmp_path)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "chaos self-test PASSED" in out
+        assert "[FAIL]" not in out
+        assert (tmp_path / "shard-chaos.ndjson").exists()

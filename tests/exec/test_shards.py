@@ -1,0 +1,242 @@
+"""Shard planning and the lease supervisor (`repro.exec.shards`)."""
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.exec import (
+    LEASE_BLOCK_TRIALS,
+    ExecPolicy,
+    ShardChaos,
+    plan_shards,
+    run_sharded,
+    uncovered_ranges,
+)
+from repro.exec.backend import combine_selftest, selftest_spec, selftest_task
+from repro.obs import Recorder, use
+
+SPEC = selftest_spec()
+TASK = selftest_task(SPEC["params"])
+
+
+def serial_reference(trials: int, seed: int) -> dict:
+    return TASK(0, trials, seed)
+
+
+def merge(payloads) -> dict:
+    merged = payloads[0]
+    for payload in payloads[1:]:
+        merged = combine_selftest(merged, payload)
+    return merged
+
+
+class TestPlanShards:
+    def test_lease_block_matches_kernel_rng_block(self):
+        """The whole bit-identity argument hangs on this equality."""
+        from repro.faultsim.kernel import DEFAULT_BLOCK_SIZE
+
+        assert LEASE_BLOCK_TRIALS == DEFAULT_BLOCK_SIZE
+
+    def test_boundaries_are_block_aligned(self):
+        plan = plan_shards(10_000, 7)
+        for shard in plan:
+            assert shard.start % LEASE_BLOCK_TRIALS == 0
+        assert plan[-1].stop == 10_000
+
+    def test_covers_every_trial_exactly_once(self):
+        plan = plan_shards(2500, 4, block=100)
+        position = 0
+        for shard in plan:
+            assert shard.start == position
+            position = shard.stop
+        assert position == 2500
+
+    def test_blocks_distributed_evenly(self):
+        plan = plan_shards(1000, 3, block=100)  # 10 blocks over 3 shards
+        sizes = [shard.size // 100 for shard in plan]
+        assert sizes == [4, 3, 3]
+
+    def test_more_shards_than_blocks_clamps(self):
+        plan = plan_shards(300, 16, block=256)  # 2 blocks only
+        assert len(plan) == 2
+        assert plan[1].size == 300 - 256
+
+    def test_pure_function_of_inputs(self):
+        assert plan_shards(999, 5, block=64) == plan_shards(999, 5, block=64)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ExecutionError):
+            plan_shards(0, 2)
+        with pytest.raises(ExecutionError):
+            plan_shards(100, 0)
+        with pytest.raises(ExecutionError):
+            plan_shards(100, 2, block=0)
+
+
+class TestUncoveredRanges:
+    def test_empty_done_returns_whole_range(self):
+        assert uncovered_ranges(0, 1024, {}, None, block=256) == [(0, 1024)]
+
+    def test_covered_blocks_skipped_and_gaps_merge(self):
+        done = {(256, 256): "x"}
+        assert uncovered_ranges(0, 1024, done, None, block=256) == [
+            (0, 256),
+            (512, 512),
+        ]
+
+    def test_split_entries_cover_a_block(self):
+        # Two half-block entries tile the block; the chain search must
+        # accept them even though no single entry spans it.
+        done = {(0, 128): {"values": []}, (128, 128): {"values": []}}
+        missing = uncovered_ranges(
+            0, 512, done, combine_selftest, block=256
+        )
+        assert missing == [(256, 256)]
+
+    def test_short_final_block(self):
+        assert uncovered_ranges(256, 100, {}, None, block=256) == [(256, 100)]
+
+
+class TestRunSharded:
+    @pytest.mark.timeout(60)
+    def test_identical_to_serial_any_shard_count(self):
+        reference = serial_reference(600, 11)
+        for shards in (1, 2, 3):
+            payloads, report = run_sharded(
+                TASK, trials=600, seed=11, kind="selftest",
+                params=SPEC["params"], policy=ExecPolicy(workers=2),
+                shards=shards, combine=combine_selftest,
+            )
+            assert merge(payloads) == reference
+            assert report.shards == min(shards, 3)
+
+    @pytest.mark.timeout(60)
+    def test_requires_combine(self):
+        with pytest.raises(ExecutionError):
+            run_sharded(TASK, trials=10, seed=1, kind="x", combine=None)
+
+    @pytest.mark.timeout(60)
+    def test_killed_shard_redispatched(self):
+        recorder = Recorder()
+        with use(recorder):
+            payloads, report = run_sharded(
+                TASK, trials=1024, seed=5, kind="selftest",
+                params=SPEC["params"],
+                policy=ExecPolicy(
+                    workers=2, backoff_base=0.01, backoff_max=0.02,
+                ),
+                shards=2, combine=combine_selftest,
+                chaos=ShardChaos(kill_shards=frozenset({1})),
+            )
+        assert merge(payloads) == serial_reference(1024, 5)
+        assert report.shard_crashes >= 1
+        assert report.redispatches >= 1
+        actions = {d.action for d in recorder.decisions if d.category == "exec"}
+        assert {"shard_crash", "redispatch"} <= actions
+
+    @pytest.mark.timeout(60)
+    def test_mid_lease_partials_survive_the_kill(self):
+        """A shard killed after its first block must not recompute it."""
+        recorder = Recorder()
+        with use(recorder):
+            payloads, report = run_sharded(
+                TASK, trials=1024, seed=5, kind="selftest",
+                params=SPEC["params"],
+                policy=ExecPolicy(
+                    workers=1, backoff_base=0.01, backoff_max=0.02,
+                ),
+                shards=1, combine=combine_selftest,
+                chaos=ShardChaos(kill_shards=frozenset({0})),
+            )
+        assert merge(payloads) == serial_reference(1024, 5)
+        assert report.partials == 1024 // LEASE_BLOCK_TRIALS
+        # The kill lands after block 0's partial streamed out, so the
+        # re-dispatched lease starts at block 1 — never back at 0.
+        redispatched = [
+            d for d in recorder.decisions if d.action == "redispatch"
+        ]
+        assert redispatched
+        assert all(
+            not d.subject.startswith("[0,") for d in redispatched
+        )
+
+    @pytest.mark.timeout(60)
+    def test_stalled_lease_expires_and_recovers(self):
+        recorder = Recorder()
+        with use(recorder):
+            payloads, report = run_sharded(
+                TASK, trials=512, seed=3, kind="selftest",
+                params=SPEC["params"],
+                policy=ExecPolicy(
+                    workers=2, heartbeat_timeout=0.3,
+                    backoff_base=0.01, backoff_max=0.02,
+                ),
+                shards=2, combine=combine_selftest,
+                chaos=ShardChaos(stall_shards=frozenset({0}), stall_s=30.0),
+            )
+        assert merge(payloads) == serial_reference(512, 3)
+        assert report.lease_expiries >= 1
+        actions = {d.action for d in recorder.decisions if d.category == "exec"}
+        assert "lease_expired" in actions
+
+    @pytest.mark.timeout(60)
+    def test_erroring_task_escalates_to_serial_rescue(self):
+        spec = selftest_spec()
+        calls = {"n": 0}
+
+        def flaky(start, size, seed):
+            calls["n"] += 1
+            raise ValueError("always broken in the worker")
+
+        # The task raises on every lease attempt; serial rescue would
+        # also fail, so the campaign must surface ExecutionError rather
+        # than hang or return short.
+        with pytest.raises(ExecutionError):
+            run_sharded(
+                flaky, trials=300, seed=2, kind="selftest",
+                params=spec["params"],
+                policy=ExecPolicy(
+                    workers=1, max_attempts=2,
+                    backoff_base=0.01, backoff_max=0.02,
+                ),
+                shards=1, combine=combine_selftest,
+            )
+
+    @pytest.mark.timeout(60)
+    def test_checkpoint_resume_skips_banked_partials(self, tmp_path):
+        from repro.errors import CampaignInterrupted
+
+        path = str(tmp_path / "shards.ndjson")
+        with pytest.raises(CampaignInterrupted):
+            run_sharded(
+                TASK, trials=1024, seed=7, kind="selftest",
+                params=SPEC["params"], policy=ExecPolicy(workers=2),
+                shards=2, combine=combine_selftest, checkpoint=path,
+                chaos=ShardChaos(interrupt_after_partials=2),
+            )
+        payloads, report = run_sharded(
+            TASK, trials=1024, seed=7, kind="selftest",
+            params=SPEC["params"], policy=ExecPolicy(workers=2),
+            shards=2, combine=combine_selftest, resume=path,
+        )
+        assert merge(payloads) == serial_reference(1024, 7)
+        assert report.partials_from_checkpoint >= 2
+        assert report.manifest_path is not None
+
+    @pytest.mark.timeout(60)
+    def test_interrupted_run_seals_incomplete_manifest(self, tmp_path):
+        import json
+
+        from repro.errors import CampaignInterrupted
+
+        path = str(tmp_path / "sealed.ndjson")
+        with pytest.raises(CampaignInterrupted):
+            run_sharded(
+                TASK, trials=1024, seed=7, kind="selftest",
+                params=SPEC["params"], policy=ExecPolicy(workers=2),
+                shards=2, combine=combine_selftest, checkpoint=path,
+                chaos=ShardChaos(interrupt_after_partials=1),
+            )
+        with open(path + ".manifest", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+        assert manifest["complete"] is False
+        assert manifest["interrupted"] is True

@@ -181,3 +181,52 @@ class TestOutcomeExport:
         assert data["scores"]["complete"] is True
         assert data["scores"]["cross_influence"] > 0
         assert any("condensed to" in note for note in data["notes"])
+
+
+class TestGraphRoundTrip:
+    """Standalone influence-graph serialization (shard task specs)."""
+
+    def test_paper_graph_round_trips_through_json(self):
+        from repro.io import graph_from_dict, graph_to_dict
+        from repro.workloads import paper_influence_graph
+
+        original = paper_influence_graph()
+        payload = json.loads(json.dumps(graph_to_dict(original)))
+        clone = graph_from_dict(payload)
+        assert clone.fcm_names() == original.fcm_names()
+        assert sorted(clone.influence_edges()) == sorted(
+            original.influence_edges()
+        )
+        for fcm in original.fcms():
+            twin = next(f for f in clone.fcms() if f.name == fcm.name)
+            assert twin.level == fcm.level
+            assert twin.attributes == fcm.attributes
+
+    def test_replica_links_survive(self):
+        from repro.allocation import expand_replication
+        from repro.io import graph_from_dict, graph_to_dict
+        from repro.workloads import paper_influence_graph
+
+        original = expand_replication(paper_influence_graph())
+        clone = graph_from_dict(graph_to_dict(original))
+        assert sorted(
+            sorted(g) for g in clone.replica_groups()
+        ) == sorted(sorted(g) for g in original.replica_groups())
+
+    def test_campaign_identical_after_round_trip(self):
+        from repro.faultsim.campaign import run_campaign
+        from repro.io import graph_from_dict, graph_to_dict
+        from repro.workloads import paper_influence_graph
+
+        original = paper_influence_graph()
+        clone = graph_from_dict(graph_to_dict(original))
+        partition = [[name] for name in original.fcm_names()]
+        a = run_campaign(original, partition, trials=50, seed=3)
+        b = run_campaign(clone, partition, trials=50, seed=3)
+        assert a == b
+
+    def test_wrong_format_rejected(self):
+        from repro.io import graph_from_dict
+
+        with pytest.raises(SerializationError):
+            graph_from_dict({"format": "ddsi-system", "fcms": []})
