@@ -136,7 +136,7 @@ def bench_parallel_campaign(name, system, hw, heuristic, trials, workers) -> dic
 
 
 def bench_sharded_campaign(name, system, hw, heuristic, trials, shards, workers) -> dict:
-    """Run one fault campaign serially and sharded; record the speedup.
+    """Run one fault campaign serially, sharded, and sharded-with-tracing.
 
     The sharded run goes through the shard supervisor
     (:mod:`repro.exec.shards`) over the ``local`` fork-pool backend, so
@@ -147,6 +147,16 @@ def bench_sharded_campaign(name, system, hw, heuristic, trials, shards, workers)
     trials than one block) honestly plans a single shard and reports
     ``pool_engaged: false`` — the speedup gate only applies when at
     least two shards ran over at least two slots.
+
+    The traced variant re-runs the same sharded campaign under a live
+    :class:`~repro.obs.Recorder`, which switches on the full distributed
+    telemetry path (worker-side span capture, batch streaming, and the
+    supervisor-side merge).  ``telemetry_overhead`` is the relative wall
+    cost of that machinery; both the traced and untraced variants take
+    the best of two runs so scheduler jitter does not masquerade as
+    overhead, and ``bench check`` gates the ratio
+    (``max_telemetry_overhead``).  ``identical_traced`` asserts the
+    result-transparency contract: telemetry must never change a number.
     """
     framework = IntegrationFramework(system, FrameworkOptions(heuristic=heuristic))
     outcome = framework.integrate(hw)
@@ -159,14 +169,35 @@ def bench_sharded_campaign(name, system, hw, heuristic, trials, shards, workers)
     serial = run_campaign(graph, partition, trials=trials, seed=0, engine="scalar")
     serial_s = time.perf_counter() - t0
 
-    t0 = time.perf_counter()
-    sharded = run_campaign(
-        graph, partition, trials=trials, seed=0,
-        policy=ExecPolicy(workers=effective),
-        engine="scalar", shards=shards, backend="local",
-    )
-    sharded_s = time.perf_counter() - t0
+    def sharded_run(traced: bool):
+        recorder = Recorder() if traced else None
+        t0 = time.perf_counter()
+        if traced:
+            with use(recorder):
+                out = run_campaign(
+                    graph, partition, trials=trials, seed=0,
+                    policy=ExecPolicy(workers=effective),
+                    engine="scalar", shards=shards, backend="local",
+                )
+        else:
+            out = run_campaign(
+                graph, partition, trials=trials, seed=0,
+                policy=ExecPolicy(workers=effective),
+                engine="scalar", shards=shards, backend="local",
+            )
+        return out, time.perf_counter() - t0
+
+    # Interleave the repeats so machine drift (thermal, cache, page
+    # reclaim) lands on both variants instead of biasing one.
+    sharded, sharded_s = sharded_run(traced=False)
+    traced, traced_s = sharded_run(traced=True)
+    _, sharded_s2 = sharded_run(traced=False)
+    _, traced_s2 = sharded_run(traced=True)
+    sharded_s = min(sharded_s, sharded_s2)
+    traced_s = min(traced_s, traced_s2)
+    overhead = max(0.0, traced_s / sharded_s - 1.0) if sharded_s else None
     report = sharded.exec_report
+    traced_report = traced.exec_report
     return {
         "name": name,
         "campaign_trials": trials,
@@ -181,6 +212,10 @@ def bench_sharded_campaign(name, system, hw, heuristic, trials, shards, workers)
         "pooled_wall_s": round(sharded_s, 6),
         "speedup": round(serial_s / sharded_s, 3) if sharded_s else None,
         "identical": serial == sharded,
+        "traced_wall_s": round(traced_s, 6),
+        "telemetry_overhead": round(overhead, 4) if overhead is not None else None,
+        "identical_traced": serial == traced,
+        "worker_spans": traced_report.worker_spans,
         "leases": report.leases_granted,
         "redispatches": report.redispatches,
         "lease_expiries": report.lease_expiries,
@@ -293,11 +328,14 @@ def main(argv=None) -> int:
                 f"[{entry['engine']}] ({stage_text})"
             )
         else:
+            extra = ""
+            if entry.get("telemetry_overhead") is not None:
+                extra = f", telemetry +{entry['telemetry_overhead'] * 100:.1f}%"
             print(
                 f"{entry['name']}: serial {entry['serial_wall_s']:.3f}s vs "
                 f"{entry['workers']} workers {entry['pooled_wall_s']:.3f}s "
                 f"(speedup {entry['speedup']:.2f}x, "
-                f"identical={entry['identical']})"
+                f"identical={entry['identical']}{extra})"
             )
     print(f"wrote {args.output}")
     return 0

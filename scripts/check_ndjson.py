@@ -9,10 +9,17 @@ Sniffs each file's first meta line and dispatches:
   manifest claiming completion over coverage gaps.  Torn lines are
   tolerated (the format survives crashes by design) and surfaced in
   the label.
+* ``repro-worker-telemetry`` — raw worker-telemetry batch streams as
+  written by ``--telemetry-stream``: per-lease monotonic sequence
+  numbers, epoch anchors, and well-formed inner span/decision events
+  (see :func:`repro.obs.telemetry.validate_telemetry_stream`).
 * anything else — trace validation: every line must parse as JSON,
   and span/decision records must carry the required keys with a
   consistent parent structure
-  (see :func:`repro.obs.ndjson.validate_trace`).
+  (see :func:`repro.obs.ndjson.validate_trace`).  Merged distributed
+  traces validate here too: grafted worker spans must be closed
+  (``remote`` spans with no ``t_end`` are flagged) and parented
+  inside the supervisor's tree.
 
 Usage::
 
@@ -29,6 +36,7 @@ from repro.errors import ObservabilityError
 from repro.exec import validate_checkpoint
 from repro.exec.checkpoint import CHECKPOINT_FORMAT
 from repro.obs import load_ndjson, trace_meta, validate_trace
+from repro.obs.telemetry import TELEMETRY_FORMAT, validate_telemetry_stream
 
 
 def _sniff_format(path: str) -> str | None:
@@ -66,6 +74,8 @@ def check_file(path: str) -> tuple[list[str], str]:
         if meta is not None
         else "no meta line"
     )
+    if meta is not None and meta.get("format") == TELEMETRY_FORMAT:
+        return validate_telemetry_stream(events), label
     return validate_trace(events), label
 
 

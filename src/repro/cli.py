@@ -35,8 +35,13 @@ is used.
 * ``trace export TRACE.ndjson --format {chrome,collapsed}`` — Chrome
   trace-event JSON (Perfetto / ``chrome://tracing``) or collapsed
   stacks for flamegraph tooling.
-* ``exec digest TRACE.ndjson`` — per-batch run-health table from the
-  supervised runner's decision events.
+* ``exec digest TRACE.ndjson`` — per-batch (and, for shard-lease
+  traces, per-shard) run-health tables from the supervisor's decision
+  events.
+* ``exec watch STATUS.json`` — live refreshing per-shard health view of
+  a running sharded campaign (the JSON named by ``--status-file``).
+* ``metrics export METRICS.json --format prom`` — render a metrics
+  snapshot in Prometheus text exposition format.
 * ``bench check`` — compare the latest ``BENCH_pipeline.json`` against
   the committed baseline (``bench update-baseline`` refreshes it).
 
@@ -181,6 +186,18 @@ def _add_shard_flags(parser: argparse.ArgumentParser) -> None:
         "--shards", type=int, default=0, metavar="N",
         help="split the campaign into N block-aligned shards (0 with "
         "--backend = derive from CPUs); implies the shard supervisor",
+    )
+    parser.add_argument(
+        "--status-file", default=None, metavar="FILE",
+        help="sharded runs: atomically rewrite this JSON with live "
+        "per-shard health while the campaign runs (watch it with "
+        "'repro exec watch FILE')",
+    )
+    parser.add_argument(
+        "--telemetry-stream", default=None, metavar="FILE",
+        help="sharded runs: write the raw worker-telemetry batches "
+        "(NDJSON) here; also forces worker telemetry on even without "
+        "--trace",
     )
 
 
@@ -397,6 +414,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve shard leases over stdin/stdout (spawned by the "
         "subprocess backend; not for interactive use)",
     )
+    watch = exec_sub.add_parser(
+        "watch",
+        help="live per-shard health view of a running sharded campaign "
+        "(reads the JSON named by the campaign's --status-file)",
+    )
+    watch.add_argument("file", help="campaign status JSON file")
+    watch.add_argument(
+        "--interval", type=float, default=1.0, metavar="SECONDS",
+        help="refresh period (default 1s)",
+    )
+    watch.add_argument(
+        "--once", action="store_true",
+        help="render the current status once and exit (no refresh loop)",
+    )
 
     example = sub.add_parser("example", help="dump a built-in workload")
     example.add_argument("name", choices=["paper", "avionics"])
@@ -447,6 +478,25 @@ def build_parser() -> argparse.ArgumentParser:
         "collapsed = flamegraph.pl collapsed stacks",
     )
     export.add_argument(
+        "-o", "--out", default=None, metavar="FILE",
+        help="output file (default: stdout)",
+    )
+
+    metrics_cmd = sub.add_parser(
+        "metrics", help="inspect metrics-registry snapshots"
+    )
+    metrics_sub = metrics_cmd.add_subparsers(dest="metrics_command", required=True)
+    metrics_export = metrics_sub.add_parser(
+        "export",
+        help="convert a metrics snapshot (--metrics FILE output) for "
+        "external scrapers",
+    )
+    metrics_export.add_argument("file", help="metrics snapshot JSON file")
+    metrics_export.add_argument(
+        "--format", choices=["prom"], default="prom",
+        help="prom = Prometheus text exposition format",
+    )
+    metrics_export.add_argument(
         "-o", "--out", default=None, metavar="FILE",
         help="output file (default: stdout)",
     )
@@ -687,6 +737,8 @@ def _cmd_faultsim(args: argparse.Namespace) -> int:
         engine=args.engine,
         backend=args.backend,
         shards=args.shards,
+        status_file=args.status_file,
+        telemetry_stream=args.telemetry_stream,
     )
     print(
         render_campaign(
@@ -727,6 +779,8 @@ def _cmd_exec(args: argparse.Namespace) -> int:
         events = load_ndjson(args.file)
         print(render_digest(digest_exec_events(events)))
         return 0
+    if args.exec_command == "watch":
+        return _cmd_exec_watch(args)
 
     def selftest(workdir: str):
         if args.shards:
@@ -758,6 +812,66 @@ def _cmd_exec(args: argparse.Namespace) -> int:
         + f" ({len(result.checks)} checks, {len(result.failures)} failures)"
     )
     return 0 if result.passed else 1
+
+
+def _cmd_exec_watch(args: argparse.Namespace) -> int:
+    import os
+    import time as _time
+
+    from repro.obs.telemetry import load_status, render_status
+
+    if args.once:
+        print(render_status(load_status(args.file)))
+        return 0
+    waited_notice = False
+    try:
+        while True:
+            if not os.path.exists(args.file):
+                if not waited_notice:
+                    print(f"waiting for {args.file} ...", flush=True)
+                    waited_notice = True
+                _time.sleep(args.interval)
+                continue
+            status = load_status(args.file)
+            # Clear + home, then the current view: a cheap live display
+            # that works in any ANSI terminal.
+            sys.stdout.write("\x1b[2J\x1b[H")
+            print(render_status(status), flush=True)
+            if status.get("complete"):
+                return 0
+            _time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.errors import ObservabilityError
+    from repro.obs.metrics import to_prometheus_text
+
+    try:
+        with open(args.file) as handle:
+            snapshot = json.load(handle)
+    except OSError as exc:
+        raise DDSIError(
+            f"cannot read metrics file {args.file!r}: {exc}"
+        ) from exc
+    except json.JSONDecodeError as exc:
+        raise ObservabilityError(
+            f"metrics file {args.file!r} is not valid JSON: {exc}"
+        ) from exc
+    text = to_prometheus_text(snapshot)
+    if args.out:
+        try:
+            with open(args.out, "w") as handle:
+                handle.write(text)
+        except OSError as exc:
+            raise DDSIError(
+                f"cannot write export file {args.out!r}: {exc}"
+            ) from exc
+        print(f"wrote {args.out}")
+    else:
+        sys.stdout.write(text)
+    return 0
 
 
 def _cmd_example(args: argparse.Namespace) -> int:
@@ -894,6 +1008,7 @@ def main(argv: list[str] | None = None) -> int:
         "exec": _cmd_exec,
         "example": _cmd_example,
         "trace": _cmd_trace,
+        "metrics": _cmd_metrics,
         "bench": _cmd_bench,
     }
     trace_path = getattr(args, "trace", None)

@@ -162,6 +162,7 @@ def serve_lease(
     emit: Callable[[dict], None],
     chaos=None,
     block: int = LEASE_BLOCK_TRIALS,
+    telemetry: dict | None = None,
 ) -> None:
     """Run one lease inside a worker slot, streaming block partials.
 
@@ -171,26 +172,52 @@ def serve_lease(
     loses at most the block in flight.  ``chaos`` (a
     :class:`~repro.exec.chaos.ShardChaos`) may SIGKILL or stall the
     slot at controlled points; see the chaos module.
+
+    ``telemetry``, when set, is the supervisor-minted trace context
+    (see :func:`repro.obs.telemetry.make_context`): the slot runs a
+    local recorder and interleaves ``telemetry`` event batches with the
+    partial stream — worker spans per block, flushed incrementally so a
+    killed slot has already shipped all but the block in flight.
+    Telemetry never touches payloads or seeds: results are bit-identical
+    with it on or off.
     """
     lease_id = lease["id"]
     shard = lease.get("shard", -1)
     attempt = lease.get("attempt", 1)
+    telem = None
+    if telemetry is not None:
+        from repro.obs.telemetry import LeaseTelemetry
+
+        telem = LeaseTelemetry(telemetry, lease, emit)
     pieces = block_ranges(lease["start"], lease["size"], block)
     for index, (bstart, bsize) in enumerate(pieces):
         if chaos is not None:
             chaos.maybe_inject(shard, attempt, index, len(pieces))
         emit({"type": "heartbeat", "lease": lease_id, "blocks_done": index})
+        span = (
+            telem.block_span(index, bstart, bsize)
+            if telem is not None
+            else None
+        )
         try:
             payload = task(bstart, bsize, seed)
         except Exception:
+            detail = traceback.format_exc()[-800:]
+            if telem is not None:
+                span.__exit__(None, None, None)
+                telem.error(bstart, bsize, detail)
+                telem.finish("error")
             emit({
                 "type": "error",
                 "lease": lease_id,
                 "start": bstart,
                 "size": bsize,
-                "detail": traceback.format_exc()[-800:],
+                "detail": detail,
             })
             return
+        if telem is not None:
+            span.__exit__(None, None, None)
+            telem.block_done(bsize)
         emit({
             "type": "partial",
             "lease": lease_id,
@@ -198,6 +225,10 @@ def serve_lease(
             "size": bsize,
             "payload": payload,
         })
+        if telem is not None:
+            telem.flush()
+    if telem is not None:
+        telem.finish("done")
     emit({"type": "done", "lease": lease_id})
 
 
@@ -325,7 +356,7 @@ def _quiet_worker_recorder() -> None:
     _recorder_module._current = _recorder_module.NULL_RECORDER
 
 
-def _fork_slot_main(task, seed, chaos, block, task_recv, result_send):
+def _fork_slot_main(task, seed, chaos, block, telemetry, task_recv, result_send):
     _quiet_worker_recorder()
     while True:
         try:
@@ -342,7 +373,10 @@ def _fork_slot_main(task, seed, chaos, block, task_recv, result_send):
                 raise SystemExit(0) from None
 
         try:
-            serve_lease(task, seed, lease, emit, chaos=chaos, block=block)
+            serve_lease(
+                task, seed, lease, emit,
+                chaos=chaos, block=block, telemetry=telemetry,
+            )
         except SystemExit:
             return
 
@@ -363,6 +397,7 @@ class ForkPoolBackend(ExecBackend):
         seed: int,
         chaos=None,
         block: int = LEASE_BLOCK_TRIALS,
+        telemetry: dict | None = None,
     ) -> None:
         import multiprocessing
 
@@ -370,6 +405,7 @@ class ForkPoolBackend(ExecBackend):
         self._seed = seed
         self._chaos = chaos
         self._block = block
+        self._telemetry = telemetry
         self._ctx = multiprocessing.get_context("fork")
         self._slots: dict[int, PipeWorker] = {}
         self._next_id = 0
@@ -379,7 +415,8 @@ class ForkPoolBackend(ExecBackend):
             self._next_id,
             self._ctx,
             _fork_slot_main,
-            (self._task, self._seed, self._chaos, self._block),
+            (self._task, self._seed, self._chaos, self._block,
+             self._telemetry),
             name=f"repro-shard-{self._next_id}",
         )
         self._slots[worker.id] = worker
@@ -447,20 +484,24 @@ def make_backend(
     seed: int = 0,
     chaos=None,
     block: int = LEASE_BLOCK_TRIALS,
+    telemetry: dict | None = None,
 ) -> ExecBackend:
     """Instantiate a backend by name.
 
     ``local`` needs a ``task`` closure; ``subprocess`` needs a
     JSON-serializable ``task_spec`` (see :func:`build_task`).  A caller
     holding only a spec can run it locally too — the spec is built for
-    exactly that symmetry.
+    exactly that symmetry.  ``telemetry`` is the optional trace context
+    shipped to every slot (:func:`repro.obs.telemetry.make_context`).
     """
     if name == "local":
         if task is None and task_spec is not None:
             task = build_task(task_spec)
         if task is None:
             raise ExecutionError("the local backend needs a task or task_spec")
-        return ForkPoolBackend(task, seed, chaos=chaos, block=block)
+        return ForkPoolBackend(
+            task, seed, chaos=chaos, block=block, telemetry=telemetry
+        )
     if name == "subprocess":
         from repro.exec.transport import SubprocessBackend
 
@@ -469,7 +510,9 @@ def make_backend(
                 "the subprocess backend needs a JSON-serializable task_spec "
                 "(its workers run in fresh interpreters)"
             )
-        return SubprocessBackend(task_spec, seed, chaos=chaos, block=block)
+        return SubprocessBackend(
+            task_spec, seed, chaos=chaos, block=block, telemetry=telemetry
+        )
     raise ExecutionError(
         f"unknown exec backend {name!r} (expected one of {BACKEND_NAMES})"
     )

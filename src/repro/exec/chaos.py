@@ -256,14 +256,21 @@ def run_shard_chaos_selftest(
     shard stalled past the heartbeat deadline, and an interrupted run
     resumed over a torn shard checkpoint — checking every variant
     reproduces the baseline bit-for-bit while the decision trail shows
-    the supervisor actually expired, re-dispatched, and recovered.  The
-    chaos checkpoint is left in ``workdir`` so CI can validate its
-    structure with ``scripts/check_ndjson.py``.
+    the supervisor actually expired, re-dispatched, and recovered.
+
+    The kill run executes under a live recorder with a telemetry
+    stream, so it also proves distributed tracing under chaos: surviving
+    workers' spans must graft into one valid merged trace even though a
+    shard died mid-lease.  The chaos checkpoint, the merged trace
+    (``shard-trace.ndjson``) and the raw telemetry stream
+    (``shard-telemetry.ndjson``) are left in ``workdir`` so CI can
+    validate their structure with ``scripts/check_ndjson.py``.
     """
-    from repro.errors import CampaignInterrupted
+    from repro.errors import CampaignInterrupted, ObservabilityError
     from repro.exec.runner import ExecPolicy
     from repro.faultsim.campaign import run_campaign
-    from repro.obs import Recorder, use
+    from repro.obs import Recorder, dump_ndjson, load_ndjson, use, validate_trace
+    from repro.obs.telemetry import validate_telemetry_stream
     from repro.workloads import paper_influence_graph
 
     os.makedirs(workdir, exist_ok=True)
@@ -284,6 +291,9 @@ def run_shard_chaos_selftest(
     baseline = run_campaign(graph, partition, trials=trials, seed=seed)
 
     # --- proof 1: SIGKILL a whole shard worker mid-lease ---------------
+    # Traced with a telemetry stream: chaos must not break the merge.
+    trace_path = os.path.join(workdir, "shard-trace.ndjson")
+    telemetry_path = os.path.join(workdir, "shard-telemetry.ndjson")
     recorder = Recorder()
     with use(recorder):
         killed = run_campaign(
@@ -293,6 +303,7 @@ def run_shard_chaos_selftest(
             ),
             shards=shards, backend=backend,
             chaos=ShardChaos(kill_shards=frozenset({shards - 1})),
+            telemetry_stream=telemetry_path,
         )
     actions = actions_of(recorder)
     check(killed == baseline,
@@ -301,6 +312,25 @@ def run_shard_chaos_selftest(
           "SIGKILLed shard worker detected as a crash")
     check("redispatch" in actions,
           "dead shard's uncovered remainder re-dispatched")
+    merged = recorder.events()
+    dump_ndjson(merged, trace_path)
+    check(not validate_trace(merged),
+          "merged trace valid despite a shard dying mid-lease")
+    worker_spans = [
+        e for e in merged
+        if e.get("type") == "span" and (e.get("attrs") or {}).get("remote")
+    ]
+    check(any(e["name"] == "worker.lease" for e in worker_spans),
+          "worker lease spans grafted into the supervisor trace")
+    check(any(e["name"] == "worker.block" for e in worker_spans),
+          "worker block spans grafted into the supervisor trace")
+    try:
+        stream = load_ndjson(telemetry_path)
+        stream_problems = validate_telemetry_stream(stream)
+    except (OSError, ObservabilityError) as exc:
+        stream_problems = [str(exc)]
+    check(not stream_problems,
+          "raw worker-telemetry stream written and structurally valid")
 
     # --- proof 2: shard stalls past the heartbeat deadline -------------
     recorder = Recorder()

@@ -58,6 +58,12 @@ from repro.exec.runner import (
     _load_resume,
 )
 from repro.obs import current
+from repro.obs.telemetry import (
+    HealthBoard,
+    TelemetryMerger,
+    make_context,
+    mint_run_id,
+)
 
 _POLL_S = 0.02
 
@@ -154,6 +160,11 @@ class ShardReport:
     checkpoint_path: str | None = None
     manifest_path: str | None = None
     elapsed_s: float = 0.0
+    run_id: str | None = None
+    telemetry_batches: int = 0
+    worker_spans: int = 0
+    status_file: str | None = None
+    telemetry_stream_path: str | None = None
 
     @property
     def workers(self) -> int:
@@ -170,6 +181,7 @@ class _Lease:
     attempt: int
     slot: int
     last_beat: float = field(default_factory=time.monotonic)
+    heartbeats: int = 0
 
     def message(self) -> dict:
         return {
@@ -198,6 +210,9 @@ def run_sharded(
     resume: str | None = None,
     chaos=None,
     block: int = LEASE_BLOCK_TRIALS,
+    status_file: str | None = None,
+    telemetry_stream: str | None = None,
+    run_id: str | None = None,
 ) -> tuple[list[Any], ShardReport]:
     """Run a campaign as shard leases over an execution backend.
 
@@ -206,6 +221,16 @@ def run_sharded(
     merge).  Returns ``(payloads, report)`` with one payload per planned
     shard, in trial order — the same shape ``run_supervised`` returns
     for its batch plan, so campaign aggregation code is shared.
+
+    When the ambient recorder is enabled (or ``telemetry_stream`` is
+    set), the supervisor mints a run id, ships trace context to every
+    slot, and merges the worker telemetry streamed back into its own
+    trace (clock-normalized; see :mod:`repro.obs.telemetry`) — the
+    merged file reads as one distributed tree.  ``status_file`` names a
+    JSON the supervisor atomically rewrites with live per-shard health
+    (``repro exec watch`` tails it).  All of this is result-transparent:
+    payloads, seeds, and checkpoint fingerprints are byte-identical with
+    telemetry on or off.
     """
     if combine is None:
         raise ExecutionError("run_sharded requires a combine function")
@@ -227,6 +252,19 @@ def run_sharded(
         slots=slots,
         backend=backend if isinstance(backend, str) else backend.name,
     )
+    telemetry_on = rec.enabled or telemetry_stream is not None
+    run_id = run_id or (mint_run_id() if telemetry_on else None)
+    telemetry = make_context(run_id) if telemetry_on else None
+    report.run_id = run_id
+    report.status_file = status_file
+    board = HealthBoard(
+        plan, block,
+        run_id=run_id or "-",
+        kind=kind,
+        trials=trials,
+        backend=report.backend,
+        status_file=status_file,
+    )
 
     done: dict[tuple[int, int], Any] = {}
     writer: CheckpointWriter | None = None
@@ -239,7 +277,18 @@ def run_sharded(
         slots=slots,
         backend=report.backend,
         fingerprint=fingerprint,
-    ), InterruptGuard() as guard:
+        run_id=run_id,
+    ) as shards_span, InterruptGuard() as guard:
+        merger = (
+            TelemetryMerger(
+                rec, run_id,
+                parent_sid=shards_span.sid,
+                parent_depth=shards_span.depth,
+            )
+            if telemetry_on
+            else None
+        )
+        board.maybe_write(force=True)
         if resume is not None:
             _load_resume(resume, fingerprint, done, report, rec)
             report.partials_from_checkpoint = len(done)
@@ -260,6 +309,7 @@ def run_sharded(
                 return  # a raced re-dispatch finished the same block
             done[(start, size)] = payload
             report.partials += 1
+            board.block_done(start, size, source)
             if rec.enabled:
                 rec.counter("exec_partials_total").inc(source=source)
             if writer is not None:
@@ -293,6 +343,7 @@ def run_sharded(
             _supervise(
                 plan, policy, backend, task, task_spec, local_task, seed,
                 chaos, block, combine, done, bank, report, rec, guard,
+                telemetry, merger, board,
             )
             # Every shard must now assemble from banked ranges.
             payloads = [
@@ -313,6 +364,7 @@ def run_sharded(
                 redispatches=report.redispatches,
                 from_checkpoint=report.partials_from_checkpoint,
             )
+            board.maybe_write(complete=True, force=True)
         except BaseException:
             if writer is not None:
                 report.manifest_path = writer.write_manifest(
@@ -324,10 +376,17 @@ def run_sharded(
                     },
                     complete=False,
                 )
+            board.maybe_write(force=True)
             raise
         finally:
             if writer is not None:
                 writer.close()
+            if merger is not None:
+                report.telemetry_batches = merger.batches
+                report.worker_spans = merger.worker_spans
+                if telemetry_stream is not None:
+                    merger.write_stream(telemetry_stream)
+                    report.telemetry_stream_path = telemetry_stream
             report.elapsed_s = time.perf_counter() - t0
     return payloads, report
 
@@ -335,18 +394,21 @@ def run_sharded(
 def _supervise(
     plan, policy, backend, task, task_spec, local_task, seed, chaos, block,
     combine, done, bank, report, rec, guard,
+    telemetry=None, merger=None, board=None,
 ) -> None:
     """The lease event loop (see module docstring for the policy)."""
     jitter_rng = random.Random(derive_seed(seed, 0, purpose="lease-jitter"))
     failure_budget = policy.resolved_failure_budget()
     heartbeat_timeout = policy.heartbeat_timeout
 
-    def rescue(start: int, size: int, reason: str) -> None:
+    def rescue(start: int, size: int, reason: str, shard: int = -1) -> None:
         """Run a range serially in-process, banking per-block partials."""
         rec.decision(
             "exec", "serial_fallback", subject=f"[{start},{start + size})",
-            reason=reason,
+            reason=reason, shard=shard,
         )
+        if board is not None:
+            board.rescuing(shard)
         for bstart, bsize in uncovered_ranges(start, size, done, combine, block):
             for pstart, psize in block_ranges(bstart, bsize, block):
                 try:
@@ -386,6 +448,7 @@ def _supervise(
             seed=seed,
             chaos=chaos,
             block=block,
+            telemetry=telemetry,
         )
     )
 
@@ -393,6 +456,8 @@ def _supervise(
         nonlocal retry_tiebreak
         slot_lease.pop(lease.slot, None)
         inflight.pop(lease.id, None)
+        if merger is not None:
+            merger.settle(lease.id)
         remainder = uncovered_ranges(
             lease.start, lease.size, done, combine, block
         )
@@ -403,6 +468,7 @@ def _supervise(
                 rescue(
                     start, size,
                     f"{cause}; lease attempts exhausted, running in-process",
+                    lease.shard,
                 )
             return
         delay = min(
@@ -413,6 +479,9 @@ def _supervise(
         report.redispatches += len(remainder)
         if rec.enabled:
             rec.counter("exec_redispatch_total").inc(len(remainder))
+        if board is not None:
+            for _ in remainder:
+                board.redispatch(lease.shard)
         for start, size in remainder:
             rec.decision(
                 "exec", "redispatch", subject=f"[{start},{start + size})",
@@ -464,7 +533,7 @@ def _supervise(
             if abandoned:
                 while pending:
                     shard_id, start, size, _ = pending.pop()
-                    rescue(start, size, "backend abandoned")
+                    rescue(start, size, "backend abandoned", shard_id)
                 break
 
             # Keep enough live slots for the work still queued.
@@ -502,6 +571,8 @@ def _supervise(
                 )
                 if rec.enabled:
                     rec.counter("exec_leases_total").inc()
+                if board is not None:
+                    board.lease_granted(shard_id)
                 exec_backend.dispatch(slot, lease.message())
 
             for event in exec_backend.poll(_POLL_S):
@@ -518,14 +589,24 @@ def _supervise(
                         reason=f"slot {event.slot} exited "
                         f"(code {event.exitcode}) mid-lease",
                         shard=lease.shard, lease=lease.id,
+                        heartbeats=lease.heartbeats,
                     )
                     if rec.enabled:
                         rec.counter("exec_shard_crashes_total").inc()
+                    if board is not None:
+                        board.crashed(lease.shard)
                     fail_lease(lease, "shard slot crashed")
                     continue
                 message = event.message or {}
                 mtype = message.get("type")
                 if mtype == "ready":
+                    continue
+                if mtype == "telemetry":
+                    # Routed before the inflight check: a straggler's
+                    # telemetry is still worth merging after its lease
+                    # was expired or superseded.
+                    if merger is not None:
+                        merger.add(message, event.slot)
                     continue
                 lease = inflight.get(message.get("lease"))
                 if lease is None:
@@ -533,6 +614,9 @@ def _supervise(
                 lease.last_beat = time.monotonic()
                 if mtype == "heartbeat":
                     report.heartbeats += 1
+                    lease.heartbeats += 1
+                    if board is not None:
+                        board.heartbeat(lease.shard)
                 elif mtype == "partial":
                     bank(
                         message["start"], message["size"],
@@ -546,7 +630,10 @@ def _supervise(
                         subject=f"[{lease.start},{lease.start + lease.size})",
                         reason="lease served to completion",
                         shard=lease.shard, lease=lease.id, slot=lease.slot,
+                        heartbeats=lease.heartbeats,
                     )
+                    if merger is not None:
+                        merger.settle(lease.id)
                 elif mtype == "error":
                     failures += 1
                     rec.decision(
@@ -555,6 +642,7 @@ def _supervise(
                         reason="worker raised inside the lease",
                         detail=str(message.get("detail", ""))[-400:],
                         shard=lease.shard, lease=lease.id,
+                        heartbeats=lease.heartbeats,
                     )
                     exec_backend.kill(lease.slot)
                     fail_lease(lease, "lease error")
@@ -572,10 +660,15 @@ def _supervise(
                         reason=f"no heartbeat for {heartbeat_timeout:.3f}s; "
                         f"killing slot {lease.slot} and re-dispatching",
                         shard=lease.shard, lease=lease.id, slot=lease.slot,
+                        heartbeats=lease.heartbeats,
                     )
                     if rec.enabled:
                         rec.counter("exec_lease_expiries_total").inc()
+                    if board is not None:
+                        board.expired(lease.shard)
                     exec_backend.kill(lease.slot)
                     fail_lease(lease, "lease heartbeat expired")
     finally:
         exec_backend.shutdown()
+        if merger is not None:
+            merger.settle_all()

@@ -5,11 +5,12 @@
 line-oriented JSON protocol over its stdin/stdout:
 
 * supervisor -> worker: one ``hello`` line (task spec, campaign seed,
-  serialized chaos plan, block size), then ``lease`` lines, then an
-  optional ``shutdown``;
+  serialized chaos plan, block size, optional telemetry trace context),
+  then ``lease`` lines, then an optional ``shutdown``;
 * worker -> supervisor: ``ready`` after the hello, then the
   :func:`repro.exec.backend.serve_lease` stream — ``heartbeat`` /
-  ``partial`` / ``done`` / ``error`` lines.
+  ``partial`` / ``done`` / ``error`` lines, interleaved with
+  ``telemetry`` event batches when the hello carried a trace context.
 
 Nothing crosses the boundary except JSON, so a campaign that completes
 on this backend is proven serializable end to end — the contract a
@@ -117,6 +118,7 @@ class SubprocessBackend(ExecBackend):
         seed: int,
         chaos=None,
         block: int = LEASE_BLOCK_TRIALS,
+        telemetry: dict | None = None,
     ) -> None:
         try:
             chaos_dict = chaos.to_dict() if chaos is not None else None
@@ -128,6 +130,7 @@ class SubprocessBackend(ExecBackend):
                         "seed": seed,
                         "chaos": chaos_dict,
                         "block": block,
+                        "telemetry": telemetry,
                     },
                     sort_keys=True,
                 ).encode("utf-8")
@@ -269,6 +272,7 @@ def shard_worker_main(stdin=None, stdout=None) -> int:
             if hello.get("chaos")
             else None
         )
+        telemetry = hello.get("telemetry") or None
     except Exception as exc:
         emit({"type": "error", "lease": None, "detail": f"bad hello: {exc}"})
         return 2
@@ -284,5 +288,8 @@ def shard_worker_main(stdin=None, stdout=None) -> int:
             return 0
         if message.get("type") != "lease":
             continue
-        serve_lease(task, seed, message, emit, chaos=chaos, block=block)
+        serve_lease(
+            task, seed, message, emit,
+            chaos=chaos, block=block, telemetry=telemetry,
+        )
     return 0

@@ -186,6 +186,8 @@ def run_campaign(
     engine: str = "auto",
     backend: str | None = None,
     shards: int = 0,
+    status_file: str | None = None,
+    telemetry_stream: str | None = None,
 ) -> CampaignResult:
     """Seed ``trials`` faults uniformly over FCMs and measure spread.
 
@@ -208,6 +210,12 @@ def run_campaign(
     two paths (same fingerprint, same record format), and the result is
     bit-identical either way — ``chaos`` should then be a
     :class:`~repro.exec.chaos.ShardChaos`.
+
+    ``status_file``/``telemetry_stream`` only apply on the sharded path:
+    the first names a live-health JSON the supervisor atomically
+    rewrites (``repro exec watch``), the second an NDJSON sink for the
+    raw worker-telemetry batches (see :mod:`repro.obs.telemetry`).
+    Neither affects the result.
     """
     if trials < 1:
         raise SimulationError("trials must be >= 1")
@@ -266,6 +274,8 @@ def run_campaign(
                 checkpoint=checkpoint,
                 resume=resume,
                 chaos=chaos,
+                status_file=status_file,
+                telemetry_stream=telemetry_stream,
             )
         else:
             payloads, exec_report = run_supervised(

@@ -31,6 +31,20 @@ from repro.obs.recorder import (
     current,
     use,
 )
+from repro.obs.telemetry import (
+    STATUS_FORMAT,
+    TELEMETRY_FORMAT,
+    HealthBoard,
+    LeaseTelemetry,
+    ShardHealth,
+    TelemetryMerger,
+    load_status,
+    make_context,
+    mint_run_id,
+    render_status,
+    validate_telemetry_stream,
+    write_status,
+)
 from repro.obs.summarize import (
     PIPELINE_STAGES,
     StageStats,
@@ -47,27 +61,39 @@ __all__ = [
     "DEFAULT_TIME_BUCKETS",
     "NULL_RECORDER",
     "PIPELINE_STAGES",
+    "STATUS_FORMAT",
+    "TELEMETRY_FORMAT",
     "Counter",
     "DecisionEvent",
     "Gauge",
+    "HealthBoard",
     "Histogram",
+    "LeaseTelemetry",
     "MetricsRegistry",
     "NullRecorder",
     "Recorder",
+    "ShardHealth",
     "Span",
     "StageStats",
+    "TelemetryMerger",
     "collect_provenance",
     "current",
     "decision_counts",
     "dump_ndjson",
     "load_ndjson",
+    "load_status",
     "machine_fingerprint",
+    "make_context",
+    "mint_run_id",
     "open_span_count",
+    "render_status",
     "render_summary",
     "render_tree",
     "stage_footer",
     "summarize_trace",
     "trace_meta",
     "use",
+    "validate_telemetry_stream",
     "validate_trace",
+    "write_status",
 ]

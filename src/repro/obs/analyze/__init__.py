@@ -13,7 +13,7 @@ into comparable, versioned answers:
   in Perfetto / ``chrome://tracing``) and collapsed-stack output for
   flamegraph tooling;
 * :mod:`~repro.obs.analyze.digest` — aggregate ``repro.exec`` decision
-  events into a per-batch run-health table;
+  events into per-batch and per-shard run-health tables;
 * :mod:`~repro.obs.analyze.bench` — benchmark history and the
   baseline-vs-latest regression gate behind ``repro bench check``.
 
@@ -48,6 +48,7 @@ from repro.obs.analyze.diff import (
 from repro.obs.analyze.digest import (
     BatchHealth,
     ExecDigest,
+    ShardLane,
     digest_exec_events,
     render_digest,
 )
@@ -62,6 +63,7 @@ __all__ = [
     "BenchFinding",
     "CriticalPathStep",
     "ExecDigest",
+    "ShardLane",
     "StageDelta",
     "TraceDiff",
     "append_history",

@@ -42,6 +42,11 @@ DEFAULT_TOLERANCE = {
     # pool engages (>= 2 effective workers); entries where the pool was
     # declined (1 CPU) skip this gate with a note instead.
     "min_speedup": 1.0,
+    # Distributed tracing must stay near-free: the traced sharded run
+    # may cost at most this fraction over the untraced one.  Gated only
+    # when the pool engaged — on a 1-CPU / 1-shard run the walls are
+    # too short for the ratio to mean anything.
+    "max_telemetry_overhead": 0.05,
 }
 
 
@@ -182,8 +187,9 @@ def check_bench(
 
     Checks, per baseline case: total wall time, campaign throughput and
     per-stage wall times for scenario entries; serial wall time, the
-    serial==pooled determinism contract, and the pooled-speedup floor
-    (only when the pool engaged) for parallel entries.  A case
+    serial==pooled determinism contract, the pooled-speedup floor and
+    the telemetry-overhead cap (both only when the pool engaged) for
+    parallel/sharded entries.  A case
     present in the baseline but missing from the latest run is a
     failure; extra latest-only cases are noted, not failed.
     """
@@ -325,6 +331,37 @@ def _check_entry(
             f"{name}: pooled campaign no longer matches the serial run "
             "(determinism contract broken)",
         )
+    if latest.get("identical_traced") is False:
+        fail(
+            "identical_traced",
+            1.0,
+            0.0,
+            None,
+            f"{name}: traced campaign no longer matches the serial run "
+            "(telemetry is not result-transparent)",
+        )
+    if latest.get("telemetry_overhead") is not None:
+        engaged = latest.get("pool_engaged")
+        if engaged is None:
+            engaged = int(latest.get("workers") or 0) >= 2
+        cap = float(tol["max_telemetry_overhead"])
+        latest_v = float(latest["telemetry_overhead"])
+        if engaged:
+            if latest_v > cap:
+                fail(
+                    "telemetry_overhead",
+                    float(base.get("telemetry_overhead") or 0.0),
+                    latest_v,
+                    cap,
+                    f"{name}: telemetry overhead {latest_v * 100:.1f}% "
+                    f"exceeds the {cap * 100:.0f}% cap — distributed "
+                    "tracing is no longer near-free",
+                )
+        else:
+            check.notes.append(
+                f"{name}: pool did not engage; telemetry-overhead gate "
+                f"skipped (measured {latest_v * 100:.1f}%)"
+            )
     if "speedup" in base and latest.get("speedup") is not None:
         engaged = latest.get("pool_engaged")
         if engaged is None:

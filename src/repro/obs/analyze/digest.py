@@ -6,6 +6,13 @@ checkpoint resumes — as ``exec``-category decision events in the trace.
 This module folds that stream into a per-batch table plus campaign-level
 counters so a chaos or campaign run is auditable at a glance:
 ``repro exec digest trace.ndjson``.
+
+Shard-lease traces (PR 6's ``run_sharded`` supervisor) get their own
+per-shard lane: leases held, heartbeats observed, expiries, redispatches,
+crashes, and serial rescues, folded from the ``lease_*`` / ``redispatch``
+/ ``shard_crash`` decisions the lease loop records.  A distributed trace
+thus digests into *both* views — per-shard lease health plus any
+batch-level fault handling the serial rescues went through.
 """
 
 from __future__ import annotations
@@ -39,10 +46,39 @@ class BatchHealth:
 
 
 @dataclass
+class ShardLane:
+    """Lease-supervisor activity observed for one shard."""
+
+    shard: int
+    leases: int = 0
+    done: int = 0
+    heartbeats: int = 0
+    expiries: int = 0
+    redispatches: int = 0
+    crashes: int = 0
+    errors: int = 0
+    rescues: int = 0
+
+    @property
+    def events(self) -> int:
+        return (
+            self.expiries
+            + self.redispatches
+            + self.crashes
+            + self.errors
+            + self.rescues
+        )
+
+
+@dataclass
 class ExecDigest:
     """Everything the runner recorded about how the campaign survived."""
 
     batches: dict[str, BatchHealth] = field(default_factory=dict)
+    shards: dict[int, ShardLane] = field(default_factory=dict)
+    shard_plan: int = 0
+    backend: str | None = None
+    backend_abandoned: int = 0
     pool_abandoned: int = 0
     interrupted: int = 0
     resumes: int = 0
@@ -73,6 +109,27 @@ _BATCH_ACTIONS = {
 }
 
 
+#: shard-lease decision action -> ShardLane counter it increments.
+_SHARD_ACTIONS = {
+    "lease_grant": "leases",
+    "lease_done": "done",
+    "lease_expired": "expiries",
+    "lease_error": "errors",
+    "redispatch": "redispatches",
+    "shard_crash": "crashes",
+}
+
+#: actions whose attrs carry the lease's final heartbeat count.
+_HEARTBEAT_ACTIONS = {"lease_done", "lease_expired", "lease_error", "shard_crash"}
+
+
+def _shard_lane(digest: "ExecDigest", attrs: dict) -> ShardLane | None:
+    shard = attrs.get("shard")
+    if not isinstance(shard, int):
+        return None
+    return digest.shards.setdefault(shard, ShardLane(shard))
+
+
 def digest_exec_events(events: list[dict]) -> ExecDigest:
     """Fold a trace's ``exec`` decision events into an :class:`ExecDigest`."""
     digest = ExecDigest()
@@ -81,7 +138,22 @@ def digest_exec_events(events: list[dict]) -> ExecDigest:
             continue
         action = event.get("action")
         attrs = event.get("attrs") or {}
+        if action in _SHARD_ACTIONS:
+            lane = _shard_lane(digest, attrs)
+            if lane is not None:
+                setattr(
+                    lane,
+                    _SHARD_ACTIONS[action],
+                    getattr(lane, _SHARD_ACTIONS[action]) + 1,
+                )
+                if action in _HEARTBEAT_ACTIONS:
+                    lane.heartbeats += int(attrs.get("heartbeats") or 0)
+            continue
         if action in _BATCH_ACTIONS:
+            if action == "serial_fallback":
+                lane = _shard_lane(digest, attrs)
+                if lane is not None:
+                    lane.rescues += 1
             subject = event.get("subject") or "?"
             batch = digest.batches.setdefault(subject, BatchHealth(subject))
             setattr(
@@ -91,6 +163,11 @@ def digest_exec_events(events: list[dict]) -> ExecDigest:
             )
             if action == "retry":
                 batch.backoff_s += float(attrs.get("delay_s") or 0.0)
+        elif action == "shard_plan":
+            digest.shard_plan = int(attrs.get("shards") or 0)
+            digest.backend = attrs.get("backend")
+        elif action == "backend_abandoned":
+            digest.backend_abandoned += 1
         elif action == "pool_abandoned":
             digest.pool_abandoned += 1
         elif action == "interrupted":
@@ -116,7 +193,7 @@ def render_digest(digest: ExecDigest) -> str:
     """The ``repro exec digest`` report."""
     from repro.metrics.report import format_table
 
-    if not digest.batches and not (
+    if not digest.batches and not digest.shards and not (
         digest.completed
         or digest.resumes
         or digest.interrupted
@@ -125,6 +202,44 @@ def render_digest(digest: ExecDigest) -> str:
         return "trace contains no exec decision events"
 
     lines: list[str] = []
+    if digest.shards:
+        rows = [
+            (
+                lane.shard,
+                lane.leases,
+                lane.done,
+                lane.heartbeats,
+                lane.expiries,
+                lane.redispatches,
+                lane.crashes,
+                lane.errors,
+                lane.rescues,
+            )
+            for lane in sorted(
+                digest.shards.values(), key=lambda s: s.shard
+            )
+        ]
+        title = "Per-shard lease health"
+        if digest.backend:
+            title += f" (backend: {digest.backend})"
+        lines.append(
+            format_table(
+                [
+                    "shard",
+                    "leases",
+                    "done",
+                    "heartbeats",
+                    "expiries",
+                    "redisp",
+                    "crashes",
+                    "errors",
+                    "rescues",
+                ],
+                rows,
+                title=title,
+            )
+        )
+        lines.append("")
     if digest.batches:
         rows = [
             (
@@ -172,6 +287,13 @@ def render_digest(digest: ExecDigest) -> str:
         summary.append(
             f"corrupt checkpoint lines: {digest.corrupt_checkpoint_lines}"
         )
+    if digest.shards:
+        summary.append(
+            f"shards: {len(digest.shards)}"
+            + (f" of {digest.shard_plan} planned" if digest.shard_plan else "")
+        )
+    if digest.backend_abandoned:
+        summary.append(f"backend abandoned: {digest.backend_abandoned}x")
     if digest.pool_abandoned:
         summary.append(f"pool abandoned: {digest.pool_abandoned}x")
     if digest.interrupted:

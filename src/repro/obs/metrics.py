@@ -219,3 +219,80 @@ class MetricsRegistry:
             raise ObservabilityError(
                 f"cannot write metrics file {path_or_file!r}: {exc}"
             ) from exc
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+def _prom_name(name: str) -> str:
+    """Sanitise a dotted metric name into a Prometheus identifier."""
+    out = "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+    if out and out[0].isdigit():
+        out = "_" + out
+    return out or "_"
+
+
+def _prom_labels(label_text: str) -> str:
+    """Render our ``k=v,k=v`` series key as a ``{k="v",...}`` label set."""
+    if not label_text:
+        return ""
+    parts = []
+    for pair in label_text.split(","):
+        key, _, value = pair.partition("=")
+        escaped = value.replace("\\", "\\\\").replace('"', '\\"')
+        parts.append(f'{_prom_name(key)}="{escaped}"')
+    return "{" + ",".join(parts) + "}"
+
+
+def _prom_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    return repr(float(value))
+
+
+def to_prometheus_text(snapshot: dict) -> str:
+    """Render a :meth:`MetricsRegistry.snapshot` dict in Prometheus text
+    exposition format (``# TYPE`` comments, cumulative ``_bucket`` lines
+    with ``le`` labels plus ``_sum``/``_count`` for histograms)."""
+    if snapshot.get("format") != "repro-metrics":
+        raise ObservabilityError(
+            "not a repro-metrics snapshot (missing format tag)"
+        )
+    lines: list[str] = []
+    for name, data in snapshot.get("metrics", {}).items():
+        prom = _prom_name(name)
+        kind = data.get("type")
+        if kind in ("counter", "gauge"):
+            lines.append(f"# TYPE {prom} {kind}")
+            for label_text, value in data.get("series", {}).items():
+                lines.append(
+                    f"{prom}{_prom_labels(label_text)} {_prom_value(value)}"
+                )
+        elif kind == "histogram":
+            lines.append(f"# TYPE {prom} histogram")
+            edges = data.get("buckets", [])
+            for label_text, series in data.get("series", {}).items():
+                base = label_text.split(",") if label_text else []
+                cumulative = 0
+                counts = series.get("counts", [])
+                for edge, count in zip(edges, counts):
+                    cumulative += count
+                    labels = ",".join(base + [f"le={edge}"])
+                    lines.append(
+                        f"{prom}_bucket{_prom_labels(labels)} {cumulative}"
+                    )
+                total = series.get("count", 0)
+                labels = ",".join(base + ["le=+Inf"])
+                lines.append(f"{prom}_bucket{_prom_labels(labels)} {total}")
+                plain = _prom_labels(label_text)
+                lines.append(
+                    f"{prom}_sum{plain} {_prom_value(series.get('sum', 0.0))}"
+                )
+                lines.append(f"{prom}_count{plain} {total}")
+        else:
+            raise ObservabilityError(
+                f"metric {name!r} has unknown type {kind!r}"
+            )
+    return "\n".join(lines) + ("\n" if lines else "")

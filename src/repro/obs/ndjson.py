@@ -132,6 +132,14 @@ def validate_trace(events: list[dict]) -> list[str]:
                 )
             if event["t_end"] is not None and event["t_end"] < event["t_start"]:
                 problems.append(f"{where}: span {event['sid']} ends before it starts")
+            attrs = event.get("attrs") or {}
+            if attrs.get("remote") and event["t_end"] is None:
+                # Merged distributed traces must close every worker span:
+                # the supervisor's graft closes even spans the worker died
+                # inside, so an open remote span means a broken merge.
+                problems.append(
+                    f"{where}: remote span {event['sid']} never closed"
+                )
             continue
         if kind == "decision":
             missing = _DECISION_KEYS - set(event)

@@ -142,6 +142,16 @@ class _ActiveSpan:
         self._span.attrs.update(attrs)
         return self
 
+    @property
+    def sid(self) -> int:
+        """The underlying span's sid (for grafting remote children)."""
+        return self._span.sid
+
+    @property
+    def depth(self) -> int:
+        """The underlying span's nesting depth."""
+        return self._span.depth
+
     def __enter__(self) -> "_ActiveSpan":
         return self
 
@@ -176,6 +186,14 @@ class _NoopSpan:
 
     def set(self, **attrs) -> "_NoopSpan":
         return self
+
+    @property
+    def sid(self) -> None:
+        return None
+
+    @property
+    def depth(self) -> int:
+        return 0
 
     def __enter__(self) -> "_NoopSpan":
         return self
@@ -235,6 +253,10 @@ class Recorder:
 
     def __init__(self) -> None:
         self._epoch = time.perf_counter()
+        # Wall-clock anchor of the perf_counter epoch: lets two recorders
+        # in different processes (supervisor + shard worker) normalise
+        # their self-relative span times onto one timeline.
+        self.epoch_unix = time.time()
         self._seq = 0
         self._stack: list[Span] = []
         self.spans: list[Span] = []
@@ -318,6 +340,74 @@ class Recorder:
         self.decisions.append(event)
         self._log.append(event.to_event())
         return event
+
+    # ------------------------------------------------------------------
+    # Remote event grafting
+    # ------------------------------------------------------------------
+    def graft_events(
+        self,
+        events: list[dict],
+        parent_sid: int | None = None,
+        parent_depth: int = 0,
+        t_offset: float = 0.0,
+    ) -> dict[int, int]:
+        """Splice events recorded by *another* recorder into this one.
+
+        Used by the shard supervisor to merge worker-side spans and
+        decisions (shipped over the transport as plain dicts) into the
+        campaign trace.  Remote sids are rebased onto this recorder's
+        sequence, parent references are remapped (a parent that never
+        arrived — e.g. the worker was killed mid-lease — reparents onto
+        ``parent_sid``), times are shifted by ``t_offset`` (the remote
+        epoch minus ours, from the handshake wall clocks) and clamped so
+        clock skew can't produce negative or inverted intervals, and
+        still-open remote spans are closed at their start time so every
+        grafted span closes.  Grafted spans carry ``attrs.remote: true``.
+
+        Returns the remote-sid → local-sid mapping so callers grafting
+        one lease across several batches can keep references stable.
+        """
+        sid_map: dict[int, int] = {}
+        base_depth = parent_depth + 1
+        for event in events:
+            if event.get("type") == "span":
+                sid_map[event["sid"]] = self._next_seq()
+        for event in events:
+            kind = event.get("type")
+            if kind == "span":
+                t_start = max(0.0, event["t_start"] + t_offset)
+                t_end = event.get("t_end")
+                t_end = t_start if t_end is None else max(
+                    t_start, t_end + t_offset
+                )
+                parent = event.get("parent")
+                attrs = dict(event.get("attrs") or {})
+                attrs["remote"] = True
+                span = Span(
+                    sid=sid_map[event["sid"]],
+                    parent=sid_map.get(parent, parent_sid),
+                    name=event["name"],
+                    depth=base_depth + event.get("depth", 0),
+                    t_start=t_start,
+                    t_end=t_end,
+                    attrs=attrs,
+                )
+                self.spans.append(span)
+                self._log.append(span.to_event())
+            elif kind == "decision":
+                remote_span = event.get("span")
+                decision = DecisionEvent(
+                    seq=self._next_seq(),
+                    category=event["category"],
+                    action=event["action"],
+                    subject=event.get("subject", ""),
+                    reason=event.get("reason", ""),
+                    span=sid_map.get(remote_span, parent_sid),
+                    attrs=dict(event.get("attrs") or {}),
+                )
+                self.decisions.append(decision)
+                self._log.append(decision.to_event())
+        return sid_map
 
     # ------------------------------------------------------------------
     # Metrics

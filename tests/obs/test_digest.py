@@ -122,3 +122,49 @@ class TestOnRealCampaign:
         assert digest.completed
         assert digest.completed_batches == 4
         assert "completed: 4 batches" in render_digest(digest)
+
+
+class TestShardLanes:
+    def shard_events(self):
+        return [
+            _decision("shard_plan", subject="plan", shards=2, backend="local"),
+            _decision("lease_grant", subject="lease 1", shard=0),
+            _decision("lease_grant", subject="lease 2", shard=1),
+            _decision("lease_done", subject="lease 1", shard=0, heartbeats=3),
+            _decision("shard_crash", subject="lease 2", shard=1, heartbeats=1),
+            _decision("redispatch", subject="[256,256)", shard=1),
+            _decision("lease_grant", subject="lease 3", shard=1),
+            _decision("lease_expired", subject="lease 3", shard=1,
+                      heartbeats=2),
+            _decision("serial_fallback", subject="[256,256)", shard=1),
+        ]
+
+    def test_lanes_fold_lease_actions_by_shard(self):
+        digest = digest_exec_events(self.shard_events())
+        assert digest.shard_plan == 2
+        assert digest.backend == "local"
+        lane0, lane1 = digest.shards[0], digest.shards[1]
+        assert (lane0.leases, lane0.done, lane0.heartbeats) == (1, 1, 3)
+        assert lane1.leases == 2
+        assert lane1.crashes == 1
+        assert lane1.redispatches == 1
+        assert lane1.expiries == 1
+        assert lane1.rescues == 1
+        assert lane1.heartbeats == 3  # 1 at the crash + 2 at the expiry
+
+    def test_shardless_decisions_do_not_make_lanes(self):
+        # A serial_fallback from the batch runner has no shard attr; it
+        # must count as batch health only, never invent shard -1 lanes.
+        digest = digest_exec_events([_decision("serial_fallback")])
+        assert digest.shards == {}
+        assert digest.batches["[0,16)"].serial_fallbacks == 1
+
+    def test_render_shows_shard_table_and_summary(self):
+        digest = digest_exec_events(self.shard_events())
+        text = render_digest(digest)
+        assert "Per-shard lease health (backend: local)" in text
+        assert "shards: 2 of 2 planned" in text
+        lane1_row = next(
+            line for line in text.splitlines() if line.startswith("1 ")
+        )
+        assert lane1_row.split() == ["1", "2", "0", "3", "1", "1", "1", "0", "1"]

@@ -1,0 +1,428 @@
+"""Distributed telemetry: worker capture, grafting, health, exports."""
+
+import json
+from types import SimpleNamespace
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import Recorder, load_ndjson, validate_trace
+from repro.obs.metrics import to_prometheus_text
+from repro.obs.telemetry import (
+    STATUS_FORMAT,
+    TELEMETRY_FORMAT,
+    HealthBoard,
+    LeaseTelemetry,
+    TelemetryMerger,
+    load_status,
+    make_context,
+    mint_run_id,
+    render_status,
+    validate_telemetry_stream,
+    write_status,
+)
+
+LEASE = {"id": 1, "shard": 0, "attempt": 1, "start": 0, "size": 512}
+
+
+def worker_batches(lease=LEASE, blocks=2, fail_last=False):
+    """Run a LeaseTelemetry through a lease; return the emitted batches."""
+    messages = []
+    telem = LeaseTelemetry(make_context("run0"), lease, messages.append)
+    for index in range(blocks):
+        start = lease["start"] + index * 256
+        with telem.block_span(index, start, 256):
+            pass
+        telem.block_done(256)
+        telem.flush()
+    if fail_last:
+        telem.error(lease["start"], 256, "boom")
+        telem.finish("error")
+    else:
+        telem.finish("done")
+    return messages
+
+
+class TestRunContext:
+    def test_run_ids_short_and_unique(self):
+        ids = {mint_run_id() for _ in range(32)}
+        assert len(ids) == 32
+        assert all(len(r) == 12 for r in ids)
+
+    def test_context_carries_run_id(self):
+        assert make_context("abc") == {"run_id": "abc"}
+
+
+class TestLeaseTelemetry:
+    def test_flush_ships_only_closed_events(self):
+        messages = worker_batches(blocks=2)
+        # two per-block flushes plus the final batch
+        assert len(messages) == 3
+        first = messages[0]
+        assert first["type"] == "telemetry"
+        assert first["lease"] == 1 and first["shard"] == 0
+        names = [e.get("name") for e in first["events"] if e["type"] == "span"]
+        # The lease root is still open — only the block span has shipped.
+        assert "worker.block" in names
+        assert "worker.lease" not in names
+
+    def test_final_batch_closes_root_and_carries_counters(self):
+        final = worker_batches(blocks=1)[-1]
+        assert final["final"] is True
+        roots = [
+            e for e in final["events"]
+            if e["type"] == "span" and e["name"] == "worker.lease"
+        ]
+        assert len(roots) == 1
+        assert roots[0]["t_end"] is not None
+        assert roots[0]["attrs"]["status"] == "done"
+        assert final["counters"]["worker_trials_total"] == {"shard=0": 256.0}
+
+    def test_sequence_numbers_increase(self):
+        messages = worker_batches(blocks=3)
+        assert [m["seq"] for m in messages] == [1, 2, 3, 4]
+
+    def test_flush_without_new_events_emits_nothing(self):
+        messages = []
+        telem = LeaseTelemetry(make_context("r"), LEASE, messages.append)
+        telem.flush()  # ships the lease_serve decision recorded at accept
+        telem.flush()  # nothing new closed since — no message
+        assert len(messages) == 1
+
+    def test_error_path_records_decision(self):
+        final = worker_batches(blocks=1, fail_last=True)[-1]
+        decisions = [e for e in final["events"] if e["type"] == "decision"]
+        assert any(d["action"] == "block_error" for d in decisions)
+        root = next(
+            e for e in final["events"]
+            if e["type"] == "span" and e["name"] == "worker.lease"
+        )
+        assert root["attrs"]["status"] == "error"
+
+
+class TestGraftEvents:
+    def graft(self, batches, t_offset=0.0):
+        rec = Recorder()
+        with rec.span("exec.shards") as parent:
+            events = [e for b in batches for e in b["events"]]
+            rec.graft_events(
+                events,
+                parent_sid=parent.sid,
+                parent_depth=parent.depth,
+                t_offset=t_offset,
+            )
+        return rec
+
+    def test_worker_tree_reparents_under_supervisor_span(self):
+        rec = self.graft(worker_batches(blocks=2))
+        assert validate_trace(rec.events()) == []
+        remote = [s for s in rec.spans if s.attrs.get("remote")]
+        lease = next(s for s in remote if s.name == "worker.lease")
+        blocks = [s for s in remote if s.name == "worker.block"]
+        shards_span = next(s for s in rec.spans if s.name == "exec.shards")
+        assert lease.parent == shards_span.sid
+        assert all(b.parent == lease.sid for b in blocks)
+        assert all(b.depth == lease.depth + 1 for b in blocks)
+
+    def test_unknown_parent_reparents_onto_anchor(self):
+        rec = Recorder()
+        with rec.span("exec.shards") as parent:
+            rec.graft_events(
+                [{
+                    "type": "span", "sid": 7, "parent": 999,
+                    "name": "worker.block", "depth": 1,
+                    "t_start": 0.1, "t_end": 0.2, "attrs": {},
+                }],
+                parent_sid=parent.sid,
+                parent_depth=parent.depth,
+            )
+        orphan = next(s for s in rec.spans if s.name == "worker.block")
+        assert orphan.parent == parent.sid
+        assert validate_trace(rec.events()) == []
+
+    def test_clock_offset_applied_and_clamped(self):
+        batches = worker_batches(blocks=1)
+        skewed = self.graft(batches, t_offset=5.0)
+        lease = next(
+            s for s in skewed.spans
+            if s.name == "worker.lease" and s.attrs.get("remote")
+        )
+        assert lease.t_start >= 5.0
+        # A pathological negative offset cannot produce negative times.
+        past = self.graft(worker_batches(blocks=1), t_offset=-1e9)
+        for span in past.spans:
+            if span.attrs.get("remote"):
+                assert span.t_start == 0.0
+                assert span.t_end >= span.t_start
+
+    def test_open_remote_span_closed_at_start(self):
+        rec = Recorder()
+        with rec.span("exec.shards") as parent:
+            rec.graft_events(
+                [{
+                    "type": "span", "sid": 3, "parent": None,
+                    "name": "worker.lease", "depth": 0,
+                    "t_start": 1.5, "t_end": None, "attrs": {},
+                }],
+                parent_sid=parent.sid,
+                parent_depth=parent.depth,
+            )
+        span = next(s for s in rec.spans if s.name == "worker.lease")
+        assert span.t_end == span.t_start == 1.5
+        assert validate_trace(rec.events()) == []
+
+    def test_decisions_remap_to_grafted_spans(self):
+        rec = self.graft(worker_batches(blocks=1))
+        grafted = [d for d in rec.decisions if d.category == "worker"]
+        assert grafted
+        lease = next(
+            s for s in rec.spans
+            if s.name == "worker.lease" and s.attrs.get("remote")
+        )
+        assert any(d.span == lease.sid for d in grafted)
+
+
+class TestValidateMergedTrace:
+    def test_unclosed_remote_span_is_flagged(self):
+        events = [
+            {"type": "meta", "format": "repro-trace", "version": 2},
+            {
+                "type": "span", "sid": 1, "parent": None, "name": "w",
+                "depth": 0, "t_start": 0.0, "t_end": None, "dur_s": None,
+                "attrs": {"remote": True},
+            },
+        ]
+        problems = validate_trace(events)
+        assert any("remote span 1 never closed" in p for p in problems)
+
+
+class TestTelemetryMerger:
+    def test_graft_deferred_until_settle(self):
+        rec = Recorder()
+        with rec.span("exec.shards") as parent:
+            merger = TelemetryMerger(
+                rec, "run0", parent_sid=parent.sid,
+                parent_depth=parent.depth,
+            )
+            for message in worker_batches(blocks=2):
+                merger.add(message, slot=0)
+            assert merger.worker_spans == 0
+            merger.settle(1)
+        assert merger.worker_spans == 3  # lease root + two blocks
+        assert validate_trace(rec.events()) == []
+
+    def test_straggler_after_settle_grafts_immediately(self):
+        rec = Recorder()
+        with rec.span("exec.shards") as parent:
+            merger = TelemetryMerger(
+                rec, "run0", parent_sid=parent.sid,
+                parent_depth=parent.depth,
+            )
+            merger.settle(1)
+            merger.add(worker_batches(blocks=1)[0], slot=0)
+        assert merger.worker_spans == 1
+        assert validate_trace(rec.events()) == []
+
+    def test_worker_counters_merge_into_supervisor_registry(self):
+        rec = Recorder()
+        merger = TelemetryMerger(rec, "run0")
+        for message in worker_batches(blocks=2):
+            merger.add(message)
+        merger.settle_all()
+        assert rec.counter("worker_trials_total").value(shard="0") == 512.0
+        assert rec.counter("worker_blocks_total").value(shard="0") == 2.0
+
+    def test_disabled_recorder_never_grafted(self):
+        merger = TelemetryMerger(SimpleNamespace(enabled=False), "run0")
+        for message in worker_batches(blocks=1):
+            merger.add(message)
+        merger.settle_all()
+        assert merger.worker_spans == 0
+
+    def test_write_stream_round_trips_and_validates(self, tmp_path):
+        rec = Recorder()
+        merger = TelemetryMerger(rec, "run0")
+        for message in worker_batches(blocks=2):
+            merger.add(message, slot=3)
+        path = tmp_path / "telemetry.ndjson"
+        merger.write_stream(str(path))
+        events = load_ndjson(str(path))
+        assert validate_telemetry_stream(events) == []
+        assert events[0]["format"] == TELEMETRY_FORMAT
+        assert events[0]["run_id"] == "run0"
+        assert all(e["slot"] == 3 for e in events[1:])
+
+
+class TestValidateTelemetryStream:
+    def good_stream(self):
+        meta = {"type": "meta", "format": TELEMETRY_FORMAT, "version": 1}
+        return [meta] + worker_batches(blocks=1)
+
+    def test_good_stream_passes(self):
+        assert validate_telemetry_stream(self.good_stream()) == []
+
+    def test_empty_stream_fails(self):
+        assert validate_telemetry_stream([]) != []
+
+    def test_wrong_meta_fails(self):
+        events = self.good_stream()
+        events[0] = {"type": "meta", "format": "repro-trace", "version": 2}
+        assert any(
+            "meta line" in p for p in validate_telemetry_stream(events)
+        )
+
+    def test_sequence_regression_fails(self):
+        events = self.good_stream()
+        events.append(dict(events[1], seq=1))
+        events.append(dict(events[1], seq=1))
+        assert any(
+            "sequence went backwards" in p
+            for p in validate_telemetry_stream(events)
+        )
+
+    def test_missing_epoch_fails(self):
+        events = self.good_stream()
+        del events[1]["epoch_unix"]
+        assert any(
+            "epoch_unix" in p for p in validate_telemetry_stream(events)
+        )
+
+    def test_unknown_record_type_fails(self):
+        events = self.good_stream() + [{"type": "span"}]
+        assert any(
+            "unexpected record type" in p
+            for p in validate_telemetry_stream(events)
+        )
+
+
+class TestPrometheusExport:
+    def snapshot(self):
+        rec = Recorder()
+        rec.counter("faultsim_trials_total").inc(100, engine="scalar")
+        rec.gauge("faultsim_trials_per_s").set(1234.5)
+        hist = rec.histogram("spread", buckets=(1.0, 2.0))
+        for value in (0.5, 1.5, 1.7, 5.0):
+            hist.observe(value)
+        return rec.metrics.snapshot()
+
+    def test_counters_and_gauges_rendered(self):
+        text = to_prometheus_text(self.snapshot())
+        assert "# TYPE faultsim_trials_total counter" in text
+        assert 'faultsim_trials_total{engine="scalar"} 100.0' in text
+        assert "faultsim_trials_per_s 1234.5" in text
+
+    def test_histogram_buckets_are_cumulative(self):
+        text = to_prometheus_text(self.snapshot())
+        assert 'spread_bucket{le="1.0"} 1' in text
+        assert 'spread_bucket{le="2.0"} 3' in text
+        assert 'spread_bucket{le="+Inf"} 4' in text
+        assert "spread_count 4" in text
+
+    def test_rejects_untagged_snapshot(self):
+        with pytest.raises(ObservabilityError):
+            to_prometheus_text({"metrics": {}})
+
+    def test_label_values_escaped(self):
+        rec = Recorder()
+        rec.counter("c").inc(rule='say "hi"')
+        text = to_prometheus_text(rec.metrics.snapshot())
+        assert 'rule="say \\"hi\\""' in text
+
+
+def fake_plan(sizes, block=256):
+    plan, start = [], 0
+    for shard_id, size in enumerate(sizes):
+        plan.append(SimpleNamespace(id=shard_id, start=start, size=size))
+        start += size
+    return plan
+
+
+def board(tmp_path=None, sizes=(512, 512), **kwargs):
+    status_file = str(tmp_path / "status.json") if tmp_path else None
+    return HealthBoard(
+        fake_plan(sizes), 256, run_id="run0", kind="faultsim",
+        trials=sum(sizes), backend="local", status_file=status_file,
+        **kwargs,
+    )
+
+
+class TestHealthBoard:
+    def test_shard_of_maps_block_starts_to_owners(self):
+        b = board()
+        assert b.shard_of(0) == 0
+        assert b.shard_of(256) == 0
+        assert b.shard_of(512) == 1
+        assert b.shard_of(768) == 1
+
+    def test_lifecycle_states(self):
+        b = board()
+        assert b.shards[0].state == "pending"
+        b.lease_granted(0)
+        assert b.shards[0].state == "running"
+        b.crashed(0)
+        assert b.shards[0].state == "stalled"
+        b.lease_granted(0)
+        b.block_done(0, 256, "backend")
+        b.block_done(256, 256, "serial")
+        assert b.shards[0].state == "done"
+        assert b.shards[0].rescued_blocks == 1
+
+    def test_snapshot_totals(self):
+        b = board()
+        b.lease_granted(0)
+        b.heartbeat(0)
+        b.block_done(0, 256, "backend")
+        status = b.snapshot(complete=True)
+        assert status["format"] == STATUS_FORMAT
+        assert status["trials_done"] == 256
+        assert status["complete"] is True
+        shard0 = status["shards"][0]
+        assert shard0["blocks_done"] == 1
+        assert shard0["heartbeats"] == 1
+        assert shard0["heartbeat_lag_s"] is not None
+
+    def test_status_file_written_atomically(self, tmp_path):
+        b = board(tmp_path)
+        b.maybe_write(force=True)
+        status = load_status(str(tmp_path / "status.json"))
+        assert status["run_id"] == "run0"
+        assert [s["shard"] for s in status["shards"]] == [0, 1]
+        assert not list(tmp_path.glob("*.tmp.*"))
+
+    def test_writes_throttled_between_events(self, tmp_path):
+        b = board(tmp_path, interval_s=3600.0)
+        b.maybe_write(force=True)
+        first = (tmp_path / "status.json").read_text()
+        b.lease_granted(0)  # throttled: inside the interval
+        assert (tmp_path / "status.json").read_text() == first
+        b.maybe_write(complete=True)  # completion bypasses the throttle
+        assert json.loads(
+            (tmp_path / "status.json").read_text()
+        )["complete"] is True
+
+
+class TestStatusFile:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "s.json")
+        write_status(path, {"format": STATUS_FORMAT, "version": 1})
+        assert load_status(path)["format"] == STATUS_FORMAT
+
+    def test_load_rejects_untagged_json(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text('{"hello": 1}\n')
+        with pytest.raises(ObservabilityError):
+            load_status(str(path))
+
+    def test_load_missing_file_raises(self, tmp_path):
+        with pytest.raises(ObservabilityError):
+            load_status(str(tmp_path / "absent.json"))
+
+    def test_render_status_shows_shard_table(self):
+        b = board()
+        b.lease_granted(0)
+        b.block_done(0, 256, "backend")
+        text = render_status(b.snapshot())
+        assert "run run0" in text
+        assert "backend=local" in text
+        assert "shard" in text and "beat lag" in text
+        assert "running" in text
