@@ -135,14 +135,19 @@ def bench_parallel_campaign(name, system, hw, heuristic, trials, workers) -> dic
     }
 
 
-def bench_sharded_campaign(name, system, hw, heuristic, trials, shards, workers) -> dict:
+def bench_sharded_campaign(
+    name, system, hw, heuristic, trials, shards, workers,
+    backend="local", tolerance=None,
+) -> dict:
     """Run one fault campaign serially, sharded, and sharded-with-tracing.
 
     The sharded run goes through the shard supervisor
-    (:mod:`repro.exec.shards`) over the ``local`` fork-pool backend, so
-    this entry asserts the block-aligned lease machinery reproduces the
-    serial result bit-for-bit while recording how many shards actually
-    engaged and how many leases were re-dispatched.  Shard leases are
+    (:mod:`repro.exec.shards`) over ``backend`` (the ``local`` fork
+    pool by default; ``"tcp"`` exercises real socket transport with
+    spawned ``--connect`` workers), so this entry asserts the
+    block-aligned lease machinery reproduces the serial result
+    bit-for-bit while recording how many shards actually engaged and
+    how many leases were re-dispatched.  Shard leases are
     cut on 256-trial block boundaries, so a ``--quick`` run (fewer
     trials than one block) honestly plans a single shard and reports
     ``pool_engaged: false`` — the speedup gate only applies when at
@@ -177,13 +182,13 @@ def bench_sharded_campaign(name, system, hw, heuristic, trials, shards, workers)
                 out = run_campaign(
                     graph, partition, trials=trials, seed=0,
                     policy=ExecPolicy(workers=effective),
-                    engine="scalar", shards=shards, backend="local",
+                    engine="scalar", shards=shards, backend=backend,
                 )
         else:
             out = run_campaign(
                 graph, partition, trials=trials, seed=0,
                 policy=ExecPolicy(workers=effective),
-                engine="scalar", shards=shards, backend="local",
+                engine="scalar", shards=shards, backend=backend,
             )
         return out, time.perf_counter() - t0
 
@@ -198,7 +203,7 @@ def bench_sharded_campaign(name, system, hw, heuristic, trials, shards, workers)
     overhead = max(0.0, traced_s / sharded_s - 1.0) if sharded_s else None
     report = sharded.exec_report
     traced_report = traced.exec_report
-    return {
+    entry = {
         "name": name,
         "campaign_trials": trials,
         "workers": effective,
@@ -221,6 +226,9 @@ def bench_sharded_campaign(name, system, hw, heuristic, trials, shards, workers)
         "lease_expiries": report.lease_expiries,
         "shard_crashes": report.shard_crashes,
     }
+    if tolerance:
+        entry["tolerance"] = tolerance
+    return entry
 
 
 def run(quick: bool = False) -> list[dict]:
@@ -270,6 +278,30 @@ def run(quick: bool = False) -> list[dict]:
             workers=2,
         ),
     ]
+    # The same sharded campaign over the TCP transport: real sockets,
+    # spawned --connect worker interpreters, generation-fenced frames.
+    # TCP pays connection setup and JSON-over-socket framing that the
+    # fork pool's private pipes do not, so its speedup floor is looser
+    # (committed per-entry tolerance); the identical gates stay hard.
+    tcp_entry = bench_sharded_campaign(
+        "generated-200-tcp",
+        random_system(
+            processes=200, tasks_per_process=1, procedures_per_task=1, seed=42
+        ),
+        fully_connected(40),
+        Heuristic.TIMING_PACK,
+        trials,
+        shards=2,
+        workers=2,
+        backend="tcp",
+        tolerance={"min_speedup": 0.8, "max_telemetry_overhead": 0.35},
+    )
+    fork_entry = next(e for e in entries if e["name"] == "generated-200-sharded")
+    if fork_entry.get("pooled_wall_s") and tcp_entry.get("pooled_wall_s"):
+        tcp_entry["vs_fork_overhead"] = round(
+            tcp_entry["pooled_wall_s"] / fork_entry["pooled_wall_s"] - 1.0, 4
+        )
+    entries.append(tcp_entry)
     if NUMPY_AVAILABLE:
         # The vector kernel amortizes graph compilation over the whole
         # campaign, so its trials/s swings more between --quick and full

@@ -176,16 +176,22 @@ def _add_exec_flags(parser: argparse.ArgumentParser) -> None:
 def _add_shard_flags(parser: argparse.ArgumentParser) -> None:
     """Attach shard-backend flags to a campaign subcommand."""
     parser.add_argument(
-        "--backend", choices=["local", "subprocess"], default=None,
+        "--backend", choices=["local", "subprocess", "tcp"], default=None,
         help="run the campaign as shard leases over this execution "
         "backend ('local' forked slots, 'subprocess' isolated "
-        "python -m repro shard workers); results are bit-identical "
-        "to a serial run",
+        "python -m repro shard workers, 'tcp' workers over real network "
+        "connections); results are bit-identical to a serial run",
     )
     parser.add_argument(
         "--shards", type=int, default=0, metavar="N",
         help="split the campaign into N block-aligned shards (0 with "
         "--backend = derive from CPUs); implies the shard supervisor",
+    )
+    parser.add_argument(
+        "--listen", default=None, metavar="HOST:PORT",
+        help="with --backend tcp: bind the lease listener here and wait "
+        "for remote 'repro exec shard-worker --connect' workers to dial "
+        "in (default: loopback listener + self-spawned local workers)",
     )
     parser.add_argument(
         "--status-file", default=None, metavar="FILE",
@@ -400,8 +406,11 @@ def build_parser() -> argparse.ArgumentParser:
         "the batch-pool self-test",
     )
     chaos.add_argument(
-        "--backend", choices=["local", "subprocess"], default="local",
-        help="execution backend for the shard-level proofs",
+        "--backend", choices=["local", "subprocess", "tcp"],
+        default="local",
+        help="execution backend for the shard-level proofs; 'tcp' adds "
+        "the NetChaos proofs (dropped connections, delayed frames, "
+        "torn/duplicated lines, full partition + resume)",
     )
     chaos.add_argument(
         "--workdir", default=None, metavar="DIR",
@@ -409,10 +418,21 @@ def build_parser() -> argparse.ArgumentParser:
         "temporary directory)",
     )
     _add_obs_flags(chaos)
-    exec_sub.add_parser(
+    shard_worker = exec_sub.add_parser(
         "shard-worker",
-        help="serve shard leases over stdin/stdout (spawned by the "
-        "subprocess backend; not for interactive use)",
+        help="serve shard leases over stdin/stdout, or over TCP with "
+        "--connect (spawned by the subprocess/tcp backends, or started "
+        "by hand on a remote host; not for interactive use)",
+    )
+    shard_worker.add_argument(
+        "--connect", default=None, metavar="HOST:PORT",
+        help="dial a 'repro ... --backend tcp' supervisor and serve "
+        "leases over the connection instead of stdin/stdout",
+    )
+    shard_worker.add_argument(
+        "--reconnect", type=int, default=0, metavar="N",
+        help="with --connect: re-dial up to N times after the "
+        "connection ends (each session registers as a fresh slot)",
     )
     watch = exec_sub.add_parser(
         "watch",
@@ -739,6 +759,7 @@ def _cmd_faultsim(args: argparse.Namespace) -> int:
         shards=args.shards,
         status_file=args.status_file,
         telemetry_stream=args.telemetry_stream,
+        listen=args.listen,
     )
     print(
         render_campaign(
@@ -770,6 +791,10 @@ def _cmd_exec(args: argparse.Namespace) -> int:
     from repro.exec import run_chaos_selftest, run_shard_chaos_selftest
 
     if args.exec_command == "shard-worker":
+        if args.connect is not None:
+            from repro.exec.tcp import tcp_worker_main
+
+            return tcp_worker_main(args.connect, reconnect=args.reconnect)
         from repro.exec.transport import shard_worker_main
 
         return shard_worker_main()

@@ -19,7 +19,11 @@ to the campaign runner (De Florio's application-level fault tolerance):
   remote worker can rebuild from JSON;
 * :mod:`repro.exec.transport` — backend #2: isolated
   ``python -m repro exec shard-worker`` subprocesses over NDJSON pipes
-  (the test double for SSH/container transports);
+  (one concrete carrier of the shard protocol);
+* :mod:`repro.exec.tcp` — backend #3: the same protocol over real TCP
+  connections (``--backend tcp`` / ``--listen`` / ``--connect``), with
+  reconnecting workers, per-connection generation fencing, and the
+  deterministic :class:`~repro.exec.chaos.NetChaos` fault layer;
 * :mod:`repro.exec.shards` — the shard-lease supervisor: block-aligned
   shard planning, heartbeat-based straggler expiry, and re-dispatch with
   bit-identical aggregates;
@@ -40,6 +44,7 @@ from repro.exec.backend import (
     block_ranges,
     build_task,
     make_backend,
+    note_torn_line,
     selftest_spec,
     serve_lease,
 )
@@ -54,6 +59,7 @@ from repro.exec.batching import (
 from repro.exec.chaos import (
     ChaosPlan,
     ChaosSelfTestResult,
+    NetChaos,
     ShardChaos,
     run_chaos_selftest,
     run_shard_chaos_selftest,
@@ -80,6 +86,7 @@ from repro.exec.shards import (
     run_sharded,
     uncovered_ranges,
 )
+from repro.exec.tcp import TcpBackend, tcp_worker_main
 
 __all__ = [
     "Batch",
@@ -94,10 +101,12 @@ __all__ = [
     "ForkPoolBackend",
     "InterruptGuard",
     "LEASE_BLOCK_TRIALS",
+    "NetChaos",
     "PipeWorker",
     "Shard",
     "ShardChaos",
     "ShardReport",
+    "TcpBackend",
     "available_cpus",
     "block_ranges",
     "build_task",
@@ -107,6 +116,7 @@ __all__ = [
     "derive_seed",
     "load_checkpoint",
     "make_backend",
+    "note_torn_line",
     "plan_batches",
     "plan_shards",
     "resolve_workers",
@@ -116,6 +126,7 @@ __all__ = [
     "run_supervised",
     "selftest_spec",
     "serve_lease",
+    "tcp_worker_main",
     "truncate_file",
     "uncovered_ranges",
     "validate_checkpoint",

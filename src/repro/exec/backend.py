@@ -125,8 +125,18 @@ def selftest_task(params: dict) -> Callable[[int, int, int], dict]:
     """
     modulus = int(params.get("modulus", 997))
     delay_s = float(params.get("delay_s", 0.0))
+    stderr_probe = params.get("stderr_probe")
 
     def task(start: int, size: int, seed: int) -> dict:
+        if stderr_probe:
+            # Exercised by the stderr-tail tests: a worker that talks on
+            # stderr must leave those words in the supervisor's tail.
+            import sys
+
+            print(
+                f"{stderr_probe} [{start},{start + size})",
+                file=sys.stderr, flush=True,
+            )
         if delay_s:
             time.sleep(delay_s * size)
         return {
@@ -139,11 +149,18 @@ def selftest_task(params: dict) -> Callable[[int, int, int], dict]:
     return task
 
 
-def selftest_spec(modulus: int = 997, delay_s: float = 0.0) -> dict:
+def selftest_spec(
+    modulus: int = 997,
+    delay_s: float = 0.0,
+    stderr_probe: str | None = None,
+) -> dict:
     """The task spec matching :func:`selftest_task`."""
+    params: dict = {"modulus": modulus, "delay_s": delay_s}
+    if stderr_probe is not None:
+        params["stderr_probe"] = stderr_probe
     return {
         "entry": "repro.exec.backend:selftest_task",
-        "params": {"modulus": modulus, "delay_s": delay_s},
+        "params": params,
     }
 
 
@@ -242,12 +259,50 @@ class BackendEvent:
     ``kind`` is ``"message"`` (``message`` holds a worker dict —
     heartbeat/partial/done/error) or ``"exit"`` (the slot process died;
     ``exitcode`` as reported by the transport, ``None`` if unknown).
+    ``stderr`` carries the slot's bounded stderr tail on ``exit`` events
+    when the transport captured one — a crashed worker's last words.
     """
 
     kind: str
     slot: int
     message: dict | None = None
     exitcode: int | None = None
+    stderr: str | None = None
+
+
+def note_torn_line(slot: int, side: str) -> None:
+    """Record one torn/undecodable protocol line instead of losing it.
+
+    ``side`` says who failed to decode: ``"supervisor"`` (a worker line
+    arrived torn) or ``"worker"`` (the worker reported a torn supervisor
+    line).  Feeds the ``protocol_torn_lines`` counter and a
+    ``protocol_torn`` decision so silent frame corruption shows up in
+    ``repro exec digest`` rather than vanishing in a ``continue``.
+    """
+    from repro.obs import current
+
+    rec = current()
+    if rec.enabled:
+        rec.counter("protocol_torn_lines").inc(side=side)
+    rec.decision(
+        "exec", "protocol_torn", subject=f"slot {slot}",
+        reason="undecodable protocol line dropped",
+        slot=slot, side=side,
+    )
+
+
+def note_fenced_line(slot: int, generation: object) -> None:
+    """Record one stale-generation message fenced off by the transport."""
+    from repro.obs import current
+
+    rec = current()
+    if rec.enabled:
+        rec.counter("protocol_fenced_lines").inc()
+    rec.decision(
+        "exec", "generation_fenced", subject=f"slot {slot}",
+        reason="message carried a stale connection generation; dropped",
+        slot=slot, generation=generation,
+    )
 
 
 class ExecBackend(abc.ABC):
@@ -473,7 +528,7 @@ class ForkPoolBackend(ExecBackend):
         self._slots.clear()
 
 
-BACKEND_NAMES = ("local", "subprocess")
+BACKEND_NAMES = ("local", "subprocess", "tcp")
 
 
 def make_backend(
@@ -485,15 +540,24 @@ def make_backend(
     chaos=None,
     block: int = LEASE_BLOCK_TRIALS,
     telemetry: dict | None = None,
+    listen: str | None = None,
 ) -> ExecBackend:
     """Instantiate a backend by name.
 
-    ``local`` needs a ``task`` closure; ``subprocess`` needs a
-    JSON-serializable ``task_spec`` (see :func:`build_task`).  A caller
-    holding only a spec can run it locally too — the spec is built for
-    exactly that symmetry.  ``telemetry`` is the optional trace context
-    shipped to every slot (:func:`repro.obs.telemetry.make_context`).
+    ``local`` needs a ``task`` closure; ``subprocess`` and ``tcp`` need
+    a JSON-serializable ``task_spec`` (see :func:`build_task`).  A
+    caller holding only a spec can run it locally too — the spec is
+    built for exactly that symmetry.  ``telemetry`` is the optional
+    trace context shipped to every slot
+    (:func:`repro.obs.telemetry.make_context`).  ``listen`` applies to
+    ``tcp`` only: a ``HOST:PORT`` to bind the lease listener on, which
+    also switches the backend to waiting for hand-started remote
+    workers instead of spawning loopback ones.
     """
+    if name != "tcp" and listen is not None:
+        raise ExecutionError(
+            f"--listen only applies to the tcp backend, not {name!r}"
+        )
     if name == "local":
         if task is None and task_spec is not None:
             task = build_task(task_spec)
@@ -512,6 +576,18 @@ def make_backend(
             )
         return SubprocessBackend(
             task_spec, seed, chaos=chaos, block=block, telemetry=telemetry
+        )
+    if name == "tcp":
+        from repro.exec.tcp import TcpBackend
+
+        if task_spec is None:
+            raise ExecutionError(
+                "the tcp backend needs a JSON-serializable task_spec "
+                "(its workers run in fresh interpreters)"
+            )
+        return TcpBackend(
+            task_spec, seed, chaos=chaos, block=block, telemetry=telemetry,
+            listen=listen,
         )
     raise ExecutionError(
         f"unknown exec backend {name!r} (expected one of {BACKEND_NAMES})"

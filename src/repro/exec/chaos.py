@@ -122,6 +122,57 @@ class ShardChaos:
         )
 
 
+@dataclass(frozen=True)
+class NetChaos:
+    """Deterministic network faults for the TCP shard transport.
+
+    Where :class:`ShardChaos` rides into the worker and murders it from
+    the inside, ``NetChaos`` sits *in the supervisor's receive path*
+    (:class:`repro.exec.tcp.TcpBackend`) and corrupts the network
+    between intact processes — the failures a real wire delivers:
+
+    * ``drop_after`` — ``{slot: n}``: hard-close the slot's connection
+      after ``n`` complete lines have been received from it.  The
+      worker sees EOF mid-lease; the supervisor sees slot death.
+    * ``delay_slots`` — ``{slot: seconds}``: receive the slot's bytes
+      but withhold them from parsing for ``seconds`` — long enough and
+      the heartbeat deadline expires a perfectly healthy lease.
+    * ``tear_lines`` — ``{slot: index}``: truncate the slot's
+      ``index``-th received line mid-frame so it no longer decodes.
+    * ``duplicate_slots`` + ``duplicate_rate`` — deliver each of these
+      slots' lines twice with per-line probability ``duplicate_rate``,
+      drawn from a stream seeded by ``derive_seed(seed, slot,
+      purpose="net-chaos")`` so every schedule is reproducible.
+    * ``partition_after`` — after this many lines *total* (all slots),
+      close every connection at once: a full partition.  The backend
+      keeps listening, so reconnecting workers heal it — unless
+      ``partition_interrupt`` also raises
+      :class:`~repro.errors.CampaignInterrupted`, simulating a
+      supervisor that dies partitioned (its ``complete:false`` manifest
+      must then resume cleanly).
+
+    Supervisor-side only, so it never crosses the hello line and needs
+    no serialization.
+    """
+
+    seed: int = 0
+    drop_after: dict[int, int] = field(default_factory=dict)
+    delay_slots: dict[int, float] = field(default_factory=dict)
+    tear_lines: dict[int, int] = field(default_factory=dict)
+    duplicate_slots: frozenset[int] = frozenset()
+    duplicate_rate: float = 1.0
+    partition_after: int | None = None
+    partition_interrupt: bool = False
+
+    def rng_for(self, slot: int):
+        """The slot's private duplicate-decision stream."""
+        import random
+
+        from repro.exec.batching import derive_seed
+
+        return random.Random(derive_seed(self.seed, slot, purpose="net-chaos"))
+
+
 def truncate_file(path: str, chop_bytes: int) -> int:
     """Remove the last ``chop_bytes`` bytes of ``path`` (torn-write fake).
 
@@ -380,4 +431,158 @@ def run_shard_chaos_selftest(
           "torn shard partial detected and reported")
     check(os.path.exists(checkpoint + ".manifest"),
           "shard completion manifest atomically published")
+
+    # --- TCP-only proofs: deterministic network faults -----------------
+    if backend == "tcp":
+        _tcp_net_chaos_proofs(
+            workdir, graph, partition, trials, shards, workers, seed,
+            baseline, check, actions_of,
+        )
     return result
+
+
+def _tcp_net_chaos_proofs(
+    workdir, graph, partition, trials, shards, workers, seed,
+    baseline, check, actions_of,
+) -> None:
+    """NetChaos invariants the TCP transport must hold (see NetChaos).
+
+    Every schedule must leave the campaign bit-identical to serial:
+    dropped connections mid-lease, frames delayed past the heartbeat
+    deadline, torn frames plus every line duplicated, a full partition
+    healed by fresh connections, and a full partition that kills the
+    supervisor — whose ``complete:false`` manifest must then resume
+    cleanly with waiting workers.
+    """
+    import json
+
+    from repro.errors import CampaignInterrupted, ObservabilityError
+    from repro.exec.runner import ExecPolicy
+    from repro.exec.tcp import TcpBackend
+    from repro.faultsim.campaign import campaign_task_spec, run_campaign
+    from repro.faultsim.engine import resolve_engine
+    from repro.obs import Recorder, load_ndjson, use
+    from repro.obs.telemetry import validate_telemetry_stream
+
+    spec = campaign_task_spec(graph, partition, resolve_engine("auto").engine)
+    policy = ExecPolicy(workers=workers, backoff_base=0.01, backoff_max=0.05)
+
+    # -- proof 4: connection hard-dropped mid-lease ---------------------
+    net = NetChaos(drop_after={1: 2})
+    recorder = Recorder()
+    with use(recorder), TcpBackend(spec, seed, net_chaos=net) as tcp:
+        dropped = run_campaign(
+            graph, partition, trials=trials, seed=seed,
+            policy=policy, shards=shards, backend=tcp,
+        )
+    actions = actions_of(recorder)
+    check(dropped == baseline,
+          "dropped-connection result identical to serial baseline")
+    check("shard_crash" in actions,
+          "severed TCP connection detected as slot death")
+    check("redispatch" in actions,
+          "dropped slot's uncovered remainder re-dispatched")
+
+    # -- proof 5: frames delayed past the heartbeat deadline ------------
+    net = NetChaos(delay_slots={0: 5.0})
+    recorder = Recorder()
+    with use(recorder), TcpBackend(spec, seed, net_chaos=net) as tcp:
+        delayed = run_campaign(
+            graph, partition, trials=trials, seed=seed,
+            policy=ExecPolicy(
+                workers=workers, backoff_base=0.01, backoff_max=0.05,
+                heartbeat_timeout=0.75,
+            ),
+            shards=shards, backend=tcp,
+        )
+    actions = actions_of(recorder)
+    check(delayed == baseline,
+          "delayed-frames result identical to serial baseline")
+    check("lease_expired" in actions,
+          "frames delayed past the deadline expired the lease")
+
+    # -- proof 6: torn frame + every line delivered twice ---------------
+    tcp_telemetry = os.path.join(workdir, "tcp-telemetry.ndjson")
+    net = NetChaos(
+        seed=seed, tear_lines={0: 1},
+        duplicate_slots=frozenset(range(workers)), duplicate_rate=1.0,
+    )
+    recorder = Recorder()
+    with use(recorder), TcpBackend(spec, seed, net_chaos=net) as tcp:
+        noisy = run_campaign(
+            graph, partition, trials=trials, seed=seed,
+            policy=policy, shards=shards, backend=tcp,
+            telemetry_stream=tcp_telemetry,
+        )
+    check(noisy == baseline,
+          "torn+duplicated-lines result identical to serial baseline "
+          "(done/partial idempotent)")
+    check(noisy.exec_report.protocol_torn_lines >= 1,
+          "torn TCP frame counted as a protocol_torn line")
+    try:
+        stream_problems = validate_telemetry_stream(load_ndjson(tcp_telemetry))
+    except (OSError, ObservabilityError) as exc:
+        stream_problems = [str(exc)]
+    check(not stream_problems,
+          "telemetry stream valid despite duplicated batch delivery")
+
+    # -- proof 7: full partition, healed by fresh connections -----------
+    # Severed at 5 delivered lines: with two slots that is at most one
+    # banked partial, so at least one in-flight lease still has an
+    # uncovered remainder and a re-dispatch is guaranteed.
+    net = NetChaos(partition_after=5)
+    recorder = Recorder()
+    with use(recorder), TcpBackend(spec, seed, net_chaos=net) as tcp:
+        healed = run_campaign(
+            graph, partition, trials=trials, seed=seed,
+            policy=policy, shards=shards, backend=tcp,
+        )
+    actions = actions_of(recorder)
+    check(healed == baseline,
+          "partition-then-heal result identical to serial baseline")
+    check("shard_crash" in actions,
+          "full partition observed as slot deaths")
+    check("redispatch" in actions,
+          "partitioned leases re-dispatched to fresh connections")
+
+    # -- proof 8: partition kills the run; complete:false must resume ---
+    checkpoint = os.path.join(workdir, "tcp-partition.ndjson")
+    if os.path.exists(checkpoint):
+        os.remove(checkpoint)
+    interrupted = False
+    net = NetChaos(partition_after=7, partition_interrupt=True)
+    try:
+        with TcpBackend(spec, seed, net_chaos=net) as tcp:
+            run_campaign(
+                graph, partition, trials=trials, seed=seed,
+                policy=policy, shards=shards, backend=tcp,
+                checkpoint=checkpoint,
+            )
+    except CampaignInterrupted:
+        interrupted = True
+    check(interrupted,
+          "full partition with partition_interrupt aborts the campaign")
+    manifest_path = checkpoint + ".manifest"
+    try:
+        with open(manifest_path, encoding="utf-8") as handle:
+            manifest = json.load(handle)
+    except (OSError, ValueError):
+        manifest = {}
+    check(manifest.get("complete") is False,
+          "interrupted run sealed a complete:false manifest")
+    recorder = Recorder()
+    with use(recorder), TcpBackend(spec, seed) as tcp:
+        resumed = run_campaign(
+            graph, partition, trials=trials, seed=seed,
+            policy=policy, shards=shards, backend=tcp,
+            resume=checkpoint,
+        )
+    check(resumed == baseline,
+          "post-partition resume identical to serial baseline")
+    try:
+        with open(manifest_path, encoding="utf-8") as handle:
+            manifest = json.load(handle)
+    except (OSError, ValueError):
+        manifest = {}
+    check(manifest.get("complete") is True,
+          "resumed run republished a complete manifest")

@@ -47,6 +47,7 @@ from repro.exec.backend import (
     block_ranges,
     build_task,
     make_backend,
+    note_torn_line,
 )
 from repro.exec.batching import Batch, available_cpus, derive_seed
 from repro.exec.checkpoint import CheckpointWriter, campaign_fingerprint
@@ -157,6 +158,8 @@ class ShardReport:
     heartbeats: int = 0
     backend_abandoned: bool = False
     corrupt_checkpoint_lines: int = 0
+    protocol_torn_lines: int = 0
+    generation_fenced_lines: int = 0
     checkpoint_path: str | None = None
     manifest_path: str | None = None
     elapsed_s: float = 0.0
@@ -213,6 +216,7 @@ def run_sharded(
     status_file: str | None = None,
     telemetry_stream: str | None = None,
     run_id: str | None = None,
+    listen: str | None = None,
 ) -> tuple[list[Any], ShardReport]:
     """Run a campaign as shard leases over an execution backend.
 
@@ -343,7 +347,7 @@ def run_sharded(
             _supervise(
                 plan, policy, backend, task, task_spec, local_task, seed,
                 chaos, block, combine, done, bank, report, rec, guard,
-                telemetry, merger, board,
+                telemetry, merger, board, listen,
             )
             # Every shard must now assemble from banked ranges.
             payloads = [
@@ -394,7 +398,7 @@ def run_sharded(
 def _supervise(
     plan, policy, backend, task, task_spec, local_task, seed, chaos, block,
     combine, done, bank, report, rec, guard,
-    telemetry=None, merger=None, board=None,
+    telemetry=None, merger=None, board=None, listen=None,
 ) -> None:
     """The lease event loop (see module docstring for the policy)."""
     jitter_rng = random.Random(derive_seed(seed, 0, purpose="lease-jitter"))
@@ -449,6 +453,7 @@ def _supervise(
             chaos=chaos,
             block=block,
             telemetry=telemetry,
+            listen=listen,
         )
     )
 
@@ -583,6 +588,11 @@ def _supervise(
                     lease = inflight[lease_id]
                     failures += 1
                     report.shard_crashes += 1
+                    crash_attrs = {}
+                    if event.stderr:
+                        # The dead worker's last words, bounded by the
+                        # transport's tail capture.
+                        crash_attrs["stderr_tail"] = event.stderr[-400:]
                     rec.decision(
                         "exec", "shard_crash",
                         subject=f"[{lease.start},{lease.start + lease.size})",
@@ -590,6 +600,7 @@ def _supervise(
                         f"(code {event.exitcode}) mid-lease",
                         shard=lease.shard, lease=lease.id,
                         heartbeats=lease.heartbeats,
+                        **crash_attrs,
                     )
                     if rec.enabled:
                         rec.counter("exec_shard_crashes_total").inc()
@@ -600,6 +611,11 @@ def _supervise(
                 message = event.message or {}
                 mtype = message.get("type")
                 if mtype == "ready":
+                    continue
+                if mtype == "protocol_torn":
+                    # The worker could not decode one of *our* lines.
+                    report.protocol_torn_lines += 1
+                    note_torn_line(event.slot, "worker")
                     continue
                 if mtype == "telemetry":
                     # Routed before the inflight check: a straggler's
@@ -669,6 +685,12 @@ def _supervise(
                     exec_backend.kill(lease.slot)
                     fail_lease(lease, "lease heartbeat expired")
     finally:
+        # Fold in lines the transport itself discarded (supervisor-side
+        # torn frames, generation-fenced zombie traffic).
+        report.protocol_torn_lines += getattr(exec_backend, "torn_lines", 0)
+        report.generation_fenced_lines += getattr(
+            exec_backend, "fenced_lines", 0
+        )
         exec_backend.shutdown()
         if merger is not None:
             merger.settle_all()

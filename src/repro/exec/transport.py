@@ -42,11 +42,13 @@ from repro.exec.backend import (
     BackendEvent,
     ExecBackend,
     build_task,
+    note_torn_line,
     serve_lease,
 )
 
 _JOIN_GRACE_S = 1.0
 _READ_CHUNK = 65536
+_STDERR_TAIL_BYTES = 4096
 
 
 def _worker_env() -> dict[str, str]:
@@ -66,6 +68,48 @@ def _worker_env() -> dict[str, str]:
     return env
 
 
+class _StderrTail:
+    """Bounded, non-blocking capture of one worker's stderr.
+
+    Drained every supervisor poll so the pipe can never fill up and
+    block the worker; only the last :data:`_STDERR_TAIL_BYTES` survive,
+    which is exactly what a crash post-mortem wants — the last words,
+    not the life story.
+    """
+
+    def __init__(self, pipe, limit: int = _STDERR_TAIL_BYTES) -> None:
+        self._pipe = pipe
+        self._limit = limit
+        self._buffer = bytearray()
+        os.set_blocking(pipe.fileno(), False)
+
+    def drain(self) -> None:
+        while True:
+            try:
+                chunk = os.read(self._pipe.fileno(), _READ_CHUNK)
+            except (BlockingIOError, InterruptedError):
+                return
+            except (OSError, ValueError):
+                return  # pipe closed; keep whatever was captured
+            if not chunk:
+                return
+            self._buffer.extend(chunk)
+            if len(self._buffer) > self._limit:
+                del self._buffer[: len(self._buffer) - self._limit]
+
+    def text(self) -> str | None:
+        self.drain()
+        if not self._buffer:
+            return None
+        return self._buffer.decode("utf-8", "replace")
+
+    def close(self) -> None:
+        try:
+            self._pipe.close()
+        except OSError:
+            pass
+
+
 class _Slot:
     """One worker subprocess plus its stdout line buffer."""
 
@@ -76,10 +120,11 @@ class _Slot:
             [sys.executable, "-m", "repro", "exec", "shard-worker"],
             stdin=subprocess.PIPE,
             stdout=subprocess.PIPE,
-            stderr=subprocess.DEVNULL,
+            stderr=subprocess.PIPE,
             env=_worker_env(),
         )
         os.set_blocking(self.process.stdout.fileno(), False)
+        self.stderr_tail = _StderrTail(self.process.stderr)
         self.write(hello)
 
     def write(self, line: bytes) -> None:
@@ -99,6 +144,7 @@ class _Slot:
         self.close()
 
     def close(self) -> None:
+        self.stderr_tail.close()
         for stream in (self.process.stdin, self.process.stdout):
             try:
                 if stream is not None:
@@ -143,6 +189,9 @@ class SubprocessBackend(ExecBackend):
         self._slots: dict[int, _Slot] = {}
         self._next_id = 0
         self._selector = selectors.DefaultSelector()
+        #: Undecodable worker lines seen by this supervisor (satellite
+        #: of the lease supervisor's ``protocol_torn_lines`` report).
+        self.torn_lines = 0
 
     def spawn_slot(self) -> int:
         slot = _Slot(self._next_id, self._hello)
@@ -167,15 +216,20 @@ class SubprocessBackend(ExecBackend):
         except (KeyError, ValueError):
             pass
         exitcode = slot.process.poll()
+        stderr = slot.stderr_tail.text()
         slot.close()
         del self._slots[slot.id]
-        events.append(BackendEvent("exit", slot.id, exitcode=exitcode))
+        events.append(
+            BackendEvent("exit", slot.id, exitcode=exitcode, stderr=stderr)
+        )
 
     def poll(self, timeout: float) -> list[BackendEvent]:
         events: list[BackendEvent] = []
         if not self._slots:
             time.sleep(timeout)
             return events
+        for live in self._slots.values():
+            live.stderr_tail.drain()
         for key, _mask in self._selector.select(timeout):
             slot: _Slot = key.data
             if slot.id not in self._slots:
@@ -201,7 +255,10 @@ class SubprocessBackend(ExecBackend):
                 try:
                     message = json.loads(line)
                 except json.JSONDecodeError:
-                    # A torn line can only be the slot's last words.
+                    # A torn line can only be the slot's last words —
+                    # but count it rather than lose the evidence.
+                    self.torn_lines += 1
+                    note_torn_line(slot.id, "supervisor")
                     continue
                 if isinstance(message, dict):
                     events.append(
@@ -247,13 +304,23 @@ def shard_worker_main(stdin=None, stdout=None) -> int:
     spec could not be rebuilt — a config error, not a trial failure).
     Trial errors never exit; they flow back as ``error`` messages so
     the supervisor can retry or escalate.
+
+    When the hello carries a ``generation`` (the TCP transport's
+    per-connection token), every emitted message echoes it and any
+    incoming lease stamped with a *different* generation is skipped —
+    both halves of the fence that keeps a zombie connection's traffic
+    out of a fresh registration.  A torn supervisor line is reported
+    back as a ``protocol_torn`` message instead of vanishing.
     """
     from repro.exec.chaos import ShardChaos
 
     stdin = stdin if stdin is not None else sys.stdin
     stdout = stdout if stdout is not None else sys.stdout
+    generation: int | None = None
 
     def emit(message: dict) -> None:
+        if generation is not None:
+            message = {**message, "generation": generation}
         stdout.write(json.dumps(message, sort_keys=True) + "\n")
         stdout.flush()
 
@@ -273,6 +340,7 @@ def shard_worker_main(stdin=None, stdout=None) -> int:
             else None
         )
         telemetry = hello.get("telemetry") or None
+        generation = hello.get("generation")
     except Exception as exc:
         emit({"type": "error", "lease": None, "detail": f"bad hello: {exc}"})
         return 2
@@ -283,11 +351,18 @@ def shard_worker_main(stdin=None, stdout=None) -> int:
         try:
             message = json.loads(line)
         except json.JSONDecodeError:
-            continue  # a torn supervisor line; nothing to serve
+            # A torn supervisor line; nothing to serve, but say so.
+            emit({"type": "protocol_torn", "lease": None})
+            continue
         if message.get("type") == "shutdown":
             return 0
         if message.get("type") != "lease":
             continue
+        if (
+            generation is not None
+            and message.get("generation") not in (None, generation)
+        ):
+            continue  # a stale supervisor line meant for an old connection
         serve_lease(
             task, seed, message, emit,
             chaos=chaos, block=block, telemetry=telemetry,

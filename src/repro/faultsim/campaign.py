@@ -174,6 +174,27 @@ def _task_from_params(params: dict):
     return _scalar_batch_task(graph, names, cluster_of)
 
 
+def campaign_task_spec(
+    graph: InfluenceGraph, partition: list[list[str]], engine: str
+) -> dict:
+    """The JSON task spec an out-of-process shard worker rebuilds from.
+
+    ``engine`` must already be resolved (``"scalar"``/``"vector"``,
+    never ``"auto"``) so every worker runs the exact stream the
+    supervisor fingerprinted.
+    """
+    from repro.io.serialization import graph_to_dict
+
+    return {
+        "entry": "repro.faultsim.campaign:_task_from_params",
+        "params": {
+            "graph": graph_to_dict(graph),
+            "partition": [list(block) for block in partition],
+            "engine": engine,
+        },
+    }
+
+
 def run_campaign(
     graph: InfluenceGraph,
     partition: list[list[str]],
@@ -188,6 +209,7 @@ def run_campaign(
     shards: int = 0,
     status_file: str | None = None,
     telemetry_stream: str | None = None,
+    listen: str | None = None,
 ) -> CampaignResult:
     """Seed ``trials`` faults uniformly over FCMs and measure spread.
 
@@ -205,11 +227,14 @@ def run_campaign(
     ``backend``/``shards`` route the campaign through the shard-lease
     supervisor (:func:`repro.exec.shards.run_sharded`) instead of the
     batch pool: ``backend`` picks the transport (``"local"`` forked
-    slots or ``"subprocess"`` isolated interpreters), ``shards`` the
-    block-aligned split.  Checkpoints are interchangeable between the
-    two paths (same fingerprint, same record format), and the result is
-    bit-identical either way — ``chaos`` should then be a
-    :class:`~repro.exec.chaos.ShardChaos`.
+    slots, ``"subprocess"`` isolated interpreters, or ``"tcp"`` workers
+    over real network connections — or a pre-built
+    :class:`~repro.exec.backend.ExecBackend` instance), ``shards`` the
+    block-aligned split, and ``listen`` (tcp only) a ``HOST:PORT`` to
+    await hand-started remote workers on.  Checkpoints are
+    interchangeable between the two paths (same fingerprint, same
+    record format), and the result is bit-identical either way —
+    ``chaos`` should then be a :class:`~repro.exec.chaos.ShardChaos`.
 
     ``status_file``/``telemetry_stream`` only apply on the sharded path:
     the first names a live-health JSON the supervisor atomically
@@ -249,17 +274,10 @@ def run_campaign(
         }
         if backend is not None or shards > 0:
             task_spec = None
-            if backend == "subprocess":
-                from repro.io.serialization import graph_to_dict
-
-                task_spec = {
-                    "entry": "repro.faultsim.campaign:_task_from_params",
-                    "params": {
-                        "graph": graph_to_dict(graph),
-                        "partition": [list(block) for block in partition],
-                        "engine": choice.engine,
-                    },
-                }
+            if backend in ("subprocess", "tcp"):
+                task_spec = campaign_task_spec(
+                    graph, partition, choice.engine
+                )
             payloads, exec_report = run_sharded(
                 run_batch,
                 trials=trials,
@@ -276,6 +294,7 @@ def run_campaign(
                 chaos=chaos,
                 status_file=status_file,
                 telemetry_stream=telemetry_stream,
+                listen=listen,
             )
         else:
             payloads, exec_report = run_supervised(

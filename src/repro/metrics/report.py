@@ -221,6 +221,12 @@ def render_shard_report(report) -> str:
         events.append(f"serial rescue blocks {report.serial_rescue_blocks}")
     if report.backend_abandoned:
         events.append("backend abandoned")
+    if getattr(report, "protocol_torn_lines", 0):
+        events.append(f"torn protocol lines {report.protocol_torn_lines}")
+    if getattr(report, "generation_fenced_lines", 0):
+        events.append(
+            f"generation-fenced lines {report.generation_fenced_lines}"
+        )
     if report.corrupt_checkpoint_lines:
         events.append(
             f"corrupt checkpoint lines {report.corrupt_checkpoint_lines}"

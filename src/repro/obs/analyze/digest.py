@@ -87,6 +87,9 @@ class ExecDigest:
     completed: bool = False
     completed_batches: int = 0
     completed_from_checkpoint: int = 0
+    protocol_torn_lines: int = 0
+    generation_fenced_lines: int = 0
+    crash_stderr: dict[int, str] = field(default_factory=dict)
     other_decisions: int = 0
 
     @property
@@ -148,6 +151,10 @@ def digest_exec_events(events: list[dict]) -> ExecDigest:
                 )
                 if action in _HEARTBEAT_ACTIONS:
                     lane.heartbeats += int(attrs.get("heartbeats") or 0)
+                if action == "shard_crash" and attrs.get("stderr_tail"):
+                    digest.crash_stderr[lane.shard] = str(
+                        attrs["stderr_tail"]
+                    )
             continue
         if action in _BATCH_ACTIONS:
             if action == "serial_fallback":
@@ -178,6 +185,10 @@ def digest_exec_events(events: list[dict]) -> ExecDigest:
             digest.corrupt_checkpoint_lines += int(attrs.get("corrupt_lines") or 0)
         elif action == "checkpoint_corrupt":
             digest.corrupt_checkpoint_lines += int(attrs.get("lines") or 0)
+        elif action == "protocol_torn":
+            digest.protocol_torn_lines += 1
+        elif action == "generation_fenced":
+            digest.generation_fenced_lines += 1
         elif action == "complete":
             digest.completed = True
             digest.completed_batches = int(attrs.get("batches") or 0)
@@ -240,6 +251,12 @@ def render_digest(digest: ExecDigest) -> str:
             )
         )
         lines.append("")
+    if digest.crash_stderr:
+        lines.append("Crashed-shard stderr tails:")
+        for shard in sorted(digest.crash_stderr):
+            tail = digest.crash_stderr[shard].strip().splitlines() or [""]
+            lines.append(f"  shard {shard}: {tail[-1]}")
+        lines.append("")
     if digest.batches:
         rows = [
             (
@@ -291,6 +308,12 @@ def render_digest(digest: ExecDigest) -> str:
         summary.append(
             f"shards: {len(digest.shards)}"
             + (f" of {digest.shard_plan} planned" if digest.shard_plan else "")
+        )
+    if digest.protocol_torn_lines:
+        summary.append(f"torn protocol lines: {digest.protocol_torn_lines}")
+    if digest.generation_fenced_lines:
+        summary.append(
+            f"generation-fenced lines: {digest.generation_fenced_lines}"
         )
     if digest.backend_abandoned:
         summary.append(f"backend abandoned: {digest.backend_abandoned}x")

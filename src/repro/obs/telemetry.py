@@ -198,12 +198,25 @@ class TelemetryMerger:
         self._parent_depth = parent_depth
         self._buffers: dict[int, list[dict]] = {}
         self._settled: set[int] = set()
+        self._seen: set[tuple] = set()
         self.batches = 0
         self.worker_spans = 0
         self._stream: list[dict] = []
 
     def add(self, message: dict, slot: int | None = None) -> None:
-        """Route one ``telemetry`` protocol message."""
+        """Route one ``telemetry`` protocol message.
+
+        A network transport may deliver the same batch line twice
+        (retransmission, chaos duplication); batches are seq-numbered
+        per lease, so replays are dropped here — the merged trace and
+        the raw stream both see each batch exactly once.
+        """
+        seq = message.get("seq")
+        if seq is not None:
+            key = (message.get("lease"), seq)
+            if key in self._seen:
+                return  # duplicate delivery of an already-routed batch
+            self._seen.add(key)
         self.batches += 1
         record = dict(message)
         if slot is not None:

@@ -67,7 +67,7 @@ class TestShardWorkerProtocol:
         assert code == 0
         assert out == []
 
-    def test_torn_supervisor_line_skipped(self):
+    def test_torn_supervisor_line_reported_and_skipped(self):
         stdin = io.StringIO(
             json.dumps({
                 "type": "hello", "spec": selftest_spec(), "seed": 1,
@@ -78,6 +78,14 @@ class TestShardWorkerProtocol:
         )
         stdout = io.StringIO()
         assert shard_worker_main(stdin=stdin, stdout=stdout) == 0
+        out = [
+            json.loads(line)
+            for line in stdout.getvalue().splitlines()
+            if line.strip()
+        ]
+        # The torn line is skipped, but reported upstream rather than
+        # silently swallowed.
+        assert [m["type"] for m in out] == ["ready", "protocol_torn"]
 
 
 class TestSubprocessBackend:
@@ -100,3 +108,37 @@ class TestSubprocessBackend:
         assert merged == task(0, 520, 9)
         assert report.backend == "subprocess"
         assert report.leases_granted >= 2
+
+    @pytest.mark.timeout(120)
+    def test_crashed_worker_stderr_tail_surfaces(self):
+        """A killed worker's last stderr words must reach the
+        ``shard_crash`` decision instead of going to /dev/null."""
+        from repro.exec import ShardChaos
+        from repro.obs import Recorder, use
+
+        spec = selftest_spec(modulus=31, stderr_probe="last-words-for-tail")
+        task = selftest_task(spec["params"])
+        recorder = Recorder()
+        with use(recorder):
+            payloads, report = run_sharded(
+                trials=1024, seed=5, kind="selftest", params=spec["params"],
+                policy=ExecPolicy(
+                    workers=2, backoff_base=0.01, backoff_max=0.05,
+                ),
+                shards=2, backend="subprocess", task_spec=spec,
+                combine=combine_selftest,
+                chaos=ShardChaos(kill_shards=frozenset({1})),
+            )
+        merged = payloads[0]
+        for payload in payloads[1:]:
+            merged = combine_selftest(merged, payload)
+        assert merged == task(0, 1024, 5)
+        crashes = [
+            d for d in recorder.decisions
+            if d.category == "exec" and d.action == "shard_crash"
+        ]
+        assert crashes
+        assert any(
+            "last-words-for-tail" in (d.attrs.get("stderr_tail") or "")
+            for d in crashes
+        )
