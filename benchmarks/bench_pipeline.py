@@ -231,6 +231,74 @@ def bench_sharded_campaign(
     return entry
 
 
+def bench_profiled_campaign(
+    name, system, hw, heuristic, trials, hz=None, tolerance=None
+) -> dict:
+    """Run one fault campaign traced and traced-with-profiling.
+
+    Both variants run under a live :class:`~repro.obs.Recorder` (the
+    tracing cost is already gated by the sharded entries), so the
+    ``profile_overhead`` ratio isolates what the sampling profiler
+    itself adds: the background ``sys._current_frames()`` thread, the
+    GC callback, and the per-span resource-delta stamping.  Variants
+    interleave best-of-two like the sharded bench so machine drift
+    lands on both sides, and ``identical_profiled`` asserts the
+    result-transparency contract: profiling must never change a number.
+    """
+    from repro.obs.profile import DEFAULT_PROFILE_HZ, Profiler
+
+    hz = hz or DEFAULT_PROFILE_HZ
+    framework = IntegrationFramework(system, FrameworkOptions(heuristic=heuristic))
+    outcome = framework.integrate(hw)
+    state = outcome.condensation.state
+    graph, partition = state.graph, state.as_partition()
+
+    def campaign_run(profiled: bool):
+        recorder = Recorder()
+        t0 = time.perf_counter()
+        with use(recorder):
+            if profiled:
+                with Profiler(recorder, hz=hz):
+                    out = run_campaign(
+                        graph, partition, trials=trials, seed=0,
+                        engine="scalar",
+                    )
+            else:
+                out = run_campaign(
+                    graph, partition, trials=trials, seed=0,
+                    engine="scalar",
+                )
+        profile_events = recorder.profiles
+        samples = sum(
+            e.get("samples", 0)
+            for e in recorder._log
+            if e.get("type") == "profile" and e.get("kind") == "stacks"
+        )
+        return out, time.perf_counter() - t0, profile_events, samples
+
+    plain, plain_s, _, _ = campaign_run(profiled=False)
+    profiled, profiled_s, profile_events, samples = campaign_run(profiled=True)
+    _, plain_s2, _, _ = campaign_run(profiled=False)
+    _, profiled_s2, _, _ = campaign_run(profiled=True)
+    plain_s = min(plain_s, plain_s2)
+    profiled_s = min(profiled_s, profiled_s2)
+    overhead = max(0.0, profiled_s / plain_s - 1.0) if plain_s else None
+    entry = {
+        "name": name,
+        "campaign_trials": trials,
+        "profile_hz": hz,
+        "wall_s": round(plain_s, 6),
+        "profiled_wall_s": round(profiled_s, 6),
+        "profile_overhead": round(overhead, 4) if overhead is not None else None,
+        "identical_profiled": plain == profiled,
+        "profile_events": profile_events,
+        "stack_samples": samples,
+    }
+    if tolerance:
+        entry["tolerance"] = tolerance
+    return entry
+
+
 def run(quick: bool = False) -> list[dict]:
     trials = 200 if quick else 2000
     entries = [
@@ -302,6 +370,20 @@ def run(quick: bool = False) -> list[dict]:
             tcp_entry["pooled_wall_s"] / fork_entry["pooled_wall_s"] - 1.0, 4
         )
     entries.append(tcp_entry)
+    # The overhead gate for --profile: the sampling profiler must stay
+    # near-free (bench check gates max_profile_overhead) and must never
+    # change a campaign number (identical_profiled is a hard gate).
+    entries.append(
+        bench_profiled_campaign(
+            "generated-200-profiled",
+            random_system(
+                processes=200, tasks_per_process=1, procedures_per_task=1, seed=42
+            ),
+            fully_connected(40),
+            Heuristic.TIMING_PACK,
+            trials,
+        )
+    )
     if NUMPY_AVAILABLE:
         # The vector kernel amortizes graph compilation over the whole
         # campaign, so its trials/s swings more between --quick and full
@@ -358,6 +440,15 @@ def main(argv=None) -> int:
                 f"{entry['name']}: {entry['wall_s']:.3f}s total, "
                 f"{entry['trials_per_s']:.0f} trials/s "
                 f"[{entry['engine']}] ({stage_text})"
+            )
+        elif "profiled_wall_s" in entry:
+            overhead = entry.get("profile_overhead")
+            print(
+                f"{entry['name']}: plain {entry['wall_s']:.3f}s vs "
+                f"profiled {entry['profiled_wall_s']:.3f}s "
+                f"(+{(overhead or 0.0) * 100:.1f}%, "
+                f"identical={entry['identical_profiled']}, "
+                f"{entry['stack_samples']} samples)"
             )
         else:
             extra = ""

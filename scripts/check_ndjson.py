@@ -11,15 +11,18 @@ Sniffs each file's first meta line and dispatches:
   the label.
 * ``repro-worker-telemetry`` — raw worker-telemetry batch streams as
   written by ``--telemetry-stream``: per-lease monotonic sequence
-  numbers, epoch anchors, and well-formed inner span/decision events
+  numbers (``telemetry`` and ``profile`` batches share one sequence),
+  epoch anchors, and well-formed inner span/decision/profile events
   (see :func:`repro.obs.telemetry.validate_telemetry_stream`).
 * anything else — trace validation: every line must parse as JSON,
-  and span/decision records must carry the required keys with a
-  consistent parent structure
+  and span/decision/profile records must carry the required keys with
+  a consistent parent structure
   (see :func:`repro.obs.ndjson.validate_trace`).  Merged distributed
   traces validate here too: grafted worker spans must be closed
   (``remote`` spans with no ``t_end`` are flagged) and parented
-  inside the supervisor's tree.
+  inside the supervisor's tree.  Records of *unknown* type are
+  tolerated and counted in the label (forward compatibility with
+  newer writers).
 
 Usage::
 
@@ -36,6 +39,7 @@ from repro.errors import ObservabilityError
 from repro.exec import validate_checkpoint
 from repro.exec.checkpoint import CHECKPOINT_FORMAT
 from repro.obs import load_ndjson, trace_meta, validate_trace
+from repro.obs.ndjson import unknown_kind_counts
 from repro.obs.telemetry import TELEMETRY_FORMAT, validate_telemetry_stream
 
 
@@ -76,6 +80,9 @@ def check_file(path: str) -> tuple[list[str], str]:
     )
     if meta is not None and meta.get("format") == TELEMETRY_FORMAT:
         return validate_telemetry_stream(events), label
+    unknown = unknown_kind_counts(events)
+    if unknown:
+        label += f", {sum(unknown.values())} unknown-kind event(s)"
     return validate_trace(events), label
 
 

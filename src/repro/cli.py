@@ -40,8 +40,13 @@ is used.
   events.
 * ``exec watch STATUS.json`` — live refreshing per-shard health view of
   a running sharded campaign (the JSON named by ``--status-file``).
-* ``metrics export METRICS.json --format prom`` — render a metrics
-  snapshot in Prometheus text exposition format.
+* ``metrics export [METRICS.json] --format prom`` — render a metrics
+  snapshot in Prometheus text exposition format; process-level gauges
+  (RSS, CPU seconds, open fds) are always included, even with no
+  snapshot file at all.
+* ``profile report TRACE.ndjson`` — top-N self-time, per-span sample
+  attribution, and per-shard peak-RSS/CPU tables from a trace's
+  ``profile`` events (record them with ``--profile``).
 * ``bench check`` — compare the latest ``BENCH_pipeline.json`` against
   the committed baseline (``bench update-baseline`` refreshes it).
 
@@ -49,7 +54,10 @@ Every subcommand accepts ``--trace FILE`` (write an NDJSON span/decision
 trace) and ``--metrics FILE`` (write a metrics-registry JSON snapshot);
 ``integrate`` and ``resilience`` additionally take ``-v/--verbose`` for a
 one-line stage-timing footer.  With none of those given, the library runs
-against the no-op recorder and records nothing.
+against the no-op recorder and records nothing.  Campaign subcommands
+also take ``--profile [HZ]``: a sampling stack/resource profiler whose
+``profile`` events land in the trace (and, for sharded runs, stream
+back from every worker and merge per shard).
 
 The CLI is a thin veneer over the library; every code path it exercises
 is also covered by the API tests, and ``tests/io/test_cli.py`` drives the
@@ -124,6 +132,20 @@ def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--metrics", default=None, metavar="FILE",
         help="write a JSON metrics snapshot of this run here",
+    )
+
+
+def _add_profile_flag(parser: argparse.ArgumentParser) -> None:
+    """Attach ``--profile [HZ]`` to one campaign subcommand parser."""
+    from repro.obs.profile import DEFAULT_PROFILE_HZ
+
+    parser.add_argument(
+        "--profile", nargs="?", type=float, const=DEFAULT_PROFILE_HZ,
+        default=None, metavar="HZ",
+        help="sample stacks and process resources at HZ (default "
+        f"{DEFAULT_PROFILE_HZ:g}) into the trace as profile events; on "
+        "sharded campaigns every worker profiles too and the samples "
+        "merge per shard (results stay bit-identical)",
     )
 
 
@@ -281,6 +303,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="print a one-line stage-timing footer",
     )
     _add_obs_flags(integrate)
+    _add_profile_flag(integrate)
 
     audit = sub.add_parser("audit", help="audit a system design")
     audit.add_argument("system", help="system JSON file")
@@ -338,6 +361,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_exec_flags(resilience)
     _add_obs_flags(resilience)
+    _add_profile_flag(resilience)
 
     faultsim = sub.add_parser(
         "faultsim", help="run a fault-injection campaign on a workload"
@@ -374,6 +398,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_exec_flags(faultsim)
     _add_shard_flags(faultsim)
     _add_obs_flags(faultsim)
+    _add_profile_flag(faultsim)
 
     exec_cmd = sub.add_parser(
         "exec", help="supervised-runner utilities"
@@ -511,7 +536,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="convert a metrics snapshot (--metrics FILE output) for "
         "external scrapers",
     )
-    metrics_export.add_argument("file", help="metrics snapshot JSON file")
+    metrics_export.add_argument(
+        "file", nargs="?", default=None,
+        help="metrics snapshot JSON file (omit to export only the "
+        "process-level gauges)",
+    )
     metrics_export.add_argument(
         "--format", choices=["prom"], default="prom",
         help="prom = Prometheus text exposition format",
@@ -519,6 +548,23 @@ def build_parser() -> argparse.ArgumentParser:
     metrics_export.add_argument(
         "-o", "--out", default=None, metavar="FILE",
         help="output file (default: stdout)",
+    )
+
+    profile_cmd = sub.add_parser(
+        "profile", help="inspect sampled-profile events in traces"
+    )
+    profile_sub = profile_cmd.add_subparsers(
+        dest="profile_command", required=True
+    )
+    profile_report = profile_sub.add_parser(
+        "report",
+        help="top-N self-time, per-span attribution, and per-shard "
+        "resource tables from a trace recorded with --profile",
+    )
+    profile_report.add_argument("file", help="NDJSON trace file")
+    profile_report.add_argument(
+        "--top", type=int, default=15, metavar="N",
+        help="rows per table (default 15)",
     )
 
     bench = sub.add_parser(
@@ -760,6 +806,7 @@ def _cmd_faultsim(args: argparse.Namespace) -> int:
         status_file=args.status_file,
         telemetry_stream=args.telemetry_stream,
         listen=args.listen,
+        profile=args.profile,
     )
     print(
         render_campaign(
@@ -872,18 +919,27 @@ def _cmd_exec_watch(args: argparse.Namespace) -> int:
 def _cmd_metrics(args: argparse.Namespace) -> int:
     from repro.errors import ObservabilityError
     from repro.obs.metrics import to_prometheus_text
+    from repro.obs.profile import process_metrics_snapshot
 
-    try:
-        with open(args.file) as handle:
-            snapshot = json.load(handle)
-    except OSError as exc:
-        raise DDSIError(
-            f"cannot read metrics file {args.file!r}: {exc}"
-        ) from exc
-    except json.JSONDecodeError as exc:
-        raise ObservabilityError(
-            f"metrics file {args.file!r} is not valid JSON: {exc}"
-        ) from exc
+    if args.file is not None:
+        try:
+            with open(args.file) as handle:
+                snapshot = json.load(handle)
+        except OSError as exc:
+            raise DDSIError(
+                f"cannot read metrics file {args.file!r}: {exc}"
+            ) from exc
+        except json.JSONDecodeError as exc:
+            raise ObservabilityError(
+                f"metrics file {args.file!r} is not valid JSON: {exc}"
+            ) from exc
+    else:
+        snapshot = {"format": "repro-metrics", "version": 1, "metrics": {}}
+    # Standard process-level gauges ride along with every export;
+    # campaign metrics win on a name collision.
+    if isinstance(snapshot.get("metrics"), dict):
+        for name, data in process_metrics_snapshot()["metrics"].items():
+            snapshot["metrics"].setdefault(name, data)
     text = to_prometheus_text(snapshot)
     if args.out:
         try:
@@ -896,6 +952,14 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
         print(f"wrote {args.out}")
     else:
         sys.stdout.write(text)
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.obs.profile import render_profile_report
+
+    events = load_ndjson(args.file)
+    print(render_profile_report(events, top=args.top))
     return 0
 
 
@@ -1034,13 +1098,15 @@ def main(argv: list[str] | None = None) -> int:
         "example": _cmd_example,
         "trace": _cmd_trace,
         "metrics": _cmd_metrics,
+        "profile": _cmd_profile,
         "bench": _cmd_bench,
     }
     trace_path = getattr(args, "trace", None)
     metrics_path = getattr(args, "metrics", None)
     verbose = getattr(args, "verbose", False)
+    profile_hz = getattr(args, "profile", None)
     try:
-        if not (trace_path or metrics_path or verbose):
+        if not (trace_path or metrics_path or verbose or profile_hz):
             return handlers[args.command](args)
         if trace_path:
             _check_writable(trace_path, "trace")
@@ -1051,7 +1117,15 @@ def main(argv: list[str] | None = None) -> int:
             command=args.command, workload=getattr(args, "workload", None)
         )
         with use(recorder):
-            code = handlers[args.command](args)
+            if profile_hz:
+                from repro.obs.profile import Profiler
+
+                # The profiler context appends its drained events to the
+                # recorder on exit — before the trace is written below.
+                with Profiler(recorder, hz=profile_hz):
+                    code = handlers[args.command](args)
+            else:
+                code = handlers[args.command](args)
         if trace_path:
             recorder.write_trace(trace_path)
         if metrics_path:

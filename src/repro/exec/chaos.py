@@ -310,9 +310,12 @@ def run_shard_chaos_selftest(
     the supervisor actually expired, re-dispatched, and recovered.
 
     The kill run executes under a live recorder with a telemetry
-    stream, so it also proves distributed tracing under chaos: surviving
-    workers' spans must graft into one valid merged trace even though a
-    shard died mid-lease.  The chaos checkpoint, the merged trace
+    stream **and the sampling profiler enabled**, so it also proves
+    distributed observability under chaos: surviving workers' spans and
+    profile events (sampled stacks, resource summaries) must graft into
+    one valid merged trace even though a shard died mid-lease, and
+    ``repro profile report`` must surface the survivors' per-shard
+    resource figures.  The chaos checkpoint, the merged trace
     (``shard-trace.ndjson``) and the raw telemetry stream
     (``shard-telemetry.ndjson``) are left in ``workdir`` so CI can
     validate their structure with ``scripts/check_ndjson.py``.
@@ -342,7 +345,8 @@ def run_shard_chaos_selftest(
     baseline = run_campaign(graph, partition, trials=trials, seed=seed)
 
     # --- proof 1: SIGKILL a whole shard worker mid-lease ---------------
-    # Traced with a telemetry stream: chaos must not break the merge.
+    # Traced with a telemetry stream and the profiler: chaos must not
+    # break the merge, and surviving shards' profile events must land.
     trace_path = os.path.join(workdir, "shard-trace.ndjson")
     telemetry_path = os.path.join(workdir, "shard-telemetry.ndjson")
     recorder = Recorder()
@@ -355,6 +359,7 @@ def run_shard_chaos_selftest(
             shards=shards, backend=backend,
             chaos=ShardChaos(kill_shards=frozenset({shards - 1})),
             telemetry_stream=telemetry_path,
+            profile=211.0,
         )
     actions = actions_of(recorder)
     check(killed == baseline,
@@ -382,6 +387,19 @@ def run_shard_chaos_selftest(
         stream_problems = [str(exc)]
     check(not stream_problems,
           "raw worker-telemetry stream written and structurally valid")
+    profile_events = [e for e in merged if e.get("type") == "profile"]
+    summaries = [
+        e for e in profile_events
+        if e.get("kind") == "resource_summary" and e.get("shard") is not None
+    ]
+    check(bool(summaries),
+          "surviving shards' profile resource summaries merged into trace")
+    check(all(e.get("rss_peak_bytes", 0) > 0 for e in summaries),
+          "merged per-shard resource summaries carry nonzero peak RSS")
+    from repro.obs.profile import render_profile_report
+    report_text = render_profile_report(merged)
+    check("Per-shard process resources" in report_text,
+          "profile report shows per-shard peak RSS/CPU for survivors")
 
     # --- proof 2: shard stalls past the heartbeat deadline -------------
     recorder = Recorder()

@@ -217,6 +217,7 @@ def run_sharded(
     telemetry_stream: str | None = None,
     run_id: str | None = None,
     listen: str | None = None,
+    profile: float | None = None,
 ) -> tuple[list[Any], ShardReport]:
     """Run a campaign as shard leases over an execution backend.
 
@@ -256,9 +257,15 @@ def run_sharded(
         slots=slots,
         backend=backend if isinstance(backend, str) else backend.name,
     )
-    telemetry_on = rec.enabled or telemetry_stream is not None
+    telemetry_on = (
+        rec.enabled or telemetry_stream is not None or profile is not None
+    )
     run_id = run_id or (mint_run_id() if telemetry_on else None)
     telemetry = make_context(run_id) if telemetry_on else None
+    if telemetry is not None and profile:
+        # Workers read the sampling rate out of the trace context, so
+        # profiling crosses every transport without protocol changes.
+        telemetry["profile"] = float(profile)
     report.run_id = run_id
     report.status_file = status_file
     board = HealthBoard(
@@ -623,6 +630,17 @@ def _supervise(
                     # was expired or superseded.
                     if merger is not None:
                         merger.add(message, event.slot)
+                    continue
+                if mtype == "profile":
+                    # Same routing as telemetry: profile batches share
+                    # the per-lease sequence and the merge machinery.
+                    if merger is not None:
+                        merger.add(message, event.slot)
+                    if board is not None and message.get("resources"):
+                        board.resources(
+                            message.get("shard", -1),
+                            message["resources"],
+                        )
                     continue
                 lease = inflight.get(message.get("lease"))
                 if lease is None:

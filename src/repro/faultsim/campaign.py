@@ -210,6 +210,7 @@ def run_campaign(
     status_file: str | None = None,
     telemetry_stream: str | None = None,
     listen: str | None = None,
+    profile: float | None = None,
 ) -> CampaignResult:
     """Seed ``trials`` faults uniformly over FCMs and measure spread.
 
@@ -236,11 +237,13 @@ def run_campaign(
     record format), and the result is bit-identical either way —
     ``chaos`` should then be a :class:`~repro.exec.chaos.ShardChaos`.
 
-    ``status_file``/``telemetry_stream`` only apply on the sharded path:
-    the first names a live-health JSON the supervisor atomically
-    rewrites (``repro exec watch``), the second an NDJSON sink for the
-    raw worker-telemetry batches (see :mod:`repro.obs.telemetry`).
-    Neither affects the result.
+    ``status_file``/``telemetry_stream``/``profile`` only apply on the
+    sharded path: the first names a live-health JSON the supervisor
+    atomically rewrites (``repro exec watch``), the second an NDJSON
+    sink for the raw worker-telemetry batches (see
+    :mod:`repro.obs.telemetry`), and ``profile`` (a sampling rate in
+    Hz) turns on worker-side stack/resource profiling whose batches
+    merge into the campaign trace.  None of them affects the result.
     """
     if trials < 1:
         raise SimulationError("trials must be >= 1")
@@ -295,6 +298,7 @@ def run_campaign(
                 status_file=status_file,
                 telemetry_stream=telemetry_stream,
                 listen=listen,
+                profile=profile,
             )
         else:
             payloads, exec_report = run_supervised(

@@ -20,7 +20,21 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
 )
-from repro.obs.ndjson import dump_ndjson, load_ndjson, trace_meta, validate_trace
+from repro.obs.ndjson import (
+    dump_ndjson,
+    load_ndjson,
+    trace_meta,
+    unknown_kind_counts,
+    validate_trace,
+)
+from repro.obs.profile import (
+    DEFAULT_PROFILE_HZ,
+    Profiler,
+    ResourceProbe,
+    StackProfiler,
+    process_metrics_snapshot,
+    render_profile_report,
+)
 from repro.obs.provenance import collect_provenance, machine_fingerprint
 from repro.obs.recorder import (
     NULL_RECORDER,
@@ -58,6 +72,7 @@ from repro.obs.summarize import (
 
 __all__ = [
     "DEFAULT_COUNT_BUCKETS",
+    "DEFAULT_PROFILE_HZ",
     "DEFAULT_TIME_BUCKETS",
     "NULL_RECORDER",
     "PIPELINE_STAGES",
@@ -71,9 +86,12 @@ __all__ = [
     "LeaseTelemetry",
     "MetricsRegistry",
     "NullRecorder",
+    "Profiler",
     "Recorder",
+    "ResourceProbe",
     "ShardHealth",
     "Span",
+    "StackProfiler",
     "StageStats",
     "TelemetryMerger",
     "collect_provenance",
@@ -86,12 +104,15 @@ __all__ = [
     "make_context",
     "mint_run_id",
     "open_span_count",
+    "process_metrics_snapshot",
+    "render_profile_report",
     "render_status",
     "render_summary",
     "render_tree",
     "stage_footer",
     "summarize_trace",
     "trace_meta",
+    "unknown_kind_counts",
     "use",
     "validate_telemetry_stream",
     "validate_trace",

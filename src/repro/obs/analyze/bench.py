@@ -47,6 +47,10 @@ DEFAULT_TOLERANCE = {
     # when the pool engaged — on a 1-CPU / 1-shard run the walls are
     # too short for the ratio to mean anything.
     "max_telemetry_overhead": 0.05,
+    # The sampling profiler must stay near-free too: a profiled
+    # campaign may cost at most this fraction over the unprofiled one
+    # (and must stay bit-identical — see identical_profiled).
+    "max_profile_overhead": 0.05,
 }
 
 
@@ -340,6 +344,28 @@ def _check_entry(
             f"{name}: traced campaign no longer matches the serial run "
             "(telemetry is not result-transparent)",
         )
+    if latest.get("identical_profiled") is False:
+        fail(
+            "identical_profiled",
+            1.0,
+            0.0,
+            None,
+            f"{name}: profiled campaign no longer matches the unprofiled "
+            "run (profiling is not result-transparent)",
+        )
+    if latest.get("profile_overhead") is not None:
+        cap = float(tol["max_profile_overhead"])
+        latest_v = float(latest["profile_overhead"])
+        if latest_v > cap:
+            fail(
+                "profile_overhead",
+                float(base.get("profile_overhead") or 0.0),
+                latest_v,
+                cap,
+                f"{name}: profiling overhead {latest_v * 100:.1f}% "
+                f"exceeds the {cap * 100:.0f}% cap — the sampler is no "
+                "longer near-free",
+            )
     if latest.get("telemetry_overhead") is not None:
         engaged = latest.get("pool_engaged")
         if engaged is None:

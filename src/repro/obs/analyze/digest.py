@@ -91,6 +91,10 @@ class ExecDigest:
     generation_fenced_lines: int = 0
     crash_stderr: dict[int, str] = field(default_factory=dict)
     other_decisions: int = 0
+    # (shard, pid) -> latest resource_summary profile event (cumulative
+    # per worker process, so last wins); populated by --profile runs.
+    resources: dict[tuple, dict] = field(default_factory=dict)
+    profile_events: int = 0
 
     @property
     def total_retries(self) -> int:
@@ -137,6 +141,12 @@ def digest_exec_events(events: list[dict]) -> ExecDigest:
     """Fold a trace's ``exec`` decision events into an :class:`ExecDigest`."""
     digest = ExecDigest()
     for event in events:
+        if event.get("type") == "profile":
+            digest.profile_events += 1
+            if event.get("kind") == "resource_summary":
+                key = (event.get("shard"), event.get("pid"))
+                digest.resources[key] = event
+            continue
         if event.get("type") != "decision" or event.get("category") != "exec":
             continue
         action = event.get("action")
@@ -209,6 +219,7 @@ def render_digest(digest: ExecDigest) -> str:
         or digest.resumes
         or digest.interrupted
         or digest.pool_abandoned
+        or digest.resources
     ):
         return "trace contains no exec decision events"
 
@@ -256,6 +267,30 @@ def render_digest(digest: ExecDigest) -> str:
         for shard in sorted(digest.crash_stderr):
             tail = digest.crash_stderr[shard].strip().splitlines() or [""]
             lines.append(f"  shard {shard}: {tail[-1]}")
+        lines.append("")
+    if digest.resources:
+        rows = []
+        for key in sorted(
+            digest.resources,
+            key=lambda k: (k[0] is None, k[0] or 0, k[1] or 0),
+        ):
+            s = digest.resources[key]
+            shard = s.get("shard")
+            rows.append((
+                "sup" if shard is None else shard,
+                s.get("pid") or "-",
+                f"{(s.get('rss_peak_bytes') or 0) / 1e6:.1f}",
+                f"{s.get('cpu_s') or 0.0:.3f}",
+                s.get("gc_collections") or 0,
+                s.get("samples") or 0,
+            ))
+        lines.append(
+            format_table(
+                ["shard", "pid", "peak rss MB", "cpu s", "gc", "samples"],
+                rows,
+                title="Per-shard worker resources (--profile)",
+            )
+        )
         lines.append("")
     if digest.batches:
         rows = [
@@ -309,6 +344,8 @@ def render_digest(digest: ExecDigest) -> str:
             f"shards: {len(digest.shards)}"
             + (f" of {digest.shard_plan} planned" if digest.shard_plan else "")
         )
+    if digest.profile_events:
+        summary.append(f"profile events: {digest.profile_events}")
     if digest.protocol_torn_lines:
         summary.append(f"torn protocol lines: {digest.protocol_torn_lines}")
     if digest.generation_fenced_lines:

@@ -12,6 +12,13 @@ Two lingua-franca formats so repro traces plug into standard tooling:
   line per distinct span stack, where the value is the stack's **self
   time** in integer microseconds.  Self time (not total) keeps the
   flamegraph's invariant that a frame's width equals its samples.
+
+Traces recorded with ``--profile`` additionally carry sampled-stack
+``profile`` events: the collapsed export emits them under a separate
+``profile`` root (one line per sampled Python stack, weighted by
+``count / hz`` in microseconds) so the span flamegraph's width
+invariant is preserved, and the Chrome export renders the resource
+time series as counter (``"ph": "C"``) tracks.
 """
 
 from __future__ import annotations
@@ -70,6 +77,52 @@ def to_chrome_trace(events: list[dict]) -> dict:
                 },
             }
         )
+    for event in events:
+        if event.get("type") != "profile":
+            continue
+        kind = event.get("kind")
+        if kind == "resource":
+            trace_events.append({
+                "name": "process.rss",
+                "cat": "profile",
+                "ph": "C",
+                "ts": (event.get("t") or 0.0) * _US,
+                "pid": 1,
+                "tid": 1,
+                "args": {"rss_bytes": event.get("rss_bytes", 0)},
+            })
+            trace_events.append({
+                "name": "process.cpu",
+                "cat": "profile",
+                "ph": "C",
+                "ts": (event.get("t") or 0.0) * _US,
+                "pid": 1,
+                "tid": 1,
+                "args": {
+                    "user_s": event.get("cpu_user_s", 0.0),
+                    "sys_s": event.get("cpu_sys_s", 0.0),
+                },
+            })
+        elif kind == "resource_summary":
+            shard = event.get("shard")
+            name = (
+                "profile.resources"
+                if shard is None
+                else f"profile.resources.shard{shard}"
+            )
+            trace_events.append({
+                "name": name,
+                "cat": "profile",
+                "ph": "i",
+                "ts": 0.0,
+                "s": "g",
+                "pid": 1,
+                "tid": 1,
+                "args": {
+                    k: v for k, v in event.items()
+                    if k not in ("type", "kind")
+                },
+            })
     document = {
         "traceEvents": trace_events,
         "displayTimeUnit": "ms",
@@ -103,4 +156,29 @@ def to_collapsed_stacks(events: list[dict]) -> str:
 
     for root in roots:
         visit(root, "")
+    # Sampled Python stacks from profile events land under their own
+    # ``profile`` root, weighted by sample count / rate, so they never
+    # distort the span tree's width invariant above.
+    span_names = {
+        s.get("sid"): (s.get("name") or "?").replace(";", ",")
+        for s in _spans(events)
+    }
+    for event in events:
+        if event.get("type") != "profile" or event.get("kind") != "stacks":
+            continue
+        hz = float(event.get("hz") or 0.0)
+        if hz <= 0:
+            continue
+        owner = event.get("span")
+        owner_name = (
+            span_names.get(owner, f"sid{owner}")
+            if owner is not None
+            else "unattributed"
+        )
+        for stack, count in (event.get("stacks") or {}).items():
+            value = int(round(int(count) * _US / hz))
+            if value <= 0:
+                continue
+            key = f"profile;{owner_name};{stack}"
+            totals[key] = totals.get(key, 0) + value
     return "\n".join(f"{stack} {value}" for stack, value in sorted(totals.items()))

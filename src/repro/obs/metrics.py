@@ -239,7 +239,13 @@ def _prom_labels(label_text: str) -> str:
     parts = []
     for pair in label_text.split(","):
         key, _, value = pair.partition("=")
-        escaped = value.replace("\\", "\\\\").replace('"', '\\"')
+        # Exposition format: backslash, double-quote and newline must be
+        # escaped inside label values.
+        escaped = (
+            value.replace("\\", "\\\\")
+            .replace('"', '\\"')
+            .replace("\n", "\\n")
+        )
         parts.append(f'{_prom_name(key)}="{escaped}"')
     return "{" + ",".join(parts) + "}"
 

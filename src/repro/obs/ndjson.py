@@ -17,6 +17,11 @@ from repro.errors import ObservabilityError
 _SPAN_KEYS = {"sid", "parent", "name", "depth", "t_start", "t_end", "dur_s"}
 _DECISION_KEYS = {"seq", "category", "action", "subject", "reason", "span"}
 
+#: Record types this version of the tooling understands.  Anything else
+#: is *tolerated* by validation and merely counted (forward
+#: compatibility: older tools must survive traces from newer writers).
+_KNOWN_KINDS = {"meta", "span", "decision", "profile"}
+
 
 def dump_ndjson(events, path_or_file) -> None:
     """Write ``events`` (dicts) as NDJSON to a path or open file."""
@@ -87,10 +92,13 @@ def trace_meta(events: list[dict]) -> dict | None:
 def validate_trace(events: list[dict]) -> list[str]:
     """Structural problems of a parsed trace (empty list = valid).
 
-    Checks: every record carries a known ``type`` and its required keys,
-    span parents reference emitted sids, closed spans have
+    Checks: every known record ``type`` carries its required keys, span
+    parents reference emitted sids, closed spans have
     ``t_end >= t_start``, and version-2 meta lines carry a provenance
     block (version-1 traces, which predate provenance, stay valid).
+    Records with *unknown* types are tolerated — count them with
+    :func:`unknown_kind_counts` — so this tooling survives traces
+    written by newer versions that add event kinds.
     """
     problems: list[str] = []
     sids: set[int] = set()
@@ -146,5 +154,32 @@ def validate_trace(events: list[dict]) -> list[str]:
             if missing:
                 problems.append(f"{where}: decision missing keys {sorted(missing)}")
             continue
-        problems.append(f"{where}: unknown record type {kind!r}")
+        if kind == "profile":
+            if "kind" not in event:
+                problems.append(f"{where}: profile record has no kind")
+            else:
+                owner = event.get("span")
+                if owner is not None and owner not in sids:
+                    problems.append(
+                        f"{where}: profile record references unknown span {owner}"
+                    )
+            continue
+        # Unknown kinds are tolerated, not errors (forward compatibility).
     return problems
+
+
+def unknown_kind_counts(events: list[dict]) -> dict[str, int]:
+    """Count records whose ``type`` this tooling does not understand.
+
+    Keys are the unknown type strings (``"<missing>"`` for records with
+    no ``type`` at all); traces from newer writers report here instead
+    of failing validation.
+    """
+    counts: dict[str, int] = {}
+    for event in events:
+        kind = event.get("type")
+        if kind in _KNOWN_KINDS:
+            continue
+        label = kind if isinstance(kind, str) else "<missing>"
+        counts[label] = counts.get(label, 0) + 1
+    return counts

@@ -1,0 +1,608 @@
+"""Sampling stack profiler and process-resource telemetry.
+
+The trace layer (PR 2/4/7) shows *where time goes* — spans, critical
+paths, flamegraphs — but nothing about what the process is doing to the
+machine.  This module adds that second axis with two cooperating parts:
+
+* :class:`StackProfiler` — a background thread that samples the owner
+  thread's Python stack via ``sys._current_frames()`` at a configurable
+  rate, aggregates **collapsed stacks** (``root;child;leaf`` strings)
+  and attributes each sample to the innermost open span of the ambient
+  recorder.  Drained samples become ``profile`` events (kind
+  ``stacks``) in the trace-v2 stream, exportable through the existing
+  collapsed-stack / Perfetto exporters and summarized by
+  ``repro profile report``.
+
+* :class:`ResourceProbe` — passive process-resource accounting: RSS
+  from ``/proc/self/statm`` (``resource.getrusage`` fallback),
+  user/sys CPU time from ``os.times()``, GC collection counts and
+  pause time via ``gc.callbacks``, and the open-fd count.  The probe
+  feeds process-level gauges into the metrics registry, emits a
+  throttled ``resource`` time series, and — installed on a
+  :class:`~repro.obs.recorder.Recorder` — stamps per-span deltas
+  (``cpu_s``, ``rss_peak_delta``) at span close.
+
+:class:`Profiler` bundles both for one session (the ``--profile [HZ]``
+CLI flag, or a shard worker's lease — see
+:class:`~repro.obs.telemetry.LeaseTelemetry`).  Profiling follows the
+same two disciplines as the rest of ``repro.obs``:
+
+* **zero-cost when disabled** — no background thread, no
+  ``gc.callbacks`` entry, and no per-span work unless a profiler was
+  explicitly started (``Recorder._resource_probe`` stays ``None``);
+* **result-transparent** — sampling reads process state, never touches
+  payloads, seeds, or checkpoint fingerprints; a profiled campaign is
+  bit-identical to an unprofiled one (enforced by the
+  ``identical_profiled`` / ``max_profile_overhead`` bench gates).
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import sys
+import threading
+import time
+
+from repro.errors import ObservabilityError
+
+#: Default sampling rate for ``--profile``.  A prime just under 100 Hz
+#: so the sampler cannot phase-lock with periodic work (the same reason
+#: ``perf`` defaults to 99 Hz).
+DEFAULT_PROFILE_HZ = 97.0
+
+#: Resource time-series cadence (seconds) — independent of the stack
+#: rate so a fast sampler does not flood the trace with RSS lines.
+RESOURCE_INTERVAL_S = 0.1
+
+#: Stack frames kept per sample; deeper stacks are truncated at the root.
+MAX_STACK_DEPTH = 64
+
+try:
+    _PAGE_BYTES = os.sysconf("SC_PAGE_SIZE")
+except (ValueError, OSError, AttributeError):  # pragma: no cover
+    _PAGE_BYTES = 4096
+
+
+def read_rss_bytes() -> int:
+    """Current resident set size in bytes.
+
+    Reads ``/proc/self/statm`` (field 2 is resident pages); platforms
+    without procfs fall back to ``resource.getrusage`` — whose
+    ``ru_maxrss`` is the *peak*, not the current, RSS, which is the
+    right conservative answer for peak tracking.
+    """
+    try:
+        with open("/proc/self/statm", "rb") as handle:
+            return int(handle.read().split()[1]) * _PAGE_BYTES
+    except (OSError, ValueError, IndexError):
+        pass
+    try:
+        import resource
+
+        kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        # Linux reports kilobytes; macOS reports bytes.
+        return int(kb) * (1 if sys.platform == "darwin" else 1024)
+    except Exception:  # pragma: no cover - no resource module at all
+        return 0
+
+
+def cpu_seconds() -> tuple[float, float]:
+    """(user, system) CPU seconds consumed by this process."""
+    times = os.times()
+    return times.user, times.system
+
+
+def open_fd_count() -> int | None:
+    """Open file descriptors, or ``None`` where /proc is unavailable."""
+    try:
+        # listdir itself holds one fd while counting; don't count it.
+        return max(0, len(os.listdir("/proc/self/fd")) - 1)
+    except OSError:
+        return None
+
+
+def collapse_frame(frame, max_depth: int = MAX_STACK_DEPTH) -> str:
+    """One ``root;child;leaf`` collapsed-stack string for a live frame."""
+    parts: list[str] = []
+    while frame is not None and len(parts) < max_depth:
+        code = frame.f_code
+        name = f"{os.path.basename(code.co_filename)}:{code.co_name}"
+        parts.append(name.replace(";", ","))
+        frame = frame.f_back
+    parts.reverse()
+    return ";".join(parts)
+
+
+# ----------------------------------------------------------------------
+# Resource accounting
+# ----------------------------------------------------------------------
+class ResourceProbe:
+    """Process resource truth: RSS peaks, CPU time, GC, per-span deltas.
+
+    The probe itself is passive — :meth:`sample` is ticked by the
+    profiler thread (and once at stop), so attaching it costs nothing
+    between ticks.  Installed on a recorder (``recorder._resource_probe``)
+    it additionally tracks every open span's running RSS peak and stamps
+    ``cpu_s`` / ``rss_peak_delta`` attrs when the span closes.
+    """
+
+    def __init__(self, registry=None) -> None:
+        self._registry = registry
+        self._lock = threading.Lock()
+        # id(span) -> [rss_at_open, running_rss_peak, cpu_at_open]
+        self._tokens: dict[int, list] = {}
+        self._last_rss = 0
+        self.rss_peak = 0
+        self.gc_collections = 0
+        self.gc_pause_s = 0.0
+        self._gc_t0: float | None = None
+        self._installed = False
+
+    # GC hooks ----------------------------------------------------------
+    def install(self) -> None:
+        """Register the GC callback (idempotent)."""
+        if self._installed:
+            return
+        self._installed = True
+        gc.callbacks.append(self._on_gc)
+
+    def uninstall(self) -> None:
+        if not self._installed:
+            return
+        self._installed = False
+        try:
+            gc.callbacks.remove(self._on_gc)
+        except ValueError:  # pragma: no cover - already gone
+            pass
+
+    def _on_gc(self, phase: str, info: dict) -> None:
+        if phase == "start":
+            self._gc_t0 = time.perf_counter()
+        elif phase == "stop":
+            self.gc_collections += 1
+            if self._gc_t0 is not None:
+                self.gc_pause_s += time.perf_counter() - self._gc_t0
+                self._gc_t0 = None
+
+    # Sampling ----------------------------------------------------------
+    def note_rss(self, rss: int) -> None:
+        """Fold one RSS reading into the process and per-span peaks."""
+        self._last_rss = rss
+        if rss > self.rss_peak:
+            self.rss_peak = rss
+        with self._lock:
+            for token in self._tokens.values():
+                if rss > token[1]:
+                    token[1] = rss
+
+    def sample(self) -> dict:
+        """Read RSS/CPU/fds once; update peaks and registry gauges."""
+        rss = read_rss_bytes()
+        self.note_rss(rss)
+        user, system = cpu_seconds()
+        fds = open_fd_count()
+        record = {
+            "rss_bytes": rss,
+            "cpu_user_s": round(user, 6),
+            "cpu_sys_s": round(system, 6),
+        }
+        if fds is not None:
+            record["open_fds"] = fds
+        if self._registry is not None:
+            self._registry.gauge("process_resident_memory_bytes").set(rss)
+            self._registry.gauge("process_cpu_seconds_total").set(
+                round(user + system, 6)
+            )
+            if fds is not None:
+                self._registry.gauge("process_open_fds").set(fds)
+        return record
+
+    # Per-span deltas (called by Recorder when installed) ---------------
+    def open_span(self, span) -> None:
+        rss = self._last_rss or read_rss_bytes()
+        user, system = cpu_seconds()
+        with self._lock:
+            self._tokens[id(span)] = [rss, rss, user + system]
+
+    def close_span(self, span) -> None:
+        with self._lock:
+            token = self._tokens.pop(id(span), None)
+        if token is None:
+            return
+        rss0, peak, cpu0 = token
+        peak = max(peak, self._last_rss)
+        user, system = cpu_seconds()
+        span.attrs["cpu_s"] = round(max(0.0, user + system - cpu0), 6)
+        span.attrs["rss_peak_delta"] = int(max(0, peak - rss0))
+
+
+# ----------------------------------------------------------------------
+# Stack sampling
+# ----------------------------------------------------------------------
+class StackProfiler:
+    """Samples one owner thread's stack from a daemon thread.
+
+    The sampler never touches the owner thread: it reads the frame
+    object out of ``sys._current_frames()`` and the ambient span sid out
+    of the recorder's stack race-tolerantly (a torn read mis-attributes
+    one sample; it cannot corrupt anything).  Aggregation is
+    ``(span sid, collapsed stack) -> count``; :meth:`drain` converts the
+    aggregate into ``profile`` events and resets it, so callers flushing
+    incrementally (shard workers) have already shipped everything but
+    the current window if the process dies.
+    """
+
+    def __init__(
+        self,
+        recorder=None,
+        hz: float = DEFAULT_PROFILE_HZ,
+        probe: ResourceProbe | None = None,
+        max_depth: int = MAX_STACK_DEPTH,
+    ) -> None:
+        hz = float(hz)
+        if not hz > 0:
+            raise ObservabilityError(
+                f"profile rate must be > 0 Hz, got {hz}"
+            )
+        self.hz = hz
+        self._recorder = recorder
+        self._probe = probe
+        self._max_depth = max_depth
+        self._owner = threading.get_ident()
+        self._epoch = getattr(recorder, "_epoch", None)
+        if self._epoch is None:
+            self._epoch = time.perf_counter()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._lock = threading.Lock()
+        self._agg: dict[tuple[int | None, str], int] = {}
+        self._resources: list[dict] = []
+        self.samples = 0
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None
+
+    def start(self) -> "StackProfiler":
+        """Start sampling the *calling* thread."""
+        if self._thread is not None:
+            return self
+        self._owner = threading.get_ident()
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-profiler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        thread = self._thread
+        if thread is None:
+            return
+        self._stop.set()
+        thread.join(timeout=5.0)
+        self._thread = None
+
+    def _ambient_sid(self) -> int | None:
+        stack = getattr(self._recorder, "_stack", None)
+        if not stack:
+            return None
+        try:
+            return stack[-1].sid
+        except IndexError:  # raced the owner popping the last span
+            return None
+
+    def _run(self) -> None:
+        interval = 1.0 / self.hz
+        last_resource = 0.0
+        while not self._stop.wait(interval):
+            frame = sys._current_frames().get(self._owner)
+            if frame is not None:
+                stack = collapse_frame(frame, self._max_depth)
+                sid = self._ambient_sid()
+                with self._lock:
+                    key = (sid, stack)
+                    self._agg[key] = self._agg.get(key, 0) + 1
+                    self.samples += 1
+            now = time.perf_counter()
+            if (
+                self._probe is not None
+                and now - last_resource >= RESOURCE_INTERVAL_S
+            ):
+                last_resource = now
+                record = self._probe.sample()
+                event = {
+                    "type": "profile",
+                    "kind": "resource",
+                    "t": round(now - self._epoch, 6),
+                }
+                event.update(record)
+                with self._lock:
+                    self._resources.append(event)
+
+    def drain(self) -> list[dict]:
+        """Convert and reset the sample aggregate: ``profile`` events.
+
+        One ``stacks`` event per attributed span (``span: null`` for
+        samples landing outside any span), then the buffered
+        ``resource`` time series, in capture order.
+        """
+        with self._lock:
+            agg, self._agg = self._agg, {}
+            resources, self._resources = self._resources, []
+        by_sid: dict[int | None, dict[str, int]] = {}
+        for (sid, stack), count in agg.items():
+            by_sid.setdefault(sid, {})[stack] = count
+        events: list[dict] = []
+        for sid in sorted(by_sid, key=lambda s: (s is None, s or 0)):
+            stacks = by_sid[sid]
+            events.append({
+                "type": "profile",
+                "kind": "stacks",
+                "span": sid,
+                "hz": self.hz,
+                "samples": sum(stacks.values()),
+                "stacks": dict(sorted(stacks.items())),
+            })
+        events.extend(resources)
+        return events
+
+
+# ----------------------------------------------------------------------
+# The profiling session
+# ----------------------------------------------------------------------
+class Profiler:
+    """One profiling session: stack sampler + resource probe, bundled.
+
+    ``start()`` installs the probe on the recorder (per-span deltas),
+    registers the GC callback, and launches the sampling thread;
+    ``stop()`` tears everything down and returns the final drained
+    events plus a ``resource_summary``.  As a context manager the final
+    events are appended to the recorder (``profile_event``), ready for
+    ``write_trace``; shard workers instead call :meth:`drain` /
+    :meth:`stop` directly and ship the events over the telemetry
+    transport (see :class:`~repro.obs.telemetry.LeaseTelemetry`).
+    """
+
+    def __init__(
+        self,
+        recorder,
+        hz: float = DEFAULT_PROFILE_HZ,
+        shard: int | None = None,
+    ) -> None:
+        self.recorder = recorder
+        self.hz = float(hz)
+        self.shard = shard
+        self.probe = ResourceProbe(
+            registry=getattr(recorder, "metrics", None)
+        )
+        self.sampler = StackProfiler(recorder, hz=self.hz, probe=self.probe)
+        self._started = False
+
+    def start(self) -> "Profiler":
+        if self._started:
+            return self
+        self._started = True
+        self.probe.install()
+        self.probe.sample()
+        if getattr(self.recorder, "enabled", False):
+            self.recorder._resource_probe = self.probe
+        self.sampler.start()
+        return self
+
+    def drain(self) -> list[dict]:
+        """Profile events accumulated since the last drain (shard-tagged)."""
+        events = self.sampler.drain()
+        if self.shard is not None:
+            for event in events:
+                event["shard"] = self.shard
+        return events
+
+    def summary(self) -> dict:
+        """The cumulative ``resource_summary`` event for this process."""
+        user, system = cpu_seconds()
+        event = {
+            "type": "profile",
+            "kind": "resource_summary",
+            "pid": os.getpid(),
+            "hz": self.hz,
+            "samples": self.sampler.samples,
+            "rss_peak_bytes": int(self.probe.rss_peak),
+            "cpu_user_s": round(user, 6),
+            "cpu_sys_s": round(system, 6),
+            "cpu_s": round(user + system, 6),
+            "gc_collections": self.probe.gc_collections,
+            "gc_pause_s": round(self.probe.gc_pause_s, 6),
+        }
+        if self.shard is not None:
+            event["shard"] = self.shard
+        return event
+
+    def stop(self) -> list[dict]:
+        """Stop sampling; the remaining events plus the final summary."""
+        if not self._started:
+            return []
+        self._started = False
+        self.sampler.stop()
+        self.probe.sample()  # final peak/CPU reading
+        self.probe.uninstall()
+        if getattr(self.recorder, "_resource_probe", None) is self.probe:
+            self.recorder._resource_probe = None
+        events = self.drain()
+        events.append(self.summary())
+        return events
+
+    def __enter__(self) -> "Profiler":
+        return self.start()
+
+    def __exit__(self, *exc) -> bool:
+        events = self.stop()
+        if getattr(self.recorder, "enabled", False):
+            for event in events:
+                self.recorder.profile_event(event)
+        return False
+
+
+# ----------------------------------------------------------------------
+# Process-level metrics (Prometheus exposition)
+# ----------------------------------------------------------------------
+def process_metrics_snapshot() -> dict:
+    """A ``repro-metrics`` snapshot of the standard process gauges.
+
+    ``repro metrics export --format prom`` merges this into whatever
+    campaign snapshot it is rendering (without overriding same-named
+    campaign series), so scrapers always see process truth — even when
+    no campaign metrics exist at all.
+    """
+    rss = read_rss_bytes()
+    user, system = cpu_seconds()
+    fds = open_fd_count()
+    metrics: dict = {
+        "process_cpu_seconds_total": {
+            "type": "counter",
+            "series": {"": round(user + system, 6)},
+        },
+        "process_resident_memory_bytes": {
+            "type": "gauge",
+            "series": {"": float(rss)},
+        },
+    }
+    if fds is not None:
+        metrics["process_open_fds"] = {
+            "type": "gauge",
+            "series": {"": float(fds)},
+        }
+    return {"format": "repro-metrics", "version": 1, "metrics": metrics}
+
+
+# ----------------------------------------------------------------------
+# Reporting
+# ----------------------------------------------------------------------
+def profile_events(events: list[dict]) -> list[dict]:
+    """The ``profile`` records of a trace, in stream order."""
+    return [e for e in events if e.get("type") == "profile"]
+
+
+def _shard_label(shard) -> str:
+    if shard is None or (isinstance(shard, int) and shard < 0):
+        return "sup"
+    return str(shard)
+
+
+def render_profile_report(events: list[dict], top: int = 15) -> str:
+    """The ``repro profile report`` view of a trace's profile events.
+
+    Three tables: top-``top`` functions by sampled self time (the leaf
+    frame of each collapsed stack), per-span sample attribution, and —
+    for distributed traces — per-shard peak RSS / CPU / GC from the
+    ``resource_summary`` each worker shipped.
+    """
+    from repro.metrics.report import format_table
+
+    profs = profile_events(events)
+    if not profs:
+        return (
+            "trace contains no profile events "
+            "(record one with --profile [HZ])"
+        )
+    span_names = {
+        e.get("sid"): e.get("name") or "?"
+        for e in events
+        if e.get("type") == "span"
+    }
+
+    self_samples: dict[str, int] = {}
+    span_samples: dict[str, int] = {}
+    total_samples = 0
+    hz = None
+    for event in profs:
+        if event.get("kind") != "stacks":
+            continue
+        hz = hz or event.get("hz")
+        owner = event.get("span")
+        owner_name = (
+            span_names.get(owner, f"sid {owner}")
+            if owner is not None
+            else "(no span)"
+        )
+        for stack, count in (event.get("stacks") or {}).items():
+            count = int(count)
+            leaf = stack.rsplit(";", 1)[-1] or "?"
+            self_samples[leaf] = self_samples.get(leaf, 0) + count
+            span_samples[owner_name] = span_samples.get(owner_name, 0) + count
+            total_samples += count
+
+    lines: list[str] = []
+    period = (1.0 / float(hz)) if hz else 0.0
+    if total_samples:
+        lines.append(
+            f"{total_samples} stack samples at {hz:g} Hz "
+            f"(~{total_samples * period:.2f}s of sampled execution)"
+        )
+        lines.append("")
+        rows = [
+            (
+                leaf,
+                count,
+                f"{100.0 * count / total_samples:.1f}",
+                f"{count * period:.3f}",
+            )
+            for leaf, count in sorted(
+                self_samples.items(), key=lambda kv: (-kv[1], kv[0])
+            )[:top]
+        ]
+        lines.append(format_table(
+            ["function", "samples", "self %", "est s"],
+            rows,
+            title=f"Top {min(top, len(self_samples))} functions by self time",
+        ))
+        lines.append("")
+        rows = [
+            (
+                name,
+                count,
+                f"{100.0 * count / total_samples:.1f}",
+                f"{count * period:.3f}",
+            )
+            for name, count in sorted(
+                span_samples.items(), key=lambda kv: (-kv[1], kv[0])
+            )[:top]
+        ]
+        lines.append(format_table(
+            ["span", "samples", "share %", "est s"],
+            rows,
+            title="Sample attribution by span",
+        ))
+    else:
+        lines.append("no stack samples recorded (run too short for the rate?)")
+
+    # Last-wins per (shard, pid): workers ship a cumulative summary.
+    summaries: dict[tuple, dict] = {}
+    for event in profs:
+        if event.get("kind") != "resource_summary":
+            continue
+        key = (event.get("shard"), event.get("pid"))
+        summaries[key] = event
+    if summaries:
+        rows = []
+        for key in sorted(
+            summaries, key=lambda k: (k[0] is None, k[0] or 0, k[1] or 0)
+        ):
+            s = summaries[key]
+            rows.append((
+                _shard_label(s.get("shard")),
+                s.get("pid") or "-",
+                f"{(s.get('rss_peak_bytes') or 0) / 1e6:.1f}",
+                f"{s.get('cpu_s') or 0.0:.3f}",
+                s.get("gc_collections") or 0,
+                f"{(s.get('gc_pause_s') or 0.0) * 1000:.1f}",
+                s.get("samples") or 0,
+            ))
+        lines.append("")
+        lines.append(format_table(
+            ["shard", "pid", "peak rss MB", "cpu s", "gc", "gc ms", "samples"],
+            rows,
+            title="Per-shard process resources",
+        ))
+    return "\n".join(lines)

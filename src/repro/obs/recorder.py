@@ -268,6 +268,11 @@ class Recorder:
         # Events in completion order (spans append on close, decisions on
         # creation), ready for NDJSON streaming.
         self._log: list[dict] = []
+        # Installed by repro.obs.profile.Profiler; when set, spans get
+        # cpu_s / rss_peak_delta attrs stamped at close.  None keeps the
+        # unprofiled path at one attribute check per span.
+        self._resource_probe = None
+        self.profiles = 0
 
     def set_provenance(self, **fields) -> None:
         """Record extra provenance for the trace meta line.
@@ -299,18 +304,25 @@ class Recorder:
         )
         self._stack.append(span)
         self.spans.append(span)
+        if self._resource_probe is not None:
+            self._resource_probe.open_span(span)
         return _ActiveSpan(self, span)
 
     def _close_span(self, span: Span) -> None:
         span.t_end = time.perf_counter() - self._epoch
+        probe = self._resource_probe
         # Close any deeper spans left open (defensive: exceptions may
         # unwind several levels at once).
         while self._stack and self._stack[-1] is not span:
             dangling = self._stack.pop()
             dangling.t_end = span.t_end
+            if probe is not None:
+                probe.close_span(dangling)
             self._log.append(dangling.to_event())
         if self._stack:
             self._stack.pop()
+        if probe is not None:
+            probe.close_span(span)
         self._log.append(span.to_event())
 
     def timed(self, name: str, **labels) -> _Timed:
@@ -340,6 +352,19 @@ class Recorder:
         self.decisions.append(event)
         self._log.append(event.to_event())
         return event
+
+    # ------------------------------------------------------------------
+    # Profile events
+    # ------------------------------------------------------------------
+    def profile_event(self, event: dict) -> None:
+        """Append one ``profile`` record (sampled stacks / resources).
+
+        Produced by :class:`repro.obs.profile.Profiler`; span references
+        inside the event already use this recorder's sids (the profiler
+        reads them off the live span stack).
+        """
+        self._log.append(event)
+        self.profiles += 1
 
     # ------------------------------------------------------------------
     # Remote event grafting
@@ -407,6 +432,16 @@ class Recorder:
                 )
                 self.decisions.append(decision)
                 self._log.append(decision.to_event())
+            elif kind == "profile":
+                grafted = dict(event)
+                owner = grafted.get("span")
+                if owner is not None:
+                    grafted["span"] = sid_map.get(owner, parent_sid)
+                if "t" in grafted:
+                    grafted["t"] = max(0.0, grafted["t"] + t_offset)
+                grafted["remote"] = True
+                self._log.append(grafted)
+                self.profiles += 1
         return sid_map
 
     # ------------------------------------------------------------------
@@ -443,6 +478,8 @@ class Recorder:
             "decisions": len(self.decisions),
             "provenance": provenance,
         }
+        if self.profiles:
+            meta["profiles"] = self.profiles
         out = [meta]
         out.extend(self._log)
         closed = {id(s) for s in self.spans if s.t_end is not None}

@@ -131,6 +131,25 @@ def render_summary(events: list[dict]) -> str:
                 title="Decision events",
             )
         )
+    profiles = sum(1 for e in events if e.get("type") == "profile")
+    if profiles:
+        lines.append("")
+        lines.append(
+            f"note: trace carries {profiles} profile event(s) — see "
+            "'repro profile report'"
+        )
+    from repro.obs.ndjson import unknown_kind_counts
+
+    unknown = unknown_kind_counts(events)
+    if unknown:
+        detail = ", ".join(
+            f"{kind} x{count}" for kind, count in sorted(unknown.items())
+        )
+        lines.append("")
+        lines.append(
+            f"note: {sum(unknown.values())} event(s) of unknown kind "
+            f"skipped ({detail}) — written by a newer repro?"
+        )
     return "\n".join(lines)
 
 

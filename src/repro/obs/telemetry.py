@@ -86,6 +86,18 @@ class LeaseTelemetry:
         self._seq = 0
         self._cursor = 0
         self.recorder = Recorder()
+        # The supervisor asks for worker-side profiling by stamping a
+        # sampling rate into the trace context (--profile [HZ]).  The
+        # profiler shares this lease's seq counter, so profile batches
+        # interleave with telemetry batches under one monotone sequence.
+        self.profiler = None
+        hz = context.get("profile")
+        if hz:
+            from repro.obs.profile import Profiler
+
+            self.profiler = Profiler(
+                self.recorder, hz=hz, shard=self._shard
+            ).start()
         self._root = self.recorder.span(
             "worker.lease",
             run_id=context.get("run_id"),
@@ -129,22 +141,53 @@ class LeaseTelemetry:
         """Ship every event closed since the last flush."""
         events = self.recorder._log[self._cursor:]
         self._cursor = len(self.recorder._log)
-        if not events:
+        if events:
+            self._seq += 1
+            self._emit({
+                "type": "telemetry",
+                "lease": self._lease_id,
+                "shard": self._shard,
+                "seq": self._seq,
+                "epoch_unix": self.recorder.epoch_unix,
+                "events": events,
+            })
+        self._flush_profile()
+
+    def _flush_profile(self, final: bool = False) -> None:
+        """Ship the profiler's samples since the last drain (if any).
+
+        Incremental, like span flushing: a worker killed mid-lease has
+        already shipped every drained window.  The final batch carries
+        the cumulative ``resources`` summary for the supervisor's
+        health board.
+        """
+        if self.profiler is None:
             return
-        self._seq += 1
-        self._emit({
-            "type": "telemetry",
+        if final:
+            events = self.profiler.stop()
+        else:
+            events = self.profiler.drain()
+        if not events and not final:
+            return
+        message = {
+            "type": "profile",
             "lease": self._lease_id,
             "shard": self._shard,
-            "seq": self._seq,
             "epoch_unix": self.recorder.epoch_unix,
             "events": events,
-        })
+        }
+        if final:
+            message["final"] = True
+            message["resources"] = self.profiler.summary()
+        self._seq += 1
+        message["seq"] = self._seq
+        self._emit(message)
 
     def finish(self, status: str) -> None:
         """Close the lease span and flush the remainder, plus counters."""
         self._root.set(status=status)
         self._root.__exit__(None, None, None)
+        self._flush_profile(final=True)
         events = self.recorder._log[self._cursor:]
         self._cursor = len(self.recorder._log)
         self._seq += 1
@@ -298,7 +341,8 @@ def _parse_label_text(label_text: str) -> dict:
 def validate_telemetry_stream(events: list[dict]) -> list[str]:
     """Structural problems of a worker-telemetry stream (empty = valid).
 
-    A stream is a meta line plus ``telemetry`` batch lines.  Parent
+    A stream is a meta line plus ``telemetry`` and ``profile`` batch
+    lines (both seq-numbered on one per-lease sequence).  Parent
     references *across* batches of one lease are legal (a lease's root
     span ships in its final batch — or never, if the worker was killed
     first), so unresolved parents are not an error here; the merged
@@ -319,18 +363,19 @@ def validate_telemetry_stream(events: list[dict]) -> list[str]:
     last_seq: dict[int, int] = {}
     for i, event in enumerate(events[1:], start=1):
         where = f"event {i}"
-        if event.get("type") != "telemetry":
+        btype = event.get("type")
+        if btype not in ("telemetry", "profile"):
             problems.append(
-                f"{where}: unexpected record type {event.get('type')!r}"
+                f"{where}: unexpected record type {btype!r}"
             )
             continue
         lease = event.get("lease")
         if not isinstance(lease, int):
-            problems.append(f"{where}: telemetry batch has no lease id")
+            problems.append(f"{where}: {btype} batch has no lease id")
             continue
         seq = event.get("seq")
         if not isinstance(seq, int) or seq < 1:
-            problems.append(f"{where}: telemetry batch has no sequence number")
+            problems.append(f"{where}: {btype} batch has no sequence number")
         elif seq <= last_seq.get(lease, 0):
             problems.append(
                 f"{where}: lease {lease} sequence went backwards "
@@ -339,10 +384,10 @@ def validate_telemetry_stream(events: list[dict]) -> list[str]:
         else:
             last_seq[lease] = seq
         if not isinstance(event.get("epoch_unix"), (int, float)):
-            problems.append(f"{where}: telemetry batch has no epoch_unix")
+            problems.append(f"{where}: {btype} batch has no epoch_unix")
         inner = event.get("events")
         if not isinstance(inner, list):
-            problems.append(f"{where}: telemetry batch has no events list")
+            problems.append(f"{where}: {btype} batch has no events list")
             continue
         for j, rec in enumerate(inner):
             kind = rec.get("type") if isinstance(rec, dict) else None
@@ -358,6 +403,11 @@ def validate_telemetry_stream(events: list[dict]) -> list[str]:
                         problems.append(
                             f"{where}: decision {j} missing key {key!r}"
                         )
+            elif kind == "profile":
+                if "kind" not in rec:
+                    problems.append(
+                        f"{where}: profile event {j} has no kind"
+                    )
             else:
                 problems.append(
                     f"{where}: events[{j}] has unknown type {kind!r}"
@@ -385,6 +435,11 @@ class ShardHealth:
     rescued_blocks: int = 0
     heartbeats: int = 0
     state: str = "pending"
+    # Worker-reported process resources (from profile batch summaries;
+    # stay zero unless the campaign runs with --profile).
+    rss_peak_bytes: int = 0
+    cpu_s: float = 0.0
+    gc_collections: int = 0
     last_beat: float | None = field(default=None, repr=False)
     started: float | None = field(default=None, repr=False)
 
@@ -412,6 +467,9 @@ class ShardHealth:
             "rescued_blocks": self.rescued_blocks,
             "heartbeats": self.heartbeats,
             "state": self.state,
+            "rss_peak_bytes": self.rss_peak_bytes,
+            "cpu_s": round(self.cpu_s, 3),
+            "gc_collections": self.gc_collections,
         }
 
 
@@ -526,6 +584,28 @@ class HealthBoard:
             health.state = "rescue"
         self.maybe_write()
 
+    def resources(self, shard: int, summary: dict) -> None:
+        """Fold a worker's ``resource_summary`` into the shard's lane.
+
+        Summaries are cumulative per worker process; across the leases a
+        shard ran we keep the peak RSS and the largest CPU/GC figures —
+        a later attempt by a fresh process restarts its counters, so
+        ``max`` (not sum) is the honest aggregate.
+        """
+        health = self.shards.get(shard)
+        if health is None or not isinstance(summary, dict):
+            return
+        health.rss_peak_bytes = max(
+            health.rss_peak_bytes, int(summary.get("rss_peak_bytes") or 0)
+        )
+        health.cpu_s = max(
+            health.cpu_s, float(summary.get("cpu_s") or 0.0)
+        )
+        health.gc_collections = max(
+            health.gc_collections, int(summary.get("gc_collections") or 0)
+        )
+        self.maybe_write()
+
     # Snapshots ---------------------------------------------------------
     def snapshot(self, complete: bool = False) -> dict:
         now = time.monotonic()
@@ -613,10 +693,17 @@ def render_status(status: dict) -> str:
         f"elapsed {status.get('elapsed_s', 0.0)}s",
         "",
     ]
+    shards = status.get("shards", [])
+    # Resource lanes only appear once some worker shipped a profile
+    # summary — an unprofiled campaign keeps the familiar table.
+    with_resources = any(
+        shard.get("rss_peak_bytes") or shard.get("cpu_s")
+        for shard in shards
+    )
     rows = []
-    for shard in status.get("shards", []):
+    for shard in shards:
         lag = shard.get("heartbeat_lag_s")
-        rows.append([
+        row = [
             str(shard.get("shard")),
             shard.get("state", "?"),
             f"{shard.get('blocks_done', 0)}/{shard.get('blocks_total', 0)}",
@@ -627,10 +714,16 @@ def render_status(status: dict) -> str:
             str(shard.get("expiries", 0)),
             str(shard.get("crashes", 0)),
             str(shard.get("rescued_blocks", 0)),
-        ])
-    lines.append(format_table(
-        ["shard", "state", "blocks", "trials/s", "beat lag",
-         "leases", "redisp", "expired", "crashes", "rescued"],
-        rows,
-    ))
+        ]
+        if with_resources:
+            row.append(
+                f"{(shard.get('rss_peak_bytes') or 0) / 1e6:.1f}"
+            )
+            row.append(f"{shard.get('cpu_s') or 0.0:.2f}")
+        rows.append(row)
+    headers = ["shard", "state", "blocks", "trials/s", "beat lag",
+               "leases", "redisp", "expired", "crashes", "rescued"]
+    if with_resources:
+        headers += ["peak rss MB", "cpu s"]
+    lines.append(format_table(headers, rows))
     return "\n".join(lines)

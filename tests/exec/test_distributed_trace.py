@@ -295,3 +295,76 @@ class TestWatchAndMetricsCli:
         path = tmp_path / "other.json"
         path.write_text('{"not": "metrics"}')
         assert main(["metrics", "export", str(path)]) != 0
+
+
+class TestProfiledSharded:
+    """--profile over shard workers: profile batches ride the telemetry
+    stream and merge with the same sid-remap/dedup machinery."""
+
+    @pytest.mark.timeout(60)
+    def test_profile_events_merge_from_every_shard(self):
+        recorder = Recorder()
+        payloads, report = sharded(1024, 11, recorder=recorder, profile=251.0)
+        plain, _ = sharded(1024, 11)
+        assert merge(payloads) == merge(plain)  # profiling bit-identity
+        events = recorder.events()
+        assert validate_trace(events) == []
+        summaries = [
+            e for e in events
+            if e.get("type") == "profile"
+            and e.get("kind") == "resource_summary"
+        ]
+        assert {e.get("shard") for e in summaries} == {0, 1}
+        assert all(e.get("remote") for e in summaries)
+        assert all(e.get("rss_peak_bytes", 0) > 0 for e in summaries)
+        assert all(e.get("hz") == 251.0 for e in summaries)
+
+    @pytest.mark.timeout(60)
+    def test_profiled_stream_validates_and_reports(self, tmp_path):
+        from repro.obs.profile import render_profile_report
+
+        stream = str(tmp_path / "telemetry.ndjson")
+        recorder = Recorder()
+        sharded(1024, 11, recorder=recorder, profile=251.0,
+                telemetry_stream=stream)
+        assert validate_telemetry_stream(load_ndjson(stream)) == []
+        batches = [
+            e for e in load_ndjson(stream) if e.get("type") == "profile"
+        ]
+        assert batches, "no profile batches reached the telemetry stream"
+        report = render_profile_report(recorder.events())
+        assert "Per-shard process resources" in report
+
+    @pytest.mark.timeout(60)
+    def test_killed_shard_still_merges_survivor_profiles(self):
+        recorder = Recorder()
+        payloads, report = sharded(
+            1024, 11, recorder=recorder, profile=251.0,
+            chaos=ShardChaos(kill_shards=frozenset({1})),
+        )
+        plain, _ = sharded(1024, 11)
+        assert merge(payloads) == merge(plain)
+        events = recorder.events()
+        assert validate_trace(events) == []
+        summaries = [
+            e for e in events
+            if e.get("type") == "profile"
+            and e.get("kind") == "resource_summary"
+        ]
+        # the surviving shard's summary must land; the redispatched
+        # remainder of the dead shard reports under a fresh lease too
+        assert any(e.get("shard") == 0 for e in summaries)
+
+    @pytest.mark.timeout(60)
+    def test_profile_without_recorder_flows_to_stream(self, tmp_path):
+        # --profile + --telemetry-stream but no ambient recorder: the
+        # supervisor still turns telemetry on so the batches reach disk.
+        stream = str(tmp_path / "telemetry.ndjson")
+        payloads, report = sharded(
+            1024, 11, profile=251.0, telemetry_stream=stream,
+        )
+        plain, _ = sharded(1024, 11)
+        assert merge(payloads) == merge(plain)
+        records = load_ndjson(stream)
+        assert validate_telemetry_stream(records) == []
+        assert any(e.get("type") == "profile" for e in records)

@@ -122,3 +122,59 @@ class TestCollapsedStacks:
 
     def test_empty_trace_is_empty_output(self):
         assert to_collapsed_stacks([]) == ""
+
+
+class TestProfileExport:
+    def profiled_events(self):
+        rec = Recorder()
+        with rec.span("hot") as span:
+            pass
+        sid = span.sid
+        rec.profile_event({
+            "type": "profile", "kind": "stacks", "span": sid,
+            "hz": 100.0, "samples": 3,
+            "stacks": {"a.py:main;a.py:leaf": 3},
+        })
+        rec.profile_event({
+            "type": "profile", "kind": "stacks", "span": None,
+            "hz": 100.0, "samples": 1, "stacks": {"b.py:idle": 1},
+        })
+        rec.profile_event({
+            "type": "profile", "kind": "resource", "t": 0.05,
+            "rss_bytes": 1000, "cpu_user_s": 0.1, "cpu_sys_s": 0.02,
+        })
+        rec.profile_event({
+            "type": "profile", "kind": "resource_summary", "pid": 1,
+            "hz": 100.0, "samples": 4, "rss_peak_bytes": 2000,
+            "cpu_user_s": 0.1, "cpu_sys_s": 0.02, "cpu_s": 0.12,
+            "gc_collections": 0, "gc_pause_s": 0.0, "shard": 2,
+        })
+        return rec.events()
+
+    def test_collapsed_samples_under_profile_root(self):
+        text = to_collapsed_stacks(self.profiled_events())
+        lines = dict(
+            line.rsplit(" ", 1) for line in text.splitlines() if line
+        )
+        # 3 samples at 100 Hz = 30ms, attributed to the owning span name
+        assert lines["profile;hot;a.py:main;a.py:leaf"] == "30000"
+        assert lines["profile;unattributed;b.py:idle"] == "10000"
+
+    def test_chrome_resource_counter_tracks(self):
+        doc = to_chrome_trace(self.profiled_events())
+        counters = [e for e in doc["traceEvents"] if e["ph"] == "C"]
+        names = {e["name"] for e in counters}
+        assert names == {"process.rss", "process.cpu"}
+        rss = next(e for e in counters if e["name"] == "process.rss")
+        assert rss["args"]["rss_bytes"] == 1000
+        assert rss["ts"] == 0.05 * 1_000_000
+
+    def test_chrome_summary_instant_named_by_shard(self):
+        doc = to_chrome_trace(self.profiled_events())
+        instants = [
+            e for e in doc["traceEvents"]
+            if e["ph"] == "i" and e["cat"] == "profile"
+        ]
+        (summary,) = instants
+        assert summary["name"] == "profile.resources.shard2"
+        assert summary["args"]["rss_peak_bytes"] == 2000

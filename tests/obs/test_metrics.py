@@ -126,3 +126,69 @@ class TestRegistry:
         registry = MetricsRegistry()
         registry.histogram("h", buckets=(1.0,)).observe(0.5)
         json.dumps(registry.snapshot())
+
+
+class TestPrometheusHistogramEdges:
+    """Exposition-format edge cases: +Inf overflow, monotonicity, escaping."""
+
+    def _bucket_counts(self, text, prefix):
+        counts = []
+        for line in text.splitlines():
+            if line.startswith(f"{prefix}_bucket"):
+                counts.append(float(line.rsplit(" ", 1)[1]))
+        return counts
+
+    def test_all_observations_above_edges_land_only_in_inf(self):
+        from repro.obs.metrics import to_prometheus_text
+
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", buckets=(1.0, 2.0))
+        for value in (10.0, 20.0, 30.0):
+            hist.observe(value)
+        text = to_prometheus_text(registry.snapshot())
+        assert 'h_bucket{le="1.0"} 0' in text
+        assert 'h_bucket{le="2.0"} 0' in text
+        assert 'h_bucket{le="+Inf"} 3' in text
+        assert "h_count 3" in text
+
+    def test_bucket_series_is_monotone_and_inf_equals_count(self):
+        from repro.obs.metrics import to_prometheus_text
+
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 0.5, 5.0, 50.0):
+            hist.observe(value)
+        text = to_prometheus_text(registry.snapshot())
+        counts = self._bucket_counts(text, "h")
+        assert counts == sorted(counts), "cumulative buckets must not dip"
+        assert counts[-1] == 5.0  # +Inf bucket equals the series count
+        assert "h_count 5" in text
+
+    def test_empty_histogram_still_exposes_inf_bucket(self):
+        from repro.obs.metrics import to_prometheus_text
+
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", buckets=(1.0,))
+        hist.observe(0.5, engine="scalar")
+        text = to_prometheus_text(registry.snapshot())
+        # every series ends with the catch-all bucket, labels preserved
+        assert 'h_bucket{engine="scalar",le="+Inf"} 1' in text
+
+    def test_newline_in_label_value_escaped(self):
+        from repro.obs.metrics import to_prometheus_text
+
+        registry = MetricsRegistry()
+        registry.counter("c").inc(reason="line one\nline two")
+        text = to_prometheus_text(registry.snapshot())
+        assert 'reason="line one\\nline two"' in text
+        # the exposition text itself must stay one sample per line
+        sample_lines = [ln for ln in text.splitlines() if ln.startswith("c{")]
+        assert len(sample_lines) == 1
+
+    def test_backslash_and_quote_escaped(self):
+        from repro.obs.metrics import to_prometheus_text
+
+        registry = MetricsRegistry()
+        registry.counter("c").inc(path='C:\\tmp\\"x"')
+        text = to_prometheus_text(registry.snapshot())
+        assert 'path="C:\\\\tmp\\\\\\"x\\""' in text

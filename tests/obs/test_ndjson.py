@@ -7,6 +7,7 @@ from repro.obs import (
     Recorder,
     dump_ndjson,
     load_ndjson,
+    unknown_kind_counts,
     validate_trace,
 )
 
@@ -97,8 +98,53 @@ class TestValidateTrace:
         }
         assert any("ends before" in p for p in validate_trace([span]))
 
-    def test_unknown_type_flagged(self):
-        assert any(
-            "unknown record type" in p
-            for p in validate_trace([{"type": "mystery"}])
-        )
+    def test_profile_event_without_kind_flagged(self):
+        problems = validate_trace([{"type": "profile"}])
+        assert any("no kind" in p for p in problems)
+
+    def test_profile_event_span_must_exist(self, recorded):
+        events = recorded.events() + [
+            {"type": "profile", "kind": "stacks", "span": 999,
+             "hz": 97.0, "samples": 1, "stacks": {"a;b": 1}},
+        ]
+        assert any("unknown span" in p for p in validate_trace(events))
+
+    def test_profile_event_unattributed_span_ok(self, recorded):
+        events = recorded.events() + [
+            {"type": "profile", "kind": "stacks", "span": None,
+             "hz": 97.0, "samples": 1, "stacks": {"a;b": 1}},
+        ]
+        assert validate_trace(events) == []
+
+
+class TestUnknownKinds:
+    """Forward compatibility: newer writers may add event kinds."""
+
+    def test_unknown_type_tolerated(self, recorded):
+        events = recorded.events() + [{"type": "mystery", "payload": 1}]
+        assert validate_trace(events) == []
+
+    def test_unknown_kinds_counted(self, recorded):
+        events = recorded.events() + [
+            {"type": "mystery"},
+            {"type": "mystery"},
+            {"type": "hologram"},
+            {"no_type_at_all": True},
+        ]
+        counts = unknown_kind_counts(events)
+        assert counts == {"mystery": 2, "hologram": 1, "<missing>": 1}
+
+    def test_known_kinds_not_counted(self, recorded):
+        events = recorded.events() + [
+            {"type": "profile", "kind": "stacks", "span": None,
+             "hz": 97.0, "samples": 0, "stacks": {}},
+        ]
+        assert unknown_kind_counts(events) == {}
+
+    def test_unknown_kind_round_trips_through_ndjson(self, recorded, tmp_path):
+        events = recorded.events() + [{"type": "mystery", "payload": 1}]
+        path = tmp_path / "future.ndjson"
+        dump_ndjson(events, str(path))
+        loaded = load_ndjson(str(path))
+        assert validate_trace(loaded) == []
+        assert unknown_kind_counts(loaded) == {"mystery": 1}

@@ -1,0 +1,310 @@
+"""The sampling profiler: stacks, resource deltas, zero-cost discipline.
+
+Covers the ``repro.obs.profile`` primitives (frame collapsing, the
+resource probe's per-span deltas and GC accounting, the sampler's
+drain/reset contract), the bundled :class:`Profiler` session against a
+live recorder, the zero-cost-when-disabled guarantees, and the
+``repro profile report`` renderer.
+"""
+
+import gc
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import Recorder, use, validate_trace
+from repro.obs.profile import (
+    Profiler,
+    ResourceProbe,
+    StackProfiler,
+    collapse_frame,
+    cpu_seconds,
+    open_fd_count,
+    process_metrics_snapshot,
+    read_rss_bytes,
+    render_profile_report,
+)
+
+
+def _busy(seconds: float) -> int:
+    """Burn CPU on this thread so the sampler has something to catch."""
+    deadline = time.perf_counter() + seconds
+    acc = 0
+    while time.perf_counter() < deadline:
+        acc += sum(range(200))
+    return acc
+
+
+def _profiler_threads() -> list[threading.Thread]:
+    return [t for t in threading.enumerate() if t.name == "repro-profiler"]
+
+
+class TestPrimitives:
+    def test_read_rss_is_positive(self):
+        assert read_rss_bytes() > 0
+
+    def test_cpu_seconds_monotone(self):
+        u0, s0 = cpu_seconds()
+        _busy(0.01)
+        u1, s1 = cpu_seconds()
+        assert u1 + s1 >= u0 + s0
+
+    def test_open_fd_count_positive_on_procfs(self):
+        fds = open_fd_count()
+        if fds is None:
+            pytest.skip("no /proc/self/fd on this platform")
+        assert fds > 0
+
+    def test_collapse_frame_leaf_last(self):
+        def inner():
+            return collapse_frame(sys._getframe())
+
+        stack = inner()
+        parts = stack.split(";")
+        assert parts[-1] == "test_profile.py:inner"
+        assert "test_profile.py:test_collapse_frame_leaf_last" in parts
+        # caller precedes callee: collapsed-stack (flamegraph) order
+        assert parts.index(
+            "test_profile.py:test_collapse_frame_leaf_last"
+        ) < parts.index("test_profile.py:inner")
+
+    def test_collapse_frame_truncates_depth(self):
+        def recurse(n):
+            if n == 0:
+                return collapse_frame(sys._getframe(), max_depth=5)
+            return recurse(n - 1)
+
+        assert len(recurse(50).split(";")) == 5
+
+
+class TestResourceProbe:
+    def test_span_deltas_stamped_on_close(self):
+        class FakeSpan:
+            def __init__(self):
+                self.attrs = {}
+
+        probe = ResourceProbe()
+        probe.sample()
+        span = FakeSpan()
+        probe.open_span(span)
+        _busy(0.02)
+        probe.note_rss(probe._last_rss + 4096)
+        probe.close_span(span)
+        assert span.attrs["cpu_s"] >= 0.0
+        assert span.attrs["rss_peak_delta"] >= 4096
+
+    def test_close_without_open_is_harmless(self):
+        class FakeSpan:
+            attrs = {}
+
+        ResourceProbe().close_span(FakeSpan())
+        assert FakeSpan.attrs == {}
+
+    def test_gc_callback_counts_collections(self):
+        probe = ResourceProbe()
+        probe.install()
+        try:
+            before = probe.gc_collections
+            gc.collect()
+            assert probe.gc_collections > before
+            assert probe.gc_pause_s >= 0.0
+        finally:
+            probe.uninstall()
+        assert probe._on_gc not in gc.callbacks
+
+    def test_install_is_idempotent(self):
+        probe = ResourceProbe()
+        probe.install()
+        probe.install()
+        try:
+            assert gc.callbacks.count(probe._on_gc) == 1
+        finally:
+            probe.uninstall()
+            probe.uninstall()
+        assert probe._on_gc not in gc.callbacks
+
+    def test_sample_updates_registry_gauges(self):
+        rec = Recorder()
+        probe = ResourceProbe(registry=rec.metrics)
+        probe.sample()
+        snap = rec.metrics.snapshot()["metrics"]
+        assert snap["process_resident_memory_bytes"]["series"][""] > 0
+        assert snap["process_cpu_seconds_total"]["series"][""] >= 0
+
+
+class TestStackProfiler:
+    def test_zero_hz_rejected(self):
+        with pytest.raises(ObservabilityError, match="> 0 Hz"):
+            StackProfiler(hz=0)
+        with pytest.raises(ObservabilityError, match="> 0 Hz"):
+            StackProfiler(hz=-5)
+
+    def test_samples_attributed_to_ambient_span(self):
+        rec = Recorder()
+        sampler = StackProfiler(rec, hz=500.0)
+        with use(rec):
+            sampler.start()
+            with rec.span("hot") as span:
+                _busy(0.15)
+            sampler.stop()
+        events = sampler.drain()
+        stacks = [e for e in events if e["kind"] == "stacks"]
+        assert stacks, "a 500 Hz sampler caught nothing in 150ms"
+        assert any(e["span"] == span.sid for e in stacks)
+        attributed = next(e for e in stacks if e["span"] == span.sid)
+        assert attributed["samples"] == sum(attributed["stacks"].values())
+        assert all(";" not in s.rsplit(";", 1)[-1] for s in attributed["stacks"])
+
+    def test_drain_resets_aggregate(self):
+        rec = Recorder()
+        sampler = StackProfiler(rec, hz=500.0)
+        sampler.start()
+        _busy(0.1)
+        sampler.stop()
+        first = sampler.drain()
+        assert first
+        assert sampler.drain() == []
+
+    def test_resource_series_emitted_with_probe(self):
+        probe = ResourceProbe()
+        sampler = StackProfiler(hz=200.0, probe=probe)
+        sampler.start()
+        _busy(0.25)
+        sampler.stop()
+        resources = [
+            e for e in sampler.drain() if e["kind"] == "resource"
+        ]
+        assert resources, "no resource ticks in 250ms at a 100ms cadence"
+        assert all(e["rss_bytes"] > 0 for e in resources)
+        times = [e["t"] for e in resources]
+        assert times == sorted(times)
+
+
+class TestProfilerSession:
+    def test_context_manager_appends_trace_events(self):
+        rec = Recorder()
+        with use(rec):
+            with Profiler(rec, hz=400.0):
+                with rec.span("work"):
+                    _busy(0.1)
+        events = rec.events()
+        assert validate_trace(events) == []
+        kinds = {e.get("kind") for e in events if e.get("type") == "profile"}
+        assert "resource_summary" in kinds
+        assert "stacks" in kinds
+        meta = events[0]
+        assert meta["profiles"] == rec.profiles > 0
+        # the probe stamped per-span resource deltas before teardown
+        work = next(s for s in rec.spans if s.name == "work")
+        assert "cpu_s" in work.attrs
+        assert "rss_peak_delta" in work.attrs
+
+    def test_summary_shape(self):
+        rec = Recorder()
+        profiler = Profiler(rec, hz=300.0, shard=3).start()
+        _busy(0.05)
+        events = profiler.stop()
+        summary = events[-1]
+        assert summary["kind"] == "resource_summary"
+        assert summary["shard"] == 3
+        assert summary["rss_peak_bytes"] > 0
+        assert summary["cpu_s"] >= summary["cpu_user_s"] >= 0.0
+        assert summary["hz"] == 300.0
+        # every shipped event carries the shard tag for the merger
+        assert all(e.get("shard") == 3 for e in events)
+
+    def test_stop_is_idempotent(self):
+        rec = Recorder()
+        profiler = Profiler(rec, hz=300.0).start()
+        assert profiler.stop() != []
+        assert profiler.stop() == []
+
+    def test_no_residue_after_exit(self):
+        rec = Recorder()
+        baseline_callbacks = len(gc.callbacks)
+        with use(rec):
+            with Profiler(rec, hz=300.0):
+                assert rec._resource_probe is not None
+                assert _profiler_threads()
+        for _ in range(50):  # the daemon thread needs a beat to exit
+            if not _profiler_threads():
+                break
+            time.sleep(0.01)
+        assert not _profiler_threads()
+        assert len(gc.callbacks) == baseline_callbacks
+        assert rec._resource_probe is None
+
+
+class TestZeroCostWhenDisabled:
+    def test_plain_recorder_never_profiles(self):
+        rec = Recorder()
+        baseline_callbacks = len(gc.callbacks)
+        with use(rec):
+            with rec.span("work"):
+                _busy(0.02)
+        assert rec._resource_probe is None
+        work = next(s for s in rec.spans if s.name == "work")
+        assert "cpu_s" not in work.attrs
+        assert "rss_peak_delta" not in work.attrs
+        assert rec.profiles == 0
+        assert "profiles" not in rec.events()[0]
+        assert not _profiler_threads()
+        assert len(gc.callbacks) == baseline_callbacks
+
+
+class TestProcessMetricsSnapshot:
+    def test_snapshot_shape_and_prom_render(self):
+        from repro.obs.metrics import to_prometheus_text
+
+        snap = process_metrics_snapshot()
+        assert snap["format"] == "repro-metrics"
+        assert snap["metrics"]["process_resident_memory_bytes"]["series"][""] > 0
+        text = to_prometheus_text(snap)
+        assert "# TYPE process_cpu_seconds_total counter" in text
+        assert "# TYPE process_resident_memory_bytes gauge" in text
+
+
+class TestProfileReport:
+    def _trace(self):
+        rec = Recorder()
+        with use(rec):
+            with Profiler(rec, hz=400.0):
+                with rec.span("hot"):
+                    _busy(0.12)
+        return rec.events()
+
+    def test_report_has_all_three_tables(self):
+        report = render_profile_report(self._trace())
+        assert "functions by self time" in report
+        assert "Sample attribution by span" in report
+        assert "hot" in report
+        assert "Per-shard process resources" in report
+        assert "sup" in report  # unsharded summary renders as supervisor
+
+    def test_report_without_profile_events(self):
+        rec = Recorder()
+        with rec.span("quiet"):
+            pass
+        report = render_profile_report(rec.events())
+        assert "no profile events" in report
+
+    def test_report_respects_top(self):
+        events = [
+            {"type": "profile", "kind": "stacks", "span": None, "hz": 100.0,
+             "samples": 6,
+             "stacks": {f"a.py:f{i};b.py:g{i}": 1 for i in range(6)}},
+        ]
+        report = render_profile_report(events, top=2)
+        assert "Top 2 functions" in report
+
+    def test_unattributed_samples_labelled(self):
+        events = [
+            {"type": "profile", "kind": "stacks", "span": None, "hz": 100.0,
+             "samples": 3, "stacks": {"a.py:main;a.py:leaf": 3}},
+        ]
+        report = render_profile_report(events)
+        assert "(no span)" in report
+        assert "a.py:leaf" in report

@@ -80,3 +80,38 @@ class TestMalformedSpans:
              "t_start": 0.0, "t_end": 0.01, "dur_s": 0.01},
         ]
         assert "orphan" in render_tree(events)
+
+
+class TestForwardCompatNotes:
+    def test_unknown_kinds_noted_not_fatal(self):
+        rec = Recorder()
+        with rec.span("work"):
+            pass
+        events = rec.events() + [
+            {"type": "hologram", "x": 1},
+            {"type": "hologram", "x": 2},
+        ]
+        text = render_summary(events)
+        assert "2 event(s) of unknown kind skipped" in text
+        assert "hologram" in text
+        assert "newer repro" in text
+
+    def test_profile_events_noted(self):
+        rec = Recorder()
+        with rec.span("work"):
+            pass
+        rec.profile_event({
+            "type": "profile", "kind": "stacks", "span": None,
+            "hz": 97.0, "samples": 1, "stacks": {"a.py:f": 1},
+        })
+        text = render_summary(rec.events())
+        assert "1 profile event(s)" in text
+        assert "repro profile report" in text
+
+    def test_clean_trace_has_no_notes(self):
+        rec = Recorder()
+        with rec.span("work"):
+            pass
+        text = render_summary(rec.events())
+        assert "unknown kind" not in text
+        assert "profile" not in text
