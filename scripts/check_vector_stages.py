@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Assert a trace's allocation stages actually ran on the vector engine.
+
+CI smoke for the compiled allocation path: given an NDJSON trace from
+``repro integrate --engine vector``, every engine-tagged pipeline stage
+span (expand, condense, map, score) must carry ``engine: "vector"`` — a
+silent fallback to scalar would otherwise pass every correctness test
+(the engines are bit-identical) while quietly surrendering the speedup
+the bench baseline gates.
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_vector_stages.py TRACE.ndjson ...
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+ENGINE_TAGGED_STAGES = ("expand", "condense", "map", "score")
+
+
+def check_trace(path: str) -> list[str]:
+    """Return problem strings for one trace file (empty = passed)."""
+    engines: dict[str, str | None] = {}
+    try:
+        with open(path) as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                event = json.loads(line)
+                if event.get("type") != "span":
+                    continue
+                name = event.get("name")
+                if name in ENGINE_TAGGED_STAGES:
+                    engines[name] = (event.get("attrs") or {}).get("engine")
+    except OSError as exc:
+        return [f"{path}: cannot read: {exc}"]
+    except json.JSONDecodeError as exc:
+        return [f"{path}: invalid NDJSON: {exc}"]
+
+    problems = []
+    for stage in ENGINE_TAGGED_STAGES:
+        if stage not in engines:
+            problems.append(f"{path}: no {stage!r} stage span in the trace")
+        elif engines[stage] != "vector":
+            problems.append(
+                f"{path}: stage {stage!r} ran engine={engines[stage]!r}, "
+                "not the vector path"
+            )
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print("usage: check_vector_stages.py TRACE.ndjson ...", file=sys.stderr)
+        return 2
+    failed = False
+    for path in argv:
+        problems = check_trace(path)
+        if problems:
+            failed = True
+            for problem in problems:
+                print(f"FAIL {problem}", file=sys.stderr)
+        else:
+            print(f"OK   {path}: allocation stages engaged the vector engine")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

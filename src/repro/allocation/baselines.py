@@ -70,7 +70,7 @@ def round_robin_clustering(state: ClusterState, target: int) -> CondensationResu
             if not blocks[index]:
                 blocks[index].append(name)
                 placed = True
-            elif state.policy.can_combine(state.graph, blocks[index], [name]):
+            elif state.policy_can_combine(blocks[index], [name]):
                 blocks[index].append(name)
                 placed = True
             if placed:
@@ -105,9 +105,7 @@ def load_balance_clustering(state: ClusterState, target: int) -> CondensationRes
         order = sorted(range(target), key=lambda i: (loads[i], i))
         placed = False
         for index in order:
-            if not blocks[index] or state.policy.can_combine(
-                state.graph, blocks[index], [name]
-            ):
+            if not blocks[index] or state.policy_can_combine(blocks[index], [name]):
                 blocks[index].append(name)
                 loads[index] += work(name)
                 placed = True
@@ -133,9 +131,7 @@ def _first_fit(
             randomize.shuffle(indices)
         placed = False
         for index in indices:
-            if not blocks[index] or state.policy.can_combine(
-                state.graph, blocks[index], [name]
-            ):
+            if not blocks[index] or state.policy_can_combine(blocks[index], [name]):
                 blocks[index].append(name)
                 placed = True
                 break

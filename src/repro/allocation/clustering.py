@@ -14,7 +14,7 @@ from __future__ import annotations
 from collections.abc import Iterable
 from dataclasses import dataclass
 
-from repro.errors import AllocationError
+from repro.errors import AllocationError, InfluenceError
 from repro.allocation.constraints import CombinationPolicy
 from repro.influence.cluster import (
     cluster_contains_replica_of,
@@ -65,6 +65,15 @@ class ClusterState:
     :meth:`combine` repeatedly until the desired cluster count is reached.
     The original influence graph is never mutated; cluster-level
     influences are computed from it on demand (Eq. 4).
+
+    The vector allocation engine attaches *compiled artifacts* via
+    :meth:`attach_compiled` — a
+    :class:`~repro.graphs.matrix.CompiledInfluence` weight matrix and a
+    :class:`~repro.allocation.compiled.CompiledPolicy` — after which the
+    influence and policy queries answer from member-tuple-keyed caches
+    with bit-identical values.  Heuristics must route policy queries
+    through the ``policy_*`` dispatch methods (never ``state.policy``
+    directly) so both engines share one code path.
     """
 
     def __init__(
@@ -75,6 +84,12 @@ class ClusterState:
     ) -> None:
         self.graph = graph
         self.policy = policy if policy is not None else CombinationPolicy()
+        self._compiled_influence = None
+        self._compiled_policy = None
+        self._rows_cache: dict | None = None
+        self._influence_cache: dict | None = None
+        self._combinable_cache: dict | None = None
+        self._attr_cache: dict | None = None
         if clusters is None:
             self.clusters: list[Cluster] = [
                 Cluster((name,)) for name in graph.fcm_names()
@@ -87,6 +102,68 @@ class ClusterState:
             if unknown:
                 raise AllocationError(f"unknown FCMs in clusters: {sorted(unknown)}")
             self.clusters = list(clusters)
+
+    # ------------------------------------------------------------------
+    # Compiled artifacts (vector engine)
+    # ------------------------------------------------------------------
+    def attach_compiled(self, influence=None, policy=None) -> None:
+        """Attach compiled artifacts; enables the cached fast paths.
+
+        ``influence`` is a :class:`~repro.graphs.matrix.CompiledInfluence`
+        over this state's graph; ``policy`` a
+        :class:`~repro.allocation.compiled.CompiledPolicy` compiled from
+        ``self.policy``.  The graph must stay unmutated while attached.
+        """
+        if influence is not None:
+            self._compiled_influence = influence
+            self._rows_cache = {}
+            self._influence_cache = {}
+            self._combinable_cache = {}
+            self._attr_cache = {}
+        if policy is not None:
+            self._compiled_policy = policy
+
+    def adopt_compiled(self, other: "ClusterState") -> None:
+        """Share ``other``'s compiled artifacts *and* caches.
+
+        Used by copies and re-seeded states over the same graph; caches
+        are keyed by member tuples, so sharing across partitions is safe.
+        """
+        self._compiled_influence = other._compiled_influence
+        self._compiled_policy = other._compiled_policy
+        self._rows_cache = other._rows_cache
+        self._influence_cache = other._influence_cache
+        self._combinable_cache = other._combinable_cache
+        self._attr_cache = other._attr_cache
+
+    @property
+    def is_compiled(self) -> bool:
+        return self._compiled_influence is not None or self._compiled_policy is not None
+
+    def _rows(self, members: tuple[str, ...]) -> list[int]:
+        cache = self._rows_cache
+        rows = cache.get(members)
+        if rows is None:
+            rows = self._compiled_influence.rows(members)
+            cache[members] = rows
+        return rows
+
+    def _combinable(self, first: tuple[str, ...], second: tuple[str, ...]) -> bool:
+        """Cached :func:`clusters_combinable` (replica-separation predicate)."""
+        cache = self._combinable_cache
+        if cache is None:
+            return clusters_combinable(self.graph, first, second)
+        key = (first, second)
+        cached = cache.get(key)
+        if cached is None:
+            if set(first) & set(second):
+                raise InfluenceError("clusters overlap")
+            graph = self.graph
+            cached = not any(
+                graph.is_replica_link(a, b) for a in first for b in second
+            )
+            cache[key] = cached
+        return cached
 
     # ------------------------------------------------------------------
     # Inspection
@@ -115,7 +192,7 @@ class ClusterState:
         if i == j:
             raise AllocationError("influence of a cluster on itself is undefined")
         a, b = self.clusters[i], self.clusters[j]
-        if not clusters_combinable(self.graph, a.members, b.members):
+        if not self._combinable(a.members, b.members):
             return 0.0
         return self.raw_influence(i, j)
 
@@ -128,11 +205,20 @@ class ClusterState:
         if i == j:
             raise AllocationError("influence of a cluster on itself is undefined")
         a, b = self.clusters[i], self.clusters[j]
-        return combine_probabilities(
-            self.graph.influence(src, dst)
-            for src in a.members
-            for dst in b.members
-        )
+        ci = self._compiled_influence
+        if ci is None:
+            return combine_probabilities(
+                self.graph.influence(src, dst)
+                for src in a.members
+                for dst in b.members
+            )
+        key = (a.members, b.members)
+        cache = self._influence_cache
+        value = cache.get(key)
+        if value is None:
+            value = ci.group_influence(self._rows(a.members), self._rows(b.members))
+            cache[key] = value
+        return value
 
     def mutual_influence(self, i: int, j: int) -> float:
         """Sum of influences in each direction — H1's merge criterion."""
@@ -145,8 +231,8 @@ class ClusterState:
             self.graph,
             self.clusters[i].members,
             self.clusters[j].members,
-        ) or not clusters_combinable(
-            self.graph, self.clusters[i].members, self.clusters[j].members
+        ) or not self._combinable(
+            self.clusters[i].members, self.clusters[j].members
         )
 
     def can_combine(self, i: int, j: int) -> bool:
@@ -155,11 +241,44 @@ class ClusterState:
         self._check_index(j)
         if i == j:
             return False
-        return self.policy.can_combine(
-            self.graph,
+        return self.policy_can_combine(
             self.clusters[i].members,
             self.clusters[j].members,
         )
+
+    # ------------------------------------------------------------------
+    # Policy dispatch (scalar policy or compiled fast path)
+    # ------------------------------------------------------------------
+    def policy_can_combine(self, first: Iterable[str], second: Iterable[str]) -> bool:
+        cp = self._compiled_policy
+        if cp is not None:
+            return cp.can_combine(tuple(first), tuple(second))
+        return self.policy.can_combine(self.graph, first, second)
+
+    def policy_violations(self, first: Iterable[str], second: Iterable[str]) -> list[str]:
+        cp = self._compiled_policy
+        if cp is not None:
+            return cp.violations(tuple(first), tuple(second))
+        return self.policy.violations(self.graph, first, second)
+
+    def policy_require_combinable(self, first: Iterable[str], second: Iterable[str]) -> None:
+        cp = self._compiled_policy
+        if cp is not None:
+            cp.require_combinable(tuple(first), tuple(second))
+            return
+        self.policy.require_combinable(self.graph, first, second)
+
+    def policy_block_valid(self, members: Iterable[str]) -> bool:
+        cp = self._compiled_policy
+        if cp is not None:
+            return cp.block_valid(tuple(members))
+        return self.policy.block_valid(self.graph, members)
+
+    def policy_block_violations(self, members: Iterable[str]) -> list[str]:
+        cp = self._compiled_policy
+        if cp is not None:
+            return cp.block_violations(tuple(members))
+        return self.policy.block_violations(self.graph, members)
 
     def attributes(self, i: int) -> AttributeSet:
         """Grouped (§4.3 envelope) combination of the member attributes.
@@ -169,8 +288,18 @@ class ClusterState:
         most-stringent merge.
         """
         self._check_index(i)
+        members = self.clusters[i].members
+        cache = self._attr_cache
+        if cache is not None:
+            cached = cache.get(members)
+            if cached is None:
+                cached = combine_all_grouped(
+                    [self.graph.fcm(name).attributes for name in members]
+                )
+                cache[members] = cached
+            return cached
         return combine_all_grouped(
-            [self.graph.fcm(name).attributes for name in self.clusters[i].members]
+            [self.graph.fcm(name).attributes for name in members]
         )
 
     def total_cross_influence(self) -> float:
@@ -210,8 +339,7 @@ class ClusterState:
         if i == j:
             raise AllocationError("cannot combine a cluster with itself")
         if enforce_policy:
-            self.policy.require_combinable(
-                self.graph,
+            self.policy_require_combinable(
                 self.clusters[i].members,
                 self.clusters[j].members,
             )
@@ -222,7 +350,9 @@ class ClusterState:
         return lo
 
     def copy(self) -> "ClusterState":
-        return ClusterState(self.graph, self.policy, list(self.clusters))
+        clone = ClusterState(self.graph, self.policy, list(self.clusters))
+        clone.adopt_compiled(self)
+        return clone
 
     def _check_index(self, i: int) -> None:
         if not 0 <= i < len(self.clusters):

@@ -76,7 +76,7 @@ def evaluate_partition(
     max_crit = 0.0
     colocations = 0
     for cluster in state.clusters:
-        reasons = state.policy.block_violations(graph, cluster.members)
+        reasons = state.policy_block_violations(cluster.members)
         violations.extend(
             f"{cluster.label}: {reason}" for reason in reasons
         )

@@ -85,7 +85,7 @@ def plan_pairing(
     pairs: list[tuple[Members, Members]] = []
 
     def feasible(a: Members, b: Members) -> bool:
-        return state.policy.can_combine(state.graph, a, b)
+        return state.policy_can_combine(a, b)
 
     while len(queue) > 1:
         high = queue.pop(0)

@@ -21,7 +21,6 @@ from enum import Enum
 
 from repro.errors import InfeasibleAllocationError
 from repro.allocation.clustering import Cluster, ClusterState
-from repro.allocation.constraints import CombinationPolicy
 from repro.allocation.heuristics.base import CondensationResult, _replica_lower_bound
 from repro.graphs.mincut import st_min_cut, stoer_wagner
 from repro.influence.influence_graph import InfluenceGraph
@@ -76,7 +75,7 @@ def condense_h2(
         blocks[index] = side_a
         blocks.insert(index + 1, side_b)
 
-    blocks = _repair(graph, blocks, state.policy, target)
+    blocks = _repair(state, blocks, target)
     state.clusters = [Cluster(tuple(block)) for block in blocks]
     return CondensationResult(state=state, heuristic="H2")
 
@@ -135,9 +134,8 @@ def _pick_block(
 
 
 def _repair(
-    graph: InfluenceGraph,
+    state: ClusterState,
     blocks: list[list[str]],
-    policy: CombinationPolicy,
     target: int,
 ) -> list[list[str]]:
     """Move members out of invalid blocks until every block is valid.
@@ -153,15 +151,15 @@ def _repair(
         guard -= 1
         invalid = [
             i for i, block in enumerate(blocks)
-            if len(block) > 1 and not policy.block_valid(graph, block)
+            if len(block) > 1 and not state.policy_block_valid(block)
         ]
         if not invalid:
             break
         index = invalid[0]
         block = blocks[index]
-        ejected = _choose_ejection(graph, block, policy)
+        ejected = _choose_ejection(state, block)
         block.remove(ejected)
-        home = _find_home(graph, blocks, index, ejected, policy)
+        home = _find_home(state, blocks, index, ejected)
         if home is None:
             blocks.append([ejected])
         else:
@@ -171,18 +169,19 @@ def _repair(
 
     if len([b for b in blocks if b]) > target:
         # Repair overflowed the budget: try merging small valid blocks.
-        blocks = _remerge(graph, [b for b in blocks if b], policy, target)
+        blocks = _remerge(state, [b for b in blocks if b], target)
     return [b for b in blocks if b]
 
 
 def _choose_ejection(
-    graph: InfluenceGraph,
+    state: ClusterState,
     block: list[str],
-    policy: CombinationPolicy,
 ) -> str:
+    graph = state.graph
+
     def score(member: str) -> tuple[int, float]:
         rest = [m for m in block if m != member]
-        remaining = len(policy.block_violations(graph, rest))
+        remaining = len(state.policy_block_violations(rest))
         binding = sum(
             graph.mutual_influence(member, other) for other in rest
         )
@@ -192,17 +191,17 @@ def _choose_ejection(
 
 
 def _find_home(
-    graph: InfluenceGraph,
+    state: ClusterState,
     blocks: list[list[str]],
     origin: int,
     member: str,
-    policy: CombinationPolicy,
 ) -> int | None:
+    graph = state.graph
     candidates = []
     for i, block in enumerate(blocks):
         if i == origin or not block:
             continue
-        if policy.block_valid(graph, block + [member]):
+        if state.policy_block_valid(block + [member]):
             affinity = sum(graph.mutual_influence(member, other) for other in block)
             candidates.append((affinity, -i, i))
     if not candidates:
@@ -211,16 +210,16 @@ def _find_home(
 
 
 def _remerge(
-    graph: InfluenceGraph,
+    state: ClusterState,
     blocks: list[list[str]],
-    policy: CombinationPolicy,
     target: int,
 ) -> list[list[str]]:
+    graph = state.graph
     while len(blocks) > target:
         best: tuple[float, int, int] | None = None
         for i in range(len(blocks)):
             for j in range(i + 1, len(blocks)):
-                if policy.block_valid(graph, blocks[i] + blocks[j]):
+                if state.policy_block_valid(blocks[i] + blocks[j]):
                     affinity = sum(
                         graph.mutual_influence(a, b)
                         for a in blocks[i]

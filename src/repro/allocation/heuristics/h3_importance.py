@@ -67,7 +67,6 @@ def condense_h3(
     rest = ranked[target:]
 
     blocks: dict[str, list[str]] = {seed: [seed] for seed in seeds}
-    policy = state.policy
 
     for name in rest:
         if (
@@ -83,7 +82,7 @@ def condense_h3(
         preferred: list[tuple[float, int, str]] = []
         for order, seed in enumerate(seeds):
             block = blocks[seed]
-            if not policy.can_combine(graph, block, [name]):
+            if not state.policy_can_combine(block, [name]):
                 continue
             affinity = sum(graph.mutual_influence(name, other) for other in block)
             entry = (affinity, -order, seed)
@@ -94,7 +93,7 @@ def condense_h3(
         if not pool:
             reasons = {
                 seed: "; ".join(
-                    policy.violations(graph, blocks[seed], [name])
+                    state.policy_violations(blocks[seed], [name])
                 )
                 for seed in seeds
             }

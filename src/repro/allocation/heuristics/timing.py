@@ -128,7 +128,7 @@ def pack_by_timing(state: ClusterState, target: int) -> CondensationResult:
     for name in order:
         placed = False
         for block in blocks:
-            if state.policy.can_combine(state.graph, block, [name]):
+            if state.policy_can_combine(block, [name]):
                 block.append(name)
                 placed = True
                 break

@@ -112,21 +112,23 @@ def map_approach_a(
                 f"{state.clusters[index].label!r}"
             )
         needed = reqs.required_by(members)
-        chosen = min(
-            candidates,
-            key=lambda name: (
-                _placement_cost(mapping, index, name),
-                len(hw.node(name).resources - needed),  # keep special nodes free
-                name,
+        costs = _placement_costs(mapping, index, candidates)
+        best = min(
+            range(len(candidates)),
+            key=lambda k: (
+                costs[k],
+                # keep special nodes free
+                len(hw.node(candidates[k]).resources - needed),
+                candidates[k],
             ),
         )
+        chosen = candidates[best]
         if rec.enabled:
             rec.decision(
                 "map",
                 "place",
                 subject=state.clusters[index].label,
-                reason=f"min dilation cost "
-                f"{_placement_cost(mapping, index, chosen):.4f} among "
+                reason=f"min dilation cost {costs[best]:.4f} among "
                 f"{len(candidates)} candidate nodes",
                 node=chosen,
                 approach="a",
@@ -182,14 +184,17 @@ def map_approach_b(
         fresh_fcr = [n for n in candidates if hw.fcr_of(n) not in used_fcrs]
         pool = fresh_fcr or candidates
         needed = reqs.required_by(members)
-        chosen = min(
-            pool,
-            key=lambda name: (
-                _placement_cost(mapping, index, name),
-                len(hw.node(name).resources - needed),
-                name,
-            ),
-        )
+        costs = _placement_costs(mapping, index, pool)
+        chosen = pool[
+            min(
+                range(len(pool)),
+                key=lambda k: (
+                    costs[k],
+                    len(hw.node(pool[k]).resources - needed),
+                    pool[k],
+                ),
+            )
+        ]
         if rec.enabled:
             rec.decision(
                 "map",
@@ -253,21 +258,42 @@ def improve_mapping(
     return swaps
 
 
-def _placement_cost(mapping: Mapping, index: int, hw_name: str) -> float:
-    """Dilation cost of placing ``index`` on ``hw_name`` given placements."""
+def _placement_costs(
+    mapping: Mapping,
+    index: int,
+    candidates: list[str],
+) -> list[float]:
+    """Dilation cost of placing ``index`` on each candidate HW node.
+
+    One sweep over the placed clusters computes every candidate's cost:
+    the (expensive) cluster-pair influence is evaluated once per placed
+    neighbour instead of once per (neighbour, candidate), and each
+    candidate's total still accumulates contributions in assignment
+    insertion order — the exact float addition sequence of the one-
+    candidate-at-a-time scoring it replaces.
+    """
     state = mapping.state
-    total = 0.0
+    hw = mapping.hw
+    inf = float("inf")
+    totals = [0.0] * len(candidates)
     for other, node in mapping.assignment.items():
         influence = state.influence(index, other) + state.influence(other, index)
         if influence <= 0.0:
             continue
-        cost = mapping.hw.link_cost(hw_name, node)
-        if cost == float("inf"):
-            # Unconnected nodes: massive but finite penalty so a complete
-            # assignment is still found and flagged by goodness checks.
-            cost = 1e6
-        total += influence * cost
-    return total
+        for k, name in enumerate(candidates):
+            cost = hw.link_cost(name, node)
+            if cost == inf:
+                # Unconnected nodes: massive but finite penalty so a
+                # complete assignment is still found and flagged by
+                # goodness checks.
+                cost = 1e6
+            totals[k] += influence * cost
+    return totals
+
+
+def _placement_cost(mapping: Mapping, index: int, hw_name: str) -> float:
+    """Dilation cost of placing ``index`` on ``hw_name`` given placements."""
+    return _placement_costs(mapping, index, [hw_name])[0]
 
 
 def _check_capacity(state: ClusterState, hw: HWGraph) -> None:

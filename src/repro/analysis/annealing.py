@@ -74,6 +74,7 @@ def anneal(
         trial = ClusterState(
             graph, policy, [Cluster(tuple(b)) for b in candidate]
         )
+        trial.adopt_compiled(state)
         return trial.total_cross_influence()
 
     current_cost = cost_of(blocks)
@@ -105,9 +106,9 @@ def anneal(
             candidate[i].append(b)
             candidate[j].append(a)
         attempted += 1
-        if not policy.block_valid(graph, candidate[i]):
+        if not state.policy_block_valid(candidate[i]):
             continue
-        if not policy.block_valid(graph, candidate[j]):
+        if not state.policy_block_valid(candidate[j]):
             continue
         new_cost = cost_of(candidate)
         delta = new_cost - current_cost

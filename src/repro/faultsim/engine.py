@@ -52,7 +52,7 @@ def resolve_engine(
     """Resolve ``requested`` against what can actually run.
 
     ``vectorizable=False`` marks workloads with no vectorized path (e.g.
-    resilience trials, which re-plan degradation event by event);
+    an allocation whose combination policy is not compilable);
     ``why_not`` names the reason.  ``auto`` then falls back to scalar,
     while an explicit ``vector`` request fails loudly.
     """

@@ -104,8 +104,18 @@ def compile_graph(graph: InfluenceGraph) -> CompiledGraph:
 
     Replica links and absent edges both contribute weight 0 — exactly the
     probabilities the scalar engine sees through ``graph.influence``.
+
+    Compilations are cached on the graph instance keyed by its mutation
+    :attr:`~repro.influence.influence_graph.InfluenceGraph.version`, so the
+    allocation engine and a subsequent fault campaign on the same graph
+    share one compile.
     """
     _require_numpy()
+    version = getattr(graph, "version", None)
+    if version is not None:
+        cached = getattr(graph, "_kernel_compile_cache", None)
+        if cached is not None and cached[0] == version:
+            return cached[1]
     names = tuple(graph.fcm_names())
     if not names:
         raise SimulationError("graph has no FCMs")
@@ -116,9 +126,12 @@ def compile_graph(graph: InfluenceGraph) -> CompiledGraph:
         weights[index[src], index[dst]] = w
     with np.errstate(divide="ignore"):
         log_survival = np.where(weights >= 1.0, _LOG_ZERO, np.log1p(-weights))
-    return CompiledGraph(
+    compiled = CompiledGraph(
         names=names, index=index, weights=weights, log_survival=log_survival
     )
+    if version is not None:
+        graph._kernel_compile_cache = (version, compiled)
+    return compiled
 
 
 def propagate_block(

@@ -134,6 +134,34 @@ class Digraph:
             for dst, w in targets.items()
         ]
 
+    def adjacency(self) -> dict[Node, dict[Node, float]]:
+        """The internal successor mapping ``{src: {dst: weight}}``.
+
+        Exposed for hot paths that iterate every edge; callers must treat
+        the returned structure as read-only.
+        """
+        return self._succ
+
+    def edge_payloads(self) -> dict[tuple[Node, Node], dict[str, Any]]:
+        """The internal ``(src, dst) -> payload`` mapping (read-only)."""
+        return self._edge_data
+
+    def _install_edge(
+        self,
+        source: Node,
+        target: Node,
+        weight: float,
+        data: dict[str, Any],
+    ) -> None:
+        """Unchecked edge insert for bulk graph construction.
+
+        Both endpoints must already exist and the edge must not; callers
+        (graph copies, ``InfluenceGraph.as_digraph``) guarantee this.
+        """
+        self._succ[source][target] = weight
+        self._pred[target][source] = weight
+        self._edge_data[(source, target)] = data
+
     def edge_count(self) -> int:
         return len(self._edge_data)
 

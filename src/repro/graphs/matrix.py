@@ -1,13 +1,21 @@
-"""Adjacency-matrix utilities for the separation power series (Eq. 3).
+"""Adjacency-matrix utilities for influence computations.
 
-Separation between FCMs sums transitive influence contributions
-``P + P^2 + P^3 + ...``; this module provides the matrix plumbing:
-conversion between a :class:`Digraph` and a dense numpy matrix with a
-stable node ordering, truncated power sums, and the closed-form
-``(I - P)^{-1} - I`` limit when the series converges.
+Two consumers share this plumbing:
+
+* the separation power series (Eq. 3) — ``P + P^2 + P^3 + ...`` over a
+  dense adjacency matrix with a stable node ordering, truncated power
+  sums, and the closed-form ``(I - P)^{-1} - I`` limit;
+* the vectorized allocation engine — :class:`CompiledInfluence` holds the
+  complement matrix ``1 - W`` so cluster-to-cluster influence (Eq. 2's
+  noisy-or over every member pair) reduces to a product over one
+  sub-block, bit-identical to the scalar
+  :func:`~repro.influence.probability.combine_probabilities` fold.
 """
 
 from __future__ import annotations
+
+import math
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -35,6 +43,64 @@ def adjacency_matrix(graph: Digraph, order: list[Node] | None = None) -> tuple[n
     for src, dst, w in graph.edges():
         matrix[index[src], index[dst]] = w
     return matrix, nodes
+
+
+@dataclass(frozen=True)
+class CompiledInfluence:
+    """An influence graph's weights lowered to arrays for allocation.
+
+    ``weights[i, j]`` is the influence of ``names[i]`` on ``names[j]``
+    (0 where no edge exists, replica links included at their fixed 0);
+    ``complements`` is the elementwise ``1.0 - weights`` — the same
+    float64 subtraction the scalar fold performs per pair, precomputed
+    once.
+
+    :meth:`group_influence` reproduces
+    ``combine_probabilities(graph.influence(s, d) for s in a for d in b)``
+    bit-for-bit: the sub-block is raveled in C order (source-major,
+    destination-inner — the scalar loop order) and folded left-to-right
+    by :func:`math.prod`, which performs the identical multiplication
+    sequence.  Float multiplication is not associative, so the order is
+    part of the contract.
+    """
+
+    names: tuple[str, ...]
+    index: dict[str, int]
+    weights: np.ndarray
+    complements: np.ndarray
+
+    @classmethod
+    def from_weights(cls, names: tuple[str, ...], weights: np.ndarray) -> "CompiledInfluence":
+        """Build from an already-compiled weight matrix.
+
+        The fault kernel's ``CompiledGraph.weights`` qualifies, so one
+        compile serves both allocation and the fault campaign.
+        """
+        return cls(
+            names=tuple(names),
+            index={name: i for i, name in enumerate(names)},
+            weights=weights,
+            complements=1.0 - weights,
+        )
+
+    def __len__(self) -> int:
+        return len(self.names)
+
+    def rows(self, names: "list[str] | tuple[str, ...]") -> list[int]:
+        """Row indices of ``names``, in the given order."""
+        index = self.index
+        return [index[name] for name in names]
+
+    def group_influence(self, rows_a: list[int], rows_b: list[int]) -> float:
+        """Eq. (2) combined influence of member rows ``a`` on rows ``b``."""
+        if len(rows_a) == 1 and len(rows_b) == 1:
+            return 1.0 - self.complements[rows_a[0], rows_b[0]]
+        block = self.complements[np.ix_(rows_a, rows_b)]
+        return 1.0 - math.prod(block.ravel().tolist())
+
+    def pair_weight(self, a: int, b: int) -> float:
+        """The raw edge weight between two single rows."""
+        return float(self.weights[a, b])
 
 
 def power_series_sum(matrix: np.ndarray, max_order: int) -> np.ndarray:

@@ -14,13 +14,15 @@ stored in *both* directions (the relation is symmetric).
 
 from __future__ import annotations
 
-from collections.abc import Iterable
+from collections.abc import Iterable, Iterator
 
 from repro.errors import GraphError, InfluenceError, ProbabilityError
 from repro.graphs.digraph import Digraph
 from repro.influence.factors import InfluenceFactor
 from repro.influence.probability import influence_from_factors
 from repro.model.fcm import FCM
+
+_EMPTY_SET: frozenset[str] = frozenset()
 
 
 class InfluenceGraph:
@@ -32,11 +34,25 @@ class InfluenceGraph:
     * *replica links* — weight exactly 0, ``replica=True``, symmetric.
 
     Plain zero influence is represented by the *absence* of an edge.
+
+    A replica-partner index keeps :meth:`is_replica_link` O(1), and a
+    monotonically increasing :attr:`version` lets compiled artifacts
+    (``repro.faultsim.kernel.compile_graph``, the allocation engine's
+    matrices) cache against a graph instance and invalidate on mutation.
     """
 
     def __init__(self) -> None:
         self._graph = Digraph()
         self._fcms: dict[str, FCM] = {}
+        # name -> set of replica partners (symmetric); mirrors the
+        # replica=True edges exactly.
+        self._replica_partners: dict[str, set[str]] = {}
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Mutation counter; bumps on any node/edge change."""
+        return self._version
 
     # ------------------------------------------------------------------
     # Nodes
@@ -46,11 +62,17 @@ class InfluenceGraph:
             raise InfluenceError(f"FCM {fcm.name!r} already in influence graph")
         self._fcms[fcm.name] = fcm
         self._graph.add_node(fcm.name)
+        self._version += 1
 
     def remove_fcm(self, name: str) -> None:
         self._require(name)
         self._graph.remove_node(name)
         del self._fcms[name]
+        partners = self._replica_partners.pop(name, None)
+        if partners:
+            for other in partners:
+                self._replica_partners[other].discard(name)
+        self._version += 1
 
     def has_fcm(self, name: str) -> bool:
         return name in self._fcms
@@ -106,6 +128,7 @@ class InfluenceGraph:
                 f"{source!r} and {target!r} are replicas; their link weight "
                 "is fixed at 0"
             )
+        self._version += 1
         if value == 0.0:
             if self._graph.has_edge(source, target):
                 self._graph.remove_edge(source, target)
@@ -138,11 +161,30 @@ class InfluenceGraph:
 
     def influence_edges(self) -> list[tuple[str, str, float]]:
         """All non-replica edges as (source, target, weight)."""
+        partners = self._replica_partners
         return [
             (src, dst, w)
-            for src, dst, w in self._graph.edges()
-            if not self._graph.edge_data(src, dst).get("replica", False)
+            for src, targets in self._graph.adjacency().items()
+            for dst, w in targets.items()
+            if dst not in partners.get(src, _EMPTY_SET)
         ]
+
+    def influence_edge_factors(
+        self,
+    ) -> Iterator[tuple[str, str, float, tuple[InfluenceFactor, ...]]]:
+        """One-pass iterator over (source, target, weight, factors).
+
+        Equivalent to :meth:`influence_edges` plus a :meth:`factors` call
+        per edge, without the per-edge lookups — the audit's hot path.
+        """
+        partners = self._replica_partners
+        payloads = self._graph.edge_payloads()
+        for src, targets in self._graph.adjacency().items():
+            skip = partners.get(src, _EMPTY_SET)
+            for dst, w in targets.items():
+                if dst in skip:
+                    continue
+                yield src, dst, w, payloads[(src, dst)].get("factors", ())
 
     def mutual_influence(self, a: str, b: str) -> float:
         """Sum of influences in each direction (H1's merge criterion)."""
@@ -178,26 +220,27 @@ class InfluenceGraph:
                     )
             else:
                 self._graph.add_edge(src, dst, 0.0, factors=(), replica=True)
+        self._replica_partners.setdefault(a, set()).add(b)
+        self._replica_partners.setdefault(b, set()).add(a)
+        self._version += 1
 
     def is_replica_link(self, a: str, b: str) -> bool:
-        return self._graph.has_edge(a, b) and bool(
-            self._graph.edge_data(a, b).get("replica", False)
-        )
+        return b in self._replica_partners.get(a, _EMPTY_SET)
+
+    def replica_partners(self, name: str) -> frozenset[str]:
+        """The replica partners of ``name`` (empty when unreplicated)."""
+        partners = self._replica_partners.get(name)
+        return frozenset(partners) if partners else _EMPTY_SET
 
     def replica_groups(self) -> list[set[str]]:
         """Partition of replica-linked FCMs into groups (by origin)."""
         groups: dict[str, set[str]] = {}
+        partners = self._replica_partners
         for name, fcm in self._fcms.items():
             origin = fcm.replica_of or name
-            if fcm.replica_of is not None or self._has_replica_edge(name):
+            if fcm.replica_of is not None or partners.get(name):
                 groups.setdefault(origin, set()).add(name)
         return [g for g in groups.values() if len(g) > 1]
-
-    def _has_replica_edge(self, name: str) -> bool:
-        return any(
-            self._graph.edge_data(name, succ).get("replica", False)
-            for succ in self._graph.successors(name)
-        )
 
     # ------------------------------------------------------------------
     # Views
@@ -211,17 +254,24 @@ class InfluenceGraph:
         out = Digraph()
         for name in self._fcms:
             out.add_node(name)
-        for src, dst, w in self._graph.edges():
-            data = self._graph.edge_data(src, dst)
-            if data.get("replica", False) and not include_replica_links:
-                continue
-            out.add_edge(src, dst, w, **data)
+        partners = self._replica_partners
+        payloads = self._graph.edge_payloads()
+        for src, targets in self._graph.adjacency().items():
+            skip = partners.get(src, _EMPTY_SET) if not include_replica_links else _EMPTY_SET
+            for dst, w in targets.items():
+                if dst in skip:
+                    continue
+                out._install_edge(src, dst, w, dict(payloads[(src, dst)]))
         return out
 
     def copy(self) -> "InfluenceGraph":
         clone = InfluenceGraph()
         clone._graph = self._graph.copy()
         clone._fcms = dict(self._fcms)
+        clone._replica_partners = {
+            name: set(partners)
+            for name, partners in self._replica_partners.items()
+        }
         return clone
 
     def _require(self, name: str) -> None:

@@ -51,6 +51,16 @@ DEFAULT_TOLERANCE = {
     # campaign may cost at most this fraction over the unprofiled one
     # (and must stay bit-identical — see identical_profiled).
     "max_profile_overhead": 0.05,
+    # Absolute caps, unlike the relative ratchets above: ``max_wall_s``
+    # bounds an entry's total wall time outright (skipped, like the
+    # relative wall gate, when the latest run used a different campaign
+    # length), and ``max_stage_s`` maps stage name -> absolute seconds
+    # cap (always applied — stage times do not depend on campaign
+    # length).  Both default to unbounded and are set per entry in the
+    # committed baseline where a hard perf promise exists (e.g. the
+    # vectorized allocation stages).
+    "max_wall_s": None,
+    "max_stage_s": {},
 }
 
 
@@ -190,7 +200,9 @@ def check_bench(
     """Compare the latest bench run against a baseline document.
 
     Checks, per baseline case: total wall time, campaign throughput and
-    per-stage wall times for scenario entries; serial wall time, the
+    per-stage wall times for scenario entries (plus the absolute
+    ``max_wall_s`` / ``max_stage_s`` caps where the baseline sets
+    them); serial wall time, the
     serial==pooled determinism contract, the pooled-speedup floor and
     the telemetry-overhead cap (both only when the pool engaged) for
     parallel/sharded entries.  A case
@@ -277,6 +289,22 @@ def _check_entry(
     if comparable_wall and "wall_s" in base and "wall_s" in latest:
         slower("wall_s", float(base["wall_s"]), float(latest["wall_s"]),
                float(tol["wall_s"]))
+    if (
+        comparable_wall
+        and tol.get("max_wall_s") is not None
+        and "wall_s" in latest
+    ):
+        cap = float(tol["max_wall_s"])
+        latest_v = float(latest["wall_s"])
+        if latest_v > cap:
+            fail(
+                "max_wall_s",
+                float(base.get("wall_s") or 0.0),
+                latest_v,
+                cap,
+                f"{name}: wall time {latest_v:.4f}s exceeds the absolute "
+                f"{cap:.4f}s cap",
+            )
     if comparable_wall and "serial_wall_s" in base and "serial_wall_s" in latest:
         slower(
             "serial_wall_s",
@@ -325,6 +353,20 @@ def _check_entry(
                 limit,
                 f"{name}: stage {stage} {latest_v * 1000:.2f}ms exceeds "
                 f"{base_v * 1000:.2f}ms + {rel * 100:.0f}% tolerance",
+            )
+    for stage, cap in (tol.get("max_stage_s") or {}).items():
+        if stage not in latest_stages:
+            continue  # absent-but-baselined stages already failed above
+        cap = float(cap)
+        latest_v = float(latest_stages[stage])
+        if latest_v > cap:
+            fail(
+                f"max_stage_s.{stage}",
+                float(base_stages.get(stage) or 0.0),
+                latest_v,
+                cap,
+                f"{name}: stage {stage} {latest_v * 1000:.2f}ms exceeds "
+                f"the absolute {cap * 1000:.2f}ms cap",
             )
     if base.get("identical") is True and latest.get("identical") is False:
         fail(

@@ -133,18 +133,23 @@ def run_resilience_campaign(
     so the report does not depend on ``policy`` (workers, batch size),
     retries, or checkpoint/resume history.
 
-    Resilience trials re-plan the mapping event by event, so there is no
-    vectorized path: ``engine="auto"`` always resolves to scalar (the
-    fallback is recorded as a decision event) and an explicit
-    ``engine="vector"`` raises.
+    ``engine="vector"`` accelerates the *planning* side of each trial:
+    the outcome's influence graph and combination policy are compiled
+    once (shared with the allocation engine's compile cache), degraded
+    mappings are memoized by ``(failed nodes, failed links)`` — re-
+    planning is deterministic, so a repeated failure state reuses the
+    plan — and origin lookups are precomputed.  The stochastic side
+    (failure draws, recovery outcomes) stays on the same per-trial
+    ``random.Random(derive_seed(seed, t))`` streams, so vector reports
+    are **bit-identical** to scalar ones at equal seeds — unlike the
+    fault campaign, where the two engines draw different streams and
+    agree statistically.  One observable difference: memoized re-plans
+    skip ``plan_degradation``'s recorder events, so ``degrade_plans_
+    total`` counts planned *states*, not events, under vector.
     """
     if trials < 1:
         raise SimulationError("trials must be >= 1")
-    choice = resolve_engine(
-        engine,
-        vectorizable=False,
-        why_not="resilience trials re-plan degradation event by event",
-    )
+    choice = resolve_engine(engine)
     record_engine_decision("resilience", choice)
     if failures < 1 and scenario is None:
         raise SimulationError("failures must be >= 1")
@@ -154,8 +159,66 @@ def run_resilience_campaign(
     rates = rates or FCRFailureRates.uniform(hw)
     policies = policies or DEFAULT_POLICIES
     state = outcome.condensation.state
-    classes = process_classes(state.graph, bands)
+    graph = state.graph
+    classes = process_classes(graph, bands)
     origins = sorted(classes)
+
+    if choice.is_vector:
+        if not state.is_compiled:
+            from repro.allocation.compiled import compile_policy
+            from repro.faultsim.kernel import compile_graph
+            from repro.graphs.matrix import CompiledInfluence
+
+            compiled_graph = compile_graph(graph)
+            state.attach_compiled(
+                influence=CompiledInfluence.from_weights(
+                    compiled_graph.names, compiled_graph.weights
+                ),
+                policy=compile_policy(graph, state.policy),
+            )
+
+        plan_memo: dict[tuple, object] = {}
+
+        def planner(failed_now, links):
+            key = (failed_now, links)
+            plan = plan_memo.get(key)
+            if plan is None:
+                # plan_degradation is deterministic (rng-free), so one
+                # plan per failure state serves every trial that reaches
+                # it; trials copy the plan's dicts before mutating.
+                plan = plan_degradation(
+                    outcome,
+                    list(failed_now),
+                    failed_links=links,
+                    approach=approach,
+                    resources=resources,
+                    bands=bands,
+                )
+                plan_memo[key] = plan
+            return plan
+
+        origin_cache: dict[str, str] = {}
+
+        def origin(member: str) -> str:
+            cached = origin_cache.get(member)
+            if cached is None:
+                cached = origin_of(graph, member)
+                origin_cache[member] = cached
+            return cached
+    else:
+
+        def planner(failed_now, links):
+            return plan_degradation(
+                outcome,
+                list(failed_now),
+                failed_links=links,
+                approach=approach,
+                resources=resources,
+                bands=bands,
+            )
+
+        def origin(member: str) -> str:
+            return origin_of(graph, member)
 
     def run_batch(start: int, size: int, campaign_seed: int) -> dict:
         records = []
@@ -170,8 +233,7 @@ def run_resilience_campaign(
                 label = event.kind.name.lower()
                 kinds[label] = kinds.get(label, 0) + 1
             downtime, shed, violations, a_outage, recoveries = _simulate_trial(
-                outcome, events, rng, horizon, policies, bands, resources,
-                approach, classes,
+                outcome, events, rng, horizon, policies, planner, origin,
             )
             records.append(
                 {
@@ -318,16 +380,18 @@ def _simulate_trial(
     rng: random.Random,
     horizon: float,
     policies: RecoveryPolicySet,
-    bands: CriticalityBands,
-    resources: ResourceRequirements | None,
-    approach: str,
-    classes: dict[str, str],
+    planner,
+    origin,
 ) -> tuple[dict[str, float], int, int, bool, list[float]]:
     """One failure sequence; returns (downtime per origin, worst shed
     count, separation violations, class-A outage happened, recovery
-    durations)."""
+    durations).
+
+    ``planner(failed_nodes, failed_links)`` supplies the degraded plan
+    for a failure state (possibly memoized — the trial copies the plan's
+    dicts before mutating them); ``origin(member)`` resolves a member
+    name to its origin process (possibly cached)."""
     state = outcome.condensation.state
-    graph = state.graph
     perm_failed: set[str] = set()
     transient_down: dict[str, float] = {}
     failed_links: list[tuple[str, str]] = []
@@ -359,14 +423,7 @@ def _simulate_trial(
             failed_links.append(event.link)
 
         failed_now = perm_failed | set(transient_down)
-        plan = plan_degradation(
-            outcome,
-            sorted(failed_now),
-            failed_links=tuple(failed_links),
-            approach=approach,
-            resources=resources,
-            bands=bands,
-        )
+        plan = planner(tuple(sorted(failed_now)), tuple(failed_links))
         shed_worst = max(shed_worst, len(plan.shed))
         if not plan.separation_ok:
             violations += 1
@@ -379,7 +436,7 @@ def _simulate_trial(
             if node in failed_now:
                 continue
             for member in hosted_members[index]:
-                live_origins.add(origin_of(graph, member))
+                live_origins.add(origin(member))
 
         displaced = (
             [i for i, node in hosting.items() if node == event.node]
@@ -388,7 +445,7 @@ def _simulate_trial(
         )
         for index in sorted(displaced):
             members = hosted_members[index]
-            masked = all(origin_of(graph, m) in live_origins for m in members)
+            masked = all(origin(m) in live_origins for m in members)
             result = recover_cluster(
                 policies,
                 rng,
@@ -401,14 +458,14 @@ def _simulate_trial(
                 recovery_durations.append(result.duration)
             remaining = horizon - now
             for member in members:
-                origin = origin_of(graph, member)
-                if origin in live_origins:
+                source = origin(member)
+                if source in live_origins:
                     continue  # replication masks the loss for this process
                 if result.succeeded:
                     lost = min(result.duration, remaining)
                 else:
                     lost = remaining
-                downtime[origin] = downtime.get(origin, 0.0) + lost
+                downtime[source] = downtime.get(source, 0.0) + lost
 
         hosting = dict(plan.assignment)
         hosted_members = dict(plan.hosted_members)

@@ -219,6 +219,10 @@ def plan_degradation(
         sub_state = seeded_state(
             graph, [blocks[i] for i in retained], state.policy
         )
+        # When the outcome ran under the vector engine, re-mapping the
+        # degraded partition reuses its compiled influence/policy (and
+        # their caches) instead of re-deriving scalar answers.
+        sub_state.adopt_compiled(state)
         mapper = map_approach_a if approach == "a" else map_approach_b
         try:
             mapping = mapper(sub_state, survivors, resources)

@@ -199,6 +199,47 @@ class TestGate:
         assert not check.passed
 
 
+class TestAbsoluteCaps:
+    def _doc_with_caps(self, tmp_path, **tolerance):
+        base = _entry()
+        base["tolerance"] = tolerance
+        path = tmp_path / "baseline.json"
+        write_baseline([base], path)
+        return load_baseline(path)
+
+    def test_max_stage_s_cap_fails_slow_stage(self, tmp_path):
+        doc = self._doc_with_caps(tmp_path, max_stage_s={"condense": 0.02})
+        latest = _entry()
+        latest["stages"]["condense"] = 0.05
+        check = check_bench([latest], doc)
+        assert not check.passed
+        assert any(f.metric == "max_stage_s.condense" for f in check.findings)
+        assert "absolute" in render_bench_check(check)
+
+    def test_max_stage_s_cap_passes_fast_stage(self, tmp_path):
+        doc = self._doc_with_caps(tmp_path, max_stage_s={"condense": 0.02})
+        assert check_bench([_entry()], doc).passed
+
+    def test_max_stage_s_applies_even_on_quick_runs(self, tmp_path):
+        # Stage times do not scale with campaign length, so the absolute
+        # stage caps gate --quick runs too (unlike the wall caps).
+        doc = self._doc_with_caps(tmp_path, max_stage_s={"map": 0.0005})
+        latest = _entry(campaign_trials=200)
+        check = check_bench([latest], doc)
+        assert any(f.metric == "max_stage_s.map" for f in check.findings)
+
+    def test_max_wall_s_cap_fails_slow_entry(self, tmp_path):
+        doc = self._doc_with_caps(tmp_path, max_wall_s=0.1)
+        check = check_bench([_entry(wall_s=0.15)], doc)
+        assert not check.passed
+        assert any(f.metric == "max_wall_s" for f in check.findings)
+
+    def test_max_wall_s_skipped_on_quick_runs(self, tmp_path):
+        doc = self._doc_with_caps(tmp_path, max_wall_s=0.1)
+        latest = _entry(wall_s=0.15, campaign_trials=200)
+        assert check_bench([latest], doc).passed
+
+
 class TestHistory:
     def test_append_history_is_valid_ndjson(self, tmp_path):
         path = tmp_path / "history.ndjson"

@@ -1,0 +1,213 @@
+"""Property-based scalar <-> vector parity for the allocation pipeline.
+
+The vector engine compiles the influence graph and combination policy to
+array/cached form; its contract is *bit-for-bit* equality with the
+scalar oracle — identical condense partitions, identical Approach A/B
+mappings (including tie-break order), identical scores.  These tests
+drive both engines over random workloads (sizes 2-300, disconnected to
+near-clique, with and without self-influence edges) and assert equality,
+not closeness.
+"""
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.allocation import expand_replication, initial_state, required_hw_nodes
+from repro.allocation.compiled import compile_policy
+from repro.allocation.heuristics import (
+    condense_h1,
+    condense_h3,
+    condense_timing,
+    pack_by_timing,
+)
+from repro.allocation.hw_model import fully_connected
+from repro.allocation.mapping import map_approach_a, map_approach_b
+from repro.errors import DDSIError
+from repro.faultsim.kernel import compile_graph
+from repro.graphs.matrix import CompiledInfluence
+from repro.workloads import WorkloadSpec, random_process_graph
+
+HEURISTICS = {
+    "h1": condense_h1,
+    "h3": condense_h3,
+    "timing": condense_timing,
+    "timing-pack": pack_by_timing,
+}
+
+
+def vectorized(state):
+    """Attach compiled artifacts to ``state`` (what engine=vector does)."""
+    compiled_graph = compile_graph(state.graph)
+    state.attach_compiled(
+        influence=CompiledInfluence.from_weights(
+            compiled_graph.names, compiled_graph.weights
+        ),
+        policy=compile_policy(state.graph, state.policy),
+    )
+    assert state.is_compiled
+    return state
+
+
+def paired_states(graph):
+    """Two independent states over ``graph``: (scalar, vector)."""
+    expanded = expand_replication(graph)
+    return initial_state(expanded), vectorized(initial_state(expanded))
+
+
+def run_both(condense, scalar_state, vector_state, target):
+    """Run one heuristic on both engines; assert identical outcomes.
+
+    Either both engines raise (the same error type) or both produce the
+    same partition, in the same cluster order.
+    """
+    try:
+        scalar_result = condense(scalar_state, target)
+    except DDSIError as exc:
+        with pytest.raises(type(exc)):
+            condense(vector_state, target)
+        return None, None
+    vector_result = condense(vector_state, target)
+    scalar_clusters = [c.members for c in scalar_result.state.clusters]
+    vector_clusters = [c.members for c in vector_result.state.clusters]
+    assert scalar_clusters == vector_clusters
+    return scalar_result.state, vector_result.state
+
+
+@st.composite
+def workloads(draw):
+    processes = draw(st.integers(min_value=2, max_value=24))
+    # 0.0 = fully disconnected, ~0.95 = near-clique.
+    edge_p = draw(st.sampled_from([0.0, 0.1, 0.3, 0.6, 0.95]))
+    replicated = draw(st.floats(min_value=0.0, max_value=0.4))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    spec = WorkloadSpec(
+        processes=processes,
+        edge_probability=edge_p,
+        replicated_fraction=replicated,
+        utilization=0.15,
+    )
+    return random_process_graph(spec, seed=seed)
+
+
+class TestSelfInfluence:
+    def test_self_influence_rejected_before_either_engine(self):
+        # The graph layer rejects self-loops outright ("an FCM has no
+        # defined influence on itself"), so neither engine can ever see
+        # a diagonal weight — the compiled complements matrix keeps an
+        # all-ones diagonal by construction.
+        from repro.errors import GraphError
+
+        graph = random_process_graph(WorkloadSpec(processes=3), seed=0)
+        with pytest.raises(GraphError, match="self-loop"):
+            graph.set_influence("p1", "p1", 0.5)
+        compiled = compile_graph(expand_replication(graph))
+        influence = CompiledInfluence.from_weights(compiled.names, compiled.weights)
+        assert np.all(np.diagonal(influence.weights) == 0.0)
+
+
+class TestCondenseParity:
+    @given(workloads(), st.sampled_from(sorted(HEURISTICS)))
+    @settings(max_examples=40, deadline=None)
+    def test_partitions_identical(self, graph, heuristic):
+        scalar_state, vector_state = paired_states(graph)
+        target = max(
+            required_hw_nodes(scalar_state.graph),
+            len(scalar_state.graph) // 2,
+            1,
+        )
+        run_both(HEURISTICS[heuristic], scalar_state, vector_state, target)
+
+    @given(workloads())
+    @settings(max_examples=20, deadline=None)
+    def test_influence_queries_bit_identical(self, graph):
+        scalar_state, vector_state = paired_states(graph)
+        n = len(scalar_state.clusters)
+        for i in range(n):
+            for j in range(n):
+                if i == j:
+                    continue
+                assert scalar_state.influence(i, j) == vector_state.influence(i, j)
+                assert scalar_state.raw_influence(i, j) == vector_state.raw_influence(i, j)
+
+    @given(workloads())
+    @settings(max_examples=20, deadline=None)
+    def test_policy_answers_identical(self, graph):
+        scalar_state, vector_state = paired_states(graph)
+        clusters = [c.members for c in scalar_state.clusters]
+        for first in clusters[:8]:
+            for second in clusters[:8]:
+                if first == second:
+                    continue
+                assert scalar_state.policy_can_combine(
+                    first, second
+                ) == vector_state.policy_can_combine(first, second)
+                assert scalar_state.policy_violations(
+                    first, second
+                ) == vector_state.policy_violations(first, second)
+
+
+class TestMappingParity:
+    @given(workloads(), st.sampled_from(["a", "b"]))
+    @settings(max_examples=30, deadline=None)
+    def test_assignments_identical_including_order(self, graph, approach):
+        scalar_state, vector_state = paired_states(graph)
+        target = max(
+            required_hw_nodes(scalar_state.graph),
+            len(scalar_state.graph) // 2,
+            1,
+        )
+        scalar_state, vector_state = run_both(
+            condense_h1, scalar_state, vector_state, target
+        )
+        if scalar_state is None:
+            return
+        hw = fully_connected(len(scalar_state.clusters))
+        mapper = map_approach_a if approach == "a" else map_approach_b
+        try:
+            scalar_map = mapper(scalar_state, hw)
+        except DDSIError as exc:
+            with pytest.raises(type(exc)):
+                mapper(vector_state, hw)
+            return
+        vector_map = mapper(vector_state, hw)
+        # Same placements *and* the same placement order: tie-breaks in
+        # the batched cost scoring must match the one-at-a-time oracle.
+        assert list(scalar_map.assignment.items()) == list(
+            vector_map.assignment.items()
+        )
+        assert scalar_map.communication_cost() == vector_map.communication_cost()
+
+
+class TestLargeGraphParity:
+    """Deterministic big-graph cases hypothesis would be too slow for."""
+
+    @pytest.mark.parametrize("processes", [2, 100, 300])
+    def test_sizes_up_to_300(self, processes):
+        spec = WorkloadSpec(
+            processes=processes,
+            edge_probability=min(0.9, 8.0 / processes),
+            replicated_fraction=0.1,
+            utilization=0.1,
+        )
+        graph = random_process_graph(spec, seed=7)
+        scalar_state, vector_state = paired_states(graph)
+        target = max(
+            required_hw_nodes(scalar_state.graph),
+            len(scalar_state.graph) // 2,
+            1,
+        )
+        scalar_state, vector_state = run_both(
+            pack_by_timing, scalar_state, vector_state, target
+        )
+        if scalar_state is None:
+            return
+        hw = fully_connected(len(scalar_state.clusters))
+        scalar_map = map_approach_a(scalar_state, hw)
+        vector_map = map_approach_a(vector_state, hw)
+        assert list(scalar_map.assignment.items()) == list(
+            vector_map.assignment.items()
+        )

@@ -1,0 +1,126 @@
+"""The resilience vector engine: bit-identical, memoized, no fallback.
+
+``engine="vector"`` must produce the exact ``ResilienceReport`` the
+scalar engine does at equal seeds — the per-trial RNG streams are
+shared; only the deterministic planning side is compiled and memoized —
+and it must resolve as a genuine vector run (no recorded fallback
+decision), including under sharded worker-pool execution.
+"""
+
+import pytest
+
+pytest.importorskip("numpy")
+
+from repro import IntegrationFramework, fully_connected, paper_system
+from repro.core.framework import FrameworkOptions, Heuristic
+from repro.exec.runner import ExecPolicy
+from repro.obs import Recorder, use
+from repro.resilience.campaign import run_resilience_campaign
+from repro.workloads.generators import random_system
+
+
+def outcome_with(engine):
+    options = FrameworkOptions(heuristic=Heuristic.H1, engine=engine)
+    return IntegrationFramework(paper_system(), options).integrate(
+        fully_connected(6)
+    )
+
+
+class TestVectorBitIdentity:
+    @pytest.mark.parametrize("seed", [0, 7, 1234])
+    def test_reports_bit_identical(self, seed):
+        outcome = outcome_with("auto")
+        scalar = run_resilience_campaign(
+            outcome, failures=2, trials=40, seed=seed, engine="scalar"
+        )
+        vector = run_resilience_campaign(
+            outcome, failures=2, trials=40, seed=seed, engine="vector"
+        )
+        assert scalar == vector
+
+    def test_identical_across_pipeline_engines(self):
+        # A scalar-built and a vector-built outcome agree bit-for-bit,
+        # so resilience reports over them must too.
+        scalar_outcome = outcome_with("scalar")
+        vector_outcome = outcome_with("vector")
+        scalar = run_resilience_campaign(
+            scalar_outcome, failures=2, trials=30, seed=3, engine="scalar"
+        )
+        vector = run_resilience_campaign(
+            vector_outcome, failures=2, trials=30, seed=3, engine="vector"
+        )
+        assert scalar == vector
+
+    def test_identical_under_sharded_execution(self):
+        outcome = outcome_with("vector")
+        serial = run_resilience_campaign(
+            outcome, failures=2, trials=40, seed=5, engine="scalar"
+        )
+        pooled = run_resilience_campaign(
+            outcome, failures=2, trials=40, seed=5, engine="vector",
+            policy=ExecPolicy(workers=2, batch_size=10),
+        )
+        assert serial == pooled
+
+    def test_generated_workload_bit_identical(self):
+        system = random_system(
+            processes=20, tasks_per_process=1, procedures_per_task=1, seed=42
+        )
+        options = FrameworkOptions(heuristic=Heuristic.TIMING_PACK, engine="vector")
+        outcome = IntegrationFramework(system, options).integrate(
+            fully_connected(8)
+        )
+        scalar = run_resilience_campaign(
+            outcome, failures=3, trials=30, seed=11, engine="scalar"
+        )
+        vector = run_resilience_campaign(
+            outcome, failures=3, trials=30, seed=11, engine="vector"
+        )
+        assert scalar == vector
+
+
+class TestVectorResolution:
+    def test_no_fallback_decision(self):
+        # Regression for the old refusal: an explicit vector request
+        # must resolve to a real vector run, not a recorded fallback.
+        recorder = Recorder()
+        with use(recorder):
+            run_resilience_campaign(
+                outcome_with("vector"), failures=2, trials=5, seed=0,
+                engine="vector",
+            )
+        decisions = [
+            d for d in recorder.decisions
+            if d.category == "resilience" and d.action == "engine"
+        ]
+        assert len(decisions) == 1
+        assert decisions[0].subject == "vector"
+        assert "fell back" not in decisions[0].reason
+        assert "unavailable" not in decisions[0].reason
+
+    def test_campaign_span_tagged_vector(self):
+        recorder = Recorder()
+        with use(recorder):
+            run_resilience_campaign(
+                outcome_with("vector"), failures=2, trials=5, seed=0,
+                engine="vector",
+            )
+        spans = [s for s in recorder.spans if s.name == "resilience.campaign"]
+        assert spans and spans[0].attrs["engine"] == "vector"
+
+    def test_memoized_planning_reduces_plan_events(self):
+        # The documented contract difference: under vector, repeated
+        # failure states reuse one plan, so plan_degradation runs (and
+        # its recorder events fire) at most once per distinct state.
+        def plan_decisions(engine):
+            recorder = Recorder()
+            outcome = outcome_with("auto")
+            with use(recorder):
+                run_resilience_campaign(
+                    outcome, failures=2, trials=40, seed=0, engine=engine
+                )
+            return sum(
+                1 for d in recorder.decisions if d.category == "degrade"
+            )
+
+        assert plan_decisions("vector") <= plan_decisions("scalar")
